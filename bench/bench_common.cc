@@ -1,0 +1,143 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table_printer.h"
+#include "core/o2siterec_recommender.h"
+
+namespace o2sr::bench {
+
+Scale CurrentScale() {
+  const char* env = std::getenv("O2SR_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "small") == 0) return Scale::kSmall;
+  return Scale::kStandard;
+}
+
+sim::SimConfig RealDataConfig() {
+  sim::SimConfig cfg;
+  cfg.seed = 7;
+  if (CurrentScale() == Scale::kStandard) {
+    cfg.city_width_m = 12000.0;
+    cfg.city_height_m = 12000.0;
+    cfg.num_store_types = 18;
+    cfg.num_stores = 9500;   // dense market, ~16 stores per active region
+    cfg.num_couriers = 820;
+    cfg.num_days = 7;
+    cfg.peak_orders_per_region_slot = 5.0;
+  } else {
+    cfg.city_width_m = 7000.0;
+    cfg.city_height_m = 7000.0;
+    cfg.num_store_types = 14;
+    cfg.num_stores = 3200;
+    cfg.num_couriers = 280;
+    cfg.num_days = 5;
+    cfg.peak_orders_per_region_slot = 5.0;
+  }
+  return cfg;
+}
+
+sim::SimConfig OpenDataConfig() {
+  sim::SimConfig cfg = RealDataConfig();
+  cfg.preset = sim::SimulationPreset::kOpenData;
+  cfg.seed = 8;
+  return cfg;
+}
+
+sim::SimConfig SweepConfig() {
+  sim::SimConfig cfg = RealDataConfig();
+  if (CurrentScale() == Scale::kStandard) {
+    cfg.city_width_m = 9000.0;
+    cfg.city_height_m = 9000.0;
+    cfg.num_stores = 5400;
+    cfg.num_couriers = 470;
+    cfg.num_days = 6;
+  }
+  return cfg;
+}
+
+core::O2SiteRecConfig ModelConfig() {
+  core::O2SiteRecConfig cfg;
+  cfg.rec.embedding_dim = 32;
+  cfg.rec.node_heads = 4;
+  cfg.rec.time_heads = 2;
+  cfg.epochs = CurrentScale() == Scale::kStandard ? 30 : 25;
+  cfg.learning_rate = 3e-3;
+  return cfg;
+}
+
+baselines::BaselineConfig BaselineDefaults() {
+  baselines::BaselineConfig cfg;
+  cfg.embedding_dim = 32;
+  cfg.epochs = 150;
+  return cfg;
+}
+
+eval::EvalOptions EvalDefaults() {
+  eval::EvalOptions opts;
+  opts.min_candidates = CurrentScale() == Scale::kStandard ? 40 : 25;
+  return opts;
+}
+
+PreparedData::PreparedData(const sim::SimConfig& config, uint64_t split_seed)
+    : data(sim::GenerateDataset(config)) {
+  Rng rng(split_seed);
+  split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
+                                  rng);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Regenerates: %s\n", paper_ref.c_str());
+  std::printf("Scale: %s (set O2SR_BENCH_SCALE=small for a quick run)\n",
+              CurrentScale() == Scale::kStandard ? "standard" : "small");
+  std::printf("==============================================================\n");
+}
+
+std::vector<std::string> MetricCells(const eval::EvalResult& r) {
+  auto get = [](const std::map<int, double>& m, int k) {
+    const auto it = m.find(k);
+    return it == m.end() ? 0.0 : it->second;
+  };
+  return {TablePrinter::Num(get(r.ndcg, 3)),
+          TablePrinter::Num(get(r.ndcg, 5)),
+          TablePrinter::Num(get(r.ndcg, 10)),
+          TablePrinter::Num(get(r.precision, 3)),
+          TablePrinter::Num(get(r.precision, 5)),
+          TablePrinter::Num(get(r.precision, 10)),
+          TablePrinter::Num(r.rmse)};
+}
+
+eval::EvalResult AverageResults(const std::vector<eval::EvalResult>& results) {
+  eval::EvalResult avg;
+  if (results.empty()) return avg;
+  for (const eval::EvalResult& r : results) {
+    for (const auto& [k, v] : r.ndcg) avg.ndcg[k] += v;
+    for (const auto& [k, v] : r.precision) avg.precision[k] += v;
+    avg.rmse += r.rmse;
+    avg.types_evaluated += r.types_evaluated;
+  }
+  const double n = static_cast<double>(results.size());
+  for (auto& [k, v] : avg.ndcg) v /= n;
+  for (auto& [k, v] : avg.precision) v /= n;
+  avg.rmse /= n;
+  avg.types_evaluated = static_cast<int>(avg.types_evaluated / n);
+  return avg;
+}
+
+eval::EvalResult RunVariantAveraged(const PreparedData& prepared,
+                                    core::O2SiteRecConfig config, int seeds,
+                                    const eval::EvalOptions& options) {
+  std::vector<eval::EvalResult> results;
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = 21 + s;
+    core::O2SiteRecRecommender model(config);
+    results.push_back(
+        eval::RunOnce(model, prepared.data, prepared.split, options));
+  }
+  return AverageResults(results);
+}
+
+}  // namespace o2sr::bench

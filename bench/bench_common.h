@@ -1,0 +1,63 @@
+#ifndef O2SR_BENCH_BENCH_COMMON_H_
+#define O2SR_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "core/o2siterec.h"
+#include "eval/experiment.h"
+#include "sim/config.h"
+#include "sim/dataset.h"
+
+namespace o2sr::bench {
+
+// Bench scale, selected by the O2SR_BENCH_SCALE environment variable:
+//   "small"    - quick shape check (~4x faster, noisier numbers)
+//   "standard" - default; the numbers recorded in EXPERIMENTS.md
+enum class Scale { kSmall, kStandard };
+Scale CurrentScale();
+
+// The synthetic-Eleme dataset behind Table III and every figure
+// (substitute for the paper's proprietary real-world data).
+sim::SimConfig RealDataConfig();
+// The open-data preset behind Table IV (sparser + noisier).
+sim::SimConfig OpenDataConfig();
+// A smaller city for hyper-parameter sweeps (Fig. 15-16) where many models
+// are trained.
+sim::SimConfig SweepConfig();
+
+// Default model/baseline budgets for the bench scale.
+core::O2SiteRecConfig ModelConfig();
+baselines::BaselineConfig BaselineDefaults();
+eval::EvalOptions EvalDefaults();
+
+// Dataset + split prepared once per bench binary.
+struct PreparedData {
+  sim::Dataset data;
+  eval::Split split;
+
+  explicit PreparedData(const sim::SimConfig& config, uint64_t split_seed);
+};
+
+// Prints the bench banner: which table/figure of the paper this regenerates
+// and on what data scale.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+// Formats an EvalResult in Table III column order:
+// NDCG@3, NDCG@5, NDCG@10, P@3, P@5, P@10, RMSE.
+std::vector<std::string> MetricCells(const eval::EvalResult& result);
+
+// Averages eval results element-wise (used for multi-seed rows).
+eval::EvalResult AverageResults(const std::vector<eval::EvalResult>& results);
+
+// Trains and evaluates an O2-SiteRec configuration `seeds` times (seeds
+// 21, 22, ...) and returns the averaged result. Used by the ablation
+// benches, whose single-seed orderings are noisy.
+eval::EvalResult RunVariantAveraged(const PreparedData& prepared,
+                                    core::O2SiteRecConfig config, int seeds,
+                                    const eval::EvalOptions& options);
+
+}  // namespace o2sr::bench
+
+#endif  // O2SR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Regenerates Fig. 10: the ablation of courier capacity and customer
+// preferences. Compares the full O2-SiteRec against "w/o Co" (no courier
+// capacity model, fixed delivery scope) and "w/o CoCu" (additionally drops
+// the S-U and U-A customer edges). Expected shape: Full > w/o Co > w/o
+// CoCu, with a large drop when customer preferences disappear.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/o2siterec.h"
+
+int main() {
+  using namespace o2sr;
+  bench::PrintHeader("Ablation: courier capacity and customer preferences",
+                     "Fig. 10 (O2-SiteRec vs w/o Co vs w/o CoCu)");
+  bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
+  const eval::EvalOptions opts = bench::EvalDefaults();
+
+  TablePrinter table({"Variant", "NDCG@3", "NDCG@5", "NDCG@10",
+                      "Precision@3", "Precision@5", "Precision@10", "RMSE"});
+  double full_ndcg3 = 0.0, no_co_ndcg3 = 0.0, no_cocu_ndcg3 = 0.0;
+  for (auto variant : {core::O2SiteRecVariant::kFull,
+                       core::O2SiteRecVariant::kNoCapacity,
+                       core::O2SiteRecVariant::kNoCapacityNoCustomer}) {
+    core::O2SiteRecConfig cfg = bench::ModelConfig();
+    cfg.variant = variant;
+    const int seeds =
+        bench::CurrentScale() == bench::Scale::kStandard ? 2 : 1;
+    const eval::EvalResult r =
+        bench::RunVariantAveraged(prepared, cfg, seeds, opts);
+    std::vector<std::string> row = {core::VariantName(variant)};
+    for (auto& c : bench::MetricCells(r)) row.push_back(c);
+    table.AddRow(row);
+    if (variant == core::O2SiteRecVariant::kFull) full_ndcg3 = r.ndcg.at(3);
+    if (variant == core::O2SiteRecVariant::kNoCapacity) {
+      no_co_ndcg3 = r.ndcg.at(3);
+    }
+    if (variant == core::O2SiteRecVariant::kNoCapacityNoCustomer) {
+      no_cocu_ndcg3 = r.ndcg.at(3);
+    }
+  }
+  table.Print(stdout);
+
+  std::printf(
+      "\nShape check: Full (%.4f) > w/o Co (%.4f) > w/o CoCu (%.4f) -> %s\n",
+      full_ndcg3, no_co_ndcg3, no_cocu_ndcg3,
+      (full_ndcg3 > no_co_ndcg3 && no_co_ndcg3 > no_cocu_ndcg3)
+          ? "REPRODUCED"
+          : "PARTIAL (ordering noisy at this scale)");
+  return 0;
+}

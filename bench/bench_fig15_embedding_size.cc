@@ -1,0 +1,48 @@
+// Regenerates Fig. 15: NDCG@3 as a function of the embedding size of the
+// region-type heterogeneous multi-graph. The paper sweeps around d2 = 90
+// and finds the curve flat with a mild peak; too-small embeddings
+// under-represent, too-large ones start to overfit.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/o2siterec_recommender.h"
+
+int main() {
+  using namespace o2sr;
+  bench::PrintHeader("Embedding-size sensitivity",
+                     "Fig. 15 (effect of different embedding sizes)");
+  bench::PreparedData prepared(bench::SweepConfig(), /*split_seed=*/1);
+  eval::EvalOptions opts = bench::EvalDefaults();
+  opts.min_candidates = std::max(20, opts.min_candidates / 2);
+
+  const std::vector<int> sizes =
+      bench::CurrentScale() == bench::Scale::kStandard
+          ? std::vector<int>{16, 32, 48, 64, 90}
+          : std::vector<int>{16, 32, 48};
+  TablePrinter table({"Embedding size d2", "NDCG@3", "RMSE"});
+  double best = 0.0, worst = 1.0;
+  for (int d2 : sizes) {
+    core::O2SiteRecConfig cfg = bench::ModelConfig();
+    // Keep the head count a divisor of d2.
+    cfg.rec.embedding_dim = d2 - (d2 % 4);
+    cfg.rec.node_heads = 4;
+    cfg.rec.time_heads = 2;
+    core::O2SiteRecRecommender model(cfg);
+    const eval::EvalResult r =
+        eval::RunOnce(model, prepared.data, prepared.split, opts);
+    best = std::max(best, r.ndcg.at(3));
+    worst = std::min(worst, r.ndcg.at(3));
+    table.AddRow({std::to_string(cfg.rec.embedding_dim),
+                  TablePrinter::Num(r.ndcg.at(3)),
+                  TablePrinter::Num(r.rmse)});
+  }
+  table.Print(stdout);
+
+  std::printf(
+      "\nShape check: performance relatively stable across sizes "
+      "(spread %.4f) -> %s\n",
+      best - worst, best - worst < 0.12 ? "REPRODUCED" : "PARTIAL");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) of the computational kernels behind
+// the models: dense matmul variants, the sparse segment ops used by graph
+// attention, simulator throughput, and graph construction. Not a paper
+// table — this is the performance baseline for the library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "features/order_stats.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
+#include "nn/tape.h"
+#include "nn/tensor.h"
+#include "sim/dataset.h"
+
+namespace o2sr {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const nn::Tensor a = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const nn::Tensor a = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulTransposeB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SegmentOpsForwardBackward(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const int nodes = edges / 16;
+  const int dim = 32;
+  Rng rng(1);
+  nn::ParameterStore store;
+  nn::Parameter* emb = store.CreateNormal("emb", nodes, dim, 0.5, rng);
+  std::vector<int> src(edges), dst(edges);
+  for (int e = 0; e < edges; ++e) {
+    src[e] = rng.UniformInt(0, nodes - 1);
+    dst[e] = rng.UniformInt(0, nodes - 1);
+  }
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::Value x = tape.Param(emb);
+    nn::Value gathered = tape.GatherRows(x, src);
+    nn::Value scores = tape.RowwiseDot(gathered, tape.GatherRows(x, dst));
+    nn::Value alpha = tape.SegmentSoftmax(scores, dst, nodes);
+    nn::Value out = tape.SegmentSum(tape.MulColBroadcast(gathered, alpha),
+                                    dst, nodes);
+    nn::Value loss = tape.MeanAll(out);
+    tape.Backward(loss);
+    store.ZeroGrads();
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_SegmentOpsForwardBackward)->Arg(4096)->Arg(32768);
+
+sim::SimConfig KernelSimConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 6000.0;
+  cfg.city_height_m = 6000.0;
+  cfg.num_store_types = 16;
+  cfg.num_stores = 1500;
+  cfg.num_couriers = 210;
+  cfg.num_days = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const sim::SimConfig cfg = KernelSimConfig();
+  size_t orders = 0;
+  for (auto _ : state) {
+    const sim::Dataset data = sim::GenerateDataset(cfg);
+    orders = data.orders.size();
+    benchmark::DoNotOptimize(data.orders.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(orders));
+  state.counters["orders"] = static_cast<double>(orders);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_HeteroGraphBuild(benchmark::State& state) {
+  const sim::Dataset data = sim::GenerateDataset(KernelSimConfig());
+  const features::OrderStats stats(data);
+  for (auto _ : state) {
+    graphs::HeteroMultiGraph graph(data, stats);
+    benchmark::DoNotOptimize(graph.num_store_nodes());
+  }
+}
+BENCHMARK(BM_HeteroGraphBuild);
+
+void BM_MobilityGraphBuild(benchmark::State& state) {
+  const sim::Dataset data = sim::GenerateDataset(KernelSimConfig());
+  const features::OrderStats stats(data);
+  for (auto _ : state) {
+    graphs::MobilityMultiGraph graph(stats);
+    benchmark::DoNotOptimize(graph.TotalEdges());
+  }
+}
+BENCHMARK(BM_MobilityGraphBuild);
+
+void BM_OrderStatsBuild(benchmark::State& state) {
+  const sim::Dataset data = sim::GenerateDataset(KernelSimConfig());
+  for (auto _ : state) {
+    features::OrderStats stats(data);
+    benchmark::DoNotOptimize(stats.num_regions());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.orders.size()));
+}
+BENCHMARK(BM_OrderStatsBuild);
+
+}  // namespace
+}  // namespace o2sr
+
+BENCHMARK_MAIN();

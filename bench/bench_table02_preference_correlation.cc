@@ -1,0 +1,43 @@
+// Regenerates Table II: the Pearson correlation between per-(region, type)
+// order counts and the customer preferences of nearby regions, for
+// neighborhood radii of 1-5 km. The paper reports ~0.71-0.74 with tiny
+// variation between 1 and 3 km and a slow decay beyond; the absolute level
+// depends on market density (see DESIGN.md).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "features/analysis.h"
+
+int main() {
+  using namespace o2sr;
+  bench::PrintHeader(
+      "Customer preference vs order correlation by radius",
+      "Table II (correlation between preferences and orders)");
+  // A denser market than the model benches: the statistic converges to the
+  // paper's level only at Eleme-like store density (~25+ per region).
+  sim::SimConfig cfg = bench::RealDataConfig();
+  cfg.num_stores = static_cast<int>(cfg.num_stores * 1.8);
+  const sim::Dataset data = sim::GenerateDataset(cfg);
+
+  TablePrinter table({"Radius (km)", "Correlation coefficient"});
+  std::vector<double> by_radius;
+  for (int km = 1; km <= 5; ++km) {
+    const double corr =
+        features::PreferenceOrderCorrelation(data, km * 1000.0);
+    by_radius.push_back(corr);
+    table.AddRow({std::to_string(km), TablePrinter::Num(corr, 3)});
+  }
+  table.Print(stdout);
+
+  const bool strong = by_radius[0] > 0.5 && by_radius[2] > 0.5;
+  const bool local_flat = std::abs(by_radius[0] - by_radius[2]) < 0.1;
+  const bool decays = by_radius[2] >= by_radius[4] - 0.02;
+  std::printf(
+      "\nShape check: strong correlation (r1=%.3f, r3=%.3f), tiny 1-3 km "
+      "variation, slow decay to 5 km -> %s\n",
+      by_radius[0], by_radius[2],
+      (strong && local_flat && decays) ? "REPRODUCED" : "MISMATCH");
+  return 0;
+}

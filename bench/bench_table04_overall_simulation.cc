@@ -1,0 +1,64 @@
+// Regenerates Table IV: the comparison on the open-data simulation preset
+// (sparser, noisier; customer locations re-drawn from distances). Baselines
+// run in the Adaption setting only and four metrics are reported, matching
+// the paper's space-limited table. Expected shape: O2-SiteRec still wins;
+// every method scores lower than on the synthetic-Eleme data of Table III.
+
+#include <cstdio>
+
+#include "baselines/factory.h"
+#include "bench_common.h"
+#include "common/math_util.h"
+#include "common/table_printer.h"
+#include "core/o2siterec_recommender.h"
+
+int main() {
+  using namespace o2sr;
+  bench::PrintHeader("Overall performance, open-data simulation preset",
+                     "Table IV (performance comparison, simulation data)");
+  bench::PreparedData prepared(bench::OpenDataConfig(), /*split_seed=*/1);
+  eval::EvalOptions opts = bench::EvalDefaults();
+  // The sparse preset has smaller candidate pools.
+  opts.min_candidates = std::max(20, opts.min_candidates / 2);
+  std::printf("dataset: %zu orders (sparse preset)\n",
+              prepared.data.orders.size());
+
+  TablePrinter table(
+      {"Model", "NDCG@3", "NDCG@5", "Precision@3", "Precision@5"});
+  auto add_row = [&](const std::string& name, const eval::EvalResult& r) {
+    table.AddRow({name, TablePrinter::Num(r.ndcg.at(3)),
+                  TablePrinter::Num(r.ndcg.at(5)),
+                  TablePrinter::Num(r.precision.at(3)),
+                  TablePrinter::Num(r.precision.at(5))});
+  };
+
+  double best_baseline_ndcg3 = 0.0;
+  for (auto kind : baselines::kAllBaselines) {
+    baselines::BaselineConfig cfg = bench::BaselineDefaults();
+    cfg.setting = baselines::FeatureSetting::kAdaption;
+    auto model = baselines::MakeBaseline(kind, cfg);
+    const eval::EvalResult r =
+        eval::RunOnce(*model, prepared.data, prepared.split, opts);
+    best_baseline_ndcg3 = std::max(best_baseline_ndcg3, r.ndcg.at(3));
+    add_row(baselines::BaselineKindName(kind), r);
+  }
+  // Sparse-data budget: with ~2x fewer interactions per pair the model
+  // converges noticeably slower, and single-transaction mobility edges are
+  // mostly reconstruction noise — filter them. (The dense Table III config
+  // reaches its plateau at 30 epochs; this preset needs ~80.)
+  core::O2SiteRecConfig ours_cfg = bench::ModelConfig();
+  ours_cfg.epochs = bench::CurrentScale() == bench::Scale::kStandard ? 80 : 50;
+  ours_cfg.mobility_min_transactions = 2;
+  core::O2SiteRecRecommender ours(ours_cfg);
+  const eval::EvalResult ours_result =
+      eval::RunOnce(ours, prepared.data, prepared.split, opts);
+  add_row("O2-SiteRec", ours_result);
+  table.Print(stdout);
+
+  std::printf(
+      "\nShape check: O2-SiteRec NDCG@3 %.4f vs best baseline %.4f -> %s\n",
+      ours_result.ndcg.at(3), best_baseline_ndcg3,
+      ours_result.ndcg.at(3) > best_baseline_ndcg3 ? "REPRODUCED"
+                                                   : "MISMATCH");
+  return 0;
+}

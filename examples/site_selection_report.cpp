@@ -1,0 +1,73 @@
+// Scenario: a coffee chain plans new O2O stores. This example trains
+// O2-SiteRec on the platform's history and uses the SiteRecommendationService
+// to produce a site report: the top candidate regions with the context that
+// drives each recommendation (neighborhood demand, courier capacity,
+// competition).
+
+#include <cstdio>
+
+#include "core/site_recommendation.h"
+#include "eval/experiment.h"
+#include "sim/dataset.h"
+
+int main() {
+  using namespace o2sr;
+
+  sim::SimConfig city_cfg;
+  city_cfg.city_width_m = 7000.0;
+  city_cfg.city_height_m = 7000.0;
+  city_cfg.num_store_types = 14;
+  city_cfg.num_stores = 1600;
+  city_cfg.num_couriers = 300;
+  city_cfg.num_days = 6;
+  city_cfg.seed = 77;
+  const sim::Dataset data = sim::GenerateDataset(city_cfg);
+
+  int coffee = 6;  // catalog id of "coffee"
+  for (int a = 0; a < data.num_types(); ++a) {
+    if (data.type_catalog[a].name == "coffee") coffee = a;
+  }
+
+  // Train on the historical interactions (deployment setting).
+  Rng rng(3);
+  const eval::Split split =
+      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  core::O2SiteRecConfig model_cfg;
+  model_cfg.rec.embedding_dim = 32;
+  model_cfg.epochs = 25;
+  core::O2SiteRec model(data, split.train_orders, model_cfg);
+  model.Train(split.train);
+
+  const core::SiteRecommendationService service(data, model);
+
+  // City-wide expansion: best three regions without a coffee store yet.
+  core::SiteQuery query;
+  query.type = coffee;
+  query.top_k = 3;
+  std::printf("%s\n", service.FormatReport(query, service.Recommend(query))
+                          .c_str());
+
+  // Downtown-only variant: the chain wants a flagship near the center.
+  query.max_center_distance_norm = 0.35;
+  query.top_k = 2;
+  std::printf("Downtown-only (inner 35%% of the city):\n%s\n",
+              service.FormatReport(query, service.Recommend(query)).c_str());
+
+  // How does the courier-capacity model see the winning site at the rushes?
+  const auto suggestions = service.Recommend(query);
+  if (!suggestions.empty()) {
+    const int region = suggestions.front().region;
+    std::printf("Predicted delivery minutes from region %d to itself:\n",
+                region);
+    for (int p = 0; p < sim::kNumPeriods; ++p) {
+      std::printf("  %-13s %.1f\n",
+                  sim::PeriodName(static_cast<sim::Period>(p)),
+                  model.PredictDeliveryMinutes(p, region, region));
+    }
+  }
+  std::printf(
+      "\nReading the report: high nearby demand and short noon delivery\n"
+      "times indicate customers the couriers can actually reach; low\n"
+      "competition means the demand is not yet captured locally.\n");
+  return 0;
+}

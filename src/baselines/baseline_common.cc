@@ -1,0 +1,182 @@
+#include "baselines/baseline_common.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "features/region_features.h"
+
+namespace o2sr::baselines {
+
+const char* FeatureSettingName(FeatureSetting setting) {
+  return setting == FeatureSetting::kOriginal ? "Original" : "Adaption";
+}
+
+PairFeatureBuilder::PairFeatureBuilder(const sim::Dataset& data,
+                                       const features::OrderStats& stats,
+                                       FeatureSetting setting)
+    : num_types_(data.num_types()) {
+  const geo::Grid& grid = data.city.grid;
+  const int R = grid.NumRegions();
+  const int T = num_types_;
+
+  const nn::Tensor region_features =
+      features::RegionFeatureExtractor::Compute(data);
+  region_block_.assign(R, std::vector<float>(region_features.cols()));
+  for (int r = 0; r < R; ++r) {
+    for (int c = 0; c < region_features.cols(); ++c) {
+      region_block_[r][c] = region_features.at(r, c);
+    }
+  }
+
+  const features::CommercialFeatures commercial(data);
+  commercial_block_.assign(R, std::vector<float>(2 * T));
+  for (int r = 0; r < R; ++r) {
+    for (int a = 0; a < T; ++a) {
+      commercial_block_[r][2 * a] =
+          static_cast<float>(commercial.Competitiveness(r, a));
+      commercial_block_[r][2 * a + 1] =
+          static_cast<float>(commercial.Complementarity(r, a));
+    }
+  }
+
+  dim_ = region_features.cols() + 2;
+  if (setting == FeatureSetting::kAdaption) {
+    // Customer preference per type within 2 km + delivery time +
+    // supply-demand ratio (paper §IV-A5's Adaption setting).
+    std::vector<std::vector<double>> preference(R, std::vector<double>(T));
+    std::vector<double> delivery(R, 0.0);
+    std::vector<double> ratio(R, 0.0);
+    for (int r = 0; r < R; ++r) {
+      std::vector<int> hood = grid.RegionsWithin(r, 2000.0);
+      hood.push_back(r);
+      for (int n : hood) {
+        for (int p = 0; p < sim::kNumPeriods; ++p) {
+          for (int a = 0; a < T; ++a) {
+            preference[r][a] += stats.CustomerOrders(p, n, a);
+          }
+        }
+      }
+      double d = 0.0, q = 0.0;
+      for (int p = 0; p < sim::kNumPeriods; ++p) {
+        d += stats.MeanDeliveryMinutes(p, r);
+        q += stats.SupplyDemandRatio(p, r);
+      }
+      delivery[r] = d / sim::kNumPeriods;
+      ratio[r] = q / sim::kNumPeriods;
+    }
+    // Missing-value completion: regions without any delivery observations
+    // take the average of their neighbors within 2 km.
+    for (int r = 0; r < R; ++r) {
+      if (delivery[r] > 0.0) continue;
+      double sum = 0.0;
+      int count = 0;
+      for (int n : grid.RegionsWithin(r, 2000.0)) {
+        if (delivery[n] > 0.0) {
+          sum += delivery[n];
+          ++count;
+        }
+      }
+      if (count > 0) delivery[r] = sum / count;
+    }
+    // Normalize the preference per type (the prediction target is also
+    // normalized within each type).
+    std::vector<double> max_pref(T, 1.0);
+    for (int r = 0; r < R; ++r) {
+      for (int a = 0; a < T; ++a) {
+        max_pref[a] = std::max(max_pref[a], preference[r][a]);
+      }
+    }
+    MinMaxNormalize(delivery);
+    MinMaxNormalize(ratio);
+    adaption_block_.assign(R, std::vector<float>(T + 2));
+    for (int r = 0; r < R; ++r) {
+      for (int a = 0; a < T; ++a) {
+        adaption_block_[r][a] =
+            static_cast<float>(preference[r][a] / max_pref[a]);
+      }
+      adaption_block_[r][T] = static_cast<float>(delivery[r]);
+      adaption_block_[r][T + 1] = static_cast<float>(ratio[r]);
+    }
+    dim_ += 3;  // preference-of-type, delivery time, supply-demand ratio
+  }
+}
+
+nn::Tensor PairFeatureBuilder::Build(const core::InteractionList& pairs) const {
+  nn::Tensor out(static_cast<int>(pairs.size()), dim_);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const int r = pairs[i].region;
+    const int a = pairs[i].type;
+    float* row = out.row(static_cast<int>(i));
+    int c = 0;
+    for (float v : region_block_[r]) row[c++] = v;
+    row[c++] = commercial_block_[r][2 * a];
+    row[c++] = commercial_block_[r][2 * a + 1];
+    if (!adaption_block_.empty()) {
+      row[c++] = adaption_block_[r][a];
+      row[c++] = adaption_block_[r][num_types_];
+      row[c++] = adaption_block_[r][num_types_ + 1];
+    }
+    O2SR_CHECK_EQ(c, dim_);
+  }
+  return out;
+}
+
+RegionIndex::RegionIndex(const sim::Dataset& data) {
+  region_to_node_.assign(data.num_regions(), -1);
+  for (const sim::Store& s : data.stores) {
+    if (region_to_node_[s.region] < 0) {
+      region_to_node_[s.region] = static_cast<int>(regions_.size());
+      regions_.push_back(s.region);
+    }
+  }
+}
+
+void GradientBaseline::Train(const sim::Dataset& data,
+                             const std::vector<sim::Order>& visible_orders,
+                             const core::InteractionList& train) {
+  rng_ = Rng(config_.seed);
+  Prepare(data, visible_orders, train);
+
+  // Restrict training to pairs with a known region node.
+  core::InteractionList usable;
+  std::vector<float> targets;
+  for (const core::Interaction& it : train) {
+    if (!KnownRegion(it.region)) continue;
+    usable.push_back(it);
+    targets.push_back(static_cast<float>(it.target));
+  }
+  O2SR_CHECK(!usable.empty());
+  const nn::Tensor target_tensor = nn::Tensor::FromVector(
+      static_cast<int>(targets.size()), 1, targets);
+
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = config_.learning_rate;
+  nn::AdamOptimizer adam(&store_, opt);
+  Rng dropout_rng = rng_.Fork();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    nn::Tape tape(/*training=*/true);
+    nn::Value pred = BuildPredictions(tape, usable, dropout_rng);
+    nn::Value loss = tape.MseLoss(pred, tape.Input(target_tensor));
+    tape.Backward(loss);
+    adam.Step();
+  }
+}
+
+std::vector<double> GradientBaseline::Predict(
+    const core::InteractionList& pairs) {
+  std::vector<double> out(pairs.size(), 0.0);
+  if (pairs.empty()) return out;
+  nn::Tape tape(/*training=*/false);
+  Rng dropout_rng(0);
+  nn::Value pred = BuildPredictions(tape, pairs, dropout_rng);
+  const nn::Tensor& values = tape.value(pred);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = KnownRegion(pairs[i].region)
+                 ? values.at(static_cast<int>(i), 0)
+                 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace o2sr::baselines

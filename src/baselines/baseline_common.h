@@ -1,0 +1,114 @@
+#ifndef O2SR_BASELINES_BASELINE_COMMON_H_
+#define O2SR_BASELINES_BASELINE_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "features/order_stats.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "nn/tape.h"
+#include "sim/dataset.h"
+
+namespace o2sr::baselines {
+
+// Feature setting of a baseline (paper §IV-A5): Original uses only the
+// features defined in the method's own paper; Adaption additionally feeds
+// the O2O-specific features (courier capacity, customer preferences,
+// location-based features).
+enum class FeatureSetting { kOriginal, kAdaption };
+
+const char* FeatureSettingName(FeatureSetting setting);
+
+// Shared hyper-parameters of all baselines (kept deliberately aligned with
+// O2-SiteRec's budget so comparisons are about inductive bias, not tuning).
+struct BaselineConfig {
+  int embedding_dim = 32;
+  // Cheap models (MF, one-layer convolutions) need many epochs to calibrate
+  // their linear feature terms; MakeBaseline scales this down for the
+  // expensive attention models (HGT).
+  int epochs = 150;
+  double learning_rate = 5e-3;
+  double dropout = 0.1;
+  FeatureSetting setting = FeatureSetting::kAdaption;
+  uint64_t seed = 11;
+};
+
+// Builds per-(region, type) feature vectors for the feature-based methods.
+//
+// Original block: geographic region features + commercial features
+// (competitiveness/complementarity).
+// Adaption block (appended when enabled): neighborhood customer preference
+// for the type within 2 km, region mean delivery time, region supply-demand
+// ratio (averaged over periods), each normalized; regions without orders
+// fall back to the average of nearby regions (paper §IV-A5).
+class PairFeatureBuilder {
+ public:
+  PairFeatureBuilder(const sim::Dataset& data,
+                     const features::OrderStats& train_stats,
+                     FeatureSetting setting);
+
+  int dim() const { return dim_; }
+
+  // [pairs.size() x dim()] feature matrix.
+  nn::Tensor Build(const core::InteractionList& pairs) const;
+
+ private:
+  int dim_;
+  int num_types_;
+  // Per-region base features and per-(region, type) extras, precomputed.
+  std::vector<std::vector<float>> region_block_;      // [R][16]
+  std::vector<std::vector<float>> commercial_block_;  // [R][2 * T]
+  std::vector<std::vector<float>> adaption_block_;    // [R][T + 2], may be empty
+};
+
+// Region node indexing shared by the matrix-factorization baselines: maps
+// regions that host stores to contiguous indices.
+class RegionIndex {
+ public:
+  explicit RegionIndex(const sim::Dataset& data);
+  int NodeOf(int region) const { return region_to_node_[region]; }  // -1 if none
+  int num_nodes() const { return static_cast<int>(regions_.size()); }
+  const std::vector<int>& regions() const { return regions_; }
+
+ private:
+  std::vector<int> region_to_node_;
+  std::vector<int> regions_;
+};
+
+// Base class implementing the shared Adam/MSE training loop. Subclasses
+// create parameters in `store_` during Prepare() and express predictions as
+// a tape computation in BuildPredictions().
+class GradientBaseline : public core::SiteRecommender {
+ public:
+  explicit GradientBaseline(const BaselineConfig& config) : config_(config) {}
+
+  void Train(const sim::Dataset& data,
+             const std::vector<sim::Order>& visible_orders,
+             const core::InteractionList& train) final;
+
+  std::vector<double> Predict(const core::InteractionList& pairs) final;
+
+ protected:
+  // Builds model state (graphs, parameters) from the training view.
+  virtual void Prepare(const sim::Dataset& data,
+                       const std::vector<sim::Order>& visible_orders,
+                       const core::InteractionList& train) = 0;
+  // Predictions [pairs x 1] for (region, type) pairs on the tape. Pairs
+  // whose region is unknown must still produce a row (e.g. via index 0);
+  // Predict() masks them to 0 afterwards using KnownRegion().
+  virtual nn::Value BuildPredictions(nn::Tape& tape,
+                                     const core::InteractionList& pairs,
+                                     Rng& dropout_rng) = 0;
+  virtual bool KnownRegion(int region) const = 0;
+
+  BaselineConfig config_;
+  nn::ParameterStore store_;
+  Rng rng_{0};
+};
+
+}  // namespace o2sr::baselines
+
+#endif  // O2SR_BASELINES_BASELINE_COMMON_H_

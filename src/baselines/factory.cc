@@ -1,0 +1,51 @@
+#include "baselines/factory.h"
+
+#include <algorithm>
+
+#include "baselines/graph_baselines.h"
+#include "baselines/hetero_baselines.h"
+#include "baselines/mf_baselines.h"
+#include "common/check.h"
+
+namespace o2sr::baselines {
+
+const char* BaselineKindName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kCityTransfer: return "CityTransfer";
+    case BaselineKind::kBlgCoSvd: return "BL-G-CoSVD";
+    case BaselineKind::kGcMc: return "GC-MC";
+    case BaselineKind::kGraphRec: return "GraphRec";
+    case BaselineKind::kRgcn: return "RGCN";
+    case BaselineKind::kHgt: return "HGT";
+  }
+  O2SR_CHECK(false);
+  return "";
+}
+
+std::unique_ptr<core::SiteRecommender> MakeBaseline(
+    BaselineKind kind, const BaselineConfig& base_config) {
+  BaselineConfig config = base_config;
+  if (kind == BaselineKind::kHgt || kind == BaselineKind::kGraphRec) {
+    // Attention over the full union graph is ~20x costlier per epoch and
+    // converges in far fewer steps.
+    config.epochs = std::max(20, config.epochs / 3);
+  }
+  switch (kind) {
+    case BaselineKind::kCityTransfer:
+      return std::make_unique<CityTransfer>(config);
+    case BaselineKind::kBlgCoSvd:
+      return std::make_unique<BlgCoSvd>(config);
+    case BaselineKind::kGcMc:
+      return std::make_unique<GcMc>(config);
+    case BaselineKind::kGraphRec:
+      return std::make_unique<GraphRec>(config);
+    case BaselineKind::kRgcn:
+      return std::make_unique<Rgcn>(config);
+    case BaselineKind::kHgt:
+      return std::make_unique<Hgt>(config);
+  }
+  O2SR_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace o2sr::baselines

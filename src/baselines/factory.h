@@ -1,0 +1,37 @@
+#ifndef O2SR_BASELINES_FACTORY_H_
+#define O2SR_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+
+namespace o2sr::baselines {
+
+// The six baseline families of the paper's evaluation (§IV-A5), in the
+// order Table III lists them.
+enum class BaselineKind {
+  kCityTransfer,
+  kBlgCoSvd,
+  kGcMc,
+  kGraphRec,
+  kRgcn,
+  kHgt,
+};
+
+inline constexpr BaselineKind kAllBaselines[] = {
+    BaselineKind::kCityTransfer, BaselineKind::kBlgCoSvd,
+    BaselineKind::kGcMc,         BaselineKind::kGraphRec,
+    BaselineKind::kRgcn,         BaselineKind::kHgt,
+};
+
+const char* BaselineKindName(BaselineKind kind);
+
+// Instantiates a baseline with the given configuration.
+std::unique_ptr<core::SiteRecommender> MakeBaseline(
+    BaselineKind kind, const BaselineConfig& config);
+
+}  // namespace o2sr::baselines
+
+#endif  // O2SR_BASELINES_FACTORY_H_

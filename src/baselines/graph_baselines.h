@@ -1,0 +1,92 @@
+#ifndef O2SR_BASELINES_GRAPH_BASELINES_H_
+#define O2SR_BASELINES_GRAPH_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "graphs/hetero_graph.h"
+
+namespace o2sr::baselines {
+
+// GC-MC (Berg et al., 2017): graph convolutional matrix completion over the
+// (store-region, store-type) interaction bipartite graph built from the
+// training interactions; a one-layer graph convolution per side followed by
+// an MLP decoder. The Adaption setting feeds region features into the
+// store-region side and pair features into the decoder.
+class GcMc : public GradientBaseline {
+ public:
+  explicit GcMc(const BaselineConfig& config) : GradientBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("GC-MC/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void Prepare(const sim::Dataset& data,
+               const std::vector<sim::Order>& visible_orders,
+               const core::InteractionList& train) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+  bool KnownRegion(int region) const override {
+    return index_->NodeOf(region) >= 0;
+  }
+
+ private:
+  std::unique_ptr<RegionIndex> index_;
+  std::unique_ptr<PairFeatureBuilder> features_;  // Adaption only
+  nn::Tensor region_features_;                    // Adaption only
+  // Interaction edges (train) with target weights.
+  std::vector<int> edge_s_, edge_a_;
+  std::vector<float> edge_w_;
+  nn::Embedding region_embedding_;
+  nn::Embedding type_embedding_;
+  nn::Linear conv_s_;
+  nn::Linear conv_a_;
+  nn::Mlp decoder_;
+};
+
+// GraphRec (Fan et al., WWW'19) adapted per the paper: the S-U bipartite
+// subgraph of the region-type heterogeneous graph replaces the social
+// graph; store-region embeddings aggregate customer-region opinions with a
+// single-head attention, and an MLP decodes (store-region, type) pairs.
+class GraphRec : public GradientBaseline {
+ public:
+  explicit GraphRec(const BaselineConfig& config) : GradientBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("GraphRec/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void Prepare(const sim::Dataset& data,
+               const std::vector<sim::Order>& visible_orders,
+               const core::InteractionList& train) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+  bool KnownRegion(int region) const override {
+    return graph_ != nullptr && graph_->StoreNodeOfRegion(region) >= 0;
+  }
+
+ private:
+  std::unique_ptr<graphs::HeteroMultiGraph> graph_;
+  std::unique_ptr<PairFeatureBuilder> features_;  // Adaption only
+  // Union (deduplicated) of S-U edges over all periods.
+  std::vector<int> su_src_u_, su_dst_s_;
+  // U-A edges union, for customer-side aggregation.
+  std::vector<int> ua_src_a_, ua_dst_u_;
+  nn::Embedding store_embedding_;
+  nn::Embedding customer_embedding_;
+  nn::Embedding type_embedding_;
+  nn::Linear customer_agg_;
+  nn::Linear attention_;
+  nn::Linear store_agg_;
+  nn::Mlp decoder_;
+};
+
+}  // namespace o2sr::baselines
+
+#endif  // O2SR_BASELINES_GRAPH_BASELINES_H_

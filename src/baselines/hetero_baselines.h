@@ -1,0 +1,114 @@
+#ifndef O2SR_BASELINES_HETERO_BASELINES_H_
+#define O2SR_BASELINES_HETERO_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "graphs/hetero_graph.h"
+
+namespace o2sr::baselines {
+
+// Shared machinery of the heterogeneous-graph baselines: both operate on
+// the union (over periods) of the region-type heterogeneous multi-graph's
+// edges — they model relations but, unlike O2-SiteRec, neither edge
+// attributes nor the multi-graph's time dimension.
+class HeteroGraphBaseline : public GradientBaseline {
+ public:
+  explicit HeteroGraphBaseline(const BaselineConfig& config)
+      : GradientBaseline(config) {}
+
+ protected:
+  void Prepare(const sim::Dataset& data,
+               const std::vector<sim::Order>& visible_orders,
+               const core::InteractionList& train) final;
+  bool KnownRegion(int region) const final {
+    return graph_ != nullptr && graph_->StoreNodeOfRegion(region) >= 0;
+  }
+
+  // Subclass-specific parameter creation, called at the end of Prepare().
+  virtual void CreateParameters(const sim::Dataset& data) = 0;
+
+  // Node-embedding inputs, optionally fused with region features in the
+  // Adaption setting.
+  nn::Value StoreInput(nn::Tape& tape) const;
+  nn::Value CustomerInput(nn::Tape& tape) const;
+
+  std::unique_ptr<graphs::HeteroMultiGraph> graph_;
+  std::unique_ptr<PairFeatureBuilder> features_;  // Adaption only
+  // Union edge index lists (deduplicated over periods).
+  std::vector<int> su_u_, su_s_;  // U -> S
+  std::vector<int> ua_a_, ua_u_;  // A -> U
+  std::vector<int> sa_a_, sa_s_;  // A -> S
+  nn::Embedding store_embedding_;
+  nn::Embedding customer_embedding_;
+  nn::Embedding type_embedding_;
+  nn::Linear store_fuse_;     // Adaption: [d + fdim -> d]
+  nn::Linear customer_fuse_;  // Adaption: [d + fdim -> d]
+  nn::Mlp decoder_;
+};
+
+// RGCN (Schlichtkrull et al., ESWC'18): relation-specific mean-aggregation
+// message passing, two layers, no attention.
+class Rgcn : public HeteroGraphBaseline {
+ public:
+  explicit Rgcn(const BaselineConfig& config) : HeteroGraphBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("RGCN/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void CreateParameters(const sim::Dataset& data) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+
+ private:
+  struct Layer {
+    nn::Linear w_su, w_sa, w_ua, w_as;  // per-relation transforms
+    nn::Linear self_s, self_u, self_a;
+  };
+  std::vector<Layer> layers_;
+};
+
+// HGT (Hu et al., WWW'20), simplified: per-relation multi-head scaled
+// dot-product attention with node-type-specific projections, two layers.
+// The strongest baseline in the paper; it lacks only O2-SiteRec's edge
+// attributes and time-semantics aggregation.
+class Hgt : public HeteroGraphBaseline {
+ public:
+  explicit Hgt(const BaselineConfig& config) : HeteroGraphBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("HGT/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void CreateParameters(const sim::Dataset& data) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+
+ private:
+  struct Relation {
+    std::vector<nn::Linear> w_key;      // per head, on source
+    std::vector<nn::Linear> w_query;    // per head, on destination
+    std::vector<nn::Linear> w_value;    // per head, on source
+    nn::Parameter* w_edge = nullptr;    // relation-specific [dk x dk]
+  };
+  struct Layer {
+    Relation su, sa, ua, as;
+    nn::Linear out_s, out_u, out_a;
+  };
+  Relation MakeRelation(const std::string& name, Rng& rng);
+  nn::Value Attend(nn::Tape& tape, const Relation& rel, nn::Value src_emb,
+                   nn::Value dst_emb, const std::vector<int>& src_idx,
+                   const std::vector<int>& dst_idx, int num_dst) const;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace o2sr::baselines
+
+#endif  // O2SR_BASELINES_HETERO_BASELINES_H_

@@ -1,0 +1,97 @@
+#include "baselines/mf_baselines.h"
+
+namespace o2sr::baselines {
+
+namespace {
+
+// Maps pair regions/types to node index vectors (unknown regions -> 0; the
+// caller masks their predictions).
+void PairIndices(const RegionIndex& index, const core::InteractionList& pairs,
+                 std::vector<int>* s_idx, std::vector<int>* a_idx) {
+  s_idx->reserve(pairs.size());
+  a_idx->reserve(pairs.size());
+  for (const core::Interaction& it : pairs) {
+    const int node = index.NodeOf(it.region);
+    s_idx->push_back(node < 0 ? 0 : node);
+    a_idx->push_back(it.type);
+  }
+}
+
+}  // namespace
+
+void CityTransfer::Prepare(const sim::Dataset& data,
+                           const std::vector<sim::Order>& visible_orders,
+                           const core::InteractionList& /*train*/) {
+  index_ = std::make_unique<RegionIndex>(data);
+  const features::OrderStats stats(data, visible_orders);
+  features_ = std::make_unique<PairFeatureBuilder>(data, stats,
+                                                   config_.setting);
+  const int d = config_.embedding_dim;
+  region_embedding_ = nn::Embedding(&store_, "ct.u", index_->num_nodes(), d,
+                                    rng_);
+  type_embedding_ = nn::Embedding(&store_, "ct.v", data.num_types(), d, rng_);
+  feature_weights_ = nn::Linear(&store_, "ct.w", features_->dim(), 1, rng_);
+  bias_ = store_.CreateZeros("ct.b", 1, 1);
+}
+
+nn::Value CityTransfer::BuildPredictions(nn::Tape& tape,
+                                         const core::InteractionList& pairs,
+                                         Rng& dropout_rng) {
+  std::vector<int> s_idx, a_idx;
+  PairIndices(*index_, pairs, &s_idx, &a_idx);
+  nn::Value u = tape.Dropout(region_embedding_.Lookup(tape, s_idx),
+                             config_.dropout, dropout_rng);
+  nn::Value v = tape.Dropout(type_embedding_.Lookup(tape, a_idx),
+                             config_.dropout, dropout_rng);
+  nn::Value dot = tape.RowwiseDot(u, v);
+  nn::Value feat = feature_weights_.Apply(tape, tape.Input(
+      features_->Build(pairs)));
+  nn::Value logits = tape.AddRowBroadcast(tape.Add(dot, feat),
+                                          tape.Param(bias_));
+  return tape.Sigmoid(logits);
+}
+
+void BlgCoSvd::Prepare(const sim::Dataset& data,
+                       const std::vector<sim::Order>& visible_orders,
+                       const core::InteractionList& /*train*/) {
+  index_ = std::make_unique<RegionIndex>(data);
+  if (config_.setting == FeatureSetting::kAdaption) {
+    const features::OrderStats stats(data, visible_orders);
+    features_ = std::make_unique<PairFeatureBuilder>(data, stats,
+                                                     config_.setting);
+  }
+  const int d = config_.embedding_dim;
+  region_embedding_ = nn::Embedding(&store_, "cosvd.u", index_->num_nodes(),
+                                    d, rng_);
+  type_embedding_ = nn::Embedding(&store_, "cosvd.v", data.num_types(), d,
+                                  rng_);
+  region_bias_ = nn::Embedding(&store_, "cosvd.bs", index_->num_nodes(), 1,
+                               rng_);
+  type_bias_ = nn::Embedding(&store_, "cosvd.ba", data.num_types(), 1, rng_);
+  if (features_ != nullptr) {
+    feature_weights_ = nn::Linear(&store_, "cosvd.w", features_->dim(), 1,
+                                  rng_);
+  }
+  mu_ = store_.CreateZeros("cosvd.mu", 1, 1);
+}
+
+nn::Value BlgCoSvd::BuildPredictions(nn::Tape& tape,
+                                     const core::InteractionList& pairs,
+                                     Rng& dropout_rng) {
+  std::vector<int> s_idx, a_idx;
+  PairIndices(*index_, pairs, &s_idx, &a_idx);
+  nn::Value u = tape.Dropout(region_embedding_.Lookup(tape, s_idx),
+                             config_.dropout, dropout_rng);
+  nn::Value v = tape.Dropout(type_embedding_.Lookup(tape, a_idx),
+                             config_.dropout, dropout_rng);
+  nn::Value logits = tape.Add(tape.RowwiseDot(u, v),
+                              tape.Add(region_bias_.Lookup(tape, s_idx),
+                                       type_bias_.Lookup(tape, a_idx)));
+  if (features_ != nullptr) {
+    logits = tape.Add(logits, feature_weights_.Apply(
+                                  tape, tape.Input(features_->Build(pairs))));
+  }
+  return tape.Sigmoid(tape.AddRowBroadcast(logits, tape.Param(mu_)));
+}
+
+}  // namespace o2sr::baselines

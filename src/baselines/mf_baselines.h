@@ -1,0 +1,80 @@
+#ifndef O2SR_BASELINES_MF_BASELINES_H_
+#define O2SR_BASELINES_MF_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/baseline_common.h"
+
+namespace o2sr::baselines {
+
+// CityTransfer (Guo et al., IMWUT'18), single-city setting: matrix
+// factorization over (store-region, type) interactions augmented with a
+// linear feature term, pred = sigmoid(u_s . v_a + w^T f_sa + b). The
+// inter-city knowledge association module is discarded (paper §IV-A5).
+class CityTransfer : public GradientBaseline {
+ public:
+  explicit CityTransfer(const BaselineConfig& config)
+      : GradientBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("CityTransfer/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void Prepare(const sim::Dataset& data,
+               const std::vector<sim::Order>& visible_orders,
+               const core::InteractionList& train) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+  bool KnownRegion(int region) const override {
+    return index_->NodeOf(region) >= 0;
+  }
+
+ private:
+  std::unique_ptr<RegionIndex> index_;
+  std::unique_ptr<PairFeatureBuilder> features_;
+  nn::Embedding region_embedding_;
+  nn::Embedding type_embedding_;
+  nn::Linear feature_weights_;
+  nn::Parameter* bias_ = nullptr;
+};
+
+// BL-G-CoSVD (Yu et al., TKDD'16): biased co-SVD factorization,
+// pred = sigmoid(mu + b_s + b_a + u_s . v_a); the Adaption setting appends
+// the linear O2O feature term.
+class BlgCoSvd : public GradientBaseline {
+ public:
+  explicit BlgCoSvd(const BaselineConfig& config)
+      : GradientBaseline(config) {}
+
+  std::string Name() const override {
+    return std::string("BL-G-CoSVD/") + FeatureSettingName(config_.setting);
+  }
+
+ protected:
+  void Prepare(const sim::Dataset& data,
+               const std::vector<sim::Order>& visible_orders,
+               const core::InteractionList& train) override;
+  nn::Value BuildPredictions(nn::Tape& tape,
+                             const core::InteractionList& pairs,
+                             Rng& dropout_rng) override;
+  bool KnownRegion(int region) const override {
+    return index_->NodeOf(region) >= 0;
+  }
+
+ private:
+  std::unique_ptr<RegionIndex> index_;
+  std::unique_ptr<PairFeatureBuilder> features_;  // only in Adaption
+  nn::Embedding region_embedding_;
+  nn::Embedding type_embedding_;
+  nn::Embedding region_bias_;
+  nn::Embedding type_bias_;
+  nn::Linear feature_weights_;
+  nn::Parameter* mu_ = nullptr;
+};
+
+}  // namespace o2sr::baselines
+
+#endif  // O2SR_BASELINES_MF_BASELINES_H_

@@ -1,0 +1,40 @@
+#ifndef O2SR_COMMON_CHECK_H_
+#define O2SR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// CHECK-style invariant macros. The project does not use exceptions
+// (Google style); a failed check indicates a programmer error and aborts
+// after printing the failing condition and location.
+//
+// Usage:
+//   O2SR_CHECK(index < size) << optional extra info is not supported;
+//   O2SR_CHECK_EQ(a, b);
+
+namespace o2sr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "O2SR_CHECK failed: %s at %s:%d\n", condition, file,
+               line);
+  std::abort();
+}
+
+}  // namespace o2sr::internal
+
+#define O2SR_CHECK(condition)                                           \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::o2sr::internal::CheckFailed(#condition, __FILE__, __LINE__);    \
+    }                                                                   \
+  } while (false)
+
+#define O2SR_CHECK_EQ(a, b) O2SR_CHECK((a) == (b))
+#define O2SR_CHECK_NE(a, b) O2SR_CHECK((a) != (b))
+#define O2SR_CHECK_LT(a, b) O2SR_CHECK((a) < (b))
+#define O2SR_CHECK_LE(a, b) O2SR_CHECK((a) <= (b))
+#define O2SR_CHECK_GT(a, b) O2SR_CHECK((a) > (b))
+#define O2SR_CHECK_GE(a, b) O2SR_CHECK((a) >= (b))
+
+#endif  // O2SR_COMMON_CHECK_H_

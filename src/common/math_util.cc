@@ -1,0 +1,188 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace o2sr {
+
+double Entropy(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) {
+    O2SR_CHECK_GE(c, 0.0);
+    total += c;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(n - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  O2SR_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Numerical Recipes' betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  O2SR_CHECK_GT(a, 0.0);
+  O2SR_CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) +
+                                b * std::log(1.0 - x));
+  // Use the continued fraction directly or via the symmetry relation,
+  // whichever converges faster.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double nu) {
+  O2SR_CHECK_GT(nu, 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = nu / (nu + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(nu / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  O2SR_CHECK_GE(a.size(), 2u);
+  O2SR_CHECK_GE(b.size(), 2u);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = SampleVariance(a);
+  const double vb = SampleVariance(b);
+  const double se2 = va / na + vb / nb;
+  TTestResult result;
+  if (se2 <= 0.0) {
+    // Identical constant samples: no evidence of a difference.
+    result.t_statistic = 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = Mean(a) == Mean(b) ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = (Mean(a) - Mean(b)) / std::sqrt(se2);
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  result.degrees_of_freedom = den > 0.0 ? num / den : na + nb - 2.0;
+  const double cdf = StudentTCdf(std::fabs(result.t_statistic),
+                                 result.degrees_of_freedom);
+  result.p_value = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+void MinMaxNormalize(std::vector<double>& values) {
+  if (values.empty()) return;
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  const double range = mx - mn;
+  for (double& v : values) v = range > 0.0 ? (v - mn) / range : 0.0;
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  std::vector<double> out(logits.size());
+  if (logits.empty()) return out;
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - mx);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::vector<int> ArgsortDescending(const std::vector<double>& values) {
+  std::vector<int> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int i, int j) { return values[i] > values[j]; });
+  return idx;
+}
+
+}  // namespace o2sr

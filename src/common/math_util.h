@@ -1,0 +1,61 @@
+#ifndef O2SR_COMMON_MATH_UTIL_H_
+#define O2SR_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace o2sr {
+
+// Shannon entropy (natural log) of a discrete distribution given by
+// non-negative counts. Zero counts are skipped; an all-zero or empty input
+// yields 0. Used for POI diversity and store diversity (paper §III-C).
+double Entropy(const std::vector<double>& counts);
+
+// Pearson correlation coefficient of two equally-sized samples.
+// Returns 0 when either side has zero variance or fewer than 2 points.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Sample mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+// Unbiased sample variance; 0 for fewer than 2 points.
+double SampleVariance(const std::vector<double>& values);
+
+// Result of a two-sample Welch t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // two-sided
+};
+
+// Welch's two-sample t-test (unequal variances). Used for the significance
+// stars in Table III/IV. Requires each sample to have >= 2 points.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+// CDF of Student's t distribution with `nu` degrees of freedom, used by
+// WelchTTest. Exposed for testing.
+double StudentTCdf(double t, double nu);
+
+// Regularized incomplete beta function I_x(a, b) via continued fractions.
+// Exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// Min-max normalizes `values` in place to [0, 1]; constant input maps to 0.
+void MinMaxNormalize(std::vector<double>& values);
+
+// Numerically stable softmax of `logits`.
+std::vector<double> Softmax(const std::vector<double>& logits);
+
+// Haversine-free planar helpers --------------------------------------------
+
+// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+// Indices that would sort `values` in decreasing order (stable).
+std::vector<int> ArgsortDescending(const std::vector<double>& values);
+
+}  // namespace o2sr
+
+#endif  // O2SR_COMMON_MATH_UTIL_H_

@@ -1,0 +1,82 @@
+#ifndef O2SR_COMMON_RNG_H_
+#define O2SR_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace o2sr {
+
+// Deterministic random number generator used throughout the project.
+// Every component that needs randomness takes an Rng (or a seed) so that
+// datasets, model initialization and experiments are fully reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi) {
+    O2SR_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Gaussian sample.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Poisson sample; `mean` must be non-negative.
+  int Poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    std::poisson_distribution<int> dist(mean);
+    return dist(engine_);
+  }
+
+  // Exponential sample with the given rate (lambda).
+  double Exponential(double rate) {
+    O2SR_CHECK_GT(rate, 0.0);
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // All weights must be non-negative, with a positive sum.
+  int Categorical(const std::vector<double>& weights) {
+    O2SR_CHECK(!weights.empty());
+    std::discrete_distribution<int> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  // Derives an independent child generator; calls on the child do not
+  // perturb this generator's sequence.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace o2sr
+
+#endif  // O2SR_COMMON_RNG_H_

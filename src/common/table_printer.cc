@@ -1,0 +1,49 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace o2sr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  O2SR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  O2SR_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    std::fprintf(out, "%s%s", c == 0 ? "|-" : "-|-",
+                 std::string(widths[c], '-').c_str());
+  }
+  std::fprintf(out, "-|\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace o2sr

@@ -1,0 +1,35 @@
+#ifndef O2SR_COMMON_TABLE_PRINTER_H_
+#define O2SR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace o2sr {
+
+// Prints aligned ASCII tables: used by the benchmark harnesses to emit the
+// same rows/series the paper's tables and figures report.
+//
+// Example:
+//   TablePrinter t({"Model", "NDCG@3", "Precision@3"});
+//   t.AddRow({"HGT", "0.6331", "0.8276"});
+//   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) to `out`.
+  void Print(std::FILE* out) const;
+
+  // Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace o2sr
+
+#endif  // O2SR_COMMON_TABLE_PRINTER_H_

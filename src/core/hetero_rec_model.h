@@ -1,0 +1,126 @@
+#ifndef O2SR_CORE_HETERO_REC_MODEL_H_
+#define O2SR_CORE_HETERO_REC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "graphs/hetero_graph.h"
+#include "nn/layers.h"
+#include "nn/tape.h"
+
+namespace o2sr::core {
+
+// Configuration of the heterogeneous multi-graph recommendation model
+// (paper §III-E).
+struct HeteroRecConfig {
+  // d2: node embedding size (paper: 90). Must be divisible by node_heads.
+  int embedding_dim = 48;
+  // l: number of node-level aggregation layers (paper: 2).
+  int layers = 2;
+  // Attention heads of the node-level Aggre (paper: 5).
+  int node_heads = 4;
+  // Attention heads of the time semantics-level aggregation (paper: 2).
+  // 2 * embedding_dim must be divisible by time_heads.
+  int time_heads = 2;
+  double dropout = 0.1;
+  // Ablations: false -> mean aggregation (w/o NA) / mean over periods
+  // (w/o SA).
+  bool node_attention = true;
+  bool time_attention = true;
+};
+
+// The heterogeneous multi-graph based recommendation model: node attribute
+// fusion, S-U edge attribute fusion with the courier capacity embedding,
+// node-level multi-head attention aggregation over the S-U/S-A/U-A edges
+// (Eq. 7-12), time semantics-level attention across the period subgraphs
+// (Eq. 13-15) and an order-count prediction head (Eq. 16).
+class HeteroRecModel {
+ public:
+  // `capacity_edge_dim` is the width of the courier-capacity edge embedding
+  // appended to the S-U edge attributes (0 disables fusion, the w/o Co
+  // variant).
+  HeteroRecModel(const graphs::HeteroMultiGraph* graph,
+                 const HeteroRecConfig& config, int capacity_edge_dim,
+                 nn::ParameterStore* store, Rng& rng);
+
+  // Node embeddings of one period's subgraph after `layers` rounds of
+  // node-level aggregation.
+  struct PeriodEmbeddings {
+    nn::Value h;  // store-region embeddings [S, d2]
+    nn::Value q;  // store-type embeddings   [A, d2]
+  };
+
+  // Runs node fusion + node-level aggregation on the period's subgraph.
+  // `su_capacity_emb` carries em^c rows aligned with the period's S-U edges
+  // (pass an invalid Value when capacity_edge_dim == 0).
+  PeriodEmbeddings ForwardPeriod(nn::Tape& tape, int period,
+                                 nn::Value su_capacity_emb,
+                                 Rng& dropout_rng) const;
+
+  // Time semantics-level aggregation + prediction: for each (store-region
+  // node, type) pair returns the predicted normalized order count [P, 1].
+  // `periods` must hold one entry per period, in order.
+  nn::Value PredictPairs(nn::Tape& tape,
+                         const std::vector<PeriodEmbeddings>& periods,
+                         const std::vector<int>& pair_store_nodes,
+                         const std::vector<int>& pair_types) const;
+
+  const HeteroRecConfig& config() const { return config_; }
+  const graphs::HeteroMultiGraph& graph() const { return *graph_; }
+
+ private:
+  // One relation's multi-head attention aggregation (the Aggre of
+  // Eq. 10-12): messages flow src -> dst.
+  struct RelationAttention {
+    nn::Linear fuse;                  // W: [src_dim + attr_dim -> d2]
+    std::vector<nn::Linear> w_key;    // per head: [d2 -> dk]
+    std::vector<nn::Linear> w_query;  // per head: [d2 -> dk]
+    nn::Parameter* w_edge = nullptr;  // W_e: [dk x dk], shared by edge type
+  };
+
+  RelationAttention MakeRelation(const std::string& name, int attr_dim,
+                                 nn::ParameterStore* store, Rng& rng);
+
+  // Computes Aggre for one relation. `src_idx`/`dst_idx` are per-edge node
+  // indices; `attrs` is [E, attr_dim] (invalid Value when attr_dim == 0);
+  // result is [num_dst, d2]. Falls back to segment-mean when
+  // node_attention is false.
+  nn::Value Aggregate(nn::Tape& tape, const RelationAttention& rel,
+                      nn::Value src_emb, nn::Value dst_emb,
+                      const std::vector<int>& src_idx,
+                      const std::vector<int>& dst_idx, nn::Value attrs,
+                      int num_dst) const;
+
+  HeteroRecConfig config_;
+  const graphs::HeteroMultiGraph* graph_;  // not owned
+  int capacity_edge_dim_;
+  int su_attr_dim_;
+
+  // Initial (latent) node embeddings h', z', q'.
+  nn::Embedding store_embedding_;
+  nn::Embedding customer_embedding_;
+  nn::Embedding type_embedding_;
+  // Node attribute fusion W_S, W_U.
+  nn::Linear store_fuse_;
+  nn::Linear customer_fuse_;
+  // Per-layer relation attentions and combine weights.
+  struct Layer {
+    RelationAttention su;  // U -> S
+    RelationAttention sa;  // A -> S
+    RelationAttention ua;  // A -> U
+    RelationAttention as;  // S -> A
+    nn::Linear w_s;        // W_S^l
+    nn::Linear w_u;        // W_U^l
+    nn::Linear w_a;        // W_A^l
+  };
+  std::vector<Layer> layers_;
+  // Time semantics-level attention.
+  std::vector<nn::Linear> time_key_;
+  std::vector<nn::Linear> time_query_;
+  // Prediction head W_2.
+  nn::Linear predict_;
+};
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_HETERO_REC_MODEL_H_

@@ -1,0 +1,23 @@
+#ifndef O2SR_CORE_INTERACTION_H_
+#define O2SR_CORE_INTERACTION_H_
+
+#include <vector>
+
+namespace o2sr::core {
+
+// One historical interaction between a store-region and a store-type: the
+// unit of the 80/20 train/test split (paper §IV-A2). `target` is the order
+// count normalized to [0, 1] within the type; `orders` keeps the raw count
+// for ranking ground truth.
+struct Interaction {
+  int region = 0;
+  int type = 0;
+  double orders = 0.0;
+  double target = 0.0;
+};
+
+using InteractionList = std::vector<Interaction>;
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_INTERACTION_H_

@@ -1,0 +1,113 @@
+#ifndef O2SR_CORE_O2SITEREC_H_
+#define O2SR_CORE_O2SITEREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/courier_capacity_model.h"
+#include "core/hetero_rec_model.h"
+#include "core/interaction.h"
+#include "graphs/geo_graph.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
+#include "nn/parameter.h"
+#include "sim/dataset.h"
+
+namespace o2sr::core {
+
+// Model variants used by the paper's ablation study (§IV-A5).
+enum class O2SiteRecVariant {
+  kFull = 0,
+  // w/o Co: no courier capacity model; S-U edges built with a fixed scope.
+  kNoCapacity,
+  // w/o CoCu: additionally drops the S-U and U-A edges entirely.
+  kNoCapacityNoCustomer,
+  // w/o NA: mean aggregation instead of the node-level attention.
+  kMeanNodeAggregation,
+  // w/o SA: mean over periods instead of the time semantics attention.
+  kMeanTimeAggregation,
+};
+
+const char* VariantName(O2SiteRecVariant variant);
+
+// End-to-end configuration (paper §IV-A3 lists the original values; the
+// defaults here are sized for CPU training; benches override per table).
+struct O2SiteRecConfig {
+  CourierCapacityConfig capacity;
+  HeteroRecConfig rec;
+  // Trade-off beta of Loss = O2 + beta * O1 (paper: 0.2).
+  double beta = 0.2;
+  // Adam learning rate (paper: 1e-4 on GPU for many epochs; the default
+  // here trades a larger step for far fewer epochs).
+  double learning_rate = 3e-3;
+  int epochs = 60;
+  // Courier mobility edges observed fewer times are dropped as noise.
+  int mobility_min_transactions = 1;
+  // S-U edge construction options (order-ratio threshold etc.); the
+  // capacity flags are overridden by `variant`.
+  graphs::HeteroGraphOptions graph_options;
+  O2SiteRecVariant variant = O2SiteRecVariant::kFull;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+// The O2-SiteRec framework (paper Eq. 1): builds the three graphs from a
+// dataset, trains the courier capacity model and the heterogeneous
+// multi-graph recommendation model jointly (Loss = O2 + beta * O1, Eq. 17),
+// and predicts normalized order counts for (region, type) pairs.
+//
+// `visible_orders` are the orders the model may learn from (the training
+// portion); statistics of held-out (region, type) interactions must not
+// leak into graph attributes.
+class O2SiteRec {
+ public:
+  O2SiteRec(const sim::Dataset& data,
+            const std::vector<sim::Order>& visible_orders,
+            const O2SiteRecConfig& config);
+
+  // Full-batch joint training on the given interactions.
+  void Train(const InteractionList& train);
+
+  // Predicted normalized order count per pair; regions without a store
+  // node yield 0.
+  std::vector<double> Predict(const InteractionList& pairs) const;
+
+  // Courier-capacity inference: predicted delivery minutes between regions
+  // (only valid for variants that keep the capacity model).
+  double PredictDeliveryMinutes(int period, int src_region,
+                                int dst_region) const;
+
+  bool has_capacity_model() const { return capacity_model_ != nullptr; }
+  const graphs::HeteroMultiGraph& hetero_graph() const { return *hetero_; }
+  const O2SiteRecConfig& config() const { return config_; }
+  size_t NumParameters() const { return store_.NumScalars(); }
+  // Training loss of the last epoch (for convergence checks).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  // Builds per-period S-U capacity edge embeddings and period embeddings
+  // on the tape; shared by Train and Predict.
+  std::vector<HeteroRecModel::PeriodEmbeddings> ForwardAllPeriods(
+      nn::Tape& tape, Rng& dropout_rng,
+      std::vector<nn::Value>* capacity_region_embs) const;
+
+  O2SiteRecConfig config_;
+  Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<graphs::GeoGraph> geo_;
+  std::unique_ptr<graphs::MobilityMultiGraph> mobility_;
+  std::unique_ptr<features::OrderStats> stats_;
+  std::unique_ptr<graphs::HeteroMultiGraph> hetero_;
+  std::unique_ptr<CourierCapacityModel> capacity_model_;
+  std::unique_ptr<HeteroRecModel> rec_model_;
+  // Per-period S-U edge region pairs (src = store region, dst = customer
+  // region) for capacity edge embedding lookup.
+  std::vector<std::vector<int>> su_src_regions_;
+  std::vector<std::vector<int>> su_dst_regions_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_O2SITEREC_H_

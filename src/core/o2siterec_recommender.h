@@ -1,0 +1,41 @@
+#ifndef O2SR_CORE_O2SITEREC_RECOMMENDER_H_
+#define O2SR_CORE_O2SITEREC_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/o2siterec.h"
+#include "core/recommender.h"
+
+namespace o2sr::core {
+
+// SiteRecommender adapter around O2SiteRec (any variant).
+class O2SiteRecRecommender : public SiteRecommender {
+ public:
+  explicit O2SiteRecRecommender(const O2SiteRecConfig& config)
+      : config_(config) {}
+
+  std::string Name() const override { return VariantName(config_.variant); }
+
+  void Train(const sim::Dataset& data,
+             const std::vector<sim::Order>& visible_orders,
+             const InteractionList& train) override {
+    model_ = std::make_unique<O2SiteRec>(data, visible_orders, config_);
+    model_->Train(train);
+  }
+
+  std::vector<double> Predict(const InteractionList& pairs) override {
+    return model_->Predict(pairs);
+  }
+
+  const O2SiteRec* model() const { return model_.get(); }
+
+ private:
+  O2SiteRecConfig config_;
+  std::unique_ptr<O2SiteRec> model_;
+};
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_O2SITEREC_RECOMMENDER_H_

@@ -1,0 +1,35 @@
+#ifndef O2SR_CORE_RECOMMENDER_H_
+#define O2SR_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interaction.h"
+#include "sim/dataset.h"
+
+namespace o2sr::core {
+
+// Common interface of every store-site recommendation method in the
+// repository: O2-SiteRec, its ablation variants, and the six baselines.
+//
+// `visible_orders` is the portion of the order log a model may learn from
+// (graph/feature construction); held-out (region, type) order counts are
+// the prediction target and must not leak in.
+class SiteRecommender {
+ public:
+  virtual ~SiteRecommender() = default;
+
+  virtual std::string Name() const = 0;
+
+  virtual void Train(const sim::Dataset& data,
+                     const std::vector<sim::Order>& visible_orders,
+                     const InteractionList& train) = 0;
+
+  // Predicted normalized order count per (region, type) pair, aligned with
+  // `pairs`.
+  virtual std::vector<double> Predict(const InteractionList& pairs) = 0;
+};
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_RECOMMENDER_H_

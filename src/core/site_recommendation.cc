@@ -1,0 +1,94 @@
+#include "core/site_recommendation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace o2sr::core {
+
+SiteRecommendationService::SiteRecommendationService(const sim::Dataset& data,
+                                                     const O2SiteRec& model)
+    : data_(data),
+      model_(model),
+      stats_(data),
+      commercial_(data),
+      type_in_region_(data.num_regions(),
+                      std::vector<bool>(data.num_types(), false)),
+      has_store_(data.num_regions(), false) {
+  for (const sim::Store& s : data.stores) {
+    type_in_region_[s.region][s.type] = true;
+    has_store_[s.region] = true;
+  }
+}
+
+std::vector<SiteSuggestion> SiteRecommendationService::Recommend(
+    const SiteQuery& query) const {
+  O2SR_CHECK(query.type >= 0 && query.type < data_.num_types());
+  O2SR_CHECK_GT(query.top_k, 0);
+
+  InteractionList candidates;
+  for (int r = 0; r < data_.num_regions(); ++r) {
+    if (!has_store_[r]) continue;  // the model has no node for the region
+    if (query.exclude_existing && type_in_region_[r][query.type]) continue;
+    if (data_.city.grid.CenterDistanceNorm(r) >
+        query.max_center_distance_norm) {
+      continue;
+    }
+    candidates.push_back({r, query.type, 0.0, 0.0});
+  }
+  const std::vector<double> scores = model_.Predict(candidates);
+
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+
+  const int noon = static_cast<int>(sim::Period::kNoonRush);
+  const double days = std::max(1, data_.config.num_days);
+  std::vector<SiteSuggestion> out;
+  for (int i = 0; i < query.top_k && i < static_cast<int>(order.size());
+       ++i) {
+    const int idx = order[i];
+    SiteSuggestion s;
+    s.region = candidates[idx].region;
+    s.score = scores[idx];
+    std::vector<int> hood = data_.city.grid.RegionsWithin(s.region, 2000.0);
+    hood.push_back(s.region);
+    for (int n : hood) {
+      for (int p = 0; p < sim::kNumPeriods; ++p) {
+        s.nearby_demand_per_day += stats_.CustomerOrders(p, n, query.type);
+      }
+    }
+    s.nearby_demand_per_day /= days;
+    s.noon_delivery_minutes = stats_.MeanDeliveryMinutes(noon, s.region);
+    s.competitiveness = commercial_.Competitiveness(s.region, query.type);
+    s.complementarity = commercial_.Complementarity(s.region, query.type);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string SiteRecommendationService::FormatReport(
+    const SiteQuery& query,
+    const std::vector<SiteSuggestion>& suggestions) const {
+  std::string out = "Site report for type '" +
+                    data_.type_catalog[query.type].name + "':\n";
+  char buf[256];
+  int rank = 1;
+  for (const SiteSuggestion& s : suggestions) {
+    std::snprintf(buf, sizeof(buf),
+                  "  #%d region %d  score %.3f  nearby demand %.1f/day  "
+                  "noon delivery %.1f min  competition %.3f  "
+                  "complementarity %.3f\n",
+                  rank++, s.region, s.score, s.nearby_demand_per_day,
+                  s.noon_delivery_minutes, s.competitiveness,
+                  s.complementarity);
+    out += buf;
+  }
+  if (suggestions.empty()) out += "  (no eligible candidate regions)\n";
+  return out;
+}
+
+}  // namespace o2sr::core

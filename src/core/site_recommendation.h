@@ -1,0 +1,67 @@
+#ifndef O2SR_CORE_SITE_RECOMMENDATION_H_
+#define O2SR_CORE_SITE_RECOMMENDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/o2siterec.h"
+#include "features/order_stats.h"
+#include "features/region_features.h"
+#include "sim/dataset.h"
+
+namespace o2sr::core {
+
+// A query against the recommendation service: which store type, how many
+// suggestions, and whether regions that already host the type qualify.
+struct SiteQuery {
+  int type = 0;
+  int top_k = 5;
+  // Skip regions where a store of this type already operates (the common
+  // expansion scenario).
+  bool exclude_existing = true;
+  // Restrict candidates to regions whose normalized distance from the city
+  // center is at most this (1.0 = whole city).
+  double max_center_distance_norm = 1.0;
+};
+
+// One ranked suggestion with the context a site planner needs to judge it.
+struct SiteSuggestion {
+  int region = 0;
+  double score = 0.0;  // model's normalized order-count prediction
+  // Explanations:
+  double nearby_demand_per_day = 0.0;   // orders of the type within 2 km
+  double noon_delivery_minutes = 0.0;   // capacity proxy at the noon rush
+  double competitiveness = 0.0;         // same-type competition share
+  double complementarity = 0.0;         // benefit from complementary types
+};
+
+// High-level facade over a trained O2SiteRec model: ranks candidate regions
+// for a store type and attaches the interpretable context (demand, courier
+// capacity, competition) that the paper's features quantify.
+//
+// The referenced dataset/model must outlive the service.
+class SiteRecommendationService {
+ public:
+  SiteRecommendationService(const sim::Dataset& data, const O2SiteRec& model);
+
+  // Ranked suggestions for the query; fewer than top_k when candidates run
+  // out.
+  std::vector<SiteSuggestion> Recommend(const SiteQuery& query) const;
+
+  // Renders suggestions as a human-readable report (used by the examples).
+  std::string FormatReport(const SiteQuery& query,
+                           const std::vector<SiteSuggestion>& suggestions)
+      const;
+
+ private:
+  const sim::Dataset& data_;
+  const O2SiteRec& model_;
+  features::OrderStats stats_;
+  features::CommercialFeatures commercial_;
+  std::vector<std::vector<bool>> type_in_region_;  // [region][type]
+  std::vector<bool> has_store_;
+};
+
+}  // namespace o2sr::core
+
+#endif  // O2SR_CORE_SITE_RECOMMENDATION_H_

@@ -1,0 +1,151 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "features/order_stats.h"
+
+namespace o2sr::eval {
+
+core::InteractionList BuildInteractions(const sim::Dataset& data) {
+  const features::OrderStats stats(data);
+  core::InteractionList out;
+  std::vector<double> max_per_type(data.num_types(), 0.0);
+  for (int s = 0; s < stats.num_regions(); ++s) {
+    for (int a = 0; a < stats.num_types(); ++a) {
+      max_per_type[a] =
+          std::max(max_per_type[a], stats.OrdersOfTypeInRegion(s, a));
+    }
+  }
+  for (int s = 0; s < stats.num_regions(); ++s) {
+    for (int a = 0; a < stats.num_types(); ++a) {
+      const double orders = stats.OrdersOfTypeInRegion(s, a);
+      if (orders <= 0.0) continue;
+      core::Interaction it;
+      it.region = s;
+      it.type = a;
+      it.orders = orders;
+      it.target = orders / max_per_type[a];
+      out.push_back(it);
+    }
+  }
+  return out;
+}
+
+Split SplitInteractions(const sim::Dataset& data,
+                        const core::InteractionList& interactions,
+                        double train_fraction, Rng& rng) {
+  O2SR_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<int> indices(interactions.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  rng.Shuffle(indices);
+  const size_t train_count =
+      static_cast<size_t>(interactions.size() * train_fraction);
+  Split split;
+  std::unordered_set<int64_t> train_keys;
+  const int64_t T = data.num_types();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const core::Interaction& it = interactions[indices[i]];
+    if (i < train_count) {
+      split.train.push_back(it);
+      train_keys.insert(static_cast<int64_t>(it.region) * T + it.type);
+    } else {
+      split.test.push_back(it);
+    }
+  }
+  // Orders of held-out (region, type) pairs are the prediction target:
+  // models only see the training portion of the log.
+  for (const sim::Order& o : data.orders) {
+    const int64_t key = static_cast<int64_t>(o.store_region) * T + o.type;
+    if (train_keys.count(key) > 0) split.train_orders.push_back(o);
+  }
+  return split;
+}
+
+namespace {
+
+EvalResult EvaluateFiltered(const core::InteractionList& test,
+                            const std::vector<double>& predictions,
+                            const std::vector<bool>& keep,
+                            const EvalOptions& options) {
+  O2SR_CHECK_EQ(test.size(), predictions.size());
+  O2SR_CHECK_EQ(test.size(), keep.size());
+  // Group predictions/truths per type.
+  std::map<int, std::vector<double>> preds_by_type;
+  std::map<int, std::vector<double>> truth_by_type;
+  std::vector<double> all_preds, all_targets;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (!keep[i]) continue;
+    preds_by_type[test[i].type].push_back(predictions[i]);
+    truth_by_type[test[i].type].push_back(test[i].orders);
+    all_preds.push_back(predictions[i]);
+    all_targets.push_back(test[i].target);
+  }
+  EvalResult result;
+  if (all_preds.empty()) return result;
+  result.rmse = Rmse(all_preds, all_targets);
+  for (const auto& [type, preds] : preds_by_type) {
+    const auto& truths = truth_by_type[type];
+    const int pool = static_cast<int>(preds.size());
+    if (pool < options.min_candidates) continue;
+    int top_n = options.top_n;
+    if (options.adaptive_top_n && pool < 2 * options.top_n) {
+      top_n = std::min(options.top_n, std::max(10, pool / 2));
+    }
+    for (int k : options.ndcg_ks) {
+      result.ndcg[k] += NdcgAtK(preds, truths, k, top_n);
+    }
+    for (int k : options.precision_ks) {
+      result.precision[k] += PrecisionAtK(preds, truths, k, top_n);
+    }
+    ++result.types_evaluated;
+  }
+  if (result.types_evaluated > 0) {
+    for (auto& [k, v] : result.ndcg) v /= result.types_evaluated;
+    for (auto& [k, v] : result.precision) v /= result.types_evaluated;
+  }
+  return result;
+}
+
+}  // namespace
+
+EvalResult Evaluate(const core::InteractionList& test,
+                    const std::vector<double>& predictions,
+                    const EvalOptions& options) {
+  return EvaluateFiltered(test, predictions,
+                          std::vector<bool>(test.size(), true), options);
+}
+
+EvalResult EvaluateType(const core::InteractionList& test,
+                        const std::vector<double>& predictions, int type,
+                        const EvalOptions& options) {
+  std::vector<bool> keep(test.size());
+  for (size_t i = 0; i < test.size(); ++i) keep[i] = test[i].type == type;
+  EvalOptions opts = options;
+  opts.min_candidates = 1;
+  return EvaluateFiltered(test, predictions, keep, opts);
+}
+
+EvalResult EvaluateRegions(const core::InteractionList& test,
+                           const std::vector<double>& predictions,
+                           const std::vector<bool>& keep_region,
+                           const EvalOptions& options) {
+  std::vector<bool> keep(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    keep[i] = keep_region[test[i].region];
+  }
+  EvalOptions opts = options;
+  opts.min_candidates = std::min(options.min_candidates, 15);
+  return EvaluateFiltered(test, predictions, keep, opts);
+}
+
+EvalResult RunOnce(core::SiteRecommender& model, const sim::Dataset& data,
+                   const Split& split, const EvalOptions& options) {
+  model.Train(data, split.train_orders, split.train);
+  const std::vector<double> predictions = model.Predict(split.test);
+  return Evaluate(split.test, predictions, options);
+}
+
+}  // namespace o2sr::eval

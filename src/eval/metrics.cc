@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace o2sr::eval {
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  O2SR_CHECK_EQ(predictions.size(), targets.size());
+  O2SR_CHECK(!predictions.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / predictions.size());
+}
+
+namespace {
+
+// Indices of the top-N items by truth value (ties broken by index).
+std::unordered_set<int> TruthTopN(const std::vector<double>& truths,
+                                  int top_n) {
+  const std::vector<int> order = ArgsortDescending(truths);
+  std::unordered_set<int> top;
+  for (int i = 0; i < top_n && i < static_cast<int>(order.size()); ++i) {
+    top.insert(order[i]);
+  }
+  return top;
+}
+
+}  // namespace
+
+double NdcgAtK(const std::vector<double>& predictions,
+               const std::vector<double>& truths, int k, int top_n) {
+  O2SR_CHECK_EQ(predictions.size(), truths.size());
+  O2SR_CHECK_GT(k, 0);
+  if (predictions.empty()) return 0.0;
+  const std::unordered_set<int> relevant = TruthTopN(truths, top_n);
+  const std::vector<int> ranked = ArgsortDescending(predictions);
+  double dcg = 0.0;
+  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) {
+      dcg += 1.0 / std::log2(i + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  const int ideal_hits =
+      std::min({k, static_cast<int>(relevant.size()),
+                static_cast<int>(ranked.size())});
+  for (int i = 0; i < ideal_hits; ++i) idcg += 1.0 / std::log2(i + 2.0);
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<double>& predictions,
+                    const std::vector<double>& truths, int k, int top_n) {
+  O2SR_CHECK_EQ(predictions.size(), truths.size());
+  O2SR_CHECK_GT(k, 0);
+  if (predictions.empty()) return 0.0;
+  const std::unordered_set<int> relevant = TruthTopN(truths, top_n);
+  const std::vector<int> ranked = ArgsortDescending(predictions);
+  int hits = 0;
+  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+}  // namespace o2sr::eval

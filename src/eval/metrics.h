@@ -1,0 +1,26 @@
+#ifndef O2SR_EVAL_METRICS_H_
+#define O2SR_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace o2sr::eval {
+
+// Root mean squared error between aligned prediction/target vectors.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+// NDCG@k with binary relevance against the ground-truth top-N (the
+// Geo-spotting definition the paper uses, §IV-A4): items are the candidate
+// regions of one type; an item is relevant iff it ranks in the top-N by
+// true order count; DCG rewards relevant items at early predicted
+// positions; IDCG is the all-relevant-prefix ideal.
+double NdcgAtK(const std::vector<double>& predictions,
+               const std::vector<double>& truths, int k, int top_n = 30);
+
+// Precision@K (paper Eq. 18): |top-k by prediction  ∩  top-N by truth| / k.
+double PrecisionAtK(const std::vector<double>& predictions,
+                    const std::vector<double>& truths, int k, int top_n = 30);
+
+}  // namespace o2sr::eval
+
+#endif  // O2SR_EVAL_METRICS_H_

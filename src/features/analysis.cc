@@ -1,0 +1,172 @@
+#include "features/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace o2sr::features {
+
+std::vector<SlotSupplyDemand> SupplyDemandBySlot(const sim::Dataset& data) {
+  std::vector<double> couriers(sim::kSlotsPerDay, 0.0);
+  std::vector<double> orders(sim::kSlotsPerDay, 0.0);
+  for (const sim::SlotStats& s : data.slot_stats) {
+    couriers[s.slot] += s.active_couriers;
+    orders[s.slot] += s.orders;
+  }
+  const double max_couriers =
+      std::max(1.0, *std::max_element(couriers.begin(), couriers.end()));
+  const double max_orders =
+      std::max(1.0, *std::max_element(orders.begin(), orders.end()));
+  std::vector<SlotSupplyDemand> out(sim::kSlotsPerDay);
+  for (int slot = 0; slot < sim::kSlotsPerDay; ++slot) {
+    out[slot].slot = slot;
+    out[slot].couriers_norm = couriers[slot] / max_couriers;
+    out[slot].orders_norm = orders[slot] / max_orders;
+    out[slot].supply_demand_ratio =
+        orders[slot] > 0 ? couriers[slot] / orders[slot] : 0.0;
+  }
+  return out;
+}
+
+double DeliveryTimeRatioCorrelation(const sim::Dataset& data) {
+  std::vector<double> ratios, minutes;
+  for (const sim::SlotStats& s : data.slot_stats) {
+    if (s.orders < 10) continue;
+    ratios.push_back(static_cast<double>(s.active_couriers) / s.orders);
+    minutes.push_back(s.mean_delivery_minutes);
+  }
+  return PearsonCorrelation(ratios, minutes);
+}
+
+std::vector<double> DeliveryScopeByPeriod(const sim::Dataset& data) {
+  // Farthest delivery distance per (store, period), averaged over stores
+  // that delivered in the period.
+  const int num_stores = static_cast<int>(data.stores.size());
+  std::vector<std::vector<double>> farthest(
+      sim::kNumPeriods, std::vector<double>(num_stores, 0.0));
+  for (const sim::Order& o : data.orders) {
+    auto& f = farthest[static_cast<int>(o.period())][o.store_id];
+    f = std::max(f, o.distance_m);
+  }
+  std::vector<double> out(sim::kNumPeriods, 0.0);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    double sum = 0.0;
+    int count = 0;
+    for (int s = 0; s < num_stores; ++s) {
+      if (farthest[p][s] > 0.0) {
+        sum += farthest[p][s];
+        ++count;
+      }
+    }
+    out[p] = count > 0 ? sum / count : 0.0;
+  }
+  return out;
+}
+
+DeliveryTimeDistribution DeliveryTimeDistributionByPeriod(
+    const sim::Dataset& data, double distance_lo_m, double distance_hi_m,
+    std::vector<double> bin_edges_minutes) {
+  O2SR_CHECK_GE(bin_edges_minutes.size(), 2u);
+  DeliveryTimeDistribution dist;
+  dist.bin_edges_minutes = bin_edges_minutes;
+  const int num_bins = static_cast<int>(bin_edges_minutes.size());
+  dist.share.assign(sim::kNumPeriods, std::vector<double>(num_bins, 0.0));
+  std::vector<double> totals(sim::kNumPeriods, 0.0);
+  for (const sim::Order& o : data.orders) {
+    if (o.distance_m < distance_lo_m || o.distance_m >= distance_hi_m) {
+      continue;
+    }
+    const double dt = o.delivery_minutes();
+    if (dt < bin_edges_minutes.front()) continue;
+    int bin = num_bins - 1;  // last bin is open-ended ("50+")
+    for (int b = 0; b + 1 < num_bins; ++b) {
+      if (dt >= bin_edges_minutes[b] && dt < bin_edges_minutes[b + 1]) {
+        bin = b;
+        break;
+      }
+    }
+    dist.share[static_cast<int>(o.period())][bin] += 1.0;
+    totals[static_cast<int>(o.period())] += 1.0;
+  }
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    if (totals[p] <= 0.0) continue;
+    for (double& v : dist.share[p]) v /= totals[p];
+  }
+  return dist;
+}
+
+std::vector<std::vector<TopType>> TopTypesByPeriod(const sim::Dataset& data,
+                                                   int k) {
+  std::vector<std::vector<double>> counts(
+      sim::kNumPeriods, std::vector<double>(data.num_types(), 0.0));
+  for (const sim::Order& o : data.orders) {
+    counts[static_cast<int>(o.period())][o.type] += 1.0;
+  }
+  std::vector<std::vector<TopType>> out(sim::kNumPeriods);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    const std::vector<int> order = ArgsortDescending(counts[p]);
+    for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+      TopType t;
+      t.type = order[i];
+      t.name = data.type_catalog[order[i]].name;
+      t.orders = counts[p][order[i]];
+      out[p].push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+double PreferenceOrderCorrelation(const sim::Dataset& data, double radius_m) {
+  const geo::Grid& grid = data.city.grid;
+  const int num_regions = grid.NumRegions();
+  const int num_types = data.num_types();
+
+  // Orders per (store-region, type) and per (customer-region, type).
+  std::vector<std::vector<double>> store_orders(
+      num_regions, std::vector<double>(num_types, 0.0));
+  std::vector<std::vector<double>> customer_orders(
+      num_regions, std::vector<double>(num_types, 0.0));
+  for (const sim::Order& o : data.orders) {
+    store_orders[o.store_region][o.type] += 1.0;
+    customer_orders[o.customer_region][o.type] += 1.0;
+  }
+
+  // Which types are actually available in each region: with a sparse store
+  // inventory (unlike Shanghai's 39k stores) a type absent from the region
+  // has structurally zero orders regardless of demand, so the correlation
+  // is computed over (region, type) pairs where the type is present — the
+  // question site recommendation actually asks.
+  std::vector<std::vector<bool>> type_present(
+      num_regions, std::vector<bool>(num_types, false));
+  for (const sim::Store& s : data.stores) {
+    type_present[s.region][s.type] = true;
+  }
+
+  // For every region with stores, correlate its per-type order vector with
+  // the preference vector of customers within `radius_m` (paper §II-C1).
+  std::vector<double> xs, ys;
+  for (int r = 0; r < num_regions; ++r) {
+    double region_total = 0.0;
+    for (double v : store_orders[r]) region_total += v;
+    if (region_total <= 0.0) continue;
+    std::vector<double> preference(num_types, 0.0);
+    for (int a = 0; a < num_types; ++a) {
+      preference[a] += customer_orders[r][a];
+    }
+    for (geo::RegionId n : grid.RegionsWithin(r, radius_m)) {
+      for (int a = 0; a < num_types; ++a) {
+        preference[a] += customer_orders[n][a];
+      }
+    }
+    for (int a = 0; a < num_types; ++a) {
+      if (!type_present[r][a]) continue;
+      xs.push_back(store_orders[r][a]);
+      ys.push_back(preference[a]);
+    }
+  }
+  return PearsonCorrelation(xs, ys);
+}
+
+}  // namespace o2sr::features

@@ -1,0 +1,62 @@
+#ifndef O2SR_FEATURES_ANALYSIS_H_
+#define O2SR_FEATURES_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/dataset.h"
+
+namespace o2sr::features {
+
+// Motivation-section analytics (paper §II). Each function computes the data
+// series behind one figure/table; the corresponding bench binary prints it.
+
+// Fig. 1: per-2-hour-slot courier count, order count (both normalized to
+// max 1) and the supply-demand ratio.
+struct SlotSupplyDemand {
+  int slot = 0;  // 0..11, slot k covers hours [2k, 2k+2)
+  double couriers_norm = 0.0;
+  double orders_norm = 0.0;
+  double supply_demand_ratio = 0.0;
+};
+std::vector<SlotSupplyDemand> SupplyDemandBySlot(const sim::Dataset& data);
+
+// Fig. 2: Pearson correlation between the per-slot supply-demand ratio and
+// the per-slot mean delivery time over the whole horizon (strongly
+// negative: tighter capacity -> slower delivery).
+double DeliveryTimeRatioCorrelation(const sim::Dataset& data);
+
+// Fig. 3: average per-store-region delivery scope (farthest delivery
+// distance, meters) per period.
+std::vector<double> DeliveryScopeByPeriod(const sim::Dataset& data);
+
+// Fig. 4: distribution of delivery minutes for orders in a distance band
+// (default 2.5-3 km), per period, over the given minute bins
+// (e.g. {10,20,30,40,50} produces 10-20, 20-30, ..., 50+ shares).
+struct DeliveryTimeDistribution {
+  std::vector<double> bin_edges_minutes;
+  // share[period][bin] sums to 1 over bins for each period with data.
+  std::vector<std::vector<double>> share;
+};
+DeliveryTimeDistribution DeliveryTimeDistributionByPeriod(
+    const sim::Dataset& data, double distance_lo_m = 2500.0,
+    double distance_hi_m = 3000.0,
+    std::vector<double> bin_edges_minutes = {10, 20, 30, 40, 50});
+
+// Fig. 5: the top-k store types by order count per period.
+struct TopType {
+  int type = 0;
+  std::string name;
+  double orders = 0.0;
+};
+std::vector<std::vector<TopType>> TopTypesByPeriod(const sim::Dataset& data,
+                                                   int k = 3);
+
+// Table II: Pearson correlation between per-(region, type) order counts and
+// per-(region, type) customer preference counts aggregated over customer
+// regions within `radius_m`.
+double PreferenceOrderCorrelation(const sim::Dataset& data, double radius_m);
+
+}  // namespace o2sr::features
+
+#endif  // O2SR_FEATURES_ANALYSIS_H_

@@ -1,0 +1,110 @@
+#include "features/order_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace o2sr::features {
+
+OrderStats::OrderStats(const sim::Dataset& data)
+    : OrderStats(data, data.orders) {}
+
+OrderStats::OrderStats(const sim::Dataset& data,
+                       const std::vector<sim::Order>& orders)
+    : num_regions_(data.num_regions()), num_types_(data.num_types()) {
+  const int P = sim::kNumPeriods;
+  orders_region_type_.assign(num_regions_,
+                             std::vector<double>(num_types_, 0.0));
+  orders_region_type_period_.assign(
+      P, std::vector<std::vector<double>>(
+             num_regions_, std::vector<double>(num_types_, 0.0)));
+  customer_orders_region_type_period_.assign(
+      P, std::vector<std::vector<double>>(
+             num_regions_, std::vector<double>(num_types_, 0.0)));
+  store_region_orders_.assign(num_regions_, 0.0);
+  store_region_orders_period_.assign(P,
+                                     std::vector<double>(num_regions_, 0.0));
+  pair_stats_.resize(P);
+  farthest_distance_.assign(P, std::vector<double>(num_regions_, 0.0));
+  distance_sum_.assign(P, std::vector<double>(num_regions_, 0.0));
+  distance_count_.assign(P, std::vector<int>(num_regions_, 0));
+  delivery_minutes_sum_.assign(P, std::vector<double>(num_regions_, 0.0));
+  delivery_minutes_count_.assign(P, std::vector<int>(num_regions_, 0));
+  city_mean_delivery_period_.assign(P, 0.0);
+  std::vector<int> city_count(P, 0);
+
+  for (const sim::Order& o : orders) {
+    const int p = static_cast<int>(o.period());
+    const int s = o.store_region;
+    const int u = o.customer_region;
+    const int a = o.type;
+    orders_region_type_[s][a] += 1.0;
+    orders_region_type_period_[p][s][a] += 1.0;
+    customer_orders_region_type_period_[p][u][a] += 1.0;
+    store_region_orders_[s] += 1.0;
+    store_region_orders_period_[p][s] += 1.0;
+
+    PairStats& pair = pair_stats_[p][PairKey(s, u)];
+    pair.delivery_minutes_sum += o.delivery_minutes();
+    pair.distance_sum += o.distance_m;
+    ++pair.transactions;
+
+    farthest_distance_[p][s] = std::max(farthest_distance_[p][s],
+                                        o.distance_m);
+    distance_sum_[p][s] += o.distance_m;
+    ++distance_count_[p][s];
+    delivery_minutes_sum_[p][s] += o.delivery_minutes();
+    ++delivery_minutes_count_[p][s];
+    city_mean_delivery_period_[p] += o.delivery_minutes();
+    ++city_count[p];
+  }
+  for (int p = 0; p < P; ++p) {
+    if (city_count[p] > 0) city_mean_delivery_period_[p] /= city_count[p];
+  }
+
+  // Supply-demand ratio: per period, average courier allocation across the
+  // period's slots divided by per-day order volume from the region.
+  supply_demand_.assign(P, std::vector<double>(num_regions_, 0.0));
+  std::vector<std::vector<double>> alloc(P,
+                                         std::vector<double>(num_regions_));
+  std::vector<int> slots_in_period(P, 0);
+  for (int slot = 0; slot < sim::kSlotsPerDay; ++slot) {
+    const int p = static_cast<int>(sim::PeriodOfSlot(slot));
+    ++slots_in_period[p];
+    if (data.courier_alloc_slot_region.empty()) continue;
+    for (int r = 0; r < num_regions_; ++r) {
+      alloc[p][r] += data.courier_alloc_slot_region[slot][r];
+    }
+  }
+  const double days = std::max(1, data.config.num_days);
+  for (int p = 0; p < P; ++p) {
+    for (int r = 0; r < num_regions_; ++r) {
+      const double couriers =
+          slots_in_period[p] > 0 ? alloc[p][r] / slots_in_period[p] : 0.0;
+      const double orders_per_day = store_region_orders_period_[p][r] / days;
+      supply_demand_[p][r] = couriers / std::max(orders_per_day, 0.25);
+    }
+  }
+}
+
+const PairStats* OrderStats::Pair(int period, int s, int u) const {
+  const auto& map = pair_stats_[period];
+  const auto it = map.find(PairKey(s, u));
+  return it == map.end() ? nullptr : &it->second;
+}
+
+double OrderStats::MeanDistance(int period, int s) const {
+  return distance_count_[period][s] > 0
+             ? distance_sum_[period][s] / distance_count_[period][s]
+             : 0.0;
+}
+
+double OrderStats::MeanDeliveryMinutes(int period, int s) const {
+  if (delivery_minutes_count_[period][s] > 0) {
+    return delivery_minutes_sum_[period][s] /
+           delivery_minutes_count_[period][s];
+  }
+  return city_mean_delivery_period_[period];
+}
+
+}  // namespace o2sr::features

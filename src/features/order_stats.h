@@ -1,0 +1,119 @@
+#ifndef O2SR_FEATURES_ORDER_STATS_H_
+#define O2SR_FEATURES_ORDER_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/dataset.h"
+
+namespace o2sr::features {
+
+// Delivery statistics of one (store-region -> customer-region) pair.
+struct PairStats {
+  double delivery_minutes_sum = 0.0;
+  double distance_sum = 0.0;
+  int transactions = 0;
+
+  double mean_delivery_minutes() const {
+    return transactions > 0 ? delivery_minutes_sum / transactions : 0.0;
+  }
+  double mean_distance_m() const {
+    return transactions > 0 ? distance_sum / transactions : 0.0;
+  }
+};
+
+// Aggregations over the order log that every downstream component (feature
+// extraction, graph construction, baselines, motivation figures) consumes.
+class OrderStats {
+ public:
+  // Builds all aggregations in one pass over `data.orders`.
+  explicit OrderStats(const sim::Dataset& data);
+  // Same, but aggregates only `orders` (e.g. the orders visible to a model
+  // after a train/test split); `data` still provides geometry and courier
+  // allocations.
+  OrderStats(const sim::Dataset& data, const std::vector<sim::Order>& orders);
+
+  int num_regions() const { return num_regions_; }
+  int num_types() const { return num_types_; }
+
+  // Total orders of type `a` whose store sits in region `s` — the ground
+  // truth p_sa of Eq. 1.
+  double OrdersOfTypeInRegion(int s, int a) const {
+    return orders_region_type_[s][a];
+  }
+  const std::vector<std::vector<double>>& orders_region_type() const {
+    return orders_region_type_;
+  }
+
+  // Same, restricted to one period.
+  double OrdersOfTypeInRegionPeriod(int period, int s, int a) const {
+    return orders_region_type_period_[period][s][a];
+  }
+
+  // Orders placed by customers living in region `u` for type `a` in
+  // `period` (the U-A edge attribute phi_ua,t).
+  double CustomerOrders(int period, int u, int a) const {
+    return customer_orders_region_type_period_[period][u][a];
+  }
+
+  // Total orders per store region / per customer region.
+  double TotalStoreRegionOrders(int s) const {
+    return store_region_orders_[s];
+  }
+  double TotalStoreRegionOrdersPeriod(int period, int s) const {
+    return store_region_orders_period_[period][s];
+  }
+
+  // Per-period (store-region, customer-region) delivery statistics; key
+  // pairs with zero transactions are absent.
+  const std::unordered_map<int64_t, PairStats>& PairsInPeriod(
+      int period) const {
+    return pair_stats_[period];
+  }
+  // Looks up one pair (nullptr if never observed).
+  const PairStats* Pair(int period, int s, int u) const;
+
+  // Farthest and mean delivery distance of orders whose store sits in
+  // region `s` during `period` (the per-period delivery scope of Fig. 3).
+  double FarthestDistance(int period, int s) const {
+    return farthest_distance_[period][s];
+  }
+  double MeanDistance(int period, int s) const;
+
+  // Mean delivery minutes of orders from store region `s` in `period`;
+  // falls back to the period's city mean when the region has no orders.
+  double MeanDeliveryMinutes(int period, int s) const;
+
+  // Region-level supply-demand ratio: couriers allocated near `s` divided
+  // by orders from `s` (per period, averaged over days).
+  double SupplyDemandRatio(int period, int s) const {
+    return supply_demand_[period][s];
+  }
+
+  int64_t PairKey(int s, int u) const {
+    return static_cast<int64_t>(s) * num_regions_ + u;
+  }
+
+ private:
+  int num_regions_;
+  int num_types_;
+  std::vector<std::vector<double>> orders_region_type_;
+  std::vector<std::vector<std::vector<double>>> orders_region_type_period_;
+  std::vector<std::vector<std::vector<double>>>
+      customer_orders_region_type_period_;
+  std::vector<double> store_region_orders_;
+  std::vector<std::vector<double>> store_region_orders_period_;
+  std::vector<std::unordered_map<int64_t, PairStats>> pair_stats_;
+  std::vector<std::vector<double>> farthest_distance_;
+  std::vector<std::vector<double>> distance_sum_;
+  std::vector<std::vector<int>> distance_count_;
+  std::vector<std::vector<double>> delivery_minutes_sum_;
+  std::vector<std::vector<int>> delivery_minutes_count_;
+  std::vector<double> city_mean_delivery_period_;
+  std::vector<std::vector<double>> supply_demand_;
+};
+
+}  // namespace o2sr::features
+
+#endif  // O2SR_FEATURES_ORDER_STATS_H_

@@ -1,0 +1,117 @@
+#include "features/region_features.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "geo/road_network.h"
+
+namespace o2sr::features {
+
+nn::Tensor RegionFeatureExtractor::Compute(const sim::Dataset& data) {
+  const geo::Grid& grid = data.city.grid;
+  const int num_regions = grid.NumRegions();
+  const int num_types = data.num_types();
+
+  const auto poi_counts = geo::CountPoisPerRegion(data.city.pois, grid);
+  const auto traffic = geo::CountTrafficPerRegion(data.city.roads, grid);
+
+  // Store counts per region and type for store diversity.
+  std::vector<std::vector<double>> store_counts(
+      num_regions, std::vector<double>(num_types, 0.0));
+  for (const sim::Store& s : data.stores) {
+    store_counts[s.region][s.type] += 1.0;
+  }
+
+  // Collect raw columns, then min-max normalize each across regions.
+  std::vector<std::vector<double>> columns(kDim,
+                                           std::vector<double>(num_regions));
+  for (int r = 0; r < num_regions; ++r) {
+    for (int c = 0; c < geo::kNumPoiCategories; ++c) {
+      columns[c][r] = poi_counts[r][c];
+    }
+    columns[geo::kNumPoiCategories][r] = Entropy(poi_counts[r]);
+    columns[geo::kNumPoiCategories + 1][r] = traffic[r].num_intersections;
+    columns[geo::kNumPoiCategories + 2][r] = traffic[r].num_roads;
+    columns[geo::kNumPoiCategories + 3][r] = Entropy(store_counts[r]);
+  }
+  nn::Tensor out(num_regions, kDim);
+  for (int c = 0; c < kDim; ++c) {
+    MinMaxNormalize(columns[c]);
+    for (int r = 0; r < num_regions; ++r) {
+      out.at(r, c) = static_cast<float>(columns[c][r]);
+    }
+  }
+  return out;
+}
+
+CommercialFeatures::CommercialFeatures(const sim::Dataset& data,
+                                       double nearby_radius_m) {
+  const geo::Grid& grid = data.city.grid;
+  const int num_regions = grid.NumRegions();
+  const int num_types = data.num_types();
+
+  std::vector<std::vector<double>> store_counts(
+      num_regions, std::vector<double>(num_types, 0.0));
+  for (const sim::Store& s : data.stores) {
+    store_counts[s.region][s.type] += 1.0;
+  }
+
+  // Competitiveness: same-type stores in the region divided by all stores
+  // in the region plus its neighborhood.
+  competitiveness_.assign(num_regions, std::vector<double>(num_types, 0.0));
+  for (int r = 0; r < num_regions; ++r) {
+    double nearby_total = 0.0;
+    for (int a = 0; a < num_types; ++a) nearby_total += store_counts[r][a];
+    for (geo::RegionId n : grid.RegionsWithin(r, nearby_radius_m)) {
+      for (int a = 0; a < num_types; ++a) nearby_total += store_counts[n][a];
+    }
+    if (nearby_total <= 0.0) continue;
+    for (int a = 0; a < num_types; ++a) {
+      competitiveness_[r][a] = store_counts[r][a] / nearby_total;
+    }
+  }
+
+  // Complementarity (paper §III-C):
+  //   rho_{a*-a}   = 2 N_set(a*, a) / (N_A (N_A - 1))
+  //   f^cp_{sa}    = sum_{a*} log(rho_{a*-a}) (N_{sa*} - mean_a* count)
+  // N_set counts regions where both types appear. A 0.5 smoothing keeps
+  // log(rho) finite for never-co-occurring pairs.
+  std::vector<std::vector<double>> co_occurrence(
+      num_types, std::vector<double>(num_types, 0.0));
+  std::vector<double> mean_count(num_types, 0.0);
+  for (int r = 0; r < num_regions; ++r) {
+    for (int a = 0; a < num_types; ++a) {
+      mean_count[a] += store_counts[r][a];
+      if (store_counts[r][a] <= 0.0) continue;
+      for (int b = a + 1; b < num_types; ++b) {
+        if (store_counts[r][b] > 0.0) {
+          co_occurrence[a][b] += 1.0;
+          co_occurrence[b][a] += 1.0;
+        }
+      }
+    }
+  }
+  for (double& v : mean_count) v /= num_regions;
+
+  const double pair_norm =
+      num_types > 1 ? num_types * (num_types - 1.0) : 1.0;
+  complementarity_.assign(num_regions, std::vector<double>(num_types, 0.0));
+  for (int a = 0; a < num_types; ++a) {
+    std::vector<double> column(num_regions, 0.0);
+    for (int r = 0; r < num_regions; ++r) {
+      double f = 0.0;
+      for (int b = 0; b < num_types; ++b) {
+        if (b == a) continue;
+        const double rho = 2.0 * (co_occurrence[b][a] + 0.5) / pair_norm;
+        f += std::log(rho) * (store_counts[r][b] - mean_count[b]);
+      }
+      column[r] = f;
+    }
+    MinMaxNormalize(column);
+    for (int r = 0; r < num_regions; ++r) {
+      complementarity_[r][a] = column[r];
+    }
+  }
+}
+
+}  // namespace o2sr::features

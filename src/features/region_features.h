@@ -1,0 +1,51 @@
+#ifndef O2SR_FEATURES_REGION_FEATURES_H_
+#define O2SR_FEATURES_REGION_FEATURES_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "sim/dataset.h"
+
+namespace o2sr::features {
+
+// Geographic feature extraction (paper §III-C, "Module 1"): POI set, POI
+// diversity, traffic convenience and store diversity, all per region, each
+// column min-max normalized across regions.
+//
+// Column layout: [POI counts per category (12)] [POI diversity (1)]
+// [intersections (1)] [roads (1)] [store diversity (1)] = 16 columns.
+class RegionFeatureExtractor {
+ public:
+  static constexpr int kDim = geo::kNumPoiCategories + 4;
+
+  // Extracts the normalized feature matrix: [num_regions x kDim].
+  static nn::Tensor Compute(const sim::Dataset& data);
+};
+
+// Commercial features per (region, type) pair (paper §III-C, attributes of
+// the S-A edges).
+class CommercialFeatures {
+ public:
+  // `nearby_radius_m` defines the "nearby stores" neighborhood used by
+  // competitiveness.
+  CommercialFeatures(const sim::Dataset& data, double nearby_radius_m = 1000);
+
+  // Same-type stores in region / total stores in region + neighborhood.
+  double Competitiveness(int region, int type) const {
+    return competitiveness_[region][type];
+  }
+  // Complementarity f^cp_sa = sum_{a*} log(rho_{a*-a}) (N_{sa*} - N_{a*})
+  // (paper's definition, Geo-spotting lineage), min-max normalized across
+  // regions per type.
+  double Complementarity(int region, int type) const {
+    return complementarity_[region][type];
+  }
+
+ private:
+  std::vector<std::vector<double>> competitiveness_;
+  std::vector<std::vector<double>> complementarity_;
+};
+
+}  // namespace o2sr::features
+
+#endif  // O2SR_FEATURES_REGION_FEATURES_H_

@@ -1,0 +1,37 @@
+#include "geo/geometry.h"
+
+namespace o2sr::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LatLng CityFrame::ToLatLng(const Point& p) const {
+  const double lat = origin_.lat + p.y / kEarthRadiusMeters / kDegToRad;
+  const double lng =
+      origin_.lng +
+      p.x / (kEarthRadiusMeters * std::cos(origin_.lat * kDegToRad)) /
+          kDegToRad;
+  return {lat, lng};
+}
+
+Point CityFrame::ToPoint(const LatLng& ll) const {
+  const double y = (ll.lat - origin_.lat) * kDegToRad * kEarthRadiusMeters;
+  const double x = (ll.lng - origin_.lng) * kDegToRad * kEarthRadiusMeters *
+                   std::cos(origin_.lat * kDegToRad);
+  return {x, y};
+}
+
+}  // namespace o2sr::geo

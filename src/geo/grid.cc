@@ -1,0 +1,67 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace o2sr::geo {
+
+Grid::Grid(double width_meters, double height_meters, double cell_meters)
+    : width_(width_meters), height_(height_meters), cell_meters_(cell_meters) {
+  O2SR_CHECK_GT(width_meters, 0.0);
+  O2SR_CHECK_GT(height_meters, 0.0);
+  O2SR_CHECK_GT(cell_meters, 0.0);
+  cols_ = static_cast<int>(std::ceil(width_meters / cell_meters));
+  rows_ = static_cast<int>(std::ceil(height_meters / cell_meters));
+  O2SR_CHECK_GT(cols_, 0);
+  O2SR_CHECK_GT(rows_, 0);
+}
+
+RegionId Grid::RegionOf(const Point& p) const {
+  int col = static_cast<int>(std::floor(p.x / cell_meters_));
+  int row = static_cast<int>(std::floor(p.y / cell_meters_));
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return row * cols_ + col;
+}
+
+Point Grid::Center(RegionId r) const {
+  O2SR_CHECK(Valid(r));
+  const int row = r / cols_;
+  const int col = r % cols_;
+  return {(col + 0.5) * cell_meters_, (row + 0.5) * cell_meters_};
+}
+
+std::vector<RegionId> Grid::RegionsWithin(RegionId r,
+                                          double radius_meters) const {
+  O2SR_CHECK(Valid(r));
+  std::vector<RegionId> out;
+  const int row = RowOf(r);
+  const int col = ColOf(r);
+  const int span = static_cast<int>(std::ceil(radius_meters / cell_meters_));
+  const Point c = Center(r);
+  for (int dr = -span; dr <= span; ++dr) {
+    const int rr = row + dr;
+    if (rr < 0 || rr >= rows_) continue;
+    for (int dc = -span; dc <= span; ++dc) {
+      const int cc = col + dc;
+      if (cc < 0 || cc >= cols_) continue;
+      const RegionId other = rr * cols_ + cc;
+      if (other == r) continue;
+      if (EuclideanMeters(c, Center(other)) <= radius_meters) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+double Grid::CenterDistanceNorm(RegionId r) const {
+  O2SR_CHECK(Valid(r));
+  const Point city_center = {width_ / 2.0, height_ / 2.0};
+  const double max_dist =
+      EuclideanMeters({0.0, 0.0}, city_center);  // corner to center
+  if (max_dist <= 0.0) return 0.0;
+  return EuclideanMeters(Center(r), city_center) / max_dist;
+}
+
+}  // namespace o2sr::geo

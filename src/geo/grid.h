@@ -1,0 +1,67 @@
+#ifndef O2SR_GEO_GRID_H_
+#define O2SR_GEO_GRID_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "geo/geometry.h"
+
+namespace o2sr::geo {
+
+// A region index; regions are cells of the city grid (paper Definition 1).
+using RegionId = int;
+
+// Partition of the city into xi-by-xi meter cells (paper: xi = 500 m).
+// Region ids are row-major: id = row * cols + col.
+class Grid {
+ public:
+  Grid(double width_meters, double height_meters, double cell_meters);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int NumRegions() const { return rows_ * cols_; }
+  double cell_meters() const { return cell_meters_; }
+  double width_meters() const { return width_; }
+  double height_meters() const { return height_; }
+
+  // Region containing `p`; points outside the city are clamped to the
+  // nearest border cell.
+  RegionId RegionOf(const Point& p) const;
+
+  // Center of the region.
+  Point Center(RegionId r) const;
+
+  int RowOf(RegionId r) const {
+    O2SR_CHECK(Valid(r));
+    return r / cols_;
+  }
+  int ColOf(RegionId r) const {
+    O2SR_CHECK(Valid(r));
+    return r % cols_;
+  }
+  bool Valid(RegionId r) const { return r >= 0 && r < NumRegions(); }
+
+  // Centroid distance between regions, meters.
+  double Distance(RegionId a, RegionId b) const {
+    return EuclideanMeters(Center(a), Center(b));
+  }
+
+  // All regions whose centroid is within `radius_meters` of region `r`'s
+  // centroid (excluding r itself).
+  std::vector<RegionId> RegionsWithin(RegionId r, double radius_meters) const;
+
+  // Normalized [0,1] distance of region `r` from the city center: 0 at the
+  // center, 1 at the far corner. Used for downtown/suburb classification.
+  double CenterDistanceNorm(RegionId r) const;
+
+ private:
+  double width_;
+  double height_;
+  double cell_meters_;
+  int rows_;
+  int cols_;
+};
+
+}  // namespace o2sr::geo
+
+#endif  // O2SR_GEO_GRID_H_

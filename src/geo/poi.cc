@@ -1,0 +1,37 @@
+#include "geo/poi.h"
+
+#include "common/check.h"
+
+namespace o2sr::geo {
+
+const char* PoiCategoryName(PoiCategory category) {
+  switch (category) {
+    case PoiCategory::kResidential: return "residential";
+    case PoiCategory::kOffice: return "office";
+    case PoiCategory::kSchool: return "school";
+    case PoiCategory::kHospital: return "hospital";
+    case PoiCategory::kMall: return "mall";
+    case PoiCategory::kTransitStation: return "transit_station";
+    case PoiCategory::kPark: return "park";
+    case PoiCategory::kHotel: return "hotel";
+    case PoiCategory::kRestaurant: return "restaurant";
+    case PoiCategory::kEntertainment: return "entertainment";
+    case PoiCategory::kFactory: return "factory";
+    case PoiCategory::kGovernment: return "government";
+  }
+  O2SR_CHECK(false);
+  return "";
+}
+
+std::vector<std::vector<double>> CountPoisPerRegion(
+    const std::vector<Poi>& pois, const Grid& grid) {
+  std::vector<std::vector<double>> counts(
+      grid.NumRegions(), std::vector<double>(kNumPoiCategories, 0.0));
+  for (const Poi& poi : pois) {
+    const RegionId r = grid.RegionOf(poi.location);
+    counts[r][static_cast<int>(poi.category)] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace o2sr::geo

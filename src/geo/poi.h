@@ -1,0 +1,47 @@
+#ifndef O2SR_GEO_POI_H_
+#define O2SR_GEO_POI_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "geo/grid.h"
+
+namespace o2sr::geo {
+
+// Point-of-interest categories. The paper uses Gaode map POIs; we use a
+// fixed taxonomy of 12 categories whose per-region densities the city
+// generator derives from the urban gradient.
+enum class PoiCategory : int {
+  kResidential = 0,
+  kOffice,
+  kSchool,
+  kHospital,
+  kMall,
+  kTransitStation,
+  kPark,
+  kHotel,
+  kRestaurant,
+  kEntertainment,
+  kFactory,
+  kGovernment,
+};
+
+inline constexpr int kNumPoiCategories = 12;
+
+// Human-readable category name (for reports and examples).
+const char* PoiCategoryName(PoiCategory category);
+
+// A single POI.
+struct Poi {
+  PoiCategory category = PoiCategory::kResidential;
+  Point location;
+};
+
+// Counts POIs of each category per region: result[region][category].
+std::vector<std::vector<double>> CountPoisPerRegion(
+    const std::vector<Poi>& pois, const Grid& grid);
+
+}  // namespace o2sr::geo
+
+#endif  // O2SR_GEO_POI_H_

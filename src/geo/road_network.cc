@@ -1,0 +1,26 @@
+#include "geo/road_network.h"
+
+#include "common/check.h"
+
+namespace o2sr::geo {
+
+std::vector<RegionTraffic> CountTrafficPerRegion(const RoadNetwork& network,
+                                                 const Grid& grid) {
+  std::vector<RegionTraffic> out(grid.NumRegions());
+  for (const Point& p : network.intersections) {
+    ++out[grid.RegionOf(p)].num_intersections;
+  }
+  for (const auto& [a, b] : network.roads) {
+    O2SR_CHECK(a >= 0 &&
+               a < static_cast<int>(network.intersections.size()));
+    O2SR_CHECK(b >= 0 &&
+               b < static_cast<int>(network.intersections.size()));
+    const Point& pa = network.intersections[a];
+    const Point& pb = network.intersections[b];
+    const Point mid = {(pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0};
+    ++out[grid.RegionOf(mid)].num_roads;
+  }
+  return out;
+}
+
+}  // namespace o2sr::geo

@@ -1,0 +1,34 @@
+#ifndef O2SR_GEO_ROAD_NETWORK_H_
+#define O2SR_GEO_ROAD_NETWORK_H_
+
+#include <utility>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "geo/grid.h"
+
+namespace o2sr::geo {
+
+// A city road network: intersections (nodes) and road segments (edges).
+// Substitutes for the OpenStreetMap extract the paper uses; only per-region
+// intersection/road counts (the "traffic convenience" feature) are consumed
+// downstream.
+struct RoadNetwork {
+  std::vector<Point> intersections;
+  // Road segments as (intersection index, intersection index).
+  std::vector<std::pair<int, int>> roads;
+};
+
+// Per-region traffic statistics used by the feature extractor.
+struct RegionTraffic {
+  int num_intersections = 0;
+  int num_roads = 0;  // segments whose midpoint falls in the region
+};
+
+// Aggregates the network into per-region counts.
+std::vector<RegionTraffic> CountTrafficPerRegion(const RoadNetwork& network,
+                                                 const Grid& grid);
+
+}  // namespace o2sr::geo
+
+#endif  // O2SR_GEO_ROAD_NETWORK_H_

@@ -1,0 +1,24 @@
+#include "graphs/geo_graph.h"
+
+namespace o2sr::graphs {
+
+GeoGraph::GeoGraph(const geo::Grid& grid, double threshold_m)
+    : threshold_m_(threshold_m) {
+  const int n = grid.NumRegions();
+  neighbors_.resize(n);
+  distances_.resize(n);
+  for (int r = 0; r < n; ++r) {
+    for (geo::RegionId other : grid.RegionsWithin(r, threshold_m)) {
+      neighbors_[r].push_back(other);
+      distances_[r].push_back(grid.Distance(r, other));
+    }
+  }
+}
+
+size_t GeoGraph::NumEdges() const {
+  size_t count = 0;
+  for (const auto& n : neighbors_) count += n.size();
+  return count;
+}
+
+}  // namespace o2sr::graphs

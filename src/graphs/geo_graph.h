@@ -1,0 +1,40 @@
+#ifndef O2SR_GRAPHS_GEO_GRAPH_H_
+#define O2SR_GRAPHS_GEO_GRAPH_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace o2sr::graphs {
+
+// Region geographical graph (paper Definition 2): regions are nodes; two
+// regions are connected when their centroid distance is below a threshold
+// (800 m by default); the edge attribute is that distance.
+class GeoGraph {
+ public:
+  GeoGraph(const geo::Grid& grid, double threshold_m = 800.0);
+
+  int num_regions() const {
+    return static_cast<int>(neighbors_.size());
+  }
+  double threshold_m() const { return threshold_m_; }
+
+  const std::vector<int>& Neighbors(int region) const {
+    return neighbors_[region];
+  }
+  const std::vector<double>& Distances(int region) const {
+    return distances_[region];
+  }
+
+  // Total directed edge count.
+  size_t NumEdges() const;
+
+ private:
+  double threshold_m_;
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<std::vector<double>> distances_;
+};
+
+}  // namespace o2sr::graphs
+
+#endif  // O2SR_GRAPHS_GEO_GRAPH_H_

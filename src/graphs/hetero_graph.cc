@@ -1,0 +1,191 @@
+#include "graphs/hetero_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace o2sr::graphs {
+
+namespace {
+
+// log1p-based normalization of counts into [0, 1].
+float CountNorm(double count, double max_count) {
+  if (max_count <= 0.0) return 0.0f;
+  return static_cast<float>(std::log1p(count) / std::log1p(max_count));
+}
+
+}  // namespace
+
+HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
+                                   const features::OrderStats& stats,
+                                   const HeteroGraphOptions& options)
+    : options_(options), num_types_(data.num_types()) {
+  const geo::Grid& grid = data.city.grid;
+  const int num_regions = grid.NumRegions();
+
+  // ---- Node sets ----------------------------------------------------------
+  // Store-regions: regions containing at least one store. Customer-regions:
+  // regions whose customers placed at least one order.
+  std::vector<bool> has_store(num_regions, false);
+  for (const sim::Store& s : data.stores) has_store[s.region] = true;
+  std::vector<bool> has_customers(num_regions, false);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    for (int u = 0; u < num_regions; ++u) {
+      for (int a = 0; a < num_types_ && !has_customers[u]; ++a) {
+        if (stats.CustomerOrders(p, u, a) > 0.0) has_customers[u] = true;
+      }
+    }
+  }
+  region_to_s_.assign(num_regions, -1);
+  region_to_u_.assign(num_regions, -1);
+  for (int r = 0; r < num_regions; ++r) {
+    if (has_store[r]) {
+      region_to_s_[r] = static_cast<int>(store_regions_.size());
+      store_regions_.push_back(r);
+    }
+    if (has_customers[r]) {
+      region_to_u_[r] = static_cast<int>(customer_regions_.size());
+      customer_regions_.push_back(r);
+    }
+  }
+
+  // ---- Node attributes ----------------------------------------------------
+  const nn::Tensor region_features =
+      features::RegionFeatureExtractor::Compute(data);
+  const int fdim = region_features.cols();
+  store_features_ = nn::Tensor(num_store_nodes(), fdim);
+  for (int i = 0; i < num_store_nodes(); ++i) {
+    std::copy(region_features.row(store_regions_[i]),
+              region_features.row(store_regions_[i]) + fdim,
+              store_features_.row(i));
+  }
+  customer_features_ = nn::Tensor(num_customer_nodes(), fdim);
+  for (int i = 0; i < num_customer_nodes(); ++i) {
+    std::copy(region_features.row(customer_regions_[i]),
+              region_features.row(customer_regions_[i]) + fdim,
+              customer_features_.row(i));
+  }
+
+  // ---- S-A edges (period-independent) --------------------------------------
+  const features::CommercialFeatures commercial(data);
+  std::vector<std::vector<int>> stores_per_region_type(num_regions);
+  double max_sa_orders = 0.0;
+  for (int s = 0; s < num_regions; ++s) {
+    for (int a = 0; a < num_types_; ++a) {
+      max_sa_orders = std::max(max_sa_orders, stats.OrdersOfTypeInRegion(s, a));
+    }
+  }
+  std::vector<std::vector<bool>> type_in_region(
+      num_regions, std::vector<bool>(num_types_, false));
+  for (const sim::Store& store : data.stores) {
+    type_in_region[store.region][store.type] = true;
+  }
+  for (int r = 0; r < num_regions; ++r) {
+    if (region_to_s_[r] < 0) continue;
+    for (int a = 0; a < num_types_; ++a) {
+      if (!type_in_region[r][a]) continue;
+      SaEdge edge;
+      edge.s = region_to_s_[r];
+      edge.a = a;
+      edge.competitiveness =
+          static_cast<float>(commercial.Competitiveness(r, a));
+      edge.complementarity =
+          static_cast<float>(commercial.Complementarity(r, a));
+      edge.orders_norm =
+          CountNorm(stats.OrdersOfTypeInRegion(r, a), max_sa_orders);
+      sa_edges_.push_back(edge);
+    }
+  }
+
+  // ---- Per-period S-U and U-A edges ----------------------------------------
+  subgraphs_.resize(sim::kNumPeriods);
+  if (!options_.include_customer_edges) return;
+
+  const double max_distance_m = options_.fixed_scope_m * 1.5;
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    HeteroSubgraph& sub = subgraphs_[p];
+
+    // Normalizers for this period's attributes.
+    double max_su_transactions = 0.0;
+    for (const auto& [key, pair] : stats.PairsInPeriod(p)) {
+      (void)key;
+      max_su_transactions =
+          std::max(max_su_transactions,
+                   static_cast<double>(pair.transactions));
+    }
+    double max_ua = 0.0;
+    for (int u = 0; u < num_regions; ++u) {
+      for (int a = 0; a < num_types_; ++a) {
+        max_ua = std::max(max_ua, stats.CustomerOrders(p, u, a));
+      }
+    }
+
+    // S-U edges, following the paper's construction: shrink candidates to
+    // the farthest observed delivery distance, connect everything below the
+    // average delivery distance, and keep farther candidates only when
+    // their historical order ratio is high enough.
+    for (int s_region : store_regions_) {
+      const int s_node = region_to_s_[s_region];
+      double scope_m = options_.fixed_scope_m;
+      double inner_m = options_.fixed_scope_m;
+      if (options_.capacity_aware_scope) {
+        const double farthest = stats.FarthestDistance(p, s_region);
+        if (farthest > 0.0) {
+          scope_m = farthest;
+          inner_m = std::max(stats.MeanDistance(p, s_region), grid.cell_meters());
+        } else {
+          // The store region had no orders this period: capacity was too
+          // tight for any scope, keep a minimal neighborhood.
+          scope_m = grid.cell_meters();
+          inner_m = grid.cell_meters();
+        }
+      }
+      scope_m = std::min(scope_m, max_distance_m);
+      const double total_orders =
+          std::max(stats.TotalStoreRegionOrdersPeriod(p, s_region), 1.0);
+      // Candidate regions within scope (plus the region itself).
+      std::vector<int> candidates = grid.RegionsWithin(s_region, scope_m);
+      candidates.push_back(s_region);
+      for (int u_region : candidates) {
+        const int u_node = region_to_u_[u_region];
+        if (u_node < 0) continue;
+        const double dist = grid.Distance(s_region, u_region);
+        const features::PairStats* pair = stats.Pair(p, s_region, u_region);
+        const double transactions = pair ? pair->transactions : 0.0;
+        bool keep = dist <= inner_m;
+        if (!keep) {
+          // Order-ratio rule for the outer ring.
+          keep = transactions / total_orders >= options_.order_ratio_threshold;
+        }
+        if (!keep) continue;
+        SuEdge edge;
+        edge.s = s_node;
+        edge.u = u_node;
+        edge.s_region = s_region;
+        edge.u_region = u_region;
+        edge.distance_norm = static_cast<float>(
+            Clamp(dist / max_distance_m, 0.0, 1.0));
+        edge.transactions_norm = CountNorm(transactions, max_su_transactions);
+        sub.su_edges.push_back(edge);
+      }
+    }
+
+    // U-A edges.
+    for (int u_region : customer_regions_) {
+      const int u_node = region_to_u_[u_region];
+      for (int a = 0; a < num_types_; ++a) {
+        const double transactions = stats.CustomerOrders(p, u_region, a);
+        if (transactions <= 0.0) continue;
+        UaEdge edge;
+        edge.u = u_node;
+        edge.a = a;
+        edge.transactions_norm = CountNorm(transactions, max_ua);
+        sub.ua_edges.push_back(edge);
+      }
+    }
+  }
+}
+
+}  // namespace o2sr::graphs

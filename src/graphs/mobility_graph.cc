@@ -1,0 +1,37 @@
+#include "graphs/mobility_graph.h"
+
+#include <algorithm>
+
+namespace o2sr::graphs {
+
+MobilityMultiGraph::MobilityMultiGraph(const features::OrderStats& stats,
+                                       int min_transactions)
+    : num_regions_(stats.num_regions()) {
+  edges_.resize(sim::kNumPeriods);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    for (const auto& [key, pair] : stats.PairsInPeriod(p)) {
+      if (pair.transactions < min_transactions) continue;
+      MobilityEdge edge;
+      edge.src = static_cast<int>(key / num_regions_);
+      edge.dst = static_cast<int>(key % num_regions_);
+      edge.delivery_minutes = pair.mean_delivery_minutes();
+      edge.transactions = pair.transactions;
+      max_delivery_minutes_ =
+          std::max(max_delivery_minutes_, edge.delivery_minutes);
+      edges_[p].push_back(edge);
+    }
+    // Deterministic ordering (hash-map iteration order is unspecified).
+    std::sort(edges_[p].begin(), edges_[p].end(),
+              [](const MobilityEdge& a, const MobilityEdge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+  }
+}
+
+size_t MobilityMultiGraph::TotalEdges() const {
+  size_t count = 0;
+  for (const auto& e : edges_) count += e.size();
+  return count;
+}
+
+}  // namespace o2sr::graphs

@@ -1,0 +1,48 @@
+#ifndef O2SR_GRAPHS_MOBILITY_GRAPH_H_
+#define O2SR_GRAPHS_MOBILITY_GRAPH_H_
+
+#include <vector>
+
+#include "features/order_stats.h"
+#include "sim/period.h"
+
+namespace o2sr::graphs {
+
+// One directed courier-movement edge: couriers delivered from region `src`
+// to region `dst` in the period; the attribute is the mean observed
+// delivery time (paper Definition 3).
+struct MobilityEdge {
+  int src = 0;
+  int dst = 0;
+  double delivery_minutes = 0.0;
+  int transactions = 0;
+};
+
+// Courier mobility multi-graph: one edge set per period over the shared
+// region node set.
+class MobilityMultiGraph {
+ public:
+  // Builds the multi-graph from order-log aggregations. Edges with fewer
+  // than `min_transactions` observations are dropped as noise.
+  MobilityMultiGraph(const features::OrderStats& stats,
+                     int min_transactions = 1);
+
+  int num_regions() const { return num_regions_; }
+
+  const std::vector<MobilityEdge>& EdgesInPeriod(int period) const {
+    return edges_[period];
+  }
+  size_t TotalEdges() const;
+
+  // Maximum delivery time across all edges (for normalization).
+  double max_delivery_minutes() const { return max_delivery_minutes_; }
+
+ private:
+  int num_regions_;
+  double max_delivery_minutes_ = 0.0;
+  std::vector<std::vector<MobilityEdge>> edges_;  // [period]
+};
+
+}  // namespace o2sr::graphs
+
+#endif  // O2SR_GRAPHS_MOBILITY_GRAPH_H_

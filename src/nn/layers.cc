@@ -1,0 +1,81 @@
+#include "nn/layers.h"
+
+namespace o2sr::nn {
+
+Linear::Linear(ParameterStore* store, const std::string& name, int in_dim,
+               int out_dim, Rng& rng, bool with_bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  O2SR_CHECK(store != nullptr);
+  O2SR_CHECK_GT(in_dim, 0);
+  O2SR_CHECK_GT(out_dim, 0);
+  weight_ = store->CreateXavier(name + ".weight", in_dim, out_dim, rng);
+  if (with_bias) bias_ = store->CreateZeros(name + ".bias", 1, out_dim);
+}
+
+Value Linear::Apply(Tape& tape, Value x) const {
+  O2SR_CHECK(weight_ != nullptr);
+  Value w = tape.Param(weight_);
+  Value y = tape.MatMul(x, w);
+  if (bias_ != nullptr) {
+    y = tape.AddRowBroadcast(y, tape.Param(bias_));
+  }
+  return y;
+}
+
+Value Activate(Tape& tape, Value x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return tape.Relu(x);
+    case Activation::kSigmoid:
+      return tape.Sigmoid(x);
+    case Activation::kTanh:
+      return tape.Tanh(x);
+  }
+  O2SR_CHECK(false);
+  return x;
+}
+
+Mlp::Mlp(ParameterStore* store, const std::string& name,
+         const std::vector<int>& dims, Rng& rng, Activation hidden_activation,
+         Activation output_activation)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation) {
+  O2SR_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + ".fc" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+}
+
+Value Mlp::Apply(Tape& tape, Value x) const {
+  O2SR_CHECK(!layers_.empty());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i].Apply(tape, x);
+    const bool last = (i + 1 == layers_.size());
+    x = Activate(tape, x, last ? output_activation_ : hidden_activation_);
+  }
+  return x;
+}
+
+Embedding::Embedding(ParameterStore* store, const std::string& name,
+                     int num_entities, int dim, Rng& rng)
+    : num_entities_(num_entities), dim_(dim) {
+  O2SR_CHECK(store != nullptr);
+  O2SR_CHECK_GT(num_entities, 0);
+  O2SR_CHECK_GT(dim, 0);
+  table_ = store->CreateNormal(name + ".table", num_entities, dim, 0.1, rng);
+}
+
+Value Embedding::Lookup(Tape& tape, const std::vector<int>& ids) const {
+  O2SR_CHECK(table_ != nullptr);
+  return tape.GatherRows(tape.Param(table_), ids);
+}
+
+Value Embedding::Full(Tape& tape) const {
+  O2SR_CHECK(table_ != nullptr);
+  return tape.Param(table_);
+}
+
+}  // namespace o2sr::nn

@@ -1,0 +1,82 @@
+#ifndef O2SR_NN_LAYERS_H_
+#define O2SR_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/tape.h"
+
+namespace o2sr::nn {
+
+// Affine layer y = x W + b. Parameters live in the supplied ParameterStore;
+// the layer object itself holds only non-owning pointers, so it can be
+// copied freely and reused across tapes.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParameterStore* store, const std::string& name, int in_dim,
+         int out_dim, Rng& rng, bool with_bias = true);
+
+  // Applies the layer to x: [N, in_dim] -> [N, out_dim].
+  Value Apply(Tape& tape, Value x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  Parameter* weight_ = nullptr;
+  Parameter* bias_ = nullptr;  // null when constructed without bias
+  int in_dim_ = 0;
+  int out_dim_ = 0;
+};
+
+// Activation selector for Mlp layers.
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+// Applies the chosen activation on the tape.
+Value Activate(Tape& tape, Value x, Activation activation);
+
+// Multi-layer perceptron with a configurable activation between layers
+// (the final layer's activation is configured separately, kNone by default).
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(ParameterStore* store, const std::string& name,
+      const std::vector<int>& dims, Rng& rng,
+      Activation hidden_activation = Activation::kRelu,
+      Activation output_activation = Activation::kNone);
+
+  Value Apply(Tape& tape, Value x) const;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_activation_ = Activation::kRelu;
+  Activation output_activation_ = Activation::kNone;
+};
+
+// Learned embedding table: one row per entity id. Lookup gathers rows, so
+// gradients flow back only to the referenced rows.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(ParameterStore* store, const std::string& name, int num_entities,
+            int dim, Rng& rng);
+
+  // ids index into the table; result is [ids.size(), dim].
+  Value Lookup(Tape& tape, const std::vector<int>& ids) const;
+  // Places the full table on the tape: [num_entities, dim].
+  Value Full(Tape& tape) const;
+
+  int dim() const { return dim_; }
+  int num_entities() const { return num_entities_; }
+
+ private:
+  Parameter* table_ = nullptr;
+  int num_entities_ = 0;
+  int dim_ = 0;
+};
+
+}  // namespace o2sr::nn
+
+#endif  // O2SR_NN_LAYERS_H_

@@ -1,0 +1,92 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace o2sr::nn {
+
+Parameter* ParameterStore::CreateXavier(const std::string& name, int rows,
+                                        int cols, Rng& rng) {
+  params_.push_back(
+      std::make_unique<Parameter>(name, Tensor::Xavier(rows, cols, rng)));
+  return params_.back().get();
+}
+
+Parameter* ParameterStore::CreateNormal(const std::string& name, int rows,
+                                        int cols, double stddev, Rng& rng) {
+  params_.push_back(std::make_unique<Parameter>(
+      name, Tensor::RandomNormal(rows, cols, stddev, rng)));
+  return params_.back().get();
+}
+
+Parameter* ParameterStore::CreateZeros(const std::string& name, int rows,
+                                       int cols) {
+  params_.push_back(
+      std::make_unique<Parameter>(name, Tensor::Zeros(rows, cols)));
+  return params_.back().get();
+}
+
+void ParameterStore::ZeroGrads() {
+  for (auto& p : params_) p->grad.SetZero();
+}
+
+size_t ParameterStore::NumScalars() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+AdamOptimizer::AdamOptimizer(ParameterStore* store, Options options)
+    : store_(store), options_(options) {
+  O2SR_CHECK(store != nullptr);
+}
+
+void AdamOptimizer::Step() {
+  // Lazily (re)allocate moment buffers if parameters were added after
+  // construction.
+  while (m_.size() < store_->params().size()) {
+    const auto& p = store_->params()[m_.size()];
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+  ++step_;
+
+  // Global gradient-norm clipping stabilizes the attention models on small
+  // batches.
+  if (options_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (const auto& p : store_->params()) {
+      for (size_t i = 0; i < p->grad.size(); ++i) {
+        const double g = p->grad.data()[i];
+        sq += g * g;
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      const float scale = static_cast<float>(options_.clip_norm / norm);
+      for (const auto& p : store_->params()) p->grad.ScaleInPlace(scale);
+    }
+  }
+
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_));
+  for (size_t k = 0; k < store_->params().size(); ++k) {
+    Parameter& p = *store_->params()[k];
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (size_t i = 0; i < p.value.size(); ++i) {
+      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g[i]);
+      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g[i] * g[i]);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      w[i] -= static_cast<float>(options_.learning_rate * m_hat /
+                                 (std::sqrt(v_hat) + options_.epsilon));
+    }
+  }
+  store_->ZeroGrads();
+}
+
+}  // namespace o2sr::nn

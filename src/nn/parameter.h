@@ -1,0 +1,88 @@
+#ifndef O2SR_NN_PARAMETER_H_
+#define O2SR_NN_PARAMETER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace o2sr::nn {
+
+// A trainable tensor. Gradients are accumulated by Tape::Backward and
+// consumed/cleared by the optimizer.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+};
+
+// Owns the parameters of a model. Models create their parameters here once
+// and reference them on every training step's tape.
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  // Xavier-uniform weight matrix.
+  Parameter* CreateXavier(const std::string& name, int rows, int cols,
+                          Rng& rng);
+  // Gaussian-initialized matrix (used for embedding tables).
+  Parameter* CreateNormal(const std::string& name, int rows, int cols,
+                          double stddev, Rng& rng);
+  // Zero-initialized matrix (used for biases).
+  Parameter* CreateZeros(const std::string& name, int rows, int cols);
+
+  void ZeroGrads();
+
+  // Total number of scalar parameters.
+  size_t NumScalars() const;
+
+  const std::vector<std::unique_ptr<Parameter>>& params() const {
+    return params_;
+  }
+  std::vector<std::unique_ptr<Parameter>>& params() { return params_; }
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+// Adam optimizer (Kingma & Ba) over a ParameterStore. The paper trains with
+// Adam at lr=1e-4; benchmark configs may use a larger rate for speed.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    // Gradient L2-norm clip; <= 0 disables clipping.
+    double clip_norm = 5.0;
+  };
+
+  AdamOptimizer(ParameterStore* store, Options options);
+
+  // Applies one update using the accumulated gradients, then zeroes them.
+  void Step();
+
+  int64_t step_count() const { return step_; }
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  ParameterStore* store_;  // not owned
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace o2sr::nn
+
+#endif  // O2SR_NN_PARAMETER_H_

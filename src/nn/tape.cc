@@ -1,0 +1,573 @@
+#include "nn/tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace o2sr::nn {
+
+Value Tape::Emplace(Tensor value,
+                    std::function<void(Tape&, const Node&)> backward) {
+  Node n;
+  n.grad = Tensor(value.rows(), value.cols());
+  n.value = std::move(value);
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Value{static_cast<int>(nodes_.size()) - 1};
+}
+
+Value Tape::Input(Tensor t) { return Emplace(std::move(t), nullptr); }
+
+Value Tape::Param(Parameter* p) {
+  O2SR_CHECK(p != nullptr);
+  return Emplace(p->value, [p](Tape&, const Node& self) {
+    p->grad.AddInPlace(self.grad);
+  });
+}
+
+Value Tape::MatMul(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  Tensor out = nn::MatMul(ta, tb);
+  const int ai = a.id, bi = b.id;
+  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
+    // dA = dC * B^T ; dB = A^T * dC
+    t.mutable_grad(ai).AddInPlace(
+        MatMulTransposeB(self.grad, t.node(bi).value));
+    t.mutable_grad(bi).AddInPlace(
+        MatMulTransposeA(t.node(ai).value, self.grad));
+  });
+}
+
+Value Tape::Add(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  O2SR_CHECK(ta.SameShape(tb));
+  Tensor out = ta;
+  out.AddInPlace(tb);
+  const int ai = a.id, bi = b.id;
+  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
+    t.mutable_grad(ai).AddInPlace(self.grad);
+    t.mutable_grad(bi).AddInPlace(self.grad);
+  });
+}
+
+Value Tape::AddN(const std::vector<Value>& xs) {
+  O2SR_CHECK(!xs.empty());
+  Tensor out = value(xs[0]);
+  for (size_t i = 1; i < xs.size(); ++i) {
+    O2SR_CHECK(out.SameShape(value(xs[i])));
+    out.AddInPlace(value(xs[i]));
+  }
+  std::vector<int> ids;
+  ids.reserve(xs.size());
+  for (Value v : xs) ids.push_back(v.id);
+  return Emplace(std::move(out), [ids](Tape& t, const Node& self) {
+    for (int id : ids) t.mutable_grad(id).AddInPlace(self.grad);
+  });
+}
+
+Value Tape::Sub(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  O2SR_CHECK(ta.SameShape(tb));
+  Tensor out = ta;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] -= tb.data()[i];
+  const int ai = a.id, bi = b.id;
+  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
+    t.mutable_grad(ai).AddInPlace(self.grad);
+    Tensor& gb = t.mutable_grad(bi);
+    for (size_t i = 0; i < gb.size(); ++i) gb.data()[i] -= self.grad.data()[i];
+  });
+}
+
+Value Tape::Mul(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  O2SR_CHECK(ta.SameShape(tb));
+  Tensor out = ta;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= tb.data()[i];
+  const int ai = a.id, bi = b.id;
+  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
+    const Tensor& va = t.node(ai).value;
+    const Tensor& vb = t.node(bi).value;
+    Tensor& ga = t.mutable_grad(ai);
+    Tensor& gb = t.mutable_grad(bi);
+    for (size_t i = 0; i < va.size(); ++i) {
+      ga.data()[i] += self.grad.data()[i] * vb.data()[i];
+      gb.data()[i] += self.grad.data()[i] * va.data()[i];
+    }
+  });
+}
+
+Value Tape::Scale(Value a, float s) {
+  Tensor out = value(a);
+  out.ScaleInPlace(s);
+  const int ai = a.id;
+  return Emplace(std::move(out), [ai, s](Tape& t, const Node& self) {
+    Tensor& ga = t.mutable_grad(ai);
+    for (size_t i = 0; i < ga.size(); ++i) {
+      ga.data()[i] += s * self.grad.data()[i];
+    }
+  });
+}
+
+Value Tape::AddRowBroadcast(Value x, Value bias) {
+  const Tensor& tx = value(x);
+  const Tensor& tb = value(bias);
+  O2SR_CHECK_EQ(tb.rows(), 1);
+  O2SR_CHECK_EQ(tb.cols(), tx.cols());
+  Tensor out = tx;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    const float* b = tb.row(0);
+    for (int c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  const int xi = x.id, bi = bias.id;
+  return Emplace(std::move(out), [xi, bi](Tape& t, const Node& self) {
+    t.mutable_grad(xi).AddInPlace(self.grad);
+    Tensor& gb = t.mutable_grad(bi);
+    for (int r = 0; r < self.grad.rows(); ++r) {
+      const float* g = self.grad.row(r);
+      for (int c = 0; c < self.grad.cols(); ++c) gb.at(0, c) += g[c];
+    }
+  });
+}
+
+Value Tape::MulColBroadcast(Value x, Value col) {
+  const Tensor& tx = value(x);
+  const Tensor& tc = value(col);
+  O2SR_CHECK_EQ(tc.cols(), 1);
+  O2SR_CHECK_EQ(tc.rows(), tx.rows());
+  Tensor out = tx;
+  for (int r = 0; r < out.rows(); ++r) {
+    const float w = tc.at(r, 0);
+    float* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= w;
+  }
+  const int xi = x.id, ci = col.id;
+  return Emplace(std::move(out), [xi, ci](Tape& t, const Node& self) {
+    const Tensor& vx = t.node(xi).value;
+    const Tensor& vc = t.node(ci).value;
+    Tensor& gx = t.mutable_grad(xi);
+    Tensor& gc = t.mutable_grad(ci);
+    for (int r = 0; r < vx.rows(); ++r) {
+      const float w = vc.at(r, 0);
+      const float* g = self.grad.row(r);
+      const float* xv = vx.row(r);
+      float* gxr = gx.row(r);
+      double acc = 0.0;
+      for (int c = 0; c < vx.cols(); ++c) {
+        gxr[c] += g[c] * w;
+        acc += g[c] * xv[c];
+      }
+      gc.at(r, 0) += static_cast<float>(acc);
+    }
+  });
+}
+
+Value Tape::Relu(Value x) {
+  Tensor out = value(x);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(out.data()[i], 0.0f);
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
+    const Tensor& vx = t.node(xi).value;
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t i = 0; i < vx.size(); ++i) {
+      if (vx.data()[i] > 0.0f) gx.data()[i] += self.grad.data()[i];
+    }
+  });
+}
+
+Value Tape::LeakyRelu(Value x, float negative_slope) {
+  const Tensor& tx = value(x);
+  Tensor out = tx;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out),
+                 [xi, negative_slope](Tape& t, const Node& self) {
+    const Tensor& vx = t.node(xi).value;
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t i = 0; i < vx.size(); ++i) {
+      const float d = vx.data()[i] > 0.0f ? 1.0f : negative_slope;
+      gx.data()[i] += d * self.grad.data()[i];
+    }
+  });
+}
+
+Value Tape::Sigmoid(Value x) {
+  const Tensor& tx = value(x);
+  Tensor out = tx;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      const float y = self.value.data()[i];
+      gx.data()[i] += self.grad.data()[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Value Tape::Tanh(Value x) {
+  const Tensor& tx = value(x);
+  Tensor out = tx;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      const float y = self.value.data()[i];
+      gx.data()[i] += self.grad.data()[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Value Tape::SoftmaxRows(Value x) {
+  const Tensor& tx = value(x);
+  Tensor out = tx;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    float mx = row[0];
+    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = static_cast<float>(row[c] / sum);
+    }
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (int r = 0; r < self.value.rows(); ++r) {
+      const float* y = self.value.row(r);
+      const float* g = self.grad.row(r);
+      double dot = 0.0;
+      for (int c = 0; c < self.value.cols(); ++c) dot += y[c] * g[c];
+      float* gr = gx.row(r);
+      for (int c = 0; c < self.value.cols(); ++c) {
+        gr[c] += y[c] * (g[c] - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+Value Tape::ConcatCols(const std::vector<Value>& xs) {
+  O2SR_CHECK(!xs.empty());
+  const int rows = value(xs[0]).rows();
+  int total_cols = 0;
+  for (Value v : xs) {
+    O2SR_CHECK_EQ(value(v).rows(), rows);
+    total_cols += value(v).cols();
+  }
+  Tensor out(rows, total_cols);
+  int offset = 0;
+  std::vector<int> ids;
+  std::vector<int> offsets;
+  std::vector<int> widths;
+  for (Value v : xs) {
+    const Tensor& tv = value(v);
+    for (int r = 0; r < rows; ++r) {
+      std::copy(tv.row(r), tv.row(r) + tv.cols(), out.row(r) + offset);
+    }
+    ids.push_back(v.id);
+    offsets.push_back(offset);
+    widths.push_back(tv.cols());
+    offset += tv.cols();
+  }
+  return Emplace(std::move(out),
+                 [ids, offsets, widths](Tape& t, const Node& self) {
+    for (size_t k = 0; k < ids.size(); ++k) {
+      Tensor& g = t.mutable_grad(ids[k]);
+      for (int r = 0; r < g.rows(); ++r) {
+        const float* src = self.grad.row(r) + offsets[k];
+        float* dst = g.row(r);
+        for (int c = 0; c < widths[k]; ++c) dst[c] += src[c];
+      }
+    }
+  });
+}
+
+Value Tape::SliceCols(Value x, int start, int count) {
+  const Tensor& tx = value(x);
+  O2SR_CHECK(start >= 0 && count > 0 && start + count <= tx.cols());
+  Tensor out(tx.rows(), count);
+  for (int r = 0; r < tx.rows(); ++r) {
+    std::copy(tx.row(r) + start, tx.row(r) + start + count, out.row(r));
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi, start, count](Tape& t,
+                                                    const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (int r = 0; r < self.grad.rows(); ++r) {
+      const float* g = self.grad.row(r);
+      float* dst = gx.row(r) + start;
+      for (int c = 0; c < count; ++c) dst[c] += g[c];
+    }
+  });
+}
+
+Value Tape::RowwiseDot(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  O2SR_CHECK(ta.SameShape(tb));
+  Tensor out(ta.rows(), 1);
+  for (int r = 0; r < ta.rows(); ++r) {
+    double dot = 0.0;
+    const float* ra = ta.row(r);
+    const float* rb = tb.row(r);
+    for (int c = 0; c < ta.cols(); ++c) dot += ra[c] * rb[c];
+    out.at(r, 0) = static_cast<float>(dot);
+  }
+  const int ai = a.id, bi = b.id;
+  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
+    const Tensor& va = t.node(ai).value;
+    const Tensor& vb = t.node(bi).value;
+    Tensor& ga = t.mutable_grad(ai);
+    Tensor& gb = t.mutable_grad(bi);
+    for (int r = 0; r < va.rows(); ++r) {
+      const float g = self.grad.at(r, 0);
+      const float* ra = va.row(r);
+      const float* rb = vb.row(r);
+      float* gra = ga.row(r);
+      float* grb = gb.row(r);
+      for (int c = 0; c < va.cols(); ++c) {
+        gra[c] += g * rb[c];
+        grb[c] += g * ra[c];
+      }
+    }
+  });
+}
+
+Value Tape::Dropout(Value x, double p, Rng& rng) {
+  if (!training_ || p <= 0.0) return x;
+  O2SR_CHECK_LT(p, 1.0);
+  const Tensor& tx = value(x);
+  Tensor mask(tx.rows(), tx.cols());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng.Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  Tensor out = tx;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask.data()[i];
+  const int xi = x.id;
+  return Emplace(std::move(out),
+                 [xi, mask = std::move(mask)](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t i = 0; i < gx.size(); ++i) {
+      gx.data()[i] += self.grad.data()[i] * mask.data()[i];
+    }
+  });
+}
+
+Value Tape::GatherRows(Value x, std::vector<int> index) {
+  const Tensor& tx = value(x);
+  Tensor out(static_cast<int>(index.size()), tx.cols());
+  for (size_t e = 0; e < index.size(); ++e) {
+    O2SR_CHECK(index[e] >= 0 && index[e] < tx.rows());
+    std::copy(tx.row(index[e]), tx.row(index[e]) + tx.cols(),
+              out.row(static_cast<int>(e)));
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out),
+                 [xi, index = std::move(index)](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t e = 0; e < index.size(); ++e) {
+      const float* g = self.grad.row(static_cast<int>(e));
+      float* dst = gx.row(index[e]);
+      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
+    }
+  });
+}
+
+Value Tape::SegmentSoftmax(Value scores, std::vector<int> segment,
+                           int num_segments) {
+  const Tensor& ts = value(scores);
+  O2SR_CHECK_EQ(ts.cols(), 1);
+  O2SR_CHECK_EQ(static_cast<size_t>(ts.rows()), segment.size());
+  // Numerically stable per-segment softmax.
+  std::vector<float> seg_max(num_segments,
+                             -std::numeric_limits<float>::infinity());
+  for (size_t e = 0; e < segment.size(); ++e) {
+    O2SR_CHECK(segment[e] >= 0 && segment[e] < num_segments);
+    seg_max[segment[e]] =
+        std::max(seg_max[segment[e]], ts.at(static_cast<int>(e), 0));
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  Tensor out(ts.rows(), 1);
+  for (size_t e = 0; e < segment.size(); ++e) {
+    const float v =
+        std::exp(ts.at(static_cast<int>(e), 0) - seg_max[segment[e]]);
+    out.at(static_cast<int>(e), 0) = v;
+    seg_sum[segment[e]] += v;
+  }
+  for (size_t e = 0; e < segment.size(); ++e) {
+    out.at(static_cast<int>(e), 0) = static_cast<float>(
+        out.at(static_cast<int>(e), 0) / seg_sum[segment[e]]);
+  }
+  const int si = scores.id;
+  return Emplace(std::move(out), [si, segment = std::move(segment),
+                                  num_segments](Tape& t, const Node& self) {
+    // d s_e = alpha_e * (g_e - sum_{k in seg} alpha_k g_k)
+    std::vector<double> seg_dot(num_segments, 0.0);
+    for (size_t e = 0; e < segment.size(); ++e) {
+      seg_dot[segment[e]] += static_cast<double>(
+          self.value.at(static_cast<int>(e), 0) *
+          self.grad.at(static_cast<int>(e), 0));
+    }
+    Tensor& gs = t.mutable_grad(si);
+    for (size_t e = 0; e < segment.size(); ++e) {
+      const float a = self.value.at(static_cast<int>(e), 0);
+      const float g = self.grad.at(static_cast<int>(e), 0);
+      gs.at(static_cast<int>(e), 0) +=
+          a * (g - static_cast<float>(seg_dot[segment[e]]));
+    }
+  });
+}
+
+Value Tape::SegmentSum(Value x, std::vector<int> segment, int num_segments) {
+  const Tensor& tx = value(x);
+  O2SR_CHECK_EQ(static_cast<size_t>(tx.rows()), segment.size());
+  Tensor out(num_segments, tx.cols());
+  for (size_t e = 0; e < segment.size(); ++e) {
+    O2SR_CHECK(segment[e] >= 0 && segment[e] < num_segments);
+    const float* src = tx.row(static_cast<int>(e));
+    float* dst = out.row(segment[e]);
+    for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c];
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out),
+                 [xi, segment = std::move(segment)](Tape& t,
+                                                    const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t e = 0; e < segment.size(); ++e) {
+      const float* g = self.grad.row(segment[e]);
+      float* dst = gx.row(static_cast<int>(e));
+      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
+    }
+  });
+}
+
+Value Tape::SegmentMean(Value x, std::vector<int> segment, int num_segments) {
+  const Tensor& tx = value(x);
+  O2SR_CHECK_EQ(static_cast<size_t>(tx.rows()), segment.size());
+  std::vector<int> counts(num_segments, 0);
+  for (int s : segment) {
+    O2SR_CHECK(s >= 0 && s < num_segments);
+    ++counts[s];
+  }
+  Tensor out(num_segments, tx.cols());
+  for (size_t e = 0; e < segment.size(); ++e) {
+    const float* src = tx.row(static_cast<int>(e));
+    float* dst = out.row(segment[e]);
+    const float inv = 1.0f / static_cast<float>(counts[segment[e]]);
+    for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c] * inv;
+  }
+  const int xi = x.id;
+  return Emplace(std::move(out),
+                 [xi, segment = std::move(segment),
+                  counts = std::move(counts)](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    for (size_t e = 0; e < segment.size(); ++e) {
+      const float* g = self.grad.row(segment[e]);
+      float* dst = gx.row(static_cast<int>(e));
+      const float inv = 1.0f / static_cast<float>(counts[segment[e]]);
+      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c] * inv;
+    }
+  });
+}
+
+Value Tape::MeanAll(Value x) {
+  const Tensor& tx = value(x);
+  O2SR_CHECK_GT(tx.size(), 0u);
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(tx.Sum() / tx.size());
+  const int xi = x.id;
+  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
+    Tensor& gx = t.mutable_grad(xi);
+    const float g =
+        self.grad.at(0, 0) / static_cast<float>(gx.size());
+    for (size_t i = 0; i < gx.size(); ++i) gx.data()[i] += g;
+  });
+}
+
+Value Tape::MseLoss(Value pred, Value target) {
+  const Tensor& tp = value(pred);
+  const Tensor& tt = value(target);
+  O2SR_CHECK(tp.SameShape(tt));
+  O2SR_CHECK_GT(tp.size(), 0u);
+  Tensor out(1, 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    const double d = tp.data()[i] - tt.data()[i];
+    acc += d * d;
+  }
+  out.at(0, 0) = static_cast<float>(acc / tp.size());
+  const int pi = pred.id, ti = target.id;
+  return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
+    const Tensor& vp = t.node(pi).value;
+    const Tensor& vt = t.node(ti).value;
+    Tensor& gp = t.mutable_grad(pi);
+    Tensor& gt = t.mutable_grad(ti);
+    const float scale =
+        2.0f * self.grad.at(0, 0) / static_cast<float>(vp.size());
+    for (size_t i = 0; i < vp.size(); ++i) {
+      const float d = vp.data()[i] - vt.data()[i];
+      gp.data()[i] += scale * d;
+      gt.data()[i] -= scale * d;
+    }
+  });
+}
+
+Value Tape::MaeLoss(Value pred, Value target) {
+  const Tensor& tp = value(pred);
+  const Tensor& tt = value(target);
+  O2SR_CHECK(tp.SameShape(tt));
+  O2SR_CHECK_GT(tp.size(), 0u);
+  Tensor out(1, 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    acc += std::fabs(tp.data()[i] - tt.data()[i]);
+  }
+  out.at(0, 0) = static_cast<float>(acc / tp.size());
+  const int pi = pred.id, ti = target.id;
+  return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
+    const Tensor& vp = t.node(pi).value;
+    const Tensor& vt = t.node(ti).value;
+    Tensor& gp = t.mutable_grad(pi);
+    Tensor& gt = t.mutable_grad(ti);
+    const float scale = self.grad.at(0, 0) / static_cast<float>(vp.size());
+    for (size_t i = 0; i < vp.size(); ++i) {
+      const float d = vp.data()[i] - vt.data()[i];
+      const float sign = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+      gp.data()[i] += scale * sign;
+      gt.data()[i] -= scale * sign;
+    }
+  });
+}
+
+void Tape::Backward(Value loss) {
+  O2SR_CHECK(!backward_done_);
+  backward_done_ = true;
+  Node& root = node(loss.id);
+  O2SR_CHECK_EQ(root.value.rows(), 1);
+  O2SR_CHECK_EQ(root.value.cols(), 1);
+  root.grad.at(0, 0) = 1.0f;
+  for (int id = loss.id; id >= 0; --id) {
+    Node& n = nodes_[id];
+    if (n.backward) n.backward(*this, n);
+  }
+}
+
+}  // namespace o2sr::nn

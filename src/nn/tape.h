@@ -1,0 +1,137 @@
+#ifndef O2SR_NN_TAPE_H_
+#define O2SR_NN_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+
+namespace o2sr::nn {
+
+// Handle to a node on a Tape. Cheap to copy; only valid for the Tape that
+// created it.
+struct Value {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+// Reverse-mode automatic differentiation over 2-D tensors.
+//
+// A fresh Tape is built for every forward pass (define-by-run). Operations
+// append nodes holding the forward result and a backward closure; Backward()
+// seeds the loss gradient and walks the nodes in reverse, accumulating
+// gradients into Parameter::grad for every Param leaf.
+//
+// In addition to dense ops, the tape provides the three sparse "segment"
+// primitives that graph attention needs (GatherRows, SegmentSoftmax,
+// SegmentSum): together with MatMul/Concat they express every equation of
+// the paper (Eq. 2-17) without dense adjacency matrices.
+class Tape {
+ public:
+  explicit Tape(bool training = true) : training_(training) {}
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  bool training() const { return training_; }
+
+  // Leaves ------------------------------------------------------------------
+
+  // Constant input (no gradient flows out of the tape through it).
+  Value Input(Tensor t);
+  // Trainable leaf; Backward() accumulates into p->grad.
+  Value Param(Parameter* p);
+
+  // Accessors ---------------------------------------------------------------
+
+  const Tensor& value(Value v) const { return node(v.id).value; }
+  const Tensor& grad(Value v) const { return node(v.id).grad; }
+  int rows(Value v) const { return node(v.id).value.rows(); }
+  int cols(Value v) const { return node(v.id).value.cols(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Dense ops ---------------------------------------------------------------
+
+  Value MatMul(Value a, Value b);
+  Value Add(Value a, Value b);
+  Value AddN(const std::vector<Value>& xs);
+  Value Sub(Value a, Value b);
+  Value Mul(Value a, Value b);  // elementwise
+  Value Scale(Value a, float s);
+  // x: [N,C], bias: [1,C]; adds bias to every row.
+  Value AddRowBroadcast(Value x, Value bias);
+  // x: [N,C], col: [N,1]; scales row i of x by col[i].
+  Value MulColBroadcast(Value x, Value col);
+  Value Relu(Value x);
+  Value LeakyRelu(Value x, float negative_slope = 0.2f);
+  Value Sigmoid(Value x);
+  Value Tanh(Value x);
+  // Row-wise softmax of [N,C].
+  Value SoftmaxRows(Value x);
+  // Horizontal concatenation (all inputs share the row count).
+  Value ConcatCols(const std::vector<Value>& xs);
+  // Extracts columns [start, start+count) of x.
+  Value SliceCols(Value x, int start, int count);
+  // Row-wise dot product of two [N,C] tensors -> [N,1].
+  Value RowwiseDot(Value a, Value b);
+  // Inverted dropout; identity when the tape is in inference mode or p == 0.
+  Value Dropout(Value x, double p, Rng& rng);
+
+  // Sparse / graph ops ------------------------------------------------------
+
+  // out[e, :] = x[index[e], :]. Backward scatter-adds.
+  Value GatherRows(Value x, std::vector<int> index);
+  // Softmax of scores[:,0] within each segment. scores: [E,1];
+  // segment[e] in [0, num_segments). Empty segments are allowed.
+  Value SegmentSoftmax(Value scores, std::vector<int> segment,
+                       int num_segments);
+  // out[s, :] = sum over {e : segment[e] == s} of x[e, :]. -> [S,C].
+  Value SegmentSum(Value x, std::vector<int> segment, int num_segments);
+  // Like SegmentSum but divides by the segment size (empty segments -> 0).
+  Value SegmentMean(Value x, std::vector<int> segment, int num_segments);
+
+  // Reductions / losses -----------------------------------------------------
+
+  // Mean of all entries -> [1,1].
+  Value MeanAll(Value x);
+  // Mean squared error between same-shaped tensors -> [1,1] (Eq. 16).
+  Value MseLoss(Value pred, Value target);
+  // Mean absolute error -> [1,1] (Eq. 6).
+  Value MaeLoss(Value pred, Value target);
+
+  // Runs backpropagation from `loss`, which must be [1,1]. May be called
+  // once per tape.
+  void Backward(Value loss);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    // Backward closure: reads this node's grad, accumulates into the grads
+    // of its inputs (and into Parameter::grad for Param leaves). Null for
+    // constant leaves.
+    std::function<void(Tape&, const Node&)> backward;
+  };
+
+  Node& node(int id) {
+    O2SR_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+    return nodes_[id];
+  }
+  const Node& node(int id) const {
+    O2SR_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+    return nodes_[id];
+  }
+  Tensor& mutable_grad(int id) { return node(id).grad; }
+
+  Value Emplace(Tensor value,
+                std::function<void(Tape&, const Node&)> backward);
+
+  bool training_;
+  bool backward_done_ = false;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace o2sr::nn
+
+#endif  // O2SR_NN_TAPE_H_

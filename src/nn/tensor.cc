@@ -1,0 +1,132 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace o2sr::nn {
+
+Tensor Tensor::Full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(int rows, int cols,
+                          const std::vector<float>& values) {
+  O2SR_CHECK_EQ(static_cast<size_t>(rows) * cols, values.size());
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int rows, int cols, double stddev, Rng& rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Xavier(int rows, int cols, Rng& rng) {
+  Tensor t(rows, cols);
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  O2SR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float scalar) {
+  for (float& v : data_) v *= scalar;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::MeanAbs() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (float v : data_) s += std::fabs(v);
+  return s / static_cast<double>(data_.size());
+}
+
+std::string Tensor::ShapeString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%dx%d]", rows_, cols_);
+  return buf;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  O2SR_CHECK_EQ(a.cols(), b.rows());
+  Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  O2SR_CHECK_EQ(a.rows(), b.rows());
+  Tensor c(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  O2SR_CHECK_EQ(a.cols(), b.cols());
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      // Four independent accumulator chains let the compiler vectorize the
+      // reduction without -ffast-math.
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc0 += arow[p] * brow[p];
+        acc1 += arow[p + 1] * brow[p + 1];
+        acc2 += arow[p + 2] * brow[p + 2];
+        acc3 += arow[p + 3] * brow[p + 3];
+      }
+      for (; p < k; ++p) acc0 += arow[p] * brow[p];
+      crow[j] = (acc0 + acc1) + (acc2 + acc3);
+    }
+  }
+  return c;
+}
+
+}  // namespace o2sr::nn

@@ -1,0 +1,137 @@
+#include "sim/city.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace o2sr::sim {
+
+namespace {
+
+// Mixing weight of downtown-vs-suburb POI profiles by normalized distance
+// from the center.
+double DowntownWeight(double center_dist_norm) {
+  return std::exp(-2.5 * center_dist_norm * center_dist_norm);
+}
+
+}  // namespace
+
+CityModel GenerateCity(const SimConfig& config, Rng& rng) {
+  geo::Grid grid(config.city_width_m, config.city_height_m, config.cell_m);
+  CityModel city(grid);
+  const int num_regions = grid.NumRegions();
+
+  // Population density: a dominant downtown core, one or two secondary
+  // centers, plus multiplicative noise. Mirrors the monocentric-with-
+  // subcenters structure of large Chinese cities.
+  const int num_subcenters = 2;
+  std::vector<geo::Point> subcenters;
+  for (int i = 0; i < num_subcenters; ++i) {
+    subcenters.push_back({rng.Uniform(0.2, 0.8) * config.city_width_m,
+                          rng.Uniform(0.2, 0.8) * config.city_height_m});
+  }
+  city.density.resize(num_regions);
+  double density_sum = 0.0;
+  for (int r = 0; r < num_regions; ++r) {
+    const double d0 = grid.CenterDistanceNorm(r);
+    double value = std::exp(-3.0 * d0 * d0);
+    const geo::Point c = grid.Center(r);
+    for (const geo::Point& sc : subcenters) {
+      const double d =
+          geo::EuclideanMeters(c, sc) /
+          (0.5 * std::min(config.city_width_m, config.city_height_m));
+      value += 0.45 * std::exp(-6.0 * d * d);
+    }
+    value *= rng.Uniform(0.7, 1.3);
+    city.density[r] = value;
+    density_sum += value;
+  }
+  for (double& v : city.density) v /= density_sum;
+
+  // POIs: expected total scales with the number of regions; per-region count
+  // follows density, and category mix interpolates between a downtown and a
+  // suburban profile.
+  //
+  // Category order matches geo::PoiCategory: residential, office, school,
+  // hospital, mall, transit, park, hotel, restaurant, entertainment,
+  // factory, government.
+  const std::vector<double> downtown_mix = {0.14, 0.24, 0.05, 0.04, 0.12, 0.10,
+                                            0.03, 0.07, 0.10, 0.08, 0.01, 0.02};
+  const std::vector<double> suburb_mix = {0.34, 0.05, 0.09, 0.03, 0.04, 0.05,
+                                          0.09, 0.02, 0.06, 0.03, 0.16, 0.04};
+  const double pois_per_region = 18.0;
+  for (int r = 0; r < num_regions; ++r) {
+    const double w = DowntownWeight(grid.CenterDistanceNorm(r));
+    // density[r] * num_regions is ~1 for an average region.
+    const double relative_density = city.density[r] * num_regions;
+    const double expected = pois_per_region * (0.3 + 0.7 * relative_density);
+    const int count = rng.Poisson(expected * rng.Uniform(0.8, 1.2));
+    std::vector<double> mix(geo::kNumPoiCategories);
+    for (int c = 0; c < geo::kNumPoiCategories; ++c) {
+      mix[c] = w * downtown_mix[c] + (1.0 - w) * suburb_mix[c];
+    }
+    const geo::Point base = grid.Center(r);
+    for (int i = 0; i < count; ++i) {
+      geo::Poi poi;
+      poi.category = static_cast<geo::PoiCategory>(rng.Categorical(mix));
+      poi.location = {
+          Clamp(base.x + rng.Uniform(-0.5, 0.5) * config.cell_m, 0.0,
+                config.city_width_m - 1.0),
+          Clamp(base.y + rng.Uniform(-0.5, 0.5) * config.cell_m, 0.0,
+                config.city_height_m - 1.0)};
+      city.pois.push_back(poi);
+    }
+  }
+
+  // Road network: intersections on a ~1 km lattice with jitter, denser
+  // downtown; roads connect lattice neighbors when both endpoints exist.
+  const double lattice_m = 1000.0;
+  const int nx = static_cast<int>(config.city_width_m / lattice_m) + 1;
+  const int ny = static_cast<int>(config.city_height_m / lattice_m) + 1;
+  std::vector<int> node_index(static_cast<size_t>(nx) * ny, -1);
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      geo::Point p = {Clamp(ix * lattice_m + rng.Uniform(-150.0, 150.0), 0.0,
+                            config.city_width_m - 1.0),
+                      Clamp(iy * lattice_m + rng.Uniform(-150.0, 150.0), 0.0,
+                            config.city_height_m - 1.0)};
+      const double keep =
+          0.45 + 0.55 * DowntownWeight(grid.CenterDistanceNorm(
+                            grid.RegionOf(p)));
+      if (!rng.Bernoulli(keep)) continue;
+      node_index[static_cast<size_t>(iy) * nx + ix] =
+          static_cast<int>(city.roads.intersections.size());
+      city.roads.intersections.push_back(p);
+    }
+  }
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const int a = node_index[static_cast<size_t>(iy) * nx + ix];
+      if (a < 0) continue;
+      if (ix + 1 < nx) {
+        const int b = node_index[static_cast<size_t>(iy) * nx + ix + 1];
+        if (b >= 0) city.roads.roads.emplace_back(a, b);
+      }
+      if (iy + 1 < ny) {
+        const int b = node_index[static_cast<size_t>(iy + 1) * nx + ix];
+        if (b >= 0) city.roads.roads.emplace_back(a, b);
+      }
+    }
+  }
+
+  // Region demographics: normalized POI composition.
+  const auto poi_counts = geo::CountPoisPerRegion(city.pois, grid);
+  city.demographics.assign(num_regions,
+                           std::vector<double>(geo::kNumPoiCategories, 0.0));
+  for (int r = 0; r < num_regions; ++r) {
+    double total = 0.0;
+    for (double c : poi_counts[r]) total += c;
+    if (total <= 0.0) continue;
+    for (int c = 0; c < geo::kNumPoiCategories; ++c) {
+      city.demographics[r][c] = poi_counts[r][c] / total;
+    }
+  }
+  return city;
+}
+
+}  // namespace o2sr::sim

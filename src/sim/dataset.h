@@ -1,0 +1,105 @@
+#ifndef O2SR_SIM_DATASET_H_
+#define O2SR_SIM_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "geo/grid.h"
+#include "sim/city.h"
+#include "sim/config.h"
+#include "sim/period.h"
+#include "sim/store_types.h"
+
+namespace o2sr::sim {
+
+// A store on the platform.
+struct Store {
+  int id = 0;
+  int type = 0;
+  geo::Point location;
+  geo::RegionId region = 0;
+  // Intrinsic attractiveness (menu, price, ratings), lognormal-ish around 1.
+  double quality = 1.0;
+};
+
+// One delivered order (mirrors Table I of the paper).
+struct Order {
+  int order_id = 0;
+  int store_id = 0;
+  int courier_id = 0;
+  int type = 0;
+  geo::RegionId store_region = 0;
+  geo::RegionId customer_region = 0;
+  geo::Point store_location;
+  geo::Point customer_location;
+  // Timestamps in minutes since simulation start.
+  double creation_min = 0.0;
+  double acceptance_min = 0.0;
+  double pickup_min = 0.0;
+  double delivery_min = 0.0;
+  double distance_m = 0.0;  // store-to-customer straight-line distance
+  int day = 0;
+  int slot = 0;  // 2-hour slot within the day, [0, 12)
+
+  Period period() const { return PeriodOfSlot(slot); }
+  double delivery_minutes() const { return delivery_min - creation_min; }
+};
+
+// A courier GPS trajectory (one delivery leg), 20-second samples.
+struct TrajectoryPoint {
+  double time_min = 0.0;
+  geo::Point location;
+};
+struct Trajectory {
+  int courier_id = 0;
+  int order_id = 0;
+  std::vector<TrajectoryPoint> points;
+};
+
+// Per-slot operational statistics the motivation figures need.
+struct SlotStats {
+  int day = 0;
+  int slot = 0;
+  int active_couriers = 0;
+  int orders = 0;
+  // City-level mean actual delivery minutes in this slot (0 if no orders).
+  double mean_delivery_minutes = 0.0;
+};
+
+// The complete synthetic dataset: environment + platform records.
+struct Dataset {
+  SimConfig config;
+  CityModel city;
+  std::vector<StoreType> type_catalog;
+  std::vector<Store> stores;
+  std::vector<Order> orders;
+  std::vector<Trajectory> trajectories;  // only if config.generate_trajectories
+  std::vector<SlotStats> slot_stats;
+  // Delivery-scope radius factor actually applied per period (pressure
+  // control), recorded for Fig. 3 style analyses.
+  std::vector<double> scope_factor_per_period;
+  // Courier allocation (fractional couriers on duty) per 2-hour slot and
+  // region: courier_alloc_slot_region[slot][region]. Constant across days.
+  std::vector<std::vector<double>> courier_alloc_slot_region;
+
+  explicit Dataset(const SimConfig& cfg, CityModel c)
+      : config(cfg), city(std::move(c)) {}
+
+  int num_regions() const { return city.grid.NumRegions(); }
+  int num_types() const { return static_cast<int>(type_catalog.size()); }
+};
+
+// Runs the full simulation: city -> stores -> courier/order dynamics.
+// Deterministic for a given config (seed included).
+Dataset GenerateDataset(const SimConfig& config);
+
+// Generates store placements for a city (exposed for tests).
+std::vector<Store> GenerateStores(const SimConfig& config,
+                                  const CityModel& city,
+                                  const std::vector<StoreType>& catalog,
+                                  Rng& rng);
+
+}  // namespace o2sr::sim
+
+#endif  // O2SR_SIM_DATASET_H_

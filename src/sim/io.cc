@@ -1,0 +1,179 @@
+#include "sim/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace o2sr::sim {
+
+namespace {
+
+// Splits a CSV line (no quoting — none of our fields contain commas).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(std::FILE* file) : file_(file) {}
+
+  bool Next(std::string* line) {
+    line->clear();
+    char buf[512];
+    while (std::fgets(buf, sizeof(buf), file_) != nullptr) {
+      line->append(buf);
+      if (!line->empty() && line->back() == '\n') {
+        line->pop_back();
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+    }
+    return !line->empty();
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+bool WriteOrdersCsv(const std::string& path, const Dataset& data,
+                    const geo::CityFrame& frame) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "order_id,store_id,courier_id,store_type,"
+               "store_lat,store_lng,customer_lat,customer_lng,"
+               "creation_min,acceptance_min,pickup_min,delivery_min,"
+               "distance_m\n");
+  for (const Order& o : data.orders) {
+    const geo::LatLng store = frame.ToLatLng(o.store_location);
+    const geo::LatLng customer = frame.ToLatLng(o.customer_location);
+    std::fprintf(f,
+                 "%d,%d,%d,%d,%.7f,%.7f,%.7f,%.7f,%.4f,%.4f,%.4f,%.4f,%.2f\n",
+                 o.order_id, o.store_id, o.courier_id, o.type, store.lat,
+                 store.lng, customer.lat, customer.lng, o.creation_min,
+                 o.acceptance_min, o.pickup_min, o.delivery_min,
+                 o.distance_m);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool ReadOrdersCsv(const std::string& path, const geo::CityFrame& frame,
+                   const geo::Grid& grid, std::vector<Order>* orders) {
+  O2SR_CHECK(orders != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  LineReader reader(f);
+  std::string line;
+  bool first = true;
+  while (reader.Next(&line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    O2SR_CHECK_EQ(cells.size(), 13u);
+    Order o;
+    o.order_id = std::atoi(cells[0].c_str());
+    o.store_id = std::atoi(cells[1].c_str());
+    o.courier_id = std::atoi(cells[2].c_str());
+    o.type = std::atoi(cells[3].c_str());
+    o.store_location =
+        frame.ToPoint({std::atof(cells[4].c_str()),
+                       std::atof(cells[5].c_str())});
+    o.customer_location =
+        frame.ToPoint({std::atof(cells[6].c_str()),
+                       std::atof(cells[7].c_str())});
+    o.creation_min = std::atof(cells[8].c_str());
+    o.acceptance_min = std::atof(cells[9].c_str());
+    o.pickup_min = std::atof(cells[10].c_str());
+    o.delivery_min = std::atof(cells[11].c_str());
+    o.distance_m = std::atof(cells[12].c_str());
+    o.store_region = grid.RegionOf(o.store_location);
+    o.customer_region = grid.RegionOf(o.customer_location);
+    const int total_min = static_cast<int>(o.creation_min);
+    o.day = total_min / (24 * 60);
+    o.slot = (total_min % (24 * 60)) / static_cast<int>(kSlotMinutes);
+    orders->push_back(o);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool WriteStoresCsv(const std::string& path, const Dataset& data,
+                    const geo::CityFrame& frame) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "store_id,type_id,type_name,lat,lng,quality\n");
+  for (const Store& s : data.stores) {
+    const geo::LatLng ll = frame.ToLatLng(s.location);
+    std::fprintf(f, "%d,%d,%s,%.7f,%.7f,%.5f\n", s.id, s.type,
+                 data.type_catalog[s.type].name.c_str(), ll.lat, ll.lng,
+                 s.quality);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool ReadStoresCsv(const std::string& path, const geo::CityFrame& frame,
+                   const geo::Grid& grid, std::vector<Store>* stores) {
+  O2SR_CHECK(stores != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  LineReader reader(f);
+  std::string line;
+  bool first = true;
+  while (reader.Next(&line)) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    O2SR_CHECK_EQ(cells.size(), 6u);
+    Store s;
+    s.id = std::atoi(cells[0].c_str());
+    s.type = std::atoi(cells[1].c_str());
+    // cells[2] is the human-readable type name; ignored on import.
+    s.location = frame.ToPoint(
+        {std::atof(cells[3].c_str()), std::atof(cells[4].c_str())});
+    s.quality = std::atof(cells[5].c_str());
+    s.region = grid.RegionOf(s.location);
+    stores->push_back(s);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool WriteTrajectoriesCsv(const std::string& path, const Dataset& data,
+                          const geo::CityFrame& frame) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "courier_id,order_id,time_min,lat,lng\n");
+  for (const Trajectory& t : data.trajectories) {
+    for (const TrajectoryPoint& p : t.points) {
+      const geo::LatLng ll = frame.ToLatLng(p.location);
+      std::fprintf(f, "%d,%d,%.4f,%.7f,%.7f\n", t.courier_id, t.order_id,
+                   p.time_min, ll.lat, ll.lng);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace o2sr::sim

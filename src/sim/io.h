@@ -1,0 +1,45 @@
+#ifndef O2SR_SIM_IO_H_
+#define O2SR_SIM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/dataset.h"
+
+namespace o2sr::sim {
+
+// CSV import/export of the platform records, mirroring the field layout of
+// the paper's Table I (store/customer coordinates, the four timestamps,
+// ids, distance and store type). Lets users persist a simulated dataset or
+// bring their own order log into the pipeline.
+//
+// All functions return false (and write nothing further) on I/O errors;
+// malformed rows abort via CHECK, as they indicate programmer error or file
+// corruption rather than recoverable conditions.
+
+// Orders: one row per order, header included. Coordinates are written as
+// lat/lng via the given city frame (defaults to the Shanghai-like anchor).
+bool WriteOrdersCsv(const std::string& path, const Dataset& data,
+                    const geo::CityFrame& frame = geo::CityFrame());
+
+// Reads orders written by WriteOrdersCsv back into planar coordinates.
+// Region/store-type consistency is restored from the coordinates and the
+// accompanying fields. Returns false if the file cannot be opened.
+bool ReadOrdersCsv(const std::string& path, const geo::CityFrame& frame,
+                   const geo::Grid& grid, std::vector<Order>* orders);
+
+// Stores: id, type id, type name, lat, lng, quality.
+bool WriteStoresCsv(const std::string& path, const Dataset& data,
+                    const geo::CityFrame& frame = geo::CityFrame());
+bool ReadStoresCsv(const std::string& path, const geo::CityFrame& frame,
+                   const geo::Grid& grid, std::vector<Store>* stores);
+
+// Courier trajectories (only present when the simulation generated them):
+// courier id, order id, timestamp (minutes), lat, lng — the 20-second GPS
+// samples of the paper's trajectory data.
+bool WriteTrajectoriesCsv(const std::string& path, const Dataset& data,
+                          const geo::CityFrame& frame = geo::CityFrame());
+
+}  // namespace o2sr::sim
+
+#endif  // O2SR_SIM_IO_H_

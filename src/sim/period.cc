@@ -1,0 +1,33 @@
+#include "sim/period.h"
+
+#include "common/check.h"
+
+namespace o2sr::sim {
+
+Period PeriodOfHour(int hour) {
+  O2SR_CHECK(hour >= 0 && hour < 24);
+  if (hour >= 6 && hour < 10) return Period::kMorning;
+  if (hour >= 10 && hour < 14) return Period::kNoonRush;
+  if (hour >= 14 && hour < 16) return Period::kAfternoon;
+  if (hour >= 16 && hour < 20) return Period::kEveningRush;
+  return Period::kNight;
+}
+
+Period PeriodOfSlot(int slot) {
+  O2SR_CHECK(slot >= 0 && slot < kSlotsPerDay);
+  return PeriodOfHour(slot * 2);
+}
+
+const char* PeriodName(Period period) {
+  switch (period) {
+    case Period::kMorning: return "morning";
+    case Period::kNoonRush: return "noon-rush";
+    case Period::kAfternoon: return "afternoon";
+    case Period::kEveningRush: return "evening-rush";
+    case Period::kNight: return "night";
+  }
+  O2SR_CHECK(false);
+  return "";
+}
+
+}  // namespace o2sr::sim

@@ -1,0 +1,33 @@
+#ifndef O2SR_SIM_PERIOD_H_
+#define O2SR_SIM_PERIOD_H_
+
+namespace o2sr::sim {
+
+// The five daily periods the paper analyses (morning, noon rush hour,
+// afternoon, evening rush hour, night). Hours outside 6-24 count as night.
+enum class Period : int {
+  kMorning = 0,      // 06-10
+  kNoonRush = 1,     // 10-14
+  kAfternoon = 2,    // 14-16
+  kEveningRush = 3,  // 16-20
+  kNight = 4,        // 20-06
+};
+
+inline constexpr int kNumPeriods = 5;
+
+// Two-hour slots within a day, as used by Fig. 1-2 (12 slots: 00-02 ... 22-24).
+inline constexpr int kSlotsPerDay = 12;
+inline constexpr double kSlotMinutes = 120.0;
+
+// Period of a day hour in [0, 24).
+Period PeriodOfHour(int hour);
+
+// Period of a 2-hour slot index in [0, 12).
+Period PeriodOfSlot(int slot);
+
+// Display name, e.g. "noon-rush".
+const char* PeriodName(Period period);
+
+}  // namespace o2sr::sim
+
+#endif  // O2SR_SIM_PERIOD_H_

@@ -1,0 +1,123 @@
+#include "sim/store_types.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace o2sr::sim {
+
+namespace {
+
+// Named types referenced by the paper (Fig. 5, Fig. 12-13) come first so
+// that experiments can address them by stable ids.
+struct NamedType {
+  const char* name;
+  TypeArchetype archetype;
+  double popularity;  // unnormalized weight
+};
+
+constexpr std::array<NamedType, 16> kNamedTypes = {{
+    {"light meal", TypeArchetype::kLunchMeal, 10.0},
+    {"light salad", TypeArchetype::kLunchMeal, 4.0},
+    {"fruit", TypeArchetype::kAfternoonTreat, 5.5},
+    {"steamed buns", TypeArchetype::kBreakfast, 4.5},
+    {"juice", TypeArchetype::kAfternoonTreat, 3.5},
+    {"fried chicken", TypeArchetype::kLateNight, 6.0},
+    {"coffee", TypeArchetype::kAfternoonTreat, 6.5},
+    {"snack", TypeArchetype::kLateNight, 5.0},
+    {"milk tea", TypeArchetype::kAfternoonTreat, 7.0},
+    {"bakery", TypeArchetype::kBreakfast, 3.5},
+    {"noodles", TypeArchetype::kDinnerMeal, 6.0},
+    {"rice bowl", TypeArchetype::kDinnerMeal, 6.5},
+    {"hot pot", TypeArchetype::kDinnerMeal, 3.0},
+    {"bbq", TypeArchetype::kLateNight, 3.0},
+    {"congee", TypeArchetype::kBreakfast, 2.5},
+    {"convenience", TypeArchetype::kAllDay, 4.0},
+}};
+
+}  // namespace
+
+std::vector<double> ArchetypeSlotActivity(TypeArchetype archetype) {
+  // Slot k covers hours [2k, 2k+2). Values are relative activity levels;
+  // BuildTypeCatalog rescales them so their mean is 1.
+  switch (archetype) {
+    case TypeArchetype::kBreakfast:
+      return {0.1, 0.1, 0.3, 2.8, 3.2, 1.0, 0.4, 0.5, 0.6, 0.4, 0.2, 0.1};
+    case TypeArchetype::kLunchMeal:
+      return {0.1, 0.1, 0.1, 0.5, 1.5, 3.6, 1.0, 0.7, 2.2, 1.2, 0.4, 0.2};
+    case TypeArchetype::kAfternoonTreat:
+      return {0.1, 0.1, 0.1, 0.4, 1.0, 1.6, 2.6, 2.8, 1.6, 1.0, 0.6, 0.2};
+    case TypeArchetype::kDinnerMeal:
+      return {0.1, 0.1, 0.1, 0.3, 0.8, 2.0, 0.8, 1.0, 3.4, 2.2, 0.8, 0.3};
+    case TypeArchetype::kLateNight:
+      return {1.2, 0.6, 0.2, 0.2, 0.4, 0.8, 0.6, 0.8, 1.4, 2.6, 3.0, 2.2};
+    case TypeArchetype::kAllDay:
+      return {0.5, 0.3, 0.3, 0.9, 1.2, 1.4, 1.2, 1.2, 1.4, 1.3, 1.2, 0.9};
+  }
+  O2SR_CHECK(false);
+  return {};
+}
+
+std::vector<double> ArchetypePoiAffinity(TypeArchetype archetype) {
+  // Order matches geo::PoiCategory: residential, office, school, hospital,
+  // mall, transit, park, hotel, restaurant, entertainment, factory, gov.
+  switch (archetype) {
+    case TypeArchetype::kBreakfast:
+      return {0.9, 0.6, 0.7, 0.4, 0.2, 0.6, 0.1, 0.3, 0.3, 0.1, 0.8, 0.5};
+    case TypeArchetype::kLunchMeal:
+      return {0.4, 1.0, 0.5, 0.5, 0.5, 0.4, 0.1, 0.4, 0.5, 0.2, 0.7, 0.8};
+    case TypeArchetype::kAfternoonTreat:
+      return {0.3, 1.0, 0.8, 0.3, 0.8, 0.3, 0.3, 0.4, 0.4, 0.6, 0.2, 0.5};
+    case TypeArchetype::kDinnerMeal:
+      return {1.0, 0.4, 0.4, 0.4, 0.5, 0.4, 0.2, 0.6, 0.6, 0.4, 0.6, 0.3};
+    case TypeArchetype::kLateNight:
+      return {0.8, 0.2, 0.6, 0.3, 0.3, 0.2, 0.1, 0.7, 0.5, 1.0, 0.5, 0.1};
+    case TypeArchetype::kAllDay:
+      return {0.7, 0.6, 0.5, 0.6, 0.6, 0.5, 0.3, 0.6, 0.5, 0.5, 0.5, 0.5};
+  }
+  O2SR_CHECK(false);
+  return {};
+}
+
+std::vector<StoreType> BuildTypeCatalog(int num_types, Rng& rng) {
+  O2SR_CHECK_GT(num_types, 0);
+  std::vector<StoreType> catalog;
+  catalog.reserve(num_types);
+  double popularity_sum = 0.0;
+  for (int i = 0; i < num_types; ++i) {
+    StoreType type;
+    type.id = i;
+    if (i < static_cast<int>(kNamedTypes.size())) {
+      type.name = kNamedTypes[i].name;
+      type.archetype = kNamedTypes[i].archetype;
+      type.popularity = kNamedTypes[i].popularity;
+    } else {
+      type.archetype = static_cast<TypeArchetype>(i % kNumArchetypes);
+      type.name = "type-" + std::to_string(i);
+      // Long-tail popularity for generated types.
+      type.popularity = 2.0 / (1.0 + 0.15 * (i - kNamedTypes.size())) *
+                        rng.Uniform(0.6, 1.4);
+    }
+    type.slot_activity = ArchetypeSlotActivity(type.archetype);
+    // Normalize the profile to mean 1 and add mild per-type variation so
+    // types within an archetype are not identical.
+    double mean = 0.0;
+    for (double v : type.slot_activity) mean += v;
+    mean /= type.slot_activity.size();
+    for (double& v : type.slot_activity) {
+      v = v / mean * rng.Uniform(0.85, 1.15);
+    }
+    type.poi_affinity = ArchetypePoiAffinity(type.archetype);
+    for (double& v : type.poi_affinity) {
+      v = Clamp(v * rng.Uniform(0.8, 1.2), 0.0, 1.2);
+    }
+    type.prep_factor = rng.Uniform(0.8, 1.3);
+    popularity_sum += type.popularity;
+    catalog.push_back(std::move(type));
+  }
+  for (StoreType& t : catalog) t.popularity /= popularity_sum;
+  return catalog;
+}
+
+}  // namespace o2sr::sim

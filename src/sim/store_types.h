@@ -1,0 +1,60 @@
+#ifndef O2SR_SIM_STORE_TYPES_H_
+#define O2SR_SIM_STORE_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/poi.h"
+#include "sim/period.h"
+
+namespace o2sr::sim {
+
+// Daily demand archetypes for store types. Each archetype has a distinct
+// activity profile over the 12 two-hour slots, which is what creates the
+// per-period popularity differences of Fig. 5.
+enum class TypeArchetype : int {
+  kBreakfast = 0,   // peaks 06-10 (steamed buns, bakery, soy milk)
+  kLunchMeal,       // peaks 10-14 (light meal, bento, salad)
+  kAfternoonTreat,  // peaks 14-18 (coffee, milk tea, juice, fruit)
+  kDinnerMeal,      // peaks 16-20 (hot pot, noodles, rice dishes)
+  kLateNight,       // peaks 20-02 (fried chicken, bbq, snack)
+  kAllDay,          // flat profile (convenience, pharmacy, dessert)
+};
+
+inline constexpr int kNumArchetypes = 6;
+
+// A store type in the catalog (paper: 122 types such as light meal, coffee,
+// snack; we generate a configurable number with the most referenced ones
+// named to match the paper's figures).
+struct StoreType {
+  int id = 0;
+  std::string name;
+  TypeArchetype archetype = TypeArchetype::kAllDay;
+  // Relative overall popularity (market share), normalized across the
+  // catalog to sum to 1.
+  double popularity = 0.0;
+  // Activity multiplier per 2-hour slot (12 entries, mean ~1).
+  std::vector<double> slot_activity;
+  // Affinity to each POI category (12 entries, used to modulate regional
+  // preferences, e.g. coffee sells near offices).
+  std::vector<double> poi_affinity;
+  // Average ticket preparation complexity; scales food prep time a bit.
+  double prep_factor = 1.0;
+};
+
+// Generates a deterministic catalog of `num_types` store types. The first
+// entries are the named types used by the paper's per-type figures (light
+// meal, light salad, fruit, steamed buns, juice, fried chicken, ...);
+// remaining types get generated names and randomized archetypes.
+std::vector<StoreType> BuildTypeCatalog(int num_types, Rng& rng);
+
+// Per-slot activity profile of an archetype (12 values, mean ~1).
+std::vector<double> ArchetypeSlotActivity(TypeArchetype archetype);
+
+// POI affinity vector of an archetype (kNumPoiCategories values in [0,1]).
+std::vector<double> ArchetypePoiAffinity(TypeArchetype archetype);
+
+}  // namespace o2sr::sim
+
+#endif  // O2SR_SIM_STORE_TYPES_H_

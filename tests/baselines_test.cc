@@ -1,0 +1,179 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_common.h"
+#include "baselines/factory.h"
+#include "eval/experiment.h"
+#include "features/order_stats.h"
+
+namespace o2sr::baselines {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 3500.0;
+  cfg.city_height_m = 3500.0;
+  cfg.num_store_types = 8;
+  cfg.num_stores = 140;
+  cfg.num_couriers = 60;
+  cfg.num_days = 3;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 51;
+  return cfg;
+}
+
+struct Fixture {
+  sim::Dataset data;
+  eval::Split split;
+
+  Fixture() : data(sim::GenerateDataset(TestConfig())) {
+    Rng rng(2);
+    split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
+                                    rng);
+  }
+};
+
+const Fixture& F() {
+  static const Fixture* f = new Fixture();
+  return *f;
+}
+
+BaselineConfig SmallConfig(FeatureSetting setting) {
+  BaselineConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.epochs = 15;
+  cfg.setting = setting;
+  return cfg;
+}
+
+TEST(FeatureSettingTest, Names) {
+  EXPECT_STREQ(FeatureSettingName(FeatureSetting::kOriginal), "Original");
+  EXPECT_STREQ(FeatureSettingName(FeatureSetting::kAdaption), "Adaption");
+}
+
+TEST(PairFeatureBuilderTest, DimensionsBySetting) {
+  const features::OrderStats stats(F().data, F().split.train_orders);
+  const PairFeatureBuilder original(F().data, stats,
+                                    FeatureSetting::kOriginal);
+  const PairFeatureBuilder adaption(F().data, stats,
+                                    FeatureSetting::kAdaption);
+  EXPECT_EQ(original.dim(), 16 + 2);
+  EXPECT_EQ(adaption.dim(), 16 + 2 + 3);
+}
+
+TEST(PairFeatureBuilderTest, FeatureValuesBoundedAndAligned) {
+  const features::OrderStats stats(F().data, F().split.train_orders);
+  const PairFeatureBuilder builder(F().data, stats,
+                                   FeatureSetting::kAdaption);
+  const nn::Tensor feats = builder.Build(F().split.train);
+  ASSERT_EQ(feats.rows(), static_cast<int>(F().split.train.size()));
+  ASSERT_EQ(feats.cols(), builder.dim());
+  for (size_t i = 0; i < feats.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(feats.data()[i]));
+    EXPECT_GE(feats.data()[i], 0.0f);
+    EXPECT_LE(feats.data()[i], 1.2f);
+  }
+}
+
+TEST(PairFeatureBuilderTest, SameRegionSameBaseBlock) {
+  const features::OrderStats stats(F().data, F().split.train_orders);
+  const PairFeatureBuilder builder(F().data, stats,
+                                   FeatureSetting::kOriginal);
+  // Two pairs in the same region but different types share the region block.
+  core::InteractionList pairs = {{10, 0, 0, 0}, {10, 1, 0, 0}};
+  const nn::Tensor feats = builder.Build(pairs);
+  for (int c = 0; c < 16; ++c) {
+    EXPECT_EQ(feats.at(0, c), feats.at(1, c));
+  }
+}
+
+TEST(RegionIndexTest, MapsStoreRegionsOnly) {
+  const RegionIndex index(F().data);
+  EXPECT_GT(index.num_nodes(), 0);
+  std::vector<bool> has_store(F().data.num_regions(), false);
+  for (const auto& s : F().data.stores) has_store[s.region] = true;
+  for (int r = 0; r < F().data.num_regions(); ++r) {
+    EXPECT_EQ(index.NodeOf(r) >= 0, has_store[r]);
+  }
+  for (int i = 0; i < index.num_nodes(); ++i) {
+    EXPECT_EQ(index.NodeOf(index.regions()[i]), i);
+  }
+}
+
+TEST(FactoryTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (auto kind : kAllBaselines) {
+    names.insert(BaselineKindName(kind));
+    auto model = MakeBaseline(kind, SmallConfig(FeatureSetting::kOriginal));
+    ASSERT_NE(model, nullptr);
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+// Every baseline x setting trains, predicts finite values in range, and
+// fits the training data better than the constant predictor.
+class BaselineRunTest
+    : public ::testing::TestWithParam<std::tuple<BaselineKind, FeatureSetting>> {};
+
+TEST_P(BaselineRunTest, TrainsAndPredicts) {
+  const auto [kind, setting] = GetParam();
+  auto model = MakeBaseline(kind, SmallConfig(setting));
+  model->Train(F().data, F().split.train_orders, F().split.train);
+  const std::vector<double> preds = model->Predict(F().split.test);
+  ASSERT_EQ(preds.size(), F().split.test.size());
+  for (double p : preds) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(BaselineRunTest, FitsTrainBetterThanConstant) {
+  const auto [kind, setting] = GetParam();
+  BaselineConfig cfg = SmallConfig(setting);
+  cfg.epochs = 60;
+  auto model = MakeBaseline(kind, cfg);
+  model->Train(F().data, F().split.train_orders, F().split.train);
+  const std::vector<double> preds = model->Predict(F().split.train);
+  double mean = 0.0;
+  for (const auto& it : F().split.train) mean += it.target;
+  mean /= F().split.train.size();
+  double model_se = 0.0, const_se = 0.0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const double t = F().split.train[i].target;
+    model_se += (preds[i] - t) * (preds[i] - t);
+    const_se += (mean - t) * (mean - t);
+  }
+  EXPECT_LT(model_se, const_se) << BaselineKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineRunTest,
+    ::testing::Combine(::testing::ValuesIn(kAllBaselines),
+                       ::testing::Values(FeatureSetting::kOriginal,
+                                         FeatureSetting::kAdaption)),
+    [](const auto& info) {
+      std::string out;
+      for (const char c : std::string(BaselineKindName(std::get<0>(info.param)))) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      out += '_';
+      out += FeatureSettingName(std::get<1>(info.param));
+      return out;
+    });
+
+TEST(BaselineDeterminismTest, SameSeedSamePredictions) {
+  auto run = [&]() {
+    auto model = MakeBaseline(BaselineKind::kHgt,
+                              SmallConfig(FeatureSetting::kAdaption));
+    model->Train(F().data, F().split.train_orders, F().split.train);
+    return model->Predict(F().split.test);
+  };
+  const auto a = run();
+  const auto b = run();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace o2sr::baselines

@@ -1,0 +1,162 @@
+#include "core/courier_capacity_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "features/order_stats.h"
+#include "sim/dataset.h"
+
+namespace o2sr::core {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 3000.0;
+  cfg.city_height_m = 3000.0;
+  cfg.num_store_types = 8;
+  cfg.num_stores = 90;
+  cfg.num_couriers = 50;
+  cfg.num_days = 3;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 41;
+  return cfg;
+}
+
+class CapacityModelTest : public ::testing::Test {
+ protected:
+  CapacityModelTest()
+      : data_(sim::GenerateDataset(TestConfig())),
+        stats_(data_),
+        geo_(data_.city.grid),
+        mobility_(stats_) {}
+
+  sim::Dataset data_;
+  features::OrderStats stats_;
+  graphs::GeoGraph geo_;
+  graphs::MobilityMultiGraph mobility_;
+};
+
+TEST_F(CapacityModelTest, RegionEmbeddingShapes) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityConfig cfg;
+  cfg.embedding_dim = 12;
+  CourierCapacityModel model(geo_, mobility_, cfg, &store, rng);
+  nn::Tape tape;
+  nn::Value emb = model.RegionEmbeddings(tape, 1);
+  EXPECT_EQ(tape.rows(emb), data_.num_regions());
+  EXPECT_EQ(tape.cols(emb), 12);
+  EXPECT_EQ(model.edge_embedding_dim(), 24);
+}
+
+TEST_F(CapacityModelTest, EdgeEmbeddingConcatenatesRegionEmbeddings) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityConfig cfg;
+  cfg.embedding_dim = 8;
+  CourierCapacityModel model(geo_, mobility_, cfg, &store, rng);
+  nn::Tape tape;
+  nn::Value emb = model.RegionEmbeddings(tape, 0);
+  nn::Value edge = model.EdgeEmbeddings(tape, emb, {3, 5}, {4, 6});
+  ASSERT_EQ(tape.rows(edge), 2);
+  ASSERT_EQ(tape.cols(edge), 16);
+  // em_{i,j} = [b_j, b_i]: first half is the destination embedding.
+  const nn::Tensor& e = tape.value(edge);
+  const nn::Tensor& b = tape.value(emb);
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_EQ(e.at(0, c), b.at(4, c));      // b_j, j = dst = 4
+    EXPECT_EQ(e.at(0, 8 + c), b.at(3, c));  // b_i, i = src = 3
+  }
+}
+
+TEST_F(CapacityModelTest, PredictionsInUnitRange) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityModel model(geo_, mobility_, {}, &store, rng);
+  nn::Tape tape;
+  nn::Value emb = model.RegionEmbeddings(tape, 2);
+  nn::Value edge = model.EdgeEmbeddings(tape, emb, {0, 1, 2}, {3, 4, 5});
+  const nn::Tensor& pred = tape.value(model.PredictDeliveryNorm(tape, edge));
+  for (size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_GT(pred.data()[i], 0.0f);
+    EXPECT_LT(pred.data()[i], 1.0f);
+  }
+}
+
+TEST_F(CapacityModelTest, TrainingReducesReconstructionLoss) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityConfig cfg;
+  cfg.embedding_dim = 16;
+  CourierCapacityModel model(geo_, mobility_, cfg, &store, rng);
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = 5e-3;
+  nn::AdamOptimizer adam(&store, opt);
+  double first = 0.0, last = 0.0;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    nn::Tape tape;
+    nn::Value loss = model.ReconstructionLoss(tape);
+    last = tape.value(loss).at(0, 0);
+    if (epoch == 0) first = last;
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST_F(CapacityModelTest, LearnedDeliveryTimesCorrelateWithObservations) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityConfig cfg;
+  cfg.embedding_dim = 16;
+  CourierCapacityModel model(geo_, mobility_, cfg, &store, rng);
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = 5e-3;
+  nn::AdamOptimizer adam(&store, opt);
+  for (int epoch = 0; epoch < 120; ++epoch) {
+    nn::Tape tape;
+    nn::Value loss = model.ReconstructionLoss(tape);
+    tape.Backward(loss);
+    adam.Step();
+  }
+  std::vector<double> predicted, observed;
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    int taken = 0;
+    for (const graphs::MobilityEdge& e : mobility_.EdgesInPeriod(p)) {
+      if (e.transactions < 3 || ++taken > 60) continue;
+      predicted.push_back(model.PredictDeliveryMinutes(p, e.src, e.dst));
+      observed.push_back(e.delivery_minutes);
+    }
+  }
+  ASSERT_GT(predicted.size(), 50u);
+  EXPECT_GT(PearsonCorrelation(predicted, observed), 0.5);
+}
+
+TEST_F(CapacityModelTest, LossFromEmbeddingsMatchesDirectLoss) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  CourierCapacityModel model(geo_, mobility_, {}, &store, rng);
+  nn::Tape tape;
+  std::vector<nn::Value> embs(sim::kNumPeriods);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    embs[p] = model.RegionEmbeddings(tape, p);
+  }
+  nn::Value from_embs = model.ReconstructionLossFromEmbeddings(tape, embs);
+  nn::Tape tape2;
+  nn::Value direct = model.ReconstructionLoss(tape2);
+  EXPECT_NEAR(tape.value(from_embs).at(0, 0), tape2.value(direct).at(0, 0),
+              1e-5);
+}
+
+TEST_F(CapacityModelTest, DeterministicGivenSeed) {
+  auto run = [&]() {
+    nn::ParameterStore store;
+    Rng rng(9);
+    CourierCapacityModel model(geo_, mobility_, {}, &store, rng);
+    return model.PredictDeliveryMinutes(1, 2, 10);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace o2sr::core

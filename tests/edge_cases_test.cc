@@ -1,0 +1,144 @@
+// Edge-case coverage: components must behave sensibly on degenerate inputs
+// (periods with no orders, empty relations, single-store markets) that real
+// deployments hit on sparse days.
+
+#include <gtest/gtest.h>
+
+#include "core/courier_capacity_model.h"
+#include "core/o2siterec.h"
+#include "eval/experiment.h"
+#include "features/order_stats.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
+
+namespace o2sr {
+namespace {
+
+sim::SimConfig TinyConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 2500.0;
+  cfg.city_height_m = 2500.0;
+  cfg.num_store_types = 5;
+  cfg.num_stores = 40;
+  cfg.num_couriers = 30;
+  cfg.num_days = 2;
+  cfg.peak_orders_per_region_slot = 3.0;
+  cfg.seed = 111;
+  return cfg;
+}
+
+// Orders restricted to a single period: every other period's mobility/S-U
+// edge sets are empty.
+std::vector<sim::Order> NoonOnly(const sim::Dataset& data) {
+  std::vector<sim::Order> out;
+  for (const sim::Order& o : data.orders) {
+    if (o.period() == sim::Period::kNoonRush) out.push_back(o);
+  }
+  return out;
+}
+
+TEST(EdgeCaseTest, MobilityGraphWithEmptyPeriods) {
+  const sim::Dataset data = sim::GenerateDataset(TinyConfig());
+  const features::OrderStats stats(data, NoonOnly(data));
+  const graphs::MobilityMultiGraph mobility(stats);
+  EXPECT_GT(mobility.EdgesInPeriod(
+                static_cast<int>(sim::Period::kNoonRush)).size(), 0u);
+  EXPECT_TRUE(mobility.EdgesInPeriod(
+                  static_cast<int>(sim::Period::kNight)).empty());
+}
+
+TEST(EdgeCaseTest, CapacityModelHandlesEmptyMobilityPeriods) {
+  const sim::Dataset data = sim::GenerateDataset(TinyConfig());
+  const features::OrderStats stats(data, NoonOnly(data));
+  const graphs::GeoGraph geo(data.city.grid);
+  const graphs::MobilityMultiGraph mobility(stats);
+  nn::ParameterStore store;
+  Rng rng(1);
+  core::CourierCapacityConfig cfg;
+  cfg.embedding_dim = 8;
+  const core::CourierCapacityModel model(geo, mobility, cfg, &store, rng);
+  // Forward on an empty period must fall back to the residual path.
+  nn::Tape tape;
+  nn::Value emb = model.RegionEmbeddings(
+      tape, static_cast<int>(sim::Period::kNight));
+  EXPECT_EQ(tape.rows(emb), data.num_regions());
+  // Loss over all periods averages only non-empty ones and trains.
+  nn::Tape tape2;
+  nn::Value loss = model.ReconstructionLoss(tape2);
+  EXPECT_GT(tape2.value(loss).at(0, 0), 0.0f);
+  tape2.Backward(loss);
+}
+
+TEST(EdgeCaseTest, HeteroGraphWithSinglePeriodOrders) {
+  const sim::Dataset data = sim::GenerateDataset(TinyConfig());
+  const features::OrderStats stats(data, NoonOnly(data));
+  const graphs::HeteroMultiGraph graph(data, stats);
+  const int noon = static_cast<int>(sim::Period::kNoonRush);
+  const int night = static_cast<int>(sim::Period::kNight);
+  EXPECT_GT(graph.Subgraph(noon).ua_edges.size(), 0u);
+  EXPECT_TRUE(graph.Subgraph(night).ua_edges.empty());
+  // S-A edges are period-independent and must survive.
+  EXPECT_FALSE(graph.sa_edges().empty());
+}
+
+TEST(EdgeCaseTest, FullModelTrainsOnSinglePeriodData) {
+  const sim::Dataset data = sim::GenerateDataset(TinyConfig());
+  const std::vector<sim::Order> noon_orders = NoonOnly(data);
+  // Interactions from the restricted log.
+  core::InteractionList train;
+  {
+    const features::OrderStats stats(data, noon_orders);
+    for (int s = 0; s < stats.num_regions(); ++s) {
+      for (int a = 0; a < stats.num_types(); ++a) {
+        const double orders = stats.OrdersOfTypeInRegion(s, a);
+        if (orders > 0) train.push_back({s, a, orders, orders / 50.0});
+      }
+    }
+  }
+  ASSERT_FALSE(train.empty());
+  core::O2SiteRecConfig cfg;
+  cfg.capacity.embedding_dim = 8;
+  cfg.rec.embedding_dim = 16;
+  cfg.rec.node_heads = 2;
+  cfg.epochs = 3;
+  core::O2SiteRec model(data, noon_orders, cfg);
+  model.Train(train);
+  const std::vector<double> preds = model.Predict(train);
+  for (double p : preds) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(EdgeCaseTest, SingleStoreMarket) {
+  // A market with one store still builds all structures.
+  sim::SimConfig cfg = TinyConfig();
+  cfg.num_stores = 1;
+  const sim::Dataset data = sim::GenerateDataset(cfg);
+  const features::OrderStats stats(data);
+  const graphs::HeteroMultiGraph graph(data, stats);
+  EXPECT_EQ(graph.num_store_nodes(), 1);
+  EXPECT_GE(graph.sa_edges().size(), 1u);
+}
+
+TEST(EdgeCaseTest, ZeroDemandProducesNoOrdersButValidDataset) {
+  sim::SimConfig cfg = TinyConfig();
+  cfg.peak_orders_per_region_slot = 0.0;
+  const sim::Dataset data = sim::GenerateDataset(cfg);
+  EXPECT_TRUE(data.orders.empty());
+  EXPECT_EQ(data.slot_stats.size(),
+            static_cast<size_t>(cfg.num_days * sim::kSlotsPerDay));
+  // Downstream aggregation still works.
+  const features::OrderStats stats(data);
+  EXPECT_EQ(stats.TotalStoreRegionOrders(0), 0.0);
+  EXPECT_TRUE(eval::BuildInteractions(data).empty());
+}
+
+TEST(EdgeCaseTest, NoTasteNoiseConfigIsDeterministicallyDifferent) {
+  sim::SimConfig with = TinyConfig();
+  sim::SimConfig without = TinyConfig();
+  without.taste_noise_sigma = 0.0;
+  const sim::Dataset a = sim::GenerateDataset(with);
+  const sim::Dataset b = sim::GenerateDataset(without);
+  EXPECT_NE(a.orders.size(), b.orders.size());
+}
+
+}  // namespace
+}  // namespace o2sr

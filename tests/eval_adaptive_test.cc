@@ -1,0 +1,93 @@
+// Tests of the adaptive top-N evaluation behavior (see DESIGN.md: with
+// candidate pools <= N, a fixed ground-truth top-N marks every candidate
+// relevant and all rankings score 1).
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace o2sr::eval {
+namespace {
+
+// Builds a synthetic test set: one type, `pool` candidate regions with
+// strictly decreasing order counts.
+core::InteractionList MakeTestSet(int pool) {
+  core::InteractionList out;
+  for (int i = 0; i < pool; ++i) {
+    core::Interaction it;
+    it.region = i;
+    it.type = 0;
+    it.orders = pool - i;
+    it.target = static_cast<double>(pool - i) / pool;
+    out.push_back(it);
+  }
+  return out;
+}
+
+// A deliberately bad ranking: reverse order.
+std::vector<double> ReversedPredictions(int pool) {
+  std::vector<double> preds(pool);
+  for (int i = 0; i < pool; ++i) preds[i] = static_cast<double>(i);
+  return preds;
+}
+
+TEST(AdaptiveTopNTest, FixedNSaturatesOnSmallPools) {
+  const int pool = 25;  // smaller than N = 30
+  EvalOptions opts;
+  opts.min_candidates = 1;
+  opts.adaptive_top_n = false;
+  const EvalResult r = Evaluate(MakeTestSet(pool), ReversedPredictions(pool),
+                                opts);
+  // Every candidate is in the truth top-30, so even the reversed ranking is
+  // "perfect" — the degenerate case motivating adaptive N.
+  EXPECT_DOUBLE_EQ(r.ndcg.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(r.precision.at(3), 1.0);
+}
+
+TEST(AdaptiveTopNTest, AdaptiveNStaysDiscriminative) {
+  const int pool = 25;
+  EvalOptions opts;
+  opts.min_candidates = 1;
+  opts.adaptive_top_n = true;
+  const EvalResult r = Evaluate(MakeTestSet(pool), ReversedPredictions(pool),
+                                opts);
+  // With N = max(10, 25/2) = 12 the reversed ranking's top-3 is
+  // irrelevant.
+  EXPECT_DOUBLE_EQ(r.ndcg.at(3), 0.0);
+  EXPECT_DOUBLE_EQ(r.precision.at(3), 0.0);
+}
+
+TEST(AdaptiveTopNTest, LargePoolsUnaffected) {
+  const int pool = 100;  // >= 2 * N: the paper's regime
+  const auto test_set = MakeTestSet(pool);
+  std::vector<double> noisy(pool);
+  Rng rng(3);
+  for (int i = 0; i < pool; ++i) {
+    noisy[i] = test_set[i].target + rng.Normal(0.0, 0.2);
+  }
+  EvalOptions fixed;
+  fixed.min_candidates = 1;
+  fixed.adaptive_top_n = false;
+  EvalOptions adaptive = fixed;
+  adaptive.adaptive_top_n = true;
+  const EvalResult a = Evaluate(test_set, noisy, fixed);
+  const EvalResult b = Evaluate(test_set, noisy, adaptive);
+  EXPECT_DOUBLE_EQ(a.ndcg.at(3), b.ndcg.at(3));
+  EXPECT_DOUBLE_EQ(a.precision.at(5), b.precision.at(5));
+}
+
+TEST(AdaptiveTopNTest, PerfectRankingStillPerfect) {
+  for (int pool : {15, 30, 60}) {
+    const auto test_set = MakeTestSet(pool);
+    std::vector<double> perfect(pool);
+    for (int i = 0; i < pool; ++i) perfect[i] = test_set[i].target;
+    EvalOptions opts;
+    opts.min_candidates = 1;
+    const EvalResult r = Evaluate(test_set, perfect, opts);
+    EXPECT_DOUBLE_EQ(r.ndcg.at(3), 1.0) << "pool " << pool;
+    EXPECT_DOUBLE_EQ(r.precision.at(3), 1.0) << "pool " << pool;
+  }
+}
+
+}  // namespace
+}  // namespace o2sr::eval

@@ -1,0 +1,174 @@
+#include "eval/experiment.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "features/order_stats.h"
+
+namespace o2sr::eval {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 4000.0;
+  cfg.city_height_m = 4000.0;
+  cfg.num_store_types = 10;
+  cfg.num_stores = 200;
+  cfg.num_couriers = 80;
+  cfg.num_days = 3;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 31;
+  return cfg;
+}
+
+const sim::Dataset& Data() {
+  static const sim::Dataset* data =
+      new sim::Dataset(sim::GenerateDataset(TestConfig()));
+  return *data;
+}
+
+TEST(BuildInteractionsTest, CoversAllNonZeroPairs) {
+  const auto interactions = BuildInteractions(Data());
+  const features::OrderStats stats(Data());
+  size_t expected = 0;
+  for (int s = 0; s < stats.num_regions(); ++s) {
+    for (int a = 0; a < stats.num_types(); ++a) {
+      if (stats.OrdersOfTypeInRegion(s, a) > 0) ++expected;
+    }
+  }
+  EXPECT_EQ(interactions.size(), expected);
+}
+
+TEST(BuildInteractionsTest, TargetsNormalizedPerType) {
+  const auto interactions = BuildInteractions(Data());
+  std::map<int, double> max_target;
+  for (const auto& it : interactions) {
+    EXPECT_GT(it.target, 0.0);
+    EXPECT_LE(it.target, 1.0);
+    EXPECT_GT(it.orders, 0.0);
+    max_target[it.type] = std::max(max_target[it.type], it.target);
+  }
+  // The best region of every type hits exactly 1.
+  for (const auto& [type, mx] : max_target) {
+    EXPECT_DOUBLE_EQ(mx, 1.0);
+  }
+}
+
+TEST(BuildInteractionsTest, TargetProportionalToOrders) {
+  const auto interactions = BuildInteractions(Data());
+  // Within a type, target ratios equal order ratios.
+  const auto& a = interactions[0];
+  for (const auto& b : interactions) {
+    if (b.type != a.type) continue;
+    EXPECT_NEAR(a.target * b.orders, b.target * a.orders, 1e-9);
+  }
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), interactions.size());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / interactions.size(),
+              0.8, 0.01);
+  std::set<std::pair<int, int>> train_pairs, test_pairs;
+  for (const auto& it : split.train) train_pairs.insert({it.region, it.type});
+  for (const auto& it : split.test) test_pairs.insert({it.region, it.type});
+  for (const auto& p : test_pairs) {
+    EXPECT_EQ(train_pairs.count(p), 0u);
+  }
+}
+
+TEST(SplitTest, TrainOrdersExcludeTestPairs) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  std::set<std::pair<int, int>> test_pairs;
+  for (const auto& it : split.test) test_pairs.insert({it.region, it.type});
+  for (const sim::Order& o : split.train_orders) {
+    EXPECT_EQ(test_pairs.count({o.store_region, o.type}), 0u);
+  }
+  // Order conservation: every order belongs to train or test pairs.
+  size_t test_order_count = 0;
+  for (const auto& it : split.test) {
+    test_order_count += static_cast<size_t>(it.orders);
+  }
+  EXPECT_EQ(split.train_orders.size() + test_order_count,
+            Data().orders.size());
+}
+
+TEST(SplitTest, DifferentSeedsGiveDifferentSplits) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng_a(1), rng_b(2);
+  const Split a = SplitInteractions(Data(), interactions, 0.8, rng_a);
+  const Split b = SplitInteractions(Data(), interactions, 0.8, rng_b);
+  ASSERT_EQ(a.test.size(), b.test.size());
+  int differing = 0;
+  for (size_t i = 0; i < a.test.size(); ++i) {
+    if (a.test[i].region != b.test[i].region ||
+        a.test[i].type != b.test[i].type) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(EvaluateTest, PerfectPredictionsScorePerfect) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  std::vector<double> perfect(split.test.size());
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    perfect[i] = split.test[i].target;
+  }
+  EvalOptions opts;
+  opts.min_candidates = 3;
+  const EvalResult r = Evaluate(split.test, perfect, opts);
+  ASSERT_GT(r.types_evaluated, 0);
+  EXPECT_DOUBLE_EQ(r.ndcg.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(r.precision.at(3), 1.0);
+  EXPECT_NEAR(r.rmse, 0.0, 1e-12);
+}
+
+TEST(EvaluateTest, MinCandidatesGatesTypes) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  std::vector<double> preds(split.test.size(), 0.5);
+  EvalOptions loose;
+  loose.min_candidates = 1;
+  EvalOptions strict;
+  strict.min_candidates = 10000;
+  EXPECT_GT(Evaluate(split.test, preds, loose).types_evaluated, 0);
+  EXPECT_EQ(Evaluate(split.test, preds, strict).types_evaluated, 0);
+}
+
+TEST(EvaluateTypeTest, SingleTypeOnly) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  std::vector<double> perfect(split.test.size());
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    perfect[i] = split.test[i].target;
+  }
+  const EvalResult r = EvaluateType(split.test, perfect, 0);
+  EXPECT_LE(r.types_evaluated, 1);
+  if (r.types_evaluated == 1) {
+    EXPECT_DOUBLE_EQ(r.ndcg.at(3), 1.0);
+  }
+}
+
+TEST(EvaluateRegionsTest, FilterRestrictsPairs) {
+  const auto interactions = BuildInteractions(Data());
+  Rng rng(5);
+  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  std::vector<double> preds(split.test.size(), 0.5);
+  std::vector<bool> none(Data().num_regions(), false);
+  const EvalResult r = EvaluateRegions(split.test, preds, none);
+  EXPECT_EQ(r.types_evaluated, 0);
+  EXPECT_EQ(r.rmse, 0.0);
+}
+
+}  // namespace
+}  // namespace o2sr::eval

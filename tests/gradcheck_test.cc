@@ -1,0 +1,243 @@
+// Numerical gradient checking for every differentiable tape operation.
+// These tests are the foundation of trust for the model code: if they pass,
+// backpropagation through arbitrary compositions of the ops is correct.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/parameter.h"
+#include "nn/tape.h"
+
+namespace o2sr::nn {
+namespace {
+
+// Builds a scalar loss from the parameters in `store`; called repeatedly
+// with perturbed parameter values for finite differences.
+using LossBuilder = std::function<Value(Tape&)>;
+
+double EvalLoss(const LossBuilder& build) {
+  Tape tape;
+  Value loss = build(tape);
+  return tape.value(loss).at(0, 0);
+}
+
+// Central-difference gradient check of every parameter scalar.
+void CheckGradients(ParameterStore& store, const LossBuilder& build,
+                    double eps = 1e-3, double tol = 2e-2) {
+  store.ZeroGrads();
+  {
+    Tape tape;
+    Value loss = build(tape);
+    tape.Backward(loss);
+  }
+  for (const auto& p : store.params()) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + static_cast<float>(eps);
+      const double up = EvalLoss(build);
+      p->value.data()[i] = orig - static_cast<float>(eps);
+      const double down = EvalLoss(build);
+      p->value.data()[i] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = p->grad.data()[i];
+      const double denom = std::max({1.0, std::fabs(numeric),
+                                     std::fabs(analytic)});
+      EXPECT_NEAR(analytic / denom, numeric / denom, tol)
+          << "param " << p->name << " index " << i << " analytic " << analytic
+          << " numeric " << numeric;
+    }
+  }
+}
+
+class GradCheckTest : public ::testing::Test {
+ protected:
+  ParameterStore store_;
+  Rng rng_{12345};
+};
+
+TEST_F(GradCheckTest, MatMul) {
+  Parameter* a = store_.CreateNormal("a", 3, 4, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 4, 2, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    return t.MeanAll(t.MatMul(t.Param(a), t.Param(b)));
+  });
+}
+
+TEST_F(GradCheckTest, AddSubMulScale) {
+  Parameter* a = store_.CreateNormal("a", 2, 3, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 2, 3, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value x = t.Add(t.Param(a), t.Param(b));
+    Value y = t.Sub(x, t.Param(b));
+    Value z = t.Mul(y, t.Param(a));
+    return t.MeanAll(t.Scale(z, 1.7f));
+  });
+}
+
+TEST_F(GradCheckTest, AddN) {
+  Parameter* a = store_.CreateNormal("a", 2, 2, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 2, 2, 0.5, rng_);
+  Parameter* c = store_.CreateNormal("c", 2, 2, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value s = t.AddN({t.Param(a), t.Param(b), t.Param(c), t.Param(a)});
+    return t.MeanAll(t.Mul(s, s));
+  });
+}
+
+TEST_F(GradCheckTest, AddRowBroadcast) {
+  Parameter* x = store_.CreateNormal("x", 3, 2, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 1, 2, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.AddRowBroadcast(t.Param(x), t.Param(b));
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, MulColBroadcast) {
+  Parameter* x = store_.CreateNormal("x", 3, 2, 0.5, rng_);
+  Parameter* w = store_.CreateNormal("w", 3, 1, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.MulColBroadcast(t.Param(x), t.Param(w));
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, ReluAwayFromKink) {
+  Parameter* x = store_.CreateNormal("x", 2, 4, 1.0, rng_);
+  // Shift values away from 0 to avoid the non-differentiable point.
+  for (size_t i = 0; i < x->value.size(); ++i) {
+    float& v = x->value.data()[i];
+    if (std::fabs(v) < 0.1f) v = v < 0 ? -0.2f : 0.2f;
+  }
+  CheckGradients(store_, [&](Tape& t) {
+    return t.MeanAll(t.Relu(t.Param(x)));
+  });
+}
+
+TEST_F(GradCheckTest, LeakyRelu) {
+  Parameter* x = store_.CreateNormal("x", 2, 4, 1.0, rng_);
+  for (size_t i = 0; i < x->value.size(); ++i) {
+    float& v = x->value.data()[i];
+    if (std::fabs(v) < 0.1f) v = v < 0 ? -0.2f : 0.2f;
+  }
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.LeakyRelu(t.Param(x), 0.2f);
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, SigmoidTanh) {
+  Parameter* x = store_.CreateNormal("x", 2, 3, 0.8, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.Sigmoid(t.Param(x));
+    Value z = t.Tanh(t.Param(x));
+    return t.MeanAll(t.Mul(y, z));
+  });
+}
+
+TEST_F(GradCheckTest, SoftmaxRows) {
+  Parameter* x = store_.CreateNormal("x", 3, 4, 0.8, rng_);
+  Parameter* w = store_.CreateNormal("w", 3, 4, 0.8, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.SoftmaxRows(t.Param(x));
+    return t.MeanAll(t.Mul(y, t.Param(w)));
+  });
+}
+
+TEST_F(GradCheckTest, ConcatCols) {
+  Parameter* a = store_.CreateNormal("a", 2, 2, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 2, 3, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.ConcatCols({t.Param(a), t.Param(b)});
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, RowwiseDot) {
+  Parameter* a = store_.CreateNormal("a", 3, 4, 0.5, rng_);
+  Parameter* b = store_.CreateNormal("b", 3, 4, 0.5, rng_);
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.RowwiseDot(t.Param(a), t.Param(b));
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, GatherRows) {
+  Parameter* x = store_.CreateNormal("x", 4, 3, 0.5, rng_);
+  const std::vector<int> index = {3, 1, 1, 0, 2};
+  CheckGradients(store_, [&](Tape& t) {
+    Value y = t.GatherRows(t.Param(x), index);
+    return t.MeanAll(t.Mul(y, y));
+  });
+}
+
+TEST_F(GradCheckTest, SegmentSoftmax) {
+  Parameter* s = store_.CreateNormal("s", 6, 1, 0.8, rng_);
+  Parameter* w = store_.CreateNormal("w", 6, 1, 0.8, rng_);
+  const std::vector<int> seg = {0, 0, 0, 1, 1, 2};
+  CheckGradients(store_, [&](Tape& t) {
+    Value a = t.SegmentSoftmax(t.Param(s), seg, 3);
+    return t.MeanAll(t.Mul(a, t.Param(w)));
+  });
+}
+
+TEST_F(GradCheckTest, SegmentSumAndMean) {
+  Parameter* x = store_.CreateNormal("x", 5, 2, 0.5, rng_);
+  const std::vector<int> seg = {0, 2, 2, 1, 0};
+  CheckGradients(store_, [&](Tape& t) {
+    Value a = t.SegmentSum(t.Param(x), seg, 3);
+    Value b = t.SegmentMean(t.Param(x), seg, 3);
+    return t.MeanAll(t.Mul(a, b));
+  });
+}
+
+TEST_F(GradCheckTest, MseAndMaeLosses) {
+  Parameter* p = store_.CreateNormal("p", 2, 3, 0.5, rng_);
+  // Keep the target fixed (constant input).
+  const Tensor target = Tensor::FromVector(2, 3, {1, -1, 0.5f, 2, 0, -0.5f});
+  CheckGradients(store_, [&](Tape& t) {
+    return t.MseLoss(t.Param(p), t.Input(target));
+  });
+  CheckGradients(store_, [&](Tape& t) {
+    return t.MaeLoss(t.Param(p), t.Input(target));
+  });
+}
+
+TEST_F(GradCheckTest, AttentionHeadComposition) {
+  // A realistic composite: a single attention head over a tiny graph, i.e.
+  // exactly the computation pattern of the paper's Aggre (Eq. 10-12).
+  Parameter* node_emb = store_.CreateNormal("emb", 4, 3, 0.5, rng_);
+  Parameter* wk = store_.CreateNormal("wk", 3, 3, 0.5, rng_);
+  Parameter* wq = store_.CreateNormal("wq", 3, 3, 0.5, rng_);
+  const std::vector<int> src = {1, 2, 3, 0, 2};
+  const std::vector<int> dst = {0, 0, 0, 1, 1};
+  CheckGradients(store_, [&](Tape& t) {
+    Value emb = t.Param(node_emb);
+    Value keys = t.MatMul(t.GatherRows(emb, src), t.Param(wk));
+    Value queries = t.MatMul(t.GatherRows(emb, dst), t.Param(wq));
+    Value scores = t.RowwiseDot(keys, queries);
+    Value alpha = t.SegmentSoftmax(scores, dst, 2);
+    Value messages = t.MulColBroadcast(keys, alpha);
+    Value out = t.SegmentSum(messages, dst, 2);
+    return t.MeanAll(t.Mul(out, out));
+  },
+                 /*eps=*/1e-3, /*tol=*/3e-2);
+}
+
+TEST_F(GradCheckTest, DeepMlpComposition) {
+  Parameter* x = store_.CreateNormal("x", 3, 4, 0.5, rng_);
+  Parameter* w1 = store_.CreateNormal("w1", 4, 5, 0.5, rng_);
+  Parameter* w2 = store_.CreateNormal("w2", 5, 1, 0.5, rng_);
+  const Tensor target = Tensor::Full(3, 1, 0.3f);
+  CheckGradients(store_, [&](Tape& t) {
+    Value h = t.Tanh(t.MatMul(t.Param(x), t.Param(w1)));
+    Value out = t.Sigmoid(t.MatMul(h, t.Param(w2)));
+    return t.MseLoss(out, t.Input(target));
+  });
+}
+
+}  // namespace
+}  // namespace o2sr::nn

@@ -1,0 +1,251 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graphs/geo_graph.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
+#include "sim/dataset.h"
+
+namespace o2sr::graphs {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 5000.0;
+  cfg.city_height_m = 5000.0;
+  cfg.num_store_types = 14;
+  cfg.num_stores = 220;
+  cfg.num_couriers = 110;
+  cfg.num_days = 4;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 23;
+  return cfg;
+}
+
+const sim::Dataset& Data() {
+  static const sim::Dataset* data =
+      new sim::Dataset(sim::GenerateDataset(TestConfig()));
+  return *data;
+}
+
+const features::OrderStats& Stats() {
+  static const features::OrderStats* stats = new features::OrderStats(Data());
+  return *stats;
+}
+
+// ---- GeoGraph ---------------------------------------------------------------
+
+TEST(GeoGraphTest, EdgesRespectThreshold) {
+  const GeoGraph g(Data().city.grid, 800.0);
+  for (int r = 0; r < g.num_regions(); ++r) {
+    ASSERT_EQ(g.Neighbors(r).size(), g.Distances(r).size());
+    for (size_t i = 0; i < g.Neighbors(r).size(); ++i) {
+      EXPECT_LE(g.Distances(r)[i], 800.0);
+      EXPECT_NE(g.Neighbors(r)[i], r);
+    }
+  }
+}
+
+TEST(GeoGraphTest, InteriorRegionHasEightNeighborsAt800m) {
+  const GeoGraph g(Data().city.grid, 800.0);
+  const int center = Data().city.grid.RegionOf({2500.0, 2500.0});
+  EXPECT_EQ(g.Neighbors(center).size(), 8u);
+}
+
+TEST(GeoGraphTest, CornerRegionHasThreeNeighbors) {
+  const GeoGraph g(Data().city.grid, 800.0);
+  EXPECT_EQ(g.Neighbors(0).size(), 3u);
+}
+
+TEST(GeoGraphTest, SymmetricEdges) {
+  const GeoGraph g(Data().city.grid, 800.0);
+  for (int r = 0; r < g.num_regions(); r += 3) {
+    for (int n : g.Neighbors(r)) {
+      const auto& back = g.Neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end());
+    }
+  }
+}
+
+TEST(GeoGraphTest, LargerThresholdMoreEdges) {
+  const GeoGraph g800(Data().city.grid, 800.0);
+  const GeoGraph g1200(Data().city.grid, 1200.0);
+  EXPECT_GT(g1200.NumEdges(), g800.NumEdges());
+}
+
+// ---- MobilityMultiGraph ------------------------------------------------------
+
+TEST(MobilityGraphTest, EdgesMatchPairStats) {
+  const MobilityMultiGraph g(Stats());
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    EXPECT_EQ(g.EdgesInPeriod(p).size(), Stats().PairsInPeriod(p).size());
+    for (const MobilityEdge& e : g.EdgesInPeriod(p)) {
+      const features::PairStats* pair = Stats().Pair(p, e.src, e.dst);
+      ASSERT_NE(pair, nullptr);
+      EXPECT_EQ(e.transactions, pair->transactions);
+      EXPECT_DOUBLE_EQ(e.delivery_minutes, pair->mean_delivery_minutes());
+    }
+  }
+}
+
+TEST(MobilityGraphTest, MinTransactionsFilters) {
+  const MobilityMultiGraph all(Stats(), 1);
+  const MobilityMultiGraph filtered(Stats(), 3);
+  EXPECT_LT(filtered.TotalEdges(), all.TotalEdges());
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    for (const MobilityEdge& e : filtered.EdgesInPeriod(p)) {
+      EXPECT_GE(e.transactions, 3);
+    }
+  }
+}
+
+TEST(MobilityGraphTest, EdgesAreSortedAndMaxTracked) {
+  const MobilityMultiGraph g(Stats());
+  double max_dt = 0.0;
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    const auto& edges = g.EdgesInPeriod(p);
+    for (size_t i = 1; i < edges.size(); ++i) {
+      const bool ordered =
+          edges[i - 1].src < edges[i].src ||
+          (edges[i - 1].src == edges[i].src &&
+           edges[i - 1].dst < edges[i].dst);
+      EXPECT_TRUE(ordered);
+    }
+    for (const auto& e : edges) max_dt = std::max(e.delivery_minutes, max_dt);
+  }
+  EXPECT_DOUBLE_EQ(g.max_delivery_minutes(), max_dt);
+}
+
+// ---- HeteroMultiGraph --------------------------------------------------------
+
+TEST(HeteroGraphTest, NodeSetsAreConsistent) {
+  const HeteroMultiGraph g(Data(), Stats());
+  EXPECT_GT(g.num_store_nodes(), 0);
+  EXPECT_GT(g.num_customer_nodes(), 0);
+  EXPECT_EQ(g.num_types(), Data().num_types());
+  // Every store's region is a store node.
+  for (const sim::Store& s : Data().stores) {
+    EXPECT_GE(g.StoreNodeOfRegion(s.region), 0);
+  }
+  // Mappings round-trip.
+  for (int i = 0; i < g.num_store_nodes(); ++i) {
+    EXPECT_EQ(g.StoreNodeOfRegion(g.store_regions()[i]), i);
+  }
+  for (int i = 0; i < g.num_customer_nodes(); ++i) {
+    EXPECT_EQ(g.CustomerNodeOfRegion(g.customer_regions()[i]), i);
+  }
+}
+
+TEST(HeteroGraphTest, SaEdgesMatchStoreInventory) {
+  const HeteroMultiGraph g(Data(), Stats());
+  std::set<std::pair<int, int>> expected;
+  for (const sim::Store& s : Data().stores) {
+    expected.insert({g.StoreNodeOfRegion(s.region), s.type});
+  }
+  std::set<std::pair<int, int>> got;
+  for (const SaEdge& e : g.sa_edges()) {
+    got.insert({e.s, e.a});
+    EXPECT_GE(e.competitiveness, 0.0f);
+    EXPECT_LE(e.competitiveness, 1.0f);
+    EXPECT_GE(e.orders_norm, 0.0f);
+    EXPECT_LE(e.orders_norm, 1.0f);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(HeteroGraphTest, SuEdgeAttributesInRange) {
+  const HeteroMultiGraph g(Data(), Stats());
+  size_t total = 0;
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    for (const SuEdge& e : g.Subgraph(p).su_edges) {
+      EXPECT_GE(e.s, 0);
+      EXPECT_LT(e.s, g.num_store_nodes());
+      EXPECT_GE(e.u, 0);
+      EXPECT_LT(e.u, g.num_customer_nodes());
+      EXPECT_GE(e.distance_norm, 0.0f);
+      EXPECT_LE(e.distance_norm, 1.0f);
+      EXPECT_GE(e.transactions_norm, 0.0f);
+      EXPECT_LE(e.transactions_norm, 1.0f);
+      EXPECT_EQ(g.StoreNodeOfRegion(e.s_region), e.s);
+      EXPECT_EQ(g.CustomerNodeOfRegion(e.u_region), e.u);
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 100u);
+}
+
+TEST(HeteroGraphTest, UaEdgesMatchCustomerOrders) {
+  const HeteroMultiGraph g(Data(), Stats());
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    size_t expected = 0;
+    for (int u = 0; u < Stats().num_regions(); ++u) {
+      for (int a = 0; a < Stats().num_types(); ++a) {
+        if (Stats().CustomerOrders(p, u, a) > 0.0) ++expected;
+      }
+    }
+    EXPECT_EQ(g.Subgraph(p).ua_edges.size(), expected);
+  }
+}
+
+TEST(HeteroGraphTest, CapacityAwareScopeChangesEdgesAcrossPeriods) {
+  const HeteroMultiGraph g(Data(), Stats());
+  // The multi-graph structure must differ across periods (different S-U
+  // edge sets), otherwise the time dimension is meaningless.
+  const auto& noon = g.Subgraph(static_cast<int>(sim::Period::kNoonRush));
+  const auto& night = g.Subgraph(static_cast<int>(sim::Period::kNight));
+  EXPECT_NE(noon.su_edges.size(), night.su_edges.size());
+}
+
+TEST(HeteroGraphTest, WithoutCapacityScopeIsPeriodUniform) {
+  HeteroGraphOptions opts;
+  opts.capacity_aware_scope = false;
+  opts.order_ratio_threshold = 0.0;
+  const HeteroMultiGraph g(Data(), Stats(), opts);
+  // With a fixed radius and no ratio filter, S-U edges are the same set in
+  // every period.
+  std::set<std::pair<int, int>> first;
+  for (const SuEdge& e : g.Subgraph(0).su_edges) first.insert({e.s, e.u});
+  for (int p = 1; p < sim::kNumPeriods; ++p) {
+    std::set<std::pair<int, int>> other;
+    for (const SuEdge& e : g.Subgraph(p).su_edges) other.insert({e.s, e.u});
+    EXPECT_EQ(other, first);
+  }
+}
+
+TEST(HeteroGraphTest, WithoutCustomerEdgesOnlySaRemains) {
+  HeteroGraphOptions opts;
+  opts.include_customer_edges = false;
+  const HeteroMultiGraph g(Data(), Stats(), opts);
+  EXPECT_FALSE(g.sa_edges().empty());
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    EXPECT_TRUE(g.Subgraph(p).su_edges.empty());
+    EXPECT_TRUE(g.Subgraph(p).ua_edges.empty());
+  }
+}
+
+TEST(HeteroGraphTest, NodeFeatureShapes) {
+  const HeteroMultiGraph g(Data(), Stats());
+  EXPECT_EQ(g.store_features().rows(), g.num_store_nodes());
+  EXPECT_EQ(g.customer_features().rows(), g.num_customer_nodes());
+  EXPECT_EQ(g.store_features().cols(),
+            features::RegionFeatureExtractor::kDim);
+}
+
+TEST(HeteroGraphTest, HigherRatioThresholdPrunesEdges) {
+  HeteroGraphOptions loose;
+  loose.order_ratio_threshold = 0.0;
+  HeteroGraphOptions strict;
+  strict.order_ratio_threshold = 0.3;
+  const HeteroMultiGraph g_loose(Data(), Stats(), loose);
+  const HeteroMultiGraph g_strict(Data(), Stats(), strict);
+  size_t loose_edges = 0, strict_edges = 0;
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    loose_edges += g_loose.Subgraph(p).su_edges.size();
+    strict_edges += g_strict.Subgraph(p).su_edges.size();
+  }
+  EXPECT_GT(loose_edges, strict_edges);
+}
+
+}  // namespace
+}  // namespace o2sr::graphs

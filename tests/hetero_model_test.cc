@@ -1,0 +1,198 @@
+#include "core/hetero_rec_model.h"
+
+#include <gtest/gtest.h>
+
+#include "features/order_stats.h"
+#include "sim/dataset.h"
+
+namespace o2sr::core {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 3000.0;
+  cfg.city_height_m = 3000.0;
+  cfg.num_store_types = 6;
+  cfg.num_stores = 80;
+  cfg.num_couriers = 50;
+  cfg.num_days = 2;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 61;
+  return cfg;
+}
+
+class HeteroRecModelTest : public ::testing::Test {
+ protected:
+  HeteroRecModelTest()
+      : data_(sim::GenerateDataset(TestConfig())),
+        stats_(data_),
+        graph_(data_, stats_) {}
+
+  HeteroRecConfig SmallConfig() const {
+    HeteroRecConfig cfg;
+    cfg.embedding_dim = 12;
+    cfg.node_heads = 2;
+    cfg.time_heads = 2;
+    cfg.dropout = 0.0;
+    return cfg;
+  }
+
+  std::vector<HeteroRecModel::PeriodEmbeddings> Forward(
+      const HeteroRecModel& model, nn::Tape& tape) const {
+    Rng rng(1);
+    std::vector<HeteroRecModel::PeriodEmbeddings> periods;
+    for (int p = 0; p < sim::kNumPeriods; ++p) {
+      periods.push_back(model.ForwardPeriod(tape, p, nn::Value{}, rng));
+    }
+    return periods;
+  }
+
+  sim::Dataset data_;
+  features::OrderStats stats_;
+  graphs::HeteroMultiGraph graph_;
+};
+
+TEST_F(HeteroRecModelTest, PeriodEmbeddingShapes) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  HeteroRecModel model(&graph_, SmallConfig(), 0, &store, rng);
+  nn::Tape tape;
+  const auto periods = Forward(model, tape);
+  for (const auto& pe : periods) {
+    EXPECT_EQ(tape.rows(pe.h), graph_.num_store_nodes());
+    EXPECT_EQ(tape.cols(pe.h), 12);
+    EXPECT_EQ(tape.rows(pe.q), graph_.num_types());
+    EXPECT_EQ(tape.cols(pe.q), 12);
+  }
+}
+
+TEST_F(HeteroRecModelTest, PredictionShapeAndRange) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  HeteroRecModel model(&graph_, SmallConfig(), 0, &store, rng);
+  nn::Tape tape;
+  const auto periods = Forward(model, tape);
+  const std::vector<int> s_nodes = {0, 1, 2, 0};
+  const std::vector<int> types = {0, 1, 2, 3};
+  nn::Value pred = model.PredictPairs(tape, periods, s_nodes, types);
+  ASSERT_EQ(tape.rows(pred), 4);
+  ASSERT_EQ(tape.cols(pred), 1);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(tape.value(pred).at(r, 0), 0.0f);
+    EXPECT_LT(tape.value(pred).at(r, 0), 1.0f);
+  }
+}
+
+TEST_F(HeteroRecModelTest, EmbeddingsDifferAcrossPeriods) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  HeteroRecModel model(&graph_, SmallConfig(), 0, &store, rng);
+  nn::Tape tape;
+  const auto periods = Forward(model, tape);
+  // S-U/U-A edges differ per period, so store-region embeddings must too.
+  const nn::Tensor& h0 = tape.value(periods[0].h);
+  const nn::Tensor& h2 = tape.value(periods[2].h);
+  double diff = 0.0;
+  for (size_t i = 0; i < h0.size(); ++i) {
+    diff += std::fabs(h0.data()[i] - h2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST_F(HeteroRecModelTest, CapacityEmbeddingChangesSuAttrWidth) {
+  nn::ParameterStore store_with, store_without;
+  Rng rng_a(1), rng_b(1);
+  HeteroRecModel with_cap(&graph_, SmallConfig(), 10, &store_with, rng_a);
+  HeteroRecModel without_cap(&graph_, SmallConfig(), 0, &store_without,
+                             rng_b);
+  // The SU fuse layer consumes d2 + 2 + capacity_dim inputs, so the model
+  // with capacity has strictly more parameters.
+  EXPECT_GT(store_with.NumScalars(), store_without.NumScalars());
+}
+
+TEST_F(HeteroRecModelTest, CapacityEmbeddingFlowsIntoPredictions) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  const int cap_dim = 6;
+  HeteroRecModel model(&graph_, SmallConfig(), cap_dim, &store, rng);
+  auto run = [&](float fill) {
+    nn::Tape tape;
+    Rng drng(1);
+    std::vector<HeteroRecModel::PeriodEmbeddings> periods;
+    for (int p = 0; p < sim::kNumPeriods; ++p) {
+      const int edges =
+          static_cast<int>(graph_.Subgraph(p).su_edges.size());
+      nn::Value cap = tape.Input(nn::Tensor::Full(edges, cap_dim, fill));
+      periods.push_back(model.ForwardPeriod(tape, p, cap, drng));
+    }
+    nn::Value pred = model.PredictPairs(tape, periods, {0, 1}, {0, 1});
+    return std::pair<float, float>(tape.value(pred).at(0, 0),
+                                   tape.value(pred).at(1, 0));
+  };
+  const auto a = run(0.0f);
+  const auto b = run(1.0f);
+  // Different capacity signals must change the prediction.
+  EXPECT_TRUE(a.first != b.first || a.second != b.second);
+}
+
+TEST_F(HeteroRecModelTest, MeanAggregationVariantUsesFewerParameters) {
+  HeteroRecConfig with_attention = SmallConfig();
+  HeteroRecConfig mean_agg = SmallConfig();
+  mean_agg.node_attention = false;
+  nn::ParameterStore store_a, store_b;
+  Rng rng_a(1), rng_b(1);
+  HeteroRecModel a(&graph_, with_attention, 0, &store_a, rng_a);
+  HeteroRecModel b(&graph_, mean_agg, 0, &store_b, rng_b);
+  // Mean aggregation skips the key/query projections at run time but the
+  // parameter sets are created identically; verify both still run and the
+  // attention one produces different embeddings from the mean one.
+  nn::Tape tape_a, tape_b;
+  Rng da(1), db(1);
+  nn::Value ha = a.ForwardPeriod(tape_a, 0, nn::Value{}, da).h;
+  nn::Value hb = b.ForwardPeriod(tape_b, 0, nn::Value{}, db).h;
+  ASSERT_EQ(tape_a.rows(ha), tape_b.rows(hb));
+  double diff = 0.0;
+  for (size_t i = 0; i < tape_a.value(ha).size(); ++i) {
+    diff += std::fabs(tape_a.value(ha).data()[i] -
+                      tape_b.value(hb).data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST_F(HeteroRecModelTest, TimeAttentionDiffersFromMeanOverPeriods) {
+  HeteroRecConfig att = SmallConfig();
+  HeteroRecConfig mean = SmallConfig();
+  mean.time_attention = false;
+  nn::ParameterStore store_a, store_b;
+  Rng rng_a(1), rng_b(1);
+  HeteroRecModel a(&graph_, att, 0, &store_a, rng_a);
+  HeteroRecModel b(&graph_, mean, 0, &store_b, rng_b);
+  nn::Tape tape_a, tape_b;
+  nn::Value pa = a.PredictPairs(tape_a, Forward(a, tape_a), {0, 1}, {0, 1});
+  nn::Value pb = b.PredictPairs(tape_b, Forward(b, tape_b), {0, 1}, {0, 1});
+  // Same seeds -> same parameters where shared, but the aggregation path
+  // differs, so outputs should differ.
+  EXPECT_NE(tape_a.value(pa).at(0, 0), tape_b.value(pb).at(0, 0));
+}
+
+TEST_F(HeteroRecModelTest, GradientsReachAllParameterGroups) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  HeteroRecModel model(&graph_, SmallConfig(), 0, &store, rng);
+  nn::Tape tape;
+  const auto periods = Forward(model, tape);
+  nn::Value pred = model.PredictPairs(tape, periods, {0, 1, 2}, {0, 1, 2});
+  nn::Value loss = tape.MeanAll(pred);
+  tape.Backward(loss);
+  size_t with_grad = 0, total = 0;
+  for (const auto& p : store.params()) {
+    ++total;
+    if (p->grad.MeanAbs() > 0.0) ++with_grad;
+  }
+  // Nearly all parameters should receive gradient (some relation params may
+  // be dead if a period has no edges of that relation).
+  EXPECT_GT(with_grad, total * 3 / 4);
+}
+
+}  // namespace
+}  // namespace o2sr::core

@@ -1,0 +1,123 @@
+#include "sim/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace o2sr::sim {
+namespace {
+
+SimConfig TestConfig() {
+  SimConfig cfg;
+  cfg.city_width_m = 3000.0;
+  cfg.city_height_m = 3000.0;
+  cfg.num_store_types = 8;
+  cfg.num_stores = 80;
+  cfg.num_couriers = 50;
+  cfg.num_days = 2;
+  cfg.peak_orders_per_region_slot = 3.0;
+  cfg.seed = 71;
+  return cfg;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  static const Dataset& Data() {
+    static const Dataset* data = new Dataset(GenerateDataset(TestConfig()));
+    return *data;
+  }
+};
+
+TEST_F(IoTest, OrdersRoundTrip) {
+  const std::string path = TempPath("orders.csv");
+  const geo::CityFrame frame;
+  ASSERT_TRUE(WriteOrdersCsv(path, Data(), frame));
+  std::vector<Order> loaded;
+  ASSERT_TRUE(ReadOrdersCsv(path, frame, Data().city.grid, &loaded));
+  ASSERT_EQ(loaded.size(), Data().orders.size());
+  for (size_t i = 0; i < loaded.size(); i += 11) {
+    const Order& a = Data().orders[i];
+    const Order& b = loaded[i];
+    EXPECT_EQ(a.order_id, b.order_id);
+    EXPECT_EQ(a.store_id, b.store_id);
+    EXPECT_EQ(a.courier_id, b.courier_id);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_NEAR(a.store_location.x, b.store_location.x, 0.1);
+    EXPECT_NEAR(a.customer_location.y, b.customer_location.y, 0.1);
+    EXPECT_NEAR(a.creation_min, b.creation_min, 1e-3);
+    EXPECT_NEAR(a.delivery_min, b.delivery_min, 1e-3);
+    EXPECT_NEAR(a.distance_m, b.distance_m, 0.1);
+    // Region/day/slot reconstruction.
+    EXPECT_EQ(a.store_region, b.store_region);
+    EXPECT_EQ(a.customer_region, b.customer_region);
+    EXPECT_EQ(a.day, b.day);
+    EXPECT_EQ(a.slot, b.slot);
+  }
+}
+
+TEST_F(IoTest, StoresRoundTrip) {
+  const std::string path = TempPath("stores.csv");
+  const geo::CityFrame frame;
+  ASSERT_TRUE(WriteStoresCsv(path, Data(), frame));
+  std::vector<Store> loaded;
+  ASSERT_TRUE(ReadStoresCsv(path, frame, Data().city.grid, &loaded));
+  ASSERT_EQ(loaded.size(), Data().stores.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(Data().stores[i].id, loaded[i].id);
+    EXPECT_EQ(Data().stores[i].type, loaded[i].type);
+    EXPECT_EQ(Data().stores[i].region, loaded[i].region);
+    EXPECT_NEAR(Data().stores[i].quality, loaded[i].quality, 1e-4);
+    EXPECT_NEAR(Data().stores[i].location.x, loaded[i].location.x, 0.1);
+  }
+}
+
+TEST_F(IoTest, TrajectoriesWriteRowsPerSample) {
+  SimConfig cfg = TestConfig();
+  cfg.num_days = 1;
+  cfg.generate_trajectories = true;
+  const Dataset data = GenerateDataset(cfg);
+  const std::string path = TempPath("traj.csv");
+  ASSERT_TRUE(WriteTrajectoriesCsv(path, data));
+  // Count lines: header + total trajectory points.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  size_t lines = 0;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') ++lines;
+  }
+  std::fclose(f);
+  size_t expected = 1;
+  for (const Trajectory& t : data.trajectories) expected += t.points.size();
+  EXPECT_EQ(lines, expected);
+}
+
+TEST_F(IoTest, MissingFileReturnsFalse) {
+  std::vector<Order> orders;
+  EXPECT_FALSE(ReadOrdersCsv("/nonexistent/dir/orders.csv",
+                             geo::CityFrame(), Data().city.grid, &orders));
+  EXPECT_FALSE(WriteOrdersCsv("/nonexistent/dir/orders.csv", Data()));
+  std::vector<Store> stores;
+  EXPECT_FALSE(ReadStoresCsv("/nonexistent/dir/stores.csv",
+                             geo::CityFrame(), Data().city.grid, &stores));
+}
+
+TEST_F(IoTest, HeaderOnlyFileYieldsNoOrders) {
+  const std::string path = TempPath("empty_orders.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "order_id,store_id,...\n");
+  std::fclose(f);
+  std::vector<Order> orders;
+  ASSERT_TRUE(ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid,
+                            &orders));
+  EXPECT_TRUE(orders.empty());
+}
+
+}  // namespace
+}  // namespace o2sr::sim

@@ -1,0 +1,109 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+namespace o2sr::nn {
+namespace {
+
+TEST(LinearTest, ShapeAndBias) {
+  ParameterStore store;
+  Rng rng(1);
+  Linear fc(&store, "fc", 3, 2, rng);
+  Tape tape;
+  Value x = tape.Input(Tensor::Full(4, 3, 1.0f));
+  Value y = fc.Apply(tape, x);
+  EXPECT_EQ(tape.rows(y), 4);
+  EXPECT_EQ(tape.cols(y), 2);
+  // weight + bias registered
+  EXPECT_EQ(store.params().size(), 2u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  ParameterStore store;
+  Rng rng(1);
+  Linear fc(&store, "fc", 3, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(store.params().size(), 1u);
+  Tape tape;
+  Value y = fc.Apply(tape, tape.Input(Tensor::Zeros(2, 3)));
+  // Zero input with no bias -> zero output.
+  EXPECT_EQ(tape.value(y).Sum(), 0.0);
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  ParameterStore store;
+  Rng rng(1);
+  Linear fc(&store, "fc", 2, 1, rng);
+  // Overwrite weights with known values: y = 2*x0 - x1 + 0.5
+  store.params()[0]->value = Tensor::FromVector(2, 1, {2.0f, -1.0f});
+  store.params()[1]->value = Tensor::FromVector(1, 1, {0.5f});
+  Tape tape;
+  Value y = fc.Apply(tape, tape.Input(Tensor::FromVector(1, 2, {3.0f, 4.0f})));
+  EXPECT_FLOAT_EQ(tape.value(y).at(0, 0), 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(MlpTest, LayerCountAndShapes) {
+  ParameterStore store;
+  Rng rng(1);
+  Mlp mlp(&store, "mlp", {8, 16, 4, 1}, rng);
+  // 3 layers x (weight + bias)
+  EXPECT_EQ(store.params().size(), 6u);
+  Tape tape;
+  Value y = mlp.Apply(tape, tape.Input(Tensor::Zeros(5, 8)));
+  EXPECT_EQ(tape.rows(y), 5);
+  EXPECT_EQ(tape.cols(y), 1);
+}
+
+TEST(MlpTest, OutputActivationApplies) {
+  ParameterStore store;
+  Rng rng(1);
+  Mlp mlp(&store, "mlp", {2, 2}, rng, Activation::kRelu,
+          Activation::kSigmoid);
+  Tape tape;
+  Value y = mlp.Apply(tape, tape.Input(Tensor::RandomNormal(10, 2, 3.0, rng)));
+  const Tensor& out = tape.value(y);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out.data()[i], 0.0f);
+    EXPECT_LT(out.data()[i], 1.0f);
+  }
+}
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  ParameterStore store;
+  Rng rng(1);
+  Embedding emb(&store, "emb", 5, 3, rng);
+  Tape tape;
+  Value rows = emb.Lookup(tape, {4, 0});
+  const Tensor& table = store.params()[0]->value;
+  const Tensor& out = tape.value(rows);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.at(0, c), table.at(4, c));
+    EXPECT_EQ(out.at(1, c), table.at(0, c));
+  }
+}
+
+TEST(EmbeddingTest, GradFlowsOnlyToLookedUpRows) {
+  ParameterStore store;
+  Rng rng(1);
+  Embedding emb(&store, "emb", 4, 2, rng);
+  Tape tape;
+  Value rows = emb.Lookup(tape, {1});
+  tape.Backward(tape.MeanAll(rows));
+  const Tensor& grad = store.params()[0]->grad;
+  EXPECT_NE(grad.at(1, 0), 0.0f);
+  EXPECT_EQ(grad.at(0, 0), 0.0f);
+  EXPECT_EQ(grad.at(2, 0), 0.0f);
+  EXPECT_EQ(grad.at(3, 0), 0.0f);
+}
+
+TEST(EmbeddingTest, FullExposesWholeTable) {
+  ParameterStore store;
+  Rng rng(1);
+  Embedding emb(&store, "emb", 6, 2, rng);
+  Tape tape;
+  Value full = emb.Full(tape);
+  EXPECT_EQ(tape.rows(full), 6);
+  EXPECT_EQ(tape.cols(full), 2);
+}
+
+}  // namespace
+}  // namespace o2sr::nn

@@ -1,0 +1,156 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace o2sr {
+namespace {
+
+TEST(EntropyTest, EmptyAndZeroInputsAreZero) {
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);
+}
+
+TEST(EntropyTest, SingleCategoryHasZeroEntropy) {
+  EXPECT_DOUBLE_EQ(Entropy({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({5.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(EntropyTest, UniformDistributionIsLogN) {
+  EXPECT_NEAR(Entropy({1.0, 1.0, 1.0, 1.0}), std::log(4.0), 1e-12);
+  EXPECT_NEAR(Entropy({2.5, 2.5}), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, SkewLowersEntropy) {
+  EXPECT_LT(Entropy({9.0, 1.0}), Entropy({5.0, 5.0}));
+}
+
+TEST(EntropyTest, InvariantToScaling) {
+  EXPECT_NEAR(Entropy({1.0, 2.0, 3.0}), Entropy({10.0, 20.0, 30.0}), 1e-12);
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: x={1,2,3}, y={1,3,2} -> r = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(MeanVarianceTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5.0}), 0.0);
+  EXPECT_NEAR(SampleVariance({2.0, 4.0, 6.0}), 4.0, 1e-12);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 3.0, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.5, 0.5, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBetaTest, KnownClosedForm) {
+  // I_x(1, 1) = x (uniform distribution CDF).
+  for (double x : {0.1, 0.37, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+  // I_x(2, 1) = x^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, 0.6), 0.36, 1e-10);
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter) {
+  EXPECT_DOUBLE_EQ(StudentTCdf(0.0, 5.0), 0.5);
+  EXPECT_NEAR(StudentTCdf(1.3, 7.0) + StudentTCdf(-1.3, 7.0), 1.0, 1e-12);
+}
+
+TEST(StudentTCdfTest, MatchesTableValues) {
+  // t_{0.975, 10} = 2.228: CDF(2.228, 10) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  // t_{0.95, 5} = 2.015.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 1e-3);
+  // Large nu approaches the normal distribution: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(WelchTTestTest, ClearlyDifferentSamplesAreSignificant) {
+  std::vector<double> a = {10.0, 10.1, 9.9, 10.2, 9.8};
+  std::vector<double> b = {5.0, 5.1, 4.9, 5.2, 4.8};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.t_statistic, 10.0);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(WelchTTestTest, IdenticalDistributionsAreNotSignificant) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {1.1, 1.9, 3.1, 3.9};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(WelchTTestTest, ConstantEqualSamples) {
+  const TTestResult r = WelchTTest({2.0, 2.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  MinMaxNormalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(MinMaxNormalizeTest, ConstantInputMapsToZero) {
+  std::vector<double> v = {3.0, 3.0};
+  MinMaxNormalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  const std::vector<double> p = Softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  const std::vector<double> p = Softmax({1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(ArgsortDescendingTest, OrdersByValueStable) {
+  const std::vector<int> idx = ArgsortDescending({1.0, 3.0, 2.0, 3.0});
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx[0], 1);  // first 3.0 (stable)
+  EXPECT_EQ(idx[1], 3);
+  EXPECT_EQ(idx[2], 2);
+  EXPECT_EQ(idx[3], 0);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+}  // namespace
+}  // namespace o2sr

@@ -1,0 +1,121 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace o2sr::eval {
+namespace {
+
+TEST(RmseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({0.0, 0.0}, {3.0, 4.0}),
+                   std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  // Truth decreasing with index; predictions agree.
+  const std::vector<double> truth = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const std::vector<double> pred = truth;
+  EXPECT_DOUBLE_EQ(NdcgAtK(pred, truth, 3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(pred, truth, 5, 5), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingIsZero) {
+  // Predictions put the 5 non-relevant items (truth bottom-5) first.
+  const std::vector<double> truth = {10, 9, 8, 7, 6, 1, 1, 1, 1, 1};
+  const std::vector<double> pred = {0, 0, 0, 0, 0, 5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(NdcgAtK(pred, truth, 3, 5), 0.0);
+}
+
+TEST(NdcgTest, PositionSensitivity) {
+  const std::vector<double> truth = {10, 1, 1, 1};  // only item 0 relevant
+  // Relevant item at predicted rank 1 vs rank 3.
+  const std::vector<double> first = {9, 3, 2, 1};
+  const std::vector<double> third = {3, 9, 8, 1};
+  const double ndcg_first = NdcgAtK(first, truth, 3, 1);
+  const double ndcg_third = NdcgAtK(third, truth, 3, 1);
+  EXPECT_DOUBLE_EQ(ndcg_first, 1.0);
+  EXPECT_GT(ndcg_first, ndcg_third);
+  EXPECT_GT(ndcg_third, 0.0);
+  // Hit at rank 3: DCG = 1/log2(4), IDCG = 1.
+  EXPECT_NEAR(ndcg_third, 1.0 / std::log2(4.0), 1e-12);
+}
+
+TEST(NdcgTest, KLargerThanListIsHandled) {
+  const std::vector<double> truth = {3, 2};
+  EXPECT_DOUBLE_EQ(NdcgAtK(truth, truth, 10, 1), 1.0);
+}
+
+TEST(NdcgTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, 3, 5), 0.0);
+}
+
+TEST(PrecisionTest, ExactFormula) {
+  // Truth top-2 = items 0, 1. Predictions rank 0 first, then 3, then 1.
+  const std::vector<double> truth = {10, 9, 1, 2};
+  const std::vector<double> pred = {9, 5, 0, 6};
+  // Top-3 by prediction: items 0, 3, 1. Hits among truth top-2: 0 and 1.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(pred, truth, 3, 2), 2.0 / 3.0);
+}
+
+TEST(PrecisionTest, AllRelevantWhenTopNCoversList) {
+  const std::vector<double> truth = {3, 2, 1};
+  const std::vector<double> pred = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(pred, truth, 3, 30), 1.0);
+}
+
+TEST(PrecisionTest, PerfectAndZero) {
+  const std::vector<double> truth = {9, 8, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({9, 8, 1, 1, 1, 1}, truth, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 1, 9, 8, 7, 6}, truth, 2, 2), 0.0);
+}
+
+// Property sweep: for random data, metrics are bounded, monotone in quality.
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, BoundsAndPerfectPrediction) {
+  Rng rng(GetParam());
+  const int n = 50;
+  std::vector<double> truth(n);
+  for (double& v : truth) v = rng.Uniform(0.0, 100.0);
+  std::vector<double> noisy(n);
+  for (int i = 0; i < n; ++i) noisy[i] = truth[i] + rng.Normal(0.0, 10.0);
+
+  for (int k : {1, 3, 5, 10}) {
+    const double ndcg = NdcgAtK(noisy, truth, k, 20);
+    const double prec = PrecisionAtK(noisy, truth, k, 20);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0);
+    EXPECT_GE(prec, 0.0);
+    EXPECT_LE(prec, 1.0);
+    // The exact truth as prediction is perfect.
+    EXPECT_DOUBLE_EQ(NdcgAtK(truth, truth, k, 20), 1.0);
+    EXPECT_DOUBLE_EQ(PrecisionAtK(truth, truth, k, 20), 1.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, NoisierPredictionsScoreWorseOnAverage) {
+  Rng rng(GetParam() + 1000);
+  double good_sum = 0.0, bad_sum = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    const int n = 60;
+    std::vector<double> truth(n), good(n), bad(n);
+    for (int i = 0; i < n; ++i) {
+      truth[i] = rng.Uniform(0.0, 100.0);
+      good[i] = truth[i] + rng.Normal(0.0, 5.0);
+      bad[i] = truth[i] + rng.Normal(0.0, 60.0);
+    }
+    good_sum += NdcgAtK(good, truth, 5, 20);
+    bad_sum += NdcgAtK(bad, truth, 5, 20);
+  }
+  EXPECT_GT(good_sum, bad_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace o2sr::eval

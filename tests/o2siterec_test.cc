@@ -1,0 +1,196 @@
+#include "core/o2siterec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/o2siterec_recommender.h"
+#include "eval/experiment.h"
+
+namespace o2sr::core {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 3500.0;
+  cfg.city_height_m = 3500.0;
+  cfg.num_store_types = 8;
+  cfg.num_stores = 140;
+  cfg.num_couriers = 60;
+  cfg.num_days = 3;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 51;
+  return cfg;
+}
+
+O2SiteRecConfig SmallModelConfig() {
+  O2SiteRecConfig cfg;
+  cfg.capacity.embedding_dim = 8;
+  cfg.rec.embedding_dim = 16;
+  cfg.rec.node_heads = 2;
+  cfg.rec.time_heads = 2;
+  cfg.epochs = 8;
+  cfg.learning_rate = 5e-3;
+  return cfg;
+}
+
+struct Fixture {
+  sim::Dataset data;
+  eval::Split split;
+
+  Fixture() : data(sim::GenerateDataset(TestConfig())) {
+    Rng rng(2);
+    split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
+                                    rng);
+  }
+};
+
+const Fixture& F() {
+  static const Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(O2SiteRecTest, VariantNamesAreDistinct) {
+  EXPECT_STREQ(VariantName(O2SiteRecVariant::kFull), "O2-SiteRec");
+  EXPECT_STRNE(VariantName(O2SiteRecVariant::kNoCapacity),
+               VariantName(O2SiteRecVariant::kNoCapacityNoCustomer));
+}
+
+TEST(O2SiteRecTest, TrainingReducesLoss) {
+  O2SiteRecConfig cfg = SmallModelConfig();
+  cfg.epochs = 1;
+  O2SiteRec one_epoch(F().data, F().split.train_orders, cfg);
+  one_epoch.Train(F().split.train);
+  const double early_loss = one_epoch.final_loss();
+
+  cfg.epochs = 25;
+  O2SiteRec trained(F().data, F().split.train_orders, cfg);
+  trained.Train(F().split.train);
+  EXPECT_LT(trained.final_loss(), early_loss * 0.7);
+}
+
+TEST(O2SiteRecTest, PredictionsInUnitRangeAndAligned) {
+  O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
+  model.Train(F().split.train);
+  const std::vector<double> preds = model.Predict(F().split.test);
+  ASSERT_EQ(preds.size(), F().split.test.size());
+  for (double p : preds) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(O2SiteRecTest, UnknownRegionPredictsZero) {
+  O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
+  model.Train(F().split.train);
+  // Find a region with no stores.
+  std::vector<bool> has_store(F().data.num_regions(), false);
+  for (const auto& s : F().data.stores) has_store[s.region] = true;
+  for (int r = 0; r < F().data.num_regions(); ++r) {
+    if (has_store[r]) continue;
+    InteractionList pairs = {{r, 0, 0.0, 0.0}};
+    EXPECT_DOUBLE_EQ(model.Predict(pairs)[0], 0.0);
+    return;
+  }
+}
+
+TEST(O2SiteRecTest, FitsTrainingSignalBetterThanConstant) {
+  O2SiteRecConfig cfg = SmallModelConfig();
+  cfg.epochs = 40;
+  O2SiteRec model(F().data, F().split.train_orders, cfg);
+  model.Train(F().split.train);
+  const std::vector<double> preds = model.Predict(F().split.train);
+  double model_se = 0.0, const_se = 0.0, mean = 0.0;
+  for (const auto& it : F().split.train) mean += it.target;
+  mean /= F().split.train.size();
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const double t = F().split.train[i].target;
+    model_se += (preds[i] - t) * (preds[i] - t);
+    const_se += (mean - t) * (mean - t);
+  }
+  EXPECT_LT(model_se, const_se);
+}
+
+TEST(O2SiteRecTest, CapacityModelPresenceFollowsVariant) {
+  for (auto variant : {O2SiteRecVariant::kFull,
+                       O2SiteRecVariant::kMeanNodeAggregation,
+                       O2SiteRecVariant::kMeanTimeAggregation}) {
+    O2SiteRecConfig cfg = SmallModelConfig();
+    cfg.variant = variant;
+    O2SiteRec model(F().data, F().split.train_orders, cfg);
+    EXPECT_TRUE(model.has_capacity_model());
+  }
+  for (auto variant : {O2SiteRecVariant::kNoCapacity,
+                       O2SiteRecVariant::kNoCapacityNoCustomer}) {
+    O2SiteRecConfig cfg = SmallModelConfig();
+    cfg.variant = variant;
+    O2SiteRec model(F().data, F().split.train_orders, cfg);
+    EXPECT_FALSE(model.has_capacity_model());
+  }
+}
+
+TEST(O2SiteRecTest, AllVariantsTrainAndPredict) {
+  for (auto variant :
+       {O2SiteRecVariant::kFull, O2SiteRecVariant::kNoCapacity,
+        O2SiteRecVariant::kNoCapacityNoCustomer,
+        O2SiteRecVariant::kMeanNodeAggregation,
+        O2SiteRecVariant::kMeanTimeAggregation}) {
+    O2SiteRecConfig cfg = SmallModelConfig();
+    cfg.epochs = 3;
+    cfg.variant = variant;
+    O2SiteRec model(F().data, F().split.train_orders, cfg);
+    model.Train(F().split.train);
+    const std::vector<double> preds = model.Predict(F().split.test);
+    ASSERT_EQ(preds.size(), F().split.test.size());
+    double sum = 0.0;
+    for (double p : preds) {
+      ASSERT_TRUE(std::isfinite(p));
+      sum += p;
+    }
+    EXPECT_GT(sum, 0.0) << VariantName(variant);
+  }
+}
+
+TEST(O2SiteRecTest, NoCustomerVariantDropsCustomerEdges) {
+  O2SiteRecConfig cfg = SmallModelConfig();
+  cfg.variant = O2SiteRecVariant::kNoCapacityNoCustomer;
+  O2SiteRec model(F().data, F().split.train_orders, cfg);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    EXPECT_TRUE(model.hetero_graph().Subgraph(p).su_edges.empty());
+    EXPECT_TRUE(model.hetero_graph().Subgraph(p).ua_edges.empty());
+  }
+}
+
+TEST(O2SiteRecTest, DeterministicGivenSeed) {
+  auto run = [&]() {
+    O2SiteRecConfig cfg = SmallModelConfig();
+    cfg.epochs = 3;
+    O2SiteRec model(F().data, F().split.train_orders, cfg);
+    model.Train(F().split.train);
+    return model.Predict(F().split.test);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(O2SiteRecTest, DeliveryTimePredictionPositive) {
+  O2SiteRecConfig cfg = SmallModelConfig();
+  cfg.epochs = 10;
+  O2SiteRec model(F().data, F().split.train_orders, cfg);
+  model.Train(F().split.train);
+  const double minutes = model.PredictDeliveryMinutes(1, 3, 10);
+  EXPECT_GT(minutes, 0.0);
+  EXPECT_LT(minutes, 200.0);
+}
+
+TEST(O2SiteRecRecommenderTest, AdapterRoundTrip) {
+  O2SiteRecConfig cfg = SmallModelConfig();
+  cfg.epochs = 3;
+  O2SiteRecRecommender adapter(cfg);
+  EXPECT_EQ(adapter.Name(), "O2-SiteRec");
+  adapter.Train(F().data, F().split.train_orders, F().split.train);
+  EXPECT_EQ(adapter.Predict(F().split.test).size(), F().split.test.size());
+}
+
+}  // namespace
+}  // namespace o2sr::core

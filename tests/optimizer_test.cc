@@ -1,0 +1,114 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "nn/tape.h"
+
+namespace o2sr::nn {
+namespace {
+
+TEST(AdamTest, SingleStepMovesAgainstGradient) {
+  ParameterStore store;
+  Parameter* p = store.CreateZeros("p", 1, 1);
+  p->value.at(0, 0) = 1.0f;
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.1;
+  opts.clip_norm = 0.0;
+  AdamOptimizer adam(&store, opts);
+
+  Tape tape;
+  Value v = tape.Param(p);
+  tape.Backward(tape.MeanAll(tape.Mul(v, v)));  // grad = 2p = 2 > 0
+  adam.Step();
+  EXPECT_LT(p->value.at(0, 0), 1.0f);
+  // First Adam step magnitude is ~lr regardless of gradient scale.
+  EXPECT_NEAR(p->value.at(0, 0), 1.0f - 0.1f, 1e-3);
+}
+
+TEST(AdamTest, StepClearsGradients) {
+  ParameterStore store;
+  Parameter* p = store.CreateZeros("p", 1, 1);
+  p->value.at(0, 0) = 1.0f;
+  AdamOptimizer adam(&store, {});
+  Tape tape;
+  Value v = tape.Param(p);
+  tape.Backward(tape.MeanAll(v));
+  EXPECT_NE(p->grad.at(0, 0), 0.0f);
+  adam.Step();
+  EXPECT_EQ(p->grad.at(0, 0), 0.0f);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  ParameterStore store;
+  Parameter* p = store.CreateZeros("p", 1, 2);
+  p->value.at(0, 0) = 4.0f;
+  p->value.at(0, 1) = -3.0f;
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.05;
+  AdamOptimizer adam(&store, opts);
+  const Tensor target = Tensor::FromVector(1, 2, {1.0f, 2.0f});
+  for (int i = 0; i < 600; ++i) {
+    Tape tape;
+    Value loss = tape.MseLoss(tape.Param(p), tape.Input(target));
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(p->value.at(0, 0), 1.0f, 0.05f);
+  EXPECT_NEAR(p->value.at(0, 1), 2.0f, 0.05f);
+}
+
+TEST(AdamTest, GradientClippingBoundsUpdateDirection) {
+  ParameterStore store;
+  Parameter* p = store.CreateZeros("p", 1, 1);
+  p->value.at(0, 0) = 1000.0f;
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.01;
+  opts.clip_norm = 1.0;
+  AdamOptimizer adam(&store, opts);
+  Tape tape;
+  Value v = tape.Param(p);
+  tape.Backward(tape.MeanAll(tape.Mul(v, v)));  // huge gradient
+  adam.Step();
+  // Update magnitude stays ~lr because of clipping + Adam normalization.
+  EXPECT_NEAR(p->value.at(0, 0), 1000.0f - 0.01f, 1e-3);
+}
+
+TEST(AdamTest, TrainsSmallRegressionToLowLoss) {
+  // End-to-end: fit y = 2x - 1 with a 2-layer MLP.
+  ParameterStore store;
+  Rng rng(7);
+  Mlp mlp(&store, "mlp", {1, 8, 1}, rng, Activation::kTanh);
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.02;
+  AdamOptimizer adam(&store, opts);
+
+  Tensor x(16, 1), y(16, 1);
+  for (int i = 0; i < 16; ++i) {
+    const float xv = -1.0f + 2.0f * i / 15.0f;
+    x.at(i, 0) = xv;
+    y.at(i, 0) = 2.0f * xv - 1.0f;
+  }
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    Tape tape;
+    Value pred = mlp.Apply(tape, tape.Input(x));
+    Value loss = tape.MseLoss(pred, tape.Input(y));
+    final_loss = tape.value(loss).at(0, 0);
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+TEST(ParameterStoreTest, NumScalarsCounts) {
+  ParameterStore store;
+  Rng rng(1);
+  store.CreateXavier("a", 3, 4, rng);
+  store.CreateZeros("b", 1, 5);
+  EXPECT_EQ(store.NumScalars(), 12u + 5u);
+}
+
+}  // namespace
+}  // namespace o2sr::nn

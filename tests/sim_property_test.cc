@@ -1,0 +1,127 @@
+// Property-based sweeps of the simulator: structural invariants must hold
+// for any seed and a range of configurations (TEST_P over seeds).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "features/analysis.h"
+#include "sim/dataset.h"
+
+namespace o2sr::sim {
+namespace {
+
+class SimSeedPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SimConfig Config() const {
+    SimConfig cfg;
+    cfg.city_width_m = 4000.0;
+    cfg.city_height_m = 4000.0;
+    cfg.num_store_types = 10;
+    cfg.num_stores = 180;
+    cfg.num_couriers = 90;
+    cfg.num_days = 3;
+    cfg.peak_orders_per_region_slot = 4.0;
+    cfg.seed = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(SimSeedPropertyTest, OrderTimestampsMonotone) {
+  const Dataset data = GenerateDataset(Config());
+  ASSERT_GT(data.orders.size(), 500u);
+  for (const Order& o : data.orders) {
+    EXPECT_LT(o.creation_min, o.acceptance_min);
+    EXPECT_LT(o.acceptance_min, o.pickup_min);
+    EXPECT_LT(o.pickup_min, o.delivery_min);
+  }
+}
+
+TEST_P(SimSeedPropertyTest, OrdersReferenceValidEntities) {
+  const Dataset data = GenerateDataset(Config());
+  for (const Order& o : data.orders) {
+    ASSERT_GE(o.store_id, 0);
+    ASSERT_LT(o.store_id, static_cast<int>(data.stores.size()));
+    ASSERT_GE(o.courier_id, 0);
+    ASSERT_LT(o.courier_id, data.config.num_couriers);
+    ASSERT_TRUE(data.city.grid.Valid(o.store_region));
+    ASSERT_TRUE(data.city.grid.Valid(o.customer_region));
+    ASSERT_GE(o.type, 0);
+    ASSERT_LT(o.type, data.num_types());
+  }
+}
+
+TEST_P(SimSeedPropertyTest, DistanceMatchesLocations) {
+  const Dataset data = GenerateDataset(Config());
+  for (size_t i = 0; i < data.orders.size(); i += 37) {
+    const Order& o = data.orders[i];
+    EXPECT_NEAR(o.distance_m,
+                geo::EuclideanMeters(o.store_location, o.customer_location),
+                1e-6);
+  }
+}
+
+TEST_P(SimSeedPropertyTest, SupplyDemandRatioDipsAtRush) {
+  const Dataset data = GenerateDataset(Config());
+  const auto series = features::SupplyDemandBySlot(data);
+  // Average the two rush slots vs the two off-peak afternoon/night slots.
+  const double rush = (series[5].supply_demand_ratio +
+                       series[9].supply_demand_ratio) / 2.0;
+  const double off = (series[7].supply_demand_ratio +
+                      series[10].supply_demand_ratio) / 2.0;
+  EXPECT_LT(rush, off);
+}
+
+TEST_P(SimSeedPropertyTest, CourierAllocationCoversAllSlots) {
+  const Dataset data = GenerateDataset(Config());
+  ASSERT_EQ(data.courier_alloc_slot_region.size(),
+            static_cast<size_t>(kSlotsPerDay));
+  for (int slot = 0; slot < kSlotsPerDay; ++slot) {
+    double total = 0.0;
+    for (double v : data.courier_alloc_slot_region[slot]) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_LE(total, data.config.num_couriers + 1.0);
+  }
+}
+
+TEST_P(SimSeedPropertyTest, SlotStatsConsistentWithOrders) {
+  const Dataset data = GenerateDataset(Config());
+  std::vector<int> counted(data.config.num_days * kSlotsPerDay, 0);
+  for (const Order& o : data.orders) {
+    ++counted[o.day * kSlotsPerDay + o.slot];
+  }
+  ASSERT_EQ(data.slot_stats.size(), counted.size());
+  for (const SlotStats& s : data.slot_stats) {
+    EXPECT_EQ(s.orders, counted[s.day * kSlotsPerDay + s.slot]);
+    EXPECT_GT(s.active_couriers, 0);
+  }
+}
+
+TEST_P(SimSeedPropertyTest, ScopeFactorsWithinConfiguredBounds) {
+  const SimConfig cfg = Config();
+  const Dataset data = GenerateDataset(cfg);
+  for (double f : data.scope_factor_per_period) {
+    EXPECT_GE(f, cfg.min_scope_factor - 1e-9);
+    EXPECT_LE(f, cfg.max_scope_factor + 1e-9);
+  }
+}
+
+TEST_P(SimSeedPropertyTest, DemandScalesWithConfig) {
+  SimConfig low = Config();
+  low.peak_orders_per_region_slot = 2.0;
+  SimConfig high = Config();
+  high.peak_orders_per_region_slot = 6.0;
+  const Dataset a = GenerateDataset(low);
+  const Dataset b = GenerateDataset(high);
+  EXPECT_GT(b.orders.size(), a.orders.size() * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSeedPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace o2sr::sim

@@ -1,0 +1,132 @@
+#include "core/site_recommendation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace o2sr::core {
+namespace {
+
+struct Fixture {
+  sim::Dataset data;
+  std::unique_ptr<O2SiteRec> model;
+
+  Fixture() : data(MakeData()) {
+    Rng rng(2);
+    const eval::Split split = eval::SplitInteractions(
+        data, eval::BuildInteractions(data), 0.8, rng);
+    O2SiteRecConfig cfg;
+    cfg.capacity.embedding_dim = 8;
+    cfg.rec.embedding_dim = 16;
+    cfg.rec.node_heads = 2;
+    cfg.epochs = 10;
+    model = std::make_unique<O2SiteRec>(data, split.train_orders, cfg);
+    model->Train(split.train);
+  }
+
+  static sim::Dataset MakeData() {
+    sim::SimConfig cfg;
+    cfg.city_width_m = 3500.0;
+    cfg.city_height_m = 3500.0;
+    cfg.num_store_types = 8;
+    cfg.num_stores = 140;
+    cfg.num_couriers = 60;
+    cfg.num_days = 3;
+    cfg.peak_orders_per_region_slot = 4.0;
+    cfg.seed = 81;
+    return sim::GenerateDataset(cfg);
+  }
+};
+
+const Fixture& F() {
+  static const Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(SiteRecommendationTest, ReturnsRankedSuggestions) {
+  const SiteRecommendationService service(F().data, *F().model);
+  SiteQuery query;
+  query.type = 0;
+  query.top_k = 5;
+  const auto suggestions = service.Recommend(query);
+  ASSERT_GT(suggestions.size(), 0u);
+  ASSERT_LE(suggestions.size(), 5u);
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].score, suggestions[i].score);
+  }
+}
+
+TEST(SiteRecommendationTest, ExcludeExistingIsHonored) {
+  const SiteRecommendationService service(F().data, *F().model);
+  std::set<int> existing;
+  for (const sim::Store& s : F().data.stores) {
+    if (s.type == 0) existing.insert(s.region);
+  }
+  SiteQuery query;
+  query.type = 0;
+  query.top_k = 20;
+  query.exclude_existing = true;
+  for (const auto& s : service.Recommend(query)) {
+    EXPECT_EQ(existing.count(s.region), 0u);
+  }
+  const size_t excluded_count = service.Recommend(query).size();
+  query.exclude_existing = false;
+  EXPECT_GE(service.Recommend(query).size(), excluded_count);
+}
+
+TEST(SiteRecommendationTest, CenterDistanceFilter) {
+  const SiteRecommendationService service(F().data, *F().model);
+  SiteQuery query;
+  query.type = 1;
+  query.top_k = 50;
+  query.max_center_distance_norm = 0.3;
+  for (const auto& s : service.Recommend(query)) {
+    EXPECT_LE(F().data.city.grid.CenterDistanceNorm(s.region), 0.3);
+  }
+}
+
+TEST(SiteRecommendationTest, ExplanationsArePlausible) {
+  const SiteRecommendationService service(F().data, *F().model);
+  SiteQuery query;
+  query.type = 0;
+  query.top_k = 3;
+  for (const auto& s : service.Recommend(query)) {
+    EXPECT_GE(s.nearby_demand_per_day, 0.0);
+    EXPECT_GT(s.noon_delivery_minutes, 0.0);
+    EXPECT_GE(s.competitiveness, 0.0);
+    EXPECT_LE(s.competitiveness, 1.0);
+    EXPECT_GE(s.complementarity, 0.0);
+    EXPECT_LE(s.complementarity, 1.0);
+    EXPECT_GT(s.score, 0.0);
+  }
+}
+
+TEST(SiteRecommendationTest, ReportMentionsTypeAndRegions) {
+  const SiteRecommendationService service(F().data, *F().model);
+  SiteQuery query;
+  query.type = 0;
+  query.top_k = 2;
+  const auto suggestions = service.Recommend(query);
+  const std::string report = service.FormatReport(query, suggestions);
+  EXPECT_NE(report.find(F().data.type_catalog[0].name), std::string::npos);
+  for (const auto& s : suggestions) {
+    EXPECT_NE(report.find("region " + std::to_string(s.region)),
+              std::string::npos);
+  }
+}
+
+TEST(SiteRecommendationTest, EmptyResultReportIsGraceful) {
+  const SiteRecommendationService service(F().data, *F().model);
+  SiteQuery query;
+  query.type = 0;
+  query.max_center_distance_norm = -1.0;  // excludes everything
+  const auto suggestions = service.Recommend(query);
+  EXPECT_TRUE(suggestions.empty());
+  EXPECT_NE(service.FormatReport(query, suggestions).find("no eligible"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace o2sr::core

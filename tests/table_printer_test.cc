@@ -1,0 +1,58 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace o2sr {
+namespace {
+
+std::string Render(const TablePrinter& t) {
+  std::FILE* f = std::tmpfile();
+  t.Print(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) out += buf;
+  std::fclose(f);
+  return out;
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Model", "NDCG@3"});
+  t.AddRow({"HGT", "0.6331"});
+  t.AddRow({"O2-SiteRec", "0.7102"});
+  const std::string out = Render(t);
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("O2-SiteRec"), std::string::npos);
+  EXPECT_NE(out.find("0.7102"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"very-long-cell", "x"});
+  const std::string out = Render(t);
+  // Every line should have the same length because cells are padded.
+  size_t prev = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.71024, 4), "0.7102");
+  EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace o2sr

@@ -1,0 +1,151 @@
+// Parameterized property tests of the autograd tape: shape/identity
+// invariants and gradient-flow properties over randomized sizes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/parameter.h"
+#include "nn/tape.h"
+
+namespace o2sr::nn {
+namespace {
+
+struct Dims {
+  int rows;
+  int cols;
+};
+
+class TapeShapeTest : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(TapeShapeTest, SoftmaxRowsAlwaysNormalized) {
+  Rng rng(GetParam().rows * 100 + GetParam().cols);
+  Tape tape;
+  Value x = tape.Input(
+      Tensor::RandomNormal(GetParam().rows, GetParam().cols, 3.0, rng));
+  const Tensor& y = tape.value(tape.SoftmaxRows(x));
+  for (int r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < y.cols(); ++c) {
+      EXPECT_GE(y.at(r, c), 0.0f);
+      sum += y.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_P(TapeShapeTest, GatherThenSegmentSumWithIdentityIndexIsIdentity) {
+  Rng rng(7);
+  const int n = GetParam().rows;
+  Tape tape;
+  Value x = tape.Input(Tensor::RandomNormal(n, GetParam().cols, 1.0, rng));
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  Value y = tape.SegmentSum(tape.GatherRows(x, idx), idx, n);
+  const Tensor& tx = tape.value(x);
+  const Tensor& ty = tape.value(y);
+  for (size_t i = 0; i < tx.size(); ++i) {
+    EXPECT_FLOAT_EQ(tx.data()[i], ty.data()[i]);
+  }
+}
+
+TEST_P(TapeShapeTest, ConcatSliceRoundTrip) {
+  Rng rng(9);
+  Tape tape;
+  const int rows = GetParam().rows;
+  const int cols = GetParam().cols;
+  Value a = tape.Input(Tensor::RandomNormal(rows, cols, 1.0, rng));
+  Value b = tape.Input(Tensor::RandomNormal(rows, cols + 1, 1.0, rng));
+  Value cat = tape.ConcatCols({a, b});
+  Value a_back = tape.SliceCols(cat, 0, cols);
+  Value b_back = tape.SliceCols(cat, cols, cols + 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_EQ(tape.value(a).at(r, c), tape.value(a_back).at(r, c));
+    }
+    for (int c = 0; c < cols + 1; ++c) {
+      EXPECT_EQ(tape.value(b).at(r, c), tape.value(b_back).at(r, c));
+    }
+  }
+}
+
+TEST_P(TapeShapeTest, MatMulAssociativeWithIdentityChain) {
+  Rng rng(11);
+  const int n = GetParam().cols;
+  Tape tape;
+  Value x = tape.Input(Tensor::RandomNormal(GetParam().rows, n, 1.0, rng));
+  Tensor eye(n, n);
+  for (int i = 0; i < n; ++i) eye.at(i, i) = 1.0f;
+  Value y = tape.MatMul(tape.MatMul(x, tape.Input(eye)), tape.Input(eye));
+  const Tensor& tx = tape.value(x);
+  const Tensor& ty = tape.value(y);
+  for (size_t i = 0; i < tx.size(); ++i) {
+    EXPECT_NEAR(tx.data()[i], ty.data()[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TapeShapeTest,
+                         ::testing::Values(Dims{1, 1}, Dims{3, 5},
+                                           Dims{17, 8}, Dims{64, 2}));
+
+TEST(TapeGradientFlowTest, ResidualPathKeepsGradientAlive) {
+  // Even if the transformed path saturates (ReLU dead), the residual path
+  // must carry gradient — mirrors the capacity model's Eq. 3-4 residuals.
+  ParameterStore store;
+  Rng rng(1);
+  Parameter* x = store.CreateNormal("x", 4, 4, 0.5, rng);
+  Tape tape;
+  Value v = tape.Param(x);
+  Value dead = tape.Relu(tape.Scale(v, -100.0f));  // all zeros
+  Value out = tape.Add(dead, v);                   // residual
+  tape.Backward(tape.MeanAll(out));
+  EXPECT_GT(x->grad.MeanAbs(), 0.0);
+}
+
+TEST(TapeGradientFlowTest, SegmentSoftmaxConstantShiftInvariance) {
+  // softmax is invariant to per-segment constant shifts.
+  Tape tape;
+  Value s1 = tape.Input(Tensor::FromVector(4, 1, {1, 2, 5, 6}));
+  Value s2 = tape.Input(Tensor::FromVector(4, 1, {101, 102, -5, -4}));
+  const std::vector<int> seg = {0, 0, 1, 1};
+  const Tensor& a1 = tape.value(tape.SegmentSoftmax(s1, seg, 2));
+  const Tensor& a2 = tape.value(tape.SegmentSoftmax(s2, seg, 2));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a1.at(i, 0), a2.at(i, 0), 1e-6);
+  }
+}
+
+TEST(TapeGradientFlowTest, DropoutPreservesExpectation) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int rounds = 300;
+  for (int i = 0; i < rounds; ++i) {
+    Tape tape(/*training=*/true);
+    Value x = tape.Input(Tensor::Full(1, 50, 1.0f));
+    sum += tape.value(tape.Dropout(x, 0.3, rng)).Sum();
+  }
+  EXPECT_NEAR(sum / (rounds * 50.0), 1.0, 0.05);
+}
+
+TEST(TapeDeathTest, ShapeMismatchAborts) {
+  Tape tape;
+  Value a = tape.Input(Tensor(2, 3));
+  Value b = tape.Input(Tensor(3, 2));
+  EXPECT_DEATH(tape.Add(a, b), "O2SR_CHECK");
+}
+
+TEST(TapeDeathTest, BadSegmentIdAborts) {
+  Tape tape;
+  Value x = tape.Input(Tensor(2, 2));
+  EXPECT_DEATH(tape.SegmentSum(x, {0, 5}, 2), "O2SR_CHECK");
+}
+
+TEST(TapeDeathTest, DoubleBackwardAborts) {
+  Tape tape;
+  Value x = tape.Input(Tensor::Full(1, 1, 2.0f));
+  tape.Backward(x);
+  EXPECT_DEATH(tape.Backward(x), "O2SR_CHECK");
+}
+
+}  // namespace
+}  // namespace o2sr::nn

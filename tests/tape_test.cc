@@ -1,0 +1,213 @@
+#include "nn/tape.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace o2sr::nn {
+namespace {
+
+Tensor Row(const std::vector<float>& v) {
+  return Tensor::FromVector(1, static_cast<int>(v.size()), v);
+}
+
+TEST(TapeForwardTest, AddSubMulScale) {
+  Tape tape;
+  Value a = tape.Input(Row({1, 2, 3}));
+  Value b = tape.Input(Row({10, 20, 30}));
+  EXPECT_EQ(tape.value(tape.Add(a, b)).at(0, 2), 33.0f);
+  EXPECT_EQ(tape.value(tape.Sub(b, a)).at(0, 0), 9.0f);
+  EXPECT_EQ(tape.value(tape.Mul(a, b)).at(0, 1), 40.0f);
+  EXPECT_EQ(tape.value(tape.Scale(a, 2.5f)).at(0, 2), 7.5f);
+}
+
+TEST(TapeForwardTest, AddNSumsAllInputs) {
+  Tape tape;
+  Value a = tape.Input(Row({1}));
+  Value b = tape.Input(Row({2}));
+  Value c = tape.Input(Row({3}));
+  EXPECT_EQ(tape.value(tape.AddN({a, b, c})).at(0, 0), 6.0f);
+}
+
+TEST(TapeForwardTest, Activations) {
+  Tape tape;
+  Value x = tape.Input(Row({-2.0f, 0.0f, 3.0f}));
+  const Tensor& relu = tape.value(tape.Relu(x));
+  EXPECT_EQ(relu.at(0, 0), 0.0f);
+  EXPECT_EQ(relu.at(0, 2), 3.0f);
+
+  const Tensor& lrelu = tape.value(tape.LeakyRelu(x, 0.1f));
+  EXPECT_FLOAT_EQ(lrelu.at(0, 0), -0.2f);
+  EXPECT_EQ(lrelu.at(0, 2), 3.0f);
+
+  const Tensor& sig = tape.value(tape.Sigmoid(x));
+  EXPECT_NEAR(sig.at(0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(sig.at(0, 2), 1.0f / (1.0f + std::exp(-3.0f)), 1e-6);
+
+  const Tensor& th = tape.value(tape.Tanh(x));
+  EXPECT_NEAR(th.at(0, 2), std::tanh(3.0f), 1e-6);
+}
+
+TEST(TapeForwardTest, SoftmaxRowsSumsToOne) {
+  Tape tape;
+  Value x = tape.Input(Tensor::FromVector(2, 3, {1, 2, 3, -1, -1, -1}));
+  const Tensor& y = tape.value(tape.SoftmaxRows(x));
+  for (int r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 3; ++c) s += y.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-6);
+  }
+  // Uniform logits -> uniform probabilities.
+  EXPECT_NEAR(y.at(1, 0), 1.0f / 3.0f, 1e-6);
+  // Monotone in logits.
+  EXPECT_LT(y.at(0, 0), y.at(0, 2));
+}
+
+TEST(TapeForwardTest, AddRowBroadcast) {
+  Tape tape;
+  Value x = tape.Input(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  Value b = tape.Input(Row({10, 20}));
+  const Tensor& y = tape.value(tape.AddRowBroadcast(x, b));
+  EXPECT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_EQ(y.at(1, 1), 24.0f);
+}
+
+TEST(TapeForwardTest, MulColBroadcast) {
+  Tape tape;
+  Value x = tape.Input(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  Value w = tape.Input(Tensor::FromVector(2, 1, {2, -1}));
+  const Tensor& y = tape.value(tape.MulColBroadcast(x, w));
+  EXPECT_EQ(y.at(0, 1), 4.0f);
+  EXPECT_EQ(y.at(1, 0), -3.0f);
+}
+
+TEST(TapeForwardTest, ConcatCols) {
+  Tape tape;
+  Value a = tape.Input(Tensor::FromVector(2, 1, {1, 2}));
+  Value b = tape.Input(Tensor::FromVector(2, 2, {3, 4, 5, 6}));
+  const Tensor& y = tape.value(tape.ConcatCols({a, b}));
+  ASSERT_EQ(y.cols(), 3);
+  EXPECT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_EQ(y.at(0, 2), 4.0f);
+  EXPECT_EQ(y.at(1, 1), 5.0f);
+}
+
+TEST(TapeForwardTest, RowwiseDot) {
+  Tape tape;
+  Value a = tape.Input(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  Value b = tape.Input(Tensor::FromVector(2, 2, {5, 6, 7, 8}));
+  const Tensor& y = tape.value(tape.RowwiseDot(a, b));
+  EXPECT_EQ(y.at(0, 0), 17.0f);
+  EXPECT_EQ(y.at(1, 0), 53.0f);
+}
+
+TEST(TapeForwardTest, GatherRows) {
+  Tape tape;
+  Value x = tape.Input(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& y = tape.value(tape.GatherRows(x, {2, 0, 2}));
+  ASSERT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_EQ(y.at(1, 1), 2.0f);
+  EXPECT_EQ(y.at(2, 1), 6.0f);
+}
+
+TEST(TapeForwardTest, SegmentSoftmaxNormalizesWithinSegments) {
+  Tape tape;
+  Value s = tape.Input(Tensor::FromVector(4, 1, {1, 1, 5, 7}));
+  const Tensor& y = tape.value(tape.SegmentSoftmax(s, {0, 0, 1, 1}, 2));
+  EXPECT_NEAR(y.at(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(y.at(1, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(y.at(2, 0) + y.at(3, 0), 1.0f, 1e-6);
+  EXPECT_LT(y.at(2, 0), y.at(3, 0));
+}
+
+TEST(TapeForwardTest, SegmentSoftmaxSingletonIsOne) {
+  Tape tape;
+  Value s = tape.Input(Tensor::FromVector(1, 1, {-100.0f}));
+  const Tensor& y = tape.value(tape.SegmentSoftmax(s, {0}, 1));
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-6);
+}
+
+TEST(TapeForwardTest, SegmentSumAndMean) {
+  Tape tape;
+  Value x = tape.Input(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& sum = tape.value(tape.SegmentSum(x, {1, 1, 0}, 3));
+  EXPECT_EQ(sum.at(1, 0), 4.0f);
+  EXPECT_EQ(sum.at(1, 1), 6.0f);
+  EXPECT_EQ(sum.at(0, 0), 5.0f);
+  // Empty segment 2 stays zero.
+  EXPECT_EQ(sum.at(2, 0), 0.0f);
+
+  Tape tape2;
+  Value x2 = tape2.Input(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& mean = tape2.value(tape2.SegmentMean(x2, {1, 1, 0}, 3));
+  EXPECT_EQ(mean.at(1, 0), 2.0f);
+  EXPECT_EQ(mean.at(0, 1), 6.0f);
+  EXPECT_EQ(mean.at(2, 1), 0.0f);
+}
+
+TEST(TapeForwardTest, Losses) {
+  Tape tape;
+  Value p = tape.Input(Row({1, 2, 3}));
+  Value t = tape.Input(Row({2, 2, 5}));
+  EXPECT_NEAR(tape.value(tape.MseLoss(p, t)).at(0, 0), (1.0 + 0.0 + 4.0) / 3.0,
+              1e-6);
+  EXPECT_NEAR(tape.value(tape.MaeLoss(p, t)).at(0, 0), (1.0 + 0.0 + 2.0) / 3.0,
+              1e-6);
+  EXPECT_NEAR(tape.value(tape.MeanAll(p)).at(0, 0), 2.0, 1e-6);
+}
+
+TEST(TapeForwardTest, DropoutInferenceIsIdentity) {
+  Rng rng(1);
+  Tape tape(/*training=*/false);
+  Value x = tape.Input(Row({1, 2, 3, 4}));
+  Value y = tape.Dropout(x, 0.5, rng);
+  EXPECT_EQ(y.id, x.id);  // identity: no new node
+}
+
+TEST(TapeForwardTest, DropoutTrainingZeroesAndRescales) {
+  Rng rng(1);
+  Tape tape(/*training=*/true);
+  Value x = tape.Input(Tensor::Full(1, 1000, 1.0f));
+  const Tensor& y = tape.value(tape.Dropout(x, 0.4, rng));
+  int zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.6f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.4, 0.05);
+}
+
+TEST(TapeBackwardTest, ParamGradientAccumulates) {
+  ParameterStore store;
+  Rng rng(1);
+  Parameter* p = store.CreateNormal("p", 1, 2, 1.0, rng);
+  Tape tape;
+  Value v = tape.Param(p);
+  // loss = mean(v * v): d/dv = 2v / n = v (n=2).
+  Value loss = tape.MeanAll(tape.Mul(v, v));
+  tape.Backward(loss);
+  EXPECT_NEAR(p->grad.at(0, 0), p->value.at(0, 0), 1e-5);
+  EXPECT_NEAR(p->grad.at(0, 1), p->value.at(0, 1), 1e-5);
+}
+
+TEST(TapeBackwardTest, ParamUsedTwiceAccumulatesBothPaths) {
+  ParameterStore store;
+  Rng rng(1);
+  Parameter* p = store.CreateZeros("p", 1, 1);
+  p->value.at(0, 0) = 3.0f;
+  Tape tape;
+  Value a = tape.Param(p);
+  Value b = tape.Param(p);
+  // loss = a * b = p^2 -> dp = 2p = 6.
+  Value loss = tape.MeanAll(tape.Mul(a, b));
+  tape.Backward(loss);
+  EXPECT_NEAR(p->grad.at(0, 0), 6.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace o2sr::nn

@@ -1,0 +1,121 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace o2sr::nn {
+namespace {
+
+TEST(TensorTest, ConstructionZeroInitializes) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full(2, 2, 3.5f);
+  EXPECT_EQ(t.at(1, 1), 3.5f);
+  t.SetZero();
+  EXPECT_EQ(t.at(1, 1), 0.0f);
+}
+
+TEST(TensorTest, AddAndScaleInPlace) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a.at(0, 0), 22.0f);
+  EXPECT_EQ(a.at(0, 2), 66.0f);
+}
+
+TEST(TensorTest, SumAndMeanAbs) {
+  Tensor t = Tensor::FromVector(2, 2, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(t.Sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.MeanAbs(), 2.5);
+  EXPECT_DOUBLE_EQ(Tensor().MeanAbs(), 0.0);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor(3, 4).ShapeString(), "[3x4]");
+}
+
+TEST(TensorTest, XavierWithinLimit) {
+  Rng rng(1);
+  Tensor t = Tensor::Xavier(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t.data()[i]), limit);
+  }
+}
+
+TEST(TensorTest, RandomNormalIsDeterministicGivenSeed) {
+  Rng a(3), b(3);
+  Tensor ta = Tensor::RandomNormal(4, 4, 1.0, a);
+  Tensor tb = Tensor::RandomNormal(4, 4, 1.0, b);
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.data()[i], tb.data()[i]);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal(4, 3, 1.0, rng);
+  Tensor b = Tensor::RandomNormal(4, 5, 1.0, rng);
+  // a^T * b via MatMulTransposeA vs. manual transpose.
+  Tensor at(3, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Tensor expected = MatMul(at, b);
+  Tensor got = MatMulTransposeA(a, b);
+  ASSERT_TRUE(expected.SameShape(got));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-5);
+  }
+
+  // a * b2^T via MatMulTransposeB.
+  Tensor b2 = Tensor::RandomNormal(6, 3, 1.0, rng);
+  Tensor b2t(3, 6);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 3; ++c) b2t.at(c, r) = b2.at(r, c);
+  }
+  Tensor expected2 = MatMul(a, b2t);
+  Tensor got2 = MatMulTransposeB(a, b2);
+  ASSERT_TRUE(expected2.SameShape(got2));
+  for (size_t i = 0; i < expected2.size(); ++i) {
+    EXPECT_NEAR(expected2.data()[i], got2.data()[i], 1e-5);
+  }
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  Tensor eye = Tensor::FromVector(2, 2, {1, 0, 0, 1});
+  Tensor c = MatMul(a, eye);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], c.data()[i]);
+}
+
+}  // namespace
+}  // namespace o2sr::nn
