@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_supply_demand.dir/bench_fig01_supply_demand.cc.o"
+  "CMakeFiles/bench_fig01_supply_demand.dir/bench_fig01_supply_demand.cc.o.d"
+  "bench_fig01_supply_demand"
+  "bench_fig01_supply_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_supply_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_delivery_time_correlation.dir/bench_fig02_delivery_time_correlation.cc.o"
+  "CMakeFiles/bench_fig02_delivery_time_correlation.dir/bench_fig02_delivery_time_correlation.cc.o.d"
+  "bench_fig02_delivery_time_correlation"
+  "bench_fig02_delivery_time_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_delivery_time_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_delivery_scope.dir/bench_fig03_delivery_scope.cc.o"
+  "CMakeFiles/bench_fig03_delivery_scope.dir/bench_fig03_delivery_scope.cc.o.d"
+  "bench_fig03_delivery_scope"
+  "bench_fig03_delivery_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_delivery_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_top_types.dir/bench_fig05_top_types.cc.o"
+  "CMakeFiles/bench_fig05_top_types.dir/bench_fig05_top_types.cc.o.d"
+  "bench_fig05_top_types"
+  "bench_fig05_top_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_top_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_geography.dir/bench_fig14_geography.cc.o"
+  "CMakeFiles/bench_fig14_geography.dir/bench_fig14_geography.cc.o.d"
+  "bench_fig14_geography"
+  "bench_fig14_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

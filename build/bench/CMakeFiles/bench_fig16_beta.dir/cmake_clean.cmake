@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_beta.dir/bench_fig16_beta.cc.o"
+  "CMakeFiles/bench_fig16_beta.dir/bench_fig16_beta.cc.o.d"
+  "bench_fig16_beta"
+  "bench_fig16_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_overall_simulation.dir/bench_table04_overall_simulation.cc.o"
+  "CMakeFiles/bench_table04_overall_simulation.dir/bench_table04_overall_simulation.cc.o.d"
+  "bench_table04_overall_simulation"
+  "bench_table04_overall_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_overall_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/o2sr_bench_common.dir/bench_common.cc.o.d"
+  "libo2sr_bench_common.a"
+  "libo2sr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

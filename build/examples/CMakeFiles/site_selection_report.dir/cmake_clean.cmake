@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_selection_report.dir/site_selection_report.cpp.o"
+  "CMakeFiles/site_selection_report.dir/site_selection_report.cpp.o.d"
+  "site_selection_report"
+  "site_selection_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_selection_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_common.cc" "src/baselines/CMakeFiles/o2sr_baselines.dir/baseline_common.cc.o" "gcc" "src/baselines/CMakeFiles/o2sr_baselines.dir/baseline_common.cc.o.d"
+  "/root/repo/src/baselines/factory.cc" "src/baselines/CMakeFiles/o2sr_baselines.dir/factory.cc.o" "gcc" "src/baselines/CMakeFiles/o2sr_baselines.dir/factory.cc.o.d"
+  "/root/repo/src/baselines/graph_baselines.cc" "src/baselines/CMakeFiles/o2sr_baselines.dir/graph_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/o2sr_baselines.dir/graph_baselines.cc.o.d"
+  "/root/repo/src/baselines/hetero_baselines.cc" "src/baselines/CMakeFiles/o2sr_baselines.dir/hetero_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/o2sr_baselines.dir/hetero_baselines.cc.o.d"
+  "/root/repo/src/baselines/mf_baselines.cc" "src/baselines/CMakeFiles/o2sr_baselines.dir/mf_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/o2sr_baselines.dir/mf_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/o2sr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/o2sr_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/o2sr_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/o2sr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2sr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

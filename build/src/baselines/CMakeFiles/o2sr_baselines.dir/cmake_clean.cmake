@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_baselines.dir/baseline_common.cc.o"
+  "CMakeFiles/o2sr_baselines.dir/baseline_common.cc.o.d"
+  "CMakeFiles/o2sr_baselines.dir/factory.cc.o"
+  "CMakeFiles/o2sr_baselines.dir/factory.cc.o.d"
+  "CMakeFiles/o2sr_baselines.dir/graph_baselines.cc.o"
+  "CMakeFiles/o2sr_baselines.dir/graph_baselines.cc.o.d"
+  "CMakeFiles/o2sr_baselines.dir/hetero_baselines.cc.o"
+  "CMakeFiles/o2sr_baselines.dir/hetero_baselines.cc.o.d"
+  "CMakeFiles/o2sr_baselines.dir/mf_baselines.cc.o"
+  "CMakeFiles/o2sr_baselines.dir/mf_baselines.cc.o.d"
+  "libo2sr_baselines.a"
+  "libo2sr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

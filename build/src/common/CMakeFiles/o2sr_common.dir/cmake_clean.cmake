@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_common.dir/math_util.cc.o"
+  "CMakeFiles/o2sr_common.dir/math_util.cc.o.d"
+  "CMakeFiles/o2sr_common.dir/table_printer.cc.o"
+  "CMakeFiles/o2sr_common.dir/table_printer.cc.o.d"
+  "libo2sr_common.a"
+  "libo2sr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/courier_capacity_model.cc" "src/core/CMakeFiles/o2sr_core.dir/courier_capacity_model.cc.o" "gcc" "src/core/CMakeFiles/o2sr_core.dir/courier_capacity_model.cc.o.d"
+  "/root/repo/src/core/hetero_rec_model.cc" "src/core/CMakeFiles/o2sr_core.dir/hetero_rec_model.cc.o" "gcc" "src/core/CMakeFiles/o2sr_core.dir/hetero_rec_model.cc.o.d"
+  "/root/repo/src/core/o2siterec.cc" "src/core/CMakeFiles/o2sr_core.dir/o2siterec.cc.o" "gcc" "src/core/CMakeFiles/o2sr_core.dir/o2siterec.cc.o.d"
+  "/root/repo/src/core/site_recommendation.cc" "src/core/CMakeFiles/o2sr_core.dir/site_recommendation.cc.o" "gcc" "src/core/CMakeFiles/o2sr_core.dir/site_recommendation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/o2sr_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/o2sr_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/o2sr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2sr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_core.dir/courier_capacity_model.cc.o"
+  "CMakeFiles/o2sr_core.dir/courier_capacity_model.cc.o.d"
+  "CMakeFiles/o2sr_core.dir/hetero_rec_model.cc.o"
+  "CMakeFiles/o2sr_core.dir/hetero_rec_model.cc.o.d"
+  "CMakeFiles/o2sr_core.dir/o2siterec.cc.o"
+  "CMakeFiles/o2sr_core.dir/o2siterec.cc.o.d"
+  "CMakeFiles/o2sr_core.dir/site_recommendation.cc.o"
+  "CMakeFiles/o2sr_core.dir/site_recommendation.cc.o.d"
+  "libo2sr_core.a"
+  "libo2sr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

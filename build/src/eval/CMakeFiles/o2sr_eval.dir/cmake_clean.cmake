@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_eval.dir/experiment.cc.o"
+  "CMakeFiles/o2sr_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/o2sr_eval.dir/metrics.cc.o"
+  "CMakeFiles/o2sr_eval.dir/metrics.cc.o.d"
+  "libo2sr_eval.a"
+  "libo2sr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/analysis.cc" "src/features/CMakeFiles/o2sr_features.dir/analysis.cc.o" "gcc" "src/features/CMakeFiles/o2sr_features.dir/analysis.cc.o.d"
+  "/root/repo/src/features/order_stats.cc" "src/features/CMakeFiles/o2sr_features.dir/order_stats.cc.o" "gcc" "src/features/CMakeFiles/o2sr_features.dir/order_stats.cc.o.d"
+  "/root/repo/src/features/region_features.cc" "src/features/CMakeFiles/o2sr_features.dir/region_features.cc.o" "gcc" "src/features/CMakeFiles/o2sr_features.dir/region_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/o2sr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2sr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

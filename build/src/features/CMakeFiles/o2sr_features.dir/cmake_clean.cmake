@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_features.dir/analysis.cc.o"
+  "CMakeFiles/o2sr_features.dir/analysis.cc.o.d"
+  "CMakeFiles/o2sr_features.dir/order_stats.cc.o"
+  "CMakeFiles/o2sr_features.dir/order_stats.cc.o.d"
+  "CMakeFiles/o2sr_features.dir/region_features.cc.o"
+  "CMakeFiles/o2sr_features.dir/region_features.cc.o.d"
+  "libo2sr_features.a"
+  "libo2sr_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

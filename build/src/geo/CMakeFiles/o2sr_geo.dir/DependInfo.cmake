@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geometry.cc" "src/geo/CMakeFiles/o2sr_geo.dir/geometry.cc.o" "gcc" "src/geo/CMakeFiles/o2sr_geo.dir/geometry.cc.o.d"
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/o2sr_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/o2sr_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/poi.cc" "src/geo/CMakeFiles/o2sr_geo.dir/poi.cc.o" "gcc" "src/geo/CMakeFiles/o2sr_geo.dir/poi.cc.o.d"
+  "/root/repo/src/geo/road_network.cc" "src/geo/CMakeFiles/o2sr_geo.dir/road_network.cc.o" "gcc" "src/geo/CMakeFiles/o2sr_geo.dir/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_geo.dir/geometry.cc.o"
+  "CMakeFiles/o2sr_geo.dir/geometry.cc.o.d"
+  "CMakeFiles/o2sr_geo.dir/grid.cc.o"
+  "CMakeFiles/o2sr_geo.dir/grid.cc.o.d"
+  "CMakeFiles/o2sr_geo.dir/poi.cc.o"
+  "CMakeFiles/o2sr_geo.dir/poi.cc.o.d"
+  "CMakeFiles/o2sr_geo.dir/road_network.cc.o"
+  "CMakeFiles/o2sr_geo.dir/road_network.cc.o.d"
+  "libo2sr_geo.a"
+  "libo2sr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphs/geo_graph.cc" "src/graphs/CMakeFiles/o2sr_graphs.dir/geo_graph.cc.o" "gcc" "src/graphs/CMakeFiles/o2sr_graphs.dir/geo_graph.cc.o.d"
+  "/root/repo/src/graphs/hetero_graph.cc" "src/graphs/CMakeFiles/o2sr_graphs.dir/hetero_graph.cc.o" "gcc" "src/graphs/CMakeFiles/o2sr_graphs.dir/hetero_graph.cc.o.d"
+  "/root/repo/src/graphs/mobility_graph.cc" "src/graphs/CMakeFiles/o2sr_graphs.dir/mobility_graph.cc.o" "gcc" "src/graphs/CMakeFiles/o2sr_graphs.dir/mobility_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/o2sr_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/o2sr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2sr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

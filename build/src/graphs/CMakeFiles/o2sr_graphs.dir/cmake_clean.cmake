@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_graphs.dir/geo_graph.cc.o"
+  "CMakeFiles/o2sr_graphs.dir/geo_graph.cc.o.d"
+  "CMakeFiles/o2sr_graphs.dir/hetero_graph.cc.o"
+  "CMakeFiles/o2sr_graphs.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/o2sr_graphs.dir/mobility_graph.cc.o"
+  "CMakeFiles/o2sr_graphs.dir/mobility_graph.cc.o.d"
+  "libo2sr_graphs.a"
+  "libo2sr_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_nn.dir/layers.cc.o"
+  "CMakeFiles/o2sr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/o2sr_nn.dir/parameter.cc.o"
+  "CMakeFiles/o2sr_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/o2sr_nn.dir/tape.cc.o"
+  "CMakeFiles/o2sr_nn.dir/tape.cc.o.d"
+  "CMakeFiles/o2sr_nn.dir/tensor.cc.o"
+  "CMakeFiles/o2sr_nn.dir/tensor.cc.o.d"
+  "libo2sr_nn.a"
+  "libo2sr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

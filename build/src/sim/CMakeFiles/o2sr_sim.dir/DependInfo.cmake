@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/city.cc" "src/sim/CMakeFiles/o2sr_sim.dir/city.cc.o" "gcc" "src/sim/CMakeFiles/o2sr_sim.dir/city.cc.o.d"
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/o2sr_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/o2sr_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/io.cc" "src/sim/CMakeFiles/o2sr_sim.dir/io.cc.o" "gcc" "src/sim/CMakeFiles/o2sr_sim.dir/io.cc.o.d"
+  "/root/repo/src/sim/period.cc" "src/sim/CMakeFiles/o2sr_sim.dir/period.cc.o" "gcc" "src/sim/CMakeFiles/o2sr_sim.dir/period.cc.o.d"
+  "/root/repo/src/sim/store_types.cc" "src/sim/CMakeFiles/o2sr_sim.dir/store_types.cc.o" "gcc" "src/sim/CMakeFiles/o2sr_sim.dir/store_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

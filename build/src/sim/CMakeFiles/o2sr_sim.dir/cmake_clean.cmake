@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2sr_sim.dir/city.cc.o"
+  "CMakeFiles/o2sr_sim.dir/city.cc.o.d"
+  "CMakeFiles/o2sr_sim.dir/dataset.cc.o"
+  "CMakeFiles/o2sr_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/o2sr_sim.dir/io.cc.o"
+  "CMakeFiles/o2sr_sim.dir/io.cc.o.d"
+  "CMakeFiles/o2sr_sim.dir/period.cc.o"
+  "CMakeFiles/o2sr_sim.dir/period.cc.o.d"
+  "CMakeFiles/o2sr_sim.dir/store_types.cc.o"
+  "CMakeFiles/o2sr_sim.dir/store_types.cc.o.d"
+  "libo2sr_sim.a"
+  "libo2sr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2sr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

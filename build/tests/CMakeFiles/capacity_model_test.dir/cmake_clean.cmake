@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_model_test.dir/capacity_model_test.cc.o"
+  "CMakeFiles/capacity_model_test.dir/capacity_model_test.cc.o.d"
+  "capacity_model_test"
+  "capacity_model_test.pdb"
+  "capacity_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

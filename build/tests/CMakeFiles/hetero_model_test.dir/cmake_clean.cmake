@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_model_test.dir/hetero_model_test.cc.o"
+  "CMakeFiles/hetero_model_test.dir/hetero_model_test.cc.o.d"
+  "hetero_model_test"
+  "hetero_model_test.pdb"
+  "hetero_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/io_test.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/io_test.dir/io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/o2sr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/o2sr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/o2sr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/o2sr_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/o2sr_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2sr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2sr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/o2sr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/o2sr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

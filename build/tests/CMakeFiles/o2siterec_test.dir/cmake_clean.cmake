@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2siterec_test.dir/o2siterec_test.cc.o"
+  "CMakeFiles/o2siterec_test.dir/o2siterec_test.cc.o.d"
+  "o2siterec_test"
+  "o2siterec_test.pdb"
+  "o2siterec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2siterec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for o2siterec_test.
+# This may be replaced when dependencies are built.

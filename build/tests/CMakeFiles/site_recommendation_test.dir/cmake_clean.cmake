@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_recommendation_test.dir/site_recommendation_test.cc.o"
+  "CMakeFiles/site_recommendation_test.dir/site_recommendation_test.cc.o.d"
+  "site_recommendation_test"
+  "site_recommendation_test.pdb"
+  "site_recommendation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_recommendation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_property_test.dir/tape_property_test.cc.o"
+  "CMakeFiles/tape_property_test.dir/tape_property_test.cc.o.d"
+  "tape_property_test"
+  "tape_property_test.pdb"
+  "tape_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
