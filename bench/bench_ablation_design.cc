@@ -22,7 +22,7 @@ int main() {
   auto run = [&](const std::string& name, const core::O2SiteRecConfig& cfg) {
     core::O2SiteRecRecommender model(cfg);
     const eval::EvalResult r =
-        eval::RunOnce(model, prepared.data, prepared.split, opts);
+        eval::RunOnce(model, prepared.data, prepared.split, opts).value();
     table.AddRow({name, TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.precision.at(3)),
                   TablePrinter::Num(r.rmse)});

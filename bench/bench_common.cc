@@ -135,7 +135,7 @@ eval::EvalResult RunVariantAveraged(const PreparedData& prepared,
     config.seed = 21 + s;
     core::O2SiteRecRecommender model(config);
     results.push_back(
-        eval::RunOnce(model, prepared.data, prepared.split, options));
+        eval::RunOnce(model, prepared.data, prepared.split, options).value());
   }
   return AverageResults(results);
 }

@@ -26,20 +26,20 @@ int main() {
 
   // Train each model once; evaluate per type.
   core::O2SiteRecRecommender ours(bench::ModelConfig());
-  ours.Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train);
+  O2SR_CHECK_OK(ours.Train(prepared.data, prepared.split.train_orders,
+             prepared.split.train));
   const std::vector<double> ours_preds = ours.Predict(prepared.split.test);
 
   baselines::BaselineConfig hgt_cfg = bench::BaselineDefaults();
   auto hgt = baselines::MakeBaseline(baselines::BaselineKind::kHgt, hgt_cfg);
-  hgt->Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train);
+  O2SR_CHECK_OK(hgt->Train(prepared.data, prepared.split.train_orders,
+             prepared.split.train));
   const std::vector<double> hgt_preds = hgt->Predict(prepared.split.test);
 
   auto graphrec = baselines::MakeBaseline(baselines::BaselineKind::kGraphRec,
                                           bench::BaselineDefaults());
-  graphrec->Train(prepared.data, prepared.split.train_orders,
-                  prepared.split.train);
+  O2SR_CHECK_OK(graphrec->Train(prepared.data, prepared.split.train_orders,
+                  prepared.split.train));
   const std::vector<double> graphrec_preds =
       graphrec->Predict(prepared.split.test);
 

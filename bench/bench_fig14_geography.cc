@@ -17,8 +17,8 @@ int main() {
   eval::EvalOptions opts = bench::EvalDefaults();
 
   core::O2SiteRecRecommender ours(bench::ModelConfig());
-  ours.Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train);
+  O2SR_CHECK_OK(ours.Train(prepared.data, prepared.split.train_orders,
+             prepared.split.train));
   const std::vector<double> preds = ours.Predict(prepared.split.test);
 
   const geo::Grid& grid = prepared.data.city.grid;

@@ -31,7 +31,7 @@ int main() {
     cfg.rec.time_heads = 2;
     core::O2SiteRecRecommender model(cfg);
     const eval::EvalResult r =
-        eval::RunOnce(model, prepared.data, prepared.split, opts);
+        eval::RunOnce(model, prepared.data, prepared.split, opts).value();
     best = std::max(best, r.ndcg.at(3));
     worst = std::min(worst, r.ndcg.at(3));
     table.AddRow({std::to_string(cfg.rec.embedding_dim),

@@ -28,7 +28,7 @@ int main() {
     cfg.beta = beta;
     core::O2SiteRecRecommender model(cfg);
     const eval::EvalResult r =
-        eval::RunOnce(model, prepared.data, prepared.split, opts);
+        eval::RunOnce(model, prepared.data, prepared.split, opts).value();
     best = std::max(best, r.ndcg.at(3));
     worst = std::min(worst, r.ndcg.at(3));
     table.AddRow({TablePrinter::Num(beta, 1), TablePrinter::Num(r.ndcg.at(3)),

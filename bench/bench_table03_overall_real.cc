@@ -33,7 +33,7 @@ int main() {
                       "Precision@3", "Precision@5", "Precision@10", "RMSE"});
 
   auto run_once = [&](core::SiteRecommender& model) {
-    return eval::RunOnce(model, prepared.data, prepared.split, opts);
+    return eval::RunOnce(model, prepared.data, prepared.split, opts).value();
   };
 
   const int kSeeds = bench::CurrentScale() == bench::Scale::kStandard ? 3 : 2;

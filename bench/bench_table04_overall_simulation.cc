@@ -38,7 +38,7 @@ int main() {
     cfg.setting = baselines::FeatureSetting::kAdaption;
     auto model = baselines::MakeBaseline(kind, cfg);
     const eval::EvalResult r =
-        eval::RunOnce(*model, prepared.data, prepared.split, opts);
+        eval::RunOnce(*model, prepared.data, prepared.split, opts).value();
     best_baseline_ndcg3 = std::max(best_baseline_ndcg3, r.ndcg.at(3));
     add_row(baselines::BaselineKindName(kind), r);
   }
@@ -51,7 +51,7 @@ int main() {
   ours_cfg.mobility_min_transactions = 2;
   core::O2SiteRecRecommender ours(ours_cfg);
   const eval::EvalResult ours_result =
-      eval::RunOnce(ours, prepared.data, prepared.split, opts);
+      eval::RunOnce(ours, prepared.data, prepared.split, opts).value();
   add_row("O2-SiteRec", ours_result);
   table.Print(stdout);
 

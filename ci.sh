@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: the default Release build + test run, then the same suite under
+# UBSan (O2SR_SANITIZE=undefined). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== Release build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "=== UBSan build + tests ==="
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DO2SR_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "${JOBS}"
+ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"
+
+echo "ci.sh: all green"

@@ -12,6 +12,7 @@
 #include "features/order_stats.h"
 #include "graphs/geo_graph.h"
 #include "graphs/mobility_graph.h"
+#include "nn/trainer.h"
 #include "sim/dataset.h"
 
 int main() {
@@ -41,15 +42,25 @@ int main() {
   nn::AdamOptimizer::Options opt;
   opt.learning_rate = 5e-3;
   nn::AdamOptimizer adam(&store, opt);
-  for (int epoch = 0; epoch < 150; ++epoch) {
+  // The guarded runner adds NaN sentinels and rollback/backoff for free;
+  // pass a checkpoint path via GuardrailOptions to make this resumable.
+  const auto epoch_fn = [&](int epoch) {
     nn::Tape tape;
     nn::Value loss = model.ReconstructionLoss(tape);
+    const double loss_value = tape.value(loss).at(0, 0);
     if (epoch % 30 == 0) {
       std::printf("epoch %3d reconstruction MAE (normalized) %.4f\n", epoch,
-                  tape.value(loss).at(0, 0));
+                  loss_value);
     }
     tape.Backward(loss);
-    adam.Step();
+    return loss_value;
+  };
+  const common::Status trained = nn::RunGuardedTraining(
+      &store, &adam, /*epoch_rng=*/nullptr, /*epochs=*/150, epoch_fn);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "capacity training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
   }
 
   // Query: the same region pair across the five periods. The prediction

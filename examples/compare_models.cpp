@@ -31,7 +31,7 @@ int main() {
 
   TablePrinter table({"Model", "NDCG@3", "Precision@3", "RMSE"});
   auto report = [&](core::SiteRecommender& model) {
-    const eval::EvalResult r = eval::RunOnce(model, data, split, opts);
+    const eval::EvalResult r = eval::RunOnce(model, data, split, opts).value();
     table.AddRow({model.Name(), TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.precision.at(3)),
                   TablePrinter::Num(r.rmse)});

@@ -45,7 +45,7 @@ int main() {
   model_cfg.rec.node_heads = 4;
   model_cfg.epochs = 25;
   core::O2SiteRec model(data, split.train_orders, model_cfg);
-  model.Train(split.train);
+  O2SR_CHECK_OK(model.Train(split.train));
   std::printf("Trained %zu parameters; final loss %.4f.\n",
               model.NumParameters(), model.final_loss());
 

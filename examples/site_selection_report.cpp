@@ -36,7 +36,7 @@ int main() {
   model_cfg.rec.embedding_dim = 32;
   model_cfg.epochs = 25;
   core::O2SiteRec model(data, split.train_orders, model_cfg);
-  model.Train(split.train);
+  O2SR_CHECK_OK(model.Train(split.train));
 
   const core::SiteRecommendationService service(data, model);
 

@@ -132,9 +132,12 @@ RegionIndex::RegionIndex(const sim::Dataset& data) {
   }
 }
 
-void GradientBaseline::Train(const sim::Dataset& data,
-                             const std::vector<sim::Order>& visible_orders,
-                             const core::InteractionList& train) {
+common::Status GradientBaseline::Train(
+    const sim::Dataset& data, const std::vector<sim::Order>& visible_orders,
+    const core::InteractionList& train) {
+  if (train.empty()) {
+    return common::InvalidArgumentError("empty training interaction list");
+  }
   rng_ = Rng(config_.seed);
   Prepare(data, visible_orders, train);
 
@@ -146,7 +149,10 @@ void GradientBaseline::Train(const sim::Dataset& data,
     usable.push_back(it);
     targets.push_back(static_cast<float>(it.target));
   }
-  O2SR_CHECK(!usable.empty());
+  if (usable.empty()) {
+    return common::FailedPreconditionError(
+        "no training interaction falls in a region known to the model");
+  }
   const nn::Tensor target_tensor = nn::Tensor::FromVector(
       static_cast<int>(targets.size()), 1, targets);
 
@@ -154,13 +160,17 @@ void GradientBaseline::Train(const sim::Dataset& data,
   opt.learning_rate = config_.learning_rate;
   nn::AdamOptimizer adam(&store_, opt);
   Rng dropout_rng = rng_.Fork();
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  const auto epoch_fn = [&](int /*epoch*/) {
     nn::Tape tape(/*training=*/true);
     nn::Value pred = BuildPredictions(tape, usable, dropout_rng);
     nn::Value loss = tape.MseLoss(pred, tape.Input(target_tensor));
+    const double loss_value = tape.value(loss).at(0, 0);
     tape.Backward(loss);
-    adam.Step();
-  }
+    return loss_value;
+  };
+  return nn::RunGuardedTraining(&store_, &adam, &dropout_rng, config_.epochs,
+                                epoch_fn, config_.guard)
+      .WithContext(Name());
 }
 
 std::vector<double> GradientBaseline::Predict(

@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/recommender.h"
 #include "features/order_stats.h"
 #include "nn/layers.h"
 #include "nn/parameter.h"
 #include "nn/tape.h"
+#include "nn/trainer.h"
 #include "sim/dataset.h"
 
 namespace o2sr::baselines {
@@ -34,6 +36,8 @@ struct BaselineConfig {
   double dropout = 0.1;
   FeatureSetting setting = FeatureSetting::kAdaption;
   uint64_t seed = 11;
+  // Fault-tolerance guardrails of the shared training loop (nn/trainer.h).
+  nn::GuardrailOptions guard;
 };
 
 // Builds per-(region, type) feature vectors for the feature-based methods.
@@ -85,9 +89,9 @@ class GradientBaseline : public core::SiteRecommender {
  public:
   explicit GradientBaseline(const BaselineConfig& config) : config_(config) {}
 
-  void Train(const sim::Dataset& data,
-             const std::vector<sim::Order>& visible_orders,
-             const core::InteractionList& train) final;
+  common::Status Train(const sim::Dataset& data,
+                       const std::vector<sim::Order>& visible_orders,
+                       const core::InteractionList& train) final;
 
   std::vector<double> Predict(const core::InteractionList& pairs) final;
 

@@ -3,14 +3,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
 
 // CHECK-style invariant macros. The project does not use exceptions
 // (Google style); a failed check indicates a programmer error and aborts
-// after printing the failing condition and location.
+// after printing the failing condition and location. Recoverable runtime
+// conditions (bad input data, I/O failures) must use common::Status
+// instead — see common/status.h for the boundary.
 //
-// Usage:
-//   O2SR_CHECK(index < size) << optional extra info is not supported;
-//   O2SR_CHECK_EQ(a, b);
+// These macros do not support `<<` message streaming. The comparison
+// variants print both operand values on failure:
+//
+//   O2SR_CHECK(index < size);
+//   O2SR_CHECK_EQ(cells.size(), 13u);   // "... (14 vs 13)" on failure
+//   O2SR_CHECK_OK(status);              // prints status.ToString()
 
 namespace o2sr::internal {
 
@@ -19,6 +27,48 @@ namespace o2sr::internal {
   std::fprintf(stderr, "O2SR_CHECK failed: %s at %s:%d\n", condition, file,
                line);
   std::abort();
+}
+
+[[noreturn]] inline void CheckFailedWithValues(const char* condition,
+                                               const std::string& values,
+                                               const char* file, int line) {
+  std::fprintf(stderr, "O2SR_CHECK failed: %s (%s) at %s:%d\n", condition,
+               values.c_str(), file, line);
+  std::abort();
+}
+
+// Renders one operand: scoped enums print their underlying integer,
+// nullptr prints as such; everything else uses its ostream operator<<.
+template <typename T>
+void StreamCheckOperand(std::ostream& os, const T& v) {
+  if constexpr (std::is_enum_v<T>) {
+    os << static_cast<std::underlying_type_t<T>>(v);
+  } else if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    os << "nullptr";
+  } else {
+    os << v;
+  }
+}
+
+template <typename A, typename B>
+std::string FormatCheckOperands(const A& a, const B& b) {
+  std::ostringstream oss;
+  StreamCheckOperand(oss, a);
+  oss << " vs ";
+  StreamCheckOperand(oss, b);
+  return oss.str();
+}
+
+// `StatusT` is any type with ok() and ToString() — kept as a template so
+// this low-level header does not depend on common/status.h.
+template <typename StatusT>
+void CheckOkImpl(const StatusT& status, const char* expression,
+                 const char* file, int line) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "O2SR_CHECK_OK failed: %s = %s at %s:%d\n",
+                 expression, status.ToString().c_str(), file, line);
+    std::abort();
+  }
 }
 
 }  // namespace o2sr::internal
@@ -30,11 +80,29 @@ namespace o2sr::internal {
     }                                                                   \
   } while (false)
 
-#define O2SR_CHECK_EQ(a, b) O2SR_CHECK((a) == (b))
-#define O2SR_CHECK_NE(a, b) O2SR_CHECK((a) != (b))
-#define O2SR_CHECK_LT(a, b) O2SR_CHECK((a) < (b))
-#define O2SR_CHECK_LE(a, b) O2SR_CHECK((a) <= (b))
-#define O2SR_CHECK_GT(a, b) O2SR_CHECK((a) > (b))
-#define O2SR_CHECK_GE(a, b) O2SR_CHECK((a) >= (b))
+// Evaluates each operand exactly once and prints both values on failure.
+#define O2SR_CHECK_OP_(op, a, b)                                          \
+  do {                                                                   \
+    auto&& o2sr_check_a_ = (a);                                          \
+    auto&& o2sr_check_b_ = (b);                                          \
+    if (!(o2sr_check_a_ op o2sr_check_b_)) {                             \
+      ::o2sr::internal::CheckFailedWithValues(                           \
+          #a " " #op " " #b,                                             \
+          ::o2sr::internal::FormatCheckOperands(o2sr_check_a_,           \
+                                                o2sr_check_b_),          \
+          __FILE__, __LINE__);                                           \
+    }                                                                    \
+  } while (false)
+
+#define O2SR_CHECK_EQ(a, b) O2SR_CHECK_OP_(==, a, b)
+#define O2SR_CHECK_NE(a, b) O2SR_CHECK_OP_(!=, a, b)
+#define O2SR_CHECK_LT(a, b) O2SR_CHECK_OP_(<, a, b)
+#define O2SR_CHECK_LE(a, b) O2SR_CHECK_OP_(<=, a, b)
+#define O2SR_CHECK_GT(a, b) O2SR_CHECK_OP_(>, a, b)
+#define O2SR_CHECK_GE(a, b) O2SR_CHECK_OP_(>=, a, b)
+
+// Aborts when a common::Status (or StatusOr) is not OK, printing it.
+#define O2SR_CHECK_OK(expr) \
+  ::o2sr::internal::CheckOkImpl((expr), #expr, __FILE__, __LINE__)
 
 #endif  // O2SR_COMMON_CHECK_H_

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -72,6 +74,26 @@ class Rng {
   Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Serializes the full engine state as a portable decimal string, so a
+  // checkpointed training run resumes with the exact random sequence it
+  // would have produced uninterrupted.
+  std::string SaveState() const {
+    std::ostringstream oss;
+    oss << engine_;
+    return oss.str();
+  }
+
+  // Restores a state produced by SaveState. Returns false (leaving the
+  // engine untouched) when the string is not a valid state.
+  bool LoadState(const std::string& state) {
+    std::istringstream iss(state);
+    std::mt19937_64 candidate;
+    iss >> candidate;
+    if (iss.fail()) return false;
+    engine_ = candidate;
+    return true;
+  }
 
  private:
   std::mt19937_64 engine_;

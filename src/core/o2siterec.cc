@@ -97,8 +97,13 @@ std::vector<HeteroRecModel::PeriodEmbeddings> O2SiteRec::ForwardAllPeriods(
   return periods;
 }
 
-void O2SiteRec::Train(const InteractionList& train) {
-  O2SR_CHECK(!train.empty());
+common::Status O2SiteRec::Train(const InteractionList& train,
+                                const nn::TrainHooks& hooks,
+                                nn::TrainReport* report) {
+  if (train.empty()) {
+    return common::InvalidArgumentError(
+        "empty training interaction list");
+  }
   std::vector<int> pair_nodes;
   std::vector<int> pair_types;
   std::vector<float> targets;
@@ -109,7 +114,10 @@ void O2SiteRec::Train(const InteractionList& train) {
     pair_types.push_back(it.type);
     targets.push_back(static_cast<float>(it.target));
   }
-  O2SR_CHECK(!pair_nodes.empty());
+  if (pair_nodes.empty()) {
+    return common::FailedPreconditionError(
+        "no training interaction falls in a region with a store node");
+  }
   const nn::Tensor target_tensor = nn::Tensor::FromVector(
       static_cast<int>(targets.size()), 1, targets);
 
@@ -118,7 +126,7 @@ void O2SiteRec::Train(const InteractionList& train) {
   nn::AdamOptimizer adam(&store_, opt);
   Rng dropout_rng = rng_.Fork();
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  const auto epoch_fn = [&](int epoch) {
     nn::Tape tape(/*training=*/true);
     std::vector<nn::Value> capacity_embs(sim::kNumPeriods);
     const auto periods = ForwardAllPeriods(tape, dropout_rng,
@@ -133,12 +141,16 @@ void O2SiteRec::Train(const InteractionList& train) {
     }
     final_loss_ = tape.value(loss).at(0, 0);
     tape.Backward(loss);
-    adam.Step();
     if (config_.verbose && (epoch % 10 == 0 || epoch + 1 == config_.epochs)) {
       std::fprintf(stderr, "[%s] epoch %3d loss %.5f\n",
                    VariantName(config_.variant), epoch, final_loss_);
     }
-  }
+    return final_loss_;
+  };
+  return nn::RunGuardedTraining(&store_, &adam, &dropout_rng,
+                                config_.epochs, epoch_fn, config_.guard,
+                                hooks, report)
+      .WithContext(VariantName(config_.variant));
 }
 
 std::vector<double> O2SiteRec::Predict(const InteractionList& pairs) const {

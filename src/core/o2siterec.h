@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/courier_capacity_model.h"
 #include "core/hetero_rec_model.h"
 #include "core/interaction.h"
@@ -12,6 +13,7 @@
 #include "graphs/hetero_graph.h"
 #include "graphs/mobility_graph.h"
 #include "nn/parameter.h"
+#include "nn/trainer.h"
 #include "sim/dataset.h"
 
 namespace o2sr::core {
@@ -50,6 +52,10 @@ struct O2SiteRecConfig {
   O2SiteRecVariant variant = O2SiteRecVariant::kFull;
   uint64_t seed = 7;
   bool verbose = false;
+  // Fault-tolerance guardrails of the training loop (NaN sentinels,
+  // rollback/backoff, crash-safe checkpointing — see nn/trainer.h). Set
+  // `guard.checkpoint_path` to make Train resumable across process crashes.
+  nn::GuardrailOptions guard;
 };
 
 // The O2-SiteRec framework (paper Eq. 1): builds the three graphs from a
@@ -66,8 +72,16 @@ class O2SiteRec {
             const std::vector<sim::Order>& visible_orders,
             const O2SiteRecConfig& config);
 
-  // Full-batch joint training on the given interactions.
-  void Train(const InteractionList& train);
+  // Full-batch joint training on the given interactions under the config's
+  // guardrails: per-epoch NaN/Inf sweeps, divergence monitoring with
+  // rollback + learning-rate backoff, and (when configured) crash-safe
+  // checkpointing with transparent resume. Returns a descriptive error
+  // when the input is untrainable or the recovery budget runs out; `hooks`
+  // and `report` expose the fault-injection/diagnostic surface of
+  // nn::RunGuardedTraining.
+  common::Status Train(const InteractionList& train,
+                       const nn::TrainHooks& hooks = {},
+                       nn::TrainReport* report = nullptr);
 
   // Predicted normalized order count per pair; regions without a store
   // node yield 0.

@@ -18,11 +18,11 @@ class O2SiteRecRecommender : public SiteRecommender {
 
   std::string Name() const override { return VariantName(config_.variant); }
 
-  void Train(const sim::Dataset& data,
-             const std::vector<sim::Order>& visible_orders,
-             const InteractionList& train) override {
+  common::Status Train(const sim::Dataset& data,
+                       const std::vector<sim::Order>& visible_orders,
+                       const InteractionList& train) override {
     model_ = std::make_unique<O2SiteRec>(data, visible_orders, config_);
-    model_->Train(train);
+    return model_->Train(train);
   }
 
   std::vector<double> Predict(const InteractionList& pairs) override {

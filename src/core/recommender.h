@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/interaction.h"
 #include "sim/dataset.h"
 
@@ -21,9 +22,12 @@ class SiteRecommender {
 
   virtual std::string Name() const = 0;
 
-  virtual void Train(const sim::Dataset& data,
-                     const std::vector<sim::Order>& visible_orders,
-                     const InteractionList& train) = 0;
+  // Trains the model. Returns a descriptive error instead of aborting on
+  // recoverable failures (untrainable input, exhausted numeric-recovery
+  // budget); callers that cannot degrade use O2SR_CHECK_OK.
+  virtual common::Status Train(const sim::Dataset& data,
+                               const std::vector<sim::Order>& visible_orders,
+                               const InteractionList& train) = 0;
 
   // Predicted normalized order count per (region, type) pair, aligned with
   // `pairs`.

@@ -141,9 +141,12 @@ EvalResult EvaluateRegions(const core::InteractionList& test,
   return EvaluateFiltered(test, predictions, keep, opts);
 }
 
-EvalResult RunOnce(core::SiteRecommender& model, const sim::Dataset& data,
-                   const Split& split, const EvalOptions& options) {
-  model.Train(data, split.train_orders, split.train);
+common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
+                                     const sim::Dataset& data,
+                                     const Split& split,
+                                     const EvalOptions& options) {
+  O2SR_RETURN_IF_ERROR(model.Train(data, split.train_orders, split.train)
+                           .WithContext("training " + model.Name()));
   const std::vector<double> predictions = model.Predict(split.test);
   return Evaluate(split.test, predictions, options);
 }

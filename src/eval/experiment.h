@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/interaction.h"
 #include "core/recommender.h"
 #include "sim/dataset.h"
@@ -72,8 +73,13 @@ EvalResult EvaluateRegions(const core::InteractionList& test,
                            const EvalOptions& options = {});
 
 // Runs one train+evaluate round of a recommender on a prepared split.
-EvalResult RunOnce(core::SiteRecommender& model, const sim::Dataset& data,
-                   const Split& split, const EvalOptions& options = {});
+// Training failures (untrainable input, exhausted numeric-recovery budget)
+// propagate as the Status; callers that treat them as fatal unwrap with
+// .value(), which CHECK-aborts with the message.
+common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
+                                     const sim::Dataset& data,
+                                     const Split& split,
+                                     const EvalOptions& options = {});
 
 }  // namespace o2sr::eval
 

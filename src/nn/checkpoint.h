@@ -1,0 +1,56 @@
+#ifndef O2SR_NN_CHECKPOINT_H_
+#define O2SR_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace o2sr::nn {
+
+// Crash-safe binary checkpointing of a training run: every nn::Parameter of
+// a ParameterStore (by name and shape), the Adam moment estimates, and the
+// trainer bookkeeping needed to resume bit-identically (epoch, learning
+// rate, recovery count, RNG stream state, best loss).
+//
+// Format (little-endian): an 8-byte magic "O2SRCKPT", a u32 format version,
+// a u64 payload size, the payload, and a u64 FNV-1a checksum of the
+// payload. Files are written atomically (temp file in the same directory,
+// then rename), so an interrupted save never leaves a half-written
+// checkpoint under the real name — the previous checkpoint survives.
+//
+// Loading validates magic, version, size and checksum (DATA_LOSS on any
+// mismatch, including truncation) and that the parameter names and shapes
+// match the live store exactly (FAILED_PRECONDITION otherwise — the
+// checkpoint belongs to a different model or configuration).
+
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+// Trainer bookkeeping stored alongside the tensors.
+struct CheckpointMeta {
+  int32_t epoch = 0;           // completed epochs
+  double learning_rate = 0.0;  // possibly backed off from the initial rate
+  int32_t recoveries = 0;      // sentinel trips recovered so far
+  double best_loss = 0.0;      // divergence-monitor reference
+  std::string rng_state;       // Rng::SaveState of the training RNG
+};
+
+// Serializes meta + parameter values + optimizer moments to `path`
+// atomically. `adam` is captured via AdamOptimizer::SaveState().
+common::Status SaveCheckpoint(const std::string& path,
+                              const CheckpointMeta& meta,
+                              const ParameterStore& store,
+                              const AdamState& adam);
+
+// Restores a checkpoint into an existing store (values are written in
+// place; gradients are untouched). `adam` receives the saved moments; pass
+// it to AdamOptimizer::LoadState afterwards.
+common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
+                              ParameterStore* store, AdamState* adam);
+
+// True when `path` exists and is readable (used to decide resume-vs-fresh).
+bool CheckpointExists(const std::string& path);
+
+}  // namespace o2sr::nn
+
+#endif  // O2SR_NN_CHECKPOINT_H_

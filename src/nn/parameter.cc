@@ -40,7 +40,7 @@ AdamOptimizer::AdamOptimizer(ParameterStore* store, Options options)
   O2SR_CHECK(store != nullptr);
 }
 
-void AdamOptimizer::Step() {
+void AdamOptimizer::EnsureMoments() {
   // Lazily (re)allocate moment buffers if parameters were added after
   // construction.
   while (m_.size() < store_->params().size()) {
@@ -48,6 +48,28 @@ void AdamOptimizer::Step() {
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+AdamState AdamOptimizer::SaveState() {
+  EnsureMoments();
+  return AdamState{step_, m_, v_};
+}
+
+void AdamOptimizer::LoadState(const AdamState& state) {
+  EnsureMoments();
+  O2SR_CHECK_EQ(state.m.size(), m_.size());
+  O2SR_CHECK_EQ(state.v.size(), v_.size());
+  for (size_t k = 0; k < m_.size(); ++k) {
+    O2SR_CHECK(state.m[k].SameShape(m_[k]));
+    O2SR_CHECK(state.v[k].SameShape(v_[k]));
+  }
+  step_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+}
+
+void AdamOptimizer::Step() {
+  EnsureMoments();
   ++step_;
 
   // Global gradient-norm clipping stabilizes the attention models on small

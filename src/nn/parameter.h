@@ -53,6 +53,15 @@ class ParameterStore {
   std::vector<std::unique_ptr<Parameter>> params_;
 };
 
+// Deep copy of an optimizer's internal state (step count and per-parameter
+// moment estimates). Used by the fault-tolerant trainer for in-memory
+// rollback snapshots and by nn/checkpoint for crash-safe persistence.
+struct AdamState {
+  int64_t step = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+};
+
 // Adam optimizer (Kingma & Ba) over a ParameterStore. The paper trains with
 // Adam at lr=1e-4; benchmark configs may use a larger rate for speed.
 class AdamOptimizer {
@@ -71,11 +80,21 @@ class AdamOptimizer {
   // Applies one update using the accumulated gradients, then zeroes them.
   void Step();
 
+  // Snapshots the optimizer state (materializing moment buffers for
+  // parameters that have not been stepped yet).
+  AdamState SaveState();
+  // Restores a state captured from an optimizer over the same parameter
+  // set; shape disagreement is a checked programmer error.
+  void LoadState(const AdamState& state);
+
   int64_t step_count() const { return step_; }
   const Options& options() const { return options_; }
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
 
  private:
+  // Allocates moment buffers for parameters added after construction.
+  void EnsureMoments();
+
   ParameterStore* store_;  // not owned
   Options options_;
   int64_t step_ = 0;

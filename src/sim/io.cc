@@ -1,6 +1,8 @@
 #include "sim/io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/check.h"
@@ -8,6 +10,8 @@
 namespace o2sr::sim {
 
 namespace {
+
+using common::Status;
 
 // Splits a CSV line (no quoting — none of our fields contain commas).
 std::vector<std::string> SplitCsvLine(const std::string& line) {
@@ -47,12 +51,183 @@ class LineReader {
   std::FILE* file_;
 };
 
+// Closes the file on every exit path of the readers.
+struct FileCloser {
+  explicit FileCloser(std::FILE* f) : file(f) {}
+  ~FileCloser() {
+    if (file != nullptr) std::fclose(file);
+  }
+  std::FILE* file;
+};
+
+// Strict numeric field parsers: the whole cell must convert (atoi/atof
+// would silently read "12abc" or "" as a number).
+bool ParseIntField(const std::string& cell, int* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(cell.c_str(), &end, 10);
+  if (errno != 0 || end != cell.c_str() + cell.size()) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end != cell.c_str() + cell.size()) return false;
+  *out = v;
+  return true;
+}
+
+// One row's parse outcome: OK, or INVALID_ARGUMENT naming line and field.
+Status RowError(const std::string& path, int line_number,
+                const std::string& detail) {
+  return common::InvalidArgumentError(path + " line " +
+                                      std::to_string(line_number) + ": " +
+                                      detail);
+}
+
+Status FieldError(const std::string& path, int line_number, const char* field,
+                  const std::string& cell) {
+  return RowError(path, line_number,
+                  std::string("field '") + field + "': not a number: '" +
+                      cell + "'");
+}
+
+// Parses one data row of the orders file into `o`.
+Status ParseOrderRow(const std::string& path, int line_number,
+                     const std::vector<std::string>& cells,
+                     const geo::CityFrame& frame, const geo::Grid& grid,
+                     Order* o) {
+  static constexpr const char* kFields[] = {
+      "order_id",     "store_id",       "courier_id",   "store_type",
+      "store_lat",    "store_lng",      "customer_lat", "customer_lng",
+      "creation_min", "acceptance_min", "pickup_min",   "delivery_min",
+      "distance_m"};
+  constexpr size_t kNumFields = sizeof(kFields) / sizeof(kFields[0]);
+  if (cells.size() != kNumFields) {
+    return RowError(path, line_number,
+                    "expected " + std::to_string(kNumFields) +
+                        " fields, got " + std::to_string(cells.size()));
+  }
+  int ints[4];
+  for (int i = 0; i < 4; ++i) {
+    if (!ParseIntField(cells[i], &ints[i])) {
+      return FieldError(path, line_number, kFields[i], cells[i]);
+    }
+  }
+  double doubles[9];
+  for (int i = 0; i < 9; ++i) {
+    if (!ParseDoubleField(cells[4 + i], &doubles[i])) {
+      return FieldError(path, line_number, kFields[4 + i], cells[4 + i]);
+    }
+  }
+  o->order_id = ints[0];
+  o->store_id = ints[1];
+  o->courier_id = ints[2];
+  o->type = ints[3];
+  o->store_location = frame.ToPoint({doubles[0], doubles[1]});
+  o->customer_location = frame.ToPoint({doubles[2], doubles[3]});
+  o->creation_min = doubles[4];
+  o->acceptance_min = doubles[5];
+  o->pickup_min = doubles[6];
+  o->delivery_min = doubles[7];
+  o->distance_m = doubles[8];
+  o->store_region = grid.RegionOf(o->store_location);
+  o->customer_region = grid.RegionOf(o->customer_location);
+  const int total_min = static_cast<int>(o->creation_min);
+  o->day = total_min / (24 * 60);
+  o->slot = (total_min % (24 * 60)) / static_cast<int>(kSlotMinutes);
+  return Status::Ok();
+}
+
+// Parses one data row of the stores file into `s`.
+Status ParseStoreRow(const std::string& path, int line_number,
+                     const std::vector<std::string>& cells,
+                     const geo::CityFrame& frame, const geo::Grid& grid,
+                     Store* s) {
+  if (cells.size() != 6u) {
+    return RowError(path, line_number,
+                    "expected 6 fields, got " +
+                        std::to_string(cells.size()));
+  }
+  int id, type;
+  if (!ParseIntField(cells[0], &id)) {
+    return FieldError(path, line_number, "store_id", cells[0]);
+  }
+  if (!ParseIntField(cells[1], &type)) {
+    return FieldError(path, line_number, "type_id", cells[1]);
+  }
+  // cells[2] is the human-readable type name; ignored on import.
+  double lat, lng, quality;
+  if (!ParseDoubleField(cells[3], &lat)) {
+    return FieldError(path, line_number, "lat", cells[3]);
+  }
+  if (!ParseDoubleField(cells[4], &lng)) {
+    return FieldError(path, line_number, "lng", cells[4]);
+  }
+  if (!ParseDoubleField(cells[5], &quality)) {
+    return FieldError(path, line_number, "quality", cells[5]);
+  }
+  s->id = id;
+  s->type = type;
+  s->location = frame.ToPoint({lat, lng});
+  s->quality = quality;
+  s->region = grid.RegionOf(s->location);
+  return Status::Ok();
+}
+
+// Shared read driver: iterates data rows, applies `parse_row`, and applies
+// the strict-vs-skip policy. `parse_row(line_number, cells)` must append to
+// the output container itself on success.
+template <typename ParseRowFn>
+Status ReadCsvRows(const std::string& path, const CsvReadOptions& options,
+                   CsvReadReport* report, ParseRowFn parse_row) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return common::NotFoundError("cannot open '" + path +
+                                 "': " + std::strerror(errno));
+  }
+  FileCloser closer(f);
+  LineReader reader(f);
+  std::string line;
+  int line_number = 0;
+  bool first = true;
+  while (reader.Next(&line)) {
+    ++line_number;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const Status row = parse_row(line_number, SplitCsvLine(line));
+    if (row.ok()) {
+      if (report != nullptr) ++report->rows_parsed;
+      continue;
+    }
+    if (options.policy == CsvRowPolicy::kStrict) return row;
+    if (report != nullptr) {
+      ++report->rows_skipped;
+      if (report->first_skipped.empty()) {
+        report->first_skipped = row.ToString();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-bool WriteOrdersCsv(const std::string& path, const Dataset& data,
-                    const geo::CityFrame& frame) {
+common::Status WriteOrdersCsv(const std::string& path, const Dataset& data,
+                              const geo::CityFrame& frame) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return common::UnavailableError("cannot open '" + path +
+                                    "' for writing: " + std::strerror(errno));
+  }
   std::fprintf(f,
                "order_id,store_id,courier_id,store_type,"
                "store_lat,store_lng,customer_lat,customer_lng,"
@@ -68,57 +243,40 @@ bool WriteOrdersCsv(const std::string& path, const Dataset& data,
                  o.acceptance_min, o.pickup_min, o.delivery_min,
                  o.distance_m);
   }
+  const bool write_error = std::ferror(f) != 0;
   std::fclose(f);
-  return true;
-}
-
-bool ReadOrdersCsv(const std::string& path, const geo::CityFrame& frame,
-                   const geo::Grid& grid, std::vector<Order>* orders) {
-  O2SR_CHECK(orders != nullptr);
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return false;
-  LineReader reader(f);
-  std::string line;
-  bool first = true;
-  while (reader.Next(&line)) {
-    if (first) {  // header
-      first = false;
-      continue;
-    }
-    if (line.empty()) continue;
-    const std::vector<std::string> cells = SplitCsvLine(line);
-    O2SR_CHECK_EQ(cells.size(), 13u);
-    Order o;
-    o.order_id = std::atoi(cells[0].c_str());
-    o.store_id = std::atoi(cells[1].c_str());
-    o.courier_id = std::atoi(cells[2].c_str());
-    o.type = std::atoi(cells[3].c_str());
-    o.store_location =
-        frame.ToPoint({std::atof(cells[4].c_str()),
-                       std::atof(cells[5].c_str())});
-    o.customer_location =
-        frame.ToPoint({std::atof(cells[6].c_str()),
-                       std::atof(cells[7].c_str())});
-    o.creation_min = std::atof(cells[8].c_str());
-    o.acceptance_min = std::atof(cells[9].c_str());
-    o.pickup_min = std::atof(cells[10].c_str());
-    o.delivery_min = std::atof(cells[11].c_str());
-    o.distance_m = std::atof(cells[12].c_str());
-    o.store_region = grid.RegionOf(o.store_location);
-    o.customer_region = grid.RegionOf(o.customer_location);
-    const int total_min = static_cast<int>(o.creation_min);
-    o.day = total_min / (24 * 60);
-    o.slot = (total_min % (24 * 60)) / static_cast<int>(kSlotMinutes);
-    orders->push_back(o);
+  if (write_error) {
+    return common::UnavailableError("write error on '" + path + "'");
   }
-  std::fclose(f);
-  return true;
+  return Status::Ok();
 }
 
-bool WriteStoresCsv(const std::string& path, const Dataset& data,
-                    const geo::CityFrame& frame) {
+common::Status ReadOrdersCsv(const std::string& path,
+                             const geo::CityFrame& frame,
+                             const geo::Grid& grid,
+                             std::vector<Order>* orders,
+                             const CsvReadOptions& options,
+                             CsvReadReport* report) {
+  O2SR_CHECK(orders != nullptr);
+  orders->clear();
+  return ReadCsvRows(
+      path, options, report,
+      [&](int line_number, const std::vector<std::string>& cells) {
+        Order o;
+        O2SR_RETURN_IF_ERROR(
+            ParseOrderRow(path, line_number, cells, frame, grid, &o));
+        orders->push_back(o);
+        return Status::Ok();
+      });
+}
+
+common::Status WriteStoresCsv(const std::string& path, const Dataset& data,
+                              const geo::CityFrame& frame) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return common::UnavailableError("cannot open '" + path +
+                                    "' for writing: " + std::strerror(errno));
+  }
   std::fprintf(f, "store_id,type_id,type_name,lat,lng,quality\n");
   for (const Store& s : data.stores) {
     const geo::LatLng ll = frame.ToLatLng(s.location);
@@ -126,44 +284,41 @@ bool WriteStoresCsv(const std::string& path, const Dataset& data,
                  data.type_catalog[s.type].name.c_str(), ll.lat, ll.lng,
                  s.quality);
   }
+  const bool write_error = std::ferror(f) != 0;
   std::fclose(f);
-  return true;
-}
-
-bool ReadStoresCsv(const std::string& path, const geo::CityFrame& frame,
-                   const geo::Grid& grid, std::vector<Store>* stores) {
-  O2SR_CHECK(stores != nullptr);
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return false;
-  LineReader reader(f);
-  std::string line;
-  bool first = true;
-  while (reader.Next(&line)) {
-    if (first) {
-      first = false;
-      continue;
-    }
-    if (line.empty()) continue;
-    const std::vector<std::string> cells = SplitCsvLine(line);
-    O2SR_CHECK_EQ(cells.size(), 6u);
-    Store s;
-    s.id = std::atoi(cells[0].c_str());
-    s.type = std::atoi(cells[1].c_str());
-    // cells[2] is the human-readable type name; ignored on import.
-    s.location = frame.ToPoint(
-        {std::atof(cells[3].c_str()), std::atof(cells[4].c_str())});
-    s.quality = std::atof(cells[5].c_str());
-    s.region = grid.RegionOf(s.location);
-    stores->push_back(s);
+  if (write_error) {
+    return common::UnavailableError("write error on '" + path + "'");
   }
-  std::fclose(f);
-  return true;
+  return Status::Ok();
 }
 
-bool WriteTrajectoriesCsv(const std::string& path, const Dataset& data,
-                          const geo::CityFrame& frame) {
+common::Status ReadStoresCsv(const std::string& path,
+                             const geo::CityFrame& frame,
+                             const geo::Grid& grid,
+                             std::vector<Store>* stores,
+                             const CsvReadOptions& options,
+                             CsvReadReport* report) {
+  O2SR_CHECK(stores != nullptr);
+  stores->clear();
+  return ReadCsvRows(
+      path, options, report,
+      [&](int line_number, const std::vector<std::string>& cells) {
+        Store s;
+        O2SR_RETURN_IF_ERROR(
+            ParseStoreRow(path, line_number, cells, frame, grid, &s));
+        stores->push_back(s);
+        return Status::Ok();
+      });
+}
+
+common::Status WriteTrajectoriesCsv(const std::string& path,
+                                    const Dataset& data,
+                                    const geo::CityFrame& frame) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return common::UnavailableError("cannot open '" + path +
+                                    "' for writing: " + std::strerror(errno));
+  }
   std::fprintf(f, "courier_id,order_id,time_min,lat,lng\n");
   for (const Trajectory& t : data.trajectories) {
     for (const TrajectoryPoint& p : t.points) {
@@ -172,8 +327,12 @@ bool WriteTrajectoriesCsv(const std::string& path, const Dataset& data,
                    p.time_min, ll.lat, ll.lng);
     }
   }
+  const bool write_error = std::ferror(f) != 0;
   std::fclose(f);
-  return true;
+  if (write_error) {
+    return common::UnavailableError("write error on '" + path + "'");
+  }
+  return Status::Ok();
 }
 
 }  // namespace o2sr::sim

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/dataset.h"
 
 namespace o2sr::sim {
@@ -13,32 +14,63 @@ namespace o2sr::sim {
 // ids, distance and store type). Lets users persist a simulated dataset or
 // bring their own order log into the pipeline.
 //
-// All functions return false (and write nothing further) on I/O errors;
-// malformed rows abort via CHECK, as they indicate programmer error or file
-// corruption rather than recoverable conditions.
+// All functions return a Status. Unopenable files yield NOT_FOUND (read) or
+// UNAVAILABLE (write); malformed rows are recoverable parse errors
+// (INVALID_ARGUMENT) that name the offending line and field. The row policy
+// decides whether a malformed row fails the whole read or is skipped and
+// counted — external order logs routinely carry a few bad rows, and a
+// production ingest must survive them.
+
+// What to do with a row that fails to parse.
+enum class CsvRowPolicy {
+  kStrict,       // first malformed row fails the read
+  kSkipBadRows,  // malformed rows are skipped and counted in CsvReadReport
+};
+
+struct CsvReadOptions {
+  CsvRowPolicy policy = CsvRowPolicy::kStrict;
+};
+
+// Filled by the readers (when provided) with what happened row-by-row.
+struct CsvReadReport {
+  int rows_parsed = 0;   // rows successfully converted
+  int rows_skipped = 0;  // malformed rows dropped under kSkipBadRows
+  // Human-readable description of the first skipped row (empty if none).
+  std::string first_skipped;
+};
 
 // Orders: one row per order, header included. Coordinates are written as
 // lat/lng via the given city frame (defaults to the Shanghai-like anchor).
-bool WriteOrdersCsv(const std::string& path, const Dataset& data,
-                    const geo::CityFrame& frame = geo::CityFrame());
+common::Status WriteOrdersCsv(const std::string& path, const Dataset& data,
+                              const geo::CityFrame& frame = geo::CityFrame());
 
 // Reads orders written by WriteOrdersCsv back into planar coordinates.
 // Region/store-type consistency is restored from the coordinates and the
-// accompanying fields. Returns false if the file cannot be opened.
-bool ReadOrdersCsv(const std::string& path, const geo::CityFrame& frame,
-                   const geo::Grid& grid, std::vector<Order>* orders);
+// accompanying fields. `orders` is cleared first; on a non-OK return its
+// contents are unspecified.
+common::Status ReadOrdersCsv(const std::string& path,
+                             const geo::CityFrame& frame,
+                             const geo::Grid& grid,
+                             std::vector<Order>* orders,
+                             const CsvReadOptions& options = {},
+                             CsvReadReport* report = nullptr);
 
 // Stores: id, type id, type name, lat, lng, quality.
-bool WriteStoresCsv(const std::string& path, const Dataset& data,
-                    const geo::CityFrame& frame = geo::CityFrame());
-bool ReadStoresCsv(const std::string& path, const geo::CityFrame& frame,
-                   const geo::Grid& grid, std::vector<Store>* stores);
+common::Status WriteStoresCsv(const std::string& path, const Dataset& data,
+                              const geo::CityFrame& frame = geo::CityFrame());
+common::Status ReadStoresCsv(const std::string& path,
+                             const geo::CityFrame& frame,
+                             const geo::Grid& grid,
+                             std::vector<Store>* stores,
+                             const CsvReadOptions& options = {},
+                             CsvReadReport* report = nullptr);
 
 // Courier trajectories (only present when the simulation generated them):
 // courier id, order id, timestamp (minutes), lat, lng — the 20-second GPS
 // samples of the paper's trajectory data.
-bool WriteTrajectoriesCsv(const std::string& path, const Dataset& data,
-                          const geo::CityFrame& frame = geo::CityFrame());
+common::Status WriteTrajectoriesCsv(
+    const std::string& path, const Dataset& data,
+    const geo::CityFrame& frame = geo::CityFrame());
 
 }  // namespace o2sr::sim
 

@@ -119,7 +119,7 @@ class BaselineRunTest
 TEST_P(BaselineRunTest, TrainsAndPredicts) {
   const auto [kind, setting] = GetParam();
   auto model = MakeBaseline(kind, SmallConfig(setting));
-  model->Train(F().data, F().split.train_orders, F().split.train);
+  O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
   const std::vector<double> preds = model->Predict(F().split.test);
   ASSERT_EQ(preds.size(), F().split.test.size());
   for (double p : preds) {
@@ -134,7 +134,7 @@ TEST_P(BaselineRunTest, FitsTrainBetterThanConstant) {
   BaselineConfig cfg = SmallConfig(setting);
   cfg.epochs = 60;
   auto model = MakeBaseline(kind, cfg);
-  model->Train(F().data, F().split.train_orders, F().split.train);
+  O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
   const std::vector<double> preds = model->Predict(F().split.train);
   double mean = 0.0;
   for (const auto& it : F().split.train) mean += it.target;
@@ -167,7 +167,7 @@ TEST(BaselineDeterminismTest, SameSeedSamePredictions) {
   auto run = [&]() {
     auto model = MakeBaseline(BaselineKind::kHgt,
                               SmallConfig(FeatureSetting::kAdaption));
-    model->Train(F().data, F().split.train_orders, F().split.train);
+    O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
     return model->Predict(F().split.test);
   };
   const auto a = run();

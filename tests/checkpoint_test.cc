@@ -1,0 +1,289 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/parameter.h"
+#include "nn/tape.h"
+#include "nn/trainer.h"
+
+namespace o2sr::nn {
+namespace {
+
+using common::StatusCode;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileRaw(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+// A tiny deterministic least-squares model: pred = dropout(X) * w + b.
+// Dropout consumes the epoch RNG, which makes resume correctness depend on
+// restoring the RNG stream — exactly what the bit-identity tests probe.
+struct TinyModel {
+  ParameterStore store;
+  Parameter* w;
+  Parameter* b;
+  Tensor x{Tensor::FromVector(
+      4, 3,
+      {1.0f, 0.5f, -0.25f, -1.0f, 2.0f, 0.75f, 0.25f, -0.5f, 1.5f, 2.0f,
+       1.0f, -1.0f})};
+  Tensor target{Tensor::FromVector(4, 1, {1.0f, -0.5f, 2.0f, 0.25f})};
+  std::unique_ptr<AdamOptimizer> adam;
+  Rng epoch_rng{71};
+
+  explicit TinyModel(uint64_t seed = 11) {
+    Rng rng(seed);
+    w = store.CreateXavier("w", 3, 1, rng);
+    b = store.CreateZeros("b", 1, 1);
+    AdamOptimizer::Options opt;
+    opt.learning_rate = 5e-2;
+    adam = std::make_unique<AdamOptimizer>(&store, opt);
+  }
+
+  EpochFn MakeEpochFn() {
+    return [this](int /*epoch*/) {
+      Tape tape(/*training=*/true);
+      Value pred = tape.AddRowBroadcast(
+          tape.MatMul(tape.Dropout(tape.Input(x), 0.25, epoch_rng),
+                      tape.Param(w)),
+          tape.Param(b));
+      Value loss = tape.MseLoss(pred, tape.Input(target));
+      const double loss_value = tape.value(loss).at(0, 0);
+      tape.Backward(loss);
+      return loss_value;
+    };
+  }
+};
+
+void ExpectBitIdentical(const ParameterStore& a, const ParameterStore& b) {
+  ASSERT_EQ(a.params().size(), b.params().size());
+  for (size_t i = 0; i < a.params().size(); ++i) {
+    const Tensor& ta = a.params()[i]->value;
+    const Tensor& tb = b.params()[i]->value;
+    ASSERT_TRUE(ta.SameShape(tb));
+    for (int r = 0; r < ta.rows(); ++r) {
+      for (int c = 0; c < ta.cols(); ++c) {
+        // Exact float equality: resume must replay the identical arithmetic.
+        ASSERT_EQ(ta.at(r, c), tb.at(r, c))
+            << a.params()[i]->name << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresEverything) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  std::remove(path.c_str());
+  EXPECT_FALSE(CheckpointExists(path));
+
+  TinyModel saved;
+  // Step once so the Adam moments are non-trivial.
+  const EpochFn epoch_fn = saved.MakeEpochFn();
+  epoch_fn(0);
+  saved.adam->Step();
+
+  CheckpointMeta meta;
+  meta.epoch = 17;
+  meta.learning_rate = 2.5e-2;
+  meta.recoveries = 2;
+  meta.best_loss = 0.125;
+  meta.rng_state = saved.epoch_rng.SaveState();
+  ASSERT_TRUE(
+      SaveCheckpoint(path, meta, saved.store, saved.adam->SaveState()).ok());
+  EXPECT_TRUE(CheckpointExists(path));
+
+  TinyModel loaded(/*seed=*/99);  // different init, fully overwritten
+  CheckpointMeta got;
+  AdamState adam_state;
+  ASSERT_TRUE(LoadCheckpoint(path, &got, &loaded.store, &adam_state).ok());
+  loaded.adam->LoadState(adam_state);
+
+  EXPECT_EQ(got.epoch, 17);
+  EXPECT_EQ(got.learning_rate, 2.5e-2);
+  EXPECT_EQ(got.recoveries, 2);
+  EXPECT_EQ(got.best_loss, 0.125);
+  EXPECT_EQ(got.rng_state, meta.rng_state);
+  EXPECT_EQ(loaded.adam->step_count(), saved.adam->step_count());
+  ExpectBitIdentical(saved.store, loaded.store);
+}
+
+TEST(CheckpointTest, TruncatedFileIsDataLoss) {
+  const std::string path = TempPath("truncated.ckpt");
+  TinyModel m;
+  ASSERT_TRUE(
+      SaveCheckpoint(path, CheckpointMeta(), m.store, m.adam->SaveState())
+          .ok());
+  const std::string bytes = ReadFile(path);
+  // Chop the file at several points, including inside the header.
+  for (const size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{10}}) {
+    WriteFileRaw(path, bytes.substr(0, keep));
+    CheckpointMeta meta;
+    AdamState adam_state;
+    TinyModel fresh;
+    EXPECT_EQ(
+        LoadCheckpoint(path, &meta, &fresh.store, &adam_state).code(),
+        StatusCode::kDataLoss)
+        << "keep=" << keep;
+  }
+}
+
+TEST(CheckpointTest, CorruptedPayloadFailsChecksum) {
+  const std::string path = TempPath("corrupt.ckpt");
+  TinyModel m;
+  ASSERT_TRUE(
+      SaveCheckpoint(path, CheckpointMeta(), m.store, m.adam->SaveState())
+          .ok());
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x5a;  // flip bits mid-payload
+  WriteFileRaw(path, bytes);
+  CheckpointMeta meta;
+  AdamState adam_state;
+  const common::Status st =
+      LoadCheckpoint(path, &meta, &m.store, &adam_state);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, BadMagicIsDataLoss) {
+  const std::string path = TempPath("badmagic.ckpt");
+  WriteFileRaw(path, "NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  CheckpointMeta meta;
+  AdamState adam_state;
+  TinyModel m;
+  EXPECT_EQ(LoadCheckpoint(path, &meta, &m.store, &adam_state).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  CheckpointMeta meta;
+  AdamState adam_state;
+  TinyModel m;
+  EXPECT_EQ(LoadCheckpoint(TempPath("never_written.ckpt"), &meta, &m.store,
+                           &adam_state)
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(CheckpointExists(TempPath("never_written.ckpt")));
+}
+
+TEST(CheckpointTest, MismatchedModelIsFailedPrecondition) {
+  const std::string path = TempPath("mismatch.ckpt");
+  TinyModel m;
+  ASSERT_TRUE(
+      SaveCheckpoint(path, CheckpointMeta(), m.store, m.adam->SaveState())
+          .ok());
+  // A store with a different parameter set must refuse the checkpoint.
+  ParameterStore other;
+  Rng rng(3);
+  other.CreateXavier("w", 5, 2, rng);  // wrong shape
+  other.CreateZeros("b", 1, 1);
+  CheckpointMeta meta;
+  AdamState adam_state;
+  const common::Status st = LoadCheckpoint(path, &meta, &other, &adam_state);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, SaveLeavesNoTempFileBehind) {
+  const std::string path = TempPath("atomic.ckpt");
+  TinyModel m;
+  ASSERT_TRUE(
+      SaveCheckpoint(path, CheckpointMeta(), m.store, m.adam->SaveState())
+          .ok());
+  EXPECT_FALSE(CheckpointExists(path + ".tmp"));
+}
+
+// The headline guarantee: train 4 epochs, "crash", resume for 6 more — the
+// parameters match a single uninterrupted 10-epoch run bit for bit.
+TEST(CheckpointTest, ResumeIsBitIdenticalToUninterruptedRun) {
+  const std::string path = TempPath("resume.ckpt");
+  std::remove(path.c_str());
+
+  GuardrailOptions ckpt_opts;
+  ckpt_opts.checkpoint_path = path;
+  ckpt_opts.checkpoint_every = 5;
+
+  // Uninterrupted reference: 10 epochs, no checkpointing.
+  TinyModel reference;
+  ASSERT_TRUE(RunGuardedTraining(&reference.store, reference.adam.get(),
+                                 &reference.epoch_rng, 10,
+                                 reference.MakeEpochFn())
+                  .ok());
+
+  // Interrupted run: 4 epochs (final-epoch checkpoint lands at epoch 4).
+  {
+    TinyModel first;
+    TrainReport report;
+    ASSERT_TRUE(RunGuardedTraining(&first.store, first.adam.get(),
+                                   &first.epoch_rng, 4, first.MakeEpochFn(),
+                                   ckpt_opts, {}, &report)
+                    .ok());
+    EXPECT_FALSE(report.resumed);
+    EXPECT_EQ(report.epochs_run, 4);
+  }
+
+  // Fresh process: same model construction, resumes at epoch 4 and
+  // finishes the remaining 6.
+  TinyModel resumed;
+  TrainReport report;
+  ASSERT_TRUE(RunGuardedTraining(&resumed.store, resumed.adam.get(),
+                                 &resumed.epoch_rng, 10,
+                                 resumed.MakeEpochFn(), ckpt_opts, {},
+                                 &report)
+                  .ok());
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.start_epoch, 4);
+  EXPECT_EQ(report.epochs_run, 6);
+
+  ExpectBitIdentical(reference.store, resumed.store);
+  std::remove(path.c_str());
+}
+
+// Resuming a finished run is a no-op that leaves parameters untouched.
+TEST(CheckpointTest, ResumeOfCompletedRunRunsZeroEpochs) {
+  const std::string path = TempPath("complete.ckpt");
+  std::remove(path.c_str());
+  GuardrailOptions ckpt_opts;
+  ckpt_opts.checkpoint_path = path;
+
+  TinyModel done;
+  ASSERT_TRUE(RunGuardedTraining(&done.store, done.adam.get(),
+                                 &done.epoch_rng, 6, done.MakeEpochFn(),
+                                 ckpt_opts)
+                  .ok());
+
+  TinyModel again;
+  TrainReport report;
+  ASSERT_TRUE(RunGuardedTraining(&again.store, again.adam.get(),
+                                 &again.epoch_rng, 6, again.MakeEpochFn(),
+                                 ckpt_opts, {}, &report)
+                  .ok());
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.epochs_run, 0);
+  ExpectBitIdentical(done.store, again.store);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace o2sr::nn

@@ -102,7 +102,7 @@ TEST(EdgeCaseTest, FullModelTrainsOnSinglePeriodData) {
   cfg.rec.node_heads = 2;
   cfg.epochs = 3;
   core::O2SiteRec model(data, noon_orders, cfg);
-  model.Train(train);
+  O2SR_CHECK_OK(model.Train(train));
   const std::vector<double> preds = model.Predict(train);
   for (double p : preds) EXPECT_TRUE(std::isfinite(p));
 }

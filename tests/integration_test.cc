@@ -54,15 +54,16 @@ core::O2SiteRecConfig FastModel() {
 class TypeMeanRecommender : public core::SiteRecommender {
  public:
   std::string Name() const override { return "type-mean"; }
-  void Train(const sim::Dataset& data,
-             const std::vector<sim::Order>& /*visible*/,
-             const core::InteractionList& train) override {
+  common::Status Train(const sim::Dataset& data,
+                       const std::vector<sim::Order>& /*visible*/,
+                       const core::InteractionList& train) override {
     sums_.assign(data.num_types(), 0.0);
     counts_.assign(data.num_types(), 0.0);
     for (const auto& it : train) {
       sums_[it.type] += it.target;
       counts_[it.type] += 1.0;
     }
+    return common::Status::Ok();
   }
   std::vector<double> Predict(const core::InteractionList& pairs) override {
     std::vector<double> out;
@@ -81,11 +82,11 @@ class TypeMeanRecommender : public core::SiteRecommender {
 TEST(IntegrationTest, ModelBeatsTypeMeanOnRanking) {
   core::O2SiteRecRecommender ours(FastModel());
   const eval::EvalResult model_result =
-      eval::RunOnce(ours, P().data, P().split, P().opts);
+      eval::RunOnce(ours, P().data, P().split, P().opts).value();
 
   TypeMeanRecommender naive;
   const eval::EvalResult naive_result =
-      eval::RunOnce(naive, P().data, P().split, P().opts);
+      eval::RunOnce(naive, P().data, P().split, P().opts).value();
 
   ASSERT_GT(model_result.types_evaluated, 2);
   EXPECT_GT(model_result.ndcg.at(5), naive_result.ndcg.at(5));
@@ -95,14 +96,14 @@ TEST(IntegrationTest, ModelBeatsTypeMeanOnRanking) {
 TEST(IntegrationTest, ModelBeatsPlainMatrixFactorizationOriginal) {
   core::O2SiteRecRecommender ours(FastModel());
   const eval::EvalResult model_result =
-      eval::RunOnce(ours, P().data, P().split, P().opts);
+      eval::RunOnce(ours, P().data, P().split, P().opts).value();
 
   baselines::BaselineConfig mf_cfg;
   mf_cfg.setting = baselines::FeatureSetting::kOriginal;
   auto mf = baselines::MakeBaseline(baselines::BaselineKind::kBlgCoSvd,
                                     mf_cfg);
   const eval::EvalResult mf_result =
-      eval::RunOnce(*mf, P().data, P().split, P().opts);
+      eval::RunOnce(*mf, P().data, P().split, P().opts).value();
 
   // The paper's central claim at small scale: O2-SiteRec's use of capacity
   // and preferences beats interaction-only factorization on ranking.
@@ -119,7 +120,7 @@ TEST(IntegrationTest, CustomerSignalAblationHurtsOnAverage) {
       cfg.variant = variant;
       cfg.seed = seed;
       core::O2SiteRecRecommender model(cfg);
-      sum += eval::RunOnce(model, P().data, P().split, P().opts).ndcg.at(10);
+      sum += eval::RunOnce(model, P().data, P().split, P().opts).value().ndcg.at(10);
     }
     return sum / 2.0;
   };
@@ -137,9 +138,9 @@ TEST(IntegrationTest, PredictionsGeneralizeAcrossSplitSeeds) {
     const eval::Split split = eval::SplitInteractions(
         P().data, eval::BuildInteractions(P().data), 0.8, rng);
     core::O2SiteRecRecommender ours(FastModel());
-    const eval::EvalResult r = eval::RunOnce(ours, P().data, split, P().opts);
+    const eval::EvalResult r = eval::RunOnce(ours, P().data, split, P().opts).value();
     TypeMeanRecommender naive;
-    const eval::EvalResult n = eval::RunOnce(naive, P().data, split, P().opts);
+    const eval::EvalResult n = eval::RunOnce(naive, P().data, split, P().opts).value();
     EXPECT_GT(r.ndcg.at(10), n.ndcg.at(10) - 0.02) << "split " << split_seed;
   }
 }

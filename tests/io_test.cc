@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+
 namespace o2sr::sim {
 namespace {
+
+using common::Status;
+using common::StatusCode;
 
 SimConfig TestConfig() {
   SimConfig cfg;
@@ -25,6 +30,22 @@ std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+constexpr const char* kOrdersHeader =
+    "order_id,store_id,courier_id,store_type,"
+    "store_lat,store_lng,customer_lat,customer_lng,"
+    "creation_min,acceptance_min,pickup_min,delivery_min,distance_m\n";
+
+// One syntactically valid order row (13 fields).
+constexpr const char* kGoodOrderRow =
+    "1,2,3,4,31.2001,121.4001,31.2002,121.4002,10.0,12.0,15.0,30.0,850.0\n";
+
 class IoTest : public ::testing::Test {
  protected:
   static const Dataset& Data() {
@@ -36,9 +57,9 @@ class IoTest : public ::testing::Test {
 TEST_F(IoTest, OrdersRoundTrip) {
   const std::string path = TempPath("orders.csv");
   const geo::CityFrame frame;
-  ASSERT_TRUE(WriteOrdersCsv(path, Data(), frame));
+  ASSERT_TRUE(WriteOrdersCsv(path, Data(), frame).ok());
   std::vector<Order> loaded;
-  ASSERT_TRUE(ReadOrdersCsv(path, frame, Data().city.grid, &loaded));
+  ASSERT_TRUE(ReadOrdersCsv(path, frame, Data().city.grid, &loaded).ok());
   ASSERT_EQ(loaded.size(), Data().orders.size());
   for (size_t i = 0; i < loaded.size(); i += 11) {
     const Order& a = Data().orders[i];
@@ -63,9 +84,9 @@ TEST_F(IoTest, OrdersRoundTrip) {
 TEST_F(IoTest, StoresRoundTrip) {
   const std::string path = TempPath("stores.csv");
   const geo::CityFrame frame;
-  ASSERT_TRUE(WriteStoresCsv(path, Data(), frame));
+  ASSERT_TRUE(WriteStoresCsv(path, Data(), frame).ok());
   std::vector<Store> loaded;
-  ASSERT_TRUE(ReadStoresCsv(path, frame, Data().city.grid, &loaded));
+  ASSERT_TRUE(ReadStoresCsv(path, frame, Data().city.grid, &loaded).ok());
   ASSERT_EQ(loaded.size(), Data().stores.size());
   for (size_t i = 0; i < loaded.size(); ++i) {
     EXPECT_EQ(Data().stores[i].id, loaded[i].id);
@@ -82,7 +103,7 @@ TEST_F(IoTest, TrajectoriesWriteRowsPerSample) {
   cfg.generate_trajectories = true;
   const Dataset data = GenerateDataset(cfg);
   const std::string path = TempPath("traj.csv");
-  ASSERT_TRUE(WriteTrajectoriesCsv(path, data));
+  ASSERT_TRUE(WriteTrajectoriesCsv(path, data).ok());
   // Count lines: header + total trajectory points.
   std::FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
@@ -97,26 +118,121 @@ TEST_F(IoTest, TrajectoriesWriteRowsPerSample) {
   EXPECT_EQ(lines, expected);
 }
 
-TEST_F(IoTest, MissingFileReturnsFalse) {
+TEST_F(IoTest, MissingFileReturnsNotFound) {
   std::vector<Order> orders;
-  EXPECT_FALSE(ReadOrdersCsv("/nonexistent/dir/orders.csv",
-                             geo::CityFrame(), Data().city.grid, &orders));
-  EXPECT_FALSE(WriteOrdersCsv("/nonexistent/dir/orders.csv", Data()));
+  const Status read = ReadOrdersCsv("/nonexistent/dir/orders.csv",
+                                    geo::CityFrame(), Data().city.grid,
+                                    &orders);
+  EXPECT_EQ(read.code(), StatusCode::kNotFound);
+  EXPECT_NE(read.message().find("/nonexistent/dir/orders.csv"),
+            std::string::npos);
+  EXPECT_EQ(WriteOrdersCsv("/nonexistent/dir/orders.csv", Data()).code(),
+            StatusCode::kUnavailable);
   std::vector<Store> stores;
-  EXPECT_FALSE(ReadStoresCsv("/nonexistent/dir/stores.csv",
-                             geo::CityFrame(), Data().city.grid, &stores));
+  EXPECT_EQ(ReadStoresCsv("/nonexistent/dir/stores.csv", geo::CityFrame(),
+                          Data().city.grid, &stores)
+                .code(),
+            StatusCode::kNotFound);
 }
 
 TEST_F(IoTest, HeaderOnlyFileYieldsNoOrders) {
   const std::string path = TempPath("empty_orders.csv");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  ASSERT_NE(f, nullptr);
-  std::fprintf(f, "order_id,store_id,...\n");
-  std::fclose(f);
+  WriteFile(path, kOrdersHeader);
   std::vector<Order> orders;
-  ASSERT_TRUE(ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid,
-                            &orders));
+  ASSERT_TRUE(
+      ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid, &orders).ok());
   EXPECT_TRUE(orders.empty());
+}
+
+TEST_F(IoTest, StrictReadFailsOnMissingField) {
+  const std::string path = TempPath("missing_field.csv");
+  // Second data row drops the trailing distance_m field (12 of 13 cells).
+  WriteFile(path, std::string(kOrdersHeader) + kGoodOrderRow +
+                      "2,3,4,5,31.2,121.4,31.2,121.4,10,12,15,30\n");
+  std::vector<Order> orders;
+  const Status read =
+      ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid, &orders);
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument);
+  // The error names the offending line and the arity problem.
+  EXPECT_NE(read.message().find("line 3"), std::string::npos) << read;
+  EXPECT_NE(read.message().find("expected 13 fields, got 12"),
+            std::string::npos)
+      << read;
+}
+
+TEST_F(IoTest, StrictReadFailsOnNonNumericTimestamp) {
+  const std::string path = TempPath("bad_timestamp.csv");
+  WriteFile(path, std::string(kOrdersHeader) +
+                      "1,2,3,4,31.2,121.4,31.2,121.4,"
+                      "yesterday,12,15,30,850\n");
+  std::vector<Order> orders;
+  const Status read =
+      ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid, &orders);
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.message().find("line 2"), std::string::npos) << read;
+  EXPECT_NE(read.message().find("creation_min"), std::string::npos) << read;
+  EXPECT_NE(read.message().find("yesterday"), std::string::npos) << read;
+}
+
+TEST_F(IoTest, StrictReadFailsOnTruncatedLastLine) {
+  const std::string path = TempPath("truncated.csv");
+  // Simulates a crash mid-write: the final row stops in the middle of a
+  // coordinate and has no trailing newline.
+  WriteFile(path, std::string(kOrdersHeader) + kGoodOrderRow + "2,3,4,5,31.2");
+  std::vector<Order> orders;
+  const Status read =
+      ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid, &orders);
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.message().find("line 3"), std::string::npos) << read;
+}
+
+TEST_F(IoTest, SkipPolicyCountsBadRowsAndKeepsGoodOnes) {
+  const std::string path = TempPath("mixed_rows.csv");
+  WriteFile(path, std::string(kOrdersHeader) + kGoodOrderRow +
+                      "2,3,4,5,31.2,121.4,31.2,121.4,10,12,15,30\n" +  // arity
+                      kGoodOrderRow +
+                      "4,5,6,7,31.2,121.4,31.2,121.4,nan?,12,15,30,850\n" +
+                      kGoodOrderRow);
+  CsvReadOptions options;
+  options.policy = CsvRowPolicy::kSkipBadRows;
+  CsvReadReport report;
+  std::vector<Order> orders;
+  ASSERT_TRUE(ReadOrdersCsv(path, geo::CityFrame(), Data().city.grid, &orders,
+                            options, &report)
+                  .ok());
+  EXPECT_EQ(orders.size(), 3u);
+  EXPECT_EQ(report.rows_parsed, 3);
+  EXPECT_EQ(report.rows_skipped, 2);
+  // The report remembers the first drop so ingest logs can point at it.
+  EXPECT_NE(report.first_skipped.find("line 3"), std::string::npos)
+      << report.first_skipped;
+}
+
+TEST_F(IoTest, SkipPolicyOnStoresCsv) {
+  const std::string path = TempPath("mixed_stores.csv");
+  WriteFile(path,
+            "store_id,type_id,type_name,lat,lng,quality\n"
+            "0,1,Grocery,31.2001,121.4001,0.5\n"
+            "one,1,Grocery,31.2001,121.4001,0.5\n"
+            "2,3,Pharmacy,31.2002,121.4002,0.75\n");
+  // Strict read names the bad field.
+  std::vector<Store> stores;
+  const Status strict =
+      ReadStoresCsv(path, geo::CityFrame(), Data().city.grid, &stores);
+  EXPECT_EQ(strict.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(strict.message().find("store_id"), std::string::npos) << strict;
+  // Skip policy recovers the two good rows.
+  CsvReadOptions options;
+  options.policy = CsvRowPolicy::kSkipBadRows;
+  CsvReadReport report;
+  ASSERT_TRUE(ReadStoresCsv(path, geo::CityFrame(), Data().city.grid, &stores,
+                            options, &report)
+                  .ok());
+  ASSERT_EQ(stores.size(), 2u);
+  EXPECT_EQ(stores[0].id, 0);
+  EXPECT_EQ(stores[1].id, 2);
+  EXPECT_EQ(report.rows_parsed, 2);
+  EXPECT_EQ(report.rows_skipped, 1);
 }
 
 }  // namespace

@@ -58,18 +58,18 @@ TEST(O2SiteRecTest, TrainingReducesLoss) {
   O2SiteRecConfig cfg = SmallModelConfig();
   cfg.epochs = 1;
   O2SiteRec one_epoch(F().data, F().split.train_orders, cfg);
-  one_epoch.Train(F().split.train);
+  O2SR_CHECK_OK(one_epoch.Train(F().split.train));
   const double early_loss = one_epoch.final_loss();
 
   cfg.epochs = 25;
   O2SiteRec trained(F().data, F().split.train_orders, cfg);
-  trained.Train(F().split.train);
+  O2SR_CHECK_OK(trained.Train(F().split.train));
   EXPECT_LT(trained.final_loss(), early_loss * 0.7);
 }
 
 TEST(O2SiteRecTest, PredictionsInUnitRangeAndAligned) {
   O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
-  model.Train(F().split.train);
+  O2SR_CHECK_OK(model.Train(F().split.train));
   const std::vector<double> preds = model.Predict(F().split.test);
   ASSERT_EQ(preds.size(), F().split.test.size());
   for (double p : preds) {
@@ -80,7 +80,7 @@ TEST(O2SiteRecTest, PredictionsInUnitRangeAndAligned) {
 
 TEST(O2SiteRecTest, UnknownRegionPredictsZero) {
   O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
-  model.Train(F().split.train);
+  O2SR_CHECK_OK(model.Train(F().split.train));
   // Find a region with no stores.
   std::vector<bool> has_store(F().data.num_regions(), false);
   for (const auto& s : F().data.stores) has_store[s.region] = true;
@@ -96,7 +96,7 @@ TEST(O2SiteRecTest, FitsTrainingSignalBetterThanConstant) {
   O2SiteRecConfig cfg = SmallModelConfig();
   cfg.epochs = 40;
   O2SiteRec model(F().data, F().split.train_orders, cfg);
-  model.Train(F().split.train);
+  O2SR_CHECK_OK(model.Train(F().split.train));
   const std::vector<double> preds = model.Predict(F().split.train);
   double model_se = 0.0, const_se = 0.0, mean = 0.0;
   for (const auto& it : F().split.train) mean += it.target;
@@ -137,7 +137,7 @@ TEST(O2SiteRecTest, AllVariantsTrainAndPredict) {
     cfg.epochs = 3;
     cfg.variant = variant;
     O2SiteRec model(F().data, F().split.train_orders, cfg);
-    model.Train(F().split.train);
+    O2SR_CHECK_OK(model.Train(F().split.train));
     const std::vector<double> preds = model.Predict(F().split.test);
     ASSERT_EQ(preds.size(), F().split.test.size());
     double sum = 0.0;
@@ -164,7 +164,7 @@ TEST(O2SiteRecTest, DeterministicGivenSeed) {
     O2SiteRecConfig cfg = SmallModelConfig();
     cfg.epochs = 3;
     O2SiteRec model(F().data, F().split.train_orders, cfg);
-    model.Train(F().split.train);
+    O2SR_CHECK_OK(model.Train(F().split.train));
     return model.Predict(F().split.test);
   };
   const auto a = run();
@@ -177,7 +177,7 @@ TEST(O2SiteRecTest, DeliveryTimePredictionPositive) {
   O2SiteRecConfig cfg = SmallModelConfig();
   cfg.epochs = 10;
   O2SiteRec model(F().data, F().split.train_orders, cfg);
-  model.Train(F().split.train);
+  O2SR_CHECK_OK(model.Train(F().split.train));
   const double minutes = model.PredictDeliveryMinutes(1, 3, 10);
   EXPECT_GT(minutes, 0.0);
   EXPECT_LT(minutes, 200.0);
@@ -188,7 +188,7 @@ TEST(O2SiteRecRecommenderTest, AdapterRoundTrip) {
   cfg.epochs = 3;
   O2SiteRecRecommender adapter(cfg);
   EXPECT_EQ(adapter.Name(), "O2-SiteRec");
-  adapter.Train(F().data, F().split.train_orders, F().split.train);
+  O2SR_CHECK_OK(adapter.Train(F().data, F().split.train_orders, F().split.train));
   EXPECT_EQ(adapter.Predict(F().split.test).size(), F().split.test.size());
 }
 

@@ -23,7 +23,7 @@ struct Fixture {
     cfg.rec.node_heads = 2;
     cfg.epochs = 10;
     model = std::make_unique<O2SiteRec>(data, split.train_orders, cfg);
-    model->Train(split.train);
+    O2SR_CHECK_OK(model->Train(split.train));
   }
 
   static sim::Dataset MakeData() {

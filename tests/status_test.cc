@@ -1,0 +1,144 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace o2sr::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("line 7: field 'x': not a number");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "line 7: field 'x': not a number");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: line 7: field 'x': not a number");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrependsAndPreservesCode) {
+  const Status inner = DataLossError("checksum mismatch");
+  const Status outer = inner.WithContext("loading checkpoint 'a.ckpt'");
+  EXPECT_EQ(outer.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(outer.message(), "loading checkpoint 'a.ckpt': checksum mismatch");
+  // No-op on OK.
+  EXPECT_TRUE(Status::Ok().WithContext("anything").ok());
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream oss;
+  oss << NotFoundError("no such file");
+  EXPECT_EQ(oss.str(), "NOT_FOUND: no such file");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> s = 42;
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 42);
+  EXPECT_EQ(*s, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<std::vector<double>> s = NotFoundError("missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveUnwrap) {
+  StatusOr<std::string> s = std::string("payload");
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return AbortedError("inner failure");
+  return Status::Ok();
+}
+
+Status Propagates(bool fail) {
+  O2SR_RETURN_IF_ERROR(FailsWhen(fail));
+  return InternalError("reached past the macro");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesFailure) {
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kAborted);
+  EXPECT_EQ(Propagates(false).code(), StatusCode::kInternal);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return OutOfRangeError("not positive");
+  return v;
+}
+
+Status SumOfParsed(int a, int b, int* out) {
+  O2SR_ASSIGN_OR_RETURN(const int pa, ParsePositive(a));
+  O2SR_ASSIGN_OR_RETURN(const int pb, ParsePositive(b));
+  *out = pa + pb;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  int sum = 0;
+  ASSERT_TRUE(SumOfParsed(2, 3, &sum).ok());
+  EXPECT_EQ(sum, 5);
+  EXPECT_EQ(SumOfParsed(-1, 3, &sum).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorWorksInStatusOrFunction) {
+  const auto fn = [](bool fail) -> StatusOr<int> {
+    O2SR_RETURN_IF_ERROR(FailsWhen(fail));
+    return 7;
+  };
+  EXPECT_EQ(fn(true).status().code(), StatusCode::kAborted);
+  EXPECT_EQ(fn(false).value(), 7);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  const int lhs = 14;
+  EXPECT_DEATH(O2SR_CHECK_EQ(lhs, 13), "14 vs 13");
+}
+
+TEST(CheckDeathTest, CheckOpWorksOnScopedEnums) {
+  EXPECT_DEATH(O2SR_CHECK_EQ(StatusCode::kNotFound, StatusCode::kOk),
+               "2 vs 0");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsTheStatus) {
+  EXPECT_DEATH(O2SR_CHECK_OK(DataLossError("bad checksum")),
+               "DATA_LOSS: bad checksum");
+  // OK statuses pass silently.
+  O2SR_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, StatusOrValueOnErrorDies) {
+  StatusOr<int> s = NotFoundError("gone");
+  EXPECT_DEATH((void)s.value(), "NOT_FOUND: gone");
+}
+
+}  // namespace
+}  // namespace o2sr::common
