@@ -12,8 +12,8 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Design-choice ablations",
-                     "DESIGN.md deviations (not a paper figure)");
+  bench::BenchReport report("ablation_design", "Design-choice ablations",
+                            "DESIGN.md deviations (not a paper figure)");
   bench::PreparedData prepared(bench::SweepConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
   opts.min_candidates = std::max(20, opts.min_candidates / 2);
@@ -23,6 +23,7 @@ int main() {
     core::O2SiteRecRecommender model(cfg);
     const eval::EvalResult r =
         eval::RunOnce(model, prepared.data, prepared.split, opts).value();
+    report.AddResult(name, r);
     table.AddRow({name, TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.precision.at(3)),
                   TablePrinter::Num(r.rmse)});

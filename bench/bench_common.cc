@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "common/table_printer.h"
 #include "core/o2siterec_recommender.h"
+#include "obs/json.h"
+#include "obs/log.h"
 
 namespace o2sr::bench {
 
@@ -94,6 +98,95 @@ void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("Scale: %s (set O2SR_BENCH_SCALE=small for a quick run)\n",
               CurrentScale() == Scale::kStandard ? "standard" : "small");
   std::printf("==============================================================\n");
+}
+
+BenchReport::BenchReport(const std::string& name, const std::string& title,
+                         const std::string& paper_ref)
+    : name_(name),
+      title_(title),
+      paper_ref_(paper_ref),
+      start_(std::chrono::steady_clock::now()) {
+  PrintHeader(title, paper_ref);
+  root_name_ = "bench." + name_;
+  root_span_ = std::make_unique<obs::ScopedTrace>(root_name_.c_str());
+}
+
+BenchReport::~BenchReport() { Write(); }
+
+void BenchReport::AddResult(const std::string& label,
+                            const eval::EvalResult& result) {
+  cells_.emplace_back(label, result);
+}
+
+void BenchReport::AddValue(const std::string& label, double value) {
+  values_.emplace_back(label, value);
+}
+
+void BenchReport::Write() {
+  if (written_) return;
+  written_ = true;
+  root_span_.reset();  // close "bench.<name>" so it has a duration
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  std::ostringstream out;
+  out << "{\"bench\":" << obs::JsonQuote(name_)
+      << ",\"title\":" << obs::JsonQuote(title_)
+      << ",\"paper_ref\":" << obs::JsonQuote(paper_ref_) << ",\"scale\":"
+      << obs::JsonQuote(CurrentScale() == Scale::kStandard ? "standard"
+                                                           : "small")
+      << ",\"seed_count\":" << seed_count_
+      << ",\"wall_clock_s\":" << obs::JsonNum(wall_s);
+
+  out << ",\"stages_ms\":{";
+  bool first = true;
+  for (const auto& [stage, ms] : obs::TraceRecorder::Global().StageMillis()) {
+    if (!first) out << ",";
+    first = false;
+    out << obs::JsonQuote(stage) << ":" << obs::JsonNum(ms);
+  }
+  out << "}";
+
+  out << ",\"cells\":[";
+  first = true;
+  auto get = [](const std::map<int, double>& m, int k) {
+    const auto it = m.find(k);
+    return it == m.end() ? 0.0 : it->second;
+  };
+  for (const auto& [label, r] : cells_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"label\":" << obs::JsonQuote(label)
+        << ",\"ndcg@3\":" << obs::JsonNum(get(r.ndcg, 3))
+        << ",\"ndcg@5\":" << obs::JsonNum(get(r.ndcg, 5))
+        << ",\"ndcg@10\":" << obs::JsonNum(get(r.ndcg, 10))
+        << ",\"precision@3\":" << obs::JsonNum(get(r.precision, 3))
+        << ",\"precision@5\":" << obs::JsonNum(get(r.precision, 5))
+        << ",\"precision@10\":" << obs::JsonNum(get(r.precision, 10))
+        << ",\"rmse\":" << obs::JsonNum(r.rmse)
+        << ",\"types_evaluated\":" << r.types_evaluated << "}";
+  }
+  out << "]";
+
+  out << ",\"values\":[";
+  first = true;
+  for (const auto& [label, value] : values_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"label\":" << obs::JsonQuote(label)
+        << ",\"value\":" << obs::JsonNum(value) << "}";
+  }
+  out << "]}";
+
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    O2SR_LOG(ERROR) << "cannot write bench report " << path;
+    return;
+  }
+  file << out.str() << "\n";
+  O2SR_LOG(INFO) << "bench report written to " << path;
 }
 
 std::vector<std::string> MetricCells(const eval::EvalResult& r) {

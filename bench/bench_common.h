@@ -1,12 +1,16 @@
 #ifndef O2SR_BENCH_BENCH_COMMON_H_
 #define O2SR_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/baseline_common.h"
 #include "core/o2siterec.h"
 #include "eval/experiment.h"
+#include "obs/trace.h"
 #include "sim/config.h"
 #include "sim/dataset.h"
 
@@ -43,6 +47,48 @@ struct PreparedData {
 // Prints the bench banner: which table/figure of the paper this regenerates
 // and on what data scale.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+// Machine-readable run artifact of a bench binary. Construct it first
+// thing in main():
+//
+//   bench::BenchReport report("table03_overall_real", title, paper_ref);
+//
+// It prints the banner, opens the root trace span "bench.<name>" (so an
+// O2SR_TRACE_FILE export has a single span covering the whole run), and on
+// destruction writes BENCH_<name>.json into the working directory with the
+// bench scale, per-stage wall-clock from the trace layer, every metric
+// cell/value the bench registered, and the seed count. The stdout table is
+// unchanged; the JSON is what the repo-level perf trajectory accumulates.
+class BenchReport {
+ public:
+  BenchReport(const std::string& name, const std::string& title,
+              const std::string& paper_ref);
+  ~BenchReport();
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void set_seed_count(int n) { seed_count_ = n; }
+
+  // A labeled EvalResult row (Table III column order in the JSON cell).
+  void AddResult(const std::string& label, const eval::EvalResult& result);
+  // A labeled scalar (figure series points, t-statistics, deltas...).
+  void AddValue(const std::string& label, double value);
+
+  // Writes BENCH_<name>.json (idempotent; the destructor calls it).
+  void Write();
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::string paper_ref_;
+  std::string root_name_;  // backing storage for the root span's name
+  int seed_count_ = 1;
+  std::vector<std::pair<std::string, eval::EvalResult>> cells_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::unique_ptr<obs::ScopedTrace> root_span_;
+  std::chrono::steady_clock::time_point start_;
+  bool written_ = false;
+};
 
 // Formats an EvalResult in Table III column order:
 // NDCG@3, NDCG@5, NDCG@10, P@3, P@5, P@10, RMSE.

@@ -12,8 +12,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Supply and demand by time of day",
-                     "Fig. 1 (order and courier count; supply-demand ratio)");
+  bench::BenchReport report(
+      "fig01_supply_demand", "Supply and demand by time of day",
+      "Fig. 1 (order and courier count; supply-demand ratio)");
   const sim::Dataset data = sim::GenerateDataset(bench::RealDataConfig());
   const auto series = features::SupplyDemandBySlot(data);
 
@@ -26,6 +27,8 @@ int main() {
     table.AddRow({hours, TablePrinter::Num(s.couriers_norm, 3),
                   TablePrinter::Num(s.orders_norm, 3),
                   TablePrinter::Num(s.supply_demand_ratio, 4)});
+    report.AddValue(std::string("supply_demand_ratio/") + hours,
+                    s.supply_demand_ratio);
   }
   table.Print(stdout);
 
@@ -37,5 +40,7 @@ int main() {
       "vs afternoon %.4f -> %s\n",
       noon, evening, afternoon,
       (noon < afternoon && evening < afternoon) ? "REPRODUCED" : "MISMATCH");
+  report.AddValue("reproduced",
+                  (noon < afternoon && evening < afternoon) ? 1.0 : 0.0);
   return 0;
 }

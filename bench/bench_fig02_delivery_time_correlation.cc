@@ -11,7 +11,8 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader(
+  bench::BenchReport report(
+      "fig02_delivery_time_correlation",
       "Delivery time vs supply-demand ratio",
       "Fig. 2 (delivery time and supply-demand ratio per slot)");
   const sim::Dataset data = sim::GenerateDataset(bench::RealDataConfig());
@@ -42,5 +43,7 @@ int main() {
       "Shape check: strong negative correlation (capacity tight -> slow "
       "delivery) -> %s\n",
       corr, corr < -0.5 ? "REPRODUCED" : "MISMATCH");
+  report.AddValue("pearson_correlation", corr);
+  report.AddValue("reproduced", corr < -0.5 ? 1.0 : 0.0);
   return 0;
 }

@@ -11,8 +11,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Delivery scope per period",
-                     "Fig. 3 (average farthest delivery distance)");
+  bench::BenchReport report("fig03_delivery_scope",
+                            "Delivery scope per period",
+                            "Fig. 3 (average farthest delivery distance)");
   const sim::Dataset data = sim::GenerateDataset(bench::RealDataConfig());
   const auto scope = features::DeliveryScopeByPeriod(data);
 
@@ -22,6 +23,9 @@ int main() {
     table.AddRow({sim::PeriodName(static_cast<sim::Period>(p)),
                   TablePrinter::Num(scope[p], 0),
                   TablePrinter::Num(data.scope_factor_per_period[p], 3)});
+    report.AddValue(std::string("scope_m/") +
+                        sim::PeriodName(static_cast<sim::Period>(p)),
+                    scope[p]);
   }
   table.Print(stdout);
 
@@ -34,5 +38,7 @@ int main() {
       "(noon %.0f < afternoon %.0f, evening %.0f < night %.0f) -> %s\n",
       noon, afternoon, evening, night,
       (noon < afternoon && evening < night) ? "REPRODUCED" : "MISMATCH");
+  report.AddValue("reproduced",
+                  (noon < afternoon && evening < night) ? 1.0 : 0.0);
   return 0;
 }

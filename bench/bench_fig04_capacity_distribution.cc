@@ -11,7 +11,8 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader(
+  bench::BenchReport report(
+      "fig04_capacity_distribution",
       "Delivery-time distribution at 2.5-3 km",
       "Fig. 4 (delivery time distribution under the same distance)");
   const sim::Dataset data = sim::GenerateDataset(bench::RealDataConfig());
@@ -39,5 +40,8 @@ int main() {
       "(%.3f) than in the afternoon (%.3f) -> %s\n",
       noon_long, afternoon_long,
       noon_long > afternoon_long ? "REPRODUCED" : "MISMATCH");
+  report.AddValue("noon_rush_40plus_share", noon_long);
+  report.AddValue("afternoon_40plus_share", afternoon_long);
+  report.AddValue("reproduced", noon_long > afternoon_long ? 1.0 : 0.0);
   return 0;
 }

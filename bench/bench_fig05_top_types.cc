@@ -11,8 +11,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Top store types per period",
-                     "Fig. 5 (top popular store types in different periods)");
+  bench::BenchReport report(
+      "fig05_top_types", "Top store types per period",
+      "Fig. 5 (top popular store types in different periods)");
   const sim::Dataset data = sim::GenerateDataset(bench::RealDataConfig());
   const auto tops = features::TopTypesByPeriod(data, 3);
 
@@ -35,5 +36,13 @@ int main() {
       "\nShape check: the preferred types change along the day "
       "(morning #1 != night #1) -> %s\n",
       differs ? "REPRODUCED" : "MISMATCH");
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    if (!tops[p].empty()) {
+      report.AddValue(std::string("top_type/") +
+                          sim::PeriodName(static_cast<sim::Period>(p)),
+                      tops[p][0].type);
+    }
+  }
+  report.AddValue("reproduced", differs ? 1.0 : 0.0);
   return 0;
 }

@@ -12,8 +12,10 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Ablation: courier capacity and customer preferences",
-                     "Fig. 10 (O2-SiteRec vs w/o Co vs w/o CoCu)");
+  bench::BenchReport report(
+      "fig10_ablation_capacity",
+      "Ablation: courier capacity and customer preferences",
+      "Fig. 10 (O2-SiteRec vs w/o Co vs w/o CoCu)");
   bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
   const eval::EvalOptions opts = bench::EvalDefaults();
 
@@ -27,8 +29,10 @@ int main() {
     cfg.variant = variant;
     const int seeds =
         bench::CurrentScale() == bench::Scale::kStandard ? 2 : 1;
+    report.set_seed_count(seeds);
     const eval::EvalResult r =
         bench::RunVariantAveraged(prepared, cfg, seeds, opts);
+    report.AddResult(core::VariantName(variant), r);
     std::vector<std::string> row = {core::VariantName(variant)};
     for (auto& c : bench::MetricCells(r)) row.push_back(c);
     table.AddRow(row);
@@ -48,5 +52,8 @@ int main() {
       (full_ndcg3 > no_co_ndcg3 && no_co_ndcg3 > no_cocu_ndcg3)
           ? "REPRODUCED"
           : "PARTIAL (ordering noisy at this scale)");
+  report.AddValue(
+      "reproduced",
+      (full_ndcg3 > no_co_ndcg3 && no_co_ndcg3 > no_cocu_ndcg3) ? 1.0 : 0.0);
   return 0;
 }

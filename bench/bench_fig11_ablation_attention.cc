@@ -12,8 +12,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Ablation: attention mechanisms",
-                     "Fig. 11 (O2-SiteRec vs w/o NA vs w/o SA)");
+  bench::BenchReport report("fig11_ablation_attention",
+                            "Ablation: attention mechanisms",
+                            "Fig. 11 (O2-SiteRec vs w/o NA vs w/o SA)");
   bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
   const eval::EvalOptions opts = bench::EvalDefaults();
 
@@ -27,8 +28,10 @@ int main() {
     cfg.variant = variant;
     const int seeds =
         bench::CurrentScale() == bench::Scale::kStandard ? 2 : 1;
+    report.set_seed_count(seeds);
     const eval::EvalResult r =
         bench::RunVariantAveraged(prepared, cfg, seeds, opts);
+    report.AddResult(core::VariantName(variant), r);
     std::vector<std::string> row = {core::VariantName(variant)};
     for (auto& c : bench::MetricCells(r)) row.push_back(c);
     table.AddRow(row);
@@ -49,5 +52,6 @@ int main() {
       (full >= no_na && full >= no_sa)
           ? "REPRODUCED"
           : "PARTIAL (ordering noisy at this scale)");
+  report.AddValue("reproduced", (full >= no_na && full >= no_sa) ? 1.0 : 0.0);
   return 0;
 }

@@ -15,8 +15,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Per-store-type performance",
-                     "Fig. 12-13 (NDCG@10 of six store types)");
+  bench::BenchReport report("fig12_13_store_types",
+                            "Per-store-type performance",
+                            "Fig. 12-13 (NDCG@10 of six store types)");
   bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
   opts.min_candidates = 1;  // per-type evaluation handles pool sizes itself
@@ -59,8 +60,11 @@ int main() {
     ours_series.push_back(o);
     hgt_series.push_back(h);
     grec_series.push_back(g);
-    table.AddRow({prepared.data.type_catalog[type].name,
-                  TablePrinter::Num(o), TablePrinter::Num(h),
+    const std::string& type_name = prepared.data.type_catalog[type].name;
+    report.AddValue("ndcg10/" + type_name + "/o2siterec", o);
+    report.AddValue("ndcg10/" + type_name + "/hgt", h);
+    report.AddValue("ndcg10/" + type_name + "/graphrec", g);
+    table.AddRow({type_name, TablePrinter::Num(o), TablePrinter::Num(h),
                   TablePrinter::Num(g)});
   }
   table.Print(stdout);
@@ -80,5 +84,7 @@ int main() {
       std::sqrt(SampleVariance(grec_series)));
   std::printf("Shape check: leads on most types -> %s\n",
               wins >= 4 ? "REPRODUCED" : "PARTIAL");
+  report.AddValue("wins", wins);
+  report.AddValue("reproduced", wins >= 4 ? 1.0 : 0.0);
   return 0;
 }

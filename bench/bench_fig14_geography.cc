@@ -11,8 +11,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Performance by geographic distribution",
-                     "Fig. 14 (downtown / suburb / average regions)");
+  bench::BenchReport report("fig14_geography",
+                            "Performance by geographic distribution",
+                            "Fig. 14 (downtown / suburb / average regions)");
   bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
 
@@ -41,6 +42,7 @@ int main() {
   TablePrinter table({"Region class", "NDCG@3", "Precision@3", "RMSE",
                       "Types evaluated"});
   auto add = [&](const char* name, const eval::EvalResult& r) {
+    report.AddResult(name, r);
     const auto n3 = r.ndcg.find(3);
     const auto p3 = r.precision.find(3);
     table.AddRow({name,
@@ -60,5 +62,6 @@ int main() {
   std::printf(
       "\nShape check: suburb (%.4f) below downtown (%.4f) -> %s\n", sub3,
       down3, sub3 < down3 ? "REPRODUCED" : "PARTIAL");
+  report.AddValue("reproduced", sub3 < down3 ? 1.0 : 0.0);
   return 0;
 }

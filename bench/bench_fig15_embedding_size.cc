@@ -11,8 +11,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Embedding-size sensitivity",
-                     "Fig. 15 (effect of different embedding sizes)");
+  bench::BenchReport report("fig15_embedding_size",
+                            "Embedding-size sensitivity",
+                            "Fig. 15 (effect of different embedding sizes)");
   bench::PreparedData prepared(bench::SweepConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
   opts.min_candidates = std::max(20, opts.min_candidates / 2);
@@ -34,6 +35,7 @@ int main() {
         eval::RunOnce(model, prepared.data, prepared.split, opts).value();
     best = std::max(best, r.ndcg.at(3));
     worst = std::min(worst, r.ndcg.at(3));
+    report.AddResult("d2=" + std::to_string(cfg.rec.embedding_dim), r);
     table.AddRow({std::to_string(cfg.rec.embedding_dim),
                   TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.rmse)});
@@ -44,5 +46,7 @@ int main() {
       "\nShape check: performance relatively stable across sizes "
       "(spread %.4f) -> %s\n",
       best - worst, best - worst < 0.12 ? "REPRODUCED" : "PARTIAL");
+  report.AddValue("ndcg3_spread", best - worst);
+  report.AddValue("reproduced", best - worst < 0.12 ? 1.0 : 0.0);
   return 0;
 }

@@ -11,8 +11,8 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Loss trade-off sensitivity",
-                     "Fig. 16 (performance with different beta)");
+  bench::BenchReport report("fig16_beta", "Loss trade-off sensitivity",
+                            "Fig. 16 (performance with different beta)");
   bench::PreparedData prepared(bench::SweepConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
   opts.min_candidates = std::max(20, opts.min_candidates / 2);
@@ -31,6 +31,7 @@ int main() {
         eval::RunOnce(model, prepared.data, prepared.split, opts).value();
     best = std::max(best, r.ndcg.at(3));
     worst = std::min(worst, r.ndcg.at(3));
+    report.AddResult("beta=" + TablePrinter::Num(beta, 1), r);
     table.AddRow({TablePrinter::Num(beta, 1), TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.rmse)});
   }
@@ -40,5 +41,7 @@ int main() {
       "\nShape check: overall performance stable across beta "
       "(spread %.4f) -> %s\n",
       best - worst, best - worst < 0.12 ? "REPRODUCED" : "PARTIAL");
+  report.AddValue("ndcg3_spread", best - worst);
+  report.AddValue("reproduced", best - worst < 0.12 ? 1.0 : 0.0);
   return 0;
 }

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "features/order_stats.h"
 #include "graphs/hetero_graph.h"
 #include "graphs/mobility_graph.h"
@@ -126,4 +129,27 @@ BENCHMARK(BM_OrderStatsBuild);
 }  // namespace
 }  // namespace o2sr
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON reporter to
+// BENCH_kernels.json so every bench binary leaves a machine-readable
+// artifact. Explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

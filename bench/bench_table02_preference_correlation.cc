@@ -12,7 +12,8 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader(
+  bench::BenchReport report(
+      "table02_preference_correlation",
       "Customer preference vs order correlation by radius",
       "Table II (correlation between preferences and orders)");
   // A denser market than the model benches: the statistic converges to the
@@ -28,6 +29,7 @@ int main() {
         features::PreferenceOrderCorrelation(data, km * 1000.0);
     by_radius.push_back(corr);
     table.AddRow({std::to_string(km), TablePrinter::Num(corr, 3)});
+    report.AddValue("correlation@" + std::to_string(km) + "km", corr);
   }
   table.Print(stdout);
 
@@ -39,5 +41,7 @@ int main() {
       "variation, slow decay to 5 km -> %s\n",
       by_radius[0], by_radius[2],
       (strong && local_flat && decays) ? "REPRODUCED" : "MISMATCH");
+  report.AddValue("reproduced",
+                  (strong && local_flat && decays) ? 1.0 : 0.0);
   return 0;
 }

@@ -19,8 +19,9 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Overall performance, synthetic-Eleme dataset",
-                     "Table III (performance comparison, real-world data)");
+  bench::BenchReport report(
+      "table03_overall_real", "Overall performance, synthetic-Eleme dataset",
+      "Table III (performance comparison, real-world data)");
   const auto t0 = std::chrono::steady_clock::now();
   bench::PreparedData prepared(bench::RealDataConfig(), /*split_seed=*/1);
   const eval::EvalOptions opts = bench::EvalDefaults();
@@ -37,6 +38,7 @@ int main() {
   };
 
   const int kSeeds = bench::CurrentScale() == bench::Scale::kStandard ? 3 : 2;
+  report.set_seed_count(kSeeds);
   std::vector<double> hgt_ndcg3, ours_ndcg3;
 
   for (auto kind : baselines::kAllBaselines) {
@@ -54,16 +56,19 @@ int main() {
           results.push_back(run_once(*model));
           hgt_ndcg3.push_back(results.back().ndcg.at(3));
         }
+        const eval::EvalResult avg = bench::AverageResults(results);
+        report.AddResult("HGT/Adaption", avg);
         table.AddRow([&] {
           std::vector<std::string> row = {"HGT", "Adaption"};
-          for (auto& c : bench::MetricCells(bench::AverageResults(results))) {
-            row.push_back(c);
-          }
+          for (auto& c : bench::MetricCells(avg)) row.push_back(c);
           return row;
         }());
       } else {
         auto model = baselines::MakeBaseline(kind, cfg);
         const eval::EvalResult r = run_once(*model);
+        report.AddResult(std::string(baselines::BaselineKindName(kind)) + "/" +
+                             baselines::FeatureSettingName(setting),
+                         r);
         std::vector<std::string> row = {
             baselines::BaselineKindName(kind),
             baselines::FeatureSettingName(setting)};
@@ -82,10 +87,10 @@ int main() {
     ours_ndcg3.push_back(ours_results.back().ndcg.at(3));
   }
   {
+    const eval::EvalResult avg = bench::AverageResults(ours_results);
+    report.AddResult("O2-SiteRec", avg);
     std::vector<std::string> row = {"O2-SiteRec", "-"};
-    for (auto& c : bench::MetricCells(bench::AverageResults(ours_results))) {
-      row.push_back(c);
-    }
+    for (auto& c : bench::MetricCells(avg)) row.push_back(c);
     table.AddRow(row);
   }
   table.Print(stdout);
@@ -100,6 +105,9 @@ int main() {
       (Mean(ours_ndcg3) - Mean(hgt_ndcg3)) / Mean(hgt_ndcg3) * 100.0;
   std::printf("Relative NDCG@3 improvement over HGT: %.2f%% (paper: 12.18%%)\n",
               improvement);
+  report.AddValue("welch_t_statistic", t.t_statistic);
+  report.AddValue("welch_p_value", t.p_value);
+  report.AddValue("ndcg3_improvement_over_hgt_pct", improvement);
   std::printf("total time: %.0fs\n",
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0).count());

@@ -14,8 +14,10 @@
 
 int main() {
   using namespace o2sr;
-  bench::PrintHeader("Overall performance, open-data simulation preset",
-                     "Table IV (performance comparison, simulation data)");
+  bench::BenchReport report(
+      "table04_overall_simulation",
+      "Overall performance, open-data simulation preset",
+      "Table IV (performance comparison, simulation data)");
   bench::PreparedData prepared(bench::OpenDataConfig(), /*split_seed=*/1);
   eval::EvalOptions opts = bench::EvalDefaults();
   // The sparse preset has smaller candidate pools.
@@ -26,6 +28,7 @@ int main() {
   TablePrinter table(
       {"Model", "NDCG@3", "NDCG@5", "Precision@3", "Precision@5"});
   auto add_row = [&](const std::string& name, const eval::EvalResult& r) {
+    report.AddResult(name, r);
     table.AddRow({name, TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.ndcg.at(5)),
                   TablePrinter::Num(r.precision.at(3)),
@@ -60,5 +63,8 @@ int main() {
       ours_result.ndcg.at(3), best_baseline_ndcg3,
       ours_result.ndcg.at(3) > best_baseline_ndcg3 ? "REPRODUCED"
                                                    : "MISMATCH");
+  report.AddValue("best_baseline_ndcg3", best_baseline_ndcg3);
+  report.AddValue("reproduced",
+                  ours_result.ndcg.at(3) > best_baseline_ndcg3 ? 1.0 : 0.0);
   return 0;
 }

@@ -11,6 +11,35 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "=== Bench smoke (small scale, machine-readable output) ==="
+# The fastest bench binary at small scale; validates that the BENCH_*.json
+# artifact is well-formed and carries the keys the perf trajectory relies
+# on (scale, per-stage timings from the trace layer, metric cells/values).
+SMOKE_DIR="$(mktemp -d)"
+(cd "${SMOKE_DIR}" &&
+ O2SR_BENCH_SCALE=small \
+ O2SR_TRACE_FILE=trace.json \
+ "${OLDPWD}/build/bench/bench_fig01_supply_demand" >/dev/null)
+python3 - "${SMOKE_DIR}" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+bench = json.load(open(os.path.join(d, "BENCH_fig01_supply_demand.json")))
+for key in ("bench", "title", "paper_ref", "scale", "seed_count",
+            "wall_clock_s", "stages_ms", "cells", "values"):
+    assert key in bench, f"BENCH json missing key {key!r}"
+assert bench["bench"] == "fig01_supply_demand"
+assert bench["scale"] == "small"
+assert "bench.fig01_supply_demand" in bench["stages_ms"], bench["stages_ms"]
+assert any(s.startswith("sim.") for s in bench["stages_ms"]), bench["stages_ms"]
+assert bench["values"], "bench emitted no metric values"
+trace = json.load(open(os.path.join(d, "trace.json")))
+assert trace["traceEvents"], "trace export is empty"
+assert all(e["ph"] == "X" for e in trace["traceEvents"])
+print("bench smoke: BENCH json + chrome trace OK "
+      f"({len(trace['traceEvents'])} spans)")
+EOF
+rm -rf "${SMOKE_DIR}"
+
 echo "=== UBSan build + tests ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DO2SR_SANITIZE=undefined >/dev/null

@@ -1,16 +1,28 @@
 // Trains O2-SiteRec and two baselines (HGT and CityTransfer, both in the
 // Adaption setting) on the same dataset and prints a mini leaderboard —
 // the smallest end-to-end reproduction of the paper's Table III shape.
+//
+//   ./build/examples/compare_models [--quiet]
+//
+// Progress goes through the o2sr logger (suppress with --quiet or
+// O2SR_LOG_LEVEL=warning); the leaderboard itself stays on stdout.
 
 #include <cstdio>
+#include <cstring>
 
 #include "baselines/factory.h"
 #include "common/table_printer.h"
 #include "core/o2siterec_recommender.h"
 #include "eval/experiment.h"
+#include "obs/log.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace o2sr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      obs::SetMinLogLevel(obs::LogLevel::kWarning);
+    }
+  }
 
   sim::SimConfig city_cfg;
   city_cfg.city_width_m = 8000.0;
@@ -26,11 +38,13 @@ int main() {
       eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
   eval::EvalOptions opts;
   opts.min_candidates = 30;
-  std::printf("Dataset: %zu orders, %zu interactions.\n",
-              data.orders.size(), split.train.size() + split.test.size());
+  O2SR_LOG(INFO) << "Dataset: " << data.orders.size() << " orders, "
+                 << split.train.size() + split.test.size()
+                 << " interactions.";
 
   TablePrinter table({"Model", "NDCG@3", "Precision@3", "RMSE"});
   auto report = [&](core::SiteRecommender& model) {
+    O2SR_LOG(INFO) << "training " << model.Name() << "...";
     const eval::EvalResult r = eval::RunOnce(model, data, split, opts).value();
     table.AddRow({model.Name(), TablePrinter::Num(r.ndcg.at(3)),
                   TablePrinter::Num(r.precision.at(3)),

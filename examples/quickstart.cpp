@@ -1,22 +1,31 @@
 // Quickstart: generate a small synthetic O2O city, train O2-SiteRec, and
 // print the top recommended regions for one store type.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--quiet]
 //
 // This walks the full public API surface: simulator -> interactions ->
-// train/test split -> model -> ranked recommendations.
+// train/test split -> model -> ranked recommendations. Progress goes
+// through the o2sr logger (suppress it with --quiet or
+// O2SR_LOG_LEVEL=warning); the recommendation table itself stays on stdout.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/table_printer.h"
 #include "core/o2siterec.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "obs/log.h"
 #include "sim/dataset.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace o2sr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      obs::SetMinLogLevel(obs::LogLevel::kWarning);
+    }
+  }
 
   // 1. Simulate a 6x6 km city with 12 store types (substitute for platform
   //    order data; see DESIGN.md).
@@ -29,15 +38,16 @@ int main() {
   city_cfg.num_days = 5;
   city_cfg.seed = 2024;
   const sim::Dataset data = sim::GenerateDataset(city_cfg);
-  std::printf("Simulated %zu orders across %d regions and %zu stores.\n",
-              data.orders.size(), data.num_regions(), data.stores.size());
+  O2SR_LOG(INFO) << "Simulated " << data.orders.size() << " orders across "
+                 << data.num_regions() << " regions and "
+                 << data.stores.size() << " stores.";
 
   // 2. Build (store-region, type) interactions and split 80/20.
   Rng rng(1);
   const eval::Split split =
       eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
-  std::printf("Interactions: %zu train / %zu test.\n", split.train.size(),
-              split.test.size());
+  O2SR_LOG(INFO) << "Interactions: " << split.train.size() << " train / "
+                 << split.test.size() << " test.";
 
   // 3. Train O2-SiteRec on the training interactions.
   core::O2SiteRecConfig model_cfg;
@@ -46,8 +56,8 @@ int main() {
   model_cfg.epochs = 25;
   core::O2SiteRec model(data, split.train_orders, model_cfg);
   O2SR_CHECK_OK(model.Train(split.train));
-  std::printf("Trained %zu parameters; final loss %.4f.\n",
-              model.NumParameters(), model.final_loss());
+  O2SR_LOG(INFO) << "Trained " << model.NumParameters()
+                 << " parameters; final loss " << model.final_loss() << ".";
 
   // 4. Recommend: rank the held-out candidate regions for "coffee".
   int coffee = 0;

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "features/region_features.h"
+#include "obs/trace.h"
 
 namespace o2sr::baselines {
 
@@ -134,12 +135,16 @@ RegionIndex::RegionIndex(const sim::Dataset& data) {
 
 common::Status GradientBaseline::Train(
     const sim::Dataset& data, const std::vector<sim::Order>& visible_orders,
-    const core::InteractionList& train) {
+    const core::InteractionList& train, const nn::TrainHooks& hooks,
+    nn::TrainReport* report) {
   if (train.empty()) {
     return common::InvalidArgumentError("empty training interaction list");
   }
   rng_ = Rng(config_.seed);
-  Prepare(data, visible_orders, train);
+  {
+    O2SR_TRACE_SCOPE("model.build");
+    Prepare(data, visible_orders, train);
+  }
 
   // Restrict training to pairs with a known region node.
   core::InteractionList usable;
@@ -169,7 +174,7 @@ common::Status GradientBaseline::Train(
     return loss_value;
   };
   return nn::RunGuardedTraining(&store_, &adam, &dropout_rng, config_.epochs,
-                                epoch_fn, config_.guard)
+                                epoch_fn, config_.guard, hooks, report)
       .WithContext(Name());
 }
 

@@ -91,7 +91,9 @@ class GradientBaseline : public core::SiteRecommender {
 
   common::Status Train(const sim::Dataset& data,
                        const std::vector<sim::Order>& visible_orders,
-                       const core::InteractionList& train) final;
+                       const core::InteractionList& train,
+                       const nn::TrainHooks& hooks = {},
+                       nn::TrainReport* report = nullptr) final;
 
   std::vector<double> Predict(const core::InteractionList& pairs) final;
 

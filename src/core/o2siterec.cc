@@ -1,8 +1,8 @@
 #include "core/o2siterec.h"
 
-#include <cstdio>
-
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace o2sr::core {
 
@@ -46,6 +46,7 @@ O2SiteRec::O2SiteRec(const sim::Dataset& data,
       break;
   }
 
+  O2SR_TRACE_SCOPE("model.build");
   stats_ = std::make_unique<features::OrderStats>(data, visible_orders);
   geo_ = std::make_unique<graphs::GeoGraph>(data.city.grid);
   mobility_ = std::make_unique<graphs::MobilityMultiGraph>(
@@ -141,9 +142,9 @@ common::Status O2SiteRec::Train(const InteractionList& train,
     }
     final_loss_ = tape.value(loss).at(0, 0);
     tape.Backward(loss);
-    if (config_.verbose && (epoch % 10 == 0 || epoch + 1 == config_.epochs)) {
-      std::fprintf(stderr, "[%s] epoch %3d loss %.5f\n",
-                   VariantName(config_.variant), epoch, final_loss_);
+    if (epoch % 10 == 0 || epoch + 1 == config_.epochs) {
+      O2SR_LOG(DEBUG) << "[" << VariantName(config_.variant) << "] epoch "
+                      << epoch << " loss " << final_loss_;
     }
     return final_loss_;
   };
@@ -154,6 +155,7 @@ common::Status O2SiteRec::Train(const InteractionList& train,
 }
 
 std::vector<double> O2SiteRec::Predict(const InteractionList& pairs) const {
+  O2SR_TRACE_SCOPE("model.predict");
   std::vector<int> pair_nodes;
   std::vector<int> pair_types;
   std::vector<size_t> positions;

@@ -51,7 +51,8 @@ struct O2SiteRecConfig {
   graphs::HeteroGraphOptions graph_options;
   O2SiteRecVariant variant = O2SiteRecVariant::kFull;
   uint64_t seed = 7;
-  bool verbose = false;
+  // Per-epoch loss narration goes through the leveled logger at DEBUG
+  // (O2SR_LOG_LEVEL=debug to see it); there is no bespoke verbose flag.
   // Fault-tolerance guardrails of the training loop (NaN sentinels,
   // rollback/backoff, crash-safe checkpointing — see nn/trainer.h). Set
   // `guard.checkpoint_path` to make Train resumable across process crashes.

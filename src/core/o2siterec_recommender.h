@@ -20,9 +20,11 @@ class O2SiteRecRecommender : public SiteRecommender {
 
   common::Status Train(const sim::Dataset& data,
                        const std::vector<sim::Order>& visible_orders,
-                       const InteractionList& train) override {
+                       const InteractionList& train,
+                       const nn::TrainHooks& hooks = {},
+                       nn::TrainReport* report = nullptr) override {
     model_ = std::make_unique<O2SiteRec>(data, visible_orders, config_);
-    return model_->Train(train);
+    return model_->Train(train, hooks, report);
   }
 
   std::vector<double> Predict(const InteractionList& pairs) override {

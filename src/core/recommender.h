@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/interaction.h"
+#include "nn/trainer.h"
 #include "sim/dataset.h"
 
 namespace o2sr::core {
@@ -25,9 +26,15 @@ class SiteRecommender {
   // Trains the model. Returns a descriptive error instead of aborting on
   // recoverable failures (untrainable input, exhausted numeric-recovery
   // budget); callers that cannot degrade use O2SR_CHECK_OK.
+  //
+  // `hooks` and `report` expose the guarded trainer's telemetry surface
+  // (per-epoch obs::TrainEvents, fault injection); models that train
+  // without nn::RunGuardedTraining may ignore them.
   virtual common::Status Train(const sim::Dataset& data,
                                const std::vector<sim::Order>& visible_orders,
-                               const InteractionList& train) = 0;
+                               const InteractionList& train,
+                               const nn::TrainHooks& hooks = {},
+                               nn::TrainReport* report = nullptr) = 0;
 
   // Predicted normalized order count per (region, type) pair, aligned with
   // `pairs`.

@@ -6,6 +6,9 @@
 #include "common/check.h"
 #include "eval/metrics.h"
 #include "features/order_stats.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace o2sr::eval {
 
@@ -144,10 +147,38 @@ EvalResult EvaluateRegions(const core::InteractionList& test,
 common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
                                      const sim::Dataset& data,
                                      const Split& split,
-                                     const EvalOptions& options) {
-  O2SR_RETURN_IF_ERROR(model.Train(data, split.train_orders, split.train)
-                           .WithContext("training " + model.Name()));
-  const std::vector<double> predictions = model.Predict(split.test);
+                                     const EvalOptions& options,
+                                     nn::TrainReport* train_report,
+                                     obs::TelemetryStream* telemetry) {
+  O2SR_TRACE_SCOPE("eval.run_once");
+  static obs::Counter* runs_counter =
+      obs::MetricsRegistry::Global().GetCounter("eval.runs");
+  runs_counter->Increment();
+
+  nn::TrainHooks hooks;
+  if (telemetry != nullptr) {
+    hooks.on_event = [telemetry](const obs::TrainEvent& event) {
+      telemetry->Append(event);
+    };
+  }
+  nn::TrainReport local_report;
+  nn::TrainReport& report =
+      train_report != nullptr ? *train_report : local_report;
+  {
+    O2SR_TRACE_SCOPE("eval.train");
+    O2SR_RETURN_IF_ERROR(
+        model.Train(data, split.train_orders, split.train, hooks, &report)
+            .WithContext("training " + model.Name()));
+  }
+  O2SR_LOG(DEBUG) << model.Name() << ": " << report.epochs_run
+                  << " epochs, final loss " << report.final_loss << ", "
+                  << report.recoveries << " recoveries";
+  std::vector<double> predictions;
+  {
+    O2SR_TRACE_SCOPE("eval.predict");
+    predictions = model.Predict(split.test);
+  }
+  O2SR_TRACE_SCOPE("eval.evaluate");
   return Evaluate(split.test, predictions, options);
 }
 

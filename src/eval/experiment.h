@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "core/interaction.h"
 #include "core/recommender.h"
+#include "nn/trainer.h"
+#include "obs/telemetry.h"
 #include "sim/dataset.h"
 
 namespace o2sr::eval {
@@ -76,10 +78,18 @@ EvalResult EvaluateRegions(const core::InteractionList& test,
 // Training failures (untrainable input, exhausted numeric-recovery budget)
 // propagate as the Status; callers that treat them as fatal unwrap with
 // .value(), which CHECK-aborts with the message.
+//
+// When `telemetry` is non-null, the guarded trainer's per-epoch stream
+// (epoch loss, grad norm, learning rate, recovery/resume events) is
+// appended to it — attach a file with TelemetryStream::OpenFile for JSONL
+// output. `train_report` (may be null) receives the run's TrainReport,
+// whose `events` field holds the same stream.
 common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
                                      const sim::Dataset& data,
                                      const Split& split,
-                                     const EvalOptions& options = {});
+                                     const EvalOptions& options = {},
+                                     nn::TrainReport* train_report = nullptr,
+                                     obs::TelemetryStream* telemetry = nullptr);
 
 }  // namespace o2sr::eval
 

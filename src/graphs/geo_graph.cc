@@ -1,9 +1,12 @@
 #include "graphs/geo_graph.h"
 
+#include "obs/trace.h"
+
 namespace o2sr::graphs {
 
 GeoGraph::GeoGraph(const geo::Grid& grid, double threshold_m)
     : threshold_m_(threshold_m) {
+  O2SR_TRACE_SCOPE("graphs.geo");
   const int n = grid.NumRegions();
   neighbors_.resize(n);
   distances_.resize(n);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/trace.h"
 
 namespace o2sr::graphs {
 
@@ -22,6 +23,7 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
                                    const features::OrderStats& stats,
                                    const HeteroGraphOptions& options)
     : options_(options), num_types_(data.num_types()) {
+  O2SR_TRACE_SCOPE("graphs.hetero");
   const geo::Grid& grid = data.city.grid;
   const int num_regions = grid.NumRegions();
 

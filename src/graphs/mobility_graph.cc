@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace o2sr::graphs {
 
 MobilityMultiGraph::MobilityMultiGraph(const features::OrderStats& stats,
                                        int min_transactions)
     : num_regions_(stats.num_regions()) {
+  O2SR_TRACE_SCOPE("graphs.mobility");
   edges_.resize(sim::kNumPeriods);
   for (int p = 0; p < sim::kNumPeriods; ++p) {
     for (const auto& [key, pair] : stats.PairsInPeriod(p)) {

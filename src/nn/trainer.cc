@@ -1,12 +1,15 @@
 #include "nn/trainer.h"
 
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <vector>
 
 #include "common/check.h"
 #include "nn/checkpoint.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace o2sr::nn {
 
@@ -29,6 +32,18 @@ std::string FirstNonFinite(const ParameterStore& store, bool gradients) {
     if (!AllFinite(gradients ? p->grad : p->value)) return p->name;
   }
   return "";
+}
+
+// Global L2 norm over every gradient in the store (NaN if any entry is).
+double GradL2Norm(const ParameterStore& store) {
+  double sq = 0.0;
+  for (const auto& p : store.params()) {
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  return std::sqrt(sq);
 }
 
 // Everything needed to rewind training to the end of a known-good epoch.
@@ -71,6 +86,7 @@ Status WriteCheckpoint(const GuardrailOptions& options, int epoch,
                        double best_loss, int recoveries,
                        ParameterStore* store, AdamOptimizer* adam,
                        Rng* rng) {
+  O2SR_TRACE_SCOPE("train.checkpoint_write");
   CheckpointMeta meta;
   meta.epoch = epoch;
   meta.learning_rate = adam->options().learning_rate;
@@ -80,6 +96,13 @@ Status WriteCheckpoint(const GuardrailOptions& options, int epoch,
   return SaveCheckpoint(options.checkpoint_path, meta, *store,
                         adam->SaveState())
       .WithContext("writing checkpoint");
+}
+
+// Records the event in the report and forwards it to the telemetry hook.
+void Emit(TrainReport& report, const TrainHooks& hooks,
+          const obs::TrainEvent& event) {
+  report.events.push_back(event);
+  if (hooks.on_event) hooks.on_event(event);
 }
 
 }  // namespace
@@ -97,6 +120,15 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
     return common::InvalidArgumentError("negative epoch count " +
                                         std::to_string(epochs));
   }
+
+  static obs::Counter* epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.epochs_completed");
+  static obs::Counter* recoveries_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.recoveries");
+  static obs::Counter* resumes_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.resumes");
+  static obs::Histogram* epoch_ms =
+      obs::MetricsRegistry::Global().GetHistogram("train.epoch_ms");
 
   TrainReport local_report;
   TrainReport& rep = report != nullptr ? *report : local_report;
@@ -127,12 +159,18 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
     recoveries = meta.recoveries;
     best_loss = meta.best_loss;
     rep.resumed = true;
-    if (options.verbose) {
-      std::fprintf(stderr,
-                   "[trainer] resumed from '%s' at epoch %d (lr %.2e)\n",
-                   options.checkpoint_path.c_str(), epoch,
-                   adam->options().learning_rate);
-    }
+    resumes_counter->Increment();
+    O2SR_LOG(INFO) << "resumed from '" << options.checkpoint_path
+                   << "' at epoch " << epoch << " (lr "
+                   << adam->options().learning_rate << ")";
+    obs::TrainEvent event;
+    event.kind = obs::TrainEventKind::kResume;
+    event.epoch = epoch;
+    event.loss = best_loss;
+    event.learning_rate = adam->options().learning_rate;
+    event.recoveries = recoveries;
+    event.note = options.checkpoint_path;
+    Emit(rep, hooks, event);
   }
   rep.start_epoch = epoch;
   rep.final_learning_rate = adam->options().learning_rate;
@@ -140,19 +178,29 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
   Snapshot good = TakeSnapshot(epoch, best_loss, store, adam, epoch_rng);
 
   while (epoch < epochs) {
-    const double loss = epoch_fn(epoch);
+    O2SR_TRACE_SCOPE("train.epoch");
+    const auto epoch_start = std::chrono::steady_clock::now();
+    double loss;
+    {
+      O2SR_TRACE_SCOPE("train.forward_backward");
+      loss = epoch_fn(epoch);
+    }
     if (hooks.post_backward) hooks.post_backward(epoch, *store);
+    const double grad_norm = GradL2Norm(*store);
 
     // Sentinel sweep. An empty string means the epoch is healthy.
     std::string trip;
-    if (options.check_finite && !std::isfinite(loss)) {
-      trip = "non-finite loss at epoch " + std::to_string(epoch);
-    }
-    if (trip.empty() && options.check_finite) {
-      const std::string bad = FirstNonFinite(*store, /*gradients=*/true);
-      if (!bad.empty()) {
-        trip = "non-finite gradient in '" + bad + "' at epoch " +
-               std::to_string(epoch);
+    {
+      O2SR_TRACE_SCOPE("train.finite_sweep");
+      if (options.check_finite && !std::isfinite(loss)) {
+        trip = "non-finite loss at epoch " + std::to_string(epoch);
+      }
+      if (trip.empty() && options.check_finite) {
+        const std::string bad = FirstNonFinite(*store, /*gradients=*/true);
+        if (!bad.empty()) {
+          trip = "non-finite gradient in '" + bad + "' at epoch " +
+                 std::to_string(epoch);
+        }
       }
     }
     if (trip.empty() && options.divergence_factor > 0.0 &&
@@ -170,6 +218,7 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
       }
     }
     if (trip.empty()) {
+      O2SR_TRACE_SCOPE("train.optimizer_step");
       adam->Step();
       if (options.check_finite) {
         const std::string bad = FirstNonFinite(*store, /*gradients=*/false);
@@ -189,21 +238,28 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
       }
       ++recoveries;
       rep.recoveries = recoveries;
+      recoveries_counter->Increment();
       RestoreSnapshot(good, store, adam, epoch_rng);
       const double lr = std::max(
           adam->options().learning_rate * options.lr_backoff,
           options.min_learning_rate);
       adam->set_learning_rate(lr);
+      const int bad_epoch = epoch;
       epoch = good.epoch;
       best_loss = good.best_loss;
       diverged_streak = 0;
-      if (options.verbose) {
-        std::fprintf(stderr,
-                     "[trainer] %s; rolled back to epoch %d, lr -> %.2e "
-                     "(recovery %d/%d)\n",
-                     trip.c_str(), epoch, lr, recoveries,
-                     options.max_recoveries);
-      }
+      O2SR_LOG(WARNING) << trip << "; rolled back to epoch " << epoch
+                        << ", lr -> " << lr << " (recovery " << recoveries
+                        << "/" << options.max_recoveries << ")";
+      obs::TrainEvent event;
+      event.kind = obs::TrainEventKind::kRecovery;
+      event.epoch = bad_epoch;
+      event.loss = loss;
+      event.grad_norm = grad_norm;
+      event.learning_rate = lr;
+      event.recoveries = recoveries;
+      event.note = trip;
+      Emit(rep, hooks, event);
       continue;
     }
 
@@ -213,6 +269,18 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
     rep.final_loss = loss;
     rep.final_learning_rate = adam->options().learning_rate;
     good = TakeSnapshot(epoch, best_loss, store, adam, epoch_rng);
+    epochs_counter->Increment();
+    epoch_ms->Observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - epoch_start)
+                          .count());
+    obs::TrainEvent event;
+    event.kind = obs::TrainEventKind::kEpoch;
+    event.epoch = epoch - 1;
+    event.loss = loss;
+    event.grad_norm = grad_norm;
+    event.learning_rate = adam->options().learning_rate;
+    event.recoveries = recoveries;
+    Emit(rep, hooks, event);
     if (hooks.on_epoch_end) hooks.on_epoch_end(epoch - 1, loss);
 
     if (!options.checkpoint_path.empty() &&

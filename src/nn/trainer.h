@@ -3,10 +3,12 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "nn/parameter.h"
+#include "obs/telemetry.h"
 
 namespace o2sr::nn {
 
@@ -49,9 +51,11 @@ struct GuardrailOptions {
   // DATA_LOSS if it is corrupt).
   std::string checkpoint_path;
   int checkpoint_every = 5;
-  // Narrates recoveries and resumes to stderr.
-  bool verbose = false;
 };
+// Recoveries and resumes are narrated through the leveled logger
+// (obs/log.h): recoveries at WARNING, resumes at INFO. Set
+// O2SR_LOG_LEVEL=off to silence them (the old GuardrailOptions::verbose
+// flag is gone).
 
 // Test/diagnostic instrumentation points.
 struct TrainHooks {
@@ -60,6 +64,10 @@ struct TrainHooks {
   std::function<void(int epoch, ParameterStore& store)> post_backward;
   // Runs after each successfully completed epoch.
   std::function<void(int epoch, double loss)> on_epoch_end;
+  // Telemetry stream: one obs::TrainEvent per completed epoch (loss, grad
+  // norm, learning rate) plus one per recovery/resume, in emission order.
+  // Typically bound to obs::TelemetryStream::Append for JSONL output.
+  std::function<void(const obs::TrainEvent&)> on_event;
 };
 
 // What actually happened during a guarded run.
@@ -70,6 +78,9 @@ struct TrainReport {
   int recoveries = 0;    // sentinel trips recovered via rollback
   double final_loss = 0.0;
   double final_learning_rate = 0.0;
+  // The full telemetry stream of the run (same records as
+  // TrainHooks::on_event receives).
+  std::vector<obs::TrainEvent> events;
 };
 
 // One epoch of model-specific work: run forward + backward for epoch

@@ -1,0 +1,53 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace o2sr::obs {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNum(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return buf;
+}
+
+std::string JsonNum(int64_t value) { return std::to_string(value); }
+std::string JsonNum(uint64_t value) { return std::to_string(value); }
+
+}  // namespace o2sr::obs

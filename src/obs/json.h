@@ -1,0 +1,26 @@
+#ifndef O2SR_OBS_JSON_H_
+#define O2SR_OBS_JSON_H_
+
+#include <string>
+
+namespace o2sr::obs {
+
+// Minimal JSON formatting helpers shared by the metrics/trace/telemetry
+// exporters and the bench reports. Output is deterministic: the same inputs
+// always produce byte-identical text (no locale, no pointer ordering).
+
+// `"` + escaped content + `"`. Escapes quotes, backslashes and control
+// characters (\uXXXX form for the latter).
+std::string JsonQuote(const std::string& s);
+
+// Shortest round-trip decimal for a double ("%.17g" fallback), with the
+// JSON-illegal values NaN/Inf rendered as null. Integral values print
+// without a trailing ".0" ("3", not "3.0"), which keeps dumps stable
+// across compilers.
+std::string JsonNum(double value);
+std::string JsonNum(int64_t value);
+std::string JsonNum(uint64_t value);
+
+}  // namespace o2sr::obs
+
+#endif  // O2SR_OBS_JSON_H_

@@ -1,0 +1,102 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace o2sr::obs {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& SinkStorage() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("O2SR_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = ParseLogLevel(env); parsed.has_value()) {
+      return *parsed;
+    }
+    std::fprintf(stderr,
+                 "[W log.cc] unknown O2SR_LOG_LEVEL '%s' "
+                 "(expected debug|info|warning|error|off); using info\n",
+                 env);
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& MinLevelStorage() {
+  static std::atomic<LogLevel> level{LevelFromEnv()};
+  return level;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarning: return "warning";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError, LogLevel::kOff}) {
+    if (name == LogLevelName(level)) return level;
+  }
+  return std::nullopt;
+}
+
+LogLevel MinLogLevel() {
+  return MinLevelStorage().load(std::memory_order_relaxed);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(level, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkStorage() = std::move(sink);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(Basename(file)), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkStorage();
+  if (sink) {
+    sink(level_, file_, line_, message);
+    return;
+  }
+  static constexpr char kLetter[] = {'D', 'I', 'W', 'E'};
+  std::fprintf(stderr, "[%c %s:%d] %s\n",
+               kLetter[static_cast<int>(level_)], file_, line_,
+               message.c_str());
+}
+
+}  // namespace internal
+
+}  // namespace o2sr::obs

@@ -1,0 +1,67 @@
+#ifndef O2SR_OBS_TELEMETRY_H_
+#define O2SR_OBS_TELEMETRY_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace o2sr::obs {
+
+// Training telemetry vocabulary. The guarded trainer
+// (nn::RunGuardedTraining) emits one TrainEvent per completed epoch plus
+// one per anomaly (rollback recovery, checkpoint resume); obs defines the
+// record so every layer above nn — eval, benches, tests — can consume the
+// stream without depending on trainer internals.
+
+enum class TrainEventKind {
+  kEpoch = 0,     // a successfully completed epoch
+  kRecovery = 1,  // sentinel trip -> rollback + learning-rate backoff
+  kResume = 2,    // training picked up an existing checkpoint
+};
+
+const char* TrainEventKindName(TrainEventKind kind);
+
+struct TrainEvent {
+  TrainEventKind kind = TrainEventKind::kEpoch;
+  int epoch = 0;
+  double loss = 0.0;           // epoch loss (kEpoch) or best loss (kResume)
+  double grad_norm = 0.0;      // global L2 norm over all gradients (kEpoch)
+  double learning_rate = 0.0;  // in effect after this event
+  int recoveries = 0;          // cumulative recoveries so far
+  std::string note;  // trip description (kRecovery) / path (kResume)
+};
+
+// One event as a single-line JSON object, e.g.
+// {"event":"epoch","epoch":3,"loss":0.0123,"grad_norm":0.5,
+//  "learning_rate":0.003,"recoveries":0}. `note` appears only when
+// non-empty. Deterministic for deterministic inputs.
+std::string TrainEventToJsonLine(const TrainEvent& event);
+
+// Accumulates the telemetry of one training run and, when a file is
+// attached, streams it as JSONL (one event per line, flushed per event so
+// a crash loses at most the in-flight record).
+class TelemetryStream {
+ public:
+  TelemetryStream() = default;
+  ~TelemetryStream();
+  TelemetryStream(const TelemetryStream&) = delete;
+  TelemetryStream& operator=(const TelemetryStream&) = delete;
+
+  // Truncates and attaches `path`; subsequent events are appended there.
+  common::Status OpenFile(const std::string& path);
+
+  void Append(const TrainEvent& event);
+
+  const std::vector<TrainEvent>& events() const { return events_; }
+  int CountKind(TrainEventKind kind) const;
+
+ private:
+  std::vector<TrainEvent> events_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace o2sr::obs
+
+#endif  // O2SR_OBS_TELEMETRY_H_

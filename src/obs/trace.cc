@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace o2sr::obs {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : clock_(&SteadyNowMicros) {}
+
+TraceRecorder::TraceRecorder(Clock clock) : clock_(std::move(clock)) {
+  O2SR_CHECK(clock_ != nullptr);
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    if (std::getenv("O2SR_TRACE_FILE") != nullptr) {
+      std::atexit([] {
+        const char* path = std::getenv("O2SR_TRACE_FILE");
+        if (path == nullptr) return;
+        const common::Status st = Global().WriteChromeTrace(path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "[W trace.cc] %s\n", st.ToString().c_str());
+        }
+      });
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+int64_t TraceRecorder::Begin(const char* name) {
+  if (!recording()) return -1;
+  const int64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  TraceSpan span;
+  span.name = name;
+  span.start_us = now;
+  span.depth = open_depth_;
+  ++open_depth_;
+  spans_.push_back(std::move(span));
+  return static_cast<int64_t>(spans_.size()) - 1;
+}
+
+void TraceRecorder::End(int64_t handle) {
+  const int64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  O2SR_CHECK(handle >= 0 &&
+             handle < static_cast<int64_t>(spans_.size()));
+  TraceSpan& span = spans_[static_cast<size_t>(handle)];
+  if (span.dur_us < 0) {
+    span.dur_us = now - span.start_us;
+    --open_depth_;
+  }
+}
+
+size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  open_depth_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::map<std::string, double> TraceRecorder::StageMillis(
+    int max_depth) const {
+  const int64_t now = clock_();
+  std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceSpan& span : spans_) {
+    if (span.depth > max_depth) continue;
+    const int64_t dur = span.dur_us >= 0 ? span.dur_us : now - span.start_us;
+    out[span.name] += static_cast<double>(dur) / 1000.0;
+  }
+  return out;
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  const int64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    const int64_t dur =
+        span.dur_us >= 0 ? span.dur_us : now - span.start_us;
+    if (i > 0) out += ",";
+    out += "{\"name\":" + JsonQuote(span.name) +
+           ",\"cat\":\"o2sr\",\"ph\":\"X\",\"ts\":" + JsonNum(span.start_us) +
+           ",\"dur\":" + JsonNum(dur) + ",\"pid\":0,\"tid\":0}";
+  }
+  out += "]}";
+  return out;
+}
+
+common::Status TraceRecorder::WriteChromeTrace(
+    const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::UnavailableError("cannot open trace file '" + path +
+                                    "' for writing");
+  }
+  const std::string json = ExportChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return common::UnavailableError("short write to trace file '" + path +
+                                    "'");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace o2sr::obs

@@ -5,6 +5,9 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace o2sr::sim {
 
@@ -86,14 +89,21 @@ std::vector<Store> GenerateStores(const SimConfig& config,
 }
 
 Dataset GenerateDataset(const SimConfig& config) {
+  O2SR_TRACE_SCOPE("sim.generate_dataset");
   Rng rng(config.seed);
-  CityModel city = GenerateCity(config, rng);
+  CityModel city = [&] {
+    O2SR_TRACE_SCOPE("sim.city");
+    return GenerateCity(config, rng);
+  }();
   Dataset data(config, std::move(city));
   const geo::Grid& grid = data.city.grid;
   const int num_regions = grid.NumRegions();
 
-  data.type_catalog = BuildTypeCatalog(config.num_store_types, rng);
-  data.stores = GenerateStores(config, data.city, data.type_catalog, rng);
+  {
+    O2SR_TRACE_SCOPE("sim.stores");
+    data.type_catalog = BuildTypeCatalog(config.num_store_types, rng);
+    data.stores = GenerateStores(config, data.city, data.type_catalog, rng);
+  }
   const int num_types = data.num_types();
 
   // ---- Static indexes -----------------------------------------------------
@@ -206,6 +216,8 @@ Dataset GenerateDataset(const SimConfig& config) {
 
   // ---- Order generation ---------------------------------------------------
 
+  // Covers the day/slot demand loop and the courier dispatch inside it.
+  O2SR_TRACE_SCOPE("sim.orders");
   const bool open_data = config.preset == SimulationPreset::kOpenData;
   const double keep_prob = open_data ? 0.45 : 1.0;
   const double dt_noise_sigma = open_data ? 0.30 : 0.15;
@@ -377,6 +389,12 @@ Dataset GenerateDataset(const SimConfig& config) {
       data.scope_factor_per_period[p] /= scope_samples[p];
     }
   }
+  static obs::Counter* orders_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.orders_generated");
+  orders_counter->Increment(data.orders.size());
+  O2SR_LOG(DEBUG) << "simulated " << data.orders.size() << " orders across "
+                  << num_regions << " regions (" << data.stores.size()
+                  << " stores, " << num_types << " types)";
   return data;
 }
 

@@ -56,7 +56,9 @@ class TypeMeanRecommender : public core::SiteRecommender {
   std::string Name() const override { return "type-mean"; }
   common::Status Train(const sim::Dataset& data,
                        const std::vector<sim::Order>& /*visible*/,
-                       const core::InteractionList& train) override {
+                       const core::InteractionList& train,
+                       const nn::TrainHooks& /*hooks*/ = {},
+                       nn::TrainReport* /*report*/ = nullptr) override {
     sums_.assign(data.num_types(), 0.0);
     counts_.assign(data.num_types(), 0.0);
     for (const auto& it : train) {

@@ -1,0 +1,287 @@
+// Unit tests of the observability library: JSON formatting helpers,
+// counter/gauge/histogram semantics, deterministic trace export with an
+// injected clock, and logger level filtering.
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace o2sr::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+TEST(JsonTest, QuoteEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonQuote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(JsonTest, NumShortestRoundTrip) {
+  EXPECT_EQ(JsonNum(0.0), "0");
+  EXPECT_EQ(JsonNum(3.0), "3");
+  EXPECT_EQ(JsonNum(0.25), "0.25");
+  EXPECT_EQ(JsonNum(int64_t{-17}), "-17");
+  EXPECT_EQ(JsonNum(uint64_t{17}), "17");
+  // Round trip: parsing the printed text recovers the exact double.
+  const double value = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(JsonNum(value)), value);
+}
+
+TEST(JsonTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNum(-std::numeric_limits<double>::infinity()), "null");
+}
+
+// ---------------------------------------------------------------------------
+// Counter / gauge
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter c("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  Gauge g("test.gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsTest, RegistryReturnsSamePointerForSameName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y"), a);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketCountsFollowUpperEdges) {
+  Histogram h("h", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  // Edges are inclusive: 1.0 lands in the first bucket; 100 overflows.
+  const std::vector<uint64_t> expected = {2, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h("h", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // bucket [0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // bucket (10, 20]
+  // p50 sits exactly at the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // p75 is halfway through the second bucket: 10 + (20-10) * 0.5.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, OverflowReportsLastFiniteEdge) {
+  Histogram h("h", {1.0, 2.0});
+  h.Observe(50.0);
+  h.Observe(60.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h("h", {1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, DumpsAreDeterministicAndSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(2);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("z.gauge")->Set(0.5);
+  registry.GetHistogram("m.hist", {1.0, 2.0})->Observe(1.5);
+
+  const std::string json = registry.DumpJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.counter\":1,\"b.counter\":2},"
+            "\"gauges\":{\"z.gauge\":0.5},"
+            "\"histograms\":{\"m.hist\":{\"count\":1,\"sum\":1.5,"
+            "\"p50\":1.5,\"p95\":1.95,\"p99\":1.99}}}");
+  // Text dump: sorted, one instrument per line.
+  std::ostringstream text;
+  registry.DumpText(text);
+  const std::string dump = text.str();
+  EXPECT_LT(dump.find("a.counter"), dump.find("b.counter"));
+  EXPECT_NE(dump.find("counter a.counter 1"), std::string::npos) << dump;
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder (injected clock -> byte-exact export)
+
+TEST(TraceTest, NestedSpansExportDeterministicChromeTrace) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+
+  const int64_t outer = recorder.Begin("outer");
+  now = 10;
+  const int64_t inner = recorder.Begin("inner");
+  now = 30;
+  recorder.End(inner);
+  now = 100;
+  recorder.End(outer);
+
+  const std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+
+  EXPECT_EQ(recorder.ExportChromeTraceJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"outer\",\"cat\":\"o2sr\",\"ph\":\"X\",\"ts\":0,"
+            "\"dur\":100,\"pid\":0,\"tid\":0},"
+            "{\"name\":\"inner\",\"cat\":\"o2sr\",\"ph\":\"X\",\"ts\":10,"
+            "\"dur\":20,\"pid\":0,\"tid\":0}]}");
+}
+
+TEST(TraceTest, StageMillisAggregatesByName) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    const int64_t h = recorder.Begin("stage");
+    now += 2000;  // 2 ms each
+    recorder.End(h);
+  }
+  const auto stages = recorder.StageMillis();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(stages.at("stage"), 6.0);
+}
+
+TEST(TraceTest, OpenSpansAreClosedAtExportTime) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  recorder.Begin("open");
+  now = 5000;
+  EXPECT_DOUBLE_EQ(recorder.StageMillis().at("open"), 5.0);
+  EXPECT_NE(recorder.ExportChromeTraceJson().find("\"dur\":5000"),
+            std::string::npos);
+}
+
+TEST(TraceTest, ScopedTraceRecordsOnDestruction) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  {
+    ScopedTrace scope("scoped", &recorder);
+    now = 42;
+  }
+  const std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "scoped");
+  EXPECT_EQ(spans[0].dur_us, 42);
+}
+
+TEST(TraceTest, RecordingOffDropsSpans) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  recorder.SetRecording(false);
+  { ScopedTrace scope("dropped", &recorder); }
+  EXPECT_EQ(recorder.span_count(), 0u);
+  recorder.SetRecording(true);
+  { ScopedTrace scope("kept", &recorder); }
+  EXPECT_EQ(recorder.span_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+struct CapturedLog {
+  LogLevel level;
+  std::string file;
+  int line;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = MinLogLevel();
+    SetLogSink([this](LogLevel level, const std::string& file, int line,
+                      const std::string& message) {
+      captured_.push_back({level, file, line, message});
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(saved_level_);
+  }
+
+  std::vector<CapturedLog> captured_;
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, LevelThresholdFilters) {
+  SetMinLogLevel(LogLevel::kWarning);
+  O2SR_LOG(DEBUG) << "debug";
+  O2SR_LOG(INFO) << "info";
+  O2SR_LOG(WARNING) << "warning";
+  O2SR_LOG(ERROR) << "error";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kWarning);
+  EXPECT_EQ(captured_[0].message, "warning");
+  EXPECT_EQ(captured_[1].level, LogLevel::kError);
+}
+
+TEST_F(LogTest, SuppressedStreamIsNotEvaluated) {
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "expensive";
+  };
+  O2SR_LOG(INFO) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  O2SR_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, SinkReceivesBasenameAndLine) {
+  SetMinLogLevel(LogLevel::kInfo);
+  O2SR_LOG(INFO) << "here";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].file, "obs_test.cc");
+  EXPECT_GT(captured_[0].line, 0);
+}
+
+TEST_F(LogTest, OffLevelEmitsNothing) {
+  SetMinLogLevel(LogLevel::kOff);
+  O2SR_LOG(ERROR) << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(LogLevelTest, ParseAndNameRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError,
+                         LogLevel::kOff}) {
+    const auto parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+}
+
+}  // namespace
+}  // namespace o2sr::obs

@@ -1,0 +1,241 @@
+// Training telemetry: the guarded trainer emits one TrainEvent per
+// completed epoch plus one per recovery/resume, TelemetryStream persists
+// the stream as JSONL, and eval::RunOnce wires the stream through to the
+// caller.
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/o2siterec_recommender.h"
+#include "eval/experiment.h"
+#include "nn/parameter.h"
+#include "nn/trainer.h"
+#include "obs/telemetry.h"
+
+namespace o2sr {
+namespace {
+
+using obs::TrainEvent;
+using obs::TrainEventKind;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Same synthetic-run scaffolding as tests/fault_tolerance_test.cc: the
+// runner sees a scripted loss and whatever the hook leaves in the
+// gradients.
+struct SyntheticRun {
+  nn::ParameterStore store;
+  std::unique_ptr<nn::AdamOptimizer> adam;
+
+  explicit SyntheticRun(double lr = 1e-2) {
+    Rng rng(5);
+    store.CreateXavier("w", 2, 2, rng);
+    nn::AdamOptimizer::Options opt;
+    opt.learning_rate = lr;
+    adam = std::make_unique<nn::AdamOptimizer>(&store, opt);
+  }
+};
+
+TEST(TelemetryTest, JsonLineFormat) {
+  TrainEvent event;
+  event.kind = TrainEventKind::kEpoch;
+  event.epoch = 3;
+  event.loss = 0.25;
+  event.grad_norm = 0.5;
+  event.learning_rate = 0.003;
+  event.recoveries = 0;
+  EXPECT_EQ(obs::TrainEventToJsonLine(event),
+            "{\"event\":\"epoch\",\"epoch\":3,\"loss\":0.25,"
+            "\"grad_norm\":0.5,\"learning_rate\":0.003,\"recoveries\":0}");
+
+  event.kind = TrainEventKind::kRecovery;
+  event.recoveries = 1;
+  event.note = "non-finite loss";
+  EXPECT_NE(obs::TrainEventToJsonLine(event).find(
+                "\"event\":\"recovery\""),
+            std::string::npos);
+  EXPECT_NE(obs::TrainEventToJsonLine(event).find(
+                "\"note\":\"non-finite loss\""),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, CleanRunEmitsOneEpochEventPerEpoch) {
+  SyntheticRun run;
+  obs::TelemetryStream stream;
+  nn::TrainHooks hooks;
+  hooks.on_event = [&](const TrainEvent& e) { stream.Append(e); };
+  const nn::EpochFn epoch_fn = [](int epoch) { return 1.0 / (1.0 + epoch); };
+  nn::TrainReport report;
+  ASSERT_TRUE(nn::RunGuardedTraining(&run.store, run.adam.get(), nullptr, 6,
+                                     epoch_fn, {}, hooks, &report)
+                  .ok());
+  EXPECT_EQ(stream.CountKind(TrainEventKind::kEpoch), 6);
+  EXPECT_EQ(stream.CountKind(TrainEventKind::kRecovery), 0);
+  // The report carries the identical stream.
+  ASSERT_EQ(report.events.size(), stream.events().size());
+  for (size_t i = 0; i < report.events.size(); ++i) {
+    EXPECT_EQ(obs::TrainEventToJsonLine(report.events[i]),
+              obs::TrainEventToJsonLine(stream.events()[i]));
+  }
+  // Epoch numbers are consecutive, losses match the script.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(stream.events()[i].epoch, i);
+    EXPECT_DOUBLE_EQ(stream.events()[i].loss, 1.0 / (1.0 + i));
+    EXPECT_GT(stream.events()[i].learning_rate, 0.0);
+  }
+}
+
+TEST(TelemetryTest, InjectedNaNEmitsRecoveryEventToJsonl) {
+  SyntheticRun run(/*lr=*/1e-2);
+  const std::string path = TempPath("telemetry_nan.jsonl");
+  obs::TelemetryStream stream;
+  ASSERT_TRUE(stream.OpenFile(path).ok());
+
+  bool poisoned = false;
+  nn::TrainHooks hooks;
+  hooks.on_event = [&](const TrainEvent& e) { stream.Append(e); };
+  hooks.post_backward = [&](int epoch, nn::ParameterStore& store) {
+    if (epoch == 2 && !poisoned) {
+      poisoned = true;
+      store.params()[0]->grad.at(0, 0) =
+          std::numeric_limits<float>::quiet_NaN();
+    }
+  };
+  const nn::EpochFn epoch_fn = [](int epoch) { return 1.0 / (1.0 + epoch); };
+  nn::TrainReport report;
+  ASSERT_TRUE(nn::RunGuardedTraining(&run.store, run.adam.get(), nullptr, 5,
+                                     epoch_fn, {}, hooks, &report)
+                  .ok());
+  EXPECT_TRUE(poisoned);
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(stream.CountKind(TrainEventKind::kEpoch), 5);
+  ASSERT_EQ(stream.CountKind(TrainEventKind::kRecovery), 1);
+
+  // The recovery record names the trip and the post-backoff rate.
+  const TrainEvent* recovery = nullptr;
+  for (const TrainEvent& e : stream.events()) {
+    if (e.kind == TrainEventKind::kRecovery) recovery = &e;
+  }
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_EQ(recovery->epoch, 2);
+  EXPECT_EQ(recovery->recoveries, 1);
+  EXPECT_DOUBLE_EQ(recovery->learning_rate, 0.5e-2);
+  EXPECT_NE(recovery->note.find("non-finite gradient"), std::string::npos)
+      << recovery->note;
+
+  // JSONL file: one line per event (5 epochs + 1 recovery), each a JSON
+  // object with the event field first.
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 6u);
+  int recovery_lines = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.rfind("{\"event\":\"", 0), 0u) << line;
+    if (line.find("\"event\":\"recovery\"") != std::string::npos) {
+      ++recovery_lines;
+    }
+  }
+  EXPECT_EQ(recovery_lines, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, ResumeEmitsResumeEvent) {
+  const std::string ckpt = TempPath("telemetry_resume.ckpt");
+  std::remove(ckpt.c_str());
+  nn::GuardrailOptions options;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every = 2;
+  const nn::EpochFn epoch_fn = [](int epoch) { return 1.0 / (1.0 + epoch); };
+
+  {  // First run writes the checkpoint.
+    SyntheticRun run;
+    ASSERT_TRUE(nn::RunGuardedTraining(&run.store, run.adam.get(), nullptr, 4,
+                                       epoch_fn, options, {}, nullptr)
+                    .ok());
+  }
+
+  SyntheticRun resumed;
+  obs::TelemetryStream stream;
+  nn::TrainHooks hooks;
+  hooks.on_event = [&](const TrainEvent& e) { stream.Append(e); };
+  nn::TrainReport report;
+  ASSERT_TRUE(nn::RunGuardedTraining(&resumed.store, resumed.adam.get(),
+                                     nullptr, 8, epoch_fn, options, hooks,
+                                     &report)
+                  .ok());
+  EXPECT_TRUE(report.resumed);
+  ASSERT_EQ(stream.CountKind(TrainEventKind::kResume), 1);
+  const TrainEvent& resume = stream.events().front();
+  EXPECT_EQ(resume.kind, TrainEventKind::kResume);
+  EXPECT_NE(resume.note.find(ckpt), std::string::npos) << resume.note;
+  // Only the remaining epochs re-run.
+  EXPECT_EQ(stream.CountKind(TrainEventKind::kEpoch), report.epochs_run);
+  EXPECT_LT(report.epochs_run, 8);
+  std::remove(ckpt.c_str());
+}
+
+// End-to-end: RunOnce threads the telemetry stream from the real model's
+// guarded training out to the caller.
+TEST(TelemetryTest, RunOnceStreamsModelTelemetry) {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 3500.0;
+  cfg.city_height_m = 3500.0;
+  cfg.num_store_types = 8;
+  cfg.num_stores = 140;
+  cfg.num_couriers = 60;
+  cfg.num_days = 3;
+  cfg.peak_orders_per_region_slot = 4.0;
+  cfg.seed = 51;
+  const sim::Dataset data = sim::GenerateDataset(cfg);
+  Rng rng(2);
+  const eval::Split split =
+      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+
+  core::O2SiteRecConfig model_cfg;
+  model_cfg.capacity.embedding_dim = 8;
+  model_cfg.rec.embedding_dim = 16;
+  model_cfg.rec.node_heads = 2;
+  model_cfg.rec.time_heads = 2;
+  model_cfg.epochs = 6;
+  model_cfg.learning_rate = 5e-3;
+  core::O2SiteRecRecommender model(model_cfg);
+
+  eval::EvalOptions opts;
+  opts.min_candidates = 5;
+  obs::TelemetryStream stream;
+  nn::TrainReport report;
+  ASSERT_TRUE(
+      eval::RunOnce(model, data, split, opts, &report, &stream).ok());
+  // The recommender trains the capacity model and the recommendation model;
+  // at least the configured epochs show up, each with a finite loss.
+  EXPECT_GE(stream.CountKind(TrainEventKind::kEpoch), model_cfg.epochs);
+  EXPECT_EQ(report.events.size(), stream.events().size());
+  for (const TrainEvent& e : stream.events()) {
+    if (e.kind != TrainEventKind::kEpoch) continue;
+    EXPECT_TRUE(std::isfinite(e.loss));
+    EXPECT_GE(e.grad_norm, 0.0);
+    EXPECT_GT(e.learning_rate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace o2sr
