@@ -8,6 +8,7 @@
 
 #include "common/table_printer.h"
 #include "core/o2siterec_recommender.h"
+#include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "obs/log.h"
 
@@ -86,9 +87,16 @@ eval::EvalOptions EvalDefaults() {
 
 PreparedData::PreparedData(const sim::SimConfig& config, uint64_t split_seed)
     : data(sim::GenerateDataset(config)) {
-  Rng rng(split_seed);
-  split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
-                                  rng);
+  split = eval::SplitInteractions(data, eval::BuildInteractions(data),
+                                  {0.8, split_seed});
+}
+
+core::TrainContext MakeTrainContext(const PreparedData& prepared) {
+  core::TrainContext ctx;
+  ctx.data = &prepared.data;
+  ctx.visible_orders = &prepared.split.train_orders;
+  ctx.train = &prepared.split.train;
+  return ctx;
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
@@ -137,6 +145,7 @@ void BenchReport::Write() {
       << obs::JsonQuote(CurrentScale() == Scale::kStandard ? "standard"
                                                            : "small")
       << ",\"seed_count\":" << seed_count_
+      << ",\"threads\":" << exec::CurrentPool().num_threads()
       << ",\"wall_clock_s\":" << obs::JsonNum(wall_s);
 
   out << ",\"stages_ms\":{";
@@ -223,13 +232,22 @@ eval::EvalResult AverageResults(const std::vector<eval::EvalResult>& results) {
 eval::EvalResult RunVariantAveraged(const PreparedData& prepared,
                                     core::O2SiteRecConfig config, int seeds,
                                     const eval::EvalOptions& options) {
-  std::vector<eval::EvalResult> results;
-  for (int s = 0; s < seeds; ++s) {
-    config.seed = 21 + s;
-    core::O2SiteRecRecommender model(config);
-    results.push_back(
-        eval::RunOnce(model, prepared.data, prepared.split, options).value());
-  }
+  // Seed replicas are independent models; each writes its own result slot
+  // and the slots are averaged in seed order, so the row is the same no
+  // matter how many threads ran. Nested parallel regions inside RunOnce
+  // (matmuls, graph builds) execute inline on the worker.
+  std::vector<eval::EvalResult> results(seeds);
+  exec::CurrentPool().ParallelFor(
+      seeds, /*grain=*/1,
+      [&](int64_t s) {
+        core::O2SiteRecConfig seed_config = config;
+        seed_config.seed = 21 + static_cast<int>(s);
+        core::O2SiteRecRecommender model(seed_config);
+        results[s] =
+            eval::RunOnce(model, prepared.data, prepared.split, options)
+                .value();
+      },
+      "exec.bench_seeds");
   return AverageResults(results);
 }
 

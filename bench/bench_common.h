@@ -44,6 +44,10 @@ struct PreparedData {
   explicit PreparedData(const sim::SimConfig& config, uint64_t split_seed);
 };
 
+// TrainContext over a prepared split (hooks/report/pool left defaulted).
+// The context borrows from `prepared`, which must outlive it.
+core::TrainContext MakeTrainContext(const PreparedData& prepared);
+
 // Prints the bench banner: which table/figure of the paper this regenerates
 // and on what data scale.
 void PrintHeader(const std::string& title, const std::string& paper_ref);

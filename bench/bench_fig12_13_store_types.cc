@@ -26,23 +26,23 @@ int main() {
   const std::vector<int> types = {0, 1, 2, 3, 4, 5};
 
   // Train each model once; evaluate per type.
+  const core::TrainContext ctx = bench::MakeTrainContext(prepared);
   core::O2SiteRecRecommender ours(bench::ModelConfig());
-  O2SR_CHECK_OK(ours.Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train));
-  const std::vector<double> ours_preds = ours.Predict(prepared.split.test);
+  O2SR_CHECK_OK(ours.Train(ctx));
+  const std::vector<double> ours_preds =
+      ours.Predict(prepared.split.test).value();
 
   baselines::BaselineConfig hgt_cfg = bench::BaselineDefaults();
   auto hgt = baselines::MakeBaseline(baselines::BaselineKind::kHgt, hgt_cfg);
-  O2SR_CHECK_OK(hgt->Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train));
-  const std::vector<double> hgt_preds = hgt->Predict(prepared.split.test);
+  O2SR_CHECK_OK(hgt->Train(ctx));
+  const std::vector<double> hgt_preds =
+      hgt->Predict(prepared.split.test).value();
 
   auto graphrec = baselines::MakeBaseline(baselines::BaselineKind::kGraphRec,
                                           bench::BaselineDefaults());
-  O2SR_CHECK_OK(graphrec->Train(prepared.data, prepared.split.train_orders,
-                  prepared.split.train));
+  O2SR_CHECK_OK(graphrec->Train(ctx));
   const std::vector<double> graphrec_preds =
-      graphrec->Predict(prepared.split.test);
+      graphrec->Predict(prepared.split.test).value();
 
   auto ndcg10_of = [&](const std::vector<double>& preds, int type) {
     const eval::EvalResult r =

@@ -18,9 +18,9 @@ int main() {
   eval::EvalOptions opts = bench::EvalDefaults();
 
   core::O2SiteRecRecommender ours(bench::ModelConfig());
-  O2SR_CHECK_OK(ours.Train(prepared.data, prepared.split.train_orders,
-             prepared.split.train));
-  const std::vector<double> preds = ours.Predict(prepared.split.test);
+  O2SR_CHECK_OK(ours.Train(bench::MakeTrainContext(prepared)));
+  const std::vector<double> preds =
+      ours.Predict(prepared.split.test).value();
 
   const geo::Grid& grid = prepared.data.city.grid;
   std::vector<bool> downtown(grid.NumRegions());

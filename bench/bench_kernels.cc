@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "features/order_stats.h"
 #include "graphs/hetero_graph.h"
 #include "graphs/mobility_graph.h"
@@ -41,6 +42,22 @@ void BM_MatMulTransposeB(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
 }
 BENCHMARK(BM_MatMulTransposeB)->Arg(64)->Arg(128)->Arg(256);
+
+// Matmul scaling across explicit pool sizes (the arg is the thread count);
+// the result is bit-identical at every size, only the wall time moves.
+void BM_MatMulThreads(benchmark::State& state) {
+  const int n = 256;
+  exec::ThreadPool pool(static_cast<int>(state.range(0)), "exec.bench_pool");
+  exec::PoolScope scope(&pool);
+  Rng rng(1);
+  const nn::Tensor a = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  const nn::Tensor b = nn::Tensor::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SegmentOpsForwardBackward(benchmark::State& state) {
   const int edges = static_cast<int>(state.range(0));

@@ -40,6 +40,54 @@ print("bench smoke: BENCH json + chrome trace OK "
 EOF
 rm -rf "${SMOKE_DIR}"
 
+echo "=== Bench smoke: serial vs 4-thread wall time (Table IV bench) ==="
+# Runs the Table IV bench at small scale with 1 and 4 threads, asserts the
+# eval metrics are bit-identical (the exec layer's determinism contract),
+# and records both wall times into BENCH_table04_overall_simulation.json in
+# the repo root so the perf trajectory accumulates thread-scaling data.
+PERF_DIR="$(mktemp -d)"
+for t in 1 4; do
+  mkdir -p "${PERF_DIR}/t${t}"
+  (cd "${PERF_DIR}/t${t}" &&
+   O2SR_BENCH_SCALE=small O2SR_THREADS="${t}" \
+   "${OLDPWD}/build/bench/bench_table04_overall_simulation" >/dev/null)
+done
+python3 - "${PERF_DIR}" "BENCH_table04_overall_simulation.json" <<'EOF'
+import json, sys, os
+d, out_name = sys.argv[1], sys.argv[2]
+serial = json.load(open(os.path.join(d, "t1", out_name)))
+threaded = json.load(open(os.path.join(d, "t4", out_name)))
+assert serial["threads"] == 1 and threaded["threads"] == 4, (
+    serial["threads"], threaded["threads"])
+# Determinism contract: identical metric cells at any thread count.
+assert serial["cells"] == threaded["cells"], \
+    "thread count changed eval metrics"
+merged = dict(threaded)
+merged["values"] = list(threaded["values"]) + [
+    {"label": "wall_clock_s_threads1", "value": serial["wall_clock_s"]},
+    {"label": "wall_clock_s_threads4", "value": threaded["wall_clock_s"]},
+    {"label": "speedup_threads4",
+     "value": serial["wall_clock_s"] / max(threaded["wall_clock_s"], 1e-9)},
+]
+json.dump(merged, open(out_name, "w"))
+print(f"table04 smoke: metrics bit-identical; "
+      f"serial {serial['wall_clock_s']:.1f}s vs "
+      f"4-thread {threaded['wall_clock_s']:.1f}s -> {out_name}")
+EOF
+rm -rf "${PERF_DIR}"
+
+echo "=== TSAN build + exec/trainer tests ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DO2SR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" \
+      --target exec_test parallel_determinism_test fault_tolerance_test \
+               optimizer_test
+(cd build-tsan &&
+ O2SR_THREADS=4 ./tests/exec_test &&
+ O2SR_THREADS=4 ./tests/parallel_determinism_test &&
+ O2SR_THREADS=4 ./tests/fault_tolerance_test &&
+ O2SR_THREADS=4 ./tests/optimizer_test)
+
 echo "=== UBSan build + tests ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DO2SR_SANITIZE=undefined >/dev/null

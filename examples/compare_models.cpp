@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
   city_cfg.num_days = 6;
   city_cfg.seed = 5;
   const sim::Dataset data = sim::GenerateDataset(city_cfg);
-  Rng rng(1);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {/*train_fraction=*/0.8,
+                                            /*seed=*/1});
   eval::EvalOptions opts;
   opts.min_candidates = 30;
   O2SR_LOG(INFO) << "Dataset: " << data.orders.size() << " orders, "

@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
                  << data.stores.size() << " stores.";
 
   // 2. Build (store-region, type) interactions and split 80/20.
-  Rng rng(1);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {/*train_fraction=*/0.8,
+                                            /*seed=*/1});
   O2SR_LOG(INFO) << "Interactions: " << split.train.size() << " train / "
                  << split.test.size() << " test.";
 
@@ -72,7 +72,9 @@ int main(int argc, char** argv) {
     std::printf("No held-out coffee candidates in this split.\n");
     return 0;
   }
-  const std::vector<double> scores = model.Predict(candidates);
+  // Candidates are held-out interactions, i.e. store regions the model has
+  // nodes for, so the strict Predict cannot fail here.
+  const std::vector<double> scores = model.Predict(candidates).value();
 
   std::vector<int> order(candidates.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);

@@ -29,9 +29,9 @@ int main() {
   }
 
   // Train on the historical interactions (deployment setting).
-  Rng rng(3);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {/*train_fraction=*/0.8,
+                                            /*seed=*/3});
   core::O2SiteRecConfig model_cfg;
   model_cfg.rec.embedding_dim = 32;
   model_cfg.epochs = 25;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "exec/thread_pool.h"
 #include "features/region_features.h"
 #include "obs/trace.h"
 
@@ -133,17 +134,19 @@ RegionIndex::RegionIndex(const sim::Dataset& data) {
   }
 }
 
-common::Status GradientBaseline::Train(
-    const sim::Dataset& data, const std::vector<sim::Order>& visible_orders,
-    const core::InteractionList& train, const nn::TrainHooks& hooks,
-    nn::TrainReport* report) {
+common::Status GradientBaseline::Train(const core::TrainContext& ctx) {
+  O2SR_RETURN_IF_ERROR(core::ValidateTrainContext(ctx));
+  const core::InteractionList& train = *ctx.train;
   if (train.empty()) {
     return common::InvalidArgumentError("empty training interaction list");
   }
+  // Route every parallel kernel under this run to the context's pool.
+  exec::PoolScope pool_scope(ctx.pool != nullptr ? ctx.pool
+                                                 : &exec::CurrentPool());
   rng_ = Rng(config_.seed);
   {
     O2SR_TRACE_SCOPE("model.build");
-    Prepare(data, visible_orders, train);
+    Prepare(*ctx.data, *ctx.visible_orders, train);
   }
 
   // Restrict training to pairs with a known region node.
@@ -173,23 +176,36 @@ common::Status GradientBaseline::Train(
     tape.Backward(loss);
     return loss_value;
   };
-  return nn::RunGuardedTraining(&store_, &adam, &dropout_rng, config_.epochs,
-                                epoch_fn, config_.guard, hooks, report)
-      .WithContext(Name());
+  const common::Status status =
+      nn::RunGuardedTraining(&store_, &adam, &dropout_rng, config_.epochs,
+                             epoch_fn, config_.guard, ctx.hooks, ctx.report)
+          .WithContext(Name());
+  trained_ = status.ok();
+  return status;
 }
 
-std::vector<double> GradientBaseline::Predict(
-    const core::InteractionList& pairs) {
+common::StatusOr<std::vector<double>> GradientBaseline::Predict(
+    const core::InteractionList& pairs) const {
+  if (!trained_) {
+    return common::FailedPreconditionError(Name() +
+                                           ": Predict called before Train");
+  }
   std::vector<double> out(pairs.size(), 0.0);
   if (pairs.empty()) return out;
+  for (const core::Interaction& it : pairs) {
+    if (!KnownRegion(it.region)) {
+      return common::InvalidArgumentError(
+          Name() + " cannot score pair (region=" + std::to_string(it.region) +
+          ", type=" + std::to_string(it.type) +
+          "): the region is outside the model's domain");
+    }
+  }
   nn::Tape tape(/*training=*/false);
   Rng dropout_rng(0);
   nn::Value pred = BuildPredictions(tape, pairs, dropout_rng);
   const nn::Tensor& values = tape.value(pred);
   for (size_t i = 0; i < pairs.size(); ++i) {
-    out[i] = KnownRegion(pairs[i].region)
-                 ? values.at(static_cast<int>(i), 0)
-                 : 0.0;
+    out[i] = values.at(static_cast<int>(i), 0);
   }
   return out;
 }

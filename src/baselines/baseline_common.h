@@ -89,30 +89,30 @@ class GradientBaseline : public core::SiteRecommender {
  public:
   explicit GradientBaseline(const BaselineConfig& config) : config_(config) {}
 
-  common::Status Train(const sim::Dataset& data,
-                       const std::vector<sim::Order>& visible_orders,
-                       const core::InteractionList& train,
-                       const nn::TrainHooks& hooks = {},
-                       nn::TrainReport* report = nullptr) final;
+  common::Status Train(const core::TrainContext& ctx) final;
 
-  std::vector<double> Predict(const core::InteractionList& pairs) final;
+  // Strict: every pair must be in the model's domain (KnownRegion);
+  // unknown pairs and Predict-before-Train are errors.
+  common::StatusOr<std::vector<double>> Predict(
+      const core::InteractionList& pairs) const final;
 
  protected:
   // Builds model state (graphs, parameters) from the training view.
   virtual void Prepare(const sim::Dataset& data,
                        const std::vector<sim::Order>& visible_orders,
                        const core::InteractionList& train) = 0;
-  // Predictions [pairs x 1] for (region, type) pairs on the tape. Pairs
-  // whose region is unknown must still produce a row (e.g. via index 0);
-  // Predict() masks them to 0 afterwards using KnownRegion().
+  // Predictions [pairs x 1] for (region, type) pairs on the tape. Predict
+  // rejects unknown regions before calling this, so every pair maps to a
+  // real node.
   virtual nn::Value BuildPredictions(nn::Tape& tape,
                                      const core::InteractionList& pairs,
-                                     Rng& dropout_rng) = 0;
+                                     Rng& dropout_rng) const = 0;
   virtual bool KnownRegion(int region) const = 0;
 
   BaselineConfig config_;
   nn::ParameterStore store_;
   Rng rng_{0};
+  bool trained_ = false;
 };
 
 }  // namespace o2sr::baselines

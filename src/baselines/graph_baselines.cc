@@ -44,7 +44,7 @@ void GcMc::Prepare(const sim::Dataset& data,
 
 nn::Value GcMc::BuildPredictions(nn::Tape& tape,
                                  const core::InteractionList& pairs,
-                                 Rng& dropout_rng) {
+                                 Rng& dropout_rng) const {
   const int S = index_->num_nodes();
   const int A = type_embedding_.num_entities();
   nn::Value s0 = region_embedding_.Full(tape);
@@ -137,7 +137,7 @@ void GraphRec::Prepare(const sim::Dataset& data,
 
 nn::Value GraphRec::BuildPredictions(nn::Tape& tape,
                                      const core::InteractionList& pairs,
-                                     Rng& dropout_rng) {
+                                     Rng& dropout_rng) const {
   const int S = graph_->num_store_nodes();
   const int U = graph_->num_customer_nodes();
   nn::Value s0 = store_embedding_.Full(tape);

@@ -29,7 +29,7 @@ class GcMc : public GradientBaseline {
                const core::InteractionList& train) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
   bool KnownRegion(int region) const override {
     return index_->NodeOf(region) >= 0;
   }
@@ -66,7 +66,7 @@ class GraphRec : public GradientBaseline {
                const core::InteractionList& train) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
   bool KnownRegion(int region) const override {
     return graph_ != nullptr && graph_->StoreNodeOfRegion(region) >= 0;
   }

@@ -120,7 +120,7 @@ void Rgcn::CreateParameters(const sim::Dataset& /*data*/) {
 
 nn::Value Rgcn::BuildPredictions(nn::Tape& tape,
                                  const core::InteractionList& pairs,
-                                 Rng& dropout_rng) {
+                                 Rng& dropout_rng) const {
   const int S = graph_->num_store_nodes();
   const int U = graph_->num_customer_nodes();
   const int A = graph_->num_types();
@@ -210,7 +210,7 @@ nn::Value Hgt::Attend(nn::Tape& tape, const Relation& rel, nn::Value src_emb,
 
 nn::Value Hgt::BuildPredictions(nn::Tape& tape,
                                 const core::InteractionList& pairs,
-                                Rng& dropout_rng) {
+                                Rng& dropout_rng) const {
   const int S = graph_->num_store_nodes();
   const int U = graph_->num_customer_nodes();
   const int A = graph_->num_types();

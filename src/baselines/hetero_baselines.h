@@ -63,7 +63,7 @@ class Rgcn : public HeteroGraphBaseline {
   void CreateParameters(const sim::Dataset& data) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
 
  private:
   struct Layer {
@@ -89,7 +89,7 @@ class Hgt : public HeteroGraphBaseline {
   void CreateParameters(const sim::Dataset& data) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
 
  private:
   struct Relation {

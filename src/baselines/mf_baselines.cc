@@ -36,7 +36,7 @@ void CityTransfer::Prepare(const sim::Dataset& data,
 
 nn::Value CityTransfer::BuildPredictions(nn::Tape& tape,
                                          const core::InteractionList& pairs,
-                                         Rng& dropout_rng) {
+                                         Rng& dropout_rng) const {
   std::vector<int> s_idx, a_idx;
   PairIndices(*index_, pairs, &s_idx, &a_idx);
   nn::Value u = tape.Dropout(region_embedding_.Lookup(tape, s_idx),
@@ -77,7 +77,7 @@ void BlgCoSvd::Prepare(const sim::Dataset& data,
 
 nn::Value BlgCoSvd::BuildPredictions(nn::Tape& tape,
                                      const core::InteractionList& pairs,
-                                     Rng& dropout_rng) {
+                                     Rng& dropout_rng) const {
   std::vector<int> s_idx, a_idx;
   PairIndices(*index_, pairs, &s_idx, &a_idx);
   nn::Value u = tape.Dropout(region_embedding_.Lookup(tape, s_idx),

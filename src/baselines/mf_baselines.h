@@ -27,7 +27,7 @@ class CityTransfer : public GradientBaseline {
                const core::InteractionList& train) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
   bool KnownRegion(int region) const override {
     return index_->NodeOf(region) >= 0;
   }
@@ -59,7 +59,7 @@ class BlgCoSvd : public GradientBaseline {
                const core::InteractionList& train) override;
   nn::Value BuildPredictions(nn::Tape& tape,
                              const core::InteractionList& pairs,
-                             Rng& dropout_rng) override;
+                             Rng& dropout_rng) const override;
   bool KnownRegion(int region) const override {
     return index_->NodeOf(region) >= 0;
   }

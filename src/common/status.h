@@ -104,6 +104,13 @@ class StatusOr {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
+  // Annotates the error message as it crosses a layer boundary (no-op when
+  // ok); rvalue-qualified so it chains off a call without copying the value.
+  StatusOr WithContext(const std::string& context) && {
+    if (!status_.ok()) status_ = status_.WithContext(context);
+    return std::move(*this);
+  }
+
  private:
   Status status_;
   T value_{};

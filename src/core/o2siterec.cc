@@ -154,17 +154,22 @@ common::Status O2SiteRec::Train(const InteractionList& train,
       .WithContext(VariantName(config_.variant));
 }
 
-std::vector<double> O2SiteRec::Predict(const InteractionList& pairs) const {
+common::StatusOr<std::vector<double>> O2SiteRec::Predict(
+    const InteractionList& pairs) const {
   O2SR_TRACE_SCOPE("model.predict");
   std::vector<int> pair_nodes;
   std::vector<int> pair_types;
-  std::vector<size_t> positions;
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    const int node = hetero_->StoreNodeOfRegion(pairs[i].region);
-    if (node < 0) continue;
+  for (const Interaction& it : pairs) {
+    const int node = hetero_->StoreNodeOfRegion(it.region);
+    if (node < 0) {
+      return common::InvalidArgumentError(
+          std::string(VariantName(config_.variant)) +
+          " cannot score pair (region=" + std::to_string(it.region) +
+          ", type=" + std::to_string(it.type) +
+          "): the region has no store node");
+    }
     pair_nodes.push_back(node);
-    pair_types.push_back(pairs[i].type);
-    positions.push_back(i);
+    pair_types.push_back(it.type);
   }
   std::vector<double> out(pairs.size(), 0.0);
   if (pair_nodes.empty()) return out;
@@ -175,8 +180,8 @@ std::vector<double> O2SiteRec::Predict(const InteractionList& pairs) const {
   nn::Value pred =
       rec_model_->PredictPairs(tape, periods, pair_nodes, pair_types);
   const nn::Tensor& values = tape.value(pred);
-  for (size_t k = 0; k < positions.size(); ++k) {
-    out[positions[k]] = values.at(static_cast<int>(k), 0);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    out[k] = values.at(static_cast<int>(k), 0);
   }
   return out;
 }

@@ -84,9 +84,12 @@ class O2SiteRec {
                        const nn::TrainHooks& hooks = {},
                        nn::TrainReport* report = nullptr);
 
-  // Predicted normalized order count per pair; regions without a store
-  // node yield 0.
-  std::vector<double> Predict(const InteractionList& pairs) const;
+  // Predicted normalized order count per pair. Strict: a pair whose region
+  // has no store node is an InvalidArgument error — callers restrict the
+  // pair list to store regions (SiteRecommendationService filters its
+  // candidates; eval interactions only ever name store regions).
+  common::StatusOr<std::vector<double>> Predict(
+      const InteractionList& pairs) const;
 
   // Courier-capacity inference: predicted delivery minutes between regions
   // (only valid for variants that keep the capacity model).

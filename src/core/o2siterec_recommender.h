@@ -7,6 +7,7 @@
 
 #include "core/o2siterec.h"
 #include "core/recommender.h"
+#include "exec/thread_pool.h"
 
 namespace o2sr::core {
 
@@ -18,16 +19,23 @@ class O2SiteRecRecommender : public SiteRecommender {
 
   std::string Name() const override { return VariantName(config_.variant); }
 
-  common::Status Train(const sim::Dataset& data,
-                       const std::vector<sim::Order>& visible_orders,
-                       const InteractionList& train,
-                       const nn::TrainHooks& hooks = {},
-                       nn::TrainReport* report = nullptr) override {
-    model_ = std::make_unique<O2SiteRec>(data, visible_orders, config_);
-    return model_->Train(train, hooks, report);
+  common::Status Train(const TrainContext& ctx) override {
+    O2SR_RETURN_IF_ERROR(ValidateTrainContext(ctx));
+    // The scope covers construction too: the graph builds inside the
+    // O2SiteRec constructor are parallel regions.
+    exec::PoolScope pool_scope(ctx.pool != nullptr ? ctx.pool
+                                                   : &exec::CurrentPool());
+    model_ = std::make_unique<O2SiteRec>(*ctx.data, *ctx.visible_orders,
+                                         config_);
+    return model_->Train(*ctx.train, ctx.hooks, ctx.report);
   }
 
-  std::vector<double> Predict(const InteractionList& pairs) override {
+  common::StatusOr<std::vector<double>> Predict(
+      const InteractionList& pairs) const override {
+    if (model_ == nullptr) {
+      return common::FailedPreconditionError(
+          Name() + std::string(": Predict called before Train"));
+    }
     return model_->Predict(pairs);
   }
 

@@ -6,39 +6,77 @@
 
 #include "common/status.h"
 #include "core/interaction.h"
+#include "exec/thread_pool.h"
 #include "nn/trainer.h"
 #include "sim/dataset.h"
 
 namespace o2sr::core {
 
+// Everything a training run needs, bundled. The positional
+// (data, visible_orders, train, hooks, report) signature grew one parameter
+// per PR; the context struct keeps call sites stable as the surface evolves
+// and gives the execution layer a seat at the table.
+//
+// `data`, `visible_orders` and `train` are required (Train returns
+// InvalidArgument when null); they are pointers only because a context is a
+// non-owning view that outlives no call. `visible_orders` is the portion of
+// the order log the model may learn from (graph/feature construction);
+// held-out (region, type) order counts are the prediction target and must
+// not leak in.
+struct TrainContext {
+  const sim::Dataset* data = nullptr;
+  const std::vector<sim::Order>* visible_orders = nullptr;
+  const InteractionList* train = nullptr;
+  // Telemetry surface of the guarded trainer (per-epoch obs::TrainEvents,
+  // fault injection); models that train without nn::RunGuardedTraining may
+  // ignore them.
+  nn::TrainHooks hooks;
+  nn::TrainReport* report = nullptr;
+  // Execution pool for the run's parallel kernels (tensor ops, graph
+  // builds). Null means "whatever exec::CurrentPool() resolves to", i.e.
+  // the caller's PoolScope or the process-wide pool.
+  exec::ThreadPool* pool = nullptr;
+};
+
+// Null-checks the required TrainContext fields. Implementations call this
+// first so every model reports missing inputs the same way.
+inline common::Status ValidateTrainContext(const TrainContext& ctx) {
+  if (ctx.data == nullptr) {
+    return common::InvalidArgumentError("TrainContext.data is null");
+  }
+  if (ctx.visible_orders == nullptr) {
+    return common::InvalidArgumentError(
+        "TrainContext.visible_orders is null");
+  }
+  if (ctx.train == nullptr) {
+    return common::InvalidArgumentError("TrainContext.train is null");
+  }
+  return common::Status::Ok();
+}
+
 // Common interface of every store-site recommendation method in the
 // repository: O2-SiteRec, its ablation variants, and the six baselines.
-//
-// `visible_orders` is the portion of the order log a model may learn from
-// (graph/feature construction); held-out (region, type) order counts are
-// the prediction target and must not leak in.
 class SiteRecommender {
  public:
   virtual ~SiteRecommender() = default;
 
   virtual std::string Name() const = 0;
 
-  // Trains the model. Returns a descriptive error instead of aborting on
-  // recoverable failures (untrainable input, exhausted numeric-recovery
-  // budget); callers that cannot degrade use O2SR_CHECK_OK.
-  //
-  // `hooks` and `report` expose the guarded trainer's telemetry surface
-  // (per-epoch obs::TrainEvents, fault injection); models that train
-  // without nn::RunGuardedTraining may ignore them.
-  virtual common::Status Train(const sim::Dataset& data,
-                               const std::vector<sim::Order>& visible_orders,
-                               const InteractionList& train,
-                               const nn::TrainHooks& hooks = {},
-                               nn::TrainReport* report = nullptr) = 0;
+  // Trains the model on the bundled inputs. Returns a descriptive error
+  // instead of aborting on recoverable failures (missing/untrainable
+  // input, exhausted numeric-recovery budget); callers that cannot degrade
+  // use O2SR_CHECK_OK. Parallel kernels inside the run dispatch to
+  // `ctx.pool` when set.
+  virtual common::Status Train(const TrainContext& ctx) = 0;
 
-  // Predicted normalized order count per (region, type) pair, aligned with
-  // `pairs`.
-  virtual std::vector<double> Predict(const InteractionList& pairs) = 0;
+  // Batched inference: predicted normalized order count per (region, type)
+  // pair, aligned with `pairs`. Fallible by design — a pair the model has
+  // no node for (e.g. a region without stores) is an InvalidArgument error
+  // naming the pair, not a silent zero. Callers that need every pair
+  // scored restrict `pairs` to the model's domain first (the eval split
+  // and SiteRecommendationService both do).
+  virtual common::StatusOr<std::vector<double>> Predict(
+      const InteractionList& pairs) const = 0;
 };
 
 }  // namespace o2sr::core

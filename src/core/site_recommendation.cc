@@ -38,7 +38,9 @@ std::vector<SiteSuggestion> SiteRecommendationService::Recommend(
     }
     candidates.push_back({r, query.type, 0.0, 0.0});
   }
-  const std::vector<double> scores = model_.Predict(candidates);
+  // Candidates are filtered to store regions above, so every pair is in the
+  // model's domain and .value() cannot trip.
+  const std::vector<double> scores = model_.Predict(candidates).value();
 
   std::vector<int> order(candidates.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);

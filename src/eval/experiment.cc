@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "eval/metrics.h"
+#include "exec/thread_pool.h"
 #include "features/order_stats.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -37,9 +38,11 @@ core::InteractionList BuildInteractions(const sim::Dataset& data) {
   return out;
 }
 
-Split SplitInteractions(const sim::Dataset& data,
-                        const core::InteractionList& interactions,
-                        double train_fraction, Rng& rng) {
+namespace {
+
+Split SplitWithRng(const sim::Dataset& data,
+                   const core::InteractionList& interactions,
+                   double train_fraction, Rng& rng) {
   O2SR_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
   std::vector<int> indices(interactions.size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
@@ -67,6 +70,21 @@ Split SplitInteractions(const sim::Dataset& data,
   return split;
 }
 
+}  // namespace
+
+Split SplitInteractions(const sim::Dataset& data,
+                        const core::InteractionList& interactions,
+                        const SplitOptions& options) {
+  Rng rng(options.seed);
+  return SplitWithRng(data, interactions, options.train_fraction, rng);
+}
+
+Split SplitInteractions(const sim::Dataset& data,
+                        const core::InteractionList& interactions,
+                        double train_fraction, Rng& rng) {
+  return SplitWithRng(data, interactions, train_fraction, rng);
+}
+
 namespace {
 
 EvalResult EvaluateFiltered(const core::InteractionList& test,
@@ -89,20 +107,47 @@ EvalResult EvaluateFiltered(const core::InteractionList& test,
   EvalResult result;
   if (all_preds.empty()) return result;
   result.rmse = Rmse(all_preds, all_targets);
+  // Per-type ranking metrics are independent, so each type is scored in
+  // parallel into its own slot; partials are then summed in ascending type
+  // order (the std::map iteration order), which reproduces the serial
+  // accumulation bit for bit.
+  struct TypeMetrics {
+    std::map<int, double> ndcg;
+    std::map<int, double> precision;
+    bool evaluated = false;
+  };
+  std::vector<const std::vector<double>*> type_preds;
+  std::vector<const std::vector<double>*> type_truths;
   for (const auto& [type, preds] : preds_by_type) {
-    const auto& truths = truth_by_type[type];
-    const int pool = static_cast<int>(preds.size());
-    if (pool < options.min_candidates) continue;
-    int top_n = options.top_n;
-    if (options.adaptive_top_n && pool < 2 * options.top_n) {
-      top_n = std::min(options.top_n, std::max(10, pool / 2));
-    }
-    for (int k : options.ndcg_ks) {
-      result.ndcg[k] += NdcgAtK(preds, truths, k, top_n);
-    }
-    for (int k : options.precision_ks) {
-      result.precision[k] += PrecisionAtK(preds, truths, k, top_n);
-    }
+    type_preds.push_back(&preds);
+    type_truths.push_back(&truth_by_type[type]);
+  }
+  std::vector<TypeMetrics> partials(type_preds.size());
+  exec::CurrentPool().ParallelFor(
+      static_cast<int64_t>(type_preds.size()), /*grain=*/1,
+      [&](int64_t t) {
+        const std::vector<double>& preds = *type_preds[t];
+        const std::vector<double>& truths = *type_truths[t];
+        const int pool = static_cast<int>(preds.size());
+        if (pool < options.min_candidates) return;
+        int top_n = options.top_n;
+        if (options.adaptive_top_n && pool < 2 * options.top_n) {
+          top_n = std::min(options.top_n, std::max(10, pool / 2));
+        }
+        TypeMetrics& tm = partials[t];
+        for (int k : options.ndcg_ks) {
+          tm.ndcg[k] = NdcgAtK(preds, truths, k, top_n);
+        }
+        for (int k : options.precision_ks) {
+          tm.precision[k] = PrecisionAtK(preds, truths, k, top_n);
+        }
+        tm.evaluated = true;
+      },
+      "exec.eval_types");
+  for (const TypeMetrics& tm : partials) {
+    if (!tm.evaluated) continue;
+    for (const auto& [k, v] : tm.ndcg) result.ndcg[k] += v;
+    for (const auto& [k, v] : tm.precision) result.precision[k] += v;
     ++result.types_evaluated;
   }
   if (result.types_evaluated > 0) {
@@ -149,34 +194,43 @@ common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
                                      const Split& split,
                                      const EvalOptions& options,
                                      nn::TrainReport* train_report,
-                                     obs::TelemetryStream* telemetry) {
+                                     obs::TelemetryStream* telemetry,
+                                     exec::ThreadPool* pool) {
   O2SR_TRACE_SCOPE("eval.run_once");
   static obs::Counter* runs_counter =
       obs::MetricsRegistry::Global().GetCounter("eval.runs");
   runs_counter->Increment();
 
-  nn::TrainHooks hooks;
+  core::TrainContext ctx;
+  ctx.data = &data;
+  ctx.visible_orders = &split.train_orders;
+  ctx.train = &split.train;
+  ctx.pool = pool;
   if (telemetry != nullptr) {
-    hooks.on_event = [telemetry](const obs::TrainEvent& event) {
+    ctx.hooks.on_event = [telemetry](const obs::TrainEvent& event) {
       telemetry->Append(event);
     };
   }
   nn::TrainReport local_report;
-  nn::TrainReport& report =
-      train_report != nullptr ? *train_report : local_report;
+  ctx.report = train_report != nullptr ? train_report : &local_report;
   {
     O2SR_TRACE_SCOPE("eval.train");
     O2SR_RETURN_IF_ERROR(
-        model.Train(data, split.train_orders, split.train, hooks, &report)
-            .WithContext("training " + model.Name()));
+        model.Train(ctx).WithContext("training " + model.Name()));
   }
+  const nn::TrainReport& report = *ctx.report;
   O2SR_LOG(DEBUG) << model.Name() << ": " << report.epochs_run
                   << " epochs, final loss " << report.final_loss << ", "
                   << report.recoveries << " recoveries";
   std::vector<double> predictions;
   {
     O2SR_TRACE_SCOPE("eval.predict");
-    predictions = model.Predict(split.test);
+    // Scoring the test pairs stays on the caller-chosen pool too.
+    exec::PoolScope pool_scope(pool != nullptr ? pool
+                                               : &exec::CurrentPool());
+    O2SR_ASSIGN_OR_RETURN(
+        predictions,
+        model.Predict(split.test).WithContext("predicting " + model.Name()));
   }
   O2SR_TRACE_SCOPE("eval.evaluate");
   return Evaluate(split.test, predictions, options);

@@ -27,6 +27,19 @@ struct Split {
   core::InteractionList test;
   std::vector<sim::Order> train_orders;
 };
+
+// Split parameters. The seed fully determines the shuffle, so two calls
+// with the same options produce the same split — callers no longer manage
+// an Rng whose state the split consumes.
+struct SplitOptions {
+  double train_fraction = 0.8;
+  uint64_t seed = 0;
+};
+Split SplitInteractions(const sim::Dataset& data,
+                        const core::InteractionList& interactions,
+                        const SplitOptions& options);
+
+[[deprecated("pass SplitOptions{train_fraction, seed} instead")]]
 Split SplitInteractions(const sim::Dataset& data,
                         const core::InteractionList& interactions,
                         double train_fraction, Rng& rng);
@@ -75,21 +88,25 @@ EvalResult EvaluateRegions(const core::InteractionList& test,
                            const EvalOptions& options = {});
 
 // Runs one train+evaluate round of a recommender on a prepared split.
-// Training failures (untrainable input, exhausted numeric-recovery budget)
-// propagate as the Status; callers that treat them as fatal unwrap with
-// .value(), which CHECK-aborts with the message.
+// Training and prediction failures (untrainable input, exhausted
+// numeric-recovery budget, out-of-domain test pairs) propagate as the
+// Status; callers that treat them as fatal unwrap with .value(), which
+// CHECK-aborts with the message.
 //
 // When `telemetry` is non-null, the guarded trainer's per-epoch stream
 // (epoch loss, grad norm, learning rate, recovery/resume events) is
 // appended to it — attach a file with TelemetryStream::OpenFile for JSONL
 // output. `train_report` (may be null) receives the run's TrainReport,
-// whose `events` field holds the same stream.
+// whose `events` field holds the same stream. `pool` (may be null) is
+// forwarded as TrainContext::pool so the run's parallel kernels execute on
+// a caller-chosen exec::ThreadPool.
 common::StatusOr<EvalResult> RunOnce(core::SiteRecommender& model,
                                      const sim::Dataset& data,
                                      const Split& split,
                                      const EvalOptions& options = {},
                                      nn::TrainReport* train_report = nullptr,
-                                     obs::TelemetryStream* telemetry = nullptr);
+                                     obs::TelemetryStream* telemetry = nullptr,
+                                     exec::ThreadPool* pool = nullptr);
 
 }  // namespace o2sr::eval
 

@@ -1,0 +1,224 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace o2sr::exec {
+
+namespace {
+
+// Pool whose worker the current thread is (nullptr on non-worker threads).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+// Pool whose dispatched region this (caller) thread is currently executing
+// chunks of. A nested region issued from inside a chunk body must run
+// inline — re-entering RunChunks would overwrite the active region state
+// under the workers. InWorker() covers worker threads; this covers the
+// calling thread, which participates in every region.
+thread_local const ThreadPool* tls_region_caller_pool = nullptr;
+// Innermost PoolScope override for the current thread.
+thread_local ThreadPool* tls_current_pool = nullptr;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int NumThreadsFromEnv() {
+  const char* env = std::getenv("O2SR_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0) {
+      return static_cast<int>(std::min<long>(value, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+}
+
+ThreadPool::ThreadPool(int num_threads, const std::string& metrics_prefix)
+    : num_threads_(std::max(1, num_threads)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  threads_gauge_ = registry.GetGauge(metrics_prefix + ".threads");
+  regions_counter_ = registry.GetCounter(metrics_prefix + ".regions");
+  tasks_counter_ = registry.GetCounter(metrics_prefix + ".tasks");
+  inline_regions_counter_ =
+      registry.GetCounter(metrics_prefix + ".inline_regions");
+  queue_depth_gauge_ = registry.GetGauge(metrics_prefix + ".queue_depth");
+  utilization_gauge_ =
+      registry.GetGauge(metrics_prefix + ".worker_utilization");
+  // The calling thread participates in every region, so num_threads - 1
+  // workers saturate `num_threads` lanes.
+  const int worker_count = num_threads_ - 1;
+  threads_gauge_->Set(worker_count);
+  workers_.reserve(worker_count);
+  for (int w = 0; w < worker_count; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked deliberately: worker threads must not be joined during static
+  // destruction (they may hold locks on other leaked singletons).
+  static ThreadPool* pool = new ThreadPool(NumThreadsFromEnv());
+  return *pool;
+}
+
+bool ThreadPool::InWorker() const { return tls_worker_pool == this; }
+
+void ThreadPool::RunInline(int64_t n, int64_t grain,
+                           const std::function<void(int64_t, int64_t)>& fn) {
+  for (int64_t begin = 0; begin < n; begin += grain) {
+    fn(begin, std::min(n, begin + grain));
+  }
+}
+
+void ThreadPool::RunChunks(int64_t n, int64_t grain,
+                           const std::function<void(int64_t, int64_t)>& fn,
+                           const char* trace_name) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t chunks = NumChunks(n, grain);
+  regions_counter_->Increment();
+  tasks_counter_->Increment(static_cast<uint64_t>(chunks));
+
+  // A span only for named (coarse) regions; fine-grained kernel regions
+  // pass nullptr to stay off the trace recorder's hot path.
+  std::unique_ptr<obs::ScopedTrace> span;
+  if (trace_name != nullptr) {
+    span = std::make_unique<obs::ScopedTrace>(trace_name);
+  }
+
+  // Single-lane pools, single-chunk regions, and regions issued from one of
+  // our own workers (nested parallelism) run inline with the identical
+  // chunking.
+  if (workers_.empty() || chunks <= 1 || InWorker() ||
+      tls_region_caller_pool == this) {
+    inline_regions_counter_->Increment();
+    RunInline(n, grain, fn);
+    return;
+  }
+
+  const int64_t start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_fn_ = &fn;
+    region_n_ = n;
+    region_grain_ = grain;
+    region_chunks_ = chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_chunks_.store(chunks, std::memory_order_relaxed);
+    busy_us_.store(0, std::memory_order_relaxed);
+    ++region_epoch_;
+  }
+  queue_depth_gauge_->Set(static_cast<double>(chunks));
+  work_cv_.notify_all();
+
+  {
+    const ThreadPool* previous = tls_region_caller_pool;
+    tls_region_caller_pool = this;
+    const int64_t caller_busy = WorkChunks(fn, n, grain, chunks);
+    tls_region_caller_pool = previous;
+    busy_us_.fetch_add(caller_busy, std::memory_order_relaxed);
+  }
+
+  {
+    // Wait until every chunk ran AND every worker left the region: a
+    // straggler that woke late must not observe the next region's cursor
+    // with this region's function pointer.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return pending_chunks_.load(std::memory_order_acquire) == 0 &&
+             active_workers_ == 0;
+    });
+    region_fn_ = nullptr;
+  }
+  const int64_t wall_us = std::max<int64_t>(1, NowMicros() - start_us);
+  utilization_gauge_->Set(
+      static_cast<double>(busy_us_.load(std::memory_order_relaxed)) /
+      (static_cast<double>(wall_us) * num_threads_));
+  queue_depth_gauge_->Set(0.0);
+}
+
+int64_t ThreadPool::WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
+                               int64_t n, int64_t grain, int64_t num_chunks) {
+  const int64_t started_us = NowMicros();
+  while (true) {
+    const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks) break;
+    const int64_t begin = chunk * grain;
+    fn(begin, std::min(n, begin + grain));
+    if (pending_chunks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk of the region: wake the caller. Locking the mutex before
+      // notifying pairs with the caller's predicate check.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+  return NowMicros() - started_us;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t n = 0, grain = 1, chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ ||
+               (region_fn_ != nullptr && region_epoch_ != seen_epoch &&
+                next_chunk_.load(std::memory_order_relaxed) < region_chunks_);
+      });
+      if (stop_) return;
+      seen_epoch = region_epoch_;
+      fn = region_fn_;
+      n = region_n_;
+      grain = region_grain_;
+      chunks = region_chunks_;
+      ++active_workers_;
+    }
+    const int64_t busy = WorkChunks(*fn, n, grain, chunks);
+    busy_us_.fetch_add(busy, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0 &&
+          pending_chunks_.load(std::memory_order_acquire) == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& CurrentPool() {
+  return tls_current_pool != nullptr ? *tls_current_pool
+                                     : ThreadPool::Global();
+}
+
+PoolScope::PoolScope(ThreadPool* pool) : previous_(tls_current_pool) {
+  O2SR_CHECK(pool != nullptr);
+  tls_current_pool = pool;
+}
+
+PoolScope::~PoolScope() { tls_current_pool = previous_; }
+
+}  // namespace o2sr::exec

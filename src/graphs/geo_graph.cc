@@ -1,5 +1,6 @@
 #include "graphs/geo_graph.h"
 
+#include "exec/thread_pool.h"
 #include "obs/trace.h"
 
 namespace o2sr::graphs {
@@ -10,12 +11,18 @@ GeoGraph::GeoGraph(const geo::Grid& grid, double threshold_m)
   const int n = grid.NumRegions();
   neighbors_.resize(n);
   distances_.resize(n);
-  for (int r = 0; r < n; ++r) {
-    for (geo::RegionId other : grid.RegionsWithin(r, threshold_m)) {
-      neighbors_[r].push_back(other);
-      distances_[r].push_back(grid.Distance(r, other));
-    }
-  }
+  // Each region owns its adjacency rows, so the edge aggregation
+  // parallelizes over regions without any ordering concern.
+  exec::CurrentPool().ParallelFor(
+      n, /*grain=*/64,
+      [&](int64_t r) {
+        const int region = static_cast<int>(r);
+        for (geo::RegionId other : grid.RegionsWithin(region, threshold_m_)) {
+          neighbors_[region].push_back(other);
+          distances_[region].push_back(grid.Distance(region, other));
+        }
+      },
+      "exec.geo_edges");
 }
 
 size_t GeoGraph::NumEdges() const {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "exec/thread_pool.h"
 #include "obs/trace.h"
 
 namespace o2sr::graphs {
@@ -32,14 +33,21 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
   // regions whose customers placed at least one order.
   std::vector<bool> has_store(num_regions, false);
   for (const sim::Store& s : data.stores) has_store[s.region] = true;
-  std::vector<bool> has_customers(num_regions, false);
-  for (int p = 0; p < sim::kNumPeriods; ++p) {
-    for (int u = 0; u < num_regions; ++u) {
-      for (int a = 0; a < num_types_ && !has_customers[u]; ++a) {
-        if (stats.CustomerOrders(p, u, a) > 0.0) has_customers[u] = true;
-      }
-    }
-  }
+  // uint8_t, not vector<bool>: parallel writers need one addressable byte
+  // per region (vector<bool> packs bits, which would race across regions).
+  std::vector<uint8_t> has_customers(num_regions, 0);
+  exec::CurrentPool().ParallelFor(
+      num_regions, /*grain=*/256,
+      [&](int64_t u) {
+        for (int p = 0; p < sim::kNumPeriods && !has_customers[u]; ++p) {
+          for (int a = 0; a < num_types_ && !has_customers[u]; ++a) {
+            if (stats.CustomerOrders(p, static_cast<int>(u), a) > 0.0) {
+              has_customers[u] = 1;
+            }
+          }
+        }
+      },
+      "exec.hetero_nodes");
   region_to_s_.assign(num_regions, -1);
   region_to_u_.assign(num_regions, -1);
   for (int r = 0; r < num_regions; ++r) {
@@ -58,17 +66,21 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
       features::RegionFeatureExtractor::Compute(data);
   const int fdim = region_features.cols();
   store_features_ = nn::Tensor(num_store_nodes(), fdim);
-  for (int i = 0; i < num_store_nodes(); ++i) {
-    std::copy(region_features.row(store_regions_[i]),
-              region_features.row(store_regions_[i]) + fdim,
-              store_features_.row(i));
-  }
+  exec::CurrentPool().ParallelFor(num_store_nodes(), /*grain=*/128,
+                                  [&](int64_t i) {
+                                    const int r = store_regions_[i];
+                                    std::copy(region_features.row(r),
+                                              region_features.row(r) + fdim,
+                                              store_features_.row(i));
+                                  });
   customer_features_ = nn::Tensor(num_customer_nodes(), fdim);
-  for (int i = 0; i < num_customer_nodes(); ++i) {
-    std::copy(region_features.row(customer_regions_[i]),
-              region_features.row(customer_regions_[i]) + fdim,
-              customer_features_.row(i));
-  }
+  exec::CurrentPool().ParallelFor(num_customer_nodes(), /*grain=*/128,
+                                  [&](int64_t i) {
+                                    const int r = customer_regions_[i];
+                                    std::copy(region_features.row(r),
+                                              region_features.row(r) + fdim,
+                                              customer_features_.row(i));
+                                  });
 
   // ---- S-A edges (period-independent) --------------------------------------
   const features::CommercialFeatures commercial(data);
@@ -106,7 +118,12 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
   if (!options_.include_customer_edges) return;
 
   const double max_distance_m = options_.fixed_scope_m * 1.5;
-  for (int p = 0; p < sim::kNumPeriods; ++p) {
+  // Each period fills its own HeteroSubgraph; nothing is shared between
+  // periods, so the per-period loop parallelizes as-is.
+  exec::CurrentPool().ParallelFor(
+      sim::kNumPeriods, /*grain=*/1,
+      [&](int64_t period) {
+    const int p = static_cast<int>(period);
     HeteroSubgraph& sub = subgraphs_[p];
 
     // Normalizers for this period's attributes.
@@ -187,7 +204,8 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
         sub.ua_edges.push_back(edge);
       }
     }
-  }
+  },
+      "exec.hetero_periods");
 }
 
 }  // namespace o2sr::graphs

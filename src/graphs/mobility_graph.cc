@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/thread_pool.h"
 #include "obs/trace.h"
 
 namespace o2sr::graphs {
@@ -11,23 +12,32 @@ MobilityMultiGraph::MobilityMultiGraph(const features::OrderStats& stats,
     : num_regions_(stats.num_regions()) {
   O2SR_TRACE_SCOPE("graphs.mobility");
   edges_.resize(sim::kNumPeriods);
-  for (int p = 0; p < sim::kNumPeriods; ++p) {
-    for (const auto& [key, pair] : stats.PairsInPeriod(p)) {
-      if (pair.transactions < min_transactions) continue;
-      MobilityEdge edge;
-      edge.src = static_cast<int>(key / num_regions_);
-      edge.dst = static_cast<int>(key % num_regions_);
-      edge.delivery_minutes = pair.mean_delivery_minutes();
-      edge.transactions = pair.transactions;
-      max_delivery_minutes_ =
-          std::max(max_delivery_minutes_, edge.delivery_minutes);
-      edges_[p].push_back(edge);
-    }
-    // Deterministic ordering (hash-map iteration order is unspecified).
-    std::sort(edges_[p].begin(), edges_[p].end(),
-              [](const MobilityEdge& a, const MobilityEdge& b) {
-                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-              });
+  // Periods are independent: each builds (and sorts) its own edge list.
+  // The global max is reduced in period order afterwards.
+  std::vector<double> period_max(sim::kNumPeriods, 0.0);
+  exec::CurrentPool().ParallelFor(
+      sim::kNumPeriods, /*grain=*/1,
+      [&](int64_t period) {
+        const int p = static_cast<int>(period);
+        for (const auto& [key, pair] : stats.PairsInPeriod(p)) {
+          if (pair.transactions < min_transactions) continue;
+          MobilityEdge edge;
+          edge.src = static_cast<int>(key / num_regions_);
+          edge.dst = static_cast<int>(key % num_regions_);
+          edge.delivery_minutes = pair.mean_delivery_minutes();
+          edge.transactions = pair.transactions;
+          period_max[p] = std::max(period_max[p], edge.delivery_minutes);
+          edges_[p].push_back(edge);
+        }
+        // Deterministic ordering (hash-map iteration order is unspecified).
+        std::sort(edges_[p].begin(), edges_[p].end(),
+                  [](const MobilityEdge& a, const MobilityEdge& b) {
+                    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                  });
+      },
+      "exec.mobility_edges");
+  for (double m : period_max) {
+    max_delivery_minutes_ = std::max(max_delivery_minutes_, m);
   }
 }
 

@@ -4,7 +4,26 @@
 #include <cmath>
 #include <cstdio>
 
+#include "exec/thread_pool.h"
+
 namespace o2sr::nn {
+
+namespace {
+
+// Kernels dispatch to exec::CurrentPool() with grain sizes that keep a
+// chunk at roughly this many flops; anything smaller runs inline (a single
+// chunk never leaves the calling thread). The grain depends only on the
+// shapes, never on the thread count, which is what keeps results
+// bit-identical at any O2SR_THREADS (see DESIGN.md §8).
+constexpr int64_t kFlopsPerChunk = int64_t{1} << 16;
+// Elementwise ops and reductions chunk by element count.
+constexpr int64_t kElementGrain = int64_t{1} << 15;
+
+int64_t RowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kFlopsPerChunk / std::max<int64_t>(1, flops_per_row));
+}
+
+}  // namespace
 
 Tensor Tensor::Full(int rows, int cols, float value) {
   Tensor t(rows, cols);
@@ -43,23 +62,45 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   O2SR_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  exec::CurrentPool().RunChunks(
+      static_cast<int64_t>(data_.size()), kElementGrain,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) data_[i] += other.data_[i];
+      });
 }
 
 void Tensor::ScaleInPlace(float scalar) {
-  for (float& v : data_) v *= scalar;
+  exec::CurrentPool().RunChunks(
+      static_cast<int64_t>(data_.size()), kElementGrain,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) data_[i] *= scalar;
+      });
 }
 
+// Reductions fold fixed kElementGrain-sized partials left-to-right (see
+// exec::ThreadPool::ParallelReduce): the association is defined by the
+// grain, so the value is the same at every thread count.
 double Tensor::Sum() const {
-  double s = 0.0;
-  for (float v : data_) s += v;
-  return s;
+  return exec::CurrentPool().ParallelReduce(
+      static_cast<int64_t>(data_.size()), kElementGrain, 0.0,
+      [&](int64_t begin, int64_t end) {
+        double s = 0.0;
+        for (int64_t i = begin; i < end; ++i) s += data_[i];
+        return s;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 double Tensor::MeanAbs() const {
   if (data_.empty()) return 0.0;
-  double s = 0.0;
-  for (float v : data_) s += std::fabs(v);
+  const double s = exec::CurrentPool().ParallelReduce(
+      static_cast<int64_t>(data_.size()), kElementGrain, 0.0,
+      [&](int64_t begin, int64_t end) {
+        double partial = 0.0;
+        for (int64_t i = begin; i < end; ++i) partial += std::fabs(data_[i]);
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return s / static_cast<double>(data_.size());
 }
 
@@ -69,20 +110,26 @@ std::string Tensor::ShapeString() const {
   return buf;
 }
 
+// The matmul variants parallelize over output rows: every output row is
+// produced by exactly one chunk and its per-element accumulation order is
+// the same as in a straight serial loop, so the product is bit-identical
+// at every thread count.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.cols(), b.rows());
   Tensor c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  exec::CurrentPool().ParallelFor(
+      m, RowGrain(int64_t{2} * k * n), [&](int64_t i) {
+        const float* arow = a.row(static_cast<int>(i));
+        float* crow = c.row(static_cast<int>(i));
+        for (int p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      });
   return c;
 }
 
@@ -90,16 +137,18 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.rows(), b.rows());
   Tensor c(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Output row i reads column i of a; for each output element the sum still
+  // runs over p in ascending order, matching the p-outer serial loop.
+  exec::CurrentPool().ParallelFor(
+      m, RowGrain(int64_t{2} * k * n), [&](int64_t i) {
+        float* crow = c.row(static_cast<int>(i));
+        for (int p = 0; p < k; ++p) {
+          const float av = a.row(p)[i];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      });
   return c;
 }
 
@@ -107,25 +156,26 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.cols(), b.cols());
   Tensor c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      // Four independent accumulator chains let the compiler vectorize the
-      // reduction without -ffast-math.
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      int p = 0;
-      for (; p + 4 <= k; p += 4) {
-        acc0 += arow[p] * brow[p];
-        acc1 += arow[p + 1] * brow[p + 1];
-        acc2 += arow[p + 2] * brow[p + 2];
-        acc3 += arow[p + 3] * brow[p + 3];
-      }
-      for (; p < k; ++p) acc0 += arow[p] * brow[p];
-      crow[j] = (acc0 + acc1) + (acc2 + acc3);
-    }
-  }
+  exec::CurrentPool().ParallelFor(
+      m, RowGrain(int64_t{2} * k * n), [&](int64_t i) {
+        const float* arow = a.row(static_cast<int>(i));
+        float* crow = c.row(static_cast<int>(i));
+        for (int j = 0; j < n; ++j) {
+          const float* brow = b.row(j);
+          // Four independent accumulator chains let the compiler vectorize
+          // the reduction without -ffast-math.
+          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+          int p = 0;
+          for (; p + 4 <= k; p += 4) {
+            acc0 += arow[p] * brow[p];
+            acc1 += arow[p + 1] * brow[p + 1];
+            acc2 += arow[p + 2] * brow[p + 2];
+            acc3 += arow[p + 3] * brow[p + 3];
+          }
+          for (; p < k; ++p) acc0 += arow[p] * brow[p];
+          crow[j] = (acc0 + acc1) + (acc2 + acc3);
+        }
+      });
   return c;
 }
 

@@ -82,6 +82,11 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// The matmul variants and the in-place elementwise ops run on
+// exec::CurrentPool() (row-blocked, deterministic: bit-identical to the
+// serial execution at any O2SR_THREADS — see DESIGN.md §8). Small shapes
+// stay on the calling thread.
+
 // Forward-only C = A * B. Shapes: [m x k] * [k x n] -> [m x n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // Forward-only C = A^T * B. Shapes: [k x m]^T * [k x n] -> [m x n].

@@ -17,6 +17,17 @@ int64_t SteadyNowMicros() {
       .count();
 }
 
+// Nesting depth is a per-thread property: a worker's span tree is
+// independent of the caller's. The tid is a small dense id assigned in
+// first-use order, stable for the thread's lifetime.
+thread_local int tls_trace_depth = 0;
+
+int ThisThreadTraceId() {
+  static std::atomic<int> next_tid{0};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 }  // namespace
 
 TraceRecorder::TraceRecorder() : clock_(&SteadyNowMicros) {}
@@ -54,8 +65,9 @@ int64_t TraceRecorder::Begin(const char* name) {
   TraceSpan span;
   span.name = name;
   span.start_us = now;
-  span.depth = open_depth_;
-  ++open_depth_;
+  span.depth = tls_trace_depth;
+  span.tid = ThisThreadTraceId();
+  ++tls_trace_depth;
   spans_.push_back(std::move(span));
   return static_cast<int64_t>(spans_.size()) - 1;
 }
@@ -68,7 +80,7 @@ void TraceRecorder::End(int64_t handle) {
   TraceSpan& span = spans_[static_cast<size_t>(handle)];
   if (span.dur_us < 0) {
     span.dur_us = now - span.start_us;
-    --open_depth_;
+    --tls_trace_depth;
   }
 }
 
@@ -85,7 +97,7 @@ std::vector<TraceSpan> TraceRecorder::Snapshot() const {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
-  open_depth_ = 0;
+  tls_trace_depth = 0;  // only the calling thread can have open spans here
   dropped_.store(0, std::memory_order_relaxed);
 }
 
@@ -113,7 +125,8 @@ std::string TraceRecorder::ExportChromeTraceJson() const {
     if (i > 0) out += ",";
     out += "{\"name\":" + JsonQuote(span.name) +
            ",\"cat\":\"o2sr\",\"ph\":\"X\",\"ts\":" + JsonNum(span.start_us) +
-           ",\"dur\":" + JsonNum(dur) + ",\"pid\":0,\"tid\":0}";
+           ",\"dur\":" + JsonNum(dur) + ",\"pid\":0,\"tid\":" +
+           JsonNum(static_cast<int64_t>(span.tid)) + "}";
   }
   out += "]}";
   return out;

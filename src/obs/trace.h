@@ -32,15 +32,17 @@ namespace o2sr::obs {
 //    the bench reports for per-stage timing cells.
 //
 // Spans are process-global and single-clocked; recording from multiple
-// threads is safe (mutex) but depth bookkeeping assumes nesting happens
-// within one thread at a time, which holds for the current single-threaded
-// pipeline.
+// threads is safe: the span buffer is mutex-protected and nesting depth is
+// tracked per thread, so spans opened on exec::ThreadPool workers (parallel
+// regions, bench seed replicas) nest correctly within their own thread.
+// The Chrome export tags each span with a small per-thread id.
 
 struct TraceSpan {
   std::string name;
   int64_t start_us = 0;
   int64_t dur_us = -1;  // -1 while the span is still open
-  int depth = 0;        // 0 = root of its nesting tree
+  int depth = 0;        // 0 = root of its nesting tree (per thread)
+  int tid = 0;          // small per-thread id, first-use order
 };
 
 class TraceRecorder {
@@ -95,7 +97,6 @@ class TraceRecorder {
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
-  int open_depth_ = 0;
   // Keep the span buffer bounded; a long-running process should not grow
   // without limit. Coarse-grained spans never come close to this.
   static constexpr size_t kMaxSpans = 1 << 20;

@@ -28,15 +28,23 @@ struct Fixture {
   eval::Split split;
 
   Fixture() : data(sim::GenerateDataset(TestConfig())) {
-    Rng rng(2);
-    split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
-                                    rng);
+    split = eval::SplitInteractions(data, eval::BuildInteractions(data),
+                                    {0.8, /*seed=*/2});
   }
 };
 
 const Fixture& F() {
   static const Fixture* f = new Fixture();
   return *f;
+}
+
+// Training context over the shared fixture (hooks/report/pool defaulted).
+core::TrainContext Ctx() {
+  core::TrainContext ctx;
+  ctx.data = &F().data;
+  ctx.visible_orders = &F().split.train_orders;
+  ctx.train = &F().split.train;
+  return ctx;
 }
 
 BaselineConfig SmallConfig(FeatureSetting setting) {
@@ -119,8 +127,8 @@ class BaselineRunTest
 TEST_P(BaselineRunTest, TrainsAndPredicts) {
   const auto [kind, setting] = GetParam();
   auto model = MakeBaseline(kind, SmallConfig(setting));
-  O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
-  const std::vector<double> preds = model->Predict(F().split.test);
+  O2SR_CHECK_OK(model->Train(Ctx()));
+  const std::vector<double> preds = model->Predict(F().split.test).value();
   ASSERT_EQ(preds.size(), F().split.test.size());
   for (double p : preds) {
     EXPECT_TRUE(std::isfinite(p));
@@ -134,8 +142,8 @@ TEST_P(BaselineRunTest, FitsTrainBetterThanConstant) {
   BaselineConfig cfg = SmallConfig(setting);
   cfg.epochs = 60;
   auto model = MakeBaseline(kind, cfg);
-  O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
-  const std::vector<double> preds = model->Predict(F().split.train);
+  O2SR_CHECK_OK(model->Train(Ctx()));
+  const std::vector<double> preds = model->Predict(F().split.train).value();
   double mean = 0.0;
   for (const auto& it : F().split.train) mean += it.target;
   mean /= F().split.train.size();
@@ -163,12 +171,44 @@ INSTANTIATE_TEST_SUITE_P(
       return out;
     });
 
+TEST(BaselineApiTest, TrainRejectsNullContextFields) {
+  auto model = MakeBaseline(BaselineKind::kCityTransfer,
+                            SmallConfig(FeatureSetting::kOriginal));
+  core::TrainContext ctx;  // everything null
+  EXPECT_EQ(model->Train(ctx).code(), common::StatusCode::kInvalidArgument);
+  ctx.data = &F().data;
+  EXPECT_EQ(model->Train(ctx).code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(BaselineApiTest, PredictBeforeTrainFails) {
+  auto model = MakeBaseline(BaselineKind::kCityTransfer,
+                            SmallConfig(FeatureSetting::kOriginal));
+  const auto result = model->Predict(F().split.test);
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(BaselineApiTest, PredictRejectsUnknownRegion) {
+  auto model = MakeBaseline(BaselineKind::kCityTransfer,
+                            SmallConfig(FeatureSetting::kOriginal));
+  O2SR_CHECK_OK(model->Train(Ctx()));
+  // Find a region without stores: it has no node in the model.
+  std::vector<bool> has_store(F().data.num_regions(), false);
+  for (const auto& s : F().data.stores) has_store[s.region] = true;
+  int unknown = -1;
+  for (int r = 0; r < F().data.num_regions(); ++r) {
+    if (!has_store[r]) { unknown = r; break; }
+  }
+  ASSERT_GE(unknown, 0) << "test dataset unexpectedly has stores everywhere";
+  const auto result = model->Predict({{unknown, 0, 0.0, 0.0}});
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
 TEST(BaselineDeterminismTest, SameSeedSamePredictions) {
   auto run = [&]() {
     auto model = MakeBaseline(BaselineKind::kHgt,
                               SmallConfig(FeatureSetting::kAdaption));
-    O2SR_CHECK_OK(model->Train(F().data, F().split.train_orders, F().split.train));
-    return model->Predict(F().split.test);
+    O2SR_CHECK_OK(model->Train(Ctx()));
+    return model->Predict(F().split.test).value();
   };
   const auto a = run();
   const auto b = run();

@@ -103,7 +103,7 @@ TEST(EdgeCaseTest, FullModelTrainsOnSinglePeriodData) {
   cfg.epochs = 3;
   core::O2SiteRec model(data, noon_orders, cfg);
   O2SR_CHECK_OK(model.Train(train));
-  const std::vector<double> preds = model.Predict(train);
+  const std::vector<double> preds = model.Predict(train).value();
   for (double p : preds) EXPECT_TRUE(std::isfinite(p));
 }
 

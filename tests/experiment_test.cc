@@ -67,8 +67,8 @@ TEST(BuildInteractionsTest, TargetProportionalToOrders) {
 
 TEST(SplitTest, FractionsAndDisjointness) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   EXPECT_EQ(split.train.size() + split.test.size(), interactions.size());
   EXPECT_NEAR(static_cast<double>(split.train.size()) / interactions.size(),
               0.8, 0.01);
@@ -82,8 +82,8 @@ TEST(SplitTest, FractionsAndDisjointness) {
 
 TEST(SplitTest, TrainOrdersExcludeTestPairs) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   std::set<std::pair<int, int>> test_pairs;
   for (const auto& it : split.test) test_pairs.insert({it.region, it.type});
   for (const sim::Order& o : split.train_orders) {
@@ -100,9 +100,8 @@ TEST(SplitTest, TrainOrdersExcludeTestPairs) {
 
 TEST(SplitTest, DifferentSeedsGiveDifferentSplits) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng_a(1), rng_b(2);
-  const Split a = SplitInteractions(Data(), interactions, 0.8, rng_a);
-  const Split b = SplitInteractions(Data(), interactions, 0.8, rng_b);
+  const Split a = SplitInteractions(Data(), interactions, {0.8, /*seed=*/1});
+  const Split b = SplitInteractions(Data(), interactions, {0.8, /*seed=*/2});
   ASSERT_EQ(a.test.size(), b.test.size());
   int differing = 0;
   for (size_t i = 0; i < a.test.size(); ++i) {
@@ -116,8 +115,8 @@ TEST(SplitTest, DifferentSeedsGiveDifferentSplits) {
 
 TEST(EvaluateTest, PerfectPredictionsScorePerfect) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   std::vector<double> perfect(split.test.size());
   for (size_t i = 0; i < split.test.size(); ++i) {
     perfect[i] = split.test[i].target;
@@ -133,8 +132,8 @@ TEST(EvaluateTest, PerfectPredictionsScorePerfect) {
 
 TEST(EvaluateTest, MinCandidatesGatesTypes) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   std::vector<double> preds(split.test.size(), 0.5);
   EvalOptions loose;
   loose.min_candidates = 1;
@@ -146,8 +145,8 @@ TEST(EvaluateTest, MinCandidatesGatesTypes) {
 
 TEST(EvaluateTypeTest, SingleTypeOnly) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   std::vector<double> perfect(split.test.size());
   for (size_t i = 0; i < split.test.size(); ++i) {
     perfect[i] = split.test[i].target;
@@ -161,8 +160,8 @@ TEST(EvaluateTypeTest, SingleTypeOnly) {
 
 TEST(EvaluateRegionsTest, FilterRestrictsPairs) {
   const auto interactions = BuildInteractions(Data());
-  Rng rng(5);
-  const Split split = SplitInteractions(Data(), interactions, 0.8, rng);
+  const Split split = SplitInteractions(Data(), interactions,
+                                        {0.8, /*seed=*/5});
   std::vector<double> preds(split.test.size(), 0.5);
   std::vector<bool> none(Data().num_regions(), false);
   const EvalResult r = EvaluateRegions(split.test, preds, none);

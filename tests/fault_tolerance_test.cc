@@ -185,15 +185,14 @@ core::O2SiteRecConfig SmallModel() {
 
 TEST(FaultInjectionTest, NaNAtEpochFiveRecoversWithComparableMetrics) {
   const sim::Dataset data = sim::GenerateDataset(SmallCity());
-  Rng rng(2);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {0.8, /*seed=*/2});
 
   // Uninjected reference.
   core::O2SiteRec clean(data, split.train_orders, SmallModel());
   ASSERT_TRUE(clean.Train(split.train).ok());
   const double clean_rmse =
-      eval::Evaluate(split.test, clean.Predict(split.test)).rmse;
+      eval::Evaluate(split.test, clean.Predict(split.test).value()).rmse;
   ASSERT_GT(clean_rmse, 0.0);
 
   // Injected run: poison one gradient entry at epoch 5, exactly once.
@@ -215,16 +214,15 @@ TEST(FaultInjectionTest, NaNAtEpochFiveRecoversWithComparableMetrics) {
   EXPECT_LT(report.final_learning_rate, 5e-3);  // backoff happened
 
   const double injected_rmse =
-      eval::Evaluate(split.test, injected.Predict(split.test)).rmse;
+      eval::Evaluate(split.test, injected.Predict(split.test).value()).rmse;
   EXPECT_NEAR(injected_rmse, clean_rmse, 0.05 * clean_rmse)
       << "clean=" << clean_rmse << " injected=" << injected_rmse;
 }
 
 TEST(FaultInjectionTest, UnrecoverableFaultReturnsResourceExhausted) {
   const sim::Dataset data = sim::GenerateDataset(SmallCity());
-  Rng rng(2);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {0.8, /*seed=*/2});
 
   core::O2SiteRecConfig cfg = SmallModel();
   cfg.epochs = 6;

@@ -17,9 +17,8 @@ struct Pipeline {
   eval::EvalOptions opts;
 
   Pipeline() : data(sim::GenerateDataset(Config())) {
-    Rng rng(4);
-    split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
-                                    rng);
+    split = eval::SplitInteractions(data, eval::BuildInteractions(data),
+                                    {0.8, /*seed=*/4});
     opts.min_candidates = 8;
   }
 
@@ -54,20 +53,22 @@ core::O2SiteRecConfig FastModel() {
 class TypeMeanRecommender : public core::SiteRecommender {
  public:
   std::string Name() const override { return "type-mean"; }
-  common::Status Train(const sim::Dataset& data,
-                       const std::vector<sim::Order>& /*visible*/,
-                       const core::InteractionList& train,
-                       const nn::TrainHooks& /*hooks*/ = {},
-                       nn::TrainReport* /*report*/ = nullptr) override {
-    sums_.assign(data.num_types(), 0.0);
-    counts_.assign(data.num_types(), 0.0);
-    for (const auto& it : train) {
+  common::Status Train(const core::TrainContext& ctx) override {
+    O2SR_RETURN_IF_ERROR(core::ValidateTrainContext(ctx));
+    sums_.assign(ctx.data->num_types(), 0.0);
+    counts_.assign(ctx.data->num_types(), 0.0);
+    for (const auto& it : *ctx.train) {
       sums_[it.type] += it.target;
       counts_[it.type] += 1.0;
     }
     return common::Status::Ok();
   }
-  std::vector<double> Predict(const core::InteractionList& pairs) override {
+  common::StatusOr<std::vector<double>> Predict(
+      const core::InteractionList& pairs) const override {
+    if (sums_.empty()) {
+      return common::FailedPreconditionError(
+          "type-mean: Predict called before Train");
+    }
     std::vector<double> out;
     for (const auto& it : pairs) {
       out.push_back(counts_[it.type] > 0 ? sums_[it.type] / counts_[it.type]
@@ -136,9 +137,8 @@ TEST(IntegrationTest, PredictionsGeneralizeAcrossSplitSeeds) {
   // The model's test NDCG should be consistently above the naive baseline
   // across different splits (not a lucky split).
   for (uint64_t split_seed : {11u, 12u}) {
-    Rng rng(split_seed);
     const eval::Split split = eval::SplitInteractions(
-        P().data, eval::BuildInteractions(P().data), 0.8, rng);
+        P().data, eval::BuildInteractions(P().data), {0.8, split_seed});
     core::O2SiteRecRecommender ours(FastModel());
     const eval::EvalResult r = eval::RunOnce(ours, P().data, split, P().opts).value();
     TypeMeanRecommender naive;

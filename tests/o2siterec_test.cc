@@ -37,9 +37,8 @@ struct Fixture {
   eval::Split split;
 
   Fixture() : data(sim::GenerateDataset(TestConfig())) {
-    Rng rng(2);
-    split = eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8,
-                                    rng);
+    split = eval::SplitInteractions(data, eval::BuildInteractions(data),
+                                    {0.8, /*seed=*/2});
   }
 };
 
@@ -70,7 +69,7 @@ TEST(O2SiteRecTest, TrainingReducesLoss) {
 TEST(O2SiteRecTest, PredictionsInUnitRangeAndAligned) {
   O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
   O2SR_CHECK_OK(model.Train(F().split.train));
-  const std::vector<double> preds = model.Predict(F().split.test);
+  const std::vector<double> preds = model.Predict(F().split.test).value();
   ASSERT_EQ(preds.size(), F().split.test.size());
   for (double p : preds) {
     EXPECT_GE(p, 0.0);
@@ -78,16 +77,19 @@ TEST(O2SiteRecTest, PredictionsInUnitRangeAndAligned) {
   }
 }
 
-TEST(O2SiteRecTest, UnknownRegionPredictsZero) {
+TEST(O2SiteRecTest, UnknownRegionIsPredictError) {
   O2SiteRec model(F().data, F().split.train_orders, SmallModelConfig());
   O2SR_CHECK_OK(model.Train(F().split.train));
-  // Find a region with no stores.
+  // Find a region with no stores: scoring it must fail loudly instead of
+  // silently returning 0 (the pre-redesign behavior).
   std::vector<bool> has_store(F().data.num_regions(), false);
   for (const auto& s : F().data.stores) has_store[s.region] = true;
   for (int r = 0; r < F().data.num_regions(); ++r) {
     if (has_store[r]) continue;
     InteractionList pairs = {{r, 0, 0.0, 0.0}};
-    EXPECT_DOUBLE_EQ(model.Predict(pairs)[0], 0.0);
+    const auto result = model.Predict(pairs);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
     return;
   }
 }
@@ -97,7 +99,7 @@ TEST(O2SiteRecTest, FitsTrainingSignalBetterThanConstant) {
   cfg.epochs = 40;
   O2SiteRec model(F().data, F().split.train_orders, cfg);
   O2SR_CHECK_OK(model.Train(F().split.train));
-  const std::vector<double> preds = model.Predict(F().split.train);
+  const std::vector<double> preds = model.Predict(F().split.train).value();
   double model_se = 0.0, const_se = 0.0, mean = 0.0;
   for (const auto& it : F().split.train) mean += it.target;
   mean /= F().split.train.size();
@@ -138,7 +140,7 @@ TEST(O2SiteRecTest, AllVariantsTrainAndPredict) {
     cfg.variant = variant;
     O2SiteRec model(F().data, F().split.train_orders, cfg);
     O2SR_CHECK_OK(model.Train(F().split.train));
-    const std::vector<double> preds = model.Predict(F().split.test);
+    const std::vector<double> preds = model.Predict(F().split.test).value();
     ASSERT_EQ(preds.size(), F().split.test.size());
     double sum = 0.0;
     for (double p : preds) {
@@ -165,7 +167,7 @@ TEST(O2SiteRecTest, DeterministicGivenSeed) {
     cfg.epochs = 3;
     O2SiteRec model(F().data, F().split.train_orders, cfg);
     O2SR_CHECK_OK(model.Train(F().split.train));
-    return model.Predict(F().split.test);
+    return model.Predict(F().split.test).value();
   };
   const auto a = run();
   const auto b = run();
@@ -188,8 +190,49 @@ TEST(O2SiteRecRecommenderTest, AdapterRoundTrip) {
   cfg.epochs = 3;
   O2SiteRecRecommender adapter(cfg);
   EXPECT_EQ(adapter.Name(), "O2-SiteRec");
-  O2SR_CHECK_OK(adapter.Train(F().data, F().split.train_orders, F().split.train));
-  EXPECT_EQ(adapter.Predict(F().split.test).size(), F().split.test.size());
+  TrainContext ctx;
+  ctx.data = &F().data;
+  ctx.visible_orders = &F().split.train_orders;
+  ctx.train = &F().split.train;
+  O2SR_CHECK_OK(adapter.Train(ctx));
+  EXPECT_EQ(adapter.Predict(F().split.test).value().size(),
+            F().split.test.size());
+}
+
+TEST(O2SiteRecRecommenderTest, PredictBeforeTrainFails) {
+  O2SiteRecRecommender adapter(SmallModelConfig());
+  const auto result = adapter.Predict(F().split.test);
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(O2SiteRecRecommenderTest, TrainRejectsNullContextFields) {
+  O2SiteRecRecommender adapter(SmallModelConfig());
+  TrainContext ctx;  // all required fields null
+  EXPECT_EQ(adapter.Train(ctx).code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(O2SiteRecRecommenderTest, TrainHonorsContextPool) {
+  // An explicit 2-thread pool in the context must give the same result as
+  // the default pool (the determinism contract, exercised end to end).
+  auto run = [&](exec::ThreadPool* pool) {
+    O2SiteRecConfig cfg = SmallModelConfig();
+    cfg.epochs = 2;
+    O2SiteRecRecommender adapter(cfg);
+    TrainContext ctx;
+    ctx.data = &F().data;
+    ctx.visible_orders = &F().split.train_orders;
+    ctx.train = &F().split.train;
+    ctx.pool = pool;
+    O2SR_CHECK_OK(adapter.Train(ctx));
+    return adapter.Predict(F().split.test).value();
+  };
+  exec::ThreadPool two(2, "exec.test_pool_ctx");
+  const auto with_pool = run(&two);
+  const auto default_pool = run(nullptr);
+  ASSERT_EQ(with_pool.size(), default_pool.size());
+  for (size_t i = 0; i < with_pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_pool[i], default_pool[i]);
+  }
 }
 
 }  // namespace

@@ -14,9 +14,8 @@ struct Fixture {
   std::unique_ptr<O2SiteRec> model;
 
   Fixture() : data(MakeData()) {
-    Rng rng(2);
     const eval::Split split = eval::SplitInteractions(
-        data, eval::BuildInteractions(data), 0.8, rng);
+        data, eval::BuildInteractions(data), {0.8, /*seed=*/2});
     O2SiteRecConfig cfg;
     cfg.capacity.embedding_dim = 8;
     cfg.rec.embedding_dim = 16;

@@ -206,9 +206,8 @@ TEST(TelemetryTest, RunOnceStreamsModelTelemetry) {
   cfg.peak_orders_per_region_slot = 4.0;
   cfg.seed = 51;
   const sim::Dataset data = sim::GenerateDataset(cfg);
-  Rng rng(2);
-  const eval::Split split =
-      eval::SplitInteractions(data, eval::BuildInteractions(data), 0.8, rng);
+  const eval::Split split = eval::SplitInteractions(
+      data, eval::BuildInteractions(data), {0.8, /*seed=*/2});
 
   core::O2SiteRecConfig model_cfg;
   model_cfg.capacity.embedding_dim = 8;
