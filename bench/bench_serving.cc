@@ -1,0 +1,155 @@
+// Serving throughput: replays a synthetic query stream (mixed store types,
+// Zipf-skewed candidate regions) against a ServingEngine and reports QPS,
+// latency quantiles and cache hit-rate into BENCH_serving.json.
+//
+// Two passes over the same stream: the first starts with a cold score
+// cache (every pair goes through the model), the second replays warm.
+// Because scores are deterministic, the warm pass returns identical
+// rankings — the delta is pure throughput, which is the point of the
+// cache. The bench asserts nothing; ci.sh checks qps_warm > qps_cold from
+// the JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/o2siterec_recommender.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/score_cache.h"
+
+namespace {
+
+using namespace o2sr;
+
+struct Query {
+  int type = 0;
+  std::vector<int> candidates;
+};
+
+// Zipf-skewed sampling over a popularity ranking of the store regions:
+// candidate r is drawn with weight 1 / (rank + 1), so a few hot regions
+// dominate the stream the way hot city districts dominate real site
+// queries.
+std::vector<Query> MakeQueryStream(int num_queries, int candidates_per_query,
+                                   const std::vector<int>& regions,
+                                   int num_types, Rng& rng) {
+  std::vector<double> weights(regions.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  std::vector<Query> stream(num_queries);
+  for (Query& q : stream) {
+    q.type = rng.UniformInt(0, num_types - 1);
+    q.candidates.resize(candidates_per_query);
+    for (int& c : q.candidates) {
+      c = regions[rng.Categorical(weights)];
+    }
+  }
+  return stream;
+}
+
+double ReplayQps(const serve::ServingEngine& engine,
+                 const std::vector<Query>& stream, int k) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const Query& q : stream) {
+    O2SR_CHECK_OK(engine.RankSites(q.type, q.candidates, k).status());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(stream.size()) / std::max(seconds, 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  using namespace o2sr;
+  bench::BenchReport report(
+      "serving", "Online serving: cached top-K ranking throughput",
+      "serving engine (no paper counterpart)");
+
+  const bench::Scale scale = bench::CurrentScale();
+  const int num_queries = scale == bench::Scale::kSmall ? 1500 : 6000;
+  const int candidates_per_query = 48;
+  const int k = 10;
+
+  sim::SimConfig world = bench::SweepConfig();
+  bench::PreparedData prepared(world, /*split_seed=*/3);
+
+  core::O2SiteRecConfig model_cfg;
+  model_cfg.rec.embedding_dim = 24;
+  model_cfg.epochs = scale == bench::Scale::kSmall ? 4 : 10;
+  core::O2SiteRecRecommender model(model_cfg);
+  O2SR_CHECK_OK(model.Train(bench::MakeTrainContext(prepared)));
+
+  // Scorable store regions; the Zipf head of the stream concentrates on
+  // the first few of them.
+  std::vector<int> regions;
+  for (int r = 0; r < prepared.data.num_regions(); ++r) {
+    if (model.CanScoreRegion(r)) regions.push_back(r);
+  }
+  O2SR_CHECK(!regions.empty());
+
+  Rng rng(123);
+  const std::vector<Query> stream = MakeQueryStream(
+      num_queries, candidates_per_query, regions,
+      prepared.data.num_types(), rng);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const auto engine = serve::ServingEngine::Create(&model).value();
+
+  const double qps_cold = ReplayQps(*engine, stream, k);
+  const uint64_t cold_hits = registry.GetCounter("serve.cache.hits")->value();
+  const uint64_t cold_misses =
+      registry.GetCounter("serve.cache.misses")->value();
+
+  const double qps_warm = ReplayQps(*engine, stream, k);
+  const uint64_t total_hits =
+      registry.GetCounter("serve.cache.hits")->value();
+  const uint64_t total_misses =
+      registry.GetCounter("serve.cache.misses")->value();
+
+  const uint64_t lookups = total_hits + total_misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(total_hits) /
+                         static_cast<double>(lookups);
+  const uint64_t warm_lookups =
+      (total_hits - cold_hits) + (total_misses - cold_misses);
+  const double warm_hit_rate =
+      warm_lookups == 0
+          ? 0.0
+          : static_cast<double>(total_hits - cold_hits) /
+                static_cast<double>(warm_lookups);
+
+  obs::Histogram* latency =
+      registry.GetHistogram("serve.rank_latency_ms",
+                            obs::DefaultLatencyBucketsMs());
+
+  report.AddValue("queries", static_cast<double>(num_queries));
+  report.AddValue("candidates_per_query",
+                  static_cast<double>(candidates_per_query));
+  report.AddValue("qps_cold", qps_cold);
+  report.AddValue("qps_warm", qps_warm);
+  report.AddValue("speedup_warm_over_cold", qps_warm / qps_cold);
+  report.AddValue("p50_ms", latency->Quantile(0.50));
+  report.AddValue("p95_ms", latency->Quantile(0.95));
+  report.AddValue("p99_ms", latency->Quantile(0.99));
+  report.AddValue("cache_hit_rate", hit_rate);
+  report.AddValue("warm_pass_hit_rate", warm_hit_rate);
+
+  std::printf(
+      "\n  queries            %d (x2 passes, %d candidates each, k=%d)\n"
+      "  qps cold / warm    %.0f / %.0f (%.1fx)\n"
+      "  latency p50/p95/p99  %.3f / %.3f / %.3f ms\n"
+      "  cache hit rate     %.3f overall, %.3f warm pass\n",
+      num_queries, candidates_per_query, k, qps_cold, qps_warm,
+      qps_warm / qps_cold, latency->Quantile(0.50), latency->Quantile(0.95),
+      latency->Quantile(0.99), hit_rate, warm_hit_rate);
+  return 0;
+}

@@ -76,6 +76,39 @@ print(f"table04 smoke: metrics bit-identical; "
 EOF
 rm -rf "${PERF_DIR}"
 
+echo "=== Serving smoke: train once, serve from a second process ==="
+# The offline-train / online-serve contract (DESIGN.md §9): a model trained
+# and exported by one process must serve bit-identical rankings from a
+# fresh process that never trained. serve_demo prints scores with %.17g,
+# so a plain diff is an exact double comparison.
+SERVE_DIR="$(mktemp -d)"
+./build/examples/serve_demo train "${SERVE_DIR}/model.snap" \
+  > "${SERVE_DIR}/trained.txt"
+./build/examples/serve_demo serve "${SERVE_DIR}/model.snap" \
+  > "${SERVE_DIR}/served.txt"
+diff "${SERVE_DIR}/trained.txt" "${SERVE_DIR}/served.txt"
+echo "serving smoke: cross-process rankings bit-identical"
+
+# Serving throughput bench at small scale; the LRU cache must make the
+# warm pass measurably faster than the cold pass.
+(cd "${SERVE_DIR}" &&
+ O2SR_BENCH_SCALE=small "${OLDPWD}/build/bench/bench_serving" >/dev/null)
+python3 - "${SERVE_DIR}" <<'EOF'
+import json, sys, os
+bench = json.load(open(os.path.join(sys.argv[1], "BENCH_serving.json")))
+vals = {v["label"]: v["value"] for v in bench["values"]}
+for key in ("qps_cold", "qps_warm", "p50_ms", "p95_ms", "p99_ms",
+            "cache_hit_rate"):
+    assert key in vals, f"BENCH_serving.json missing {key!r}"
+assert vals["qps_warm"] > vals["qps_cold"], \
+    f"warm QPS {vals['qps_warm']} not above cold {vals['qps_cold']}"
+assert 0.0 < vals["cache_hit_rate"] <= 1.0, vals["cache_hit_rate"]
+print(f"serving bench smoke: cold {vals['qps_cold']:.0f} qps -> "
+      f"warm {vals['qps_warm']:.0f} qps, "
+      f"hit rate {vals['cache_hit_rate']:.3f}")
+EOF
+rm -rf "${SERVE_DIR}"
+
 echo "=== TSAN build + exec/trainer tests ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DO2SR_SANITIZE=thread >/dev/null

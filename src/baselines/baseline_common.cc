@@ -144,6 +144,7 @@ common::Status GradientBaseline::Train(const core::TrainContext& ctx) {
   exec::PoolScope pool_scope(ctx.pool != nullptr ? ctx.pool
                                                  : &exec::CurrentPool());
   rng_ = Rng(config_.seed);
+  num_regions_ = ctx.data->num_regions();
   {
     O2SR_TRACE_SCOPE("model.build");
     Prepare(*ctx.data, *ctx.visible_orders, train);
@@ -182,6 +183,27 @@ common::Status GradientBaseline::Train(const core::TrainContext& ctx) {
           .WithContext(Name());
   trained_ = status.ok();
   return status;
+}
+
+common::Status GradientBaseline::PrepareServing(
+    const core::TrainContext& ctx) {
+  O2SR_RETURN_IF_ERROR(core::ValidateTrainContext(ctx));
+  if (ctx.train->empty()) {
+    return common::InvalidArgumentError("empty training interaction list");
+  }
+  exec::PoolScope pool_scope(ctx.pool != nullptr ? ctx.pool
+                                                 : &exec::CurrentPool());
+  // Identical structure path to Train: same RNG reset, same Prepare, so
+  // parameter names/shapes/creation order match the trained original and a
+  // snapshot restore is a pure value overwrite.
+  rng_ = Rng(config_.seed);
+  num_regions_ = ctx.data->num_regions();
+  {
+    O2SR_TRACE_SCOPE("model.build");
+    Prepare(*ctx.data, *ctx.visible_orders, *ctx.train);
+  }
+  trained_ = true;
+  return common::Status::Ok();
 }
 
 common::StatusOr<std::vector<double>> GradientBaseline::Predict(

@@ -96,6 +96,17 @@ class GradientBaseline : public core::SiteRecommender {
   common::StatusOr<std::vector<double>> Predict(
       const core::InteractionList& pairs) const final;
 
+  // Serving hooks: rebuilds the model structure (Prepare) without training,
+  // so a snapshot restore can overwrite the parameter values afterwards.
+  common::Status PrepareServing(const core::TrainContext& ctx) final;
+  const nn::ParameterStore* parameter_store() const final { return &store_; }
+  nn::ParameterStore* mutable_parameter_store() final { return &store_; }
+  bool CanScoreRegion(int region) const final {
+    // Bounds first: KnownRegion implementations index per-region tables.
+    return trained_ && region >= 0 && region < num_regions_ &&
+           KnownRegion(region);
+  }
+
  protected:
   // Builds model state (graphs, parameters) from the training view.
   virtual void Prepare(const sim::Dataset& data,
@@ -113,6 +124,7 @@ class GradientBaseline : public core::SiteRecommender {
   nn::ParameterStore store_;
   Rng rng_{0};
   bool trained_ = false;
+  int num_regions_ = 0;
 };
 
 }  // namespace o2sr::baselines

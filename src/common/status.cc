@@ -16,6 +16,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
   }
   return "UNKNOWN";
 }
@@ -65,6 +66,9 @@ Status UnavailableError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
 }
 
 }  // namespace o2sr::common

@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,             // operation gave up; retrying may help
   kUnavailable,         // transient environment failure (I/O error)
   kInternal,            // invariant broke in a recoverable context
+  kUnimplemented,       // the operation is not supported by this type
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -72,6 +73,7 @@ Status ResourceExhaustedError(std::string message);
 Status AbortedError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
 
 // Status-or-value. `ok()` decides which is present; accessing the value of
 // a failed StatusOr is a checked programmer error.

@@ -186,6 +186,62 @@ common::StatusOr<std::vector<double>> O2SiteRec::Predict(
   return out;
 }
 
+O2SiteRec::ServingTable O2SiteRec::BuildServingTable() const {
+  O2SR_TRACE_SCOPE("model.build_serving_table");
+  nn::Tape tape(/*training=*/false);
+  Rng dropout_rng(0);  // unused in inference mode
+  const auto periods = ForwardAllPeriods(tape, dropout_rng, nullptr);
+  ServingTable table;
+  table.store_emb.reserve(periods.size());
+  table.type_emb.reserve(periods.size());
+  for (const HeteroRecModel::PeriodEmbeddings& pe : periods) {
+    table.store_emb.push_back(tape.value(pe.h));
+    table.type_emb.push_back(tape.value(pe.q));
+  }
+  return table;
+}
+
+common::StatusOr<std::vector<double>> O2SiteRec::PredictWithTable(
+    const ServingTable& table, const InteractionList& pairs) const {
+  O2SR_CHECK_EQ(table.store_emb.size(),
+                static_cast<size_t>(sim::kNumPeriods));
+  O2SR_CHECK_EQ(table.type_emb.size(), static_cast<size_t>(sim::kNumPeriods));
+  O2SR_TRACE_SCOPE("model.predict_with_table");
+  std::vector<int> pair_nodes;
+  std::vector<int> pair_types;
+  for (const Interaction& it : pairs) {
+    const int node = hetero_->StoreNodeOfRegion(it.region);
+    if (node < 0) {
+      return common::InvalidArgumentError(
+          std::string(VariantName(config_.variant)) +
+          " cannot score pair (region=" + std::to_string(it.region) +
+          ", type=" + std::to_string(it.type) +
+          "): the region has no store node");
+    }
+    pair_nodes.push_back(node);
+    pair_types.push_back(it.type);
+  }
+  std::vector<double> out(pairs.size(), 0.0);
+  if (pair_nodes.empty()) return out;
+
+  // The cached tensors are the exact values Predict's ForwardAllPeriods
+  // would produce, so feeding them back as inputs keeps the remaining
+  // computation (time attention + head) bit-identical.
+  nn::Tape tape(/*training=*/false);
+  std::vector<HeteroRecModel::PeriodEmbeddings> periods(sim::kNumPeriods);
+  for (int p = 0; p < sim::kNumPeriods; ++p) {
+    periods[p].h = tape.Input(table.store_emb[p]);
+    periods[p].q = tape.Input(table.type_emb[p]);
+  }
+  nn::Value pred =
+      rec_model_->PredictPairs(tape, periods, pair_nodes, pair_types);
+  const nn::Tensor& values = tape.value(pred);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    out[k] = values.at(static_cast<int>(k), 0);
+  }
+  return out;
+}
+
 double O2SiteRec::PredictDeliveryMinutes(int period, int src_region,
                                          int dst_region) const {
   O2SR_CHECK(capacity_model_ != nullptr);

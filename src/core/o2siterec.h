@@ -96,10 +96,30 @@ class O2SiteRec {
   double PredictDeliveryMinutes(int period, int src_region,
                                 int dst_region) const;
 
+  // Serving fast path: the per-period node embeddings after the full
+  // multi-graph attention forward pass — everything in Predict that does
+  // NOT depend on the queried pairs. A serving engine materializes the
+  // table once per loaded model; PredictWithTable then only runs the
+  // time-semantics attention + prediction head over the queried pairs.
+  struct ServingTable {
+    std::vector<nn::Tensor> store_emb;  // per period: [S, d2]
+    std::vector<nn::Tensor> type_emb;   // per period: [A, d2]
+  };
+  ServingTable BuildServingTable() const;
+
+  // Bit-identical to Predict on the same pairs (the table holds the exact
+  // forward-pass values Predict would recompute; the remaining computation
+  // is the same graph of ops on the same inputs).
+  common::StatusOr<std::vector<double>> PredictWithTable(
+      const ServingTable& table, const InteractionList& pairs) const;
+
   bool has_capacity_model() const { return capacity_model_ != nullptr; }
   const graphs::HeteroMultiGraph& hetero_graph() const { return *hetero_; }
   const O2SiteRecConfig& config() const { return config_; }
   size_t NumParameters() const { return store_.NumScalars(); }
+  // Learned state, for snapshot export/restore (serve/snapshot.h).
+  const nn::ParameterStore& parameters() const { return store_; }
+  nn::ParameterStore& mutable_parameters() { return store_; }
   // Training loss of the last epoch (for convergence checks).
   double final_loss() const { return final_loss_; }
 

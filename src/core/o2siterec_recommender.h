@@ -39,11 +39,62 @@ class O2SiteRecRecommender : public SiteRecommender {
     return model_->Predict(pairs);
   }
 
+  // Serving hooks: construction alone builds the full model structure
+  // (graphs, features, every parameter), so PrepareServing is Train minus
+  // the epochs. The constructor consumes the same inputs either way, which
+  // keeps parameter names/shapes/creation order identical across processes.
+  common::Status PrepareServing(const TrainContext& ctx) override {
+    O2SR_RETURN_IF_ERROR(ValidateTrainContext(ctx));
+    if (ctx.train->empty()) {
+      return common::InvalidArgumentError("empty training interaction list");
+    }
+    exec::PoolScope pool_scope(ctx.pool != nullptr ? ctx.pool
+                                                   : &exec::CurrentPool());
+    model_ = std::make_unique<O2SiteRec>(*ctx.data, *ctx.visible_orders,
+                                         config_);
+    return common::Status::Ok();
+  }
+
+  const nn::ParameterStore* parameter_store() const override {
+    return model_ != nullptr ? &model_->parameters() : nullptr;
+  }
+  nn::ParameterStore* mutable_parameter_store() override {
+    return model_ != nullptr ? &model_->mutable_parameters() : nullptr;
+  }
+
+  common::Status FinalizeServing() override {
+    if (model_ == nullptr) {
+      return common::FailedPreconditionError(
+          Name() + std::string(": FinalizeServing called before "
+                               "Train/PrepareServing"));
+    }
+    serving_table_ = std::make_unique<O2SiteRec::ServingTable>(
+        model_->BuildServingTable());
+    return common::Status::Ok();
+  }
+
+  bool CanScoreRegion(int region) const override {
+    return model_ != nullptr && region >= 0 &&
+           region < model_->hetero_graph().num_regions() &&
+           model_->hetero_graph().StoreNodeOfRegion(region) >= 0;
+  }
+
+  common::StatusOr<std::vector<double>> ServingPredict(
+      const InteractionList& pairs) const override {
+    if (model_ == nullptr) {
+      return common::FailedPreconditionError(
+          Name() + std::string(": ServingPredict called before Train"));
+    }
+    if (serving_table_ == nullptr) return model_->Predict(pairs);
+    return model_->PredictWithTable(*serving_table_, pairs);
+  }
+
   const O2SiteRec* model() const { return model_.get(); }
 
  private:
   O2SiteRecConfig config_;
   std::unique_ptr<O2SiteRec> model_;
+  std::unique_ptr<O2SiteRec::ServingTable> serving_table_;
 };
 
 }  // namespace o2sr::core

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/interaction.h"
 #include "exec/thread_pool.h"
+#include "nn/parameter.h"
 #include "nn/trainer.h"
 #include "sim/dataset.h"
 
@@ -77,6 +78,56 @@ class SiteRecommender {
   // and SiteRecommendationService both do).
   virtual common::StatusOr<std::vector<double>> Predict(
       const InteractionList& pairs) const = 0;
+
+  // --- Serving hooks (src/serve) ---------------------------------------
+  //
+  // The offline-train / online-serve split rests on three optional hooks:
+  // a serving process calls PrepareServing to rebuild the model's
+  // *structure* (graphs, features, parameter shapes) from the same data
+  // view the trainer saw — without running a single epoch — then overwrites
+  // the parameter values from an exported snapshot, after which Predict is
+  // bit-identical to the trained original. Models that keep no
+  // ParameterStore (e.g. heuristic baselines) return nullptr / UNIMPLEMENTED
+  // and cannot be snapshot-served.
+
+  // Builds model structure exactly as Train would (same parameter names,
+  // shapes and creation order) but leaves the initial values untrained and
+  // marks the model ready for Predict. Deterministic: two processes calling
+  // this on the same inputs and config build identical structure.
+  virtual common::Status PrepareServing(const TrainContext& ctx) {
+    (void)ctx;
+    return common::UnimplementedError(
+        Name() + " does not support snapshot serving");
+  }
+
+  // The model's learned state, for snapshot export/restore. Null when the
+  // model has no trainable parameters.
+  virtual const nn::ParameterStore* parameter_store() const {
+    return nullptr;
+  }
+  virtual nn::ParameterStore* mutable_parameter_store() { return nullptr; }
+
+  // Called by the serving engine once the learned state is final (after
+  // Train or a snapshot restore); models precompute their inference tables
+  // here (e.g. O2-SiteRec materializes per-period node embeddings so each
+  // query skips the graph forward pass).
+  virtual common::Status FinalizeServing() { return common::Status::Ok(); }
+
+  // True when Predict can score (region, *) pairs — the serving engine
+  // filters candidate regions through this instead of tripping Predict's
+  // strict unknown-pair error.
+  virtual bool CanScoreRegion(int region) const {
+    (void)region;
+    return true;
+  }
+
+  // Serving-path inference; contract: bit-identical to Predict. The default
+  // is Predict itself; models with a FinalizeServing table override this to
+  // score from the table.
+  virtual common::StatusOr<std::vector<double>> ServingPredict(
+      const InteractionList& pairs) const {
+    return Predict(pairs);
+  }
 };
 
 }  // namespace o2sr::core

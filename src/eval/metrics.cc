@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <functional>
 
 #include "common/check.h"
 #include "common/math_util.h"
@@ -23,15 +23,61 @@ double Rmse(const std::vector<double>& predictions,
 
 namespace {
 
-// Indices of the top-N items by truth value (ties broken by index).
-std::unordered_set<int> TruthTopN(const std::vector<double>& truths,
-                                  int top_n) {
-  const std::vector<int> order = ArgsortDescending(truths);
-  std::unordered_set<int> top;
-  for (int i = 0; i < top_n && i < static_cast<int>(order.size()); ++i) {
-    top.insert(order[i]);
+// Relevance by inclusive threshold: an item is relevant iff its truth is
+// >= the N-th largest truth value. Unlike "the first N of an argsort",
+// this is a pure function of the *multiset* of truths — items tied at the
+// boundary are all relevant, so no input permutation can change the
+// relevant set (at the price of occasionally |relevant| > N).
+std::vector<char> RelevantByThreshold(const std::vector<double>& truths,
+                                      int top_n, int* relevant_count) {
+  std::vector<double> sorted = truths;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const int n = static_cast<int>(truths.size());
+  const double threshold = sorted[std::min(top_n, n) - 1];
+  std::vector<char> relevant(truths.size(), 0);
+  int count = 0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (truths[i] >= threshold) {
+      relevant[i] = 1;
+      ++count;
+    }
   }
-  return top;
+  *relevant_count = count;
+  return relevant;
+}
+
+// Expected DCG and expected top-k hit count of the predicted ranking,
+// treating every maximal run of prediction-tied items as an unordered
+// group: each member is equally likely to occupy each of the group's
+// positions, so a group spanning positions [p, p+g) with r relevant
+// members contributes (r / g) * discount(q) at each position q — the
+// average over all within-group orderings. Tie-broken argsorts would
+// instead reward whichever permutation the caller happened to pass.
+struct TieFairTopK {
+  double dcg = 0.0;
+  double hits = 0.0;
+};
+
+TieFairTopK ExpectedTopK(const std::vector<double>& predictions,
+                         const std::vector<char>& relevant, int k) {
+  const std::vector<int> order = ArgsortDescending(predictions);
+  TieFairTopK out;
+  const int n = static_cast<int>(order.size());
+  int p = 0;
+  while (p < n && p < k) {
+    int g = p + 1;  // end of the tie group starting at p
+    while (g < n && predictions[order[g]] == predictions[order[p]]) ++g;
+    int group_relevant = 0;
+    for (int q = p; q < g; ++q) group_relevant += relevant[order[q]];
+    const double density =
+        static_cast<double>(group_relevant) / static_cast<double>(g - p);
+    for (int q = p; q < g && q < k; ++q) {
+      out.dcg += density / std::log2(q + 2.0);
+      out.hits += density;
+    }
+    p = g;
+  }
+  return out;
 }
 
 }  // namespace
@@ -41,20 +87,15 @@ double NdcgAtK(const std::vector<double>& predictions,
   O2SR_CHECK_EQ(predictions.size(), truths.size());
   O2SR_CHECK_GT(k, 0);
   if (predictions.empty()) return 0.0;
-  const std::unordered_set<int> relevant = TruthTopN(truths, top_n);
-  const std::vector<int> ranked = ArgsortDescending(predictions);
-  double dcg = 0.0;
-  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
-    if (relevant.count(ranked[i]) > 0) {
-      dcg += 1.0 / std::log2(i + 2.0);
-    }
-  }
+  int relevant_count = 0;
+  const std::vector<char> relevant =
+      RelevantByThreshold(truths, top_n, &relevant_count);
+  const TieFairTopK actual = ExpectedTopK(predictions, relevant, k);
   double idcg = 0.0;
   const int ideal_hits =
-      std::min({k, static_cast<int>(relevant.size()),
-                static_cast<int>(ranked.size())});
+      std::min({k, relevant_count, static_cast<int>(predictions.size())});
   for (int i = 0; i < ideal_hits; ++i) idcg += 1.0 / std::log2(i + 2.0);
-  return idcg > 0.0 ? dcg / idcg : 0.0;
+  return idcg > 0.0 ? actual.dcg / idcg : 0.0;
 }
 
 double PrecisionAtK(const std::vector<double>& predictions,
@@ -62,13 +103,10 @@ double PrecisionAtK(const std::vector<double>& predictions,
   O2SR_CHECK_EQ(predictions.size(), truths.size());
   O2SR_CHECK_GT(k, 0);
   if (predictions.empty()) return 0.0;
-  const std::unordered_set<int> relevant = TruthTopN(truths, top_n);
-  const std::vector<int> ranked = ArgsortDescending(predictions);
-  int hits = 0;
-  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
-    if (relevant.count(ranked[i]) > 0) ++hits;
-  }
-  return static_cast<double>(hits) / k;
+  int relevant_count = 0;
+  const std::vector<char> relevant =
+      RelevantByThreshold(truths, top_n, &relevant_count);
+  return ExpectedTopK(predictions, relevant, k).hits / k;
 }
 
 }  // namespace o2sr::eval

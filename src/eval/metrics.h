@@ -14,10 +14,19 @@ double Rmse(const std::vector<double>& predictions,
 // regions of one type; an item is relevant iff it ranks in the top-N by
 // true order count; DCG rewards relevant items at early predicted
 // positions; IDCG is the all-relevant-prefix ideal.
+//
+// Tie handling (see DESIGN.md §9): both metrics are *permutation-safe* —
+// reordering the (prediction, truth) pairs never changes the value.
+// Relevance uses an inclusive threshold (truth >= the N-th largest truth,
+// so boundary ties are all relevant), and items with tied predictions
+// contribute their group's expected value over all within-group orderings
+// instead of an arbitrary index tie-break.
 double NdcgAtK(const std::vector<double>& predictions,
                const std::vector<double>& truths, int k, int top_n = 30);
 
-// Precision@K (paper Eq. 18): |top-k by prediction  ∩  top-N by truth| / k.
+// Precision@K (paper Eq. 18): |top-k by prediction  ∩  top-N by truth| / k,
+// with the same permutation-safe tie handling as NdcgAtK (the intersection
+// is an expected count under tied predictions).
 double PrecisionAtK(const std::vector<double>& predictions,
                     const std::vector<double>& truths, int k, int top_n = 30);
 

@@ -88,6 +88,7 @@ class HeteroMultiGraph {
   const std::vector<int>& customer_regions() const {
     return customer_regions_;
   }
+  int num_regions() const { return static_cast<int>(region_to_s_.size()); }
   // -1 when the region has no node of that view.
   int StoreNodeOfRegion(int region) const { return region_to_s_[region]; }
   int CustomerNodeOfRegion(int region) const { return region_to_u_[region]; }

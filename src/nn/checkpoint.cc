@@ -1,13 +1,11 @@
 #include "nn/checkpoint.h"
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
-#include <type_traits>
 #include <utility>
 
 #include "common/check.h"
+#include "nn/serialize.h"
 
 namespace o2sr::nn {
 
@@ -16,125 +14,6 @@ namespace {
 using common::Status;
 
 constexpr char kMagic[8] = {'O', '2', 'S', 'R', 'C', 'K', 'P', 'T'};
-
-uint64_t Fnv1a(const std::string& bytes) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (unsigned char c : bytes) {
-    hash ^= c;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-// Appends fixed-width little-endian scalars / length-prefixed blobs to a
-// byte buffer. The project only targets little-endian hosts, so raw memcpy
-// of the in-memory representation is the on-disk format.
-class Writer {
- public:
-  explicit Writer(std::string* out) : out_(out) {}
-
-  template <typename T>
-  void Scalar(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const size_t pos = out_->size();
-    out_->resize(pos + sizeof(T));
-    std::memcpy(out_->data() + pos, &value, sizeof(T));
-  }
-
-  void Blob(const void* data, size_t bytes) {
-    Scalar<uint64_t>(bytes);
-    const size_t pos = out_->size();
-    out_->resize(pos + bytes);
-    std::memcpy(out_->data() + pos, data, bytes);
-  }
-
-  void Str(const std::string& s) { Blob(s.data(), s.size()); }
-
-  void TensorData(const Tensor& t) {
-    Scalar<int32_t>(t.rows());
-    Scalar<int32_t>(t.cols());
-    Blob(t.data(), t.size() * sizeof(float));
-  }
-
- private:
-  std::string* out_;
-};
-
-// Mirror of Writer; every read is bounds-checked so a truncated or
-// corrupted payload surfaces as a Status instead of undefined behavior.
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
-
-  template <typename T>
-  Status Scalar(T* out) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    O2SR_RETURN_IF_ERROR(Need(sizeof(T)));
-    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return Status::Ok();
-  }
-
-  Status Str(std::string* out) {
-    uint64_t bytes = 0;
-    O2SR_RETURN_IF_ERROR(Scalar(&bytes));
-    O2SR_RETURN_IF_ERROR(Need(bytes));
-    out->assign(bytes_.data() + pos_, bytes);
-    pos_ += bytes;
-    return Status::Ok();
-  }
-
-  Status TensorData(Tensor* out) {
-    int32_t rows = 0, cols = 0;
-    O2SR_RETURN_IF_ERROR(Scalar(&rows));
-    O2SR_RETURN_IF_ERROR(Scalar(&cols));
-    if (rows < 0 || cols < 0) {
-      return common::DataLossError("negative tensor shape in checkpoint");
-    }
-    uint64_t bytes = 0;
-    O2SR_RETURN_IF_ERROR(Scalar(&bytes));
-    const uint64_t expected =
-        static_cast<uint64_t>(rows) * cols * sizeof(float);
-    if (bytes != expected) {
-      return common::DataLossError("tensor payload size mismatch");
-    }
-    O2SR_RETURN_IF_ERROR(Need(bytes));
-    *out = Tensor(rows, cols);
-    std::memcpy(out->data(), bytes_.data() + pos_, bytes);
-    pos_ += bytes;
-    return Status::Ok();
-  }
-
- private:
-  Status Need(uint64_t bytes) {
-    if (pos_ + bytes > bytes_.size()) {
-      return common::DataLossError("checkpoint payload truncated");
-    }
-    return Status::Ok();
-  }
-
-  const std::string& bytes_;
-  size_t pos_ = 0;
-};
-
-Status ReadAll(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return common::NotFoundError("cannot open checkpoint '" + path +
-                                 "': " + std::strerror(errno));
-  }
-  out->clear();
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return common::UnavailableError("read error on checkpoint '" + path +
-                                    "'");
-  }
-  return Status::Ok();
-}
 
 }  // namespace
 
@@ -153,51 +32,19 @@ common::Status SaveCheckpoint(const std::string& path,
   O2SR_CHECK_EQ(adam.v.size(), store.params().size());
 
   std::string payload;
-  Writer w(&payload);
+  ByteWriter w(&payload);
   w.Scalar<int32_t>(meta.epoch);
   w.Scalar<double>(meta.learning_rate);
   w.Scalar<int32_t>(meta.recoveries);
   w.Scalar<double>(meta.best_loss);
   w.Str(meta.rng_state);
-  w.Scalar<uint32_t>(static_cast<uint32_t>(store.params().size()));
-  for (const auto& p : store.params()) {
-    w.Str(p->name);
-    w.TensorData(p->value);
-  }
+  WriteParameterValues(w, store);
   w.Scalar<int64_t>(adam.step);
   for (size_t k = 0; k < adam.m.size(); ++k) {
     w.TensorData(adam.m[k]);
     w.TensorData(adam.v[k]);
   }
-
-  std::string file;
-  Writer header(&file);
-  file.append(kMagic, sizeof(kMagic));
-  header.Scalar<uint32_t>(kCheckpointFormatVersion);
-  header.Scalar<uint64_t>(payload.size());
-  file += payload;
-  header.Scalar<uint64_t>(Fnv1a(payload));
-
-  // Atomic publish: write a sibling temp file, then rename over the target.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return common::UnavailableError("cannot open '" + tmp +
-                                    "' for writing: " + std::strerror(errno));
-  }
-  const size_t written = std::fwrite(file.data(), 1, file.size(), f);
-  const bool write_error = std::ferror(f) != 0 || written != file.size();
-  std::fclose(f);
-  if (write_error) {
-    std::remove(tmp.c_str());
-    return common::UnavailableError("write error on '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return common::UnavailableError("cannot rename '" + tmp + "' to '" +
-                                    path + "': " + std::strerror(errno));
-  }
-  return Status::Ok();
+  return WriteContainerFile(path, kMagic, kCheckpointFormatVersion, payload);
 }
 
 common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
@@ -206,46 +53,11 @@ common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
   O2SR_CHECK(store != nullptr);
   O2SR_CHECK(adam != nullptr);
 
-  std::string file;
-  O2SR_RETURN_IF_ERROR(ReadAll(path, &file));
-  const size_t header_size = sizeof(kMagic) + sizeof(uint32_t) +
-                             sizeof(uint64_t);
-  if (file.size() < header_size + sizeof(uint64_t)) {
-    return common::DataLossError("checkpoint '" + path +
-                                 "' truncated: " +
-                                 std::to_string(file.size()) + " bytes");
-  }
-  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
-    return common::DataLossError("checkpoint '" + path +
-                                 "' has a bad magic number");
-  }
-  uint32_t version = 0;
-  std::memcpy(&version, file.data() + sizeof(kMagic), sizeof(version));
-  if (version != kCheckpointFormatVersion) {
-    return common::FailedPreconditionError(
-        "checkpoint '" + path + "' has format version " +
-        std::to_string(version) + ", expected " +
-        std::to_string(kCheckpointFormatVersion));
-  }
-  uint64_t payload_size = 0;
-  std::memcpy(&payload_size, file.data() + sizeof(kMagic) + sizeof(uint32_t),
-              sizeof(payload_size));
-  if (file.size() != header_size + payload_size + sizeof(uint64_t)) {
-    return common::DataLossError(
-        "checkpoint '" + path + "' truncated: payload claims " +
-        std::to_string(payload_size) + " bytes, file holds " +
-        std::to_string(file.size() - header_size - sizeof(uint64_t)));
-  }
-  const std::string payload = file.substr(header_size, payload_size);
-  uint64_t stored_checksum = 0;
-  std::memcpy(&stored_checksum, file.data() + header_size + payload_size,
-              sizeof(stored_checksum));
-  if (Fnv1a(payload) != stored_checksum) {
-    return common::DataLossError("checkpoint '" + path +
-                                 "' failed its checksum");
-  }
+  O2SR_ASSIGN_OR_RETURN(
+      const std::string payload,
+      ReadContainerFile(path, kMagic, kCheckpointFormatVersion));
 
-  Reader r(payload);
+  ByteReader r(payload);
   CheckpointMeta parsed;
   O2SR_RETURN_IF_ERROR(r.Scalar(&parsed.epoch));
   O2SR_RETURN_IF_ERROR(r.Scalar(&parsed.learning_rate));
@@ -253,39 +65,17 @@ common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
   O2SR_RETURN_IF_ERROR(r.Scalar(&parsed.best_loss));
   O2SR_RETURN_IF_ERROR(r.Str(&parsed.rng_state));
 
-  uint32_t num_params = 0;
-  O2SR_RETURN_IF_ERROR(r.Scalar(&num_params));
-  if (num_params != store->params().size()) {
-    return common::FailedPreconditionError(
-        "checkpoint '" + path + "' holds " + std::to_string(num_params) +
-        " parameters, model has " +
-        std::to_string(store->params().size()));
-  }
   // Stage all tensors before touching the live store, so a corrupt tail
   // cannot leave the model half-restored.
-  std::vector<Tensor> values(num_params);
-  for (uint32_t k = 0; k < num_params; ++k) {
-    Parameter& p = *store->params()[k];
-    std::string name;
-    O2SR_RETURN_IF_ERROR(r.Str(&name));
-    if (name != p.name) {
-      return common::FailedPreconditionError(
-          "checkpoint '" + path + "' parameter " + std::to_string(k) +
-          " is '" + name + "', model expects '" + p.name + "'");
-    }
-    O2SR_RETURN_IF_ERROR(r.TensorData(&values[k]));
-    if (!values[k].SameShape(p.value)) {
-      return common::FailedPreconditionError(
-          "checkpoint '" + path + "' parameter '" + name + "' has shape " +
-          values[k].ShapeString() + ", model expects " +
-          p.value.ShapeString());
-    }
-  }
+  std::vector<Tensor> values;
+  O2SR_RETURN_IF_ERROR(ReadParameterValues(r, *store, &values,
+                                           "checkpoint '" + path + "'"));
+  const size_t num_params = store->params().size();
   AdamState state;
   O2SR_RETURN_IF_ERROR(r.Scalar(&state.step));
   state.m.resize(num_params);
   state.v.resize(num_params);
-  for (uint32_t k = 0; k < num_params; ++k) {
+  for (size_t k = 0; k < num_params; ++k) {
     O2SR_RETURN_IF_ERROR(r.TensorData(&state.m[k]));
     O2SR_RETURN_IF_ERROR(r.TensorData(&state.v[k]));
     if (!state.m[k].SameShape(store->params()[k]->value) ||
@@ -296,7 +86,7 @@ common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
     }
   }
 
-  for (uint32_t k = 0; k < num_params; ++k) {
+  for (size_t k = 0; k < num_params; ++k) {
     store->params()[k]->value = std::move(values[k]);
   }
   *meta = std::move(parsed);

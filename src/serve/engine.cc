@@ -1,0 +1,122 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace o2sr::serve {
+
+namespace {
+constexpr int64_t kDefaultCacheCapacity = 65536;
+}  // namespace
+
+ServingEngine::ServingEngine(core::SiteRecommender* model,
+                             const ServingOptions& options)
+    : model_(model),
+      options_(options),
+      requests_(obs::MetricsRegistry::Global().GetCounter("serve.requests")),
+      pairs_scored_(
+          obs::MetricsRegistry::Global().GetCounter("serve.pairs_scored")),
+      latency_ms_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.rank_latency_ms", obs::DefaultLatencyBucketsMs())) {
+  const int64_t capacity =
+      options.cache_capacity < 0
+          ? ScoreCache::CapacityFromEnv(kDefaultCacheCapacity)
+          : options.cache_capacity;
+  cache_ = std::make_unique<ScoreCache>(capacity, options.cache_shards);
+}
+
+common::StatusOr<std::unique_ptr<ServingEngine>> ServingEngine::Create(
+    core::SiteRecommender* model, const ServingOptions& options) {
+  if (model == nullptr) {
+    return common::InvalidArgumentError("ServingEngine: model is null");
+  }
+  {
+    // The finalize pass (inference-table build) runs its kernels on the
+    // engine's pool too.
+    exec::PoolScope pool_scope(options.pool != nullptr
+                                   ? options.pool
+                                   : &exec::CurrentPool());
+    O2SR_RETURN_IF_ERROR(model->FinalizeServing());
+  }
+  return std::unique_ptr<ServingEngine>(new ServingEngine(model, options));
+}
+
+common::StatusOr<std::vector<double>> ServingEngine::Score(
+    const core::InteractionList& pairs) const {
+  std::vector<double> out(pairs.size(), 0.0);
+  // Cache pass: collect the misses, preserving query order.
+  core::InteractionList misses;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    double cached = 0.0;
+    if (cache_->Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
+                       &cached)) {
+      out[i] = cached;
+    } else {
+      misses.push_back(pairs[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (!misses.empty()) {
+    exec::PoolScope pool_scope(options_.pool != nullptr
+                                   ? options_.pool
+                                   : &exec::CurrentPool());
+    O2SR_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                          model_->ServingPredict(misses));
+    pairs_scored_->Increment(misses.size());
+    for (size_t j = 0; j < misses.size(); ++j) {
+      out[miss_slots[j]] = scores[j];
+      cache_->Insert(ScoreCache::Key(misses[j].type, misses[j].region),
+                     scores[j]);
+    }
+  }
+  return out;
+}
+
+common::StatusOr<std::vector<RankedSite>> ServingEngine::RankSites(
+    int type, const std::vector<int>& candidate_regions, int k) const {
+  const auto start = std::chrono::steady_clock::now();
+  requests_->Increment();
+  if (k < 0) {
+    return common::InvalidArgumentError("RankSites: k must be >= 0, got " +
+                                        std::to_string(k));
+  }
+  // Deduplicate and drop candidates outside the model's domain; the
+  // surviving order is irrelevant (the result is fully ordered by score).
+  std::unordered_set<int> seen;
+  core::InteractionList pairs;
+  for (int region : candidate_regions) {
+    if (!seen.insert(region).second) continue;
+    if (!model_->CanScoreRegion(region)) continue;
+    core::Interaction it;
+    it.region = region;
+    it.type = type;
+    pairs.push_back(it);
+  }
+  O2SR_ASSIGN_OR_RETURN(const std::vector<double> scores, Score(pairs));
+
+  std::vector<RankedSite> ranked(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ranked[i] = {pairs[i].region, scores[i]};
+  }
+  const auto better = [](const RankedSite& a, const RankedSite& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.region < b.region;
+  };
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    better);
+  ranked.resize(keep);
+
+  latency_ms_->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return ranked;
+}
+
+}  // namespace o2sr::serve

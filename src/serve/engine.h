@@ -1,0 +1,88 @@
+#ifndef O2SR_SERVE_ENGINE_H_
+#define O2SR_SERVE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+#include "exec/thread_pool.h"
+#include "serve/score_cache.h"
+
+namespace o2sr::obs {
+class Counter;
+class Histogram;
+}  // namespace o2sr::obs
+
+namespace o2sr::serve {
+
+struct ServingOptions {
+  // Score-cache capacity in entries; < 0 means "O2SR_SERVE_CACHE or the
+  // default 65536"; 0 disables caching.
+  int64_t cache_capacity = -1;
+  int cache_shards = 8;
+  // Pool for scoring cache misses (the model's parallel kernels run under
+  // it). Null resolves to exec::CurrentPool() at query time.
+  exec::ThreadPool* pool = nullptr;
+};
+
+struct RankedSite {
+  int region = -1;
+  double score = 0.0;
+};
+
+// Online ranking over a ready SiteRecommender (trained, or restored from a
+// snapshot). Construction finalizes the model for serving (FinalizeServing
+// precomputes its inference tables — O2-SiteRec materializes the per-period
+// node embeddings so queries skip the whole multi-graph forward pass).
+//
+// Determinism contract (DESIGN.md §9): RankSites is a pure function of the
+// model's learned state and the query. The score cache, its capacity, the
+// thread count and the query history never change a returned score or the
+// ranking order; ties order by ascending region id.
+//
+// Thread-safety: RankSites is safe to call concurrently (the model's
+// serving path is const, the cache is internally synchronized).
+//
+// Observability (prefix "serve"):
+//   serve.requests         counter   RankSites calls
+//   serve.pairs_scored     counter   cache misses scored through the model
+//   serve.rank_latency_ms  histogram per-call latency
+// plus the serve.cache.* counters of ScoreCache.
+class ServingEngine {
+ public:
+  // `model` is borrowed and must outlive the engine; it must already hold
+  // final learned state. Fails when FinalizeServing does.
+  static common::StatusOr<std::unique_ptr<ServingEngine>> Create(
+      core::SiteRecommender* model, const ServingOptions& options = {});
+
+  // Top-k candidate regions for a store type, best first, ordered by
+  // (score desc, region asc). Candidates the model cannot score
+  // (CanScoreRegion false) are skipped; duplicates count once. k larger
+  // than the scorable pool returns the whole pool ranked.
+  common::StatusOr<std::vector<RankedSite>> RankSites(
+      int type, const std::vector<int>& candidate_regions, int k) const;
+
+  // Scores for explicit pairs, cache-accelerated; bit-identical to the
+  // model's Predict. Every region must be scorable (InvalidArgument
+  // otherwise, mirroring Predict's strictness).
+  common::StatusOr<std::vector<double>> Score(
+      const core::InteractionList& pairs) const;
+
+  const core::SiteRecommender& model() const { return *model_; }
+  ScoreCache& cache() const { return *cache_; }
+
+ private:
+  ServingEngine(core::SiteRecommender* model, const ServingOptions& options);
+
+  core::SiteRecommender* model_;  // not owned
+  ServingOptions options_;
+  std::unique_ptr<ScoreCache> cache_;
+  obs::Counter* requests_;
+  obs::Counter* pairs_scored_;
+  obs::Histogram* latency_ms_;
+};
+
+}  // namespace o2sr::serve
+
+#endif  // O2SR_SERVE_ENGINE_H_

@@ -1,0 +1,92 @@
+#include "serve/score_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace o2sr::serve {
+
+ScoreCache::ScoreCache(int64_t capacity, int shards)
+    : capacity_(std::max<int64_t>(capacity, 0)),
+      hits_(obs::MetricsRegistry::Global().GetCounter("serve.cache.hits")),
+      misses_(
+          obs::MetricsRegistry::Global().GetCounter("serve.cache.misses")),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.cache.evictions")) {
+  if (capacity_ == 0) return;
+  const int64_t n =
+      std::clamp<int64_t>(shards, 1, capacity_);
+  per_shard_capacity_ = (capacity_ + n - 1) / n;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int64_t ScoreCache::CapacityFromEnv(int64_t fallback) {
+  const char* env = std::getenv("O2SR_SERVE_CACHE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) return fallback;
+  return static_cast<int64_t>(value);
+}
+
+ScoreCache::Shard& ScoreCache::ShardOf(uint64_t key) {
+  // Mix before taking the low bits: keys differing only in high (type)
+  // bits must not land on one shard.
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return *shards_[h % shards_.size()];
+}
+
+bool ScoreCache::Lookup(uint64_t key, double* score) {
+  if (capacity_ == 0) {
+    misses_->Increment();
+    return false;
+  }
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_->Increment();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *score = it->second->second;
+  hits_->Increment();
+  return true;
+}
+
+void ScoreCache::Insert(uint64_t key, double score) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = score;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(shard.lru.size()) >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_->Increment();
+  }
+  shard.lru.emplace_front(key, score);
+  shard.map[key] = shard.lru.begin();
+}
+
+int64_t ScoreCache::size() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += static_cast<int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+}  // namespace o2sr::serve

@@ -1,0 +1,79 @@
+#ifndef O2SR_SERVE_SCORE_CACHE_H_
+#define O2SR_SERVE_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace o2sr::obs {
+class Counter;
+}  // namespace o2sr::obs
+
+namespace o2sr::serve {
+
+// Sharded LRU cache of (region, type) -> score. Keys hash to a shard; each
+// shard holds its own mutex, map and recency list, so concurrent lookups on
+// different shards never contend. Capacity is split evenly across shards
+// (each shard evicts its own least-recently-used entry when full).
+//
+// The cache is an *optimization only*: scores are deterministic functions
+// of the loaded snapshot, so a hit returns exactly what recomputation
+// would — the engine's results are bit-identical with the cache on, off,
+// cold or warm. Tests assert this (metrics_test.cc).
+//
+// Observability (obs::MetricsRegistry::Global(), prefix "serve.cache"):
+//   serve.cache.hits       lookups answered from the cache
+//   serve.cache.misses     lookups that fell through
+//   serve.cache.evictions  entries displaced by capacity pressure
+class ScoreCache {
+ public:
+  // `capacity` <= 0 disables the cache (every Lookup misses, Insert is a
+  // no-op). `shards` is clamped to [1, capacity] so every shard holds at
+  // least one entry.
+  ScoreCache(int64_t capacity, int shards);
+
+  // Total-capacity override from O2SR_SERVE_CACHE ("0" disables); returns
+  // `fallback` when the variable is unset or unparsable.
+  static int64_t CapacityFromEnv(int64_t fallback);
+
+  static uint64_t Key(int type, int region) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(type)) << 32) |
+           static_cast<uint32_t>(region);
+  }
+
+  // On hit, writes the score, refreshes recency and returns true.
+  bool Lookup(uint64_t key, double* score);
+  // Inserts or refreshes; evicts the shard's LRU entry when full.
+  void Insert(uint64_t key, double score);
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    // Front = most recently used.
+    std::list<std::pair<uint64_t, double>> lru;
+    std::unordered_map<uint64_t,
+                       std::list<std::pair<uint64_t, double>>::iterator>
+        map;
+  };
+
+  Shard& ShardOf(uint64_t key);
+
+  int64_t capacity_ = 0;
+  int64_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace o2sr::serve
+
+#endif  // O2SR_SERVE_SCORE_CACHE_H_

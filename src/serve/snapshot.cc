@@ -1,0 +1,171 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "nn/serialize.h"
+
+namespace o2sr::serve {
+
+uint64_t FingerprintOf(const sim::SimConfig& c) {
+  Fingerprint f;
+  f.Add(c.city_width_m)
+      .Add(c.city_height_m)
+      .Add(c.cell_m)
+      .Add<int32_t>(c.num_store_types)
+      .Add<int32_t>(c.num_stores)
+      .Add<int32_t>(c.num_couriers)
+      .Add<int32_t>(c.num_days)
+      .Add(c.peak_orders_per_region_slot)
+      .Add(c.courier_speed_m_per_min)
+      .Add(c.food_prep_minutes)
+      .Add(c.queue_minutes_per_load)
+      .Add(c.base_scope_m)
+      .Add(c.min_scope_factor)
+      .Add(c.max_scope_factor)
+      .Add(c.tolerance_minutes)
+      .Add(c.tolerance_softness)
+      .Add(c.demographic_preference_weight)
+      .Add(c.taste_noise_sigma)
+      .Add<int32_t>(static_cast<int32_t>(c.preset))
+      .Add<uint8_t>(c.generate_trajectories ? 1 : 0)
+      .Add(c.seed);
+  return f.hash();
+}
+
+uint64_t FingerprintOf(const core::O2SiteRecConfig& c) {
+  Fingerprint f;
+  // Capacity model.
+  f.Add<int32_t>(c.capacity.embedding_dim)
+      .Add<int32_t>(c.capacity.geo_layers)
+      .Add(c.capacity.geo_distance_scale_m);
+  // Recommendation model.
+  f.Add<int32_t>(c.rec.embedding_dim)
+      .Add<int32_t>(c.rec.layers)
+      .Add<int32_t>(c.rec.node_heads)
+      .Add<int32_t>(c.rec.time_heads)
+      .Add(c.rec.dropout)
+      .Add<uint8_t>(c.rec.node_attention ? 1 : 0)
+      .Add<uint8_t>(c.rec.time_attention ? 1 : 0);
+  // Training + structure knobs that change the built graphs / parameters.
+  f.Add(c.beta)
+      .Add(c.learning_rate)
+      .Add<int32_t>(c.epochs)
+      .Add<int32_t>(c.mobility_min_transactions)
+      .Add<uint8_t>(c.graph_options.capacity_aware_scope ? 1 : 0)
+      .Add(c.graph_options.fixed_scope_m)
+      .Add(c.graph_options.order_ratio_threshold)
+      .Add<uint8_t>(c.graph_options.include_customer_edges ? 1 : 0)
+      .Add<int32_t>(static_cast<int32_t>(c.variant))
+      .Add(c.seed);
+  return f.hash();
+}
+
+uint64_t FingerprintOf(const baselines::BaselineConfig& c) {
+  Fingerprint f;
+  f.Add<int32_t>(c.embedding_dim)
+      .Add<int32_t>(c.epochs)
+      .Add(c.learning_rate)
+      .Add(c.dropout)
+      .Add<int32_t>(static_cast<int32_t>(c.setting))
+      .Add(c.seed);
+  return f.hash();
+}
+
+uint64_t CombineFingerprints(uint64_t sim_hash, uint64_t model_hash) {
+  Fingerprint f;
+  f.Add(sim_hash).Add(model_hash);
+  return f.hash();
+}
+
+std::vector<double> TypeNormalizers(
+    int num_types, const core::InteractionList& interactions) {
+  std::vector<double> norm(std::max(num_types, 0), 0.0);
+  for (const core::Interaction& it : interactions) {
+    if (it.type < 0 || it.type >= num_types) continue;
+    norm[it.type] = std::max(norm[it.type], it.orders);
+  }
+  return norm;
+}
+
+common::Status ExportSnapshot(const std::string& path,
+                              const SnapshotMeta& meta,
+                              const core::SiteRecommender& model) {
+  const nn::ParameterStore* store = model.parameter_store();
+  if (store == nullptr) {
+    return common::FailedPreconditionError(
+        model.Name() + " keeps no parameter store; it cannot be "
+        "snapshot-served");
+  }
+  std::string payload;
+  nn::ByteWriter w(&payload);
+  w.Str(meta.model_name);
+  w.Scalar<uint64_t>(meta.config_hash);
+  w.Scalar<int32_t>(meta.num_regions);
+  w.Scalar<int32_t>(meta.num_types);
+  w.Scalar<uint64_t>(meta.type_norm.size());
+  for (double v : meta.type_norm) w.Scalar<double>(v);
+  nn::WriteParameterValues(w, *store);
+  return nn::WriteContainerFile(path, kSnapshotMagic, kSnapshotFormatVersion,
+                                payload);
+}
+
+common::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
+  O2SR_ASSIGN_OR_RETURN(
+      const std::string payload,
+      nn::ReadContainerFile(path, kSnapshotMagic, kSnapshotFormatVersion));
+  Snapshot snap;
+  nn::ByteReader r(payload);
+  O2SR_RETURN_IF_ERROR(r.Str(&snap.meta.model_name));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&snap.meta.config_hash));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&snap.meta.num_regions));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&snap.meta.num_types));
+  uint64_t norm_count = 0;
+  O2SR_RETURN_IF_ERROR(r.Scalar(&norm_count));
+  if (norm_count > r.remaining() / sizeof(double)) {
+    return common::DataLossError("snapshot '" + path +
+                                 "': type_norm count exceeds payload");
+  }
+  snap.meta.type_norm.resize(norm_count);
+  for (uint64_t i = 0; i < norm_count; ++i) {
+    O2SR_RETURN_IF_ERROR(r.Scalar(&snap.meta.type_norm[i]));
+  }
+  // Keep the parameter record raw; RestoreModel decodes it against the
+  // target model's store.
+  snap.param_record.assign(payload, payload.size() - r.remaining(),
+                           r.remaining());
+  return snap;
+}
+
+common::Status RestoreModel(const Snapshot& snapshot,
+                            core::SiteRecommender& model,
+                            uint64_t expected_config_hash) {
+  if (snapshot.meta.model_name != model.Name()) {
+    return common::FailedPreconditionError(
+        "snapshot was exported from model '" + snapshot.meta.model_name +
+        "' but the serving model is '" + model.Name() + "'");
+  }
+  if (snapshot.meta.config_hash != expected_config_hash) {
+    return common::FailedPreconditionError(
+        "snapshot config fingerprint " +
+        std::to_string(snapshot.meta.config_hash) +
+        " does not match the serving configuration fingerprint " +
+        std::to_string(expected_config_hash) +
+        "; the serving process would rebuild a different world");
+  }
+  nn::ParameterStore* store = model.mutable_parameter_store();
+  if (store == nullptr) {
+    return common::FailedPreconditionError(
+        model.Name() + " keeps no parameter store; build its structure "
+        "with Train/PrepareServing before restoring");
+  }
+  nn::ByteReader r(snapshot.param_record);
+  std::vector<nn::Tensor> values;
+  O2SR_RETURN_IF_ERROR(
+      nn::ReadParameterValues(r, *store, &values, "snapshot"));
+  for (size_t i = 0; i < values.size(); ++i) {
+    store->params()[i]->value = std::move(values[i]);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace o2sr::serve

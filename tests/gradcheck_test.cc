@@ -8,8 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/courier_capacity_model.h"
+#include "core/hetero_rec_model.h"
+#include "features/order_stats.h"
+#include "graphs/geo_graph.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
 #include "nn/parameter.h"
 #include "nn/tape.h"
+#include "sim/dataset.h"
 
 namespace o2sr::nn {
 namespace {
@@ -24,9 +31,12 @@ double EvalLoss(const LossBuilder& build) {
   return tape.value(loss).at(0, 0);
 }
 
-// Central-difference gradient check of every parameter scalar.
+// Central-difference gradient check of every parameter scalar. `stride`
+// subsamples the scalars within each parameter (still touching every
+// parameter tensor) so whole-model checks stay fast.
 void CheckGradients(ParameterStore& store, const LossBuilder& build,
-                    double eps = 1e-3, double tol = 2e-2) {
+                    double eps = 1e-3, double tol = 2e-2,
+                    size_t stride = 1) {
   store.ZeroGrads();
   {
     Tape tape;
@@ -34,7 +44,7 @@ void CheckGradients(ParameterStore& store, const LossBuilder& build,
     tape.Backward(loss);
   }
   for (const auto& p : store.params()) {
-    for (size_t i = 0; i < p->value.size(); ++i) {
+    for (size_t i = 0; i < p->value.size(); i += stride) {
       const float orig = p->value.data()[i];
       p->value.data()[i] = orig + static_cast<float>(eps);
       const double up = EvalLoss(build);
@@ -237,6 +247,88 @@ TEST_F(GradCheckTest, DeepMlpComposition) {
     Value out = t.Sigmoid(t.MatMul(h, t.Param(w2)));
     return t.MseLoss(out, t.Input(target));
   });
+}
+
+// --- Whole-model checks ------------------------------------------------
+//
+// The op-level tests above certify each primitive; these run finite
+// differences through the *actual* model forward passes, so a wiring bug
+// (wrong segment index vector, a head silently detached from the loss,
+// attention scores routed to the wrong relation) is caught even when every
+// primitive is individually correct. The world is deliberately tiny — a
+// 4-region-wide city with a handful of stores — and scalars are strided
+// to keep the full-model sweep under a few seconds.
+
+sim::SimConfig TinyWorld() {
+  sim::SimConfig cfg;
+  cfg.city_width_m = 2000.0;
+  cfg.city_height_m = 2000.0;  // 4x4 regions at the 500 m default cell
+  cfg.num_store_types = 4;
+  cfg.num_stores = 18;
+  cfg.num_couriers = 10;
+  cfg.num_days = 1;
+  cfg.peak_orders_per_region_slot = 5.0;
+  cfg.seed = 97;
+  return cfg;
+}
+
+class ModelGradCheckTest : public ::testing::Test {
+ protected:
+  ModelGradCheckTest()
+      : data_(sim::GenerateDataset(TinyWorld())), stats_(data_) {}
+
+  sim::Dataset data_;
+  features::OrderStats stats_;
+};
+
+TEST_F(ModelGradCheckTest, MultiGraphAttentionAggregation) {
+  // Full recommendation pipeline: node fusion, per-period multi-head
+  // attention aggregation over S-U/S-A/U-A/A-S, time semantics-level
+  // attention, prediction head (Eq. 7-16). Dropout off: finite differences
+  // need a deterministic loss.
+  graphs::HeteroMultiGraph graph(data_, stats_);
+  core::HeteroRecConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.layers = 1;
+  cfg.node_heads = 2;
+  cfg.time_heads = 2;
+  cfg.dropout = 0.0;
+  ParameterStore store;
+  Rng rng(3);
+  core::HeteroRecModel model(&graph, cfg, /*capacity_edge_dim=*/0, &store,
+                             rng);
+  ASSERT_GE(graph.num_store_nodes(), 2);
+  const std::vector<int> pair_nodes = {0, 1, 0};
+  const std::vector<int> pair_types = {0, 1, 2};
+  CheckGradients(
+      store,
+      [&](Tape& t) {
+        Rng drng(0);  // unused: dropout is 0
+        std::vector<core::HeteroRecModel::PeriodEmbeddings> periods;
+        for (int p = 0; p < sim::kNumPeriods; ++p) {
+          periods.push_back(model.ForwardPeriod(t, p, Value{}, drng));
+        }
+        Value pred = model.PredictPairs(t, periods, pair_nodes, pair_types);
+        return t.MeanAll(t.Mul(pred, pred));
+      },
+      /*eps=*/2e-3, /*tol=*/5e-2, /*stride=*/3);
+}
+
+TEST_F(ModelGradCheckTest, CapacityModelReconstructionHeads) {
+  // Geographic + mobility aggregation and the delivery-time head, through
+  // the all-period reconstruction loss O1 (Eq. 2-6).
+  graphs::GeoGraph geo(data_.city.grid);
+  graphs::MobilityMultiGraph mobility(stats_);
+  ASSERT_GT(mobility.TotalEdges(), 0u);
+  core::CourierCapacityConfig cfg;
+  cfg.embedding_dim = 4;
+  ParameterStore store;
+  Rng rng(3);
+  core::CourierCapacityModel model(geo, mobility, cfg, &store, rng);
+  CheckGradients(
+      store,
+      [&](Tape& t) { return model.ReconstructionLoss(t); },
+      /*eps=*/2e-3, /*tol=*/5e-2, /*stride=*/2);
 }
 
 }  // namespace

@@ -1,10 +1,18 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "core/recommender.h"
+#include "serve/engine.h"
 
 namespace o2sr::eval {
 namespace {
@@ -116,6 +124,175 @@ TEST_P(MetricPropertyTest, NoisierPredictionsScoreWorseOnAverage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Permutation-safety under ties ------------------------------------
+//
+// Draw predictions and truths from tiny value sets so both are riddled
+// with ties, then reorder the (prediction, truth) pairs: the metrics must
+// not move at all. The old argsort-with-index-tie-break definition fails
+// this — whichever tied item happened to come first got the better rank.
+
+TEST_P(MetricPropertyTest, TiedInputsArePermutationSafe) {
+  Rng rng(GetParam() + 5000);
+  for (int round = 0; round < 20; ++round) {
+    const int n = 40;
+    std::vector<double> pred(n), truth(n);
+    for (int i = 0; i < n; ++i) {
+      pred[i] = rng.UniformInt(0, 4);   // 5 distinct values: heavy ties
+      truth[i] = rng.UniformInt(0, 3);  // boundary ties in the top-N too
+    }
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm);
+    std::vector<double> pred_p(n), truth_p(n);
+    for (int i = 0; i < n; ++i) {
+      pred_p[i] = pred[perm[i]];
+      truth_p[i] = truth[perm[i]];
+    }
+    for (int k : {1, 3, 5, 10}) {
+      for (int top_n : {5, 10, 30}) {
+        EXPECT_DOUBLE_EQ(NdcgAtK(pred, truth, k, top_n),
+                         NdcgAtK(pred_p, truth_p, k, top_n))
+            << "round " << round << " k " << k << " top_n " << top_n;
+        EXPECT_DOUBLE_EQ(PrecisionAtK(pred, truth, k, top_n),
+                         PrecisionAtK(pred_p, truth_p, k, top_n))
+            << "round " << round << " k " << k << " top_n " << top_n;
+      }
+    }
+  }
+}
+
+TEST(MetricTieTest, FullyTiedPredictionsScoreTheRelevantDensity) {
+  // All predictions equal: every ordering is equally likely, so
+  // Precision@k must be the relevant fraction of the list, not whatever
+  // the index order rewards.
+  const std::vector<double> truth = {10, 9, 1, 1};  // top-2 relevant
+  const std::vector<double> pred = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(pred, truth, 2, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(pred, truth, 4, 2), 0.5);
+}
+
+// --- Ranking invariants of the serving engine -------------------------
+
+// Deterministic stand-in model with deliberately quantized scores, so tie
+// groups are common and the (score desc, region asc) order is exercised.
+class QuantizedStub : public core::SiteRecommender {
+ public:
+  explicit QuantizedStub(int num_regions) : num_regions_(num_regions) {}
+  std::string Name() const override { return "QuantizedStub"; }
+  common::Status Train(const core::TrainContext&) override {
+    return common::Status::Ok();
+  }
+  common::StatusOr<std::vector<double>> Predict(
+      const core::InteractionList& pairs) const override {
+    std::vector<double> out;
+    out.reserve(pairs.size());
+    for (const core::Interaction& it : pairs) {
+      out.push_back(Score(it.region, it.type));
+    }
+    return out;
+  }
+  bool CanScoreRegion(int region) const override {
+    return region >= 0 && region < num_regions_;
+  }
+  static double Score(int region, int type) {
+    // 13 distinct score levels over hundreds of regions: dense ties.
+    const uint32_t h = static_cast<uint32_t>(region) * 2654435761u +
+                       static_cast<uint32_t>(type) * 97u;
+    return static_cast<double>(h % 13u) / 13.0;
+  }
+
+ private:
+  int num_regions_;
+};
+
+std::vector<int> RandomCandidates(Rng& rng, int num_regions, int count) {
+  std::vector<int> out(count);
+  for (int& r : out) r = rng.UniformInt(0, num_regions - 1);  // dupes ok
+  return out;
+}
+
+TEST(RankingInvariantTest, RankSitesKIsAPrefixOfKPlusOne) {
+  QuantizedStub model(200);
+  serve::ServingOptions options;
+  options.cache_capacity = 32;
+  const auto engine = serve::ServingEngine::Create(&model, options).value();
+  Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<int> candidates = RandomCandidates(rng, 200, 50);
+    const int type = rng.UniformInt(0, 5);
+    for (int k = 0; k < 12; ++k) {
+      const auto shorter = engine->RankSites(type, candidates, k).value();
+      const auto longer = engine->RankSites(type, candidates, k + 1).value();
+      ASSERT_LE(shorter.size(), longer.size());
+      for (size_t i = 0; i < shorter.size(); ++i) {
+        EXPECT_EQ(shorter[i].region, longer[i].region);
+        EXPECT_EQ(shorter[i].score, longer[i].score);
+      }
+    }
+  }
+}
+
+TEST(RankingInvariantTest, TopKMatchesSortingTheFullScoreList) {
+  QuantizedStub model(150);
+  serve::ServingOptions options;
+  options.cache_capacity = 0;  // isolate the ordering logic
+  const auto engine = serve::ServingEngine::Create(&model, options).value();
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<int> candidates = RandomCandidates(rng, 150, 60);
+    const int type = rng.UniformInt(0, 5);
+
+    // Reference: dedupe, score everything through Predict, full sort.
+    std::vector<int> unique = candidates;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    std::vector<serve::RankedSite> reference;
+    for (int region : unique) {
+      reference.push_back({region, QuantizedStub::Score(region, type)});
+    }
+    std::sort(reference.begin(), reference.end(),
+              [](const serve::RankedSite& a, const serve::RankedSite& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.region < b.region;
+              });
+
+    const int k = rng.UniformInt(1, static_cast<int>(unique.size()));
+    const auto ranked = engine->RankSites(type, candidates, k).value();
+    ASSERT_EQ(ranked.size(), static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ(ranked[i].region, reference[i].region);
+      EXPECT_EQ(ranked[i].score, reference[i].score);
+    }
+  }
+}
+
+TEST(RankingInvariantTest, CacheNeverChangesReturnedScores) {
+  QuantizedStub model(120);
+  serve::ServingOptions cached_options;
+  cached_options.cache_capacity = 16;  // tiny: constant evictions
+  cached_options.cache_shards = 2;
+  const auto cached =
+      serve::ServingEngine::Create(&model, cached_options).value();
+  serve::ServingOptions uncached_options;
+  uncached_options.cache_capacity = 0;
+  const auto uncached =
+      serve::ServingEngine::Create(&model, uncached_options).value();
+
+  Rng rng(55);
+  for (int round = 0; round < 25; ++round) {
+    const std::vector<int> candidates = RandomCandidates(rng, 120, 40);
+    const int type = rng.UniformInt(0, 3);
+    const auto a = cached->RankSites(type, candidates, 15).value();
+    const auto b = uncached->RankSites(type, candidates, 15).value();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].region, b[i].region);
+      EXPECT_EQ(a[i].score, b[i].score) << "cold/warm divergence, round "
+                                        << round << " rank " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace o2sr::eval
