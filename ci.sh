@@ -90,7 +90,9 @@ diff "${SERVE_DIR}/trained.txt" "${SERVE_DIR}/served.txt"
 echo "serving smoke: cross-process rankings bit-identical"
 
 # Serving throughput bench at small scale; the LRU cache must make the
-# warm pass measurably faster than the cold pass.
+# warm pass measurably faster than the cold pass, and the deadline pass
+# must record its p99 + shed-rate next to the no-deadline numbers
+# (DESIGN.md §10).
 (cd "${SERVE_DIR}" &&
  O2SR_BENCH_SCALE=small "${OLDPWD}/build/bench/bench_serving" >/dev/null)
 python3 - "${SERVE_DIR}" <<'EOF'
@@ -98,28 +100,60 @@ import json, sys, os
 bench = json.load(open(os.path.join(sys.argv[1], "BENCH_serving.json")))
 vals = {v["label"]: v["value"] for v in bench["values"]}
 for key in ("qps_cold", "qps_warm", "p50_ms", "p95_ms", "p99_ms",
-            "cache_hit_rate"):
+            "cache_hit_rate", "nodeadline_p99_ms", "nodeadline_shed_rate",
+            "deadline_budget_ms", "deadline_p99_ms", "deadline_shed_rate",
+            "deadline_degraded_rate"):
     assert key in vals, f"BENCH_serving.json missing {key!r}"
 assert vals["qps_warm"] > vals["qps_cold"], \
     f"warm QPS {vals['qps_warm']} not above cold {vals['qps_cold']}"
 assert 0.0 < vals["cache_hit_rate"] <= 1.0, vals["cache_hit_rate"]
+assert vals["nodeadline_shed_rate"] == 0.0, vals["nodeadline_shed_rate"]
+assert 0.0 <= vals["deadline_shed_rate"] <= 1.0, vals["deadline_shed_rate"]
 print(f"serving bench smoke: cold {vals['qps_cold']:.0f} qps -> "
       f"warm {vals['qps_warm']:.0f} qps, "
-      f"hit rate {vals['cache_hit_rate']:.3f}")
+      f"hit rate {vals['cache_hit_rate']:.3f}; "
+      f"deadline p99 {vals['deadline_p99_ms']:.3f} ms, "
+      f"shed rate {vals['deadline_shed_rate']:.3f}")
+EOF
+
+echo "=== Chaos smoke: serve_demo under an injected fault recipe ==="
+# The resilience contract (DESIGN.md §10) end to end: snapshot-read bit
+# flips, a 5 ms scorer stall and a 2% scorer error rate. The run must exit
+# 0 with zero wrong-epoch / wrong-score responses, quarantine the corrupted
+# snapshot while the original model keeps serving, promote a pristine one,
+# and serve degraded tiers instead of failing.
+O2SR_FAULTS="seed=7,snapshot.read=bitflip:0.01,score=delay:5ms,score=error:0.02" \
+  ./build/examples/serve_demo chaos "${SERVE_DIR}/model.snap" \
+  | tee "${SERVE_DIR}/chaos.txt"
+grep -q "wrong_epoch=0 " "${SERVE_DIR}/chaos.txt"
+grep -q "wrong_score=0 " "${SERVE_DIR}/chaos.txt"
+grep -q "quarantined=1 " "${SERVE_DIR}/chaos.txt"
+python3 - "${SERVE_DIR}/chaos.txt" <<'EOF'
+import re, sys
+summary = [l for l in open(sys.argv[1]) if l.startswith("chaos:")][-1]
+fields = dict(kv.split("=") for kv in summary.split()[1:])
+assert int(fields["stale"]) + int(fields["prior"]) > 0, \
+    f"no degraded-tier responses under faults: {summary}"
+assert int(fields["failed"]) == 0, summary
+print(f"chaos smoke: {summary.strip()}")
 EOF
 rm -rf "${SERVE_DIR}"
 
-echo "=== TSAN build + exec/trainer tests ==="
+echo "=== TSAN build + exec/trainer/serving tests ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DO2SR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
       --target exec_test parallel_determinism_test fault_tolerance_test \
-               optimizer_test
+               optimizer_test score_cache_stress_test \
+               serving_resilience_test fault_injection_test
 (cd build-tsan &&
  O2SR_THREADS=4 ./tests/exec_test &&
  O2SR_THREADS=4 ./tests/parallel_determinism_test &&
  O2SR_THREADS=4 ./tests/fault_tolerance_test &&
- O2SR_THREADS=4 ./tests/optimizer_test)
+ O2SR_THREADS=4 ./tests/optimizer_test &&
+ O2SR_THREADS=4 ./tests/score_cache_stress_test &&
+ O2SR_THREADS=4 ./tests/serving_resilience_test &&
+ O2SR_THREADS=4 ./tests/fault_injection_test)
 
 echo "=== UBSan build + tests ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

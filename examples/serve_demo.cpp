@@ -2,6 +2,7 @@
 //
 //   ./build/examples/serve_demo train /tmp/model.snap   # train + export
 //   ./build/examples/serve_demo serve /tmp/model.snap   # load + rank
+//   ./build/examples/serve_demo chaos /tmp/model.snap   # resilience drill
 //
 // `train` trains O2-SiteRec on a small synthetic city, exports a model
 // snapshot, and prints ranked recommendations straight from the trained
@@ -10,12 +11,26 @@
 // from the snapshot, and prints the same queries from a ServingEngine.
 // The two outputs are bit-identical (%.17g round-trips doubles exactly),
 // which ci.sh verifies with a literal diff.
+//
+// `chaos` is the CI resilience drill (DESIGN.md §10): run it under an
+// O2SR_FAULTS recipe (snapshot bitflips, scorer delays and errors) and it
+// drives the serving engine through the failure plan — faulty initial
+// load with retry, a corrupted snapshot swap (must be rejected and
+// quarantined while the original model keeps serving), a promoted swap,
+// and deadline-squeezed queries that land on the degraded tiers. It exits
+// 0 only when no response carried a wrong-epoch tag or a wrong fresh
+// score, the corrupt snapshot was quarantined, and degraded tiers
+// actually served; the summary line is machine-checked by ci.sh.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/o2siterec_recommender.h"
 #include "eval/experiment.h"
 #include "obs/log.h"
@@ -123,6 +138,215 @@ int Serve(const std::string& snapshot_path) {
   return 0;
 }
 
+// Byte-level copy helpers for staging corrupted / pristine snapshot
+// copies; plain stdio on purpose — the fault injector's read sites live in
+// the serving path, not here.
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+struct ChaosTally {
+  int responses = 0;
+  int fresh = 0;
+  int stale = 0;
+  int prior = 0;
+  int shed = 0;
+  int failed = 0;
+  int wrong_epoch = 0;
+  int wrong_score = 0;
+};
+
+int Chaos(const std::string& snapshot_path) {
+  const sim::Dataset data = sim::GenerateDataset(WorldConfig());
+  const core::InteractionList interactions = eval::BuildInteractions(data);
+  const eval::Split split =
+      eval::SplitInteractions(data, interactions, {0.8, 1});
+
+  core::O2SiteRecRecommender model(ModelConfig());
+  core::TrainContext ctx;
+  ctx.data = &data;
+  ctx.visible_orders = &split.train_orders;
+  ctx.train = &split.train;
+  O2SR_CHECK_OK(model.PrepareServing(ctx));
+
+  // A fresh prepared model per swap attempt (SwapSnapshot consumes it).
+  const auto MakeStaged = [&] {
+    auto staged =
+        std::make_unique<core::O2SiteRecRecommender>(ModelConfig());
+    O2SR_CHECK_OK(staged->PrepareServing(ctx));
+    return staged;
+  };
+
+  // Initial load rides out injected read faults: corruption must surface
+  // as a clean Status (never serve silently), and a retry redraws.
+  serve::Snapshot snapshot;
+  bool loaded = false;
+  for (int attempt = 0; attempt < 20 && !loaded; ++attempt) {
+    auto candidate = serve::LoadSnapshot(snapshot_path);
+    if (candidate.ok()) {
+      snapshot = *std::move(candidate);
+      loaded = true;
+    }
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "chaos: snapshot never loaded cleanly\n");
+    return 1;
+  }
+  O2SR_CHECK_OK(serve::RestoreModel(snapshot, model, ConfigHash()));
+
+  serve::ServingOptions options;
+  options.cache_capacity = 4096;
+  options.prior =
+      serve::BuildPopularityPrior(data.num_types(), interactions);
+  const auto engine = serve::ServingEngine::Create(&model, options).value();
+
+  // Ground truth straight from the restored model (no injection sites on
+  // direct Predict): any fresh-tier response that disagrees means
+  // corruption leaked through the fault storm.
+  std::vector<int> candidates(data.num_regions());
+  for (int r = 0; r < data.num_regions(); ++r) candidates[r] = r;
+  std::vector<std::unordered_map<int, double>> golden(3);
+  for (int type = 0; type < 3; ++type) {
+    core::InteractionList pairs;
+    for (int r : candidates) {
+      if (!model.CanScoreRegion(r)) continue;
+      core::Interaction it;
+      it.region = r;
+      it.type = type;
+      pairs.push_back(it);
+    }
+    const auto scores = model.Predict(pairs).value();
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      golden[type][pairs[i].region] = scores[i];
+    }
+  }
+
+  ChaosTally tally;
+  const auto run = [&](int type, serve::Deadline deadline) {
+    serve::RankRequest request;
+    request.type = type;
+    request.candidates = candidates;
+    request.k = 8;
+    request.deadline = deadline;
+    const auto response = engine->Rank(request);
+    if (!response.ok()) {
+      if (response.status().code() ==
+          common::StatusCode::kResourceExhausted) {
+        ++tally.shed;
+      } else {
+        ++tally.failed;
+      }
+      return false;
+    }
+    ++tally.responses;
+    if (response->epoch != engine->epoch()) ++tally.wrong_epoch;
+    switch (response->tier) {
+      case serve::ServeTier::kFresh:
+        ++tally.fresh;
+        for (const serve::RankedSite& site : response->sites) {
+          const auto it = golden[type].find(site.region);
+          if (it == golden[type].end() || it->second != site.score) {
+            ++tally.wrong_score;
+          }
+        }
+        break;
+      case serve::ServeTier::kStaleCache:
+        ++tally.stale;
+        break;
+      case serve::ServeTier::kPrior:
+        ++tally.prior;
+        break;
+    }
+    return true;
+  };
+  // Injected scorer errors can fail a cold query outright (nothing cached
+  // yet to degrade onto); a bounded retry redraws — the point is that
+  // every outcome is a clean Status.
+  const auto run_until_served = [&](int type) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      if (run(type, serve::Deadline::Infinite())) return true;
+    }
+    return false;
+  };
+
+  // Phase A: warm every (type, region) pair at epoch 1.
+  for (int type = 0; type < 3; ++type) {
+    if (!run_until_served(type)) {
+      std::fprintf(stderr, "chaos: warmup for type %d never served\n", type);
+      return 1;
+    }
+  }
+
+  // Phase B: a swap of a corrupted snapshot must be rejected + quarantined
+  // while the original model keeps serving.
+  int quarantined = 0;
+  {
+    std::string bytes;
+    if (!ReadFileBytes(snapshot_path, &bytes) || bytes.empty()) return 1;
+    bytes[bytes.size() / 2] ^= 0x5a;
+    const std::string corrupt_path = snapshot_path + ".chaos_corrupt";
+    if (!WriteFileBytes(corrupt_path, bytes)) return 1;
+    const auto report =
+        engine->SwapSnapshot(corrupt_path, MakeStaged(), ConfigHash());
+    if (report.ok() && !report->promoted &&
+        !report->quarantine_path.empty()) {
+      quarantined = 1;
+    }
+    run_until_served(0);  // the displaced-nothing engine still answers
+  }
+
+  // Phase C: a pristine copy promotes (retried: an injected read fault
+  // quarantines the copy, so each attempt stages a new one).
+  bool promoted = false;
+  for (int attempt = 0; attempt < 5 && !promoted; ++attempt) {
+    std::string bytes;
+    if (!ReadFileBytes(snapshot_path, &bytes)) return 1;
+    const std::string copy_path = snapshot_path + ".chaos_promote" +
+                                  std::to_string(attempt);
+    if (!WriteFileBytes(copy_path, bytes)) return 1;
+    const auto report =
+        engine->SwapSnapshot(copy_path, MakeStaged(), ConfigHash());
+    promoted = report.ok() && report->promoted;
+  }
+
+  // Phase D: deadline-squeezed queries. The injected scorer delay pushes
+  // every cache-miss query past its budget, landing it on the stale tier
+  // (epoch bumped in phase C, so the warm entries are exactly stale).
+  for (int round = 0; round < 10; ++round) {
+    for (int type = 0; type < 3; ++type) {
+      run(type, serve::Deadline::AfterMs(2.0));
+    }
+  }
+  // And a few requests that are already out of budget: must shed, cleanly.
+  for (int i = 0; i < 3; ++i) run(0, serve::Deadline::AfterMs(-1.0));
+
+  const int degraded = tally.stale + tally.prior;
+  std::printf(
+      "chaos: responses=%d fresh=%d stale=%d prior=%d shed=%d failed=%d "
+      "wrong_epoch=%d wrong_score=%d quarantined=%d promoted=%d health=%s\n",
+      tally.responses, tally.fresh, tally.stale, tally.prior, tally.shed,
+      tally.failed, tally.wrong_epoch, tally.wrong_score, quarantined,
+      promoted ? 1 : 0, serve::ServeHealthName(engine->health()));
+  const bool ok = tally.wrong_epoch == 0 && tally.wrong_score == 0 &&
+                  quarantined == 1 && promoted && degraded > 0;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +359,10 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "serve") == 0) {
     return Serve(argv[2]);
   }
-  std::fprintf(stderr, "usage: %s {train|serve} <snapshot-path>\n", argv[0]);
+  if (argc == 3 && std::strcmp(argv[1], "chaos") == 0) {
+    return Chaos(argv[2]);
+  }
+  std::fprintf(stderr, "usage: %s {train|serve|chaos} <snapshot-path>\n",
+               argv[0]);
   return 2;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace o2sr::nn {
 
@@ -20,7 +21,10 @@ uint64_t Fnv1a(const std::string& bytes) {
 }
 
 Status ByteReader::Need(uint64_t bytes) {
-  if (pos_ + bytes > bytes_.size()) {
+  // Compare against the remaining span, never `pos_ + bytes`: a corrupted
+  // length prefix near UINT64_MAX would overflow the addition, pass the
+  // check, and turn the next memcpy into an out-of-bounds read.
+  if (bytes > bytes_.size() - pos_) {
     return common::DataLossError("payload truncated");
   }
   return Status::Ok();
@@ -74,6 +78,9 @@ Status ReadFileToString(const std::string& path, std::string* out) {
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  // Injection site "serialize.write": a full disk / failed publish.
+  O2SR_RETURN_IF_ERROR(
+      common::FaultInjector::Global().InjectError("serialize.write"));
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -119,6 +126,10 @@ common::StatusOr<std::string> ReadContainerFile(const std::string& path,
                                                 uint32_t version) {
   std::string file;
   O2SR_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  // Injection site "serialize.read": pre-checksum corruption of the raw
+  // container bytes (torn writes, bad media). The envelope validation below
+  // must catch every such fault as DATA_LOSS.
+  common::FaultInjector::Global().InjectCorruption("serialize.read", &file);
   if (file.size() < kHeaderBytes + sizeof(uint64_t)) {
     return common::DataLossError("'" + path + "' truncated: " +
                                  std::to_string(file.size()) + " bytes");

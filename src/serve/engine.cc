@@ -2,24 +2,148 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "serve/snapshot.h"
 
 namespace o2sr::serve {
 
 namespace {
+
 constexpr int64_t kDefaultCacheCapacity = 65536;
+
+bool BetterRanked(const RankedSite& a, const RankedSite& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.region < b.region;
+}
+
+// Top-k of (pairs, scores) by (score desc, region asc).
+std::vector<RankedSite> RankFromScores(const core::InteractionList& pairs,
+                                       const std::vector<double>& scores,
+                                       int k) {
+  std::vector<RankedSite> ranked(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ranked[i] = {pairs[i].region, scores[i]};
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    BetterRanked);
+  ranked.resize(keep);
+  return ranked;
+}
+
+// Scorer failures that are contract violations (bad request, wrong model
+// state) must surface to the caller; anything else (transient/infra) sends
+// the request down the fallback ladder instead.
+bool IsContractError(common::StatusCode code) {
+  return code == common::StatusCode::kInvalidArgument ||
+         code == common::StatusCode::kFailedPrecondition ||
+         code == common::StatusCode::kOutOfRange ||
+         code == common::StatusCode::kUnimplemented;
+}
+
+// Dedupe candidates and drop regions the model cannot score; the surviving
+// order is irrelevant (the result is fully ordered by score).
+core::InteractionList ScorablePairs(const core::SiteRecommender& model,
+                                    int type,
+                                    const std::vector<int>& candidates) {
+  std::unordered_set<int> seen;
+  core::InteractionList pairs;
+  for (int region : candidates) {
+    if (!seen.insert(region).second) continue;
+    if (!model.CanScoreRegion(region)) continue;
+    core::Interaction it;
+    it.region = region;
+    it.type = type;
+    pairs.push_back(it);
+  }
+  return pairs;
+}
+
 }  // namespace
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFresh:
+      return "fresh";
+    case ServeTier::kStaleCache:
+      return "stale";
+    case ServeTier::kPrior:
+      return "prior";
+  }
+  return "unknown";
+}
+
+const char* ServeHealthName(ServeHealth health) {
+  switch (health) {
+    case ServeHealth::kServing:
+      return "SERVING";
+    case ServeHealth::kDegraded:
+      return "DEGRADED";
+    case ServeHealth::kLameDuck:
+      return "LAME_DUCK";
+  }
+  return "unknown";
+}
+
+bool PopularityPrior::Score(int type, int region, double* out) const {
+  if (type < 0 || static_cast<size_t>(type) >= by_type.size()) return false;
+  const auto it = by_type[type].find(region);
+  if (it == by_type[type].end()) return false;
+  *out = it->second;
+  return true;
+}
+
+PopularityPrior BuildPopularityPrior(
+    int num_types, const core::InteractionList& interactions) {
+  PopularityPrior prior;
+  if (num_types <= 0) return prior;
+  prior.by_type.resize(static_cast<size_t>(num_types));
+  std::vector<double> type_max(static_cast<size_t>(num_types), 0.0);
+  for (const core::Interaction& it : interactions) {
+    if (it.type < 0 || it.type >= num_types) continue;
+    double& cell = prior.by_type[it.type][it.region];
+    cell = std::max(cell, it.orders);
+    type_max[it.type] = std::max(type_max[it.type], it.orders);
+  }
+  for (int t = 0; t < num_types; ++t) {
+    if (type_max[t] <= 0.0) continue;
+    for (auto& [region, score] : prior.by_type[t]) score /= type_max[t];
+  }
+  return prior;
+}
 
 ServingEngine::ServingEngine(core::SiteRecommender* model,
                              const ServingOptions& options)
-    : model_(model),
-      options_(options),
+    : options_(options),
+      admission_(options.max_inflight < 0
+                     ? AdmissionController::MaxInflightFromEnv(0)
+                     : options.max_inflight),
+      default_deadline_ms_(
+          options.default_deadline_ms < 0
+              ? Deadline::DefaultBudgetMsFromEnv(0.0)
+              : options.default_deadline_ms),
       requests_(obs::MetricsRegistry::Global().GetCounter("serve.requests")),
       pairs_scored_(
           obs::MetricsRegistry::Global().GetCounter("serve.pairs_scored")),
+      shed_(obs::MetricsRegistry::Global().GetCounter("serve.shed")),
+      degraded_responses_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.degraded_responses")),
+      stale_pairs_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.fallback.stale_pairs")),
+      prior_pairs_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.fallback.prior_pairs")),
+      swaps_(obs::MetricsRegistry::Global().GetCounter("serve.swaps")),
+      swap_rejects_(
+          obs::MetricsRegistry::Global().GetCounter("serve.swap_rejects")),
+      health_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("serve.health_state")),
+      epoch_gauge_(obs::MetricsRegistry::Global().GetGauge("serve.epoch")),
       latency_ms_(obs::MetricsRegistry::Global().GetHistogram(
           "serve.rank_latency_ms", obs::DefaultLatencyBucketsMs())) {
   const int64_t capacity =
@@ -27,6 +151,12 @@ ServingEngine::ServingEngine(core::SiteRecommender* model,
           ? ScoreCache::CapacityFromEnv(kDefaultCacheCapacity)
           : options.cache_capacity;
   cache_ = std::make_unique<ScoreCache>(capacity, options.cache_shards);
+  auto active = std::make_shared<Active>();
+  active->model = model;
+  active->epoch = 1;
+  active_ = std::move(active);
+  health_gauge_->Set(static_cast<double>(ServeHealth::kServing));
+  epoch_gauge_->Set(1.0);
 }
 
 common::StatusOr<std::unique_ptr<ServingEngine>> ServingEngine::Create(
@@ -45,8 +175,66 @@ common::StatusOr<std::unique_ptr<ServingEngine>> ServingEngine::Create(
   return std::unique_ptr<ServingEngine>(new ServingEngine(model, options));
 }
 
-common::StatusOr<std::vector<double>> ServingEngine::Score(
-    const core::InteractionList& pairs) const {
+std::shared_ptr<const ServingEngine::Active> ServingEngine::CurrentActive()
+    const {
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  return active_;
+}
+
+const core::SiteRecommender& ServingEngine::model() const {
+  return *CurrentActive()->model;
+}
+
+uint64_t ServingEngine::epoch() const { return CurrentActive()->epoch; }
+
+ServeHealth ServingEngine::health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_;
+}
+
+void ServingEngine::EnterLameDuck() {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_ == ServeHealth::kLameDuck) return;
+  health_ = ServeHealth::kLameDuck;
+  health_gauge_->Set(static_cast<double>(ServeHealth::kLameDuck));
+  O2SR_LOG(INFO) << "serving engine entering LAME_DUCK: new requests are "
+                    "shed, in-flight requests drain";
+}
+
+void ServingEngine::RecordOutcome(ServeTier tier) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_ == ServeHealth::kLameDuck) return;  // terminal
+  if (tier != ServeTier::kFresh) {
+    degraded_responses_->Increment();
+    fresh_streak_ = 0;
+    if (health_ == ServeHealth::kServing) {
+      health_ = ServeHealth::kDegraded;
+      health_gauge_->Set(static_cast<double>(ServeHealth::kDegraded));
+      O2SR_LOG(WARNING) << "serving health SERVING -> DEGRADED (served a "
+                        << ServeTierName(tier) << "-tier response)";
+    }
+  } else if (health_ == ServeHealth::kDegraded) {
+    if (++fresh_streak_ >= options_.health_recovery_streak) {
+      health_ = ServeHealth::kServing;
+      fresh_streak_ = 0;
+      health_gauge_->Set(static_cast<double>(ServeHealth::kServing));
+      O2SR_LOG(INFO) << "serving health DEGRADED -> SERVING ("
+                     << options_.health_recovery_streak
+                     << " consecutive fresh responses)";
+    }
+  }
+}
+
+common::StatusOr<RankResponse> ServingEngine::ShedRequest(
+    const char* reason) const {
+  shed_->Increment();
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  return common::ResourceExhaustedError(std::string("request shed: ") +
+                                        reason);
+}
+
+common::StatusOr<std::vector<double>> ServingEngine::ScoreFresh(
+    const Active& active, const core::InteractionList& pairs) const {
   std::vector<double> out(pairs.size(), 0.0);
   // Cache pass: collect the misses, preserving query order.
   core::InteractionList misses;
@@ -54,7 +242,7 @@ common::StatusOr<std::vector<double>> ServingEngine::Score(
   for (size_t i = 0; i < pairs.size(); ++i) {
     double cached = 0.0;
     if (cache_->Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
-                       &cached)) {
+                       active.epoch, &cached)) {
       out[i] = cached;
     } else {
       misses.push_back(pairs[i]);
@@ -62,61 +250,264 @@ common::StatusOr<std::vector<double>> ServingEngine::Score(
     }
   }
   if (!misses.empty()) {
+    common::FaultInjector& faults = common::FaultInjector::Global();
+    faults.InjectDelay("score");
+    O2SR_RETURN_IF_ERROR(faults.InjectError("score"));
     exec::PoolScope pool_scope(options_.pool != nullptr
                                    ? options_.pool
                                    : &exec::CurrentPool());
     O2SR_ASSIGN_OR_RETURN(const std::vector<double> scores,
-                          model_->ServingPredict(misses));
+                          active.model->ServingPredict(misses));
     pairs_scored_->Increment(misses.size());
     for (size_t j = 0; j < misses.size(); ++j) {
       out[miss_slots[j]] = scores[j];
       cache_->Insert(ScoreCache::Key(misses[j].type, misses[j].region),
-                     scores[j]);
+                     active.epoch, scores[j]);
     }
   }
   return out;
 }
 
-common::StatusOr<std::vector<RankedSite>> ServingEngine::RankSites(
-    int type, const std::vector<int>& candidate_regions, int k) const {
+common::StatusOr<std::vector<double>> ServingEngine::Score(
+    const core::InteractionList& pairs) const {
+  return ScoreFresh(*CurrentActive(), pairs);
+}
+
+common::Status ServingEngine::ScoreLadder(const Active& active,
+                                          const core::InteractionList& pairs,
+                                          const Deadline& deadline,
+                                          std::vector<double>* scores,
+                                          ServeTier* tier) const {
+  scores->assign(pairs.size(), 0.0);
+  *tier = ServeTier::kFresh;
+  core::InteractionList misses;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    double cached = 0.0;
+    if (cache_->Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
+                       active.epoch, &cached)) {
+      (*scores)[i] = cached;
+    } else {
+      misses.push_back(pairs[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (misses.empty()) return common::Status::Ok();
+
+  // Rung 1: fresh scoring, budget permitting. The injected delay stands in
+  // for a stalled scorer, so the deadline is re-checked after it — exactly
+  // the check a real engine makes after waiting on a busy executor.
+  common::Status fresh_status = common::Status::Ok();
+  if (deadline.expired()) {
+    fresh_status = common::ResourceExhaustedError(
+        "deadline expired before scoring");
+  } else {
+    common::FaultInjector& faults = common::FaultInjector::Global();
+    faults.InjectDelay("score");
+    if (deadline.expired()) {
+      fresh_status = common::ResourceExhaustedError(
+          "deadline expired waiting for the scorer");
+    } else {
+      fresh_status = faults.InjectError("score");
+    }
+  }
+  if (fresh_status.ok()) {
+    exec::PoolScope pool_scope(options_.pool != nullptr
+                                   ? options_.pool
+                                   : &exec::CurrentPool());
+    auto scored = active.model->ServingPredict(misses);
+    if (scored.ok()) {
+      pairs_scored_->Increment(misses.size());
+      for (size_t j = 0; j < misses.size(); ++j) {
+        (*scores)[miss_slots[j]] = (*scored)[j];
+        cache_->Insert(ScoreCache::Key(misses[j].type, misses[j].region),
+                       active.epoch, (*scored)[j]);
+      }
+      return common::Status::Ok();
+    }
+    fresh_status = scored.status();
+  }
+  if (IsContractError(fresh_status.code())) return fresh_status;
+
+  // Rungs 2 + 3: stale cache, then popularity prior, per pair. A pair
+  // neither rung can answer fails the request with the original cause.
+  uint64_t stale_served = 0, prior_served = 0;
+  for (size_t j = 0; j < misses.size(); ++j) {
+    const core::Interaction& it = misses[j];
+    double value = 0.0;
+    if (cache_->LookupStale(ScoreCache::Key(it.type, it.region), &value)) {
+      (*scores)[miss_slots[j]] = value;
+      ++stale_served;
+      *tier = std::max(*tier, ServeTier::kStaleCache);
+    } else if (options_.prior.Score(it.type, it.region, &value)) {
+      (*scores)[miss_slots[j]] = value;
+      ++prior_served;
+      *tier = ServeTier::kPrior;
+    } else {
+      return fresh_status.WithContext(
+          "pair (type " + std::to_string(it.type) + ", region " +
+          std::to_string(it.region) + ") exhausted the fallback ladder");
+    }
+  }
+  if (stale_served > 0) stale_pairs_->Increment(stale_served);
+  if (prior_served > 0) prior_pairs_->Increment(prior_served);
+  return common::Status::Ok();
+}
+
+common::StatusOr<RankResponse> ServingEngine::Rank(
+    const RankRequest& request) const {
   const auto start = std::chrono::steady_clock::now();
   requests_->Increment();
-  if (k < 0) {
-    return common::InvalidArgumentError("RankSites: k must be >= 0, got " +
-                                        std::to_string(k));
+  if (request.k < 0) {
+    return common::InvalidArgumentError("Rank: k must be >= 0, got " +
+                                        std::to_string(request.k));
   }
-  // Deduplicate and drop candidates outside the model's domain; the
-  // surviving order is irrelevant (the result is fully ordered by score).
-  std::unordered_set<int> seen;
-  core::InteractionList pairs;
-  for (int region : candidate_regions) {
-    if (!seen.insert(region).second) continue;
-    if (!model_->CanScoreRegion(region)) continue;
-    core::Interaction it;
-    it.region = region;
-    it.type = type;
-    pairs.push_back(it);
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (health_ == ServeHealth::kLameDuck) {
+      return ShedRequest("engine is in LAME_DUCK");
+    }
   }
-  O2SR_ASSIGN_OR_RETURN(const std::vector<double> scores, Score(pairs));
+  AdmissionController::Ticket ticket(admission_);
+  if (!ticket.admitted()) {
+    return ShedRequest("admission queue past its high-water mark");
+  }
+  Deadline deadline = request.deadline;
+  if (deadline.infinite() && default_deadline_ms_ > 0.0) {
+    deadline = Deadline::AfterMs(default_deadline_ms_);
+  }
+  if (deadline.expired()) {
+    return ShedRequest("deadline expired before admission");
+  }
 
-  std::vector<RankedSite> ranked(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ranked[i] = {pairs[i].region, scores[i]};
-  }
-  const auto better = [](const RankedSite& a, const RankedSite& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.region < b.region;
-  };
-  const size_t keep = std::min<size_t>(static_cast<size_t>(k), ranked.size());
-  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
-                    better);
-  ranked.resize(keep);
+  const std::shared_ptr<const Active> active = CurrentActive();
+  const core::InteractionList pairs =
+      ScorablePairs(*active->model, request.type, request.candidates);
+
+  RankResponse response;
+  response.epoch = active->epoch;
+  std::vector<double> scores;
+  O2SR_RETURN_IF_ERROR(
+      ScoreLadder(*active, pairs, deadline, &scores, &response.tier));
+  response.sites = RankFromScores(pairs, scores, request.k);
+  RecordOutcome(response.tier);
 
   latency_ms_->Observe(
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count());
-  return ranked;
+  return response;
+}
+
+common::StatusOr<std::vector<RankedSite>> ServingEngine::RankSites(
+    int type, const std::vector<int>& candidate_regions, int k) const {
+  RankRequest request;
+  request.type = type;
+  request.candidates = candidate_regions;
+  request.k = k;
+  request.deadline = Deadline::Infinite();
+  O2SR_ASSIGN_OR_RETURN(RankResponse response, Rank(request));
+  return std::move(response.sites);
+}
+
+common::StatusOr<SwapReport> ServingEngine::SwapSnapshot(
+    const std::string& snapshot_path,
+    std::unique_ptr<core::SiteRecommender> staged,
+    uint64_t expected_config_hash, const SwapOptions& swap_options) {
+  if (staged == nullptr) {
+    return common::InvalidArgumentError(
+        "SwapSnapshot: staged model is null");
+  }
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  SwapReport report;
+  report.epoch = CurrentActive()->epoch;
+
+  const auto reject = [&](common::Status why) {
+    swap_rejects_->Increment();
+    auto quarantined = QuarantineSnapshot(snapshot_path, why.ToString());
+    if (quarantined.ok()) {
+      report.quarantine_path = *quarantined;
+    } else {
+      why = why.WithContext("quarantine also failed (" +
+                            quarantined.status().ToString() + ")");
+    }
+    report.reject_reason = std::move(why);
+    O2SR_LOG(WARNING) << "snapshot swap rejected, active model (epoch "
+                      << report.epoch << ") keeps serving: "
+                      << report.reject_reason.ToString();
+    return report;
+  };
+
+  auto snapshot = LoadSnapshot(snapshot_path);
+  if (!snapshot.ok()) return reject(snapshot.status());
+  {
+    exec::PoolScope pool_scope(options_.pool != nullptr
+                                   ? options_.pool
+                                   : &exec::CurrentPool());
+    common::Status restored =
+        RestoreModel(*snapshot, *staged, expected_config_hash);
+    if (!restored.ok()) return reject(std::move(restored));
+    common::Status finalized = staged->FinalizeServing();
+    if (!finalized.ok()) return reject(std::move(finalized));
+
+    // Canary pass: the staged model answers the golden queries directly
+    // (never through the cache — its scores must not be visible before
+    // promotion).
+    for (const CanaryQuery& canary : swap_options.canaries) {
+      ++report.canaries_run;
+      const std::string label =
+          "canary (type " + std::to_string(canary.type) + ")";
+      const core::InteractionList pairs =
+          ScorablePairs(*staged, canary.type, canary.candidates);
+      auto scored = staged->ServingPredict(pairs);
+      if (!scored.ok()) {
+        return reject(scored.status().WithContext(label + " failed"));
+      }
+      for (double s : *scored) {
+        if (!std::isfinite(s)) {
+          return reject(common::DataLossError(
+              label + " produced a non-finite score"));
+        }
+      }
+      if (canary.expected.empty()) continue;
+      const std::vector<RankedSite> ranked =
+          RankFromScores(pairs, *scored, canary.k);
+      if (ranked.size() != canary.expected.size()) {
+        return reject(common::FailedPreconditionError(
+            label + " returned " + std::to_string(ranked.size()) +
+            " sites, expected " + std::to_string(canary.expected.size())));
+      }
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        if (ranked[i].region != canary.expected[i].region ||
+            ranked[i].score != canary.expected[i].score) {
+          return reject(common::FailedPreconditionError(
+              label + " diverged at rank " + std::to_string(i + 1) +
+              ": got region " + std::to_string(ranked[i].region) +
+              ", expected region " +
+              std::to_string(canary.expected[i].region)));
+        }
+      }
+    }
+  }
+
+  // Promote: epoch-tagged invalidation (entries of the displaced epoch
+  // become stale-only), in-flight queries finish on the model they pinned.
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    auto next = std::make_shared<Active>();
+    next->owned = std::shared_ptr<core::SiteRecommender>(std::move(staged));
+    next->model = next->owned.get();
+    next->epoch = active_->epoch + 1;
+    active_ = next;
+    report.epoch = next->epoch;
+  }
+  swaps_->Increment();
+  epoch_gauge_->Set(static_cast<double>(report.epoch));
+  report.promoted = true;
+  O2SR_LOG(INFO) << "snapshot '" << snapshot_path
+                 << "' promoted after " << report.canaries_run
+                 << " canaries; serving epoch " << report.epoch;
+  return report;
 }
 
 }  // namespace o2sr::serve

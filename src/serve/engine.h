@@ -1,20 +1,69 @@
 #ifndef O2SR_SERVE_ENGINE_H_
 #define O2SR_SERVE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/recommender.h"
 #include "exec/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/deadline.h"
 #include "serve/score_cache.h"
 
 namespace o2sr::obs {
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace o2sr::obs
 
 namespace o2sr::serve {
+
+// Which rung of the fallback ladder produced a response (DESIGN.md §10).
+// Ordered by degradation: every response reports the *worst* rung any of
+// its pairs needed.
+enum class ServeTier {
+  kFresh = 0,       // scored by the active model (directly or via a
+                    // same-epoch cache hit); bit-identical to Predict
+  kStaleCache = 1,  // answered from a cache entry of an older model epoch
+  kPrior = 2,       // answered from the per-type popularity prior
+};
+const char* ServeTierName(ServeTier tier);
+
+// Serving health state machine, exported as the "serve.health_state" gauge
+// (0 = SERVING, 1 = DEGRADED, 2 = LAME_DUCK).
+//   SERVING    every recent response was fresh-tier
+//   DEGRADED   a recent response needed the fallback ladder; clears after
+//              `ServingOptions::health_recovery_streak` consecutive fresh
+//              responses
+//   LAME_DUCK  terminal drain state (EnterLameDuck): every new request is
+//              shed, in-flight requests finish normally
+enum class ServeHealth { kServing = 0, kDegraded = 1, kLameDuck = 2 };
+const char* ServeHealthName(ServeHealth health);
+
+// Per-type popularity prior over regions: the last rung of the fallback
+// ladder. Scores are historical order volume normalized to [0, 1] per type
+// — a crude ranking on a different scale than model scores, but one that
+// keeps answering "where should this store type go" when both the model
+// and the stale cache cannot.
+struct PopularityPrior {
+  // by_type[type][region] -> prior score in [0, 1].
+  std::vector<std::unordered_map<int, double>> by_type;
+
+  bool empty() const { return by_type.empty(); }
+  // False when the (type, region) pair has no prior.
+  bool Score(int type, int region, double* out) const;
+};
+
+// Prior from an interaction log: per (type, region) the maximum observed
+// order volume, normalized by the per-type maximum.
+PopularityPrior BuildPopularityPrior(
+    int num_types, const core::InteractionList& interactions);
 
 struct ServingOptions {
   // Score-cache capacity in entries; < 0 means "O2SR_SERVE_CACHE or the
@@ -24,6 +73,19 @@ struct ServingOptions {
   // Pool for scoring cache misses (the model's parallel kernels run under
   // it). Null resolves to exec::CurrentPool() at query time.
   exec::ThreadPool* pool = nullptr;
+  // Admission high-water mark: requests past this many concurrent calls are
+  // shed with RESOURCE_EXHAUSTED. < 0 means "O2SR_SERVE_MAX_INFLIGHT or
+  // unbounded"; 0 is unbounded.
+  int64_t max_inflight = -1;
+  // Default per-request latency budget applied when a RankRequest carries
+  // an infinite deadline. < 0 means "O2SR_SERVE_DEADLINE_MS or none";
+  // 0 is "no default deadline".
+  double default_deadline_ms = -1.0;
+  // Fallback prior (last ladder rung). Empty: the ladder ends at the stale
+  // cache and a pair nothing can answer fails the request.
+  PopularityPrior prior;
+  // Consecutive fresh-tier responses required to leave DEGRADED.
+  int health_recovery_streak = 32;
 };
 
 struct RankedSite {
@@ -31,23 +93,86 @@ struct RankedSite {
   double score = 0.0;
 };
 
+// A ranking request with an explicit latency budget. The default deadline
+// is infinite (the engine's default budget, if any, then applies).
+struct RankRequest {
+  int type = 0;
+  std::vector<int> candidates;
+  int k = 0;
+  Deadline deadline;
+};
+
+struct RankResponse {
+  std::vector<RankedSite> sites;
+  // Worst ladder rung any pair of this response needed.
+  ServeTier tier = ServeTier::kFresh;
+  // Model epoch the fresh pairs were scored against (increments on every
+  // promoted snapshot swap).
+  uint64_t epoch = 0;
+};
+
+// One canary query of a snapshot swap: ranked against the *staged* model
+// before promotion. The canary fails on any scoring error, any non-finite
+// score, or — when `expected` is non-empty — any deviation from the
+// expected ranking (region and bit-exact score).
+struct CanaryQuery {
+  int type = 0;
+  std::vector<int> candidates;
+  int k = 0;
+  std::vector<RankedSite> expected;
+};
+
+struct SwapOptions {
+  std::vector<CanaryQuery> canaries;
+};
+
+// Outcome of SwapSnapshot. `promoted` false means the active model kept
+// serving untouched; `reject_reason` says why and `quarantine_path` is
+// where the offending snapshot file was moved (empty when quarantining
+// itself failed — the reason then carries a note).
+struct SwapReport {
+  bool promoted = false;
+  uint64_t epoch = 0;  // epoch now serving
+  size_t canaries_run = 0;
+  common::Status reject_reason;
+  std::string quarantine_path;
+};
+
 // Online ranking over a ready SiteRecommender (trained, or restored from a
 // snapshot). Construction finalizes the model for serving (FinalizeServing
 // precomputes its inference tables — O2-SiteRec materializes the per-period
 // node embeddings so queries skip the whole multi-graph forward pass).
 //
-// Determinism contract (DESIGN.md §9): RankSites is a pure function of the
-// model's learned state and the query. The score cache, its capacity, the
-// thread count and the query history never change a returned score or the
-// ranking order; ties order by ascending region id.
+// Determinism contract (DESIGN.md §9): with fault injection off and no
+// snapshot swap, Rank/RankSites is a pure function of the model's learned
+// state and the query. The score cache, its capacity, the thread count and
+// the query history never change a returned score or the ranking order;
+// ties order by ascending region id.
 //
-// Thread-safety: RankSites is safe to call concurrently (the model's
-// serving path is const, the cache is internally synchronized).
+// Resilience contract (DESIGN.md §10): per-request deadlines, bounded
+// admission with load shedding, a fallback ladder (fresh score -> stale
+// cached score -> per-type popularity prior) with the served tier recorded
+// on every response, hot snapshot swap with canary validation + rollback +
+// quarantine, and a SERVING / DEGRADED / LAME_DUCK health state machine.
+//
+// Thread-safety: Rank/RankSites/Score are safe to call concurrently, and
+// concurrently with one SwapSnapshot (swaps serialize among themselves).
+// In-flight requests pin the model they started on; a promotion never
+// yanks a model out from under a running query.
 //
 // Observability (prefix "serve"):
-//   serve.requests         counter   RankSites calls
-//   serve.pairs_scored     counter   cache misses scored through the model
-//   serve.rank_latency_ms  histogram per-call latency
+//   serve.requests            counter   Rank/RankSites calls
+//   serve.pairs_scored        counter   cache misses scored through the model
+//   serve.rank_latency_ms     histogram per-call latency
+//   serve.shed                counter   requests shed (admission, deadline
+//                                       pre-expiry, lame duck)
+//   serve.degraded_responses  counter   responses served below fresh tier
+//   serve.fallback.stale_pairs / serve.fallback.prior_pairs
+//                             counter   pairs answered by each ladder rung
+//   serve.swaps / serve.swap_rejects
+//                             counter   promoted / rejected snapshot swaps
+//   serve.health_state        gauge     0 SERVING / 1 DEGRADED / 2 LAME_DUCK
+//   serve.epoch               gauge     active model epoch
 // plus the serve.cache.* counters of ScoreCache.
 class ServingEngine {
  public:
@@ -56,30 +181,123 @@ class ServingEngine {
   static common::StatusOr<std::unique_ptr<ServingEngine>> Create(
       core::SiteRecommender* model, const ServingOptions& options = {});
 
-  // Top-k candidate regions for a store type, best first, ordered by
-  // (score desc, region asc). Candidates the model cannot score
-  // (CanScoreRegion false) are skipped; duplicates count once. k larger
-  // than the scorable pool returns the whole pool ranked.
+  // Full-contract ranking: admission control, deadline budget, fallback
+  // ladder, tier-tagged response. Top-k candidate regions for a store
+  // type, best first, ordered by (score desc, region asc). Candidates the
+  // model cannot score (CanScoreRegion false) are skipped; duplicates
+  // count once. k larger than the scorable pool returns the whole pool
+  // ranked.
+  //
+  // Errors: RESOURCE_EXHAUSTED when shed (admission high-water mark, lame
+  // duck, or a deadline that expired before admission); INVALID_ARGUMENT
+  // for contract violations (negative k, a store type the model rejects);
+  // scorer failures only surface when every ladder rung below also fails.
+  common::StatusOr<RankResponse> Rank(const RankRequest& request) const;
+
+  // Compatibility ranking without the resilience surface: infinite-budget
+  // request, sites only. Bit-identical to the pre-resilience engine.
   common::StatusOr<std::vector<RankedSite>> RankSites(
       int type, const std::vector<int>& candidate_regions, int k) const;
 
-  // Scores for explicit pairs, cache-accelerated; bit-identical to the
-  // model's Predict. Every region must be scorable (InvalidArgument
-  // otherwise, mirroring Predict's strictness).
+  // Strict fresh-tier scores for explicit pairs, cache-accelerated;
+  // bit-identical to the model's Predict. Every region must be scorable
+  // (InvalidArgument otherwise, mirroring Predict's strictness). Never
+  // degrades: scorer failures propagate.
   common::StatusOr<std::vector<double>> Score(
       const core::InteractionList& pairs) const;
 
-  const core::SiteRecommender& model() const { return *model_; }
+  // Hot snapshot swap. Stages `staged` (a model with structure already
+  // built via PrepareServing on the serving world), restores the snapshot
+  // at `snapshot_path` into it, finalizes it, and runs the canary queries
+  // against it. On pass: atomically promotes the staged model, bumps the
+  // model epoch (same-epoch cache entries become stale, reachable only
+  // through the degraded ladder), and keeps the displaced model alive
+  // until its last in-flight query completes. On any failure (unreadable /
+  // corrupt / mismatched snapshot, canary error, non-finite or unexpected
+  // canary score): the active model keeps serving untouched and the
+  // snapshot file is moved to `<dir>/.quarantine/<name>` next to a
+  // `<name>.reason` record.
+  //
+  // Only INVALID_ARGUMENT (null staged model) is an error of the call
+  // itself; a rejected swap returns ok with promoted = false.
+  common::StatusOr<SwapReport> SwapSnapshot(
+      const std::string& snapshot_path,
+      std::unique_ptr<core::SiteRecommender> staged,
+      uint64_t expected_config_hash, const SwapOptions& swap_options = {});
+
+  // Terminal drain state: every subsequent Rank/RankSites call is shed
+  // with RESOURCE_EXHAUSTED while in-flight calls finish normally.
+  void EnterLameDuck();
+
+  ServeHealth health() const;
+  uint64_t epoch() const;
+  int64_t inflight() const { return admission_.inflight(); }
+  // Requests shed by this engine for any reason (admission, pre-expired
+  // deadline, lame duck).
+  uint64_t shed_count() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+
+  // The currently active model (may change across SwapSnapshot).
+  const core::SiteRecommender& model() const;
   ScoreCache& cache() const { return *cache_; }
 
  private:
+  // The active model + its epoch. Queries copy the shared_ptr on entry, so
+  // a promotion never destroys a model that still has in-flight readers.
+  struct Active {
+    core::SiteRecommender* model = nullptr;  // borrowed or owned.get()
+    std::shared_ptr<core::SiteRecommender> owned;  // null for the initial
+                                                   // borrowed model
+    uint64_t epoch = 1;
+  };
+
   ServingEngine(core::SiteRecommender* model, const ServingOptions& options);
 
-  core::SiteRecommender* model_;  // not owned
+  std::shared_ptr<const Active> CurrentActive() const;
+
+  // Fresh-tier scoring of `pairs` through the cache (strict; errors
+  // propagate). Fault sites "score" (delay + error) fire around the model
+  // call.
+  common::StatusOr<std::vector<double>> ScoreFresh(
+      const Active& active, const core::InteractionList& pairs) const;
+
+  // Ladder scoring: fresh where possible, stale cache then prior for pairs
+  // the scorer could not answer in budget. Fails only when a pair exhausts
+  // the ladder or the scorer reports a contract violation.
+  common::Status ScoreLadder(const Active& active,
+                             const core::InteractionList& pairs,
+                             const Deadline& deadline,
+                             std::vector<double>* scores,
+                             ServeTier* tier) const;
+
+  void RecordOutcome(ServeTier tier) const;
+  common::StatusOr<RankResponse> ShedRequest(const char* reason) const;
+
   ServingOptions options_;
   std::unique_ptr<ScoreCache> cache_;
+  mutable AdmissionController admission_;
+  double default_deadline_ms_ = 0.0;
+  mutable std::atomic<uint64_t> shed_total_{0};
+
+  mutable std::mutex active_mutex_;
+  std::shared_ptr<const Active> active_;
+  mutable std::mutex swap_mutex_;  // one swap at a time
+
+  mutable std::mutex health_mutex_;
+  mutable ServeHealth health_ = ServeHealth::kServing;
+  mutable int fresh_streak_ = 0;
+
   obs::Counter* requests_;
   obs::Counter* pairs_scored_;
+  obs::Counter* shed_;
+  obs::Counter* degraded_responses_;
+  obs::Counter* stale_pairs_;
+  obs::Counter* prior_pairs_;
+  obs::Counter* swaps_;
+  obs::Counter* swap_rejects_;
+  obs::Gauge* health_gauge_;
+  obs::Gauge* epoch_gauge_;
   obs::Histogram* latency_ms_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 
 namespace o2sr::serve {
@@ -12,11 +13,12 @@ ScoreCache::ScoreCache(int64_t capacity, int shards)
       hits_(obs::MetricsRegistry::Global().GetCounter("serve.cache.hits")),
       misses_(
           obs::MetricsRegistry::Global().GetCounter("serve.cache.misses")),
+      stale_hits_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.cache.stale_hits")),
       evictions_(obs::MetricsRegistry::Global().GetCounter(
           "serve.cache.evictions")) {
   if (capacity_ == 0) return;
-  const int64_t n =
-      std::clamp<int64_t>(shards, 1, capacity_);
+  const int64_t n = std::clamp<int64_t>(shards, 1, capacity_);
   per_shard_capacity_ = (capacity_ + n - 1) / n;
   shards_.reserve(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
@@ -43,41 +45,84 @@ ScoreCache::Shard& ScoreCache::ShardOf(uint64_t key) {
   return *shards_[h % shards_.size()];
 }
 
-bool ScoreCache::Lookup(uint64_t key, double* score) {
-  if (capacity_ == 0) {
+bool ScoreCache::Lookup(uint64_t key, uint64_t epoch, double* score) {
+  // Injection point: a `cache.lookup=error` rule turns this lookup into a
+  // forced miss — simulating entries lost to eviction races or a cold
+  // restart without touching real state.
+  const bool dropped =
+      !common::FaultInjector::Global().InjectError("cache.lookup").ok();
+  if (capacity_ == 0 || dropped) {
+    misses_n_.fetch_add(1, std::memory_order_relaxed);
     misses_->Increment();
     return false;
   }
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+  if (it == shard.map.end() || it->second->epoch != epoch) {
+    misses_n_.fetch_add(1, std::memory_order_relaxed);
     misses_->Increment();
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *score = it->second->second;
+  *score = it->second->score;
+  hits_n_.fetch_add(1, std::memory_order_relaxed);
   hits_->Increment();
   return true;
 }
 
-void ScoreCache::Insert(uint64_t key, double score) {
-  if (capacity_ == 0) return;
+bool ScoreCache::LookupStale(uint64_t key, double* score,
+                             uint64_t* entry_epoch) {
+  if (capacity_ == 0) return false;
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *score = it->second->score;
+  if (entry_epoch != nullptr) *entry_epoch = it->second->epoch;
+  stale_hits_n_.fetch_add(1, std::memory_order_relaxed);
+  stale_hits_->Increment();
+  return true;
+}
+
+void ScoreCache::Insert(uint64_t key, uint64_t epoch, double score) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  insertions_n_.fetch_add(1, std::memory_order_relaxed);
+  auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    it->second->second = score;
+    it->second->score = score;
+    it->second->epoch = epoch;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (static_cast<int64_t>(shard.lru.size()) >= per_shard_capacity_) {
-    shard.map.erase(shard.lru.back().first);
+    shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
+    evictions_n_.fetch_add(1, std::memory_order_relaxed);
     evictions_->Increment();
   }
-  shard.lru.emplace_front(key, score);
+  shard.lru.push_front(Entry{key, score, epoch});
   shard.map[key] = shard.lru.begin();
+}
+
+void ScoreCache::Invalidate() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  Stats s;
+  s.hits = hits_n_.load(std::memory_order_relaxed);
+  s.misses = misses_n_.load(std::memory_order_relaxed);
+  s.stale_hits = stale_hits_n_.load(std::memory_order_relaxed);
+  s.evictions = evictions_n_.load(std::memory_order_relaxed);
+  s.insertions = insertions_n_.load(std::memory_order_relaxed);
+  return s;
 }
 
 int64_t ScoreCache::size() const {

@@ -1,6 +1,7 @@
 #ifndef O2SR_SERVE_SCORE_CACHE_H_
 #define O2SR_SERVE_SCORE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -15,22 +16,43 @@ class Counter;
 
 namespace o2sr::serve {
 
-// Sharded LRU cache of (region, type) -> score. Keys hash to a shard; each
-// shard holds its own mutex, map and recency list, so concurrent lookups on
-// different shards never contend. Capacity is split evenly across shards
-// (each shard evicts its own least-recently-used entry when full).
+// Sharded LRU cache of (region, type) -> (score, epoch). Keys hash to a
+// shard; each shard holds its own mutex, map and recency list, so
+// concurrent lookups on different shards never contend. Capacity is split
+// evenly across shards (each shard evicts its own least-recently-used
+// entry when full).
 //
-// The cache is an *optimization only*: scores are deterministic functions
-// of the loaded snapshot, so a hit returns exactly what recomputation
-// would — the engine's results are bit-identical with the cache on, off,
-// cold or warm. Tests assert this (metrics_test.cc).
+// Every entry is tagged with the *model epoch* that computed it (the
+// serving engine bumps the epoch on each snapshot swap). A fresh Lookup
+// only returns entries of the caller's epoch — a swapped-in model can
+// never be answered with the previous model's scores. Entries from older
+// epochs are retained (until evicted) and reachable through LookupStale:
+// the degraded-mode fallback ladder serves them, explicitly labeled, when
+// fresh scoring fails (DESIGN.md §10).
 //
-// Observability (obs::MetricsRegistry::Global(), prefix "serve.cache"):
-//   serve.cache.hits       lookups answered from the cache
-//   serve.cache.misses     lookups that fell through
-//   serve.cache.evictions  entries displaced by capacity pressure
+// The fresh path is an *optimization only*: scores are deterministic
+// functions of the loaded snapshot, so a fresh hit returns exactly what
+// recomputation would — the engine's results are bit-identical with the
+// cache on, off, cold or warm. Tests assert this (metrics_test.cc).
+//
+// Statistics: per-instance lock-free counters (`stats()` snapshot) — safe
+// against concurrent Lookup/Insert/Invalidate from any number of threads
+// (TSAN-covered by tests/score_cache_stress_test.cc) — mirrored into the
+// process-wide registry (prefix "serve.cache"):
+//   serve.cache.hits        fresh lookups answered from the cache
+//   serve.cache.misses      lookups that fell through
+//   serve.cache.stale_hits  stale lookups answered by an older epoch
+//   serve.cache.evictions   entries displaced by capacity pressure
 class ScoreCache {
  public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_hits = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+  };
+
   // `capacity` <= 0 disables the cache (every Lookup misses, Insert is a
   // no-op). `shards` is clamped to [1, capacity] so every shard holds at
   // least one entry.
@@ -45,23 +67,42 @@ class ScoreCache {
            static_cast<uint32_t>(region);
   }
 
-  // On hit, writes the score, refreshes recency and returns true.
-  bool Lookup(uint64_t key, double* score);
-  // Inserts or refreshes; evicts the shard's LRU entry when full.
-  void Insert(uint64_t key, double score);
+  // On a fresh hit (entry tagged exactly `epoch`), writes the score,
+  // refreshes recency and returns true. An entry from another epoch is a
+  // miss (the entry stays, reachable via LookupStale).
+  bool Lookup(uint64_t key, uint64_t epoch, double* score);
+
+  // Degraded-mode lookup: returns the entry regardless of its epoch,
+  // writing the tagging epoch to `entry_epoch` when non-null. Does not
+  // refresh recency (stale entries must not outcompete fresh ones).
+  bool LookupStale(uint64_t key, double* score,
+                   uint64_t* entry_epoch = nullptr);
+
+  // Inserts or refreshes the entry under `epoch`; evicts the shard's LRU
+  // entry when full.
+  void Insert(uint64_t key, uint64_t epoch, double score);
+
+  // Drops every entry (all epochs). Used when stale scores must not
+  // survive — e.g. quarantining a world whose scores are known bad.
+  void Invalidate();
+
+  Stats stats() const;
 
   int64_t size() const;
   int64_t capacity() const { return capacity_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
+  struct Entry {
+    uint64_t key = 0;
+    double score = 0.0;
+    uint64_t epoch = 0;
+  };
   struct Shard {
     std::mutex mutex;
     // Front = most recently used.
-    std::list<std::pair<uint64_t, double>> lru;
-    std::unordered_map<uint64_t,
-                       std::list<std::pair<uint64_t, double>>::iterator>
-        map;
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
   };
 
   Shard& ShardOf(uint64_t key);
@@ -69,8 +110,16 @@ class ScoreCache {
   int64_t capacity_ = 0;
   int64_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-instance statistics; relaxed atomics, so concurrent mutation from
+  // any thread is race-free and costs one uncontended RMW each.
+  std::atomic<uint64_t> hits_n_{0};
+  std::atomic<uint64_t> misses_n_{0};
+  std::atomic<uint64_t> stale_hits_n_{0};
+  std::atomic<uint64_t> evictions_n_{0};
+  std::atomic<uint64_t> insertions_n_{0};
   obs::Counter* hits_;
   obs::Counter* misses_;
+  obs::Counter* stale_hits_;
   obs::Counter* evictions_;
 };
 

@@ -1,7 +1,10 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 
+#include "common/fault.h"
 #include "nn/serialize.h"
 
 namespace o2sr::serve {
@@ -110,9 +113,16 @@ common::Status ExportSnapshot(const std::string& path,
 }
 
 common::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
+  common::FaultInjector& faults = common::FaultInjector::Global();
+  faults.InjectDelay("snapshot.read");
+  O2SR_RETURN_IF_ERROR(faults.InjectError("snapshot.read"));
   O2SR_ASSIGN_OR_RETURN(
-      const std::string payload,
+      std::string payload,
       nn::ReadContainerFile(path, kSnapshotMagic, kSnapshotFormatVersion));
+  // Post-checksum corruption: models silent memory/media corruption between
+  // validation and decode; the bounds-checked parser below must turn it
+  // into a Status, never undefined behavior.
+  faults.InjectCorruption("snapshot.read", &payload);
   Snapshot snap;
   nn::ByteReader r(payload);
   O2SR_RETURN_IF_ERROR(r.Str(&snap.meta.model_name));
@@ -134,6 +144,37 @@ common::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
   snap.param_record.assign(payload, payload.size() - r.remaining(),
                            r.remaining());
   return snap;
+}
+
+common::StatusOr<std::string> QuarantineSnapshot(const std::string& path,
+                                                 const std::string& reason) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path source(path);
+  if (!fs::exists(source, ec)) {
+    return common::NotFoundError("cannot quarantine '" + path +
+                                 "': file does not exist");
+  }
+  const fs::path dir = source.parent_path() / ".quarantine";
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return common::UnavailableError("cannot create quarantine dir '" +
+                                    dir.string() + "': " + ec.message());
+  }
+  const fs::path target = dir / source.filename();
+  fs::rename(source, target, ec);
+  if (ec) {
+    return common::UnavailableError("cannot move '" + path + "' to '" +
+                                    target.string() + "': " + ec.message());
+  }
+  // The reason record rides along best-effort: losing it must not resurrect
+  // the snapshot, so a write failure surfaces in the Status but the move
+  // stands.
+  const std::string reason_path = target.string() + ".reason";
+  O2SR_RETURN_IF_ERROR(nn::WriteFileAtomic(reason_path, reason + "\n")
+                           .WithContext("quarantined to '" + target.string() +
+                                        "' but the reason record failed"));
+  return target.string();
 }
 
 common::Status RestoreModel(const Snapshot& snapshot,

@@ -106,7 +106,20 @@ common::Status ExportSnapshot(const std::string& path,
 
 // Reads and validates a snapshot container (NOT_FOUND / DATA_LOSS /
 // FAILED_PRECONDITION per nn::ReadContainerFile) and decodes its metadata.
+// Every decode is bounds-checked: a truncated, torn, or bit-flipped file of
+// any length yields a clean Status, never a crash or a partial result.
+// Fault-injection site "snapshot.read" (delay, error, bitflip/trunc of the
+// decoded payload) fires here — a post-checksum corruption exercises the
+// parser hardening the way silent media corruption would.
 common::StatusOr<Snapshot> LoadSnapshot(const std::string& path);
+
+// Moves the snapshot file at `path` into a `.quarantine/` directory next
+// to it and writes a sibling `<name>.reason` record with `reason`; returns
+// the quarantined file's new path. Used by the swap protocol so a corrupt
+// or canary-failing snapshot can never be picked up again by a later
+// deploy loop.
+common::StatusOr<std::string> QuarantineSnapshot(const std::string& path,
+                                                 const std::string& reason);
 
 // Overwrites `model`'s parameter values from the snapshot. The model must
 // already have its structure built (Train or PrepareServing). Refuses —

@@ -1,0 +1,152 @@
+#include "serve/score_cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace o2sr::serve {
+namespace {
+
+// Multithreaded stress over the full ScoreCache surface. Run under TSAN in
+// CI (ci.sh wires this binary into the sanitizer job): the interesting
+// assertions are the ones the tool makes about the sharded locking and the
+// lock-free statistics, not just the ones below.
+
+// xorshift64: cheap per-thread deterministic op stream.
+uint64_t Next(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+TEST(ScoreCacheStressTest, ConcurrentMixedTrafficKeepsCountsConsistent) {
+  ScoreCache cache(256, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+  constexpr int kRegions = 128;
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> wrong_values{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1);
+      uint64_t my_lookups = 0, my_inserts = 0, my_wrong = 0;
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t r = Next(&state);
+        const uint64_t key = ScoreCache::Key(
+            static_cast<int>(r % 4), static_cast<int>((r >> 8) % kRegions));
+        const uint64_t epoch = 1 + ((r >> 20) & 1);
+        double score = 0.0;
+        switch ((r >> 4) % 4) {
+          case 0:
+          case 1:
+            // Every entry is inserted with score == key, so any hit that
+            // disagrees is a real corruption, not a stale-vs-fresh artifact.
+            if (cache.Lookup(key, epoch, &score) &&
+                score != static_cast<double>(key)) {
+              ++my_wrong;
+            }
+            ++my_lookups;
+            break;
+          case 2:
+            cache.Insert(key, epoch, static_cast<double>(key));
+            ++my_inserts;
+            break;
+          case 3:
+            if (cache.LookupStale(key, &score) &&
+                score != static_cast<double>(key)) {
+              ++my_wrong;
+            }
+            break;
+        }
+      }
+      lookups.fetch_add(my_lookups);
+      inserts.fetch_add(my_inserts);
+      wrong_values.fetch_add(my_wrong);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong_values.load(), 0u);
+  const ScoreCache::Stats stats = cache.stats();
+  // Every fresh lookup lands in exactly one of hits/misses; every insert is
+  // counted; an eviction needs an insertion to displace it.
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.insertions, inserts.load());
+  EXPECT_LE(stats.evictions, stats.insertions);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ScoreCacheStressTest, InvalidateRacesWithTraffic) {
+  ScoreCache cache(128, 4);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x51afd7ed558ccdull * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t r = Next(&state);
+        const uint64_t key = ScoreCache::Key(0, static_cast<int>(r % 64));
+        double score = 0.0;
+        if ((r & 1) != 0) {
+          cache.Insert(key, /*epoch=*/1, static_cast<double>(key));
+        } else {
+          cache.Lookup(key, /*epoch=*/1, &score);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      cache.Invalidate();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0);
+  double score = 0.0;
+  EXPECT_FALSE(cache.LookupStale(ScoreCache::Key(0, 1), &score));
+}
+
+TEST(ScoreCacheStressTest, StatsSnapshotsAreMonotoneUnderConcurrentTraffic) {
+  ScoreCache cache(64, 4);
+  std::atomic<bool> done{false};
+  std::thread traffic([&] {
+    uint64_t state = 0xbf58476d1ce4e5b9ull;
+    while (!done.load(std::memory_order_relaxed)) {
+      const uint64_t r = Next(&state);
+      const uint64_t key = ScoreCache::Key(1, static_cast<int>(r % 96));
+      double score = 0.0;
+      if ((r & 3) == 0) {
+        cache.Insert(key, 1, 1.0);
+      } else {
+        cache.Lookup(key, 1, &score);
+      }
+    }
+  });
+  ScoreCache::Stats last;
+  for (int i = 0; i < 2000; ++i) {
+    const ScoreCache::Stats now = cache.stats();
+    EXPECT_GE(now.hits, last.hits);
+    EXPECT_GE(now.misses, last.misses);
+    EXPECT_GE(now.insertions, last.insertions);
+    EXPECT_GE(now.evictions, last.evictions);
+    last = now;
+  }
+  done.store(true, std::memory_order_relaxed);
+  traffic.join();
+}
+
+}  // namespace
+}  // namespace o2sr::serve

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/o2siterec_recommender.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "serve/score_cache.h"
@@ -44,8 +45,8 @@ std::string ReadFile(const std::string& path) {
 
 // A deterministic in-memory recommender: score(region, type) =
 // region + 100 * type, over regions [0, num_regions) with odd regions
-// outside the domain. Counts ServingPredict calls so cache behavior is
-// observable.
+// outside the domain and store types limited to [0, 10). Counts
+// ServingPredict calls so cache behavior is observable.
 class StubRecommender : public core::SiteRecommender {
  public:
   explicit StubRecommender(int num_regions) : num_regions_(num_regions) {
@@ -64,6 +65,10 @@ class StubRecommender : public core::SiteRecommender {
     std::vector<double> out;
     out.reserve(pairs.size());
     for (const core::Interaction& it : pairs) {
+      if (it.type < 0 || it.type >= 10) {
+        return common::InvalidArgumentError("stub: unknown store type " +
+                                            std::to_string(it.type));
+      }
       if (!CanScoreRegion(it.region)) {
         return common::InvalidArgumentError("stub: unscorable region " +
                                             std::to_string(it.region));
@@ -145,12 +150,14 @@ TEST(FingerprintTest, TypeNormalizersTakePerTypeMax) {
 
 // --- ScoreCache -------------------------------------------------------
 
+constexpr uint64_t kEpoch = 1;
+
 TEST(ScoreCacheTest, MissThenHit) {
   ScoreCache cache(8, 2);
   double score = 0.0;
-  EXPECT_FALSE(cache.Lookup(ScoreCache::Key(1, 2), &score));
-  cache.Insert(ScoreCache::Key(1, 2), 0.75);
-  EXPECT_TRUE(cache.Lookup(ScoreCache::Key(1, 2), &score));
+  EXPECT_FALSE(cache.Lookup(ScoreCache::Key(1, 2), kEpoch, &score));
+  cache.Insert(ScoreCache::Key(1, 2), kEpoch, 0.75);
+  EXPECT_TRUE(cache.Lookup(ScoreCache::Key(1, 2), kEpoch, &score));
   EXPECT_DOUBLE_EQ(score, 0.75);
   EXPECT_EQ(cache.size(), 1);
 }
@@ -164,33 +171,86 @@ TEST(ScoreCacheTest, EvictsLeastRecentlyUsed) {
   // One shard, two slots: inserting a third evicts the least recently
   // *touched* entry, not the oldest inserted.
   ScoreCache cache(2, 1);
-  cache.Insert(1, 1.0);
-  cache.Insert(2, 2.0);
+  cache.Insert(1, kEpoch, 1.0);
+  cache.Insert(2, kEpoch, 2.0);
   double score = 0.0;
-  EXPECT_TRUE(cache.Lookup(1, &score));  // refresh key 1
-  cache.Insert(3, 3.0);                  // evicts key 2
-  EXPECT_TRUE(cache.Lookup(1, &score));
-  EXPECT_FALSE(cache.Lookup(2, &score));
-  EXPECT_TRUE(cache.Lookup(3, &score));
+  EXPECT_TRUE(cache.Lookup(1, kEpoch, &score));  // refresh key 1
+  cache.Insert(3, kEpoch, 3.0);                  // evicts key 2
+  EXPECT_TRUE(cache.Lookup(1, kEpoch, &score));
+  EXPECT_FALSE(cache.Lookup(2, kEpoch, &score));
+  EXPECT_TRUE(cache.Lookup(3, kEpoch, &score));
   EXPECT_EQ(cache.size(), 2);
 }
 
 TEST(ScoreCacheTest, ReinsertRefreshesValueWithoutGrowth) {
   ScoreCache cache(4, 1);
-  cache.Insert(9, 1.0);
-  cache.Insert(9, 2.0);
+  cache.Insert(9, kEpoch, 1.0);
+  cache.Insert(9, kEpoch, 2.0);
   double score = 0.0;
-  EXPECT_TRUE(cache.Lookup(9, &score));
+  EXPECT_TRUE(cache.Lookup(9, kEpoch, &score));
   EXPECT_DOUBLE_EQ(score, 2.0);
   EXPECT_EQ(cache.size(), 1);
 }
 
 TEST(ScoreCacheTest, ZeroCapacityDisables) {
   ScoreCache cache(0, 4);
-  cache.Insert(1, 1.0);
+  cache.Insert(1, kEpoch, 1.0);
   double score = 0.0;
-  EXPECT_FALSE(cache.Lookup(1, &score));
+  EXPECT_FALSE(cache.Lookup(1, kEpoch, &score));
+  EXPECT_FALSE(cache.LookupStale(1, &score));
   EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(ScoreCacheTest, WrongEpochIsAMissButStaysReachableStale) {
+  ScoreCache cache(8, 2);
+  cache.Insert(5, /*epoch=*/1, 0.25);
+  double score = 0.0;
+  // A fresh lookup from a later epoch must never see the old score.
+  EXPECT_FALSE(cache.Lookup(5, /*epoch=*/2, &score));
+  // The degraded ladder still can, and learns which epoch tagged it.
+  uint64_t entry_epoch = 0;
+  EXPECT_TRUE(cache.LookupStale(5, &score, &entry_epoch));
+  EXPECT_DOUBLE_EQ(score, 0.25);
+  EXPECT_EQ(entry_epoch, 1u);
+}
+
+TEST(ScoreCacheTest, InsertRetagsTheEpoch) {
+  ScoreCache cache(8, 2);
+  cache.Insert(5, /*epoch=*/1, 0.25);
+  cache.Insert(5, /*epoch=*/2, 0.5);
+  double score = 0.0;
+  EXPECT_FALSE(cache.Lookup(5, /*epoch=*/1, &score));
+  EXPECT_TRUE(cache.Lookup(5, /*epoch=*/2, &score));
+  EXPECT_DOUBLE_EQ(score, 0.5);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(ScoreCacheTest, InvalidateDropsEveryEpoch) {
+  ScoreCache cache(8, 2);
+  cache.Insert(1, /*epoch=*/1, 1.0);
+  cache.Insert(2, /*epoch=*/2, 2.0);
+  cache.Invalidate();
+  double score = 0.0;
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.LookupStale(1, &score));
+  EXPECT_FALSE(cache.LookupStale(2, &score));
+}
+
+TEST(ScoreCacheTest, StatsCountEveryOutcome) {
+  ScoreCache cache(2, 1);
+  double score = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, kEpoch, &score));  // miss
+  cache.Insert(1, kEpoch, 1.0);
+  cache.Insert(2, kEpoch, 2.0);
+  EXPECT_TRUE(cache.Lookup(1, kEpoch, &score));  // hit
+  cache.Insert(3, kEpoch, 3.0);                  // evicts 2
+  EXPECT_TRUE(cache.LookupStale(3, &score));     // stale hit
+  const ScoreCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
 }
 
 TEST(ScoreCacheTest, CapacityFromEnv) {
@@ -333,6 +393,77 @@ TEST(SnapshotTest, RestoreRefusesShapeMismatchWithoutTouchingTheModel) {
   EXPECT_EQ(other.parameter_store()->params()[0]->value.at(0, 0), before);
 }
 
+// Satellite hardening (DESIGN.md §10): *every* byte-truncation of a valid
+// snapshot must yield a clean Status — never a crash, hang, or partial
+// restore. This sweeps all prefixes, which covers torn headers, torn
+// payloads and torn checksums alike.
+TEST(SnapshotTest, EveryByteTruncationFailsCleanly) {
+  StubRecommender model(10);
+  const std::string path = TempPath("snap_sweep.snap");
+  ASSERT_TRUE(ExportSnapshot(path, StubMeta(), model).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 0u);
+  const std::string truncated_path = TempPath("snap_sweep_cut.snap");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileRaw(truncated_path, bytes.substr(0, len));
+    const auto loaded = LoadSnapshot(truncated_path);
+    ASSERT_FALSE(loaded.ok()) << "length " << len << " of " << bytes.size();
+    ASSERT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "length " << len << ": " << loaded.status();
+  }
+}
+
+TEST(SnapshotTest, TornFileSplicingTwoSnapshotsIsDataLoss) {
+  // A torn write: the first half of one valid snapshot, the second half of
+  // another (different parameter values). Sizes match, magic matches — the
+  // checksum must still refuse it.
+  StubRecommender a(10), b(10);
+  for (auto& p : b.mutable_parameter_store()->params()) p->value.Fill(3.5f);
+  const std::string path_a = TempPath("snap_torn_a.snap");
+  const std::string path_b = TempPath("snap_torn_b.snap");
+  ASSERT_TRUE(ExportSnapshot(path_a, StubMeta(), a).ok());
+  ASSERT_TRUE(ExportSnapshot(path_b, StubMeta(), b).ok());
+  const std::string bytes_a = ReadFile(path_a);
+  const std::string bytes_b = ReadFile(path_b);
+  ASSERT_EQ(bytes_a.size(), bytes_b.size());
+  // Cut just past the first differing byte: the splice then carries at
+  // least one byte of A inside B's checksummed payload. (A naive midpoint
+  // cut can fall after all the differences and rebuild B exactly.)
+  size_t first_diff = 0;
+  while (first_diff < bytes_a.size() &&
+         bytes_a[first_diff] == bytes_b[first_diff]) {
+    ++first_diff;
+  }
+  ASSERT_LT(first_diff, bytes_a.size());
+  const std::string torn =
+      bytes_a.substr(0, first_diff + 1) + bytes_b.substr(first_diff + 1);
+  const std::string torn_path = TempPath("snap_torn.snap");
+  WriteFileRaw(torn_path, torn);
+  EXPECT_EQ(LoadSnapshot(torn_path).status().code(), StatusCode::kDataLoss);
+}
+
+// --- Quarantine -------------------------------------------------------
+
+TEST(QuarantineTest, MovesFileAndWritesReasonRecord) {
+  StubRecommender model(10);
+  const std::string path = TempPath("snap_quarantine.snap");
+  ASSERT_TRUE(ExportSnapshot(path, StubMeta(), model).ok());
+  const auto quarantined = QuarantineSnapshot(path, "checksum failure");
+  ASSERT_TRUE(quarantined.ok()) << quarantined.status();
+  // Original gone, quarantined copy + reason record present.
+  EXPECT_EQ(LoadSnapshot(path).status().code(), StatusCode::kNotFound);
+  EXPECT_NE(quarantined->find(".quarantine"), std::string::npos);
+  EXPECT_TRUE(LoadSnapshot(*quarantined).ok());
+  const std::string reason = ReadFile(*quarantined + ".reason");
+  EXPECT_NE(reason.find("checksum failure"), std::string::npos);
+}
+
+TEST(QuarantineTest, MissingFileIsNotFound) {
+  const auto quarantined =
+      QuarantineSnapshot(TempPath("snap_quarantine_missing.snap"), "x");
+  EXPECT_EQ(quarantined.status().code(), StatusCode::kNotFound);
+}
+
 // --- ServingEngine ----------------------------------------------------
 
 ServingOptions NoCache() {
@@ -420,6 +551,73 @@ TEST(ServingEngineTest, ScoreMatchesPredictThroughTheCache) {
                 StubRecommender::Score(pairs[i].region, pairs[i].type));
     }
   }
+}
+
+// --- ServingEngine error paths (previously untested) ------------------
+
+TEST(ServingEngineErrorTest, EmptyCandidateListIsAnEmptyResponse) {
+  StubRecommender model(10);
+  const auto engine = ServingEngine::Create(&model, NoCache()).value();
+  const auto ranked = engine->RankSites(0, {}, 5);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  EXPECT_TRUE(ranked->empty());
+  // The full-contract API agrees and still tags the (vacuously fresh) tier.
+  RankRequest request;
+  request.type = 0;
+  request.k = 5;
+  const auto response = engine->Rank(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->sites.empty());
+  EXPECT_EQ(response->tier, ServeTier::kFresh);
+}
+
+TEST(ServingEngineErrorTest, KLargerThanCandidatePoolReturnsWholePool) {
+  StubRecommender model(10);
+  const auto engine = ServingEngine::Create(&model, NoCache()).value();
+  const auto ranked = engine->RankSites(0, {0, 2, 4}, 1000);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  ASSERT_EQ(ranked->size(), 3u);  // the whole scorable pool, ranked
+  EXPECT_EQ((*ranked)[0].region, 4);
+  EXPECT_EQ((*ranked)[2].region, 0);
+}
+
+TEST(ServingEngineErrorTest, UnknownStoreTypeIsInvalidArgument) {
+  StubRecommender model(10);
+  // Even with a prior configured: a contract violation must surface, never
+  // be silently served from the fallback ladder.
+  ServingOptions options = NoCache();
+  core::InteractionList prior_obs;
+  core::Interaction it;
+  it.region = 0;
+  it.type = 0;
+  it.orders = 1.0;
+  prior_obs.push_back(it);
+  options.prior = BuildPopularityPrior(10, prior_obs);
+  const auto engine = ServingEngine::Create(&model, options).value();
+  const auto ranked = engine->RankSites(/*type=*/77, {0, 2, 4}, 3);
+  ASSERT_FALSE(ranked.ok());
+  EXPECT_EQ(ranked.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ranked.status().message().find("77"), std::string::npos);
+}
+
+TEST(ServingEngineErrorTest, ServingPredictBeforePrepareServingFails) {
+  core::O2SiteRecRecommender model(core::O2SiteRecConfig{});
+  core::InteractionList pairs;
+  core::Interaction it;
+  it.region = 0;
+  it.type = 0;
+  pairs.push_back(it);
+  const auto scores = model.ServingPredict(pairs);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServingEngineErrorTest, CreateRefusesAModelWithoutStructure) {
+  // FinalizeServing fails before Train/PrepareServing, so Create must too.
+  core::O2SiteRecRecommender model(core::O2SiteRecConfig{});
+  const auto engine = ServingEngine::Create(&model);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace
