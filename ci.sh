@@ -139,6 +139,74 @@ print(f"chaos smoke: {summary.strip()}")
 EOF
 rm -rf "${SERVE_DIR}"
 
+echo "=== Continual smoke: crash-resumable pipeline under chaos ==="
+# The continual-retraining contract (DESIGN.md §11) end to end: the
+# supervised TRAIN->EXPORT->CANARY->SWAP->SERVE->DRIFT->RETRAIN loop must
+# complete every refresh cycle with no manual intervention while journal,
+# checkpoint and snapshot writes fail transiently and snapshot reads flip
+# bits — the retry/backoff supervisor and the engine's fallback ladder ride
+# it out. Exit status 0 is the assertion that all cycles completed.
+PIPE_DIR="$(mktemp -d)"
+O2SR_FAULTS="seed=7,journal.write=error:0.3,checkpoint.write=error:0.2,checkpoint.read=error:0.2,snapshot.read=bitflip:0.15,serialize.write=error:0.1,score=error:0.05" \
+  ./build/examples/continual_demo "${PIPE_DIR}/state" \
+  | tee "${PIPE_DIR}/continual.txt"
+grep -q "^continual: cycles=3 " "${PIPE_DIR}/continual.txt"
+grep -q "health=SERVING" "${PIPE_DIR}/continual.txt"
+test -s "${PIPE_DIR}/state/pipeline_events.jsonl"
+python3 - "${PIPE_DIR}/state/pipeline_events.jsonl" <<'EOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+kinds = {e["event"] for e in events}
+assert "transition" in kinds, kinds
+assert any(e["event"] == "serve" for e in events), kinds
+print(f"continual smoke: {len(events)} events, kinds {sorted(kinds)}")
+EOF
+rm -rf "${PIPE_DIR}"
+
+echo "=== Bench smoke: staleness cost under drift ==="
+# bench_drift trains a stale epoch-0 model and a warm-started refresh per
+# drift epoch; the refreshed model must not rank worse than the stale one
+# (that gap is the pipeline's reason to exist), and BENCH_drift.json must
+# carry the per-epoch series + refresh recovery times.
+DRIFT_DIR="$(mktemp -d)"
+(cd "${DRIFT_DIR}" &&
+ O2SR_BENCH_SCALE=small "${OLDPWD}/build/bench/bench_drift" >/dev/null)
+python3 - "${DRIFT_DIR}" <<'EOF'
+import json, sys, os
+bench = json.load(open(os.path.join(sys.argv[1], "BENCH_drift.json")))
+vals = {v["label"]: v["value"] for v in bench["values"]}
+for key in ("stale_mean_ndcg3", "refreshed_mean_ndcg3",
+            "staleness_gap_ndcg3", "epoch1_stale_ndcg3",
+            "epoch1_refreshed_ndcg3", "epoch1_recovery_s"):
+    assert key in vals, f"BENCH_drift.json missing {key!r}"
+assert vals["refreshed_mean_ndcg3"] >= vals["stale_mean_ndcg3"], (
+    f"refreshed NDCG@3 {vals['refreshed_mean_ndcg3']} worse than stale "
+    f"{vals['stale_mean_ndcg3']}")
+assert vals["epoch1_recovery_s"] > 0.0, vals["epoch1_recovery_s"]
+assert bench["cells"], "bench emitted no per-epoch eval cells"
+print(f"drift bench smoke: stale {vals['stale_mean_ndcg3']:.4f} -> "
+      f"refreshed {vals['refreshed_mean_ndcg3']:.4f} "
+      f"(gap {vals['staleness_gap_ndcg3']:+.4f})")
+EOF
+rm -rf "${DRIFT_DIR}"
+
+echo "=== ASan build + pipeline/fault/serving tests ==="
+# The crash-resume and fault-injection paths shuffle buffers, snapshots and
+# journals across retries; ASan keeps that churn honest.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DO2SR_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}" \
+      --target pipeline_test retry_test drift_test fault_injection_test \
+               serving_resilience_test serve_test checkpoint_test
+(cd build-asan &&
+ ./tests/pipeline_test &&
+ ./tests/retry_test &&
+ ./tests/drift_test &&
+ ./tests/fault_injection_test &&
+ ./tests/serving_resilience_test &&
+ ./tests/serve_test &&
+ ./tests/checkpoint_test)
+
 echo "=== TSAN build + exec/trainer/serving tests ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DO2SR_SANITIZE=thread >/dev/null

@@ -27,6 +27,10 @@ class O2SiteRecRecommender : public SiteRecommender {
                                                    : &exec::CurrentPool());
     model_ = std::make_unique<O2SiteRec>(*ctx.data, *ctx.visible_orders,
                                          config_);
+    if (ctx.warm_start != nullptr) {
+      nn::WarmStartParameters(*ctx.warm_start,
+                              &model_->mutable_parameters());
+    }
     return model_->Train(*ctx.train, ctx.hooks, ctx.report);
   }
 

@@ -37,6 +37,12 @@ struct TrainContext {
   // builds). Null means "whatever exec::CurrentPool() resolves to", i.e.
   // the caller's PoolScope or the process-wide pool.
   exec::ThreadPool* pool = nullptr;
+  // Donor parameters from a previous training cycle. When set, models with
+  // a ParameterStore apply nn::WarmStartParameters after building their
+  // structure and before the first epoch, so retraining on a drifted window
+  // starts from what the last cycle learned instead of a fresh init.
+  // Matching is by name with partial-shape transfer; see nn/trainer.h.
+  const std::vector<nn::NamedTensor>* warm_start = nullptr;
 };
 
 // Null-checks the required TrainContext fields. Implementations call this

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "nn/serialize.h"
 
 namespace o2sr::nn {
@@ -44,6 +45,13 @@ common::Status SaveCheckpoint(const std::string& path,
     w.TensorData(adam.m[k]);
     w.TensorData(adam.v[k]);
   }
+  // Injection site "checkpoint.write": a failed checkpoint publish (full
+  // disk, torn rename) as the pipeline supervisor sees it — distinct from
+  // the container-level "serialize.write" so recipes can target training
+  // checkpoints without also failing snapshots and journals.
+  auto& faults = common::FaultInjector::Global();
+  faults.InjectDelay("checkpoint.write");
+  O2SR_RETURN_IF_ERROR(faults.InjectError("checkpoint.write"));
   return WriteContainerFile(path, kMagic, kCheckpointFormatVersion, payload);
 }
 
@@ -54,8 +62,17 @@ common::Status LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
   O2SR_CHECK(adam != nullptr);
 
   O2SR_ASSIGN_OR_RETURN(
-      const std::string payload,
+      std::string payload,
       ReadContainerFile(path, kMagic, kCheckpointFormatVersion));
+
+  // Injection site "checkpoint.read": delay, transient error, or
+  // post-checksum corruption of the decoded payload — the crash-resume path
+  // of the retraining supervisor must ride out all three (retry redraws;
+  // persistent corruption surfaces as DATA_LOSS, never a crash).
+  auto& faults = common::FaultInjector::Global();
+  faults.InjectDelay("checkpoint.read");
+  O2SR_RETURN_IF_ERROR(faults.InjectError("checkpoint.read"));
+  faults.InjectCorruption("checkpoint.read", &payload);
 
   ByteReader r(payload);
   CheckpointMeta parsed;

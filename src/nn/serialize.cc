@@ -203,4 +203,37 @@ Status ReadParameterValues(ByteReader& r, const ParameterStore& store,
   return Status::Ok();
 }
 
+Status ReadRawParameterRecord(ByteReader& r, std::vector<NamedTensor>* out,
+                              const std::string& origin) {
+  O2SR_CHECK(out != nullptr);
+  uint32_t num_params = 0;
+  O2SR_RETURN_IF_ERROR(r.Scalar(&num_params));
+  // Each parameter record is at least a name length + tensor header; a
+  // corrupted count larger than the remaining bytes could allow would
+  // otherwise drive a multi-gigabyte reserve before the first read fails.
+  if (num_params > r.remaining() / (sizeof(uint64_t) + 2 * sizeof(int32_t))) {
+    return common::DataLossError(origin + " claims " +
+                                 std::to_string(num_params) +
+                                 " parameters, more than its bytes can hold");
+  }
+  out->clear();
+  out->reserve(num_params);
+  for (uint32_t k = 0; k < num_params; ++k) {
+    NamedTensor p;
+    O2SR_RETURN_IF_ERROR(r.Str(&p.name));
+    O2SR_RETURN_IF_ERROR(r.TensorData(&p.tensor));
+    out->push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
+std::vector<NamedTensor> ExtractNamedTensors(const ParameterStore& store) {
+  std::vector<NamedTensor> out;
+  out.reserve(store.params().size());
+  for (const auto& p : store.params()) {
+    out.push_back(NamedTensor{p->name, p->value});
+  }
+  return out;
+}
+
 }  // namespace o2sr::nn

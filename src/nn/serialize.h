@@ -126,6 +126,26 @@ common::Status ReadParameterValues(ByteReader& r, const ParameterStore& store,
                                    std::vector<Tensor>* values,
                                    const std::string& origin);
 
+// A parameter record detached from any live model — the donor format of
+// warm-start retraining (nn/trainer.h). Unlike ReadParameterValues, which
+// insists the artifact matches a model exactly, raw records carry whatever
+// the artifact holds; the consumer decides what is transferable.
+struct NamedTensor {
+  std::string name;
+  Tensor tensor;
+};
+
+// Reads a WriteParameterValues record without a reference model: every
+// parameter is accepted as long as the bytes decode (DATA_LOSS otherwise).
+// `origin` names the artifact in error messages.
+common::Status ReadRawParameterRecord(ByteReader& r,
+                                      std::vector<NamedTensor>* out,
+                                      const std::string& origin);
+
+// Snapshots the current parameter values of `store` as a donor record
+// (deep copies — the store may keep training afterwards).
+std::vector<NamedTensor> ExtractNamedTensors(const ParameterStore& store);
+
 }  // namespace o2sr::nn
 
 #endif  // O2SR_NN_SERIALIZE_H_

@@ -1,8 +1,11 @@
 #include "nn/trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -292,6 +295,43 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
     }
   }
   return Status::Ok();
+}
+
+WarmStartReport WarmStartParameters(const std::vector<NamedTensor>& donor,
+                                    ParameterStore* store) {
+  O2SR_CHECK(store != nullptr);
+  std::unordered_map<std::string, const Tensor*> by_name;
+  by_name.reserve(donor.size());
+  for (const auto& d : donor) by_name[d.name] = &d.tensor;
+
+  WarmStartReport report;
+  for (const auto& p : store->params()) {
+    const auto it = by_name.find(p->name);
+    if (it == by_name.end()) {
+      ++report.params_fresh;
+      continue;
+    }
+    const Tensor& src = *it->second;
+    if (src.SameShape(p->value)) {
+      p->value = src;
+      ++report.params_matched;
+      report.scalars_copied += src.size();
+      continue;
+    }
+    const int rows = std::min(src.rows(), p->value.rows());
+    const int cols = std::min(src.cols(), p->value.cols());
+    if (rows == 0 || cols == 0) {
+      ++report.params_fresh;
+      continue;
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::memcpy(p->value.row(r), src.row(r),
+                  static_cast<size_t>(cols) * sizeof(float));
+    }
+    ++report.params_partial;
+    report.scalars_copied += static_cast<uint64_t>(rows) * cols;
+  }
+  return report;
 }
 
 }  // namespace o2sr::nn

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "nn/parameter.h"
+#include "nn/serialize.h"
 #include "obs/telemetry.h"
 
 namespace o2sr::nn {
@@ -100,6 +101,27 @@ common::Status RunGuardedTraining(ParameterStore* store, AdamOptimizer* adam,
                                   const GuardrailOptions& options = {},
                                   const TrainHooks& hooks = {},
                                   TrainReport* report = nullptr);
+
+// --- Warm-start incremental retraining ------------------------------------
+//
+// The continual pipeline (src/pipeline) refreshes a model on a drifted data
+// window. Drift changes the world — stores open and close, so embedding
+// tables change row counts between cycles — which rules out a strict
+// checkpoint restore. WarmStartParameters transfers whatever the previous
+// cycle learned: parameters are matched by name; an exact shape match copies
+// the full tensor, a changed shape copies the overlapping top-left block
+// (surviving node rows keep their embeddings, new rows keep their fresh
+// init), and parameters absent from the donor stay freshly initialized.
+
+struct WarmStartReport {
+  int params_matched = 0;   // full tensor copied (name + shape matched)
+  int params_partial = 0;   // overlapping block copied (shape changed)
+  int params_fresh = 0;     // no donor entry; fresh init kept
+  uint64_t scalars_copied = 0;  // total floats transferred
+};
+
+WarmStartReport WarmStartParameters(const std::vector<NamedTensor>& donor,
+                                    ParameterStore* store);
 
 }  // namespace o2sr::nn
 

@@ -61,4 +61,62 @@ int TelemetryStream::CountKind(TrainEventKind kind) const {
   return n;
 }
 
+const char* PipelineEventKindName(PipelineEventKind kind) {
+  switch (kind) {
+    case PipelineEventKind::kTransition: return "transition";
+    case PipelineEventKind::kRetry: return "retry";
+    case PipelineEventKind::kFallback: return "fallback";
+    case PipelineEventKind::kResume: return "resume";
+    case PipelineEventKind::kServe: return "serve";
+  }
+  return "?";
+}
+
+std::string PipelineEventToJsonLine(const PipelineEvent& event) {
+  std::string out = "{\"event\":";
+  out += JsonQuote(PipelineEventKindName(event.kind));
+  out += ",\"cycle\":" + JsonNum(static_cast<int64_t>(event.cycle));
+  out += ",\"stage\":" + JsonQuote(event.stage);
+  out += ",\"attempt\":" + JsonNum(static_cast<int64_t>(event.attempt));
+  out += ",\"value\":" + JsonNum(event.value);
+  if (!event.note.empty()) out += ",\"note\":" + JsonQuote(event.note);
+  out += "}";
+  return out;
+}
+
+PipelineEventLog::~PipelineEventLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+common::Status PipelineEventLog::OpenFile(const std::string& path) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    return common::UnavailableError("cannot open pipeline event log '" +
+                                    path + "' for appending");
+  }
+  return common::Status::Ok();
+}
+
+void PipelineEventLog::Append(const PipelineEvent& event) {
+  events_.push_back(event);
+  if (file_ != nullptr) {
+    const std::string line = PipelineEventToJsonLine(event);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+}
+
+int PipelineEventLog::CountKind(PipelineEventKind kind) const {
+  int n = 0;
+  for (const PipelineEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
 }  // namespace o2sr::obs

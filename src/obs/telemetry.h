@@ -62,6 +62,56 @@ class TelemetryStream {
   std::FILE* file_ = nullptr;
 };
 
+// Continual-pipeline telemetry vocabulary (src/pipeline, DESIGN.md §11):
+// one PipelineEvent per stage transition, retry, swap fallback, crash
+// resume and serve summary, mirroring the TrainEvent pattern one level up.
+
+enum class PipelineEventKind {
+  kTransition = 0,  // the state machine advanced to `stage`
+  kRetry = 1,       // a supervised operation failed and will be retried
+  kFallback = 2,    // swap exhausted its budget; serving the prior snapshot
+  kResume = 3,      // a restarted supervisor picked up the journal
+  kServe = 4,       // serve-stage summary (value = served query count)
+};
+
+const char* PipelineEventKindName(PipelineEventKind kind);
+
+struct PipelineEvent {
+  PipelineEventKind kind = PipelineEventKind::kTransition;
+  int cycle = 0;            // refresh cycle the event belongs to
+  std::string stage;        // pipeline stage name (e.g. "TRAIN")
+  int attempt = 0;          // retry attempt index (kRetry)
+  double value = 0.0;       // kind-specific payload (queries, backoff ms)
+  std::string note;         // error text, snapshot path, ...
+};
+
+// Single-line JSON, deterministic for deterministic inputs; `note` appears
+// only when non-empty.
+std::string PipelineEventToJsonLine(const PipelineEvent& event);
+
+// JSONL sink for pipeline events; same flush-per-event crash semantics as
+// TelemetryStream.
+class PipelineEventLog {
+ public:
+  PipelineEventLog() = default;
+  ~PipelineEventLog();
+  PipelineEventLog(const PipelineEventLog&) = delete;
+  PipelineEventLog& operator=(const PipelineEventLog&) = delete;
+
+  // Attaches `path` in append mode (a resumed pipeline continues the log of
+  // the crashed run instead of erasing its history).
+  common::Status OpenFile(const std::string& path);
+
+  void Append(const PipelineEvent& event);
+
+  const std::vector<PipelineEvent>& events() const { return events_; }
+  int CountKind(PipelineEventKind kind) const;
+
+ private:
+  std::vector<PipelineEvent> events_;
+  std::FILE* file_ = nullptr;
+};
+
 }  // namespace o2sr::obs
 
 #endif  // O2SR_OBS_TELEMETRY_H_

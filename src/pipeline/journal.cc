@@ -1,0 +1,84 @@
+#include "pipeline/journal.h"
+
+#include <cstdio>
+
+#include "common/fault.h"
+#include "nn/serialize.h"
+
+namespace o2sr::pipeline {
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kTrain: return "TRAIN";
+    case PipelineStage::kExport: return "EXPORT";
+    case PipelineStage::kCanary: return "CANARY";
+    case PipelineStage::kSwap: return "SWAP";
+    case PipelineStage::kServe: return "SERVE";
+    case PipelineStage::kDrift: return "DRIFT";
+    case PipelineStage::kRetrain: return "RETRAIN";
+    case PipelineStage::kDone: return "DONE";
+  }
+  return "?";
+}
+
+bool PipelineJournal::Exists() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+common::Status PipelineJournal::Write(const PipelineJournalState& state) {
+  std::string payload;
+  nn::ByteWriter w(&payload);
+  w.Scalar<uint64_t>(state.config_hash);
+  w.Scalar<int32_t>(state.cycle);
+  w.Scalar<int32_t>(static_cast<int32_t>(state.stage));
+  w.Scalar<int32_t>(state.completed_cycles);
+  w.Str(state.last_snapshot);
+  w.Str(state.active_snapshot);
+  w.Scalar<int32_t>(state.active_cycle);
+  w.Scalar<int32_t>(state.swap_fallbacks);
+  w.Scalar<int64_t>(state.transitions);
+  // Injection site "journal.write": the supervisor crashing (or its disk
+  // failing) at the exact transition boundary — the case the kill-and-resume
+  // test exercises at every stage.
+  auto& faults = common::FaultInjector::Global();
+  faults.InjectDelay("journal.write");
+  O2SR_RETURN_IF_ERROR(faults.InjectError("journal.write"));
+  return nn::WriteContainerFile(path_, kJournalMagic, kJournalFormatVersion,
+                                payload);
+}
+
+common::StatusOr<PipelineJournalState> PipelineJournal::Load() const {
+  O2SR_ASSIGN_OR_RETURN(
+      const std::string payload,
+      nn::ReadContainerFile(path_, kJournalMagic, kJournalFormatVersion));
+  nn::ByteReader r(payload);
+  PipelineJournalState state;
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.config_hash));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.cycle));
+  int32_t stage = 0;
+  O2SR_RETURN_IF_ERROR(r.Scalar(&stage));
+  if (stage < static_cast<int32_t>(PipelineStage::kTrain) ||
+      stage > static_cast<int32_t>(PipelineStage::kDone)) {
+    return common::DataLossError("journal '" + path_ +
+                                 "' holds unknown stage " +
+                                 std::to_string(stage));
+  }
+  state.stage = static_cast<PipelineStage>(stage);
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.completed_cycles));
+  O2SR_RETURN_IF_ERROR(r.Str(&state.last_snapshot));
+  O2SR_RETURN_IF_ERROR(r.Str(&state.active_snapshot));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.active_cycle));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.swap_fallbacks));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&state.transitions));
+  if (state.cycle < 0 || state.completed_cycles < 0 ||
+      state.transitions < 0) {
+    return common::DataLossError("journal '" + path_ +
+                                 "' holds negative progress counters");
+  }
+  return state;
+}
+
+}  // namespace o2sr::pipeline

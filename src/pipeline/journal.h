@@ -1,0 +1,90 @@
+#ifndef O2SR_PIPELINE_JOURNAL_H_
+#define O2SR_PIPELINE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace o2sr::pipeline {
+
+// The continual-retraining state machine (DESIGN.md §11). A cycle trains on
+// the world at its drift epoch, exports + canaries + swaps the snapshot
+// into serving, serves a window, then the world drifts and the next cycle
+// retrains warm-started from the previous snapshot.
+//
+//   TRAIN -> EXPORT -> CANARY -> SWAP -> SERVE -> DRIFT -> RETRAIN -> ...
+//                                          |
+//                                          +-> DONE (after the last cycle)
+//
+// The journal makes the machine crash-resumable: every transition persists
+// the full supervisor state (next stage, cycle, artifact paths) to a
+// checksummed container file published atomically, so a supervisor killed
+// at any stage boundary restarts exactly where it stopped. Stage bodies
+// are idempotent — re-running a partially executed stage converges to the
+// same artifacts (training resumes from its own checkpoint, exports
+// re-publish atomically) — which is what makes "resume = replay the journal
+// head" a correctness statement rather than a hope.
+
+enum class PipelineStage : int32_t {
+  kTrain = 0,
+  kExport = 1,
+  kCanary = 2,
+  kSwap = 3,
+  kServe = 4,
+  kDrift = 5,
+  kRetrain = 6,
+  kDone = 7,
+};
+
+const char* PipelineStageName(PipelineStage stage);
+
+inline constexpr char kJournalMagic[] = "O2SRJRNL";
+inline constexpr uint32_t kJournalFormatVersion = 1;
+
+// The supervisor state persisted at every transition. `stage` is the NEXT
+// stage to execute; everything else is the context it needs.
+struct PipelineJournalState {
+  // Fingerprint of (world, model, drift) configs; a journal from a
+  // different configuration is refused on resume.
+  uint64_t config_hash = 0;
+  // Refresh cycle being worked on (0-based; cycle k trains on drift
+  // epoch k).
+  int32_t cycle = 0;
+  PipelineStage stage = PipelineStage::kTrain;
+  int32_t completed_cycles = 0;
+  // Latest successfully exported snapshot (warm-start donor of the next
+  // cycle) and the cycle it belongs to via its filename.
+  std::string last_snapshot;
+  // Snapshot currently promoted into serving and the cycle whose world it
+  // was trained on (-1 before the first promotion) — what a resumed
+  // supervisor rehydrates its engine from.
+  std::string active_snapshot;
+  int32_t active_cycle = -1;
+  // Swap-stage fallbacks to the prior snapshot so far (quarantined swaps).
+  int32_t swap_fallbacks = 0;
+  // Total transitions journaled over the pipeline's lifetime (all runs).
+  int64_t transitions = 0;
+};
+
+// Persistent journal file. Writes go through the atomic checksummed
+// container (magic "O2SRJRNL"); fault site "journal.write" fires before the
+// publish so chaos recipes can crash the supervisor at exact transition
+// boundaries.
+class PipelineJournal {
+ public:
+  explicit PipelineJournal(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+  bool Exists() const;
+
+  common::Status Write(const PipelineJournalState& state);
+  common::StatusOr<PipelineJournalState> Load() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace o2sr::pipeline
+
+#endif  // O2SR_PIPELINE_JOURNAL_H_

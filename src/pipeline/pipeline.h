@@ -1,0 +1,158 @@
+#ifndef O2SR_PIPELINE_PIPELINE_H_
+#define O2SR_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/o2siterec.h"
+#include "core/o2siterec_recommender.h"
+#include "obs/telemetry.h"
+#include "pipeline/journal.h"
+#include "serve/engine.h"
+#include "sim/config.h"
+#include "sim/drift.h"
+
+namespace o2sr::pipeline {
+
+// Supervised continual-retraining runtime: drives the journaled
+// TRAIN -> EXPORT -> CANARY -> SWAP -> SERVE -> DRIFT -> RETRAIN machine
+// (pipeline/journal.h) over a drifting world (sim/drift.h), with every
+// fallible stage wrapped in common::RunWithRetry and failed swaps falling
+// back to the prior snapshot via the serving engine's quarantine path.
+//
+// Crash contract: the supervisor journals before executing each stage, and
+// every stage body is idempotent (training resumes from its own per-cycle
+// checkpoint, exports/journals publish atomically, canaries are recomputed
+// from artifacts). Killing the process at any stage boundary and calling
+// Run() again continues the same pipeline and converges to bit-identical
+// snapshots — tests/pipeline_test.cc proves this at every boundary.
+//
+// Observability (prefix "pipeline"): stage/cycle gauges, cycles_completed /
+// retries / swap_fallbacks / resumes / journal_writes counters, plus one
+// obs::PipelineEvent per transition/retry/fallback/resume/serve (JSONL when
+// `event_log_path` is set).
+
+struct PipelineOptions {
+  // The base world, model and drift process. The config fingerprint over
+  // these three guards journal resume.
+  sim::SimConfig world;
+  core::O2SiteRecConfig model;
+  sim::DriftConfig drift;
+
+  // Refresh cycles to complete before DONE (cycle k trains on drift
+  // epoch k). Env: O2SR_PIPELINE_CYCLES.
+  int cycles = 3;
+  // Directory holding the journal, per-cycle training checkpoints and
+  // snapshots. Created if missing. Env: O2SR_PIPELINE_DIR.
+  std::string work_dir = "pipeline_state";
+  // Retry policy around train / export / restore / swap. Env:
+  // O2SR_PIPELINE_RETRIES (max_attempts), O2SR_PIPELINE_BACKOFF_MS
+  // (initial backoff).
+  common::RetryPolicy retry;
+
+  // Evaluation split driven through training (train side) each cycle.
+  double train_fraction = 0.8;
+  uint64_t split_seed = 1;
+  // Rank() calls issued during each SERVE stage.
+  int serve_queries = 24;
+  // Canary queries per swap.
+  int canary_queries = 4;
+  // JSONL sink for pipeline events; empty disables.
+  std::string event_log_path;
+
+  // Test hook: stop cleanly after this many journal transitions in THIS
+  // process (the journal is already written, so the next Run() resumes) —
+  // a deterministic "kill at stage boundary". < 0 disables.
+  int64_t max_transitions = -1;
+};
+
+// Fills `options` from the O2SR_PIPELINE_* environment knobs listed above
+// (unset knobs leave the current value).
+void ApplyPipelineEnv(PipelineOptions* options);
+
+// What one Run() actually did.
+struct PipelineReport {
+  bool resumed = false;           // picked up an existing journal
+  PipelineStage start_stage = PipelineStage::kTrain;
+  int start_cycle = 0;
+  int cycles_completed = 0;       // lifetime total (includes prior runs)
+  int retries = 0;                // retry attempts beyond the first, this run
+  int swap_fallbacks = 0;         // lifetime total
+  int64_t transitions = 0;        // lifetime total
+  bool stopped_early = false;     // max_transitions hit; journal is current
+  std::string active_snapshot;    // snapshot serving when Run() returned
+  // SERVE-stage tallies, this run.
+  int served = 0;
+  int degraded = 0;
+  std::vector<obs::PipelineEvent> events;  // this run's events
+};
+
+class ContinualPipeline {
+ public:
+  explicit ContinualPipeline(PipelineOptions options);
+  ~ContinualPipeline();
+  ContinualPipeline(const ContinualPipeline&) = delete;
+  ContinualPipeline& operator=(const ContinualPipeline&) = delete;
+
+  // Runs the machine until DONE (or max_transitions). Resumes from the
+  // journal when one exists; FAILED_PRECONDITION when the journal belongs
+  // to a different configuration. A corrupt journal is moved aside to
+  // `<journal>.corrupt` and the pipeline starts fresh (robustness beats
+  // preserving a file that cannot be trusted).
+  common::StatusOr<PipelineReport> Run();
+
+  // The engine serving the active snapshot (null before the first SWAP).
+  const serve::ServingEngine* engine() const { return engine_.get(); }
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  struct CycleWorld;  // dataset + split + interactions of one drift epoch
+
+  std::string JournalPath() const;
+  std::string CheckpointPath(int cycle) const;
+  std::string SnapshotPath(int cycle) const;
+  uint64_t BaseConfigHash() const;
+  uint64_t CycleConfigHash(int cycle) const;
+
+  const CycleWorld& WorldForCycle(int cycle);
+
+  common::Status RunTrainStage(PipelineJournalState* state);
+  common::Status RunExportStage(PipelineJournalState* state);
+  common::Status RunCanaryStage(PipelineJournalState* state);
+  common::Status RunSwapStage(PipelineJournalState* state);
+  common::Status RunServeStage(PipelineJournalState* state);
+  common::Status RunDriftStage(PipelineJournalState* state);
+
+  common::StatusOr<std::unique_ptr<core::O2SiteRecRecommender>> BuildStaged(
+      int cycle);
+  std::vector<serve::CanaryQuery> BuildCanaries(
+      const core::SiteRecommender& staged, int cycle);
+
+  void Emit(obs::PipelineEvent event);
+  common::Status Transition(PipelineJournalState* state, PipelineStage next,
+                            bool* stop);
+
+  PipelineOptions options_;
+  PipelineJournal journal_;
+  obs::PipelineEventLog event_log_;
+  PipelineReport report_;
+  int64_t transitions_this_run_ = 0;
+
+  // In-memory stage products; all recomputable from artifacts on resume.
+  std::unique_ptr<CycleWorld> world_;                // current cycle's world
+  int world_cycle_ = -1;
+  std::unique_ptr<core::O2SiteRecRecommender> trained_;  // TRAIN product
+  int trained_cycle_ = -1;
+  std::unique_ptr<core::O2SiteRecRecommender> staged_;   // CANARY product
+  std::vector<serve::CanaryQuery> canaries_;
+  std::unique_ptr<core::O2SiteRecRecommender> serving_model_;  // engine's
+  std::unique_ptr<serve::ServingEngine> engine_;
+};
+
+}  // namespace o2sr::pipeline
+
+#endif  // O2SR_PIPELINE_PIPELINE_H_

@@ -74,6 +74,16 @@ uint64_t FingerprintOf(const baselines::BaselineConfig& c) {
   return f.hash();
 }
 
+uint64_t FingerprintOf(const sim::DriftConfig& c) {
+  Fingerprint f;
+  f.Add(c.store_close_rate)
+      .Add(c.store_open_rate)
+      .Add(c.popularity_walk_sigma)
+      .Add(c.rush_shift_slots)
+      .Add<uint64_t>(c.seed);
+  return f.hash();
+}
+
 uint64_t CombineFingerprints(uint64_t sim_hash, uint64_t model_hash) {
   Fingerprint f;
   f.Add(sim_hash).Add(model_hash);
@@ -207,6 +217,15 @@ common::Status RestoreModel(const Snapshot& snapshot,
     store->params()[i]->value = std::move(values[i]);
   }
   return common::Status::Ok();
+}
+
+common::StatusOr<std::vector<nn::NamedTensor>> DecodeSnapshotParameters(
+    const Snapshot& snapshot) {
+  nn::ByteReader r(snapshot.param_record);
+  std::vector<nn::NamedTensor> params;
+  O2SR_RETURN_IF_ERROR(nn::ReadRawParameterRecord(
+      r, &params, "snapshot of '" + snapshot.meta.model_name + "'"));
+  return params;
 }
 
 }  // namespace o2sr::serve

@@ -12,7 +12,9 @@
 #include "core/interaction.h"
 #include "core/o2siterec.h"
 #include "core/recommender.h"
+#include "nn/serialize.h"
 #include "sim/config.h"
+#include "sim/drift.h"
 
 namespace o2sr::serve {
 
@@ -88,6 +90,7 @@ class Fingerprint {
 uint64_t FingerprintOf(const sim::SimConfig& config);
 uint64_t FingerprintOf(const core::O2SiteRecConfig& config);
 uint64_t FingerprintOf(const baselines::BaselineConfig& config);
+uint64_t FingerprintOf(const sim::DriftConfig& config);
 
 // The snapshot's config_hash: sim world + model config, order-sensitive.
 uint64_t CombineFingerprints(uint64_t sim_hash, uint64_t model_hash);
@@ -130,6 +133,14 @@ common::StatusOr<std::string> QuarantineSnapshot(const std::string& path,
 common::Status RestoreModel(const Snapshot& snapshot,
                             core::SiteRecommender& model,
                             uint64_t expected_config_hash);
+
+// Decodes the snapshot's parameter record without a target model — the
+// warm-start donor path: the continual pipeline feeds the result to
+// nn::WarmStartParameters so the next cycle's (differently shaped) model
+// starts from what the previous cycle learned. DATA_LOSS when the record
+// does not decode.
+common::StatusOr<std::vector<nn::NamedTensor>> DecodeSnapshotParameters(
+    const Snapshot& snapshot);
 
 }  // namespace o2sr::serve
 

@@ -13,14 +13,6 @@ namespace o2sr::sim {
 
 namespace {
 
-// City-wide demand activity per 2-hour slot (mean ~1): order placement
-// peaks at the noon rush (10-14) and evening rush (16-20), as in Fig. 1.
-const std::vector<double>& DemandSlotProfile() {
-  static const std::vector<double> kProfile = {
-      0.25, 0.12, 0.10, 0.60, 1.20, 2.40, 2.20, 1.10, 2.10, 1.90, 0.90, 0.55};
-  return kProfile;
-}
-
 // Fraction of the courier fleet on shift per slot. Supply grows at rush
 // hours but sub-linearly w.r.t. demand, so the supply-demand ratio dips at
 // the two rush periods (the core observation of §II-B1).
@@ -42,6 +34,14 @@ struct CandidateStore {
 };
 
 }  // namespace
+
+// City-wide demand activity per 2-hour slot (mean ~1): order placement
+// peaks at the noon rush (10-14) and evening rush (16-20), as in Fig. 1.
+const std::vector<double>& DefaultDemandSlotProfile() {
+  static const std::vector<double> kProfile = {
+      0.25, 0.12, 0.10, 0.60, 1.20, 2.40, 2.20, 1.10, 2.10, 1.90, 0.90, 0.55};
+  return kProfile;
+}
 
 std::vector<Store> GenerateStores(const SimConfig& config,
                                   const CityModel& city,
@@ -89,6 +89,11 @@ std::vector<Store> GenerateStores(const SimConfig& config,
 }
 
 Dataset GenerateDataset(const SimConfig& config) {
+  return GenerateDataset(config, WorldOverrides());
+}
+
+Dataset GenerateDataset(const SimConfig& config,
+                        const WorldOverrides& overrides) {
   O2SR_TRACE_SCOPE("sim.generate_dataset");
   Rng rng(config.seed);
   CityModel city = [&] {
@@ -102,9 +107,30 @@ Dataset GenerateDataset(const SimConfig& config) {
   {
     O2SR_TRACE_SCOPE("sim.stores");
     data.type_catalog = BuildTypeCatalog(config.num_store_types, rng);
+    // The generator always runs — even when its result is replaced — so the
+    // RNG stream downstream of this point is identical with and without
+    // overrides: a drifted world differs from the base world only by the
+    // overridden content, never by phantom reshuffling.
     data.stores = GenerateStores(config, data.city, data.type_catalog, rng);
+    if (overrides.use_stores) {
+      data.stores = overrides.stores;
+      for (size_t si = 0; si < data.stores.size(); ++si) {
+        O2SR_CHECK_EQ(data.stores[si].id, static_cast<int>(si));
+      }
+    }
   }
   const int num_types = data.num_types();
+
+  const std::vector<double>& demand_slot_profile =
+      overrides.demand_slot_profile.empty() ? DefaultDemandSlotProfile()
+                                            : overrides.demand_slot_profile;
+  O2SR_CHECK_EQ(demand_slot_profile.size(),
+                static_cast<size_t>(kSlotsPerDay));
+  std::vector<double> popularity_scale = overrides.type_popularity_scale;
+  if (popularity_scale.empty()) {
+    popularity_scale.assign(num_types, 1.0);
+  }
+  O2SR_CHECK_EQ(popularity_scale.size(), static_cast<size_t>(num_types));
 
   // ---- Static indexes -----------------------------------------------------
 
@@ -148,7 +174,8 @@ Dataset GenerateDataset(const SimConfig& config) {
         for (int c = 0; c < geo::kNumPoiCategories; ++c) {
           demo += type.poi_affinity[c] * data.city.demographics[u][c];
         }
-        w[t] = type.popularity * type.slot_activity[slot] * taste[u][t] *
+        w[t] = type.popularity * popularity_scale[t] *
+               type.slot_activity[slot] * taste[u][t] *
                (1.0 + config.demographic_preference_weight * demo) +
                1e-9;
       }
@@ -163,7 +190,7 @@ Dataset GenerateDataset(const SimConfig& config) {
     for (int u = 0; u < num_regions; ++u) {
       expected_demand[slot][u] = config.peak_orders_per_region_slot *
                                  data.city.density[u] * num_regions *
-                                 DemandSlotProfile()[slot];
+                                 demand_slot_profile[slot];
     }
   }
 

@@ -94,7 +94,34 @@ struct Dataset {
 // Deterministic for a given config (seed included).
 Dataset GenerateDataset(const SimConfig& config);
 
-// Generates store placements for a city (exposed for tests).
+// The built-in city-wide demand activity per 2-hour slot (mean ~1, noon and
+// evening rush peaks). Exposed so drift scenarios (sim/drift.h) can shift it
+// instead of re-inventing it.
+const std::vector<double>& DefaultDemandSlotProfile();
+
+// Drift seam: pieces of the world a scenario may replace while everything
+// else (city, catalog, courier dynamics, RNG stream) stays exactly as
+// GenerateDataset would produce it. Empty/default members mean "no
+// override", so a default-constructed WorldOverrides reproduces
+// GenerateDataset(config) bit-for-bit.
+struct WorldOverrides {
+  // Replaces the generated store set. Ids must be contiguous 0..n-1 (order
+  // records index per-store tables by id).
+  bool use_stores = false;
+  std::vector<Store> stores;
+  // Replaces DefaultDemandSlotProfile(); size kSlotsPerDay when non-empty.
+  std::vector<double> demand_slot_profile;
+  // Per-type multiplier on StoreType::popularity in the customers'
+  // type-choice weights; size num_store_types when non-empty.
+  std::vector<double> type_popularity_scale;
+};
+
+Dataset GenerateDataset(const SimConfig& config,
+                        const WorldOverrides& overrides);
+
+// Generates store placements for a city (exposed for tests and for the
+// drift scenario, which reuses the placement weighting for newly opened
+// stores).
 std::vector<Store> GenerateStores(const SimConfig& config,
                                   const CityModel& city,
                                   const std::vector<StoreType>& catalog,

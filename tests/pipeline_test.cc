@@ -1,0 +1,312 @@
+#include "pipeline/pipeline.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "pipeline/journal.h"
+#include "serve/engine.h"
+
+namespace o2sr::pipeline {
+namespace {
+
+using common::StatusCode;
+
+std::string FreshDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+// A pipeline small enough that a full multi-cycle run plus the
+// kill-at-every-boundary replay stays test-sized.
+PipelineOptions TinyPipeline(const std::string& work_dir) {
+  PipelineOptions options;
+  options.world.city_width_m = 2000.0;
+  options.world.city_height_m = 2000.0;
+  options.world.num_store_types = 5;
+  options.world.num_stores = 100;
+  options.world.num_couriers = 50;
+  options.world.num_days = 1;
+  options.world.seed = 33;
+  options.model.rec.embedding_dim = 8;
+  options.model.rec.node_heads = 2;
+  options.model.epochs = 3;
+  options.model.seed = 4;
+  options.drift.store_close_rate = 0.10;
+  options.drift.store_open_rate = 0.12;
+  options.drift.popularity_walk_sigma = 0.35;
+  options.drift.rush_shift_slots = 0.5;
+  options.drift.seed = 21;
+  options.cycles = 2;
+  options.work_dir = work_dir;
+  options.serve_queries = 4;
+  options.canary_queries = 2;
+  options.retry.initial_backoff_ms = 0.5;
+  options.retry.max_backoff_ms = 2.0;
+  return options;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    common::FaultInjector::ResetGlobalForTest("");
+  }
+};
+
+// --- Journal ------------------------------------------------------------
+
+TEST(PipelineJournalTest, RoundTripsEveryField) {
+  PipelineJournal journal(FreshDir("journal_rt") + "/journal.bin");
+  std::filesystem::create_directories(
+      std::filesystem::path(journal.path()).parent_path());
+  EXPECT_FALSE(journal.Exists());
+
+  PipelineJournalState state;
+  state.config_hash = 0xdeadbeefcafe1234ull;
+  state.cycle = 3;
+  state.stage = PipelineStage::kCanary;
+  state.completed_cycles = 2;
+  state.last_snapshot = "work/snapshot_cycle3.snap";
+  state.active_snapshot = "work/snapshot_cycle2.snap";
+  state.active_cycle = 2;
+  state.swap_fallbacks = 1;
+  state.transitions = 19;
+  ASSERT_TRUE(journal.Write(state).ok());
+  EXPECT_TRUE(journal.Exists());
+
+  const auto loaded = journal.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->config_hash, state.config_hash);
+  EXPECT_EQ(loaded->cycle, state.cycle);
+  EXPECT_EQ(loaded->stage, state.stage);
+  EXPECT_EQ(loaded->completed_cycles, state.completed_cycles);
+  EXPECT_EQ(loaded->last_snapshot, state.last_snapshot);
+  EXPECT_EQ(loaded->active_snapshot, state.active_snapshot);
+  EXPECT_EQ(loaded->active_cycle, state.active_cycle);
+  EXPECT_EQ(loaded->swap_fallbacks, state.swap_fallbacks);
+  EXPECT_EQ(loaded->transitions, state.transitions);
+}
+
+TEST(PipelineJournalTest, MissingJournalIsNotFound) {
+  PipelineJournal journal(FreshDir("journal_missing") + "/journal.bin");
+  EXPECT_FALSE(journal.Exists());
+  EXPECT_EQ(journal.Load().status().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineJournalTest, CorruptJournalIsDataLoss) {
+  const std::string dir = FreshDir("journal_corrupt");
+  std::filesystem::create_directories(dir);
+  PipelineJournal journal(dir + "/journal.bin");
+  ASSERT_TRUE(journal.Write(PipelineJournalState()).ok());
+
+  std::string bytes = ReadFileBytes(journal.path());
+  bytes[bytes.size() / 2] ^= 0x41;
+  WriteFileBytes(journal.path(), bytes);
+  EXPECT_EQ(journal.Load().status().code(), StatusCode::kDataLoss);
+
+  // Truncation is caught the same way.
+  WriteFileBytes(journal.path(), bytes.substr(0, bytes.size() / 3));
+  EXPECT_EQ(journal.Load().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PipelineJournalTest, StageNamesCoverTheMachine) {
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kTrain), "TRAIN");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kExport), "EXPORT");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kCanary), "CANARY");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kSwap), "SWAP");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kServe), "SERVE");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kDrift), "DRIFT");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kRetrain), "RETRAIN");
+  EXPECT_STREQ(PipelineStageName(PipelineStage::kDone), "DONE");
+}
+
+TEST_F(PipelineTest, JournalWriteFaultSiteFiresBeforeThePublish) {
+  const std::string dir = FreshDir("journal_fault");
+  std::filesystem::create_directories(dir);
+  PipelineJournal journal(dir + "/journal.bin");
+  common::FaultInjector::ResetGlobalForTest("journal.write=error:1.0");
+  const auto status = journal.Write(PipelineJournalState());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(journal.Exists()) << "failed write must not publish a file";
+  common::FaultInjector::ResetGlobalForTest("");
+  EXPECT_TRUE(journal.Write(PipelineJournalState()).ok());
+}
+
+// --- Uninterrupted run --------------------------------------------------
+
+TEST_F(PipelineTest, RunsAllCyclesToDone) {
+  ContinualPipeline pipeline(TinyPipeline(FreshDir("pipe_clean")));
+  const auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->resumed);
+  EXPECT_FALSE(report->stopped_early);
+  EXPECT_EQ(report->cycles_completed, 2);
+  EXPECT_EQ(report->swap_fallbacks, 0);
+  EXPECT_GT(report->served, 0);
+  // 2 cycles walk the machine through 11 journaled transitions.
+  EXPECT_EQ(report->transitions, 11);
+  EXPECT_NE(report->active_snapshot.find("snapshot_cycle1.snap"),
+            std::string::npos);
+  ASSERT_NE(pipeline.engine(), nullptr);
+  EXPECT_EQ(pipeline.engine()->health(), serve::ServeHealth::kServing);
+
+  // Running again on a DONE journal is a no-op resume.
+  ContinualPipeline again(TinyPipeline(pipeline.options().work_dir));
+  const auto rerun = again.Run();
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_TRUE(rerun->resumed);
+  EXPECT_EQ(rerun->start_stage, PipelineStage::kDone);
+  EXPECT_EQ(rerun->cycles_completed, 2);
+  EXPECT_EQ(rerun->transitions, 11);
+}
+
+// --- Crash-resume at every stage boundary -------------------------------
+
+// The acceptance gate of DESIGN.md §11: kill the supervisor at EVERY stage
+// boundary (max_transitions=1 journals the transition, then stops — exactly
+// a crash after the journal write), resume from the journal each time, and
+// demand the pipeline converge to byte-identical artifacts.
+TEST_F(PipelineTest, KillAtEveryBoundaryAndResumeIsBitIdentical) {
+  // Reference: one uninterrupted run.
+  const std::string ref_dir = FreshDir("pipe_ref");
+  {
+    ContinualPipeline pipeline(TinyPipeline(ref_dir));
+    const auto report = pipeline.Run();
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_EQ(report->cycles_completed, 2);
+  }
+
+  // Interrupted: a fresh supervisor process per transition.
+  const std::string killed_dir = FreshDir("pipe_killed");
+  PipelineOptions options = TinyPipeline(killed_dir);
+  options.max_transitions = 1;
+  int runs = 0;
+  bool done = false;
+  int resumes = 0;
+  while (!done) {
+    ASSERT_LT(++runs, 40) << "pipeline failed to converge to DONE";
+    ContinualPipeline pipeline(options);
+    const auto report = pipeline.Run();
+    ASSERT_TRUE(report.ok()) << "run " << runs << ": " << report.status();
+    if (runs > 1) {
+      EXPECT_TRUE(report->resumed) << "run " << runs;
+      ++resumes;
+    }
+    done = !report->stopped_early;
+    if (done) {
+      EXPECT_EQ(report->cycles_completed, 2);
+      EXPECT_NE(report->active_snapshot.find("snapshot_cycle1.snap"),
+                std::string::npos);
+    }
+  }
+  // 11 transitions, one per run, plus nothing else: every boundary was a
+  // separate crash+resume.
+  EXPECT_EQ(runs, 11);
+  EXPECT_EQ(resumes, 10);
+
+  // Byte-identical artifacts: every promoted snapshot matches the
+  // uninterrupted run's exactly.
+  for (const char* snap :
+       {"/snapshot_cycle0.snap", "/snapshot_cycle1.snap"}) {
+    const std::string ref_bytes = ReadFileBytes(ref_dir + snap);
+    const std::string killed_bytes = ReadFileBytes(killed_dir + snap);
+    ASSERT_FALSE(ref_bytes.empty()) << snap;
+    EXPECT_EQ(ref_bytes, killed_bytes)
+        << snap << " diverged across crash-resume";
+  }
+
+  // And the final journal agrees on the lifetime story.
+  const auto ref_state = PipelineJournal(ref_dir + "/journal.bin").Load();
+  const auto killed_state =
+      PipelineJournal(killed_dir + "/journal.bin").Load();
+  ASSERT_TRUE(ref_state.ok() && killed_state.ok());
+  EXPECT_EQ(killed_state->stage, PipelineStage::kDone);
+  EXPECT_EQ(killed_state->transitions, ref_state->transitions);
+  EXPECT_EQ(killed_state->completed_cycles, ref_state->completed_cycles);
+  // Same promoted artifact (paths differ only by work dir).
+  EXPECT_EQ(
+      std::filesystem::path(killed_state->active_snapshot).filename(),
+      std::filesystem::path(ref_state->active_snapshot).filename());
+}
+
+// --- Journal trust ------------------------------------------------------
+
+TEST_F(PipelineTest, ResumeRefusesAJournalFromAnotherConfiguration) {
+  const std::string dir = FreshDir("pipe_confmix");
+  PipelineOptions options = TinyPipeline(dir);
+  options.max_transitions = 1;
+  {
+    ContinualPipeline pipeline(options);
+    ASSERT_TRUE(pipeline.Run().ok());
+  }
+  PipelineOptions other = options;
+  other.model.seed = options.model.seed + 1;
+  ContinualPipeline pipeline(other);
+  const auto report = pipeline.Run();
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineTest, CorruptJournalIsQuarantinedAndThePipelineStartsFresh) {
+  const std::string dir = FreshDir("pipe_corrupt");
+  PipelineOptions options = TinyPipeline(dir);
+  options.max_transitions = 2;
+  {
+    ContinualPipeline pipeline(options);
+    ASSERT_TRUE(pipeline.Run().ok());
+  }
+  const std::string journal_path = dir + "/journal.bin";
+  std::string bytes = ReadFileBytes(journal_path);
+  bytes[bytes.size() - 5] ^= 0x13;  // land inside the checksum/payload
+  WriteFileBytes(journal_path, bytes);
+
+  ContinualPipeline pipeline(options);
+  const auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Not trusted, so not resumed — but not destroyed either.
+  EXPECT_FALSE(report->resumed);
+  EXPECT_TRUE(std::filesystem::exists(journal_path + ".corrupt"));
+}
+
+// --- Chaos --------------------------------------------------------------
+
+TEST_F(PipelineTest, RidesOutTransientJournalAndCheckpointFaults) {
+  PipelineOptions options = TinyPipeline(FreshDir("pipe_chaos"));
+  options.retry.max_attempts = 8;
+  common::FaultInjector::ResetGlobalForTest(
+      "seed=13,journal.write=error:0.15,checkpoint.write=error:0.15,"
+      "checkpoint.read=error:0.15");
+  ContinualPipeline pipeline(options);
+  const auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->cycles_completed, 2);
+  EXPECT_FALSE(report->stopped_early);
+  EXPECT_GT(report->retries, 0) << "the recipe should have fired something";
+}
+
+}  // namespace
+}  // namespace o2sr::pipeline

@@ -1,0 +1,219 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace o2sr::common {
+namespace {
+
+// A policy with zero backoff so failure-path tests don't sleep.
+RetryPolicy FastPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 0.0;
+  policy.max_backoff_ms = 0.0;
+  return policy;
+}
+
+// --- Backoff schedule --------------------------------------------------
+
+TEST(RetryBackoffTest, ScheduleIsDeterministicPerSeedAndOp) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(BackoffMsForAttempt(policy, "train", attempt),
+                     BackoffMsForAttempt(policy, "train", attempt))
+        << "attempt " << attempt;
+  }
+  // A different op name or seed draws a different jitter stream.
+  RetryPolicy other_seed = policy;
+  other_seed.seed = 43;
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    any_diff = any_diff ||
+               BackoffMsForAttempt(policy, "train", attempt) !=
+                   BackoffMsForAttempt(policy, "export", attempt) ||
+               BackoffMsForAttempt(policy, "train", attempt) !=
+                   BackoffMsForAttempt(other_seed, "train", attempt);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyWithinJitterBandAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.growth = 2.0;
+  policy.max_backoff_ms = 50.0;
+  policy.jitter = 0.2;
+  // Attempt n+1 backs off ~ 10 * 2^(n-1), capped at 50, +/- 20% jitter.
+  const double expected_base[] = {10.0, 20.0, 40.0, 50.0, 50.0};
+  for (int i = 0; i < 5; ++i) {
+    const double ms = BackoffMsForAttempt(policy, "op", i + 1);
+    EXPECT_GE(ms, expected_base[i] * 0.8) << "attempt " << i + 1;
+    EXPECT_LE(ms, expected_base[i] * 1.2) << "attempt " << i + 1;
+  }
+}
+
+TEST(RetryBackoffTest, ZeroJitterIsTheExactExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 5.0;
+  policy.growth = 3.0;
+  policy.max_backoff_ms = 1000.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffMsForAttempt(policy, "op", 1), 5.0);
+  EXPECT_DOUBLE_EQ(BackoffMsForAttempt(policy, "op", 2), 15.0);
+  EXPECT_DOUBLE_EQ(BackoffMsForAttempt(policy, "op", 3), 45.0);
+}
+
+// --- RunWithRetry ------------------------------------------------------
+
+TEST(RunWithRetryTest, FirstTrySuccessRunsOnce) {
+  RetryStats stats;
+  int calls = 0;
+  const Status status = RunWithRetry(
+      FastPolicy(4), "op",
+      [&]() {
+        ++calls;
+        return Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(stats.last_error.ok());
+}
+
+TEST(RunWithRetryTest, TransientFailuresAreRetriedUntilSuccess) {
+  RetryStats stats;
+  int calls = 0;
+  const Status status = RunWithRetry(
+      FastPolicy(4), "op",
+      [&]() {
+        return ++calls < 3 ? UnavailableError("flaky") : Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kUnavailable);
+}
+
+TEST(RunWithRetryTest, ExhaustionReturnsLastErrorWithAttemptContext) {
+  int calls = 0;
+  const Status status = RunWithRetry(FastPolicy(3), "train_cycle", [&]() {
+    ++calls;
+    return UnavailableError("still down");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.ToString().find("train_cycle"), std::string::npos)
+      << status;
+  EXPECT_NE(status.ToString().find("3"), std::string::npos) << status;
+}
+
+TEST(RunWithRetryTest, NonRetryableErrorFailsFast) {
+  int calls = 0;
+  const Status status = RunWithRetry(FastPolicy(5), "op", [&]() {
+    ++calls;
+    return InvalidArgumentError("contract violation");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunWithRetryTest, CustomRetryablePredicateOverridesTheDefault) {
+  RetryPolicy policy = FastPolicy(3);
+  policy.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;
+  };
+  int not_found_calls = 0;
+  EXPECT_FALSE(RunWithRetry(policy, "op", [&]() {
+                 ++not_found_calls;
+                 return NotFoundError("keep looking");
+               }).ok());
+  EXPECT_EQ(not_found_calls, 3);
+  // UNAVAILABLE (retryable by default) now fails fast.
+  int unavailable_calls = 0;
+  EXPECT_FALSE(RunWithRetry(policy, "op", [&]() {
+                 ++unavailable_calls;
+                 return UnavailableError("down");
+               }).ok());
+  EXPECT_EQ(unavailable_calls, 1);
+}
+
+TEST(RunWithRetryTest, DefaultRetryablePredicate) {
+  EXPECT_TRUE(DefaultRetryable(UnavailableError("x")));
+  EXPECT_TRUE(DefaultRetryable(AbortedError("x")));
+  EXPECT_TRUE(DefaultRetryable(DataLossError("x")));
+  EXPECT_TRUE(DefaultRetryable(ResourceExhaustedError("x")));
+  EXPECT_FALSE(DefaultRetryable(InvalidArgumentError("x")));
+  EXPECT_FALSE(DefaultRetryable(NotFoundError("x")));
+  EXPECT_FALSE(DefaultRetryable(FailedPreconditionError("x")));
+  EXPECT_FALSE(DefaultRetryable(Status::Ok()));
+}
+
+TEST(RunWithRetryTest, StatusOrFlavorReturnsTheSuccessfulValue) {
+  int calls = 0;
+  const StatusOr<int> result = RunWithRetry<int>(
+      FastPolicy(4), "op", [&]() -> StatusOr<int> {
+        return ++calls < 2 ? StatusOr<int>(UnavailableError("flaky"))
+                           : StatusOr<int>(7);
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunWithRetryTest, ZeroAttemptsRunsNothing) {
+  int calls = 0;
+  const Status status = RunWithRetry(FastPolicy(0), "op", [&]() {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RunWithRetryTest, PerAttemptTimeoutTurnsALateResultIntoAborted) {
+  RetryPolicy policy = FastPolicy(2);
+  policy.per_attempt_timeout_ms = 1.0;
+  int calls = 0;
+  const Status status = RunWithRetry(policy, "slow_op", [&]() {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::Ok();  // too late: must not be acted on
+  });
+  EXPECT_EQ(calls, 2);  // ABORTED is retryable, so the budget is spent
+  EXPECT_EQ(status.code(), StatusCode::kAborted) << status;
+}
+
+TEST(RunWithRetryTest, FastResultBeatsThePerAttemptTimeout) {
+  RetryPolicy policy = FastPolicy(2);
+  policy.per_attempt_timeout_ms = 60000.0;
+  EXPECT_TRUE(RunWithRetry(policy, "op", []() { return Status::Ok(); }).ok());
+}
+
+TEST(RunWithRetryTest, SleptTimeMatchesTheDeterministicSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1.0;
+  policy.growth = 2.0;
+  policy.max_backoff_ms = 4.0;
+  policy.jitter = 0.2;
+  policy.seed = 9;
+  RetryStats stats;
+  (void)RunWithRetry(
+      policy, "op", []() { return UnavailableError("down"); }, &stats);
+  const double expected = BackoffMsForAttempt(policy, "op", 1) +
+                          BackoffMsForAttempt(policy, "op", 2);
+  EXPECT_DOUBLE_EQ(stats.slept_ms, expected);
+}
+
+}  // namespace
+}  // namespace o2sr::common

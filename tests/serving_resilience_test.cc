@@ -2,6 +2,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -483,6 +484,68 @@ TEST_F(ResilienceTest, LameDuckShedsEveryNewRequest) {
   EXPECT_EQ(engine->shed_count(), 2u);
   // Terminal: a fresh-looking world does not resurrect it.
   EXPECT_EQ(engine->health(), ServeHealth::kLameDuck);
+}
+
+// --- Deadline edge cases ------------------------------------------------
+
+TEST(DeadlineTest, EdgeSemantics) {
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+  EXPECT_FALSE(Deadline::Infinite().expired());
+  EXPECT_EQ(Deadline::Infinite().remaining_ms(),
+            std::numeric_limits<double>::infinity());
+  // Non-positive budgets are born expired.
+  EXPECT_TRUE(Deadline::AfterMs(0.0).expired());
+  EXPECT_TRUE(Deadline::AfterMs(-3.0).expired());
+  EXPECT_LE(Deadline::AfterMs(-3.0).remaining_ms(), 0.0);
+  // A generous budget is not expired and reports positive remaining time.
+  const Deadline generous = Deadline::AfterMs(60000.0);
+  EXPECT_FALSE(generous.infinite());
+  EXPECT_FALSE(generous.expired());
+  EXPECT_GT(generous.remaining_ms(), 0.0);
+}
+
+TEST_F(ResilienceTest, ZeroMsBudgetIsShedAtAdmission) {
+  ScaledStub base(10, 1.0f);
+  const auto engine = ServingEngine::Create(&base).value();
+  RankRequest request = Request(1, {0, 1, 2}, 3);
+  request.deadline = Deadline::AfterMs(0.0);
+  const auto response = engine->Rank(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(response.status().message().find("deadline"), std::string::npos)
+      << response.status();
+  EXPECT_EQ(engine->shed_count(), 1u);
+  // Shedding is load protection, not sickness: health is untouched.
+  EXPECT_EQ(engine->health(), ServeHealth::kServing);
+}
+
+TEST_F(ResilienceTest,
+       DeadlineExpiringBetweenCacheMissAndScoreFallsToStaleCache) {
+  ScaledStub base(10, 1.0f);
+  ServingOptions options;
+  options.cache_capacity = 64;
+  const auto engine = ServingEngine::Create(&base, options).value();
+
+  // Warm epoch-1 entries, then promote epoch 2 so those entries are stale.
+  (void)engine->Rank(Request(1, {0, 1, 2}, 3)).value();
+  const std::string path = ExportScaled("resil_ddl_stale.snap", 3.0f);
+  ASSERT_TRUE(engine
+                  ->SwapSnapshot(path, std::make_unique<ScaledStub>(10, 0.0f),
+                                 kConfigHash)
+                  ->promoted);
+
+  // The request is admitted with budget to spare; the injected scorer delay
+  // then burns it before the model runs, and the engine answers from the
+  // stale rung instead of scoring a result nobody is waiting for.
+  common::FaultInjector::ResetGlobalForTest("score=delay:30ms");
+  RankRequest request = Request(1, {0, 1, 2}, 3);
+  request.deadline = Deadline::AfterMs(10.0);
+  const auto response = engine->Rank(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->tier, ServeTier::kStaleCache);
+  EXPECT_EQ(response->epoch, 2u);
+  // Stale values are the displaced epoch-1 model's scores — proof the
+  // epoch-2 scorer was skipped.
+  EXPECT_DOUBLE_EQ(response->sites[0].score, ScaledStub::Score(1.0, 2, 1));
 }
 
 }  // namespace
