@@ -11,6 +11,15 @@
 #include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "obs/log.h"
+#include "obs/profiler.h"
+
+// Build-flavor stamps, normally injected by bench/CMakeLists.txt.
+#ifndef O2SR_BUILD_TYPE_NAME
+#define O2SR_BUILD_TYPE_NAME "unknown"
+#endif
+#ifndef O2SR_SANITIZE_NAME
+#define O2SR_SANITIZE_NAME "none"
+#endif
 
 namespace o2sr::bench {
 
@@ -134,6 +143,15 @@ void BenchReport::Write() {
   if (written_) return;
   written_ = true;
   root_span_.reset();  // close "bench.<name>" so it has a duration
+  // Profiler counters ride along in the Chrome trace. Emitting them here —
+  // during main(), not at exit — sequences them before the trace file's
+  // atexit export regardless of singleton construction order.
+  {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    if (profiler.enabled()) {
+      profiler.EmitTraceCounters(&obs::TraceRecorder::Global());
+    }
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
@@ -146,14 +164,18 @@ void BenchReport::Write() {
                                                            : "small")
       << ",\"seed_count\":" << seed_count_
       << ",\"threads\":" << exec::CurrentPool().num_threads()
+      << ",\"build_type\":" << obs::JsonQuote(O2SR_BUILD_TYPE_NAME)
+      << ",\"sanitizer\":" << obs::JsonQuote(O2SR_SANITIZE_NAME)
       << ",\"wall_clock_s\":" << obs::JsonNum(wall_s);
 
+  // Fixed 3-decimal stage times: sub-microsecond double noise must not
+  // show up as a diff between two otherwise identical runs.
   out << ",\"stages_ms\":{";
   bool first = true;
   for (const auto& [stage, ms] : obs::TraceRecorder::Global().StageMillis()) {
     if (!first) out << ",";
     first = false;
-    out << obs::JsonQuote(stage) << ":" << obs::JsonNum(ms);
+    out << obs::JsonQuote(stage) << ":" << obs::JsonFixed(ms, 3);
   }
   out << "}";
 

@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "core/o2siterec_recommender.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/engine.h"
 #include "serve/score_cache.h"
 
@@ -232,17 +233,23 @@ int main() {
   // Deadline pass: a fresh engine (cold cache) under an overloaded arrival
   // schedule, with the popularity prior as the last ladder rung so queries
   // that expire mid-flight degrade instead of failing. The no-deadline
-  // passes above never shed by construction.
+  // passes above never shed by construction. The SLO threshold is set to
+  // the per-query budget, so the engine's burn rate directly measures how
+  // far past its error budget the overload pushes it.
+  const double overload = 1.5;
   serve::ServingOptions dl_options;
   dl_options.prior = serve::BuildPopularityPrior(prepared.data.num_types(),
                                                  prepared.split.train);
+  dl_options.slo_ms = 4.0 * 1000.0 / std::max(qps_cold * overload, 1.0);
+  dl_options.slo_target = 0.99;
   const auto engine_dl =
       serve::ServingEngine::Create(&model, dl_options).value();
   const DeadlineReplay dl =
-      ReplayWithDeadlines(*engine_dl, stream, k, qps_cold, /*overload=*/1.5);
+      ReplayWithDeadlines(*engine_dl, stream, k, qps_cold, overload);
   // Every RESOURCE_EXHAUSTED the replay saw must be a shed the engine
   // counted, and vice versa.
   O2SR_CHECK(engine_dl->shed_count() == dl.shed);
+  const obs::SloSnapshot slo = engine_dl->slo().Snapshot();
 
   report.AddValue("queries", static_cast<double>(num_queries));
   report.AddValue("candidates_per_query",
@@ -263,6 +270,12 @@ int main() {
   report.AddValue("deadline_shed_rate", dl.shed_rate);
   report.AddValue("deadline_degraded_rate", dl.degraded_rate);
   report.AddValue("deadline_failed_rate", dl.failed_rate);
+  report.AddValue("slo_ms", slo.config.slo_ms);
+  report.AddValue("slo_target", slo.config.target);
+  report.AddValue("slo_bad_fraction", slo.bad_fraction);
+  report.AddValue("slo_burn_rate", slo.burn_rate);
+  report.AddValue("slo_breached", slo.breached ? 1.0 : 0.0);
+  report.AddValue("slo_window_p99_ms", slo.p99_ms);
 
   std::printf(
       "\n  queries            %d (x2 passes, %d candidates each, k=%d)\n"
@@ -270,10 +283,14 @@ int main() {
       "  latency p50/p95/p99  %.3f / %.3f / %.3f ms\n"
       "  cache hit rate     %.3f overall, %.3f warm pass\n"
       "  deadline pass      budget %.3f ms, served p99 %.3f ms, "
-      "shed %.3f, degraded %.3f\n",
+      "shed %.3f, degraded %.3f\n"
+      "  slo                %.3f ms @ %.2f target: bad %.3f, "
+      "burn %.2f, breached %s\n",
       num_queries, candidates_per_query, k, qps_cold, qps_warm,
       qps_warm / qps_cold, latency->Quantile(0.50), latency->Quantile(0.95),
       latency->Quantile(0.99), hit_rate, warm_hit_rate, dl.budget_ms,
-      dl.p99_ms, dl.shed_rate, dl.degraded_rate);
+      dl.p99_ms, dl.shed_rate, dl.degraded_rate, slo.config.slo_ms,
+      slo.config.target, slo.bad_fraction, slo.burn_rate,
+      slo.breached ? "yes" : "no");
   return 0;
 }

@@ -19,12 +19,14 @@ SMOKE_DIR="$(mktemp -d)"
 (cd "${SMOKE_DIR}" &&
  O2SR_BENCH_SCALE=small \
  O2SR_TRACE_FILE=trace.json \
+ O2SR_PROFILE_FILE=profile.json \
  "${OLDPWD}/build/bench/bench_fig01_supply_demand" >/dev/null)
 python3 - "${SMOKE_DIR}" <<'EOF'
 import json, sys, os
 d = sys.argv[1]
 bench = json.load(open(os.path.join(d, "BENCH_fig01_supply_demand.json")))
 for key in ("bench", "title", "paper_ref", "scale", "seed_count",
+            "threads", "build_type", "sanitizer",
             "wall_clock_s", "stages_ms", "cells", "values"):
     assert key in bench, f"BENCH json missing key {key!r}"
 assert bench["bench"] == "fig01_supply_demand"
@@ -32,11 +34,29 @@ assert bench["scale"] == "small"
 assert "bench.fig01_supply_demand" in bench["stages_ms"], bench["stages_ms"]
 assert any(s.startswith("sim.") for s in bench["stages_ms"]), bench["stages_ms"]
 assert bench["values"], "bench emitted no metric values"
+# Fixed-precision stage times: at most 3 decimals survive the dump.
+for stage, ms in bench["stages_ms"].items():
+    assert round(ms, 3) == ms, f"stage {stage!r} not 3-decimal: {ms!r}"
+# Structural trace validation: every event (span or counter) carries the
+# Chrome trace_event keys; with the profiler on, counter events ride along.
 trace = json.load(open(os.path.join(d, "trace.json")))
 assert trace["traceEvents"], "trace export is empty"
-assert all(e["ph"] == "X" for e in trace["traceEvents"])
+for e in trace["traceEvents"]:
+    for key in ("name", "ph", "ts", "tid"):
+        assert key in e, f"trace event missing {key!r}: {e}"
+    assert e["ph"] in ("X", "C"), e
+    if e["ph"] == "X":
+        assert "dur" in e, e
+    else:
+        assert "value" in e.get("args", {}), e
+counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+assert counters, "profiler emitted no counter events into the trace"
+profile = json.load(open(os.path.join(d, "profile.json")))
+assert "regions" in profile and "ops" in profile, profile.keys()
+assert profile["regions"], "profiler saw no parallel regions"
 print("bench smoke: BENCH json + chrome trace OK "
-      f"({len(trace['traceEvents'])} spans)")
+      f"({len(trace['traceEvents']) - len(counters)} spans, "
+      f"{len(counters)} counters)")
 EOF
 rm -rf "${SMOKE_DIR}"
 
@@ -46,10 +66,15 @@ echo "=== Bench smoke: serial vs 4-thread wall time (Table IV bench) ==="
 # and records both wall times into BENCH_table04_overall_simulation.json in
 # the repo root so the perf trajectory accumulates thread-scaling data.
 PERF_DIR="$(mktemp -d)"
+# Keep the committed baseline around: the bench_diff gate below compares
+# the fresh report against it before it is overwritten.
+BASELINE_TABLE04="${PERF_DIR}/committed_table04.json"
+cp BENCH_table04_overall_simulation.json "${BASELINE_TABLE04}"
 for t in 1 4; do
   mkdir -p "${PERF_DIR}/t${t}"
   (cd "${PERF_DIR}/t${t}" &&
    O2SR_BENCH_SCALE=small O2SR_THREADS="${t}" \
+   O2SR_PROFILE_FILE=profile.json \
    "${OLDPWD}/build/bench/bench_table04_overall_simulation" >/dev/null)
 done
 python3 - "${PERF_DIR}" "BENCH_table04_overall_simulation.json" <<'EOF'
@@ -74,6 +99,79 @@ print(f"table04 smoke: metrics bit-identical; "
       f"serial {serial['wall_clock_s']:.1f}s vs "
       f"4-thread {threaded['wall_clock_s']:.1f}s -> {out_name}")
 EOF
+
+echo "=== Profiler smoke: attribute the thread-scaling gap (Table IV) ==="
+# The attribution contract (DESIGN.md §12): every *count* field in the
+# profile (regions, chunks, items, op dispatches, bytes) is identical at 1
+# and 4 threads — only times may differ — and the 4-thread profile must
+# name where the lanes idle, which is the data ROADMAP item 1 needs to
+# explain speedup_threads4 ~ 1.0.
+python3 - "${PERF_DIR}" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+p1 = json.load(open(os.path.join(d, "t1", "profile.json")))
+p4 = json.load(open(os.path.join(d, "t4", "profile.json")))
+assert p1["regions"].keys() == p4["regions"].keys(), (
+    set(p1["regions"]) ^ set(p4["regions"]))
+for name in p1["regions"]:
+    r1, r4 = p1["regions"][name], p4["regions"][name]
+    for field in ("regions", "chunks", "items", "min_items", "max_items"):
+        assert r1[field] == r4[field], (name, field, r1[field], r4[field])
+# Op counts are exact at any thread count, bytes included.
+assert p1["ops"] == p4["ops"], set(p1["ops"]) ^ set(p4["ops"])
+assert p1["ops"], "table04 recorded no tensor/tape ops"
+# At 4 threads at least one region actually fanned out, and the report
+# attributes its efficiency.
+dispatched = {n: r for n, r in p4["regions"].items() if r["dispatched"] > 0}
+assert dispatched, "no region dispatched at 4 threads"
+worst = sorted(dispatched.items(), key=lambda kv: -kv[1]["idle_ms"])[:3]
+total_busy = sum(r["busy_ms"] for r in dispatched.values())
+total_idle = sum(r["idle_ms"] for r in dispatched.values())
+print(f"profiler smoke: {len(p1['regions'])} regions, "
+      f"{len(p1['ops'])} ops, counts thread-invariant; "
+      f"busy {total_busy:.0f} ms vs idle {total_idle:.0f} ms across "
+      f"{len(dispatched)} dispatched regions")
+for name, r in worst:
+    print(f"  idle hotspot: {name}: eff {r['efficiency']:.2f}, "
+          f"idle {r['idle_ms']:.1f} ms over {r['chunks']} chunks "
+          f"({r['items']} items)")
+EOF
+
+echo "=== bench_diff gate: BENCH regression check ==="
+# Self-diff must be clean, an injected quality regression must fail (exit
+# 1), a metadata mismatch must refuse (exit 2), and the fresh table04
+# report must not regress against the committed baseline (timing fields
+# ignored: machine speed is not a regression).
+NEW_TABLE04="BENCH_table04_overall_simulation.json"
+./build/tools/bench_diff "${NEW_TABLE04}" "${NEW_TABLE04}" >/dev/null
+python3 - "${NEW_TABLE04}" "${PERF_DIR}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+bad = json.loads(json.dumps(report))
+for cell in bad["cells"]:
+    if "ndcg@3" in cell:
+        cell["ndcg@3"] *= 0.7
+json.dump(bad, open(sys.argv[2] + "/regressed.json", "w"))
+other = json.loads(json.dumps(report))
+other["threads"] = 64
+json.dump(other, open(sys.argv[2] + "/mismatched.json", "w"))
+EOF
+if ./build/tools/bench_diff "${NEW_TABLE04}" "${PERF_DIR}/regressed.json" \
+     >/dev/null; then
+  echo "bench_diff FAILED to flag an injected regression" >&2; exit 1
+else
+  [ $? -eq 1 ] || { echo "bench_diff: wrong exit for regression" >&2; exit 1; }
+fi
+if ./build/tools/bench_diff "${NEW_TABLE04}" "${PERF_DIR}/mismatched.json" \
+     >/dev/null; then
+  echo "bench_diff FAILED to refuse a metadata mismatch" >&2; exit 1
+else
+  [ $? -eq 2 ] || { echo "bench_diff: wrong exit for mismatch" >&2; exit 1; }
+fi
+./build/tools/bench_diff --ignore-timings \
+  "${BASELINE_TABLE04}" "${NEW_TABLE04}"
+echo "bench_diff gate: self-diff clean, injected regression caught," \
+     "meta mismatch refused, committed baseline holds"
 rm -rf "${PERF_DIR}"
 
 echo "=== Serving smoke: train once, serve from a second process ==="

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace o2sr::exec {
@@ -60,9 +61,10 @@ ThreadPool::ThreadPool(int num_threads, const std::string& metrics_prefix)
   // workers saturate `num_threads` lanes.
   const int worker_count = num_threads_ - 1;
   threads_gauge_->Set(worker_count);
+  lane_busy_us_.assign(static_cast<size_t>(num_threads_), 0);
   workers_.reserve(worker_count);
   for (int w = 0; w < worker_count; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, w] { WorkerLoop(w + 1); });
   }
 }
 
@@ -113,6 +115,12 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
   if (workers_.empty() || chunks <= 1 || InWorker() ||
       tls_region_caller_pool == this) {
     inline_regions_counter_->Increment();
+    {
+      obs::Profiler& profiler = obs::Profiler::Global();
+      if (profiler.enabled()) {
+        profiler.RecordInlineRegion(trace_name, n, chunks);
+      }
+    }
     RunInline(n, grain, fn);
     return;
   }
@@ -127,6 +135,7 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
     next_chunk_.store(0, std::memory_order_relaxed);
     pending_chunks_.store(chunks, std::memory_order_relaxed);
     busy_us_.store(0, std::memory_order_relaxed);
+    std::fill(lane_busy_us_.begin(), lane_busy_us_.end(), 0);
     ++region_epoch_;
   }
   queue_depth_gauge_->Set(static_cast<double>(chunks));
@@ -138,6 +147,7 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
     const int64_t caller_busy = WorkChunks(fn, n, grain, chunks);
     tls_region_caller_pool = previous;
     busy_us_.fetch_add(caller_busy, std::memory_order_relaxed);
+    lane_busy_us_[0] = caller_busy;
   }
 
   {
@@ -156,6 +166,15 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
       static_cast<double>(busy_us_.load(std::memory_order_relaxed)) /
       (static_cast<double>(wall_us) * num_threads_));
   queue_depth_gauge_->Set(0.0);
+  {
+    // The completion handshake above ordered every worker's lane write
+    // before this read.
+    obs::Profiler& profiler = obs::Profiler::Global();
+    if (profiler.enabled()) {
+      profiler.RecordDispatchedRegion(trace_name, n, chunks, wall_us,
+                                      lane_busy_us_.data(), num_threads_);
+    }
+  }
 }
 
 int64_t ThreadPool::WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
@@ -176,7 +195,7 @@ int64_t ThreadPool::WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
   return NowMicros() - started_us;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int lane) {
   tls_worker_pool = this;
   uint64_t seen_epoch = 0;
   while (true) {
@@ -199,6 +218,7 @@ void ThreadPool::WorkerLoop() {
     }
     const int64_t busy = WorkChunks(*fn, n, grain, chunks);
     busy_us_.fetch_add(busy, std::memory_order_relaxed);
+    lane_busy_us_[static_cast<size_t>(lane)] = busy;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_workers_ == 0 &&

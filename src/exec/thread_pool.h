@@ -134,7 +134,9 @@ class ThreadPool {
   bool InWorker() const;
 
  private:
-  void WorkerLoop();
+  // `lane` is the worker's slot in the per-region busy accounting: the
+  // calling thread is lane 0, workers are 1..num_threads-1.
+  void WorkerLoop(int lane);
   // Claims and runs chunks of the active region; returns busy microseconds.
   int64_t WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
                      int64_t n, int64_t grain, int64_t num_chunks);
@@ -164,6 +166,11 @@ class ThreadPool {
   std::atomic<int64_t> busy_us_{0};
   uint64_t region_epoch_ = 0;
   int active_workers_ = 0;  // workers currently inside the region
+  // Per-lane busy time of the active region, for the profiler's busy/idle
+  // attribution. Lane 0 is the caller. Each slot is written by exactly one
+  // thread per region; the region's completion handshake (mutex + done_cv)
+  // orders those writes before the caller reads them.
+  std::vector<int64_t> lane_busy_us_;
 
   std::vector<std::thread> workers_;
 };

@@ -4,7 +4,26 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/profiler.h"
+
 namespace o2sr::nn {
+
+namespace {
+
+// Forward-pass attribution: each tape op allocates its output plus (via
+// Emplace) a same-shaped grad tensor, and moves its operands and output
+// once. Items = output elements.
+inline void ProfileTapeOp(const char* name, const Tensor& out,
+                          uint64_t operand_bytes) {
+  O2SR_PROFILE_OP(name, uint64_t{2} * out.size() * sizeof(float),
+                  operand_bytes + out.size() * sizeof(float), out.size());
+}
+
+inline uint64_t TensorBytes(const Tensor& t) {
+  return t.size() * sizeof(float);
+}
+
+}  // namespace
 
 Value Tape::Emplace(Tensor value,
                     std::function<void(Tape&, const Node&)> backward) {
@@ -29,6 +48,7 @@ Value Tape::MatMul(Value a, Value b) {
   const Tensor& ta = value(a);
   const Tensor& tb = value(b);
   Tensor out = nn::MatMul(ta, tb);
+  ProfileTapeOp("tape.matmul", out, TensorBytes(ta) + TensorBytes(tb));
   const int ai = a.id, bi = b.id;
   return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
     // dA = dC * B^T ; dB = A^T * dC
@@ -45,6 +65,7 @@ Value Tape::Add(Value a, Value b) {
   O2SR_CHECK(ta.SameShape(tb));
   Tensor out = ta;
   out.AddInPlace(tb);
+  ProfileTapeOp("tape.add", out, TensorBytes(ta) + TensorBytes(tb));
   const int ai = a.id, bi = b.id;
   return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
     t.mutable_grad(ai).AddInPlace(self.grad);
@@ -59,6 +80,8 @@ Value Tape::AddN(const std::vector<Value>& xs) {
     O2SR_CHECK(out.SameShape(value(xs[i])));
     out.AddInPlace(value(xs[i]));
   }
+  ProfileTapeOp("tape.add_n", out,
+                static_cast<uint64_t>(xs.size()) * TensorBytes(out));
   std::vector<int> ids;
   ids.reserve(xs.size());
   for (Value v : xs) ids.push_back(v.id);
@@ -73,6 +96,7 @@ Value Tape::Sub(Value a, Value b) {
   O2SR_CHECK(ta.SameShape(tb));
   Tensor out = ta;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] -= tb.data()[i];
+  ProfileTapeOp("tape.sub", out, TensorBytes(ta) + TensorBytes(tb));
   const int ai = a.id, bi = b.id;
   return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
     t.mutable_grad(ai).AddInPlace(self.grad);
@@ -87,6 +111,7 @@ Value Tape::Mul(Value a, Value b) {
   O2SR_CHECK(ta.SameShape(tb));
   Tensor out = ta;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= tb.data()[i];
+  ProfileTapeOp("tape.mul", out, TensorBytes(ta) + TensorBytes(tb));
   const int ai = a.id, bi = b.id;
   return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
     const Tensor& va = t.node(ai).value;
@@ -103,6 +128,7 @@ Value Tape::Mul(Value a, Value b) {
 Value Tape::Scale(Value a, float s) {
   Tensor out = value(a);
   out.ScaleInPlace(s);
+  ProfileTapeOp("tape.scale", out, TensorBytes(out));
   const int ai = a.id;
   return Emplace(std::move(out), [ai, s](Tape& t, const Node& self) {
     Tensor& ga = t.mutable_grad(ai);
@@ -123,6 +149,8 @@ Value Tape::AddRowBroadcast(Value x, Value bias) {
     const float* b = tb.row(0);
     for (int c = 0; c < out.cols(); ++c) row[c] += b[c];
   }
+  ProfileTapeOp("tape.add_row_broadcast", out,
+                TensorBytes(tx) + TensorBytes(tb));
   const int xi = x.id, bi = bias.id;
   return Emplace(std::move(out), [xi, bi](Tape& t, const Node& self) {
     t.mutable_grad(xi).AddInPlace(self.grad);
@@ -145,6 +173,8 @@ Value Tape::MulColBroadcast(Value x, Value col) {
     float* row = out.row(r);
     for (int c = 0; c < out.cols(); ++c) row[c] *= w;
   }
+  ProfileTapeOp("tape.mul_col_broadcast", out,
+                TensorBytes(tx) + TensorBytes(tc));
   const int xi = x.id, ci = col.id;
   return Emplace(std::move(out), [xi, ci](Tape& t, const Node& self) {
     const Tensor& vx = t.node(xi).value;
@@ -171,6 +201,7 @@ Value Tape::Relu(Value x) {
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = std::max(out.data()[i], 0.0f);
   }
+  ProfileTapeOp("tape.relu", out, TensorBytes(out));
   const int xi = x.id;
   return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
     const Tensor& vx = t.node(xi).value;
@@ -187,6 +218,7 @@ Value Tape::LeakyRelu(Value x, float negative_slope) {
   for (size_t i = 0; i < out.size(); ++i) {
     if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
   }
+  ProfileTapeOp("tape.leaky_relu", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out),
                  [xi, negative_slope](Tape& t, const Node& self) {
@@ -205,6 +237,7 @@ Value Tape::Sigmoid(Value x) {
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
   }
+  ProfileTapeOp("tape.sigmoid", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
     Tensor& gx = t.mutable_grad(xi);
@@ -221,6 +254,7 @@ Value Tape::Tanh(Value x) {
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = std::tanh(out.data()[i]);
   }
+  ProfileTapeOp("tape.tanh", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
     Tensor& gx = t.mutable_grad(xi);
@@ -247,6 +281,7 @@ Value Tape::SoftmaxRows(Value x) {
       row[c] = static_cast<float>(row[c] / sum);
     }
   }
+  ProfileTapeOp("tape.softmax_rows", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
     Tensor& gx = t.mutable_grad(xi);
@@ -286,6 +321,7 @@ Value Tape::ConcatCols(const std::vector<Value>& xs) {
     widths.push_back(tv.cols());
     offset += tv.cols();
   }
+  ProfileTapeOp("tape.concat_cols", out, TensorBytes(out));
   return Emplace(std::move(out),
                  [ids, offsets, widths](Tape& t, const Node& self) {
     for (size_t k = 0; k < ids.size(); ++k) {
@@ -306,6 +342,7 @@ Value Tape::SliceCols(Value x, int start, int count) {
   for (int r = 0; r < tx.rows(); ++r) {
     std::copy(tx.row(r) + start, tx.row(r) + start + count, out.row(r));
   }
+  ProfileTapeOp("tape.slice_cols", out, TensorBytes(out));
   const int xi = x.id;
   return Emplace(std::move(out), [xi, start, count](Tape& t,
                                                     const Node& self) {
@@ -330,6 +367,7 @@ Value Tape::RowwiseDot(Value a, Value b) {
     for (int c = 0; c < ta.cols(); ++c) dot += ra[c] * rb[c];
     out.at(r, 0) = static_cast<float>(dot);
   }
+  ProfileTapeOp("tape.rowwise_dot", out, TensorBytes(ta) + TensorBytes(tb));
   const int ai = a.id, bi = b.id;
   return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
     const Tensor& va = t.node(ai).value;
@@ -361,6 +399,7 @@ Value Tape::Dropout(Value x, double p, Rng& rng) {
   }
   Tensor out = tx;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask.data()[i];
+  ProfileTapeOp("tape.dropout", out, TensorBytes(tx) + TensorBytes(mask));
   const int xi = x.id;
   return Emplace(std::move(out),
                  [xi, mask = std::move(mask)](Tape& t, const Node& self) {
@@ -379,6 +418,7 @@ Value Tape::GatherRows(Value x, std::vector<int> index) {
     std::copy(tx.row(index[e]), tx.row(index[e]) + tx.cols(),
               out.row(static_cast<int>(e)));
   }
+  ProfileTapeOp("tape.gather_rows", out, TensorBytes(out));
   const int xi = x.id;
   return Emplace(std::move(out),
                  [xi, index = std::move(index)](Tape& t, const Node& self) {
@@ -416,6 +456,7 @@ Value Tape::SegmentSoftmax(Value scores, std::vector<int> segment,
     out.at(static_cast<int>(e), 0) = static_cast<float>(
         out.at(static_cast<int>(e), 0) / seg_sum[segment[e]]);
   }
+  ProfileTapeOp("tape.segment_softmax", out, TensorBytes(ts));
   const int si = scores.id;
   return Emplace(std::move(out), [si, segment = std::move(segment),
                                   num_segments](Tape& t, const Node& self) {
@@ -446,6 +487,7 @@ Value Tape::SegmentSum(Value x, std::vector<int> segment, int num_segments) {
     float* dst = out.row(segment[e]);
     for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c];
   }
+  ProfileTapeOp("tape.segment_sum", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out),
                  [xi, segment = std::move(segment)](Tape& t,
@@ -474,6 +516,7 @@ Value Tape::SegmentMean(Value x, std::vector<int> segment, int num_segments) {
     const float inv = 1.0f / static_cast<float>(counts[segment[e]]);
     for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c] * inv;
   }
+  ProfileTapeOp("tape.segment_mean", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out),
                  [xi, segment = std::move(segment),
@@ -493,6 +536,7 @@ Value Tape::MeanAll(Value x) {
   O2SR_CHECK_GT(tx.size(), 0u);
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(tx.Sum() / tx.size());
+  ProfileTapeOp("tape.mean_all", out, TensorBytes(tx));
   const int xi = x.id;
   return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
     Tensor& gx = t.mutable_grad(xi);
@@ -514,6 +558,7 @@ Value Tape::MseLoss(Value pred, Value target) {
     acc += d * d;
   }
   out.at(0, 0) = static_cast<float>(acc / tp.size());
+  ProfileTapeOp("tape.mse_loss", out, TensorBytes(tp) + TensorBytes(tt));
   const int pi = pred.id, ti = target.id;
   return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
     const Tensor& vp = t.node(pi).value;
@@ -541,6 +586,7 @@ Value Tape::MaeLoss(Value pred, Value target) {
     acc += std::fabs(tp.data()[i] - tt.data()[i]);
   }
   out.at(0, 0) = static_cast<float>(acc / tp.size());
+  ProfileTapeOp("tape.mae_loss", out, TensorBytes(tp) + TensorBytes(tt));
   const int pi = pred.id, ti = target.id;
   return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
     const Tensor& vp = t.node(pi).value;

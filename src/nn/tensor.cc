@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "exec/thread_pool.h"
+#include "obs/profiler.h"
 
 namespace o2sr::nn {
 
@@ -62,6 +63,8 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   O2SR_CHECK(SameShape(other));
+  O2SR_PROFILE_OP("tensor.add_inplace", 0,
+                  uint64_t{3} * data_.size() * sizeof(float), data_.size());
   exec::CurrentPool().RunChunks(
       static_cast<int64_t>(data_.size()), kElementGrain,
       [&](int64_t begin, int64_t end) {
@@ -70,6 +73,8 @@ void Tensor::AddInPlace(const Tensor& other) {
 }
 
 void Tensor::ScaleInPlace(float scalar) {
+  O2SR_PROFILE_OP("tensor.scale_inplace", 0,
+                  uint64_t{2} * data_.size() * sizeof(float), data_.size());
   exec::CurrentPool().RunChunks(
       static_cast<int64_t>(data_.size()), kElementGrain,
       [&](int64_t begin, int64_t end) {
@@ -81,6 +86,8 @@ void Tensor::ScaleInPlace(float scalar) {
 // exec::ThreadPool::ParallelReduce): the association is defined by the
 // grain, so the value is the same at every thread count.
 double Tensor::Sum() const {
+  O2SR_PROFILE_OP("tensor.sum", 0, data_.size() * sizeof(float),
+                  data_.size());
   return exec::CurrentPool().ParallelReduce(
       static_cast<int64_t>(data_.size()), kElementGrain, 0.0,
       [&](int64_t begin, int64_t end) {
@@ -93,6 +100,8 @@ double Tensor::Sum() const {
 
 double Tensor::MeanAbs() const {
   if (data_.empty()) return 0.0;
+  O2SR_PROFILE_OP("tensor.mean_abs", 0, data_.size() * sizeof(float),
+                  data_.size());
   const double s = exec::CurrentPool().ParallelReduce(
       static_cast<int64_t>(data_.size()), kElementGrain, 0.0,
       [&](int64_t begin, int64_t end) {
@@ -119,6 +128,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.cols(), b.rows());
   Tensor c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  O2SR_PROFILE_OP("tensor.matmul", c.size() * sizeof(float),
+                  (a.size() + b.size() + c.size()) * sizeof(float),
+                  uint64_t{2} * m * k * n);
   exec::CurrentPool().ParallelFor(
       m, RowGrain(int64_t{2} * k * n), [&](int64_t i) {
         const float* arow = a.row(static_cast<int>(i));
@@ -137,6 +149,9 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.rows(), b.rows());
   Tensor c(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
+  O2SR_PROFILE_OP("tensor.matmul_ta", c.size() * sizeof(float),
+                  (a.size() + b.size() + c.size()) * sizeof(float),
+                  uint64_t{2} * m * k * n);
   // Output row i reads column i of a; for each output element the sum still
   // runs over p in ascending order, matching the p-outer serial loop.
   exec::CurrentPool().ParallelFor(
@@ -156,6 +171,9 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   O2SR_CHECK_EQ(a.cols(), b.cols());
   Tensor c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
+  O2SR_PROFILE_OP("tensor.matmul_tb", c.size() * sizeof(float),
+                  (a.size() + b.size() + c.size()) * sizeof(float),
+                  uint64_t{2} * m * k * n);
   exec::CurrentPool().ParallelFor(
       m, RowGrain(int64_t{2} * k * n), [&](int64_t i) {
         const float* arow = a.row(static_cast<int>(i));

@@ -1,7 +1,13 @@
 #ifndef O2SR_OBS_JSON_H_
 #define O2SR_OBS_JSON_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
 
 namespace o2sr::obs {
 
@@ -20,6 +26,74 @@ std::string JsonQuote(const std::string& s);
 std::string JsonNum(double value);
 std::string JsonNum(int64_t value);
 std::string JsonNum(uint64_t value);
+
+// Fixed-precision decimal ("265.074", not "265.07399999999996") for fields
+// that are diffed across runs or compared against tolerances — timing
+// cells, profiler aggregates. NaN/Inf render as null; `decimals` is
+// clamped to [0, 17].
+std::string JsonFixed(double value, int decimals);
+
+// A parsed JSON document. Objects preserve the key order of the source
+// text (our own exporters emit sorted keys, so lookups stay deterministic
+// either way). This is the read side of the exporters above — bench_diff
+// and the tests use it to consume BENCH_*.json / profile / trace files
+// without a third-party dependency.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Find + number(); `fallback` when absent or not a number.
+  double NumberOr(const std::string& key, double fallback) const;
+  // Find + string_value(); `fallback` when absent or not a string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Strict recursive-descent parse of one JSON document (trailing whitespace
+// allowed, trailing garbage is an error). InvalidArgument on malformed
+// input, with a byte offset in the message. Nesting deeper than 128 levels
+// is rejected.
+common::StatusOr<JsonValue> ParseJson(const std::string& text);
+
+// ParseJson over the contents of `path` (NotFound/Unavailable on I/O
+// errors, the parse error otherwise).
+common::StatusOr<JsonValue> ParseJsonFile(const std::string& path);
 
 }  // namespace o2sr::obs
 

@@ -68,6 +68,8 @@ const char* PipelineEventKindName(PipelineEventKind kind) {
     case PipelineEventKind::kFallback: return "fallback";
     case PipelineEventKind::kResume: return "resume";
     case PipelineEventKind::kServe: return "serve";
+    case PipelineEventKind::kHealth: return "health";
+    case PipelineEventKind::kSlo: return "slo";
   }
   return "?";
 }

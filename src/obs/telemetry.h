@@ -72,6 +72,10 @@ enum class PipelineEventKind {
   kFallback = 2,    // swap exhausted its budget; serving the prior snapshot
   kResume = 3,      // a restarted supervisor picked up the journal
   kServe = 4,       // serve-stage summary (value = served query count)
+  kHealth = 5,      // serving health transition (note = "FROM -> TO",
+                    // value = numeric target state)
+  kSlo = 6,         // serve-stage SLO summary (value = burn rate,
+                    // note = SloSnapshot JSON)
 };
 
 const char* PipelineEventKindName(PipelineEventKind kind);

@@ -84,6 +84,22 @@ void TraceRecorder::End(int64_t handle) {
   }
 }
 
+void TraceRecorder::RecordCounter(const char* name, double value) {
+  if (!recording()) return;
+  const int64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.size() >= kMaxCounters) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceCounterEvent event;
+  event.name = name;
+  event.ts_us = now;
+  event.value = value;
+  event.tid = ThisThreadTraceId();
+  counters_.push_back(std::move(event));
+}
+
 size_t TraceRecorder::span_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spans_.size();
@@ -94,9 +110,15 @@ std::vector<TraceSpan> TraceRecorder::Snapshot() const {
   return spans_;
 }
 
+std::vector<TraceCounterEvent> TraceRecorder::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+  counters_.clear();
   tls_trace_depth = 0;  // only the calling thread can have open spans here
   dropped_.store(0, std::memory_order_relaxed);
 }
@@ -118,15 +140,24 @@ std::string TraceRecorder::ExportChromeTraceJson() const {
   const int64_t now = clock_();
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const TraceSpan& span = spans_[i];
+  bool first = true;
+  for (const TraceSpan& span : spans_) {
     const int64_t dur =
         span.dur_us >= 0 ? span.dur_us : now - span.start_us;
-    if (i > 0) out += ",";
+    if (!first) out += ",";
+    first = false;
     out += "{\"name\":" + JsonQuote(span.name) +
            ",\"cat\":\"o2sr\",\"ph\":\"X\",\"ts\":" + JsonNum(span.start_us) +
            ",\"dur\":" + JsonNum(dur) + ",\"pid\":0,\"tid\":" +
            JsonNum(static_cast<int64_t>(span.tid)) + "}";
+  }
+  for (const TraceCounterEvent& counter : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + JsonQuote(counter.name) +
+           ",\"cat\":\"o2sr\",\"ph\":\"C\",\"ts\":" + JsonNum(counter.ts_us) +
+           ",\"pid\":0,\"tid\":" + JsonNum(static_cast<int64_t>(counter.tid)) +
+           ",\"args\":{\"value\":" + JsonNum(counter.value) + "}}";
   }
   out += "]}";
   return out;

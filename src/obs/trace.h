@@ -45,6 +45,16 @@ struct TraceSpan {
   int tid = 0;          // small per-thread id, first-use order
 };
 
+// A point-in-time counter sample, exported as a Chrome trace_event counter
+// ("ph":"C") so chrome://tracing renders it as a stacked counter track.
+// The profiler emits these for its dispatch/allocation aggregates.
+struct TraceCounterEvent {
+  std::string name;
+  int64_t ts_us = 0;
+  double value = 0.0;
+  int tid = 0;
+};
+
 class TraceRecorder {
  public:
   // Microsecond clock; injectable so tests get deterministic timestamps.
@@ -72,11 +82,16 @@ class TraceRecorder {
   int64_t Begin(const char* name);
   void End(int64_t handle);
 
+  // Records one counter sample at the current clock value (dropped when not
+  // recording or past the counter cap).
+  void RecordCounter(const char* name, double value);
+
   size_t span_count() const;
   uint64_t dropped_spans() const {
     return dropped_.load(std::memory_order_relaxed);
   }
   std::vector<TraceSpan> Snapshot() const;
+  std::vector<TraceCounterEvent> CounterSnapshot() const;
   void Clear();
 
   // Wall-clock milliseconds summed per span name (every depth by default;
@@ -87,7 +102,9 @@ class TraceRecorder {
 
   // {"displayTimeUnit":"ms","traceEvents":[{"name":..,"cat":"o2sr",
   //  "ph":"X","ts":..,"dur":..,"pid":0,"tid":0},...]} — spans in recording
-  //  order; open spans are closed at the current clock value.
+  //  order; open spans are closed at the current clock value. Counter
+  //  samples follow the spans as "ph":"C" events carrying
+  //  {"args":{"value":..}}.
   std::string ExportChromeTraceJson() const;
   common::Status WriteChromeTrace(const std::string& path) const;
 
@@ -97,9 +114,11 @@ class TraceRecorder {
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
+  std::vector<TraceCounterEvent> counters_;
   // Keep the span buffer bounded; a long-running process should not grow
   // without limit. Coarse-grained spans never come close to this.
   static constexpr size_t kMaxSpans = 1 << 20;
+  static constexpr size_t kMaxCounters = 1 << 16;
 };
 
 // RAII span over the enclosing scope.

@@ -333,6 +333,29 @@ common::Status ContinualPipeline::RunCanaryStage(
   return Status::Ok();
 }
 
+serve::ServingOptions ContinualPipeline::MakeServingOptions(int cycle) {
+  serve::ServingOptions serving_options;
+  serving_options.prior = serve::BuildPopularityPrior(
+      WorldForCycle(cycle).data.num_types(),
+      WorldForCycle(cycle).interactions);
+  // The engine invokes this outside its health lock, on the thread whose
+  // request triggered the transition — here that is always the pipeline
+  // thread (the supervisor issues every serve-stage query itself).
+  serving_options.on_health_change = [this](serve::ServeHealth from,
+                                            serve::ServeHealth to) {
+    obs::PipelineEvent event;
+    event.kind = obs::PipelineEventKind::kHealth;
+    event.cycle = world_cycle_;
+    event.stage = "SERVE";
+    event.value = static_cast<double>(to);
+    event.note = std::string(serve::ServeHealthName(from)) + " -> " +
+                 serve::ServeHealthName(to);
+    Emit(std::move(event));
+    CounterOf("pipeline.health_transitions")->Increment();
+  };
+  return serving_options;
+}
+
 common::Status ContinualPipeline::RunSwapStage(PipelineJournalState* state) {
   const int cycle = state->cycle;
   const std::string path = SnapshotPath(cycle);
@@ -345,10 +368,7 @@ common::Status ContinualPipeline::RunSwapStage(PipelineJournalState* state) {
   if (engine_ == nullptr) {
     // First promotion of this process: the staged model itself becomes the
     // serving model (there is nothing to hot-swap from yet).
-    serve::ServingOptions serving_options;
-    serving_options.prior = serve::BuildPopularityPrior(
-        WorldForCycle(cycle).data.num_types(),
-        WorldForCycle(cycle).interactions);
+    serve::ServingOptions serving_options = MakeServingOptions(cycle);
     serving_model_ = std::move(staged_);
     O2SR_ASSIGN_OR_RETURN(
         engine_,
@@ -448,6 +468,15 @@ common::Status ContinualPipeline::RunServeStage(PipelineJournalState* state) {
   event.note = "degraded=" + std::to_string(degraded) +
                " shed=" + std::to_string(shed);
   Emit(std::move(event));
+
+  const obs::SloSnapshot slo = engine_->slo().Snapshot();
+  obs::PipelineEvent slo_event;
+  slo_event.kind = obs::PipelineEventKind::kSlo;
+  slo_event.cycle = cycle;
+  slo_event.stage = PipelineStageName(state->stage);
+  slo_event.value = slo.burn_rate;
+  slo_event.note = slo.ToJson();
+  Emit(std::move(slo_event));
   return Status::Ok();
 }
 
@@ -533,10 +562,8 @@ common::StatusOr<PipelineReport> ContinualPipeline::Run() {
           O2SR_RETURN_IF_ERROR(serve::RestoreModel(
               snap, *staged, CycleConfigHash(state.active_cycle)));
           O2SR_RETURN_IF_ERROR(staged->FinalizeServing());
-          serve::ServingOptions serving_options;
-          serving_options.prior = serve::BuildPopularityPrior(
-              WorldForCycle(state.active_cycle).data.num_types(),
-              WorldForCycle(state.active_cycle).interactions);
+          serve::ServingOptions serving_options =
+              MakeServingOptions(state.active_cycle);
           serving_model_ = std::move(staged);
           O2SR_ASSIGN_OR_RETURN(engine_, serve::ServingEngine::Create(
                                              serving_model_.get(),

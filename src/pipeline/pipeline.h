@@ -33,7 +33,10 @@ namespace o2sr::pipeline {
 // Observability (prefix "pipeline"): stage/cycle gauges, cycles_completed /
 // retries / swap_fallbacks / resumes / journal_writes counters, plus one
 // obs::PipelineEvent per transition/retry/fallback/resume/serve (JSONL when
-// `event_log_path` is set).
+// `event_log_path` is set). The serving engine's health transitions
+// (SERVING / DEGRADED / LAME_DUCK) surface as kHealth events, and every
+// SERVE stage appends one kSlo event carrying the engine's rolling-window
+// SLO snapshot (burn rate in `value`, full JSON in `note`).
 
 struct PipelineOptions {
   // The base world, model and drift process. The config fingerprint over
@@ -131,6 +134,9 @@ class ContinualPipeline {
       int cycle);
   std::vector<serve::CanaryQuery> BuildCanaries(
       const core::SiteRecommender& staged, int cycle);
+  // Engine options for `cycle`: popularity prior plus the health-transition
+  // callback that turns engine health changes into kHealth events.
+  serve::ServingOptions MakeServingOptions(int cycle);
 
   void Emit(obs::PipelineEvent event);
   common::Status Transition(PipelineJournalState* state, PipelineStage next,

@@ -17,6 +17,16 @@ namespace {
 
 constexpr int64_t kDefaultCacheCapacity = 65536;
 
+// Env-derived SLO config with the per-engine option overrides applied.
+obs::SloConfig ResolveSloConfig(const ServingOptions& options) {
+  obs::SloConfig config = obs::SloConfig::FromEnv();
+  if (options.slo_ms > 0.0) config.slo_ms = options.slo_ms;
+  if (options.slo_target > 0.0 && options.slo_target < 1.0) {
+    config.target = options.slo_target;
+  }
+  return config;
+}
+
 bool BetterRanked(const RankedSite& a, const RankedSite& b) {
   if (a.score != b.score) return a.score > b.score;
   return a.region < b.region;
@@ -144,6 +154,7 @@ ServingEngine::ServingEngine(core::SiteRecommender* model,
       health_gauge_(
           obs::MetricsRegistry::Global().GetGauge("serve.health_state")),
       epoch_gauge_(obs::MetricsRegistry::Global().GetGauge("serve.epoch")),
+      slo_(ResolveSloConfig(options), "serve.slo"),
       latency_ms_(obs::MetricsRegistry::Global().GetHistogram(
           "serve.rank_latency_ms", obs::DefaultLatencyBucketsMs())) {
   const int64_t capacity =
@@ -193,42 +204,69 @@ ServeHealth ServingEngine::health() const {
 }
 
 void ServingEngine::EnterLameDuck() {
-  std::lock_guard<std::mutex> lock(health_mutex_);
-  if (health_ == ServeHealth::kLameDuck) return;
-  health_ = ServeHealth::kLameDuck;
-  health_gauge_->Set(static_cast<double>(ServeHealth::kLameDuck));
+  ServeHealth from;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (health_ == ServeHealth::kLameDuck) return;
+    from = health_;
+    health_ = ServeHealth::kLameDuck;
+    health_gauge_->Set(static_cast<double>(ServeHealth::kLameDuck));
+  }
   O2SR_LOG(INFO) << "serving engine entering LAME_DUCK: new requests are "
                     "shed, in-flight requests drain";
+  NotifyHealthChange(from, ServeHealth::kLameDuck);
 }
 
 void ServingEngine::RecordOutcome(ServeTier tier) const {
-  std::lock_guard<std::mutex> lock(health_mutex_);
-  if (health_ == ServeHealth::kLameDuck) return;  // terminal
-  if (tier != ServeTier::kFresh) {
-    degraded_responses_->Increment();
-    fresh_streak_ = 0;
-    if (health_ == ServeHealth::kServing) {
-      health_ = ServeHealth::kDegraded;
-      health_gauge_->Set(static_cast<double>(ServeHealth::kDegraded));
-      O2SR_LOG(WARNING) << "serving health SERVING -> DEGRADED (served a "
-                        << ServeTierName(tier) << "-tier response)";
-    }
-  } else if (health_ == ServeHealth::kDegraded) {
-    if (++fresh_streak_ >= options_.health_recovery_streak) {
-      health_ = ServeHealth::kServing;
+  ServeHealth from = ServeHealth::kServing;
+  ServeHealth to = ServeHealth::kServing;
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (health_ == ServeHealth::kLameDuck) return;  // terminal
+    if (tier != ServeTier::kFresh) {
+      degraded_responses_->Increment();
       fresh_streak_ = 0;
-      health_gauge_->Set(static_cast<double>(ServeHealth::kServing));
-      O2SR_LOG(INFO) << "serving health DEGRADED -> SERVING ("
-                     << options_.health_recovery_streak
-                     << " consecutive fresh responses)";
+      if (health_ == ServeHealth::kServing) {
+        health_ = ServeHealth::kDegraded;
+        health_gauge_->Set(static_cast<double>(ServeHealth::kDegraded));
+        O2SR_LOG(WARNING) << "serving health SERVING -> DEGRADED (served a "
+                          << ServeTierName(tier) << "-tier response)";
+        from = ServeHealth::kServing;
+        to = ServeHealth::kDegraded;
+        changed = true;
+      }
+    } else if (health_ == ServeHealth::kDegraded) {
+      if (++fresh_streak_ >= options_.health_recovery_streak) {
+        health_ = ServeHealth::kServing;
+        fresh_streak_ = 0;
+        health_gauge_->Set(static_cast<double>(ServeHealth::kServing));
+        O2SR_LOG(INFO) << "serving health DEGRADED -> SERVING ("
+                       << options_.health_recovery_streak
+                       << " consecutive fresh responses)";
+        from = ServeHealth::kDegraded;
+        to = ServeHealth::kServing;
+        changed = true;
+      }
     }
   }
+  if (changed) NotifyHealthChange(from, to);
+}
+
+void ServingEngine::NotifyHealthChange(ServeHealth from,
+                                       ServeHealth to) const {
+  if (options_.on_health_change) options_.on_health_change(from, to);
 }
 
 common::StatusOr<RankResponse> ServingEngine::ShedRequest(
-    const char* reason) const {
+    const char* reason, double latency_ms, bool deadline_miss) const {
   shed_->Increment();
   shed_total_.fetch_add(1, std::memory_order_relaxed);
+  obs::SloOutcome outcome;
+  outcome.latency_ms = latency_ms;
+  outcome.shed = true;
+  outcome.deadline_miss = deadline_miss;
+  slo_.Record(outcome);
   return common::ResourceExhaustedError(std::string("request shed: ") +
                                         reason);
 }
@@ -357,6 +395,11 @@ common::Status ServingEngine::ScoreLadder(const Active& active,
 common::StatusOr<RankResponse> ServingEngine::Rank(
     const RankRequest& request) const {
   const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
   requests_->Increment();
   if (request.k < 0) {
     return common::InvalidArgumentError("Rank: k must be >= 0, got " +
@@ -365,19 +408,22 @@ common::StatusOr<RankResponse> ServingEngine::Rank(
   {
     std::lock_guard<std::mutex> lock(health_mutex_);
     if (health_ == ServeHealth::kLameDuck) {
-      return ShedRequest("engine is in LAME_DUCK");
+      return ShedRequest("engine is in LAME_DUCK", elapsed_ms(),
+                         /*deadline_miss=*/false);
     }
   }
   AdmissionController::Ticket ticket(admission_);
   if (!ticket.admitted()) {
-    return ShedRequest("admission queue past its high-water mark");
+    return ShedRequest("admission queue past its high-water mark",
+                       elapsed_ms(), /*deadline_miss=*/false);
   }
   Deadline deadline = request.deadline;
   if (deadline.infinite() && default_deadline_ms_ > 0.0) {
     deadline = Deadline::AfterMs(default_deadline_ms_);
   }
   if (deadline.expired()) {
-    return ShedRequest("deadline expired before admission");
+    return ShedRequest("deadline expired before admission", elapsed_ms(),
+                       /*deadline_miss=*/true);
   }
 
   const std::shared_ptr<const Active> active = CurrentActive();
@@ -387,15 +433,28 @@ common::StatusOr<RankResponse> ServingEngine::Rank(
   RankResponse response;
   response.epoch = active->epoch;
   std::vector<double> scores;
-  O2SR_RETURN_IF_ERROR(
-      ScoreLadder(*active, pairs, deadline, &scores, &response.tier));
+  const common::Status ladder =
+      ScoreLadder(*active, pairs, deadline, &scores, &response.tier);
+  if (!ladder.ok()) {
+    // The client got no ranking: in SLO terms this counts like a shed
+    // request (and a deadline miss when the budget ran out mid-flight).
+    obs::SloOutcome outcome;
+    outcome.latency_ms = elapsed_ms();
+    outcome.shed = true;
+    outcome.deadline_miss = deadline.expired();
+    slo_.Record(outcome);
+    return ladder;
+  }
   response.sites = RankFromScores(pairs, scores, request.k);
   RecordOutcome(response.tier);
 
-  latency_ms_->Observe(
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  const double latency = elapsed_ms();
+  latency_ms_->Observe(latency);
+  obs::SloOutcome outcome;
+  outcome.latency_ms = latency;
+  outcome.deadline_miss = deadline.expired();
+  outcome.degraded = response.tier != ServeTier::kFresh;
+  slo_.Record(outcome);
   return response;
 }
 

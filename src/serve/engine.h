@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "core/recommender.h"
 #include "exec/thread_pool.h"
+#include "obs/slo.h"
 #include "serve/admission.h"
 #include "serve/deadline.h"
 #include "serve/score_cache.h"
@@ -86,6 +88,16 @@ struct ServingOptions {
   PopularityPrior prior;
   // Consecutive fresh-tier responses required to leave DEGRADED.
   int health_recovery_streak = 32;
+  // Serving SLO objective for the engine's SloMonitor. Non-positive values
+  // resolve to O2SR_SERVE_SLO_MS / O2SR_SERVE_SLO_TARGET (defaults 50 ms
+  // latency, 0.99 good fraction).
+  double slo_ms = -1.0;
+  double slo_target = -1.0;
+  // Invoked on every SERVING / DEGRADED / LAME_DUCK transition, outside
+  // the health lock (calling back into the engine is safe). May be called
+  // concurrently from racing requests; transitions are reported in the
+  // order each racer observed them.
+  std::function<void(ServeHealth from, ServeHealth to)> on_health_change;
 };
 
 struct RankedSite {
@@ -173,6 +185,9 @@ struct SwapReport {
 //                             counter   promoted / rejected snapshot swaps
 //   serve.health_state        gauge     0 SERVING / 1 DEGRADED / 2 LAME_DUCK
 //   serve.epoch               gauge     active model epoch
+//   serve.slo.burn_rate / serve.slo.bad_fraction / serve.slo.breached
+//                             gauge     rolling-window SLO health
+//                                       (obs::SloMonitor; see slo())
 // plus the serve.cache.* counters of ScoreCache.
 class ServingEngine {
  public:
@@ -241,6 +256,9 @@ class ServingEngine {
   // The currently active model (may change across SwapSnapshot).
   const core::SiteRecommender& model() const;
   ScoreCache& cache() const { return *cache_; }
+  // Rolling-window SLO state over every Rank/RankSites call (shed requests
+  // included). Snapshot() for the burn rate and latency quantiles.
+  const obs::SloMonitor& slo() const { return slo_; }
 
  private:
   // The active model + its epoch. Queries copy the shared_ptr on entry, so
@@ -272,7 +290,10 @@ class ServingEngine {
                              ServeTier* tier) const;
 
   void RecordOutcome(ServeTier tier) const;
-  common::StatusOr<RankResponse> ShedRequest(const char* reason) const;
+  void NotifyHealthChange(ServeHealth from, ServeHealth to) const;
+  common::StatusOr<RankResponse> ShedRequest(const char* reason,
+                                             double latency_ms,
+                                             bool deadline_miss) const;
 
   ServingOptions options_;
   std::unique_ptr<ScoreCache> cache_;
@@ -287,6 +308,8 @@ class ServingEngine {
   mutable std::mutex health_mutex_;
   mutable ServeHealth health_ = ServeHealth::kServing;
   mutable int fresh_streak_ = 0;
+
+  mutable obs::SloMonitor slo_;
 
   obs::Counter* requests_;
   obs::Counter* pairs_scored_;

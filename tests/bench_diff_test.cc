@@ -1,0 +1,226 @@
+// Tests of the BENCH regression gate (tools/bench_diff_lib.h): field
+// classification, direction-aware tolerance judgment, meta-mismatch
+// refusal, missing/new field handling and the --ignore-timings mode.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_diff_lib.h"
+#include "obs/json.h"
+
+namespace o2sr::tools {
+namespace {
+
+obs::JsonValue Parse(const std::string& text) {
+  auto parsed = obs::ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.ok() ? parsed.value() : obs::JsonValue();
+}
+
+// A minimal but fully-shaped BENCH report. `ndcg` / `qps` / `p99` let each
+// test move one field class at a time.
+std::string Report(double ndcg, double qps, double p99,
+                   const char* threads = "4") {
+  std::string out = "{\"bench\":\"synthetic\",\"scale\":\"small\","
+                    "\"seed_count\":1,\"threads\":";
+  out += threads;
+  out += ",\"build_type\":\"Release\",\"sanitizer\":\"none\","
+         "\"wall_clock_s\":2.5,"
+         "\"stages_ms\":{\"train.epoch\":1200.125},"
+         "\"cells\":[{\"label\":\"HGT\",\"ndcg@3\":";
+  out += obs::JsonNum(ndcg);
+  out += ",\"rmse\":0.21,\"types_evaluated\":10}],"
+         "\"values\":[{\"label\":\"qps_cold\",\"value\":";
+  out += obs::JsonNum(qps);
+  out += "},{\"label\":\"p99_ms\",\"value\":";
+  out += obs::JsonNum(p99);
+  out += "},{\"label\":\"cache_hit_rate\",\"value\":0.9}]}";
+  return out;
+}
+
+BenchDiffResult Diff(const std::string& base, const std::string& cand,
+                     bool ignore_timings = false) {
+  BenchDiffOptions options;
+  options.ignore_timings = ignore_timings;
+  auto result = DiffBenchReports(Parse(base), Parse(cand), options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result.value() : BenchDiffResult();
+}
+
+const FieldDiff* FindField(const BenchDiffResult& result,
+                           const std::string& label) {
+  for (const FieldDiff& f : result.fields) {
+    if (f.label == label) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+
+TEST(ClassifyFieldTest, DirectionsAndTimingFlags) {
+  EXPECT_EQ(ClassifyField("qps_cold").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_TRUE(ClassifyField("qps_cold").timing);
+  EXPECT_EQ(ClassifyField("speedup_threads4").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_EQ(ClassifyField("p99_ms").direction, FieldDirection::kLowerBetter);
+  EXPECT_TRUE(ClassifyField("p99_ms").timing);
+  EXPECT_TRUE(ClassifyField("wall_clock_s").timing);
+  EXPECT_TRUE(ClassifyField("wall_clock_s_threads1").timing);
+  EXPECT_TRUE(ClassifyField("epoch1_recovery_s").timing);
+  EXPECT_TRUE(ClassifyField("stages_ms.train.epoch").timing);
+  EXPECT_EQ(ClassifyField("stages_ms.train.epoch").direction,
+            FieldDirection::kLowerBetter);
+
+  EXPECT_EQ(ClassifyField("cells.HGT.ndcg@3").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_FALSE(ClassifyField("cells.HGT.ndcg@3").timing);
+  EXPECT_EQ(ClassifyField("cells.HGT.precision@5").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_EQ(ClassifyField("cache_hit_rate").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_EQ(ClassifyField("cells.HGT.rmse").direction,
+            FieldDirection::kLowerBetter);
+  EXPECT_EQ(ClassifyField("deadline_shed_rate").direction,
+            FieldDirection::kLowerBetter);
+  EXPECT_EQ(ClassifyField("slo_bad_fraction").direction,
+            FieldDirection::kLowerBetter);
+
+  // Workload-shape fields: exact match required.
+  const FieldPolicy queries = ClassifyField("queries");
+  EXPECT_EQ(queries.direction, FieldDirection::kTwoSided);
+  EXPECT_DOUBLE_EQ(queries.rel_tol, 0.0);
+  EXPECT_EQ(ClassifyField("cells.HGT.types_evaluated").direction,
+            FieldDirection::kTwoSided);
+}
+
+// ---------------------------------------------------------------------------
+// Judgment
+
+TEST(BenchDiffTest, SelfDiffIsClean) {
+  const std::string report = Report(0.63, 5000.0, 2.0);
+  const BenchDiffResult result = Diff(report, report);
+  ASSERT_TRUE(result.comparable());
+  EXPECT_EQ(result.regressions(), 0);
+  EXPECT_EQ(result.improvements(), 0);
+  for (const FieldDiff& f : result.fields) {
+    EXPECT_EQ(f.status, FieldStatus::kOk) << f.label;
+  }
+}
+
+TEST(BenchDiffTest, QualityDropIsARegressionRiseIsAnImprovement) {
+  const std::string base = Report(0.63, 5000.0, 2.0);
+  const BenchDiffResult worse = Diff(base, Report(0.55, 5000.0, 2.0));
+  const FieldDiff* ndcg = FindField(worse, "cells.HGT.ndcg@3");
+  ASSERT_NE(ndcg, nullptr);
+  EXPECT_EQ(ndcg->status, FieldStatus::kRegressed);
+  EXPECT_EQ(worse.regressions(), 1);
+
+  const BenchDiffResult better = Diff(base, Report(0.70, 5000.0, 2.0));
+  EXPECT_EQ(FindField(better, "cells.HGT.ndcg@3")->status,
+            FieldStatus::kImproved);
+  EXPECT_EQ(better.regressions(), 0);
+}
+
+TEST(BenchDiffTest, ThroughputDropAndLatencyRiseRegress) {
+  const std::string base = Report(0.63, 5000.0, 40.0);
+  // qps -50% is far past the 25% timing tolerance.
+  const BenchDiffResult slow = Diff(base, Report(0.63, 2500.0, 40.0));
+  EXPECT_EQ(FindField(slow, "qps_cold")->status, FieldStatus::kRegressed);
+  // p99 40 -> 80 ms is past both the 25% relative and 5 ms absolute floor.
+  const BenchDiffResult lagging = Diff(base, Report(0.63, 5000.0, 80.0));
+  EXPECT_EQ(FindField(lagging, "p99_ms")->status, FieldStatus::kRegressed);
+  // Faster is an improvement, not a regression.
+  const BenchDiffResult faster = Diff(base, Report(0.63, 5000.0, 10.0));
+  EXPECT_EQ(FindField(faster, "p99_ms")->status, FieldStatus::kImproved);
+  EXPECT_EQ(faster.regressions(), 0);
+}
+
+TEST(BenchDiffTest, SmallMovesStayWithinTolerance) {
+  const std::string base = Report(0.63, 5000.0, 40.0);
+  // 1% quality wiggle, 10% qps wiggle, 2 ms latency wiggle: all within.
+  const BenchDiffResult result = Diff(base, Report(0.625, 4600.0, 42.0));
+  EXPECT_EQ(result.regressions(), 0);
+  EXPECT_EQ(result.improvements(), 0);
+}
+
+TEST(BenchDiffTest, IgnoreTimingsSkipsMachineSpeedFields) {
+  const std::string base = Report(0.63, 5000.0, 40.0);
+  // Halved throughput, doubled latency — but quality intact.
+  const BenchDiffResult result =
+      Diff(base, Report(0.63, 2500.0, 80.0), /*ignore_timings=*/true);
+  EXPECT_EQ(result.regressions(), 0);
+  EXPECT_EQ(FindField(result, "qps_cold")->status, FieldStatus::kSkipped);
+  EXPECT_EQ(FindField(result, "p99_ms")->status, FieldStatus::kSkipped);
+  EXPECT_EQ(FindField(result, "wall_clock_s")->status, FieldStatus::kSkipped);
+  // Quality fields are still judged.
+  EXPECT_EQ(FindField(result, "cells.HGT.ndcg@3")->status, FieldStatus::kOk);
+
+  // And a quality drop still fails even with timings ignored.
+  const BenchDiffResult worse =
+      Diff(base, Report(0.40, 2500.0, 80.0), /*ignore_timings=*/true);
+  EXPECT_EQ(worse.regressions(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Meta refusal + structural cases
+
+TEST(BenchDiffTest, MetaMismatchRefusesComparison) {
+  const BenchDiffResult result =
+      Diff(Report(0.63, 5000.0, 2.0), Report(0.63, 5000.0, 2.0, "1"));
+  EXPECT_FALSE(result.comparable());
+  ASSERT_EQ(result.meta_mismatches.size(), 1u);
+  EXPECT_EQ(result.meta_mismatches[0], "threads: 4 vs 1");
+  EXPECT_TRUE(result.fields.empty());
+}
+
+TEST(BenchDiffTest, OldFormatBaselineWithoutBuildMetaRefuses) {
+  // A pre-metadata baseline has no build_type/sanitizer: absent vs present
+  // must refuse, not silently pass.
+  const std::string old_format =
+      "{\"bench\":\"synthetic\",\"scale\":\"small\",\"seed_count\":1,"
+      "\"threads\":4,\"values\":[]}";
+  const BenchDiffResult result = Diff(old_format, Report(0.63, 5000.0, 2.0));
+  EXPECT_FALSE(result.comparable());
+  EXPECT_GE(result.meta_mismatches.size(), 2u);  // build_type + sanitizer
+}
+
+TEST(BenchDiffTest, MissingFieldRegressesNewFieldInforms) {
+  const std::string base = Report(0.63, 5000.0, 2.0);
+  std::string cand = base;
+  // Drop p99_ms from the candidate, add a novel field.
+  const size_t pos = cand.find("{\"label\":\"p99_ms\",\"value\":2},");
+  ASSERT_NE(pos, std::string::npos);
+  cand.erase(pos, std::string("{\"label\":\"p99_ms\",\"value\":2},").size());
+  cand.insert(cand.rfind(']'), ",{\"label\":\"brand_new\",\"value\":1}");
+
+  const BenchDiffResult result = Diff(base, cand);
+  EXPECT_EQ(FindField(result, "p99_ms")->status, FieldStatus::kMissing);
+  EXPECT_EQ(FindField(result, "brand_new")->status, FieldStatus::kNew);
+  EXPECT_EQ(result.regressions(), 1);  // missing counts, new does not
+}
+
+TEST(BenchDiffTest, NonBenchDocumentIsInvalidArgument) {
+  const auto result = DiffBenchReports(Parse("{\"not\":\"a bench\"}"),
+                                       Parse(Report(0.63, 5000.0, 2.0)),
+                                       BenchDiffOptions());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, WorkloadShapeChangeFlagsEvenWhenSmall) {
+  const std::string base = Report(0.63, 5000.0, 2.0);
+  std::string cand = base;
+  const size_t pos = cand.find("\"types_evaluated\":10");
+  ASSERT_NE(pos, std::string::npos);
+  cand.replace(pos, std::string("\"types_evaluated\":10").size(),
+               "\"types_evaluated\":9");
+  const BenchDiffResult result = Diff(base, cand);
+  EXPECT_EQ(FindField(result, "cells.HGT.types_evaluated")->status,
+            FieldStatus::kRegressed);
+}
+
+}  // namespace
+}  // namespace o2sr::tools

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -44,6 +45,71 @@ TEST(JsonTest, NonFiniteBecomesNull) {
   EXPECT_EQ(JsonNum(std::numeric_limits<double>::quiet_NaN()), "null");
   EXPECT_EQ(JsonNum(std::numeric_limits<double>::infinity()), "null");
   EXPECT_EQ(JsonNum(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, FixedPrecisionIsExactText) {
+  // The whole point of JsonFixed: the text is the rounded decimal, not the
+  // shortest round-trip ("265.074", never "265.07399999999996").
+  EXPECT_EQ(JsonFixed(265.07399999999996, 3), "265.074");
+  EXPECT_EQ(JsonFixed(0.0, 3), "0.000");
+  EXPECT_EQ(JsonFixed(-1.23456, 2), "-1.23");
+  EXPECT_EQ(JsonFixed(2.5, 0), "2");  // %.0f banker's-free rounding via libc
+  EXPECT_EQ(JsonFixed(std::numeric_limits<double>::quiet_NaN(), 3), "null");
+  EXPECT_EQ(JsonFixed(std::numeric_limits<double>::infinity(), 3), "null");
+  // Decimals outside [0, 17] clamp instead of corrupting the format string.
+  EXPECT_EQ(JsonFixed(1.5, -4), "2");
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (the read side of the exporters)
+
+TEST(JsonParseTest, RoundTripsOwnExporterOutput) {
+  const std::string text =
+      "{\"name\":\"bench\",\"n\":3,\"pi\":3.25,\"ok\":true,\"missing\":null,"
+      "\"list\":[1,2,3],\"nested\":{\"a\":-1e2}}";
+  const auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.StringOr("name", ""), "bench");
+  EXPECT_DOUBLE_EQ(v.NumberOr("n", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.NumberOr("pi", 0.0), 3.25);
+  ASSERT_NE(v.Find("ok"), nullptr);
+  EXPECT_TRUE(v.Find("ok")->bool_value());
+  EXPECT_TRUE(v.Find("missing")->is_null());
+  ASSERT_TRUE(v.Find("list")->is_array());
+  EXPECT_EQ(v.Find("list")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("nested")->NumberOr("a", 0.0), -100.0);
+  // Member order is source order.
+  EXPECT_EQ(v.members().front().first, "name");
+}
+
+TEST(JsonParseTest, EscapesAndUnicodeDecode) {
+  const auto parsed = ParseJson("\"a\\\"b\\\\c\\n\\u0041\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c\nA");
+}
+
+TEST(JsonParseTest, MalformedInputsAreInvalidArgument) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\":1} trailing", "[1 2]", "{'single':1}"}) {
+    const auto parsed = ParseJson(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument)
+        << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, MissingFileIsAnError) {
+  const auto parsed = ParseJsonFile("/nonexistent/bench.json");
+  EXPECT_FALSE(parsed.ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -107,6 +173,66 @@ TEST(HistogramTest, OverflowReportsLastFiniteEdge) {
 TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
   Histogram h("h", {1.0});
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, KnownUniformDistributionPercentiles) {
+  // 1..1000 uniformly against decade-aligned edges: with interpolation the
+  // quantile of a uniform stream should track the true percentile to within
+  // one bucket's width.
+  std::vector<double> edges;
+  for (double e = 10.0; e <= 1000.0; e += 10.0) edges.push_back(e);
+  Histogram h("h", edges);
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.50), 500.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.90), 900.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, SingleSampleAllQuantilesInItsBucket) {
+  Histogram h("h", {1.0, 2.0, 4.0});
+  h.Observe(1.7);
+  EXPECT_EQ(h.count(), 1u);
+  // q=0 sits on the bucket's lower edge; everything else interpolates
+  // inside (1, 2].
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, ConcurrentAppendsMatchSequentialResult) {
+  // Bucket counts are a commutative sum, so racing writers must land on
+  // the same histogram a single thread would produce — quantiles included.
+  const std::vector<double> edges = {1.0, 2.0, 4.0, 8.0, 16.0};
+  Histogram sequential("seq", edges);
+  Histogram concurrent("conc", edges);
+  const int kThreads = 8, kPerThread = 2000;
+  // Exact binary fractions (multiples of 1/8) keep the mutex-ordered sum
+  // independent of interleaving: every partial sum is exact.
+  auto value_of = [](int t, int i) {
+    return 0.5 + static_cast<double>((t * 31 + i * 7) % 160) * 0.125;
+  };
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) sequential.Observe(value_of(t, i));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        concurrent.Observe(value_of(t, i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(concurrent.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(concurrent.sum(), sequential.sum());
+  EXPECT_EQ(concurrent.bucket_counts(), sequential.bucket_counts());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(concurrent.Quantile(q), sequential.Quantile(q));
+  }
 }
 
 TEST(MetricsTest, DumpsAreDeterministicAndSorted) {
@@ -203,6 +329,58 @@ TEST(TraceTest, RecordingOffDropsSpans) {
   recorder.SetRecording(true);
   { ScopedTrace scope("kept", &recorder); }
   EXPECT_EQ(recorder.span_count(), 1u);
+}
+
+TEST(TraceTest, CounterEventsExportAfterSpans) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  const int64_t h = recorder.Begin("span");
+  now = 10;
+  recorder.End(h);
+  now = 20;
+  recorder.RecordCounter("profile.op.matmul.dispatches", 42.0);
+
+  const auto counters = recorder.CounterSnapshot();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].name, "profile.op.matmul.dispatches");
+  EXPECT_EQ(counters[0].ts_us, 20);
+  EXPECT_DOUBLE_EQ(counters[0].value, 42.0);
+
+  const std::string json = recorder.ExportChromeTraceJson();
+  const size_t span_pos = json.find("\"ph\":\"X\"");
+  const size_t counter_pos = json.find("\"ph\":\"C\"");
+  ASSERT_NE(span_pos, std::string::npos) << json;
+  ASSERT_NE(counter_pos, std::string::npos) << json;
+  EXPECT_LT(span_pos, counter_pos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos) << json;
+
+  // The parser must accept our own export (the trace validation in ci.sh
+  // depends on this).
+  const auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  for (const JsonValue& event : events->items()) {
+    EXPECT_NE(event.Find("name"), nullptr);
+    EXPECT_NE(event.Find("ph"), nullptr);
+    EXPECT_NE(event.Find("ts"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+  }
+}
+
+TEST(TraceTest, RecordingOffDropsCountersAndClearResets) {
+  int64_t now = 0;
+  TraceRecorder recorder([&now] { return now; });
+  recorder.SetRecording(false);
+  recorder.RecordCounter("dropped", 1.0);
+  EXPECT_TRUE(recorder.CounterSnapshot().empty());
+  recorder.SetRecording(true);
+  recorder.RecordCounter("kept", 2.0);
+  EXPECT_EQ(recorder.CounterSnapshot().size(), 1u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.CounterSnapshot().empty());
+  EXPECT_EQ(recorder.span_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------

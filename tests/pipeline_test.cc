@@ -9,6 +9,8 @@
 
 #include "common/fault.h"
 #include "common/status.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
 #include "pipeline/journal.h"
 #include "serve/engine.h"
 
@@ -174,6 +176,25 @@ TEST_F(PipelineTest, RunsAllCyclesToDone) {
             std::string::npos);
   ASSERT_NE(pipeline.engine(), nullptr);
   EXPECT_EQ(pipeline.engine()->health(), serve::ServeHealth::kServing);
+
+  // Every SERVE stage appends one kSlo event whose note is the engine's
+  // SLO snapshot (one per cycle here), and a clean run has no health
+  // transitions to report.
+  int slo_events = 0;
+  for (const obs::PipelineEvent& event : report->events) {
+    if (event.kind == obs::PipelineEventKind::kHealth) {
+      ADD_FAILURE() << "unexpected health transition: " << event.note;
+    }
+    if (event.kind != obs::PipelineEventKind::kSlo) continue;
+    ++slo_events;
+    EXPECT_EQ(event.stage, "SERVE");
+    EXPECT_GE(event.value, 0.0);  // burn rate
+    const auto snapshot = obs::ParseJson(event.note);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status() << "\n" << event.note;
+    EXPECT_GT(snapshot->NumberOr("requests", 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(snapshot->NumberOr("shed", -1.0), 0.0);
+  }
+  EXPECT_EQ(slo_events, 2);
 
   // Running again on a DONE journal is a no-op resume.
   ContinualPipeline again(TinyPipeline(pipeline.options().work_dir));

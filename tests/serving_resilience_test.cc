@@ -548,5 +548,94 @@ TEST_F(ResilienceTest,
   EXPECT_DOUBLE_EQ(response->sites[0].score, ScaledStub::Score(1.0, 2, 1));
 }
 
+// --- SLO monitor + health-change notification --------------------------
+
+TEST_F(ResilienceTest, SloMonitorSeesEveryOutcomeClass) {
+  ScaledStub base(10, 1.0f);
+  ServingOptions options;
+  options.cache_capacity = 0;
+  options.slo_ms = 1000.0;  // generous: only structural badness counts
+  options.slo_target = 0.9;
+  core::InteractionList observed;
+  core::Interaction it;
+  it.region = 2;
+  it.type = 1;
+  it.orders = 8.0;
+  observed.push_back(it);
+  options.prior = BuildPopularityPrior(10, observed);
+  const auto engine = ServingEngine::Create(&base, options).value();
+
+  // Good request.
+  (void)engine->Rank(Request(1, {0, 1, 2}, 3)).value();
+  // Shed request (pre-expired deadline).
+  RankRequest expired = Request(1, {0, 1, 2}, 3);
+  expired.deadline = Deadline::AfterMs(-1.0);
+  EXPECT_FALSE(engine->Rank(expired).ok());
+  // Degraded request: scorer down, prior answers.
+  common::FaultInjector::ResetGlobalForTest("score=error:1.0");
+  EXPECT_EQ(engine->Rank(Request(1, {2}, 1))->tier, ServeTier::kPrior);
+  // Failed request (ladder exhausted) also counts as bad.
+  EXPECT_FALSE(engine->Rank(Request(1, {4}, 1)).ok());
+  common::FaultInjector::ResetGlobalForTest("");
+
+  const obs::SloSnapshot snap = engine->slo().Snapshot();
+  EXPECT_DOUBLE_EQ(snap.config.slo_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.config.target, 0.9);
+  EXPECT_EQ(snap.requests, 4u);
+  EXPECT_EQ(snap.bad, 3u);
+  EXPECT_EQ(snap.shed, 2u);       // admission shed + exhausted ladder
+  EXPECT_EQ(snap.degraded, 1u);
+  EXPECT_DOUBLE_EQ(snap.bad_fraction, 0.75);
+  EXPECT_TRUE(snap.breached);
+}
+
+TEST_F(ResilienceTest, HealthChangeCallbackReportsEveryTransition) {
+  ScaledStub base(10, 1.0f);
+  ServingOptions options;
+  options.cache_capacity = 0;
+  options.health_recovery_streak = 1;
+  core::InteractionList observed;
+  core::Interaction it;
+  it.region = 2;
+  it.type = 1;
+  it.orders = 8.0;
+  observed.push_back(it);
+  options.prior = BuildPopularityPrior(10, observed);
+  std::vector<std::pair<ServeHealth, ServeHealth>> transitions;
+  options.on_health_change = [&](ServeHealth from, ServeHealth to) {
+    transitions.emplace_back(from, to);
+  };
+  const auto engine = ServingEngine::Create(&base, options).value();
+
+  // SERVING -> DEGRADED (prior-tier answer), DEGRADED -> SERVING (fresh
+  // streak of 1), then SERVING -> LAME_DUCK on drain.
+  common::FaultInjector::ResetGlobalForTest("score=error:1.0");
+  (void)engine->Rank(Request(1, {2}, 1)).value();
+  common::FaultInjector::ResetGlobalForTest("");
+  (void)engine->Rank(Request(1, {2}, 1)).value();
+  engine->EnterLameDuck();
+  engine->EnterLameDuck();  // idempotent: no second notification
+
+  using H = ServeHealth;
+  const std::vector<std::pair<H, H>> expected = {
+      {H::kServing, H::kDegraded},
+      {H::kDegraded, H::kServing},
+      {H::kServing, H::kLameDuck},
+  };
+  EXPECT_EQ(transitions, expected);
+}
+
+TEST_F(ResilienceTest, StableHealthNeverInvokesTheCallback) {
+  ScaledStub base(10, 1.0f);
+  ServingOptions options;
+  int calls = 0;
+  options.on_health_change = [&](ServeHealth, ServeHealth) { ++calls; };
+  const auto engine = ServingEngine::Create(&base, options).value();
+  for (int i = 0; i < 5; ++i) {
+    (void)engine->Rank(Request(1, {0, 1, 2}, 3)).value();
+  }
+  EXPECT_EQ(calls, 0);
+}
+
 }  // namespace
 }  // namespace o2sr::serve

@@ -1,0 +1,72 @@
+// bench_diff: the BENCH regression gate.
+//
+//   bench_diff [--ignore-timings] baseline.json candidate.json
+//
+// Compares two BENCH_<name>.json reports field by field with
+// direction-aware tolerances (tools/bench_diff_lib.h) and prints a
+// regression table. Exit codes:
+//   0  clean (no field moved past tolerance in the bad direction)
+//   1  at least one regression (or a baseline field went missing)
+//   2  not comparable: different bench / scale / threads / build flavor,
+//      unreadable file, or bad usage
+//
+// ci.sh runs this against the committed baselines with --ignore-timings,
+// so machine-speed noise cannot fail the gate while quality metrics can.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_diff_lib.h"
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  using namespace o2sr;
+
+  tools::BenchDiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ignore-timings") == 0) {
+      options.ignore_timings = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", argv[i]);
+      return tools::kExitIncomparable;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--ignore-timings] baseline.json "
+                 "candidate.json\n");
+    return tools::kExitIncomparable;
+  }
+
+  auto baseline = obs::ParseJsonFile(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 baseline.status().ToString().c_str());
+    return tools::kExitIncomparable;
+  }
+  auto candidate = obs::ParseJsonFile(paths[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 candidate.status().ToString().c_str());
+    return tools::kExitIncomparable;
+  }
+
+  auto result =
+      tools::DiffBenchReports(baseline.value(), candidate.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 result.status().ToString().c_str());
+    return tools::kExitIncomparable;
+  }
+
+  std::printf("bench_diff: %s vs %s\n", paths[0].c_str(), paths[1].c_str());
+  tools::PrintDiffTable(result.value(), stdout);
+  if (!result->comparable()) return tools::kExitIncomparable;
+  return result->regressions() > 0 ? tools::kExitRegressed
+                                   : tools::kExitClean;
+}

@@ -1,0 +1,292 @@
+#include "bench_diff_lib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/table_printer.h"
+#include "obs/json.h"
+
+namespace o2sr::tools {
+namespace {
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+// All labeled numbers in one report, flattened to "path" -> value in
+// document order: the `values` entries under their own label, cell metric
+// columns as "cells.<row>.<column>" and stage wall times as
+// "stages_ms.<stage>".
+std::vector<std::pair<std::string, double>> ExtractFields(
+    const obs::JsonValue& report) {
+  std::vector<std::pair<std::string, double>> out;
+  if (const obs::JsonValue* wall = report.Find("wall_clock_s");
+      wall != nullptr && wall->is_number()) {
+    out.emplace_back("wall_clock_s", wall->number());
+  }
+  if (const obs::JsonValue* values = report.Find("values");
+      values != nullptr && values->is_array()) {
+    for (const obs::JsonValue& entry : values->items()) {
+      const obs::JsonValue* label = entry.Find("label");
+      const obs::JsonValue* value = entry.Find("value");
+      if (label != nullptr && label->is_string() && value != nullptr &&
+          value->is_number()) {
+        out.emplace_back(label->string_value(), value->number());
+      }
+    }
+  }
+  if (const obs::JsonValue* cells = report.Find("cells");
+      cells != nullptr && cells->is_array()) {
+    for (const obs::JsonValue& cell : cells->items()) {
+      const std::string row = cell.StringOr("label", "?");
+      for (const auto& [column, value] : cell.members()) {
+        if (column != "label" && value.is_number()) {
+          out.emplace_back("cells." + row + "." + column, value.number());
+        }
+      }
+    }
+  }
+  if (const obs::JsonValue* stages = report.Find("stages_ms");
+      stages != nullptr && stages->is_object()) {
+    for (const auto& [stage, value] : stages->members()) {
+      if (value.is_number()) {
+        out.emplace_back("stages_ms." + stage, value.number());
+      }
+    }
+  }
+  return out;
+}
+
+// Meta fields that must match for a comparison to mean anything. A report
+// without the field reads as "(absent)", so an old-format baseline refuses
+// against a new-format run instead of silently passing.
+std::string MetaString(const obs::JsonValue& report, const std::string& key) {
+  const obs::JsonValue* v = report.Find(key);
+  if (v == nullptr) return "(absent)";
+  if (v->is_string()) return v->string_value();
+  if (v->is_number()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v->number());
+    return buf;
+  }
+  return "(absent)";
+}
+
+void CheckMeta(const obs::JsonValue& baseline, const obs::JsonValue& candidate,
+               std::vector<std::string>* mismatches) {
+  static const char* const kMetaKeys[] = {"bench",      "scale",
+                                          "seed_count", "threads",
+                                          "build_type", "sanitizer"};
+  for (const char* key : kMetaKeys) {
+    const std::string b = MetaString(baseline, key);
+    const std::string c = MetaString(candidate, key);
+    if (b != c) {
+      mismatches->push_back(std::string(key) + ": " + b + " vs " + c);
+    }
+  }
+}
+
+FieldStatus Judge(const FieldPolicy& policy, double baseline,
+                  double candidate) {
+  const double tol =
+      std::max(policy.abs_tol, policy.rel_tol * std::fabs(baseline));
+  const double delta = candidate - baseline;
+  switch (policy.direction) {
+    case FieldDirection::kHigherBetter:
+      if (delta < -tol) return FieldStatus::kRegressed;
+      if (delta > tol) return FieldStatus::kImproved;
+      return FieldStatus::kOk;
+    case FieldDirection::kLowerBetter:
+      if (delta > tol) return FieldStatus::kRegressed;
+      if (delta < -tol) return FieldStatus::kImproved;
+      return FieldStatus::kOk;
+    case FieldDirection::kTwoSided:
+      return std::fabs(delta) > tol ? FieldStatus::kRegressed
+                                    : FieldStatus::kOk;
+  }
+  return FieldStatus::kOk;
+}
+
+}  // namespace
+
+FieldPolicy ClassifyField(const std::string& label) {
+  // Stage wall times carry their span name as the leaf; classify on the
+  // full label first, then on the leaf for the dotted cell paths.
+  if (StartsWith(label, "stages_ms.")) {
+    return {FieldDirection::kLowerBetter, 0.25, 5.0, /*timing=*/true};
+  }
+  const size_t dot = label.rfind('.');
+  const std::string leaf =
+      dot == std::string::npos ? label : label.substr(dot + 1);
+
+  if (Contains(leaf, "qps") || StartsWith(leaf, "speedup")) {
+    return {FieldDirection::kHigherBetter, 0.25, 1e-9, /*timing=*/true};
+  }
+  // "wall_clock" by substring: ci.sh appends wall_clock_s_threads{1,4}
+  // cells to the table04 report.
+  if (EndsWith(leaf, "_ms") || Contains(leaf, "wall_clock") ||
+      EndsWith(leaf, "_s") || Contains(leaf, "recovery")) {
+    return {FieldDirection::kLowerBetter, 0.25, 5.0, /*timing=*/true};
+  }
+  if (Contains(leaf, "ndcg") || Contains(leaf, "precision") ||
+      Contains(leaf, "hit_rate")) {
+    return {FieldDirection::kHigherBetter, 0.02, 0.005, /*timing=*/false};
+  }
+  if (leaf == "rmse" || Contains(leaf, "loss")) {
+    return {FieldDirection::kLowerBetter, 0.05, 0.005, /*timing=*/false};
+  }
+  if (Contains(leaf, "_rate") || Contains(leaf, "fraction") ||
+      Contains(leaf, "breached")) {
+    return {FieldDirection::kLowerBetter, 0.05, 0.02, /*timing=*/false};
+  }
+  if (leaf == "queries" || leaf == "candidates_per_query" ||
+      leaf == "types_evaluated" || Contains(leaf, "count")) {
+    // Workload-shape numbers: any change means the runs measured different
+    // things, which is a comparison bug, not a perf delta.
+    return {FieldDirection::kTwoSided, 0.0, 0.0, /*timing=*/false};
+  }
+  return {FieldDirection::kTwoSided, 0.10, 1e-9, /*timing=*/false};
+}
+
+const char* FieldStatusName(FieldStatus status) {
+  switch (status) {
+    case FieldStatus::kOk: return "ok";
+    case FieldStatus::kImproved: return "improved";
+    case FieldStatus::kRegressed: return "REGRESSED";
+    case FieldStatus::kMissing: return "MISSING";
+    case FieldStatus::kNew: return "new";
+    case FieldStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+int BenchDiffResult::regressions() const {
+  int n = 0;
+  for (const FieldDiff& f : fields) {
+    if (f.status == FieldStatus::kRegressed ||
+        f.status == FieldStatus::kMissing) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int BenchDiffResult::improvements() const {
+  int n = 0;
+  for (const FieldDiff& f : fields) {
+    if (f.status == FieldStatus::kImproved) ++n;
+  }
+  return n;
+}
+
+common::StatusOr<BenchDiffResult> DiffBenchReports(
+    const obs::JsonValue& baseline, const obs::JsonValue& candidate,
+    const BenchDiffOptions& options) {
+  if (baseline.Find("bench") == nullptr) {
+    return common::InvalidArgumentError(
+        "baseline document has no \"bench\" field — not a BENCH report");
+  }
+  if (candidate.Find("bench") == nullptr) {
+    return common::InvalidArgumentError(
+        "candidate document has no \"bench\" field — not a BENCH report");
+  }
+
+  BenchDiffResult result;
+  CheckMeta(baseline, candidate, &result.meta_mismatches);
+  if (!result.comparable()) return result;
+
+  const auto base_fields = ExtractFields(baseline);
+  const auto cand_fields = ExtractFields(candidate);
+  auto find = [](const std::vector<std::pair<std::string, double>>& fields,
+                 const std::string& label) -> const double* {
+    for (const auto& [l, v] : fields) {
+      if (l == label) return &v;
+    }
+    return nullptr;
+  };
+
+  std::set<std::string> seen;
+  for (const auto& [label, base_value] : base_fields) {
+    if (!seen.insert(label).second) continue;
+    FieldDiff diff;
+    diff.label = label;
+    diff.baseline = base_value;
+    diff.policy = ClassifyField(label);
+    const double* cand_value = find(cand_fields, label);
+    if (cand_value == nullptr) {
+      diff.status = FieldStatus::kMissing;
+    } else {
+      diff.candidate = *cand_value;
+      diff.status = options.ignore_timings && diff.policy.timing
+                        ? FieldStatus::kSkipped
+                        : Judge(diff.policy, base_value, *cand_value);
+    }
+    result.fields.push_back(std::move(diff));
+  }
+  for (const auto& [label, cand_value] : cand_fields) {
+    if (seen.count(label) != 0) continue;
+    seen.insert(label);
+    FieldDiff diff;
+    diff.label = label;
+    diff.candidate = cand_value;
+    diff.policy = ClassifyField(label);
+    diff.status = FieldStatus::kNew;
+    result.fields.push_back(std::move(diff));
+  }
+  return result;
+}
+
+void PrintDiffTable(const BenchDiffResult& result, std::FILE* out) {
+  if (!result.comparable()) {
+    std::fprintf(out, "bench_diff: reports are not comparable:\n");
+    for (const std::string& line : result.meta_mismatches) {
+      std::fprintf(out, "  %s\n", line.c_str());
+    }
+    return;
+  }
+  TablePrinter table({"field", "baseline", "candidate", "delta", "status"});
+  int skipped = 0;
+  for (const FieldDiff& f : result.fields) {
+    if (f.status == FieldStatus::kSkipped) {
+      ++skipped;
+      continue;
+    }
+    std::string delta = "-";
+    if (f.status != FieldStatus::kMissing && f.status != FieldStatus::kNew &&
+        f.baseline != 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                    (f.candidate - f.baseline) / std::fabs(f.baseline) *
+                        100.0);
+      delta = buf;
+    }
+    table.AddRow({f.label,
+                  f.status == FieldStatus::kNew ? "-"
+                                                : TablePrinter::Num(f.baseline),
+                  f.status == FieldStatus::kMissing
+                      ? "-"
+                      : TablePrinter::Num(f.candidate),
+                  delta, FieldStatusName(f.status)});
+  }
+  table.Print(out);
+  std::fprintf(out,
+               "bench_diff: %zu fields, %d regressed, %d improved, %d "
+               "timing skipped -> %s\n",
+               result.fields.size(), result.regressions(),
+               result.improvements(), skipped,
+               result.regressions() > 0 ? "REGRESSED" : "clean");
+}
+
+}  // namespace o2sr::tools

@@ -1,0 +1,100 @@
+#ifndef O2SR_TOOLS_BENCH_DIFF_LIB_H_
+#define O2SR_TOOLS_BENCH_DIFF_LIB_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace o2sr::tools {
+
+// Comparison logic behind tools/bench_diff: diffs two BENCH_<name>.json
+// reports field by field with direction-aware tolerances, so ci.sh can gate
+// on "no metric regressed" instead of eyeballing JSON. Kept as a library so
+// tests can drive it on synthetic reports without spawning the binary.
+//
+// Three-way outcome per run:
+//   - incomparable (meta mismatch: different bench, scale, threads, build
+//     flavor or seed count) — refusing beats silently comparing a UBSan run
+//     against a Release baseline;
+//   - regressed (any field moved past its tolerance in the bad direction);
+//   - clean.
+
+// Which way "worse" points for a field.
+enum class FieldDirection {
+  kHigherBetter,  // qps, speedup, ndcg, precision, hit rates
+  kLowerBetter,   // latencies, rmse, shed/degraded/burn rates
+  kTwoSided,      // config-ish values: any move past tolerance is suspect
+};
+
+struct FieldPolicy {
+  FieldDirection direction = FieldDirection::kTwoSided;
+  double rel_tol = 0.10;  // fraction of |baseline|
+  double abs_tol = 1e-9;  // floor for near-zero baselines
+  bool timing = false;    // wall-clock-derived; skipped by ignore_timings
+};
+
+// Label -> tolerance policy. Labels are matched on the leaf name (the part
+// after the last '.'), so "stages_ms.train.epoch" classifies like a timing
+// and "cells.HGT.ndcg@3" like an accuracy metric.
+FieldPolicy ClassifyField(const std::string& label);
+
+enum class FieldStatus {
+  kOk,         // within tolerance
+  kImproved,   // moved past tolerance in the good direction
+  kRegressed,  // moved past tolerance in the bad direction
+  kMissing,    // in baseline, absent from candidate — counts as regression
+  kNew,        // in candidate only; informational
+  kSkipped,    // timing field under ignore_timings
+};
+
+const char* FieldStatusName(FieldStatus status);
+
+struct FieldDiff {
+  std::string label;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  FieldStatus status = FieldStatus::kOk;
+  FieldPolicy policy;
+};
+
+struct BenchDiffOptions {
+  // Skip fields whose policy says `timing`: wall clocks and throughputs are
+  // machine-dependent, so cross-machine gates compare only deterministic
+  // quality metrics.
+  bool ignore_timings = false;
+};
+
+struct BenchDiffResult {
+  // "field: baseline vs candidate" lines; non-empty means the reports are
+  // not comparable and `fields` is left empty.
+  std::vector<std::string> meta_mismatches;
+  std::vector<FieldDiff> fields;  // baseline order, then NEW fields
+
+  bool comparable() const { return meta_mismatches.empty(); }
+  int regressions() const;
+  int improvements() const;
+};
+
+// Diffs two parsed BENCH reports. InvalidArgument when either document is
+// not shaped like a bench report (no "bench" name). Fields compared:
+// "wall_clock_s", the "values" entries, per-cell metric columns
+// ("cells.<label>.<col>") and per-stage wall times ("stages_ms.<stage>").
+common::StatusOr<BenchDiffResult> DiffBenchReports(
+    const obs::JsonValue& baseline, const obs::JsonValue& candidate,
+    const BenchDiffOptions& options);
+
+// Renders the per-field table (label, baseline, candidate, delta, status)
+// and a one-line verdict to `out`.
+void PrintDiffTable(const BenchDiffResult& result, std::FILE* out);
+
+// Process exit codes for the CLI (and for ci.sh to assert on).
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitRegressed = 1;
+inline constexpr int kExitIncomparable = 2;
+
+}  // namespace o2sr::tools
+
+#endif  // O2SR_TOOLS_BENCH_DIFF_LIB_H_
