@@ -88,16 +88,27 @@ assert serial["threads"] == 1 and threaded["threads"] == 4, (
 assert serial["cells"] == threaded["cells"], \
     "thread count changed eval metrics"
 merged = dict(threaded)
+speedup = serial["wall_clock_s"] / max(threaded["wall_clock_s"], 1e-9)
 merged["values"] = list(threaded["values"]) + [
     {"label": "wall_clock_s_threads1", "value": serial["wall_clock_s"]},
     {"label": "wall_clock_s_threads4", "value": threaded["wall_clock_s"]},
-    {"label": "speedup_threads4",
-     "value": serial["wall_clock_s"] / max(threaded["wall_clock_s"], 1e-9)},
+    {"label": "speedup_threads4", "value": speedup},
 ]
 json.dump(merged, open(out_name, "w"))
+# The planned executor's session reuse + coarse grains make 4 threads pay
+# off — but only where 4 hardware threads exist; an oversubscribed 1-core
+# box measures contention, not the executor.
+if (os.cpu_count() or 1) >= 4:
+    assert speedup >= 2.5, \
+        f"speedup_threads4 {speedup:.2f} below the 2.5 floor on a " \
+        f"{os.cpu_count()}-cpu machine"
+    scaling = f"speedup {speedup:.2f} >= 2.5"
+else:
+    scaling = f"speedup {speedup:.2f} (floor not asserted: " \
+              f"{os.cpu_count()} cpu)"
 print(f"table04 smoke: metrics bit-identical; "
       f"serial {serial['wall_clock_s']:.1f}s vs "
-      f"4-thread {threaded['wall_clock_s']:.1f}s -> {out_name}")
+      f"4-thread {threaded['wall_clock_s']:.1f}s; {scaling} -> {out_name}")
 EOF
 
 echo "=== Profiler smoke: attribute the thread-scaling gap (Table IV) ==="
@@ -120,6 +131,17 @@ for name in p1["regions"]:
 # Op counts are exact at any thread count, bytes included.
 assert p1["ops"] == p4["ops"], set(p1["ops"]) ^ set(p4["ops"])
 assert p1["ops"], "table04 recorded no tensor/tape ops"
+# The compiled-plan executor's dispatch contract (DESIGN.md §13): every
+# kernel region is named (nothing buckets under "(kernel)") and the
+# coarse grains cut total chunk count >= 10x below the PR-7 figure of
+# 3,161,131 (same bench, same scale, 1 thread).
+assert "(kernel)" not in p1["regions"], "unnamed kernel regions in profile"
+assert "(kernel)" not in p4["regions"], "unnamed kernel regions in profile"
+total_chunks = sum(r["chunks"] for r in p1["regions"].values())
+PR7_CHUNKS = 3_161_131
+assert total_chunks * 10 <= PR7_CHUNKS, (
+    f"total chunk count {total_chunks} not >=10x below the PR-7 "
+    f"figure {PR7_CHUNKS}")
 # At 4 threads at least one region actually fanned out, and the report
 # attributes its efficiency.
 dispatched = {n: r for n, r in p4["regions"].items() if r["dispatched"] > 0}
@@ -172,6 +194,31 @@ fi
   "${BASELINE_TABLE04}" "${NEW_TABLE04}"
 echo "bench_diff gate: self-diff clean, injected regression caught," \
      "meta mismatch refused, committed baseline holds"
+
+# Kernel-layer baseline (DESIGN.md §13): a fresh bench_kernels run must
+# match the committed BENCH_kernels.json on every non-timing field —
+# the zero mismatch counts (scalar/SIMD and planned/eager bit-exactness)
+# and the exact fusion/chunk/tape-shape counts that pin the plan
+# compiler's decisions. Thread count is pinned so the report meta is
+# machine-independent.
+mkdir -p "${PERF_DIR}/kernels"
+(cd "${PERF_DIR}/kernels" &&
+ O2SR_BENCH_SCALE=small O2SR_THREADS=1 \
+ "${OLDPWD}/build/bench/bench_kernels" >/dev/null)
+./build/tools/bench_diff --ignore-timings \
+  BENCH_kernels.json "${PERF_DIR}/kernels/BENCH_kernels.json"
+python3 - "${PERF_DIR}/kernels/BENCH_kernels.json" <<'EOF'
+import json, sys
+vals = {v["label"]: v["value"]
+        for v in json.load(open(sys.argv[1]))["values"]}
+assert vals["kernel_mismatch_count"] == 0, vals
+assert vals["planned_vs_eager_mismatch_count"] == 0, vals
+assert vals["unnamed_region_count"] == 0, vals
+assert vals["fused_linear_count"] > 0 and vals["fused_scatter_count"] > 0
+print(f"kernels gate: bit-exact (0 mismatches), "
+      f"{vals['fused_linear_count']:.0f} fused linear + "
+      f"{vals['fused_scatter_count']:.0f} fused scatter dispatches hold")
+EOF
 rm -rf "${PERF_DIR}"
 
 echo "=== Serving smoke: train once, serve from a second process ==="

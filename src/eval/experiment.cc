@@ -79,12 +79,6 @@ Split SplitInteractions(const sim::Dataset& data,
   return SplitWithRng(data, interactions, options.train_fraction, rng);
 }
 
-Split SplitInteractions(const sim::Dataset& data,
-                        const core::InteractionList& interactions,
-                        double train_fraction, Rng& rng) {
-  return SplitWithRng(data, interactions, train_fraction, rng);
-}
-
 namespace {
 
 EvalResult EvaluateFiltered(const core::InteractionList& test,

@@ -39,11 +39,6 @@ Split SplitInteractions(const sim::Dataset& data,
                         const core::InteractionList& interactions,
                         const SplitOptions& options);
 
-[[deprecated("pass SplitOptions{train_fraction, seed} instead")]]
-Split SplitInteractions(const sim::Dataset& data,
-                        const core::InteractionList& interactions,
-                        double train_fraction, Rng& rng);
-
 // Evaluation options (paper §IV-A4: NDCG@{3,5,10}, Precision@{3,5,10} with
 // N = 30, plus RMSE).
 struct EvalOptions {

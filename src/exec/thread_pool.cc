@@ -95,12 +95,28 @@ void ThreadPool::RunInline(int64_t n, int64_t grain,
 
 void ThreadPool::RunChunks(int64_t n, int64_t grain,
                            const std::function<void(int64_t, int64_t)>& fn,
-                           const char* trace_name) {
+                           const char* trace_name,
+                           const char* profile_name) {
   if (n <= 0) return;
   if (grain < 1) grain = 1;
+
+  // Regions issued by the owning thread of an open Session skip the
+  // mutex/condvar handshake and publish through the session's lock-free
+  // task slot. Identical chunking, so identical results.
+  if (session_active_.load(std::memory_order_acquire) &&
+      session_owner_ == std::this_thread::get_id() && !InWorker() &&
+      tls_region_caller_pool != this) {
+    SessionRunChunks(n, grain, fn, trace_name, profile_name);
+    return;
+  }
+
   const int64_t chunks = NumChunks(n, grain);
   regions_counter_->Increment();
   tasks_counter_->Increment(static_cast<uint64_t>(chunks));
+
+  // The profiler names a region by its trace name when it has one, else by
+  // the kernel's profile name.
+  const char* region_name = trace_name != nullptr ? trace_name : profile_name;
 
   // A span only for named (coarse) regions; fine-grained kernel regions
   // pass nullptr to stay off the trace recorder's hot path.
@@ -118,7 +134,7 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
     {
       obs::Profiler& profiler = obs::Profiler::Global();
       if (profiler.enabled()) {
-        profiler.RecordInlineRegion(trace_name, n, chunks);
+        profiler.RecordInlineRegion(region_name, n, chunks);
       }
     }
     RunInline(n, grain, fn);
@@ -171,10 +187,135 @@ void ThreadPool::RunChunks(int64_t n, int64_t grain,
     // before this read.
     obs::Profiler& profiler = obs::Profiler::Global();
     if (profiler.enabled()) {
-      profiler.RecordDispatchedRegion(trace_name, n, chunks, wall_us,
+      profiler.RecordDispatchedRegion(region_name, n, chunks, wall_us,
                                       lane_busy_us_.data(), num_threads_);
     }
   }
+}
+
+void ThreadPool::SessionRunChunks(
+    int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& fn,
+    const char* trace_name, const char* profile_name) {
+  const int64_t chunks = NumChunks(n, grain);
+  const char* region_name = trace_name != nullptr ? trace_name : profile_name;
+  regions_counter_->Increment();
+  tasks_counter_->Increment(static_cast<uint64_t>(chunks));
+  if (chunks <= 1) {
+    inline_regions_counter_->Increment();
+    obs::Profiler& profiler = obs::Profiler::Global();
+    if (profiler.enabled()) {
+      profiler.RecordInlineRegion(region_name, n, chunks);
+    }
+    RunInline(n, grain, fn);
+    return;
+  }
+
+  const int64_t start_us = NowMicros();
+  // Publish the task. Stragglers from the previous task were drained by its
+  // completion wait, so the plain/relaxed state writes below cannot race
+  // with a worker snapshot: any worker that reads them while we write also
+  // fails its seq recheck and discards the snapshot.
+  next_chunk_.store(0, std::memory_order_relaxed);
+  pending_chunks_.store(chunks, std::memory_order_relaxed);
+  std::fill(lane_busy_us_.begin(), lane_busy_us_.end(), 0);
+  session_n_.store(n, std::memory_order_relaxed);
+  session_grain_.store(grain, std::memory_order_relaxed);
+  session_chunks_.store(chunks, std::memory_order_relaxed);
+  session_fn_.store(&fn, std::memory_order_relaxed);
+  // Open bump: odd seq values mark an open task.
+  session_seq_.fetch_add(1, std::memory_order_seq_cst);
+
+  {
+    const ThreadPool* previous = tls_region_caller_pool;
+    tls_region_caller_pool = this;
+    const int64_t caller_busy = WorkChunks(fn, n, grain, chunks);
+    tls_region_caller_pool = previous;
+    lane_busy_us_[0] = caller_busy;
+  }
+  // Wait until every chunk ran, close the task, then drain stragglers: a
+  // worker that joined before the close bump claims nothing (the cursor is
+  // exhausted) but must leave before the next task may reset the cursor.
+  while (pending_chunks_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  session_seq_.fetch_add(1, std::memory_order_seq_cst);
+  while (session_workers_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  session_fn_.store(nullptr, std::memory_order_relaxed);
+
+  const int64_t wall_us = std::max<int64_t>(1, NowMicros() - start_us);
+  int64_t busy = 0;
+  for (int64_t lane : lane_busy_us_) busy += lane;
+  utilization_gauge_->Set(static_cast<double>(busy) /
+                          (static_cast<double>(wall_us) * num_threads_));
+  obs::Profiler& profiler = obs::Profiler::Global();
+  if (profiler.enabled()) {
+    profiler.RecordDispatchedRegion(region_name, n, chunks, wall_us,
+                                    lane_busy_us_.data(), num_threads_);
+  }
+}
+
+void ThreadPool::SessionWorkerLoop(int lane) {
+  uint64_t seen = session_seq_.load(std::memory_order_acquire);
+  if ((seen & 1) != 0) --seen;  // a task already open: join it below
+  while (session_active_.load(std::memory_order_acquire)) {
+    const uint64_t seq = session_seq_.load(std::memory_order_acquire);
+    if (seq == seen || (seq & 1) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Seqlock snapshot of the open task.
+    const std::function<void(int64_t, int64_t)>* fn =
+        session_fn_.load(std::memory_order_acquire);
+    const int64_t n = session_n_.load(std::memory_order_relaxed);
+    const int64_t grain = session_grain_.load(std::memory_order_relaxed);
+    const int64_t chunks = session_chunks_.load(std::memory_order_relaxed);
+    if (session_seq_.load(std::memory_order_acquire) != seq ||
+        fn == nullptr) {
+      continue;
+    }
+    // Join the task; the recheck after the increment pairs with the owner's
+    // close-bump + drain so a late joiner can never overlap the next task's
+    // cursor reset.
+    session_workers_.fetch_add(1, std::memory_order_seq_cst);
+    if (session_seq_.load(std::memory_order_seq_cst) != seq) {
+      session_workers_.fetch_sub(1, std::memory_order_seq_cst);
+      continue;
+    }
+    seen = seq;
+    const int64_t busy = WorkChunks(*fn, n, grain, chunks);
+    lane_busy_us_[static_cast<size_t>(lane)] += busy;
+    busy_us_.fetch_add(busy, std::memory_order_relaxed);
+    session_workers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+Session::Session(ThreadPool& pool, const char* trace_name) : pool_(pool) {
+  if (trace_name != nullptr) {
+    span_ = new obs::ScopedTrace(trace_name);
+  }
+  if (pool.workers_.empty() || pool.InWorker() ||
+      tls_region_caller_pool == &pool) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(pool.mutex_);
+  if (pool.session_active_.load(std::memory_order_relaxed)) return;
+  pool.session_owner_ = std::this_thread::get_id();
+  pool.session_fn_.store(nullptr, std::memory_order_relaxed);
+  pool.session_workers_.store(0, std::memory_order_relaxed);
+  pool.session_active_.store(true, std::memory_order_release);
+  engaged_ = true;
+  pool.work_cv_.notify_all();
+}
+
+Session::~Session() {
+  if (engaged_) {
+    // No task is in flight (Run waits for completion), so closing is just
+    // flipping the flag; workers fall back to the condvar wait.
+    pool_.session_active_.store(false, std::memory_order_release);
+  }
+  delete static_cast<obs::ScopedTrace*>(span_);
 }
 
 int64_t ThreadPool::WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
@@ -204,11 +345,16 @@ void ThreadPool::WorkerLoop(int lane) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
-        return stop_ ||
+        return stop_ || session_active_.load(std::memory_order_relaxed) ||
                (region_fn_ != nullptr && region_epoch_ != seen_epoch &&
                 next_chunk_.load(std::memory_order_relaxed) < region_chunks_);
       });
       if (stop_) return;
+      if (session_active_.load(std::memory_order_relaxed)) {
+        lock.unlock();
+        SessionWorkerLoop(lane);
+        continue;
+      }
       seen_epoch = region_epoch_;
       fn = region_fn_;
       n = region_n_;

@@ -54,7 +54,11 @@ namespace o2sr::exec {
 // Regions may also carry a trace span: pass `trace_name` and the region
 // shows up in O2SR_TRACE_FILE exports and BENCH stages_ms. Fine-grained
 // kernels (per-matmul regions) pass nullptr — a span per matmul would
-// flood the recorder.
+// flood the recorder — and identify themselves to the profiler with
+// `profile_name` instead, which names the region in O2SR_PROFILE_FILE
+// reports without creating a trace span. Every kernel in the tree passes
+// one; an unnamed region would aggregate under "(kernel)" and ci.sh
+// asserts no such row exists.
 
 // Worker count for the process-wide pool: O2SR_THREADS when set to a
 // positive integer, otherwise std::thread::hardware_concurrency(), floored
@@ -87,21 +91,25 @@ class ThreadPool {
   // Runs chunk_fn(begin, end) over every grain-sized chunk of [0, n).
   // Blocks until the region completes. Chunks are claimed dynamically but
   // their boundaries are fixed; the body must only write state that is
-  // disjoint across chunks.
+  // disjoint across chunks. `profile_name` names the region in profiler
+  // reports when `trace_name` is null (kernels pass a profile name, coarse
+  // stages pass a trace name).
   void RunChunks(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& chunk_fn,
-                 const char* trace_name = nullptr);
+                 const char* trace_name = nullptr,
+                 const char* profile_name = nullptr);
 
   // Elementwise loop: fn(i) for every i in [0, n).
   template <typename Fn>
   void ParallelFor(int64_t n, int64_t grain, Fn&& fn,
-                   const char* trace_name = nullptr) {
+                   const char* trace_name = nullptr,
+                   const char* profile_name = nullptr) {
     RunChunks(
         n, grain,
         [&fn](int64_t begin, int64_t end) {
           for (int64_t i = begin; i < end; ++i) fn(i);
         },
-        trace_name);
+        trace_name, profile_name);
   }
 
   // Ordered reduction: chunk_fn(begin, end) produces one partial per chunk;
@@ -113,7 +121,8 @@ class ThreadPool {
   // the nominally serial one.
   template <typename T, typename ChunkFn, typename ReduceFn>
   T ParallelReduce(int64_t n, int64_t grain, T init, ChunkFn&& chunk_fn,
-                   ReduceFn&& reduce_fn, const char* trace_name = nullptr) {
+                   ReduceFn&& reduce_fn, const char* trace_name = nullptr,
+                   const char* profile_name = nullptr) {
     const int64_t chunks = NumChunks(n, grain);
     if (chunks == 0) return init;
     if (grain < 1) grain = 1;
@@ -123,7 +132,7 @@ class ThreadPool {
         [&](int64_t begin, int64_t end) {
           partials[static_cast<size_t>(begin / grain)] = chunk_fn(begin, end);
         },
-        trace_name);
+        trace_name, profile_name);
     T acc = std::move(init);
     for (T& partial : partials) acc = reduce_fn(std::move(acc), partial);
     return acc;
@@ -134,9 +143,17 @@ class ThreadPool {
   bool InWorker() const;
 
  private:
+  friend class Session;
   // `lane` is the worker's slot in the per-region busy accounting: the
   // calling thread is lane 0, workers are 1..num_threads-1.
   void WorkerLoop(int lane);
+  // Spin-then-yield loop a worker runs while a Session is open; returns
+  // when the session closes.
+  void SessionWorkerLoop(int lane);
+  // RunChunks body for the session fast path (no mutex/condvar handshake).
+  void SessionRunChunks(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        const char* trace_name, const char* profile_name);
   // Claims and runs chunks of the active region; returns busy microseconds.
   int64_t WorkChunks(const std::function<void(int64_t, int64_t)>& fn,
                      int64_t n, int64_t grain, int64_t num_chunks);
@@ -172,7 +189,55 @@ class ThreadPool {
   // orders those writes before the caller reads them.
   std::vector<int64_t> lane_busy_us_;
 
+  // Persistent-session state (see Session below). While a session is open,
+  // workers spin in SessionWorkerLoop instead of sleeping on work_cv_, and
+  // regions issued by the owning thread publish tasks through these fields
+  // with a seqlock instead of the mutex/condvar handshake. All plain fields
+  // are written by the owner thread only, between tasks; workers validate
+  // their snapshot against session_seq_ before executing.
+  std::atomic<bool> session_active_{false};
+  std::atomic<uint64_t> session_seq_{0};
+  std::thread::id session_owner_{};
+  std::atomic<const std::function<void(int64_t, int64_t)>*> session_fn_{
+      nullptr};
+  std::atomic<int64_t> session_n_{0};
+  std::atomic<int64_t> session_grain_{1};
+  std::atomic<int64_t> session_chunks_{0};
+  std::atomic<int64_t> session_workers_{0};  // workers inside the task
+
   std::vector<std::thread> workers_;
+};
+
+// Persistent parallel region ("one parallel region per step").
+//
+// Opening a Session moves the pool's workers from the sleeping
+// condvar-wait into a spin-then-yield loop for the session's lifetime, so
+// a sequence of many small regions issued by the owning thread (a compiled
+// nn::Plan step, for example) pays one wake-up for the whole step instead
+// of a mutex/condvar fork-join per op. While the session is open, every
+// RunChunks/ParallelFor/ParallelReduce issued *by the owning thread* is
+// routed through the session's lock-free task queue automatically; regions
+// issued by other threads run inline (the workers are dedicated to the
+// session). Chunk boundaries and reduction order are identical to the
+// non-session path, so results stay bit-identical — the session changes
+// only how chunks reach the workers, never what the chunks are.
+//
+// Sessions do not nest: opening a session inside a session, from a worker,
+// or from inside a running region is a no-op (regions keep their normal
+// inline behavior there).
+class Session {
+ public:
+  Session(ThreadPool& pool, const char* trace_name);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool engaged() const { return engaged_; }
+
+ private:
+  ThreadPool& pool_;
+  bool engaged_ = false;
+  void* span_ = nullptr;  // owned obs::ScopedTrace when trace_name given
 };
 
 // The pool the parallel kernels dispatch to: the innermost PoolScope on the

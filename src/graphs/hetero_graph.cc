@@ -72,7 +72,8 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
                                     std::copy(region_features.row(r),
                                               region_features.row(r) + fdim,
                                               store_features_.row(i));
-                                  });
+                                  },
+                                  nullptr, "graphs.store_features");
   customer_features_ = nn::Tensor(num_customer_nodes(), fdim);
   exec::CurrentPool().ParallelFor(num_customer_nodes(), /*grain=*/128,
                                   [&](int64_t i) {
@@ -80,7 +81,8 @@ HeteroMultiGraph::HeteroMultiGraph(const sim::Dataset& data,
                                     std::copy(region_features.row(r),
                                               region_features.row(r) + fdim,
                                               customer_features_.row(i));
-                                  });
+                                  },
+                                  nullptr, "graphs.customer_features");
 
   // ---- S-A edges (period-independent) --------------------------------------
   const features::CommercialFeatures commercial(data);

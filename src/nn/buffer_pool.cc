@@ -1,0 +1,52 @@
+#include "nn/buffer_pool.h"
+
+#include <utility>
+
+namespace o2sr::nn {
+
+TensorPool& TensorPool::Global() {
+  static TensorPool* pool = new TensorPool();
+  return *pool;
+}
+
+Tensor TensorPool::Acquire(int rows, int cols) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(ShapeKey(rows, cols));
+    if (it != free_.end() && !it->second.empty()) {
+      Tensor t = std::move(it->second.back());
+      it->second.pop_back();
+      bytes_ -= t.size() * sizeof(float);
+      return t;
+    }
+  }
+  return Tensor(rows, cols);
+}
+
+Tensor TensorPool::AcquireZeroed(int rows, int cols) {
+  Tensor t = Acquire(rows, cols);
+  t.Fill(0.0f);
+  return t;
+}
+
+void TensorPool::Release(Tensor t) {
+  if (t.size() == 0) return;
+  const size_t bytes = t.size() * sizeof(float);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_ + bytes > kMaxBytes) return;  // drop: pool at capacity
+  bytes_ += bytes;
+  free_[ShapeKey(t.rows(), t.cols())].push_back(std::move(t));
+}
+
+size_t TensorPool::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void TensorPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace o2sr::nn

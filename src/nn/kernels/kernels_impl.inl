@@ -1,0 +1,231 @@
+// Generic kernel bodies, compiled twice: kernels_scalar.cc includes this
+// file with baseline flags, kernels_avx2.cc includes it inside a TU built
+// with -mavx2 (no -mfma — fused multiply-add changes rounding). The
+// including TU defines O2SR_KERNEL_NS to the namespace the symbols land in.
+//
+// Bit-exactness rules enforced here (DESIGN.md §13):
+//  * elementwise loops apply one rounded expression per element, so the
+//    compiler may vectorize them arbitrarily;
+//  * accumulations that define an order (matmul over p, the four-chain
+//    transposed-B dot) keep that order in both TUs — the chains are the
+//    unit the compiler may vectorize, never the loop around them;
+//  * no math library calls (those live in kernels_common.cc, compiled
+//    once).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace o2sr::nn::kernels {
+namespace O2SR_KERNEL_NS {
+
+void MatMulRows(const float* a, const float* b, float* c, int64_t row_begin,
+                int64_t row_end, int k, int n, bool accumulate) {
+  // Scratch holds the row sum so accumulate mode reproduces the reference
+  // temp-then-add association: one add of the completed sum per element.
+  float stack_scratch[512];
+  std::vector<float> heap_scratch;
+  float* scratch = stack_scratch;
+  if (accumulate && n > 512) {
+    heap_scratch.assign(static_cast<size_t>(n), 0.0f);
+    scratch = heap_scratch.data();
+  }
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    float* dst = accumulate ? scratch : crow;
+    std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) dst[j] += av * brow[j];
+    }
+    if (accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] += dst[j];
+    }
+  }
+}
+
+void MatMulTaRows(const float* a, const float* b, float* c, int64_t row_begin,
+                  int64_t row_end, int m, int k, int n, bool accumulate) {
+  float stack_scratch[512];
+  std::vector<float> heap_scratch;
+  float* scratch = stack_scratch;
+  if (accumulate && n > 512) {
+    heap_scratch.assign(static_cast<size_t>(n), 0.0f);
+    scratch = heap_scratch.data();
+  }
+  // a is [k x m] and output row i reads column i of a: a[p*m + i].
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* crow = c + i * n;
+    float* dst = accumulate ? scratch : crow;
+    std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<int64_t>(p) * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) dst[j] += av * brow[j];
+    }
+    if (accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] += dst[j];
+    }
+  }
+}
+
+void MatMulTbRows(const float* a, const float* b, float* c, int64_t row_begin,
+                  int64_t row_end, int k, int n, bool accumulate) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<int64_t>(j) * k;
+      // Four independent accumulator chains, folded (c0+c1)+(c2+c3): the
+      // reference association, vectorizable as one 4-lane chain.
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc0 += arow[p] * brow[p];
+        acc1 += arow[p + 1] * brow[p + 1];
+        acc2 += arow[p + 2] * brow[p + 2];
+        acc3 += arow[p + 3] * brow[p + 3];
+      }
+      for (; p < k; ++p) acc0 += arow[p] * brow[p];
+      const float dot = (acc0 + acc1) + (acc2 + acc3);
+      if (accumulate) {
+        crow[j] += dot;
+      } else {
+        crow[j] = dot;
+      }
+    }
+  }
+}
+
+void Add(const float* a, const float* b, float* out, int64_t begin,
+         int64_t end) {
+  for (int64_t i = begin; i < end; ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(const float* a, const float* b, float* out, int64_t begin,
+         int64_t end) {
+  for (int64_t i = begin; i < end; ++i) out[i] = a[i] - b[i];
+}
+
+void Mul(const float* a, const float* b, float* out, int64_t begin,
+         int64_t end) {
+  for (int64_t i = begin; i < end; ++i) out[i] = a[i] * b[i];
+}
+
+void Scale(const float* a, float s, float* out, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) out[i] = a[i] * s;
+}
+
+void AccAdd(float* dst, const float* src, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
+}
+
+void AccSub(float* dst, const float* src, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) dst[i] -= src[i];
+}
+
+void AccScale(float* dst, const float* src, float s, int64_t begin,
+              int64_t end) {
+  for (int64_t i = begin; i < end; ++i) dst[i] += s * src[i];
+}
+
+void AccMul(float* dst, const float* g, const float* m, int64_t begin,
+            int64_t end) {
+  for (int64_t i = begin; i < end; ++i) dst[i] += g[i] * m[i];
+}
+
+void AccConst(float* dst, float c, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) dst[i] += c;
+}
+
+void Relu(const float* x, float* out, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) out[i] = std::max(x[i], 0.0f);
+}
+
+void LeakyRelu(const float* x, float slope, float* out, int64_t begin,
+               int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    const float v = x[i];
+    out[i] = v < 0.0f ? v * slope : v;
+  }
+}
+
+void AccReluBwd(const float* x, const float* g, float* gx, int64_t begin,
+                int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    if (x[i] > 0.0f) gx[i] += g[i];
+  }
+}
+
+void AccLeakyBwd(const float* x, float slope, const float* g, float* gx,
+                 int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    const float d = x[i] > 0.0f ? 1.0f : slope;
+    gx[i] += d * g[i];
+  }
+}
+
+void AccSigmoidBwd(const float* y, const float* g, float* gx, int64_t begin,
+                   int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    gx[i] += g[i] * y[i] * (1.0f - y[i]);
+  }
+}
+
+void AccTanhBwd(const float* y, const float* g, float* gx, int64_t begin,
+                int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    gx[i] += g[i] * (1.0f - y[i] * y[i]);
+  }
+}
+
+void AddRowBroadcast(const float* x, const float* bias, float* out,
+                     int64_t row_begin, int64_t row_end, int cols) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const float* xr = x + r * cols;
+    float* o = out + r * cols;
+    for (int c = 0; c < cols; ++c) o[c] = xr[c] + bias[c];
+  }
+}
+
+void MulColBroadcast(const float* x, const float* col, float* out,
+                     int64_t row_begin, int64_t row_end, int cols) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const float w = col[r];
+    const float* xr = x + r * cols;
+    float* o = out + r * cols;
+    for (int c = 0; c < cols; ++c) o[c] = xr[c] * w;
+  }
+}
+
+void AccMulColBwdX(const float* g, const float* col, float* gx,
+                   int64_t row_begin, int64_t row_end, int cols) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const float w = col[r];
+    const float* gr = g + r * cols;
+    float* o = gx + r * cols;
+    for (int c = 0; c < cols; ++c) o[c] += gr[c] * w;
+  }
+}
+
+void AccRowwiseDotBwd(const float* g, const float* va, const float* vb,
+                      float* ga, float* gb, int64_t row_begin,
+                      int64_t row_end, int cols) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const float gr = g[r];
+    const float* ra = va + r * cols;
+    const float* rb = vb + r * cols;
+    float* oa = ga + r * cols;
+    float* ob = gb + r * cols;
+    for (int c = 0; c < cols; ++c) oa[c] += gr * rb[c];
+    for (int c = 0; c < cols; ++c) ob[c] += gr * ra[c];
+  }
+}
+
+}  // namespace O2SR_KERNEL_NS
+}  // namespace o2sr::nn::kernels

@@ -1,0 +1,28 @@
+// Baseline kernel TU: compiled with the project's default flags (no AVX2),
+// so it runs on any x86-64. The bodies live in kernels_impl.inl.
+#include "nn/kernels/kernels.h"
+
+#define O2SR_KERNEL_NS scalar_impl
+#include "nn/kernels/kernels_impl.inl"
+#undef O2SR_KERNEL_NS
+
+namespace o2sr::nn::kernels {
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      scalar_impl::MatMulRows,    scalar_impl::MatMulTaRows,
+      scalar_impl::MatMulTbRows,  scalar_impl::Add,
+      scalar_impl::Sub,           scalar_impl::Mul,
+      scalar_impl::Scale,         scalar_impl::AccAdd,
+      scalar_impl::AccSub,        scalar_impl::AccScale,
+      scalar_impl::AccMul,        scalar_impl::AccConst,
+      scalar_impl::Relu,          scalar_impl::LeakyRelu,
+      scalar_impl::AccReluBwd,    scalar_impl::AccLeakyBwd,
+      scalar_impl::AccSigmoidBwd, scalar_impl::AccTanhBwd,
+      scalar_impl::AddRowBroadcast, scalar_impl::MulColBroadcast,
+      scalar_impl::AccMulColBwdX, scalar_impl::AccRowwiseDotBwd,
+  };
+  return table;
+}
+
+}  // namespace o2sr::nn::kernels

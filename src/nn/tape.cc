@@ -1,618 +1,425 @@
 #include "nn/tape.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <atomic>
+#include <memory>
+#include <utility>
 
-#include "obs/profiler.h"
+#include "nn/buffer_pool.h"
 
 namespace o2sr::nn {
 
 namespace {
 
-// Forward-pass attribution: each tape op allocates its output plus (via
-// Emplace) a same-shaped grad tensor, and moves its operands and output
-// once. Items = output elements.
-inline void ProfileTapeOp(const char* name, const Tensor& out,
-                          uint64_t operand_bytes) {
-  O2SR_PROFILE_OP(name, uint64_t{2} * out.size() * sizeof(float),
-                  operand_bytes + out.size() * sizeof(float), out.size());
-}
+// -1: resolve from O2SR_PLAN; 0: force eager; 1: force planned.
+std::atomic<int> g_mode_override{-1};
 
-inline uint64_t TensorBytes(const Tensor& t) {
-  return t.size() * sizeof(float);
+bool Materialized(const TapeNode& n) {
+  return n.value.rows() == n.desc.rows && n.value.cols() == n.desc.cols;
 }
 
 }  // namespace
 
-Value Tape::Emplace(Tensor value,
-                    std::function<void(Tape&, const Node&)> backward) {
-  Node n;
-  n.grad = Tensor(value.rows(), value.cols());
-  n.value = std::move(value);
-  n.backward = std::move(backward);
-  nodes_.push_back(std::move(n));
-  return Value{static_cast<int>(nodes_.size()) - 1};
+Tape::Tape(bool training) : training_(training) {
+  const int ov = g_mode_override.load(std::memory_order_relaxed);
+  planned_ = ov < 0 ? PlanEnabledFromEnv() : ov == 1;
 }
 
-Value Tape::Input(Tensor t) { return Emplace(std::move(t), nullptr); }
+Tape::~Tape() {
+  // Return every materialized buffer to the pool: the next step's tape
+  // reuses them instead of re-faulting fresh pages.
+  TensorPool& pool = TensorPool::Global();
+  for (TapeNode& n : nodes_) {
+    pool.Release(std::move(n.value));
+    pool.Release(std::move(n.grad));
+  }
+}
+
+void Tape::SetModeForTest(Mode mode) {
+  g_mode_override.store(
+      mode == Mode::kEnv ? -1 : (mode == Mode::kPlanned ? 1 : 0),
+      std::memory_order_relaxed);
+}
+
+Value Tape::Push(OpDesc desc) {
+  TapeNode n;
+  n.desc = std::move(desc);
+  nodes_.push_back(std::move(n));
+  const int id = static_cast<int>(nodes_.size()) - 1;
+  if (!planned_) {
+    detail::ExecuteForward(nodes_, id);
+    detail::GradSlot(nodes_, id);
+    executed_ = nodes_.size();
+  }
+  return Value{id};
+}
+
+void Tape::Flush() const {
+  if (executed_ == nodes_.size()) return;
+  auto* self = const_cast<Tape*>(this);
+  const int begin = static_cast<int>(executed_);
+  const int end = static_cast<int>(nodes_.size());
+  std::shared_ptr<const Plan> plan =
+      PlanCache::Global().GetOrCompile(nodes_, begin, end);
+  self->plan_steps_.resize(nodes_.size());
+  for (int i = begin; i < end; ++i) {
+    self->plan_steps_[static_cast<size_t>(i)] =
+        plan->steps[static_cast<size_t>(i - begin)];
+  }
+  detail::RunPlanForward(*plan, self->nodes_);
+  self->executed_ = nodes_.size();
+}
+
+const Tensor& Tape::value(Value v) const {
+  Flush();
+  auto* self = const_cast<Tape*>(this);
+  TapeNode& n = self->node(v.id);
+  // A param leaf or fused-away intermediate materializes on first read
+  // (for params this is the same snapshot copy the eager path makes).
+  if (!Materialized(n)) detail::ExecuteForward(self->nodes_, v.id);
+  return n.value;
+}
+
+const Tensor& Tape::grad(Value v) const {
+  Flush();
+  auto* self = const_cast<Tape*>(this);
+  self->node(v.id);  // bounds check
+  return detail::GradSlot(self->nodes_, v.id);
+}
+
+Value Tape::Input(Tensor t) {
+  OpDesc d;
+  d.kind = OpKind::kInput;
+  d.rows = t.rows();
+  d.cols = t.cols();
+  TapeNode n;
+  n.desc = std::move(d);
+  n.value = std::move(t);
+  nodes_.push_back(std::move(n));
+  const int id = static_cast<int>(nodes_.size()) - 1;
+  if (!planned_) {
+    detail::GradSlot(nodes_, id);
+    executed_ = nodes_.size();
+  }
+  return Value{id};
+}
 
 Value Tape::Param(Parameter* p) {
   O2SR_CHECK(p != nullptr);
-  return Emplace(p->value, [p](Tape&, const Node& self) {
-    p->grad.AddInPlace(self.grad);
-  });
+  OpDesc d;
+  d.kind = OpKind::kParam;
+  d.rows = p->value.rows();
+  d.cols = p->value.cols();
+  d.param = p;
+  return Push(std::move(d));
 }
 
 Value Tape::MatMul(Value a, Value b) {
-  const Tensor& ta = value(a);
-  const Tensor& tb = value(b);
-  Tensor out = nn::MatMul(ta, tb);
-  ProfileTapeOp("tape.matmul", out, TensorBytes(ta) + TensorBytes(tb));
-  const int ai = a.id, bi = b.id;
-  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
-    // dA = dC * B^T ; dB = A^T * dC
-    t.mutable_grad(ai).AddInPlace(
-        MatMulTransposeB(self.grad, t.node(bi).value));
-    t.mutable_grad(bi).AddInPlace(
-        MatMulTransposeA(t.node(ai).value, self.grad));
-  });
+  const OpDesc& da = desc_of(a.id);
+  const OpDesc& db = desc_of(b.id);
+  O2SR_CHECK_EQ(da.cols, db.rows);
+  OpDesc d;
+  d.kind = OpKind::kMatMul;
+  d.rows = da.rows;
+  d.cols = db.cols;
+  d.inputs = {a.id, b.id};
+  return Push(std::move(d));
 }
 
 Value Tape::Add(Value a, Value b) {
-  const Tensor& ta = value(a);
-  const Tensor& tb = value(b);
-  O2SR_CHECK(ta.SameShape(tb));
-  Tensor out = ta;
-  out.AddInPlace(tb);
-  ProfileTapeOp("tape.add", out, TensorBytes(ta) + TensorBytes(tb));
-  const int ai = a.id, bi = b.id;
-  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
-    t.mutable_grad(ai).AddInPlace(self.grad);
-    t.mutable_grad(bi).AddInPlace(self.grad);
-  });
+  const OpDesc& da = desc_of(a.id);
+  const OpDesc& db = desc_of(b.id);
+  O2SR_CHECK(da.rows == db.rows && da.cols == db.cols);
+  OpDesc d;
+  d.kind = OpKind::kAdd;
+  d.rows = da.rows;
+  d.cols = da.cols;
+  d.inputs = {a.id, b.id};
+  return Push(std::move(d));
 }
 
 Value Tape::AddN(const std::vector<Value>& xs) {
   O2SR_CHECK(!xs.empty());
-  Tensor out = value(xs[0]);
-  for (size_t i = 1; i < xs.size(); ++i) {
-    O2SR_CHECK(out.SameShape(value(xs[i])));
-    out.AddInPlace(value(xs[i]));
+  const OpDesc& d0 = desc_of(xs[0].id);
+  OpDesc d;
+  d.kind = OpKind::kAddN;
+  d.rows = d0.rows;
+  d.cols = d0.cols;
+  d.inputs.reserve(xs.size());
+  for (Value v : xs) {
+    const OpDesc& dv = desc_of(v.id);
+    O2SR_CHECK(dv.rows == d.rows && dv.cols == d.cols);
+    d.inputs.push_back(v.id);
   }
-  ProfileTapeOp("tape.add_n", out,
-                static_cast<uint64_t>(xs.size()) * TensorBytes(out));
-  std::vector<int> ids;
-  ids.reserve(xs.size());
-  for (Value v : xs) ids.push_back(v.id);
-  return Emplace(std::move(out), [ids](Tape& t, const Node& self) {
-    for (int id : ids) t.mutable_grad(id).AddInPlace(self.grad);
-  });
+  return Push(std::move(d));
 }
 
 Value Tape::Sub(Value a, Value b) {
-  const Tensor& ta = value(a);
-  const Tensor& tb = value(b);
-  O2SR_CHECK(ta.SameShape(tb));
-  Tensor out = ta;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] -= tb.data()[i];
-  ProfileTapeOp("tape.sub", out, TensorBytes(ta) + TensorBytes(tb));
-  const int ai = a.id, bi = b.id;
-  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
-    t.mutable_grad(ai).AddInPlace(self.grad);
-    Tensor& gb = t.mutable_grad(bi);
-    for (size_t i = 0; i < gb.size(); ++i) gb.data()[i] -= self.grad.data()[i];
-  });
+  const OpDesc& da = desc_of(a.id);
+  const OpDesc& db = desc_of(b.id);
+  O2SR_CHECK(da.rows == db.rows && da.cols == db.cols);
+  OpDesc d;
+  d.kind = OpKind::kSub;
+  d.rows = da.rows;
+  d.cols = da.cols;
+  d.inputs = {a.id, b.id};
+  return Push(std::move(d));
 }
 
 Value Tape::Mul(Value a, Value b) {
-  const Tensor& ta = value(a);
-  const Tensor& tb = value(b);
-  O2SR_CHECK(ta.SameShape(tb));
-  Tensor out = ta;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= tb.data()[i];
-  ProfileTapeOp("tape.mul", out, TensorBytes(ta) + TensorBytes(tb));
-  const int ai = a.id, bi = b.id;
-  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
-    const Tensor& va = t.node(ai).value;
-    const Tensor& vb = t.node(bi).value;
-    Tensor& ga = t.mutable_grad(ai);
-    Tensor& gb = t.mutable_grad(bi);
-    for (size_t i = 0; i < va.size(); ++i) {
-      ga.data()[i] += self.grad.data()[i] * vb.data()[i];
-      gb.data()[i] += self.grad.data()[i] * va.data()[i];
-    }
-  });
+  const OpDesc& da = desc_of(a.id);
+  const OpDesc& db = desc_of(b.id);
+  O2SR_CHECK(da.rows == db.rows && da.cols == db.cols);
+  OpDesc d;
+  d.kind = OpKind::kMul;
+  d.rows = da.rows;
+  d.cols = da.cols;
+  d.inputs = {a.id, b.id};
+  return Push(std::move(d));
 }
 
 Value Tape::Scale(Value a, float s) {
-  Tensor out = value(a);
-  out.ScaleInPlace(s);
-  ProfileTapeOp("tape.scale", out, TensorBytes(out));
-  const int ai = a.id;
-  return Emplace(std::move(out), [ai, s](Tape& t, const Node& self) {
-    Tensor& ga = t.mutable_grad(ai);
-    for (size_t i = 0; i < ga.size(); ++i) {
-      ga.data()[i] += s * self.grad.data()[i];
-    }
-  });
+  const OpDesc& da = desc_of(a.id);
+  OpDesc d;
+  d.kind = OpKind::kScale;
+  d.rows = da.rows;
+  d.cols = da.cols;
+  d.alpha = s;
+  d.inputs = {a.id};
+  return Push(std::move(d));
 }
 
 Value Tape::AddRowBroadcast(Value x, Value bias) {
-  const Tensor& tx = value(x);
-  const Tensor& tb = value(bias);
-  O2SR_CHECK_EQ(tb.rows(), 1);
-  O2SR_CHECK_EQ(tb.cols(), tx.cols());
-  Tensor out = tx;
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    const float* b = tb.row(0);
-    for (int c = 0; c < out.cols(); ++c) row[c] += b[c];
-  }
-  ProfileTapeOp("tape.add_row_broadcast", out,
-                TensorBytes(tx) + TensorBytes(tb));
-  const int xi = x.id, bi = bias.id;
-  return Emplace(std::move(out), [xi, bi](Tape& t, const Node& self) {
-    t.mutable_grad(xi).AddInPlace(self.grad);
-    Tensor& gb = t.mutable_grad(bi);
-    for (int r = 0; r < self.grad.rows(); ++r) {
-      const float* g = self.grad.row(r);
-      for (int c = 0; c < self.grad.cols(); ++c) gb.at(0, c) += g[c];
-    }
-  });
+  const OpDesc& dx = desc_of(x.id);
+  const OpDesc& db = desc_of(bias.id);
+  O2SR_CHECK_EQ(db.rows, 1);
+  O2SR_CHECK_EQ(db.cols, dx.cols);
+  OpDesc d;
+  d.kind = OpKind::kAddRowBroadcast;
+  d.rows = dx.rows;
+  d.cols = dx.cols;
+  d.inputs = {x.id, bias.id};
+  return Push(std::move(d));
 }
 
 Value Tape::MulColBroadcast(Value x, Value col) {
-  const Tensor& tx = value(x);
-  const Tensor& tc = value(col);
-  O2SR_CHECK_EQ(tc.cols(), 1);
-  O2SR_CHECK_EQ(tc.rows(), tx.rows());
-  Tensor out = tx;
-  for (int r = 0; r < out.rows(); ++r) {
-    const float w = tc.at(r, 0);
-    float* row = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= w;
-  }
-  ProfileTapeOp("tape.mul_col_broadcast", out,
-                TensorBytes(tx) + TensorBytes(tc));
-  const int xi = x.id, ci = col.id;
-  return Emplace(std::move(out), [xi, ci](Tape& t, const Node& self) {
-    const Tensor& vx = t.node(xi).value;
-    const Tensor& vc = t.node(ci).value;
-    Tensor& gx = t.mutable_grad(xi);
-    Tensor& gc = t.mutable_grad(ci);
-    for (int r = 0; r < vx.rows(); ++r) {
-      const float w = vc.at(r, 0);
-      const float* g = self.grad.row(r);
-      const float* xv = vx.row(r);
-      float* gxr = gx.row(r);
-      double acc = 0.0;
-      for (int c = 0; c < vx.cols(); ++c) {
-        gxr[c] += g[c] * w;
-        acc += g[c] * xv[c];
-      }
-      gc.at(r, 0) += static_cast<float>(acc);
-    }
-  });
+  const OpDesc& dx = desc_of(x.id);
+  const OpDesc& dc = desc_of(col.id);
+  O2SR_CHECK_EQ(dc.cols, 1);
+  O2SR_CHECK_EQ(dc.rows, dx.rows);
+  OpDesc d;
+  d.kind = OpKind::kMulColBroadcast;
+  d.rows = dx.rows;
+  d.cols = dx.cols;
+  d.inputs = {x.id, col.id};
+  return Push(std::move(d));
 }
 
+namespace {
+
+OpDesc UnaryDesc(OpKind kind, const OpDesc& dx, int id) {
+  OpDesc d;
+  d.kind = kind;
+  d.rows = dx.rows;
+  d.cols = dx.cols;
+  d.inputs = {id};
+  return d;
+}
+
+}  // namespace
+
 Value Tape::Relu(Value x) {
-  Tensor out = value(x);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::max(out.data()[i], 0.0f);
-  }
-  ProfileTapeOp("tape.relu", out, TensorBytes(out));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
-    const Tensor& vx = t.node(xi).value;
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t i = 0; i < vx.size(); ++i) {
-      if (vx.data()[i] > 0.0f) gx.data()[i] += self.grad.data()[i];
-    }
-  });
+  return Push(UnaryDesc(OpKind::kRelu, desc_of(x.id), x.id));
 }
 
 Value Tape::LeakyRelu(Value x, float negative_slope) {
-  const Tensor& tx = value(x);
-  Tensor out = tx;
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
-  }
-  ProfileTapeOp("tape.leaky_relu", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out),
-                 [xi, negative_slope](Tape& t, const Node& self) {
-    const Tensor& vx = t.node(xi).value;
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t i = 0; i < vx.size(); ++i) {
-      const float d = vx.data()[i] > 0.0f ? 1.0f : negative_slope;
-      gx.data()[i] += d * self.grad.data()[i];
-    }
-  });
+  OpDesc d = UnaryDesc(OpKind::kLeakyRelu, desc_of(x.id), x.id);
+  d.alpha = negative_slope;
+  return Push(std::move(d));
 }
 
 Value Tape::Sigmoid(Value x) {
-  const Tensor& tx = value(x);
-  Tensor out = tx;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
-  }
-  ProfileTapeOp("tape.sigmoid", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t i = 0; i < self.value.size(); ++i) {
-      const float y = self.value.data()[i];
-      gx.data()[i] += self.grad.data()[i] * y * (1.0f - y);
-    }
-  });
+  return Push(UnaryDesc(OpKind::kSigmoid, desc_of(x.id), x.id));
 }
 
 Value Tape::Tanh(Value x) {
-  const Tensor& tx = value(x);
-  Tensor out = tx;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
-  ProfileTapeOp("tape.tanh", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t i = 0; i < self.value.size(); ++i) {
-      const float y = self.value.data()[i];
-      gx.data()[i] += self.grad.data()[i] * (1.0f - y * y);
-    }
-  });
+  return Push(UnaryDesc(OpKind::kTanh, desc_of(x.id), x.id));
 }
 
 Value Tape::SoftmaxRows(Value x) {
-  const Tensor& tx = value(x);
-  Tensor out = tx;
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    float mx = row[0];
-    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (int c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    for (int c = 0; c < out.cols(); ++c) {
-      row[c] = static_cast<float>(row[c] / sum);
-    }
-  }
-  ProfileTapeOp("tape.softmax_rows", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (int r = 0; r < self.value.rows(); ++r) {
-      const float* y = self.value.row(r);
-      const float* g = self.grad.row(r);
-      double dot = 0.0;
-      for (int c = 0; c < self.value.cols(); ++c) dot += y[c] * g[c];
-      float* gr = gx.row(r);
-      for (int c = 0; c < self.value.cols(); ++c) {
-        gr[c] += y[c] * (g[c] - static_cast<float>(dot));
-      }
-    }
-  });
+  return Push(UnaryDesc(OpKind::kSoftmaxRows, desc_of(x.id), x.id));
 }
 
 Value Tape::ConcatCols(const std::vector<Value>& xs) {
   O2SR_CHECK(!xs.empty());
-  const int rows = value(xs[0]).rows();
-  int total_cols = 0;
+  const int rows = desc_of(xs[0].id).rows;
+  OpDesc d;
+  d.kind = OpKind::kConcatCols;
+  d.rows = rows;
+  d.cols = 0;
+  d.inputs.reserve(xs.size());
   for (Value v : xs) {
-    O2SR_CHECK_EQ(value(v).rows(), rows);
-    total_cols += value(v).cols();
+    const OpDesc& dv = desc_of(v.id);
+    O2SR_CHECK_EQ(dv.rows, rows);
+    d.cols += dv.cols;
+    d.inputs.push_back(v.id);
   }
-  Tensor out(rows, total_cols);
-  int offset = 0;
-  std::vector<int> ids;
-  std::vector<int> offsets;
-  std::vector<int> widths;
-  for (Value v : xs) {
-    const Tensor& tv = value(v);
-    for (int r = 0; r < rows; ++r) {
-      std::copy(tv.row(r), tv.row(r) + tv.cols(), out.row(r) + offset);
-    }
-    ids.push_back(v.id);
-    offsets.push_back(offset);
-    widths.push_back(tv.cols());
-    offset += tv.cols();
-  }
-  ProfileTapeOp("tape.concat_cols", out, TensorBytes(out));
-  return Emplace(std::move(out),
-                 [ids, offsets, widths](Tape& t, const Node& self) {
-    for (size_t k = 0; k < ids.size(); ++k) {
-      Tensor& g = t.mutable_grad(ids[k]);
-      for (int r = 0; r < g.rows(); ++r) {
-        const float* src = self.grad.row(r) + offsets[k];
-        float* dst = g.row(r);
-        for (int c = 0; c < widths[k]; ++c) dst[c] += src[c];
-      }
-    }
-  });
+  return Push(std::move(d));
 }
 
 Value Tape::SliceCols(Value x, int start, int count) {
-  const Tensor& tx = value(x);
-  O2SR_CHECK(start >= 0 && count > 0 && start + count <= tx.cols());
-  Tensor out(tx.rows(), count);
-  for (int r = 0; r < tx.rows(); ++r) {
-    std::copy(tx.row(r) + start, tx.row(r) + start + count, out.row(r));
-  }
-  ProfileTapeOp("tape.slice_cols", out, TensorBytes(out));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi, start, count](Tape& t,
-                                                    const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (int r = 0; r < self.grad.rows(); ++r) {
-      const float* g = self.grad.row(r);
-      float* dst = gx.row(r) + start;
-      for (int c = 0; c < count; ++c) dst[c] += g[c];
-    }
-  });
+  const OpDesc& dx = desc_of(x.id);
+  O2SR_CHECK(start >= 0 && count > 0 && start + count <= dx.cols);
+  OpDesc d;
+  d.kind = OpKind::kSliceCols;
+  d.rows = dx.rows;
+  d.cols = count;
+  d.slice_start = start;
+  d.inputs = {x.id};
+  return Push(std::move(d));
 }
 
 Value Tape::RowwiseDot(Value a, Value b) {
-  const Tensor& ta = value(a);
-  const Tensor& tb = value(b);
-  O2SR_CHECK(ta.SameShape(tb));
-  Tensor out(ta.rows(), 1);
-  for (int r = 0; r < ta.rows(); ++r) {
-    double dot = 0.0;
-    const float* ra = ta.row(r);
-    const float* rb = tb.row(r);
-    for (int c = 0; c < ta.cols(); ++c) dot += ra[c] * rb[c];
-    out.at(r, 0) = static_cast<float>(dot);
-  }
-  ProfileTapeOp("tape.rowwise_dot", out, TensorBytes(ta) + TensorBytes(tb));
-  const int ai = a.id, bi = b.id;
-  return Emplace(std::move(out), [ai, bi](Tape& t, const Node& self) {
-    const Tensor& va = t.node(ai).value;
-    const Tensor& vb = t.node(bi).value;
-    Tensor& ga = t.mutable_grad(ai);
-    Tensor& gb = t.mutable_grad(bi);
-    for (int r = 0; r < va.rows(); ++r) {
-      const float g = self.grad.at(r, 0);
-      const float* ra = va.row(r);
-      const float* rb = vb.row(r);
-      float* gra = ga.row(r);
-      float* grb = gb.row(r);
-      for (int c = 0; c < va.cols(); ++c) {
-        gra[c] += g * rb[c];
-        grb[c] += g * ra[c];
-      }
-    }
-  });
+  const OpDesc& da = desc_of(a.id);
+  const OpDesc& db = desc_of(b.id);
+  O2SR_CHECK(da.rows == db.rows && da.cols == db.cols);
+  OpDesc d;
+  d.kind = OpKind::kRowwiseDot;
+  d.rows = da.rows;
+  d.cols = 1;
+  d.inputs = {a.id, b.id};
+  return Push(std::move(d));
 }
 
 Value Tape::Dropout(Value x, double p, Rng& rng) {
   if (!training_ || p <= 0.0) return x;
   O2SR_CHECK_LT(p, 1.0);
-  const Tensor& tx = value(x);
-  Tensor mask(tx.rows(), tx.cols());
+  const OpDesc& dx = desc_of(x.id);
+  // The mask is drawn here, at record time, in element order — the RNG
+  // stream is consumed identically whether execution is eager or deferred.
+  Tensor mask(dx.rows, dx.cols);
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
   for (size_t i = 0; i < mask.size(); ++i) {
     mask.data()[i] = rng.Bernoulli(p) ? 0.0f : keep_scale;
   }
-  Tensor out = tx;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask.data()[i];
-  ProfileTapeOp("tape.dropout", out, TensorBytes(tx) + TensorBytes(mask));
-  const int xi = x.id;
-  return Emplace(std::move(out),
-                 [xi, mask = std::move(mask)](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t i = 0; i < gx.size(); ++i) {
-      gx.data()[i] += self.grad.data()[i] * mask.data()[i];
-    }
-  });
+  OpDesc d;
+  d.kind = OpKind::kDropout;
+  d.rows = dx.rows;
+  d.cols = dx.cols;
+  d.inputs = {x.id};
+  d.mask = std::make_shared<const Tensor>(std::move(mask));
+  return Push(std::move(d));
 }
 
 Value Tape::GatherRows(Value x, std::vector<int> index) {
-  const Tensor& tx = value(x);
-  Tensor out(static_cast<int>(index.size()), tx.cols());
-  for (size_t e = 0; e < index.size(); ++e) {
-    O2SR_CHECK(index[e] >= 0 && index[e] < tx.rows());
-    std::copy(tx.row(index[e]), tx.row(index[e]) + tx.cols(),
-              out.row(static_cast<int>(e)));
-  }
-  ProfileTapeOp("tape.gather_rows", out, TensorBytes(out));
-  const int xi = x.id;
-  return Emplace(std::move(out),
-                 [xi, index = std::move(index)](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t e = 0; e < index.size(); ++e) {
-      const float* g = self.grad.row(static_cast<int>(e));
-      float* dst = gx.row(index[e]);
-      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
-    }
-  });
+  const OpDesc& dx = desc_of(x.id);
+  for (int i : index) O2SR_CHECK(i >= 0 && i < dx.rows);
+  OpDesc d;
+  d.kind = OpKind::kGatherRows;
+  d.rows = static_cast<int>(index.size());
+  d.cols = dx.cols;
+  d.inputs = {x.id};
+  d.index = std::make_shared<const std::vector<int>>(std::move(index));
+  return Push(std::move(d));
 }
 
 Value Tape::SegmentSoftmax(Value scores, std::vector<int> segment,
                            int num_segments) {
-  const Tensor& ts = value(scores);
-  O2SR_CHECK_EQ(ts.cols(), 1);
-  O2SR_CHECK_EQ(static_cast<size_t>(ts.rows()), segment.size());
-  // Numerically stable per-segment softmax.
-  std::vector<float> seg_max(num_segments,
-                             -std::numeric_limits<float>::infinity());
-  for (size_t e = 0; e < segment.size(); ++e) {
-    O2SR_CHECK(segment[e] >= 0 && segment[e] < num_segments);
-    seg_max[segment[e]] =
-        std::max(seg_max[segment[e]], ts.at(static_cast<int>(e), 0));
-  }
-  std::vector<double> seg_sum(num_segments, 0.0);
-  Tensor out(ts.rows(), 1);
-  for (size_t e = 0; e < segment.size(); ++e) {
-    const float v =
-        std::exp(ts.at(static_cast<int>(e), 0) - seg_max[segment[e]]);
-    out.at(static_cast<int>(e), 0) = v;
-    seg_sum[segment[e]] += v;
-  }
-  for (size_t e = 0; e < segment.size(); ++e) {
-    out.at(static_cast<int>(e), 0) = static_cast<float>(
-        out.at(static_cast<int>(e), 0) / seg_sum[segment[e]]);
-  }
-  ProfileTapeOp("tape.segment_softmax", out, TensorBytes(ts));
-  const int si = scores.id;
-  return Emplace(std::move(out), [si, segment = std::move(segment),
-                                  num_segments](Tape& t, const Node& self) {
-    // d s_e = alpha_e * (g_e - sum_{k in seg} alpha_k g_k)
-    std::vector<double> seg_dot(num_segments, 0.0);
-    for (size_t e = 0; e < segment.size(); ++e) {
-      seg_dot[segment[e]] += static_cast<double>(
-          self.value.at(static_cast<int>(e), 0) *
-          self.grad.at(static_cast<int>(e), 0));
-    }
-    Tensor& gs = t.mutable_grad(si);
-    for (size_t e = 0; e < segment.size(); ++e) {
-      const float a = self.value.at(static_cast<int>(e), 0);
-      const float g = self.grad.at(static_cast<int>(e), 0);
-      gs.at(static_cast<int>(e), 0) +=
-          a * (g - static_cast<float>(seg_dot[segment[e]]));
-    }
-  });
+  const OpDesc& ds = desc_of(scores.id);
+  O2SR_CHECK_EQ(ds.cols, 1);
+  O2SR_CHECK_EQ(static_cast<size_t>(ds.rows), segment.size());
+  for (int s : segment) O2SR_CHECK(s >= 0 && s < num_segments);
+  OpDesc d;
+  d.kind = OpKind::kSegmentSoftmax;
+  d.rows = ds.rows;
+  d.cols = 1;
+  d.num_segments = num_segments;
+  d.inputs = {scores.id};
+  d.index = std::make_shared<const std::vector<int>>(std::move(segment));
+  return Push(std::move(d));
 }
 
 Value Tape::SegmentSum(Value x, std::vector<int> segment, int num_segments) {
-  const Tensor& tx = value(x);
-  O2SR_CHECK_EQ(static_cast<size_t>(tx.rows()), segment.size());
-  Tensor out(num_segments, tx.cols());
-  for (size_t e = 0; e < segment.size(); ++e) {
-    O2SR_CHECK(segment[e] >= 0 && segment[e] < num_segments);
-    const float* src = tx.row(static_cast<int>(e));
-    float* dst = out.row(segment[e]);
-    for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c];
-  }
-  ProfileTapeOp("tape.segment_sum", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out),
-                 [xi, segment = std::move(segment)](Tape& t,
-                                                    const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t e = 0; e < segment.size(); ++e) {
-      const float* g = self.grad.row(segment[e]);
-      float* dst = gx.row(static_cast<int>(e));
-      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c];
-    }
-  });
+  const OpDesc& dx = desc_of(x.id);
+  O2SR_CHECK_EQ(static_cast<size_t>(dx.rows), segment.size());
+  for (int s : segment) O2SR_CHECK(s >= 0 && s < num_segments);
+  OpDesc d;
+  d.kind = OpKind::kSegmentSum;
+  d.rows = num_segments;
+  d.cols = dx.cols;
+  d.num_segments = num_segments;
+  d.inputs = {x.id};
+  d.index = std::make_shared<const std::vector<int>>(std::move(segment));
+  return Push(std::move(d));
 }
 
 Value Tape::SegmentMean(Value x, std::vector<int> segment, int num_segments) {
-  const Tensor& tx = value(x);
-  O2SR_CHECK_EQ(static_cast<size_t>(tx.rows()), segment.size());
-  std::vector<int> counts(num_segments, 0);
+  const OpDesc& dx = desc_of(x.id);
+  O2SR_CHECK_EQ(static_cast<size_t>(dx.rows), segment.size());
+  std::vector<int> counts(static_cast<size_t>(num_segments), 0);
   for (int s : segment) {
     O2SR_CHECK(s >= 0 && s < num_segments);
-    ++counts[s];
+    ++counts[static_cast<size_t>(s)];
   }
-  Tensor out(num_segments, tx.cols());
-  for (size_t e = 0; e < segment.size(); ++e) {
-    const float* src = tx.row(static_cast<int>(e));
-    float* dst = out.row(segment[e]);
-    const float inv = 1.0f / static_cast<float>(counts[segment[e]]);
-    for (int c = 0; c < tx.cols(); ++c) dst[c] += src[c] * inv;
-  }
-  ProfileTapeOp("tape.segment_mean", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out),
-                 [xi, segment = std::move(segment),
-                  counts = std::move(counts)](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    for (size_t e = 0; e < segment.size(); ++e) {
-      const float* g = self.grad.row(segment[e]);
-      float* dst = gx.row(static_cast<int>(e));
-      const float inv = 1.0f / static_cast<float>(counts[segment[e]]);
-      for (int c = 0; c < gx.cols(); ++c) dst[c] += g[c] * inv;
-    }
-  });
+  OpDesc d;
+  d.kind = OpKind::kSegmentMean;
+  d.rows = num_segments;
+  d.cols = dx.cols;
+  d.num_segments = num_segments;
+  d.inputs = {x.id};
+  d.index = std::make_shared<const std::vector<int>>(std::move(segment));
+  d.counts = std::make_shared<const std::vector<int>>(std::move(counts));
+  return Push(std::move(d));
 }
 
 Value Tape::MeanAll(Value x) {
-  const Tensor& tx = value(x);
-  O2SR_CHECK_GT(tx.size(), 0u);
-  Tensor out(1, 1);
-  out.at(0, 0) = static_cast<float>(tx.Sum() / tx.size());
-  ProfileTapeOp("tape.mean_all", out, TensorBytes(tx));
-  const int xi = x.id;
-  return Emplace(std::move(out), [xi](Tape& t, const Node& self) {
-    Tensor& gx = t.mutable_grad(xi);
-    const float g =
-        self.grad.at(0, 0) / static_cast<float>(gx.size());
-    for (size_t i = 0; i < gx.size(); ++i) gx.data()[i] += g;
-  });
+  const OpDesc& dx = desc_of(x.id);
+  O2SR_CHECK_GT(static_cast<int64_t>(dx.rows) * dx.cols, 0);
+  OpDesc d;
+  d.kind = OpKind::kMeanAll;
+  d.rows = 1;
+  d.cols = 1;
+  d.inputs = {x.id};
+  return Push(std::move(d));
 }
 
 Value Tape::MseLoss(Value pred, Value target) {
-  const Tensor& tp = value(pred);
-  const Tensor& tt = value(target);
-  O2SR_CHECK(tp.SameShape(tt));
-  O2SR_CHECK_GT(tp.size(), 0u);
-  Tensor out(1, 1);
-  double acc = 0.0;
-  for (size_t i = 0; i < tp.size(); ++i) {
-    const double d = tp.data()[i] - tt.data()[i];
-    acc += d * d;
-  }
-  out.at(0, 0) = static_cast<float>(acc / tp.size());
-  ProfileTapeOp("tape.mse_loss", out, TensorBytes(tp) + TensorBytes(tt));
-  const int pi = pred.id, ti = target.id;
-  return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
-    const Tensor& vp = t.node(pi).value;
-    const Tensor& vt = t.node(ti).value;
-    Tensor& gp = t.mutable_grad(pi);
-    Tensor& gt = t.mutable_grad(ti);
-    const float scale =
-        2.0f * self.grad.at(0, 0) / static_cast<float>(vp.size());
-    for (size_t i = 0; i < vp.size(); ++i) {
-      const float d = vp.data()[i] - vt.data()[i];
-      gp.data()[i] += scale * d;
-      gt.data()[i] -= scale * d;
-    }
-  });
+  const OpDesc& dp = desc_of(pred.id);
+  const OpDesc& dt = desc_of(target.id);
+  O2SR_CHECK(dp.rows == dt.rows && dp.cols == dt.cols);
+  O2SR_CHECK_GT(static_cast<int64_t>(dp.rows) * dp.cols, 0);
+  OpDesc d;
+  d.kind = OpKind::kMseLoss;
+  d.rows = 1;
+  d.cols = 1;
+  d.inputs = {pred.id, target.id};
+  return Push(std::move(d));
 }
 
 Value Tape::MaeLoss(Value pred, Value target) {
-  const Tensor& tp = value(pred);
-  const Tensor& tt = value(target);
-  O2SR_CHECK(tp.SameShape(tt));
-  O2SR_CHECK_GT(tp.size(), 0u);
-  Tensor out(1, 1);
-  double acc = 0.0;
-  for (size_t i = 0; i < tp.size(); ++i) {
-    acc += std::fabs(tp.data()[i] - tt.data()[i]);
-  }
-  out.at(0, 0) = static_cast<float>(acc / tp.size());
-  ProfileTapeOp("tape.mae_loss", out, TensorBytes(tp) + TensorBytes(tt));
-  const int pi = pred.id, ti = target.id;
-  return Emplace(std::move(out), [pi, ti](Tape& t, const Node& self) {
-    const Tensor& vp = t.node(pi).value;
-    const Tensor& vt = t.node(ti).value;
-    Tensor& gp = t.mutable_grad(pi);
-    Tensor& gt = t.mutable_grad(ti);
-    const float scale = self.grad.at(0, 0) / static_cast<float>(vp.size());
-    for (size_t i = 0; i < vp.size(); ++i) {
-      const float d = vp.data()[i] - vt.data()[i];
-      const float sign = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
-      gp.data()[i] += scale * sign;
-      gt.data()[i] -= scale * sign;
-    }
-  });
+  const OpDesc& dp = desc_of(pred.id);
+  const OpDesc& dt = desc_of(target.id);
+  O2SR_CHECK(dp.rows == dt.rows && dp.cols == dt.cols);
+  O2SR_CHECK_GT(static_cast<int64_t>(dp.rows) * dp.cols, 0);
+  OpDesc d;
+  d.kind = OpKind::kMaeLoss;
+  d.rows = 1;
+  d.cols = 1;
+  d.inputs = {pred.id, target.id};
+  return Push(std::move(d));
 }
 
 void Tape::Backward(Value loss) {
+  Flush();
   O2SR_CHECK(!backward_done_);
   backward_done_ = true;
-  Node& root = node(loss.id);
-  O2SR_CHECK_EQ(root.value.rows(), 1);
-  O2SR_CHECK_EQ(root.value.cols(), 1);
-  root.grad.at(0, 0) = 1.0f;
-  for (int id = loss.id; id >= 0; --id) {
-    Node& n = nodes_[id];
-    if (n.backward) n.backward(*this, n);
+  const OpDesc& root = desc_of(loss.id);
+  O2SR_CHECK_EQ(root.rows, 1);
+  O2SR_CHECK_EQ(root.cols, 1);
+  detail::GradSlot(nodes_, loss.id).at(0, 0) = 1.0f;
+  if (!planned_) {
+    for (int id = loss.id; id >= 0; --id) detail::ExecuteBackward(nodes_, id);
+  } else {
+    detail::RunPlanBackward(plan_steps_, nodes_, loss.id);
   }
 }
 

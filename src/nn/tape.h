@@ -1,11 +1,12 @@
 #ifndef O2SR_NN_TAPE_H_
 #define O2SR_NN_TAPE_H_
 
-#include <functional>
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/op_exec.h"
 #include "nn/parameter.h"
+#include "nn/plan.h"
 #include "nn/tensor.h"
 
 namespace o2sr::nn {
@@ -19,10 +20,22 @@ struct Value {
 
 // Reverse-mode automatic differentiation over 2-D tensors.
 //
-// A fresh Tape is built for every forward pass (define-by-run). Operations
-// append nodes holding the forward result and a backward closure; Backward()
-// seeds the loss gradient and walks the nodes in reverse, accumulating
-// gradients into Parameter::grad for every Param leaf.
+// A fresh Tape is built for every forward pass (define-by-run). Each op
+// records an OpDesc node; execution happens in one of two modes
+// (DESIGN.md §13):
+//
+//   eager   (O2SR_PLAN=off) — every op runs at record time through the
+//           shared dispatcher in op_exec.cc. This is the bit-exact
+//           reference path.
+//   planned (default)       — ops are recorded unexecuted; the first
+//           value/grad/Backward access flushes the pending segment through
+//           a compiled Plan (PlanCache-memoized fusion + schedule, one
+//           exec::Session per step). Results are bit-identical to eager:
+//           both modes dispatch to the same kernels with the same
+//           accumulation orders; fusion only elides intermediates.
+//
+// Shape inference is part of the op descriptors, so rows()/cols() and all
+// record-time shape checks work in both modes without materializing values.
 //
 // In addition to dense ops, the tape provides the three sparse "segment"
 // primitives that graph attention needs (GatherRows, SegmentSoftmax,
@@ -30,11 +43,19 @@ struct Value {
 // the paper (Eq. 2-17) without dense adjacency matrices.
 class Tape {
  public:
-  explicit Tape(bool training = true) : training_(training) {}
+  explicit Tape(bool training = true);
+  ~Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
   bool training() const { return training_; }
+  // True when this tape defers execution to the plan compiler.
+  bool planned() const { return planned_; }
+
+  // Execution-mode override for tests (process-wide, applies to tapes
+  // constructed afterwards). kEnv restores the O2SR_PLAN resolution.
+  enum class Mode { kEnv, kEager, kPlanned };
+  static void SetModeForTest(Mode mode);
 
   // Leaves ------------------------------------------------------------------
 
@@ -45,10 +66,13 @@ class Tape {
 
   // Accessors ---------------------------------------------------------------
 
-  const Tensor& value(Value v) const { return node(v.id).value; }
-  const Tensor& grad(Value v) const { return node(v.id).grad; }
-  int rows(Value v) const { return node(v.id).value.rows(); }
-  int cols(Value v) const { return node(v.id).value.cols(); }
+  // Flush (in planned mode) and materialize on demand, so both are valid
+  // at any point in either mode.
+  const Tensor& value(Value v) const;
+  const Tensor& grad(Value v) const;
+  // Shapes come from the descriptors: always available, never flush.
+  int rows(Value v) const { return desc_of(v.id).rows; }
+  int cols(Value v) const { return desc_of(v.id).cols; }
   size_t num_nodes() const { return nodes_.size(); }
 
   // Dense ops ---------------------------------------------------------------
@@ -76,6 +100,8 @@ class Tape {
   // Row-wise dot product of two [N,C] tensors -> [N,1].
   Value RowwiseDot(Value a, Value b);
   // Inverted dropout; identity when the tape is in inference mode or p == 0.
+  // The mask is drawn at record time, so the RNG consumption order is
+  // identical in eager and planned mode.
   Value Dropout(Value x, double p, Rng& rng);
 
   // Sparse / graph ops ------------------------------------------------------
@@ -105,31 +131,31 @@ class Tape {
   void Backward(Value loss);
 
  private:
-  struct Node {
-    Tensor value;
-    Tensor grad;
-    // Backward closure: reads this node's grad, accumulates into the grads
-    // of its inputs (and into Parameter::grad for Param leaves). Null for
-    // constant leaves.
-    std::function<void(Tape&, const Node&)> backward;
-  };
-
-  Node& node(int id) {
+  TapeNode& node(int id) {
     O2SR_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
-    return nodes_[id];
+    return nodes_[static_cast<size_t>(id)];
   }
-  const Node& node(int id) const {
+  const TapeNode& node(int id) const {
     O2SR_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
-    return nodes_[id];
+    return nodes_[static_cast<size_t>(id)];
   }
-  Tensor& mutable_grad(int id) { return node(id).grad; }
+  const OpDesc& desc_of(int id) const { return node(id).desc; }
 
-  Value Emplace(Tensor value,
-                std::function<void(Tape&, const Node&)> backward);
+  // Appends a node; in eager mode runs it immediately (and pre-allocates
+  // the zeroed grad slot, like the reference tape always did).
+  Value Push(OpDesc desc);
+
+  // Planned mode: compile + execute every node not yet materialized.
+  void Flush() const;
 
   bool training_;
+  bool planned_;
   bool backward_done_ = false;
-  std::vector<Node> nodes_;
+  // Planned mode: nodes below this index have been executed.
+  size_t executed_ = 0;
+  std::vector<TapeNode> nodes_;
+  // Planned mode: per-node schedule, concatenated over flushed segments.
+  std::vector<PlanStep> plan_steps_;
 };
 
 }  // namespace o2sr::nn

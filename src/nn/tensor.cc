@@ -69,7 +69,8 @@ void Tensor::AddInPlace(const Tensor& other) {
       static_cast<int64_t>(data_.size()), kElementGrain,
       [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) data_[i] += other.data_[i];
-      });
+      },
+      nullptr, "tensor.add_inplace");
 }
 
 void Tensor::ScaleInPlace(float scalar) {
@@ -79,7 +80,8 @@ void Tensor::ScaleInPlace(float scalar) {
       static_cast<int64_t>(data_.size()), kElementGrain,
       [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) data_[i] *= scalar;
-      });
+      },
+      nullptr, "tensor.scale_inplace");
 }
 
 // Reductions fold fixed kElementGrain-sized partials left-to-right (see
@@ -95,7 +97,8 @@ double Tensor::Sum() const {
         for (int64_t i = begin; i < end; ++i) s += data_[i];
         return s;
       },
-      [](double acc, double partial) { return acc + partial; });
+      [](double acc, double partial) { return acc + partial; }, nullptr,
+      "tensor.sum");
 }
 
 double Tensor::MeanAbs() const {
@@ -109,7 +112,8 @@ double Tensor::MeanAbs() const {
         for (int64_t i = begin; i < end; ++i) partial += std::fabs(data_[i]);
         return partial;
       },
-      [](double acc, double partial) { return acc + partial; });
+      [](double acc, double partial) { return acc + partial; }, nullptr,
+      "tensor.mean_abs");
   return s / static_cast<double>(data_.size());
 }
 
@@ -141,7 +145,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           const float* brow = b.row(p);
           for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
         }
-      });
+      },
+      nullptr, "tensor.matmul");
   return c;
 }
 
@@ -163,7 +168,8 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
           const float* brow = b.row(p);
           for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
         }
-      });
+      },
+      nullptr, "tensor.matmul_ta");
   return c;
 }
 
@@ -193,7 +199,8 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
           for (; p < k; ++p) acc0 += arow[p] * brow[p];
           crow[j] = (acc0 + acc1) + (acc2 + acc3);
         }
-      });
+      },
+      nullptr, "tensor.matmul_tb");
   return c;
 }
 
