@@ -16,11 +16,24 @@
 // of budget at admission and are shed instead of queueing, so the p99 of
 // the requests actually served stays bounded — the JSON records that p99
 // and the shed-rate next to the no-deadline numbers.
+//
+// A fourth pass measures the multi-tenant saturation curve (DESIGN.md
+// §14): four cities, each a model trained on its own simulated world,
+// hosted side by side in one TenantRegistry. N closed-loop driver threads
+// (N in {1, 2, 4}) round-robin batched requests (RankSitesBatch, batch
+// size O2SR_SERVE_BATCH) across the tenants; the JSON records QPS and p99
+// per thread count plus the 4-thread-over-1-thread speedup. At standard
+// scale the three points together push over a million queries through the
+// registry.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +44,7 @@
 #include "obs/slo.h"
 #include "serve/engine.h"
 #include "serve/score_cache.h"
+#include "serve/tenant.h"
 
 namespace {
 
@@ -164,6 +178,100 @@ DeadlineReplay ReplayWithDeadlines(const serve::ServingEngine& engine,
   return out;
 }
 
+// --- Multi-tenant saturation (DESIGN.md §14) ---------------------------
+
+// One hosted city: its trained model lives in the registry; the bench
+// keeps the pre-built request stream.
+struct TenantWorkload {
+  std::string name;
+  std::vector<serve::RankRequest> requests;  // length divisible by batch
+};
+
+struct SaturationPoint {
+  int threads = 0;
+  uint64_t queries = 0;
+  double qps = 0.0;
+  double p99_ms = 0.0;
+};
+
+// N closed-loop driver threads, each pinning every tenant once and
+// round-robining batched spans across them. Per-query latency is the
+// batch wall time divided across its span (the driver observes batches,
+// not requests). Every response must be OK: the tenants are healthy and
+// nothing sheds by construction.
+SaturationPoint RunSaturationPoint(serve::TenantRegistry& registry,
+                                   const std::vector<TenantWorkload>& tenants,
+                                   int threads, uint64_t total_queries,
+                                   int batch) {
+  SaturationPoint point;
+  point.threads = threads;
+  const uint64_t per_thread =
+      (total_queries / (static_cast<uint64_t>(threads) *
+                        static_cast<uint64_t>(batch))) *
+      static_cast<uint64_t>(batch);
+  point.queries = per_thread * static_cast<uint64_t>(threads);
+
+  std::vector<std::vector<double>> latencies(threads);
+  std::atomic<uint64_t> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    drivers.emplace_back([&, t] {
+      std::vector<serve::TenantRegistry::TenantPtr> pins;
+      pins.reserve(tenants.size());
+      for (const TenantWorkload& tenant : tenants) {
+        pins.push_back(registry.Get(tenant.name).value());
+      }
+      std::vector<double>& out = latencies[t];
+      out.reserve(per_thread);
+      // Decorrelated start offsets so threads do not march in lockstep
+      // over the same keys.
+      std::vector<size_t> offsets(tenants.size());
+      for (size_t i = 0; i < offsets.size(); ++i) {
+        offsets[i] = (static_cast<size_t>(t) * 977 * batch) %
+                     tenants[i].requests.size();
+      }
+      size_t which = static_cast<size_t>(t) % tenants.size();
+      for (uint64_t issued = 0; issued < per_thread;
+           issued += static_cast<uint64_t>(batch)) {
+        const TenantWorkload& tenant = tenants[which];
+        size_t& offset = offsets[which];
+        const std::span<const serve::RankRequest> span(
+            tenant.requests.data() + offset, static_cast<size_t>(batch));
+        const auto batch_start = std::chrono::steady_clock::now();
+        const auto responses = pins[which]->engine->RankSitesBatch(span);
+        const double batch_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count();
+        for (const auto& response : responses) {
+          if (!response.ok()) failures.fetch_add(1);
+        }
+        const double per_query_ms = batch_ms / static_cast<double>(batch);
+        for (int j = 0; j < batch; ++j) out.push_back(per_query_ms);
+        offset = (offset + static_cast<size_t>(batch)) %
+                 tenant.requests.size();
+        which = (which + 1) % tenants.size();
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  O2SR_CHECK(failures.load() == 0);
+
+  std::vector<double> merged;
+  merged.reserve(point.queries);
+  for (std::vector<double>& per_thread_ms : latencies) {
+    merged.insert(merged.end(), per_thread_ms.begin(), per_thread_ms.end());
+  }
+  point.qps = static_cast<double>(point.queries) / std::max(seconds, 1e-9);
+  point.p99_ms = QuantileOf(std::move(merged), 0.99);
+  return point;
+}
+
 }  // namespace
 
 int main() {
@@ -277,6 +385,82 @@ int main() {
   report.AddValue("slo_breached", slo.breached ? 1.0 : 0.0);
   report.AddValue("slo_window_p99_ms", slo.p99_ms);
 
+  // --- Multi-tenant saturation curve (DESIGN.md §14) -------------------
+  // Four cities, each trained on its own drifted world seed, hosted in one
+  // registry; {1, 2, 4} closed-loop driver threads round-robin batched
+  // requests across them.
+  constexpr int kTenants = 4;
+  const int batch = serve::ServingEngine::BatchSizeFromEnv(16);
+  const uint64_t base_queries =
+      scale == bench::Scale::kSmall ? 6000 : 150000;
+
+  serve::TenantRegistry tenant_registry;
+  std::vector<TenantWorkload> tenants;
+  for (int i = 0; i < kTenants; ++i) {
+    sim::SimConfig city = bench::SweepConfig();
+    city.seed = 101 + static_cast<uint64_t>(i) * 17;  // four distinct cities
+    bench::PreparedData city_data(city, /*split_seed=*/3);
+
+    core::O2SiteRecConfig city_cfg;
+    city_cfg.rec.embedding_dim = 16;
+    city_cfg.epochs = scale == bench::Scale::kSmall ? 2 : 3;
+    city_cfg.seed = 7 + static_cast<uint64_t>(i);
+    auto city_model = std::make_unique<core::O2SiteRecRecommender>(city_cfg);
+    O2SR_CHECK_OK(city_model->Train(bench::MakeTrainContext(city_data)));
+
+    std::vector<int> city_regions;
+    for (int r = 0; r < city_data.data.num_regions(); ++r) {
+      if (city_model->CanScoreRegion(r)) city_regions.push_back(r);
+    }
+    O2SR_CHECK(!city_regions.empty());
+
+    TenantWorkload workload;
+    workload.name = "city" + std::to_string(i);
+    Rng city_rng(900 + static_cast<uint64_t>(i));
+    const int stream_len = batch * 256;
+    for (const Query& q :
+         MakeQueryStream(stream_len, candidates_per_query, city_regions,
+                         city_data.data.num_types(), city_rng)) {
+      serve::RankRequest request;
+      request.type = q.type;
+      request.candidates = q.candidates;
+      request.k = k;
+      workload.requests.push_back(std::move(request));
+    }
+
+    serve::ServingOptions city_options;
+    city_options.num_shards = 4;  // one front-end shard per driver thread
+    city_options.prior = serve::BuildPopularityPrior(
+        city_data.data.num_types(), city_data.split.train);
+    O2SR_CHECK_OK(tenant_registry.Register(
+        workload.name, std::move(city_model), city_options));
+    tenants.push_back(std::move(workload));
+  }
+
+  // Short warm pass so every point measures the steady (cached) state.
+  (void)RunSaturationPoint(tenant_registry, tenants, 1,
+                           static_cast<uint64_t>(batch) * kTenants * 8,
+                           batch);
+
+  std::vector<SaturationPoint> curve;
+  uint64_t mt_total = 0;
+  for (const int threads : {1, 2, 4}) {
+    curve.push_back(RunSaturationPoint(
+        tenant_registry, tenants, threads,
+        base_queries * static_cast<uint64_t>(threads), batch));
+    mt_total += curve.back().queries;
+    report.AddValue("mt_queries_t" + std::to_string(threads),
+                    static_cast<double>(curve.back().queries));
+    report.AddValue("mt_qps_t" + std::to_string(threads), curve.back().qps);
+    report.AddValue("mt_p99_ms_t" + std::to_string(threads),
+                    curve.back().p99_ms);
+  }
+  const double mt_speedup = curve.back().qps / std::max(curve[0].qps, 1e-9);
+  report.AddValue("mt_tenants", static_cast<double>(kTenants));
+  report.AddValue("mt_batch", static_cast<double>(batch));
+  report.AddValue("mt_total_queries", static_cast<double>(mt_total));
+  report.AddValue("mt_speedup_t4", mt_speedup);
+
   std::printf(
       "\n  queries            %d (x2 passes, %d candidates each, k=%d)\n"
       "  qps cold / warm    %.0f / %.0f (%.1fx)\n"
@@ -292,5 +476,14 @@ int main() {
       dl.p99_ms, dl.shed_rate, dl.degraded_rate, slo.config.slo_ms,
       slo.config.target, slo.bad_fraction, slo.burn_rate,
       slo.breached ? "yes" : "no");
+  std::printf("  multi-tenant       %d tenants, batch %d, %llu queries total\n",
+              kTenants, batch,
+              static_cast<unsigned long long>(mt_total));
+  for (const SaturationPoint& point : curve) {
+    std::printf("    threads=%d        qps %.0f, p99 %.3f ms (%llu queries)\n",
+                point.threads, point.qps, point.p99_ms,
+                static_cast<unsigned long long>(point.queries));
+  }
+  std::printf("  mt speedup t4/t1   %.2fx\n", mt_speedup);
   return 0;
 }

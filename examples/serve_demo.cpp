@@ -1,8 +1,9 @@
 // Train once, serve many: the offline-train / online-serve split.
 //
-//   ./build/examples/serve_demo train /tmp/model.snap   # train + export
-//   ./build/examples/serve_demo serve /tmp/model.snap   # load + rank
-//   ./build/examples/serve_demo chaos /tmp/model.snap   # resilience drill
+//   ./build/examples/serve_demo train /tmp/model.snap     # train + export
+//   ./build/examples/serve_demo serve /tmp/model.snap     # load + rank
+//   ./build/examples/serve_demo chaos /tmp/model.snap     # resilience drill
+//   ./build/examples/serve_demo tenants /tmp/model.snap   # multi-tenant drill
 //
 // `train` trains O2-SiteRec on a small synthetic city, exports a model
 // snapshot, and prints ranked recommendations straight from the trained
@@ -21,11 +22,24 @@
 // 0 only when no response carried a wrong-epoch tag or a wrong fresh
 // score, the corrupt snapshot was quarantined, and degraded tiers
 // actually served; the summary line is machine-checked by ci.sh.
+//
+// `tenants` is the multi-tenant concurrency drill (DESIGN.md §14): four
+// city tenants restored from the same snapshot are hosted in one
+// TenantRegistry while four driver threads round-robin batched requests
+// (RankSitesBatch) across them and a storm thread hot-swaps one victim
+// tenant repeatedly. It exits 0 only when every response succeeded, every
+// swap promoted, the victim's epoch advanced by exactly the number of
+// swaps while the bystanders stayed at epoch 1, and each engine's
+// per-shard counters sum to its globals; the summary line is
+// machine-checked by ci.sh.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -36,6 +50,7 @@
 #include "obs/log.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
+#include "serve/tenant.h"
 #include "sim/dataset.h"
 
 namespace {
@@ -347,6 +362,149 @@ int Chaos(const std::string& snapshot_path) {
   return ok ? 0 : 1;
 }
 
+// True when the engine's per-shard counter blocks sum to its global
+// relaxed counters — the invariant every concurrent test holds the
+// sharded front end to.
+bool ShardSumsMatch(const serve::ServingEngine& engine) {
+  uint64_t requests = 0, shed = 0, pairs = 0, degraded = 0;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    const serve::EngineShardStats stats = engine.ShardStats(s);
+    requests += stats.requests;
+    shed += stats.shed;
+    pairs += stats.pairs_scored;
+    degraded += stats.degraded_responses;
+  }
+  return requests == engine.requests_count() &&
+         shed == engine.shed_count() &&
+         pairs == engine.pairs_scored_count() &&
+         degraded == engine.degraded_count();
+}
+
+int Tenants(const std::string& snapshot_path) {
+  const sim::Dataset data = sim::GenerateDataset(WorldConfig());
+  const core::InteractionList interactions = eval::BuildInteractions(data);
+  const eval::Split split =
+      eval::SplitInteractions(data, interactions, {0.8, 1});
+  core::TrainContext ctx;
+  ctx.data = &data;
+  ctx.visible_orders = &split.train_orders;
+  ctx.train = &split.train;
+
+  // Every tenant (and every staged swap) restores the same snapshot: the
+  // drill is about isolation of the serving layer, not model diversity.
+  const auto MakeRestored = [&] {
+    auto model = std::make_unique<core::O2SiteRecRecommender>(ModelConfig());
+    O2SR_CHECK_OK(model->PrepareServing(ctx));
+    const serve::Snapshot snapshot =
+        serve::LoadSnapshot(snapshot_path).value();
+    O2SR_CHECK_OK(serve::RestoreModel(snapshot, *model, ConfigHash()));
+    return model;
+  };
+
+  constexpr int kTenants = 4;
+  constexpr int kDrivers = 4;
+  constexpr int kSwaps = 6;
+  const int batch = serve::ServingEngine::BatchSizeFromEnv(8);
+
+  serve::TenantRegistry registry;
+  for (int i = 0; i < kTenants; ++i) {
+    serve::ServingOptions options;
+    options.cache_capacity = 4096;
+    options.num_shards = kDrivers;
+    options.prior =
+        serve::BuildPopularityPrior(data.num_types(), interactions);
+    O2SR_CHECK_OK(registry.Register("city" + std::to_string(i),
+                                    MakeRestored(), options));
+  }
+
+  std::vector<int> candidates(data.num_regions());
+  for (int r = 0; r < data.num_regions(); ++r) candidates[r] = r;
+
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<bool> storm_done{false};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int t = 0; t < kDrivers; ++t) {
+    drivers.emplace_back([&, t] {
+      std::vector<serve::TenantRegistry::TenantPtr> pins;
+      for (int i = 0; i < kTenants; ++i) {
+        pins.push_back(registry.Get("city" + std::to_string(i)).value());
+      }
+      size_t which = static_cast<size_t>(t) % pins.size();
+      // Keep serving until the swap storm finishes so every epoch sees
+      // concurrent traffic.
+      for (int iter = 0; iter < 50 || !storm_done.load(); ++iter) {
+        std::vector<serve::RankRequest> requests(
+            static_cast<size_t>(batch));
+        for (int j = 0; j < batch; ++j) {
+          requests[static_cast<size_t>(j)].type = (t + iter + j) % 3;
+          requests[static_cast<size_t>(j)].candidates = candidates;
+          requests[static_cast<size_t>(j)].k = 8;
+        }
+        for (const auto& response :
+             pins[which]->engine->RankSitesBatch(requests)) {
+          if (response.ok()) {
+            responses.fetch_add(1);
+          } else {
+            failures.fetch_add(1);
+          }
+        }
+        which = (which + 1) % pins.size();
+      }
+    });
+  }
+
+  // The storm: hot-swap pristine snapshot copies into the victim tenant
+  // while the drivers hammer every tenant.
+  int promoted = 0;
+  {
+    std::string bytes;
+    if (!ReadFileBytes(snapshot_path, &bytes)) return 1;
+    for (int swap = 0; swap < kSwaps; ++swap) {
+      const std::string copy_path =
+          snapshot_path + ".tenant_swap" + std::to_string(swap);
+      if (!WriteFileBytes(copy_path, bytes)) break;
+      const auto report =
+          registry.Swap("city0", copy_path, MakeRestored(), ConfigHash());
+      if (report.ok() && report->promoted) ++promoted;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    storm_done.store(true);
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  int victim_epoch = 0;
+  int bystanders_clean = 1;
+  int shard_sums_ok = 1;
+  int healthy = 1;
+  for (int i = 0; i < kTenants; ++i) {
+    const auto tenant = registry.Get("city" + std::to_string(i)).value();
+    if (i == 0) {
+      victim_epoch = static_cast<int>(tenant->engine->epoch());
+    } else if (tenant->engine->epoch() != 1) {
+      bystanders_clean = 0;
+    }
+    if (!ShardSumsMatch(*tenant->engine)) shard_sums_ok = 0;
+    if (tenant->engine->health() != serve::ServeHealth::kServing) {
+      healthy = 0;
+    }
+  }
+
+  std::printf(
+      "tenants: tenants=%zu responses=%llu failures=%llu batch=%d "
+      "swaps_promoted=%d victim_epoch=%d bystanders_clean=%d "
+      "shard_sums_ok=%d healthy=%d\n",
+      registry.size(), static_cast<unsigned long long>(responses.load()),
+      static_cast<unsigned long long>(failures.load()), batch, promoted,
+      victim_epoch, bystanders_clean, shard_sums_ok, healthy);
+  const bool ok = registry.size() == kTenants && failures.load() == 0 &&
+                  promoted == kSwaps && victim_epoch == 1 + kSwaps &&
+                  bystanders_clean == 1 && shard_sums_ok == 1 &&
+                  healthy == 1 && responses.load() > 0;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -362,7 +520,11 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "chaos") == 0) {
     return Chaos(argv[2]);
   }
-  std::fprintf(stderr, "usage: %s {train|serve|chaos} <snapshot-path>\n",
+  if (argc == 3 && std::strcmp(argv[1], "tenants") == 0) {
+    return Tenants(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: %s {train|serve|chaos|tenants} <snapshot-path>\n",
                argv[0]);
   return 2;
 }

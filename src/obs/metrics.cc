@@ -180,6 +180,18 @@ common::Status MetricsRegistry::WriteJson(const std::string& path) const {
   return common::Status::Ok();
 }
 
+std::string SanitizeMetricLabel(const std::string& label) {
+  if (label.empty()) return "unnamed";
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetForTest() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();

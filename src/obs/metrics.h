@@ -87,6 +87,13 @@ class Histogram {
 // roughly 1-2.5-5 per decade.
 const std::vector<double>& DefaultLatencyBucketsMs();
 
+// Makes an externally-supplied label (a tenant/city name, a file stem)
+// safe to embed in a dotted metric name: [A-Za-z0-9_-] pass through,
+// everything else becomes '_', and an empty input reads "unnamed". Keeps
+// DumpJson/DumpText keys printable and dot-structured regardless of what
+// callers name their tenants.
+std::string SanitizeMetricLabel(const std::string& label);
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();

@@ -333,6 +333,34 @@ common::Status ContinualPipeline::RunCanaryStage(
   return Status::Ok();
 }
 
+serve::ServingEngine* ContinualPipeline::LiveEngine() const {
+  if (tenant_ != nullptr) return tenant_->engine.get();
+  return engine_.get();
+}
+
+void ContinualPipeline::AdoptTenantIfRegistered() {
+  if (!PublishesTenant() || tenant_ != nullptr) return;
+  auto tenant = options_.tenants->Get(options_.tenant_name);
+  if (tenant.ok()) tenant_ = std::move(*tenant);
+}
+
+common::Status ContinualPipeline::PublishServingModel(
+    std::unique_ptr<core::O2SiteRecRecommender> model,
+    serve::ServingOptions serving_options) {
+  if (PublishesTenant()) {
+    O2SR_RETURN_IF_ERROR(options_.tenants->Register(
+        options_.tenant_name, std::move(model), std::move(serving_options)));
+    O2SR_ASSIGN_OR_RETURN(tenant_,
+                          options_.tenants->Get(options_.tenant_name));
+    return Status::Ok();
+  }
+  serving_model_ = std::move(model);
+  O2SR_ASSIGN_OR_RETURN(
+      engine_,
+      serve::ServingEngine::Create(serving_model_.get(), serving_options));
+  return Status::Ok();
+}
+
 serve::ServingOptions ContinualPipeline::MakeServingOptions(int cycle) {
   serve::ServingOptions serving_options;
   serving_options.prior = serve::BuildPopularityPrior(
@@ -365,14 +393,16 @@ common::Status ContinualPipeline::RunSwapStage(PipelineJournalState* state) {
     O2SR_RETURN_IF_ERROR(RunCanaryStage(state));
   }
 
-  if (engine_ == nullptr) {
+  // A tenant some earlier pipeline (or Run) already registered is adopted
+  // and hot-swapped below, never re-registered.
+  AdoptTenantIfRegistered();
+  if (LiveEngine() == nullptr) {
     // First promotion of this process: the staged model itself becomes the
-    // serving model (there is nothing to hot-swap from yet).
-    serve::ServingOptions serving_options = MakeServingOptions(cycle);
-    serving_model_ = std::move(staged_);
-    O2SR_ASSIGN_OR_RETURN(
-        engine_,
-        serve::ServingEngine::Create(serving_model_.get(), serving_options));
+    // serving model (there is nothing to hot-swap from yet). In tenant
+    // mode this registers the city in the shared registry instead of
+    // spinning up a private engine.
+    O2SR_RETURN_IF_ERROR(
+        PublishServingModel(std::move(staged_), MakeServingOptions(cycle)));
     state->active_snapshot = path;
     state->active_cycle = cycle;
     return Status::Ok();
@@ -391,7 +421,7 @@ common::Status ContinualPipeline::RunSwapStage(PipelineJournalState* state) {
         O2SR_ASSIGN_OR_RETURN(auto fresh_staged, BuildStaged(cycle));
         O2SR_ASSIGN_OR_RETURN(
             const serve::SwapReport swap,
-            engine_->SwapSnapshot(path, std::move(fresh_staged),
+            LiveEngine()->SwapSnapshot(path, std::move(fresh_staged),
                                   CycleConfigHash(cycle),
                                   {canaries_}));
         if (!swap.promoted) return swap.reject_reason;
@@ -429,7 +459,8 @@ common::Status ContinualPipeline::RunSwapStage(PipelineJournalState* state) {
 }
 
 common::Status ContinualPipeline::RunServeStage(PipelineJournalState* state) {
-  if (engine_ == nullptr) {
+  serve::ServingEngine* engine = LiveEngine();
+  if (engine == nullptr) {
     return common::FailedPreconditionError(
         "SERVE reached with no serving engine; no snapshot was ever "
         "promoted");
@@ -446,7 +477,7 @@ common::Status ContinualPipeline::RunServeStage(PipelineJournalState* state) {
     request.k = 5;
     request.candidates.reserve(num_regions);
     for (int r = 0; r < num_regions; ++r) request.candidates.push_back(r);
-    auto response = engine_->Rank(request);
+    auto response = engine->Rank(request);
     if (!response.ok()) {
       ++shed;
       continue;
@@ -469,7 +500,7 @@ common::Status ContinualPipeline::RunServeStage(PipelineJournalState* state) {
                " shed=" + std::to_string(shed);
   Emit(std::move(event));
 
-  const obs::SloSnapshot slo = engine_->slo().Snapshot();
+  const obs::SloSnapshot slo = engine->slo().Snapshot();
   obs::PipelineEvent slo_event;
   slo_event.kind = obs::PipelineEventKind::kSlo;
   slo_event.cycle = cycle;
@@ -548,9 +579,13 @@ common::StatusOr<PipelineReport> ContinualPipeline::Run() {
   report_.start_stage = state.stage;
   report_.start_cycle = state.cycle;
 
-  // Rehydrate the serving engine of a resumed supervisor.
+  // Rehydrate the serving engine of a resumed supervisor. An engine that
+  // is already live (a second Run() in one process, or a tenant already
+  // hosted in the shared registry — adopted, since it is serving the
+  // active snapshot) is left alone; re-registering would be refused.
+  AdoptTenantIfRegistered();
   if (report_.resumed && !state.active_snapshot.empty() &&
-      state.stage != PipelineStage::kDone) {
+      state.stage != PipelineStage::kDone && LiveEngine() == nullptr) {
     common::RetryStats stats;
     O2SR_RETURN_IF_ERROR(common::RunWithRetry(
         options_.retry, "rehydrate",
@@ -562,12 +597,8 @@ common::StatusOr<PipelineReport> ContinualPipeline::Run() {
           O2SR_RETURN_IF_ERROR(serve::RestoreModel(
               snap, *staged, CycleConfigHash(state.active_cycle)));
           O2SR_RETURN_IF_ERROR(staged->FinalizeServing());
-          serve::ServingOptions serving_options =
-              MakeServingOptions(state.active_cycle);
-          serving_model_ = std::move(staged);
-          O2SR_ASSIGN_OR_RETURN(engine_, serve::ServingEngine::Create(
-                                             serving_model_.get(),
-                                             serving_options));
+          O2SR_RETURN_IF_ERROR(PublishServingModel(
+              std::move(staged), MakeServingOptions(state.active_cycle)));
           return Status::Ok();
         },
         &stats));

@@ -12,6 +12,7 @@
 #include "obs/telemetry.h"
 #include "pipeline/journal.h"
 #include "serve/engine.h"
+#include "serve/tenant.h"
 #include "sim/config.h"
 #include "sim/drift.h"
 
@@ -66,6 +67,16 @@ struct PipelineOptions {
   // JSONL sink for pipeline events; empty disables.
   std::string event_log_path;
 
+  // Multi-tenant publishing: when `tenants` is set (borrowed; must outlive
+  // the pipeline) and `tenant_name` is non-empty, the pipeline publishes
+  // its serving model into the registry under that name instead of owning
+  // a private engine — first promotion registers the tenant, every later
+  // cycle hot-swaps it through TenantRegistry::Swap, and the SERVE stage
+  // queries the tenant's engine. Several pipelines (one per city) can then
+  // share one registry, which is exactly the O2O deployment shape.
+  serve::TenantRegistry* tenants = nullptr;
+  std::string tenant_name;
+
   // Test hook: stop cleanly after this many journal transitions in THIS
   // process (the journal is already written, so the next Run() resumes) —
   // a deterministic "kill at stage boundary". < 0 disables.
@@ -107,8 +118,9 @@ class ContinualPipeline {
   // preserving a file that cannot be trusted).
   common::StatusOr<PipelineReport> Run();
 
-  // The engine serving the active snapshot (null before the first SWAP).
-  const serve::ServingEngine* engine() const { return engine_.get(); }
+  // The engine serving the active snapshot (null before the first SWAP):
+  // the pipeline's own, or its tenant's when publishing into a registry.
+  const serve::ServingEngine* engine() const { return LiveEngine(); }
 
   const PipelineOptions& options() const { return options_; }
 
@@ -138,6 +150,22 @@ class ContinualPipeline {
   // callback that turns engine health changes into kHealth events.
   serve::ServingOptions MakeServingOptions(int cycle);
 
+  // True when publishing into a tenant registry instead of a private engine.
+  bool PublishesTenant() const {
+    return options_.tenants != nullptr && !options_.tenant_name.empty();
+  }
+  // The live serving engine: the pinned tenant's, or the private engine_.
+  serve::ServingEngine* LiveEngine() const;
+  // Tenant mode: pins a tenant an earlier pipeline (or Run) already
+  // registered in the shared registry, so resume hot-swaps into the live
+  // engine instead of re-registering the name.
+  void AdoptTenantIfRegistered();
+  // Hands `model` to the serving side: registers the tenant or creates the
+  // private engine. Used by first promotion and by rehydration.
+  common::Status PublishServingModel(
+      std::unique_ptr<core::O2SiteRecRecommender> model,
+      serve::ServingOptions serving_options);
+
   void Emit(obs::PipelineEvent event);
   common::Status Transition(PipelineJournalState* state, PipelineStage next,
                             bool* stop);
@@ -157,6 +185,9 @@ class ContinualPipeline {
   std::vector<serve::CanaryQuery> canaries_;
   std::unique_ptr<core::O2SiteRecRecommender> serving_model_;  // engine's
   std::unique_ptr<serve::ServingEngine> engine_;
+  // Pin on the published tenant (tenant mode only): keeps the engine alive
+  // for this pipeline even if the tenant is concurrently removed.
+  serve::TenantRegistry::TenantPtr tenant_;
 };
 
 }  // namespace o2sr::pipeline

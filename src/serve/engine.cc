@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <unordered_set>
+#include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "common/fault.h"
@@ -25,6 +26,23 @@ obs::SloConfig ResolveSloConfig(const ServingOptions& options) {
     config.target = options.slo_target;
   }
   return config;
+}
+
+int ClampedIntFromEnv(const char* name, int fallback, int lo, int hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) return fallback;
+  return static_cast<int>(std::clamp<long>(value, lo, hi));
+}
+
+int ResolveNumShards(const ServingOptions& options) {
+  if (options.num_shards > 0) return std::min(options.num_shards, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = std::clamp<int>(hw == 0 ? 1 : static_cast<int>(hw),
+                                       1, 16);
+  return ServingEngine::ShardsFromEnv(fallback);
 }
 
 bool BetterRanked(const RankedSite& a, const RankedSite& b) {
@@ -57,22 +75,38 @@ bool IsContractError(common::StatusCode code) {
          code == common::StatusCode::kUnimplemented;
 }
 
-// Dedupe candidates and drop regions the model cannot score; the surviving
-// order is irrelevant (the result is fully ordered by score).
+// Dedupe candidates and drop regions the model cannot score, into
+// `scratch` buffers; the surviving order is irrelevant (the result is
+// fully ordered by score).
+void CollectScorablePairs(const core::SiteRecommender& model, int type,
+                          const std::vector<int>& candidates,
+                          std::unordered_set<int>* seen,
+                          core::InteractionList* pairs) {
+  seen->clear();
+  pairs->clear();
+  for (int region : candidates) {
+    if (!seen->insert(region).second) continue;
+    if (!model.CanScoreRegion(region)) continue;
+    core::Interaction it;
+    it.region = region;
+    it.type = type;
+    pairs->push_back(it);
+  }
+}
+
 core::InteractionList ScorablePairs(const core::SiteRecommender& model,
                                     int type,
                                     const std::vector<int>& candidates) {
   std::unordered_set<int> seen;
   core::InteractionList pairs;
-  for (int region : candidates) {
-    if (!seen.insert(region).second) continue;
-    if (!model.CanScoreRegion(region)) continue;
-    core::Interaction it;
-    it.region = region;
-    it.type = type;
-    pairs.push_back(it);
-  }
+  CollectScorablePairs(model, type, candidates, &seen, &pairs);
   return pairs;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -128,6 +162,14 @@ PopularityPrior BuildPopularityPrior(
   return prior;
 }
 
+int ServingEngine::ShardsFromEnv(int fallback) {
+  return ClampedIntFromEnv("O2SR_SERVE_SHARDS", fallback, 1, 64);
+}
+
+int ServingEngine::BatchSizeFromEnv(int fallback) {
+  return ClampedIntFromEnv("O2SR_SERVE_BATCH", fallback, 1, 4096);
+}
+
 ServingEngine::ServingEngine(core::SiteRecommender* model,
                              const ServingOptions& options)
     : options_(options),
@@ -138,30 +180,44 @@ ServingEngine::ServingEngine(core::SiteRecommender* model,
           options.default_deadline_ms < 0
               ? Deadline::DefaultBudgetMsFromEnv(0.0)
               : options.default_deadline_ms),
-      requests_(obs::MetricsRegistry::Global().GetCounter("serve.requests")),
-      pairs_scored_(
-          obs::MetricsRegistry::Global().GetCounter("serve.pairs_scored")),
-      shed_(obs::MetricsRegistry::Global().GetCounter("serve.shed")),
+      slo_(ResolveSloConfig(options), options.metrics_prefix + ".slo"),
+      requests_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".requests")),
+      batches_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".batches")),
+      pairs_scored_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".pairs_scored")),
+      shed_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".shed")),
       degraded_responses_(obs::MetricsRegistry::Global().GetCounter(
-          "serve.degraded_responses")),
+          options.metrics_prefix + ".degraded_responses")),
       stale_pairs_(obs::MetricsRegistry::Global().GetCounter(
-          "serve.fallback.stale_pairs")),
+          options.metrics_prefix + ".fallback.stale_pairs")),
       prior_pairs_(obs::MetricsRegistry::Global().GetCounter(
-          "serve.fallback.prior_pairs")),
-      swaps_(obs::MetricsRegistry::Global().GetCounter("serve.swaps")),
-      swap_rejects_(
-          obs::MetricsRegistry::Global().GetCounter("serve.swap_rejects")),
-      health_gauge_(
-          obs::MetricsRegistry::Global().GetGauge("serve.health_state")),
-      epoch_gauge_(obs::MetricsRegistry::Global().GetGauge("serve.epoch")),
-      slo_(ResolveSloConfig(options), "serve.slo"),
+          options.metrics_prefix + ".fallback.prior_pairs")),
+      swaps_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".swaps")),
+      swap_rejects_(obs::MetricsRegistry::Global().GetCounter(
+          options.metrics_prefix + ".swap_rejects")),
+      health_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          options.metrics_prefix + ".health_state")),
+      epoch_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          options.metrics_prefix + ".epoch")),
       latency_ms_(obs::MetricsRegistry::Global().GetHistogram(
-          "serve.rank_latency_ms", obs::DefaultLatencyBucketsMs())) {
+          options.metrics_prefix + ".rank_latency_ms",
+          obs::DefaultLatencyBucketsMs())) {
   const int64_t capacity =
       options.cache_capacity < 0
           ? ScoreCache::CapacityFromEnv(kDefaultCacheCapacity)
           : options.cache_capacity;
-  cache_ = std::make_unique<ScoreCache>(capacity, options.cache_shards);
+  const int num_shards = ResolveNumShards(options);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<EngineShard>();
+    shard->cache = std::make_unique<ScoreCache>(
+        capacity, options.cache_shards, options.metrics_prefix + ".cache");
+    shards_.push_back(std::move(shard));
+  }
   auto active = std::make_shared<Active>();
   active->model = model;
   active->epoch = 1;
@@ -186,6 +242,14 @@ common::StatusOr<std::unique_ptr<ServingEngine>> ServingEngine::Create(
   return std::unique_ptr<ServingEngine>(new ServingEngine(model, options));
 }
 
+ServingEngine::EngineShard& ServingEngine::ShardForThisThread() const {
+  // A thread's id is stable for its lifetime, so every request from one
+  // driver thread lands on one shard: single-threaded runs are fully
+  // deterministic and a thread-per-core fleet spreads across shards.
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *shards_[h % shards_.size()];
+}
+
 std::shared_ptr<const ServingEngine::Active> ServingEngine::CurrentActive()
     const {
   std::lock_guard<std::mutex> lock(active_mutex_);
@@ -203,6 +267,46 @@ ServeHealth ServingEngine::health() const {
   return health_;
 }
 
+EngineShardStats ServingEngine::ShardStats(int shard) const {
+  EngineShardStats s;
+  if (shard < 0 || shard >= num_shards()) return s;
+  const EngineShard& es = *shards_[static_cast<size_t>(shard)];
+  s.requests = es.counters.requests.load(std::memory_order_relaxed);
+  s.batches = es.counters.batches.load(std::memory_order_relaxed);
+  s.shed = es.counters.shed.load(std::memory_order_relaxed);
+  s.pairs_scored = es.counters.pairs_scored.load(std::memory_order_relaxed);
+  s.degraded_responses =
+      es.counters.degraded.load(std::memory_order_relaxed);
+  s.stale_pairs = es.counters.stale_pairs.load(std::memory_order_relaxed);
+  s.prior_pairs = es.counters.prior_pairs.load(std::memory_order_relaxed);
+  s.cache = es.cache->stats();
+  return s;
+}
+
+EngineShardStats ServingEngine::TotalShardStats() const {
+  EngineShardStats total;
+  for (int i = 0; i < num_shards(); ++i) {
+    const EngineShardStats s = ShardStats(i);
+    total.requests += s.requests;
+    total.batches += s.batches;
+    total.shed += s.shed;
+    total.pairs_scored += s.pairs_scored;
+    total.degraded_responses += s.degraded_responses;
+    total.stale_pairs += s.stale_pairs;
+    total.prior_pairs += s.prior_pairs;
+    total.cache.hits += s.cache.hits;
+    total.cache.misses += s.cache.misses;
+    total.cache.stale_hits += s.cache.stale_hits;
+    total.cache.evictions += s.cache.evictions;
+    total.cache.insertions += s.cache.insertions;
+  }
+  return total;
+}
+
+ScoreCache::Stats ServingEngine::CacheStats() const {
+  return TotalShardStats().cache;
+}
+
 void ServingEngine::EnterLameDuck() {
   ServeHealth from;
   {
@@ -210,6 +314,8 @@ void ServingEngine::EnterLameDuck() {
     if (health_ == ServeHealth::kLameDuck) return;
     from = health_;
     health_ = ServeHealth::kLameDuck;
+    health_relaxed_.store(static_cast<int>(ServeHealth::kLameDuck),
+                          std::memory_order_relaxed);
     health_gauge_->Set(static_cast<double>(ServeHealth::kLameDuck));
   }
   O2SR_LOG(INFO) << "serving engine entering LAME_DUCK: new requests are "
@@ -218,6 +324,15 @@ void ServingEngine::EnterLameDuck() {
 }
 
 void ServingEngine::RecordOutcome(ServeTier tier) const {
+  // Fast path: a fresh response while SERVING changes nothing — skip the
+  // health lock entirely, so the steady-state hot path stays lock-free
+  // here. The relaxed read may trail a racing transition by one response;
+  // the slow path below re-reads under the lock before acting.
+  if (tier == ServeTier::kFresh &&
+      health_relaxed_.load(std::memory_order_relaxed) ==
+          static_cast<int>(ServeHealth::kServing)) {
+    return;
+  }
   ServeHealth from = ServeHealth::kServing;
   ServeHealth to = ServeHealth::kServing;
   bool changed = false;
@@ -226,9 +341,12 @@ void ServingEngine::RecordOutcome(ServeTier tier) const {
     if (health_ == ServeHealth::kLameDuck) return;  // terminal
     if (tier != ServeTier::kFresh) {
       degraded_responses_->Increment();
+      degraded_total_.fetch_add(1, std::memory_order_relaxed);
       fresh_streak_ = 0;
       if (health_ == ServeHealth::kServing) {
         health_ = ServeHealth::kDegraded;
+        health_relaxed_.store(static_cast<int>(ServeHealth::kDegraded),
+                              std::memory_order_relaxed);
         health_gauge_->Set(static_cast<double>(ServeHealth::kDegraded));
         O2SR_LOG(WARNING) << "serving health SERVING -> DEGRADED (served a "
                           << ServeTierName(tier) << "-tier response)";
@@ -240,6 +358,8 @@ void ServingEngine::RecordOutcome(ServeTier tier) const {
       if (++fresh_streak_ >= options_.health_recovery_streak) {
         health_ = ServeHealth::kServing;
         fresh_streak_ = 0;
+        health_relaxed_.store(static_cast<int>(ServeHealth::kServing),
+                              std::memory_order_relaxed);
         health_gauge_->Set(static_cast<double>(ServeHealth::kServing));
         O2SR_LOG(INFO) << "serving health DEGRADED -> SERVING ("
                        << options_.health_recovery_streak
@@ -259,9 +379,11 @@ void ServingEngine::NotifyHealthChange(ServeHealth from,
 }
 
 common::StatusOr<RankResponse> ServingEngine::ShedRequest(
-    const char* reason, double latency_ms, bool deadline_miss) const {
+    EngineShard& shard, const char* reason, double latency_ms,
+    bool deadline_miss) const {
   shed_->Increment();
   shed_total_.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.shed.fetch_add(1, std::memory_order_relaxed);
   obs::SloOutcome outcome;
   outcome.latency_ms = latency_ms;
   outcome.shed = true;
@@ -272,15 +394,17 @@ common::StatusOr<RankResponse> ServingEngine::ShedRequest(
 }
 
 common::StatusOr<std::vector<double>> ServingEngine::ScoreFresh(
-    const Active& active, const core::InteractionList& pairs) const {
+    EngineShard& shard, const Active& active,
+    const core::InteractionList& pairs) const {
+  ScoreCache& cache = *shard.cache;
   std::vector<double> out(pairs.size(), 0.0);
   // Cache pass: collect the misses, preserving query order.
   core::InteractionList misses;
   std::vector<size_t> miss_slots;
   for (size_t i = 0; i < pairs.size(); ++i) {
     double cached = 0.0;
-    if (cache_->Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
-                       active.epoch, &cached)) {
+    if (cache.Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
+                     active.epoch, &cached)) {
       out[i] = cached;
     } else {
       misses.push_back(pairs[i]);
@@ -297,10 +421,13 @@ common::StatusOr<std::vector<double>> ServingEngine::ScoreFresh(
     O2SR_ASSIGN_OR_RETURN(const std::vector<double> scores,
                           active.model->ServingPredict(misses));
     pairs_scored_->Increment(misses.size());
+    pairs_scored_total_.fetch_add(misses.size(), std::memory_order_relaxed);
+    shard.counters.pairs_scored.fetch_add(misses.size(),
+                                          std::memory_order_relaxed);
     for (size_t j = 0; j < misses.size(); ++j) {
       out[miss_slots[j]] = scores[j];
-      cache_->Insert(ScoreCache::Key(misses[j].type, misses[j].region),
-                     active.epoch, scores[j]);
+      cache.Insert(ScoreCache::Key(misses[j].type, misses[j].region),
+                   active.epoch, scores[j]);
     }
   }
   return out;
@@ -308,23 +435,27 @@ common::StatusOr<std::vector<double>> ServingEngine::ScoreFresh(
 
 common::StatusOr<std::vector<double>> ServingEngine::Score(
     const core::InteractionList& pairs) const {
-  return ScoreFresh(*CurrentActive(), pairs);
+  return ScoreFresh(ShardForThisThread(), *CurrentActive(), pairs);
 }
 
-common::Status ServingEngine::ScoreLadder(const Active& active,
+common::Status ServingEngine::ScoreLadder(EngineShard& shard,
+                                          const Active& active,
                                           const core::InteractionList& pairs,
                                           const Deadline& deadline,
-                                          std::vector<double>* scores,
+                                          Scratch* scratch,
                                           ServeTier* tier) const {
-  scores->assign(pairs.size(), 0.0);
+  ScoreCache& cache = *shard.cache;
+  scratch->scores.assign(pairs.size(), 0.0);
   *tier = ServeTier::kFresh;
-  core::InteractionList misses;
-  std::vector<size_t> miss_slots;
+  core::InteractionList& misses = scratch->misses;
+  std::vector<size_t>& miss_slots = scratch->miss_slots;
+  misses.clear();
+  miss_slots.clear();
   for (size_t i = 0; i < pairs.size(); ++i) {
     double cached = 0.0;
-    if (cache_->Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
-                       active.epoch, &cached)) {
-      (*scores)[i] = cached;
+    if (cache.Lookup(ScoreCache::Key(pairs[i].type, pairs[i].region),
+                     active.epoch, &cached)) {
+      scratch->scores[i] = cached;
     } else {
       misses.push_back(pairs[i]);
       miss_slots.push_back(i);
@@ -356,10 +487,14 @@ common::Status ServingEngine::ScoreLadder(const Active& active,
     auto scored = active.model->ServingPredict(misses);
     if (scored.ok()) {
       pairs_scored_->Increment(misses.size());
+      pairs_scored_total_.fetch_add(misses.size(),
+                                    std::memory_order_relaxed);
+      shard.counters.pairs_scored.fetch_add(misses.size(),
+                                            std::memory_order_relaxed);
       for (size_t j = 0; j < misses.size(); ++j) {
-        (*scores)[miss_slots[j]] = (*scored)[j];
-        cache_->Insert(ScoreCache::Key(misses[j].type, misses[j].region),
-                       active.epoch, (*scored)[j]);
+        scratch->scores[miss_slots[j]] = (*scored)[j];
+        cache.Insert(ScoreCache::Key(misses[j].type, misses[j].region),
+                     active.epoch, (*scored)[j]);
       }
       return common::Status::Ok();
     }
@@ -373,12 +508,12 @@ common::Status ServingEngine::ScoreLadder(const Active& active,
   for (size_t j = 0; j < misses.size(); ++j) {
     const core::Interaction& it = misses[j];
     double value = 0.0;
-    if (cache_->LookupStale(ScoreCache::Key(it.type, it.region), &value)) {
-      (*scores)[miss_slots[j]] = value;
+    if (cache.LookupStale(ScoreCache::Key(it.type, it.region), &value)) {
+      scratch->scores[miss_slots[j]] = value;
       ++stale_served;
       *tier = std::max(*tier, ServeTier::kStaleCache);
     } else if (options_.prior.Score(it.type, it.region, &value)) {
-      (*scores)[miss_slots[j]] = value;
+      scratch->scores[miss_slots[j]] = value;
       ++prior_served;
       *tier = ServeTier::kPrior;
     } else {
@@ -387,68 +522,55 @@ common::Status ServingEngine::ScoreLadder(const Active& active,
           std::to_string(it.region) + ") exhausted the fallback ladder");
     }
   }
-  if (stale_served > 0) stale_pairs_->Increment(stale_served);
-  if (prior_served > 0) prior_pairs_->Increment(prior_served);
+  if (stale_served > 0) {
+    stale_pairs_->Increment(stale_served);
+    shard.counters.stale_pairs.fetch_add(stale_served,
+                                         std::memory_order_relaxed);
+  }
+  if (prior_served > 0) {
+    prior_pairs_->Increment(prior_served);
+    shard.counters.prior_pairs.fetch_add(prior_served,
+                                         std::memory_order_relaxed);
+  }
   return common::Status::Ok();
 }
 
-common::StatusOr<RankResponse> ServingEngine::Rank(
-    const RankRequest& request) const {
-  const auto start = std::chrono::steady_clock::now();
-  const auto elapsed_ms = [&start] {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-  };
-  requests_->Increment();
-  if (request.k < 0) {
-    return common::InvalidArgumentError("Rank: k must be >= 0, got " +
-                                        std::to_string(request.k));
-  }
-  {
-    std::lock_guard<std::mutex> lock(health_mutex_);
-    if (health_ == ServeHealth::kLameDuck) {
-      return ShedRequest("engine is in LAME_DUCK", elapsed_ms(),
-                         /*deadline_miss=*/false);
-    }
-  }
-  AdmissionController::Ticket ticket(admission_);
-  if (!ticket.admitted()) {
-    return ShedRequest("admission queue past its high-water mark",
-                       elapsed_ms(), /*deadline_miss=*/false);
-  }
+common::StatusOr<RankResponse> ServingEngine::RankAdmitted(
+    EngineShard& shard, const Active& active, const RankRequest& request,
+    Scratch* scratch, std::chrono::steady_clock::time_point start) const {
   Deadline deadline = request.deadline;
   if (deadline.infinite() && default_deadline_ms_ > 0.0) {
     deadline = Deadline::AfterMs(default_deadline_ms_);
   }
   if (deadline.expired()) {
-    return ShedRequest("deadline expired before admission", elapsed_ms(),
-                       /*deadline_miss=*/true);
+    return ShedRequest(shard, "deadline expired before admission",
+                       ElapsedMs(start), /*deadline_miss=*/true);
   }
 
-  const std::shared_ptr<const Active> active = CurrentActive();
-  const core::InteractionList pairs =
-      ScorablePairs(*active->model, request.type, request.candidates);
+  CollectScorablePairs(*active.model, request.type, request.candidates,
+                       &scratch->seen, &scratch->pairs);
 
   RankResponse response;
-  response.epoch = active->epoch;
-  std::vector<double> scores;
-  const common::Status ladder =
-      ScoreLadder(*active, pairs, deadline, &scores, &response.tier);
+  response.epoch = active.epoch;
+  const common::Status ladder = ScoreLadder(
+      shard, active, scratch->pairs, deadline, scratch, &response.tier);
   if (!ladder.ok()) {
     // The client got no ranking: in SLO terms this counts like a shed
     // request (and a deadline miss when the budget ran out mid-flight).
     obs::SloOutcome outcome;
-    outcome.latency_ms = elapsed_ms();
+    outcome.latency_ms = ElapsedMs(start);
     outcome.shed = true;
     outcome.deadline_miss = deadline.expired();
     slo_.Record(outcome);
     return ladder;
   }
-  response.sites = RankFromScores(pairs, scores, request.k);
+  response.sites = RankFromScores(scratch->pairs, scratch->scores, request.k);
+  if (response.tier != ServeTier::kFresh) {
+    shard.counters.degraded.fetch_add(1, std::memory_order_relaxed);
+  }
   RecordOutcome(response.tier);
 
-  const double latency = elapsed_ms();
+  const double latency = ElapsedMs(start);
   latency_ms_->Observe(latency);
   obs::SloOutcome outcome;
   outcome.latency_ms = latency;
@@ -456,6 +578,80 @@ common::StatusOr<RankResponse> ServingEngine::Rank(
   outcome.degraded = response.tier != ServeTier::kFresh;
   slo_.Record(outcome);
   return response;
+}
+
+common::StatusOr<RankResponse> ServingEngine::Rank(
+    const RankRequest& request) const {
+  const auto start = std::chrono::steady_clock::now();
+  EngineShard& shard = ShardForThisThread();
+  requests_->Increment();
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.requests.fetch_add(1, std::memory_order_relaxed);
+  if (request.k < 0) {
+    return common::InvalidArgumentError("Rank: k must be >= 0, got " +
+                                        std::to_string(request.k));
+  }
+  if (health_relaxed_.load(std::memory_order_relaxed) ==
+      static_cast<int>(ServeHealth::kLameDuck)) {
+    return ShedRequest(shard, "engine is in LAME_DUCK", ElapsedMs(start),
+                       /*deadline_miss=*/false);
+  }
+  AdmissionController::Ticket ticket(admission_);
+  if (!ticket.admitted()) {
+    return ShedRequest(shard, "admission queue past its high-water mark",
+                       ElapsedMs(start), /*deadline_miss=*/false);
+  }
+  const std::shared_ptr<const Active> active = CurrentActive();
+  Scratch scratch;
+  return RankAdmitted(shard, *active, request, &scratch, start);
+}
+
+std::vector<common::StatusOr<RankResponse>> ServingEngine::RankSitesBatch(
+    std::span<const RankRequest> requests) const {
+  std::vector<common::StatusOr<RankResponse>> out;
+  out.reserve(requests.size());
+  if (requests.empty()) return out;
+
+  EngineShard& shard = ShardForThisThread();
+  batches_->Increment();
+  shard.counters.batches.fetch_add(1, std::memory_order_relaxed);
+  // One admission slot covers the whole batch: a closed-loop driver
+  // thread is one unit of concurrent load regardless of how many requests
+  // it packed together.
+  AdmissionController::Ticket ticket(admission_);
+  // One model pin and one pool scope amortized across the span; every
+  // request still performs its own deadline/SLO/tier accounting so the
+  // responses are bit-identical to the serial loop.
+  const std::shared_ptr<const Active> active = CurrentActive();
+  exec::PoolScope pool_scope(options_.pool != nullptr ? options_.pool
+                                                      : &exec::CurrentPool());
+  Scratch scratch;
+  for (const RankRequest& request : requests) {
+    const auto start = std::chrono::steady_clock::now();
+    requests_->Increment();
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    shard.counters.requests.fetch_add(1, std::memory_order_relaxed);
+    if (request.k < 0) {
+      out.emplace_back(common::InvalidArgumentError(
+          "Rank: k must be >= 0, got " + std::to_string(request.k)));
+      continue;
+    }
+    if (health_relaxed_.load(std::memory_order_relaxed) ==
+        static_cast<int>(ServeHealth::kLameDuck)) {
+      out.emplace_back(ShedRequest(shard, "engine is in LAME_DUCK",
+                                   ElapsedMs(start),
+                                   /*deadline_miss=*/false));
+      continue;
+    }
+    if (!ticket.admitted()) {
+      out.emplace_back(
+          ShedRequest(shard, "admission queue past its high-water mark",
+                      ElapsedMs(start), /*deadline_miss=*/false));
+      continue;
+    }
+    out.emplace_back(RankAdmitted(shard, *active, request, &scratch, start));
+  }
+  return out;
 }
 
 common::StatusOr<std::vector<RankedSite>> ServingEngine::RankSites(

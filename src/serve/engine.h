@@ -2,12 +2,15 @@
 #define O2SR_SERVE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -37,8 +40,8 @@ enum class ServeTier {
 };
 const char* ServeTierName(ServeTier tier);
 
-// Serving health state machine, exported as the "serve.health_state" gauge
-// (0 = SERVING, 1 = DEGRADED, 2 = LAME_DUCK).
+// Serving health state machine, exported as the "<prefix>.health_state"
+// gauge (0 = SERVING, 1 = DEGRADED, 2 = LAME_DUCK).
 //   SERVING    every recent response was fresh-tier
 //   DEGRADED   a recent response needed the fallback ladder; clears after
 //              `ServingOptions::health_recovery_streak` consecutive fresh
@@ -68,16 +71,24 @@ PopularityPrior BuildPopularityPrior(
     int num_types, const core::InteractionList& interactions);
 
 struct ServingOptions {
-  // Score-cache capacity in entries; < 0 means "O2SR_SERVE_CACHE or the
-  // default 65536"; 0 disables caching.
+  // Score-cache capacity in entries, *per front-end shard* (each shard owns
+  // a private ScoreCache so the hot path never crosses shards); < 0 means
+  // "O2SR_SERVE_CACHE or the default 65536"; 0 disables caching.
   int64_t cache_capacity = -1;
+  // Internal LRU shards of each per-front-end-shard cache.
   int cache_shards = 8;
+  // Front-end shards. Requests hash to a shard by caller thread id, so a
+  // given thread always lands on the same shard and single-threaded runs
+  // stay bit-deterministic. <= 0 means "O2SR_SERVE_SHARDS, else
+  // hardware_concurrency clamped to [1, 16]".
+  int num_shards = -1;
   // Pool for scoring cache misses (the model's parallel kernels run under
   // it). Null resolves to exec::CurrentPool() at query time.
   exec::ThreadPool* pool = nullptr;
   // Admission high-water mark: requests past this many concurrent calls are
   // shed with RESOURCE_EXHAUSTED. < 0 means "O2SR_SERVE_MAX_INFLIGHT or
-  // unbounded"; 0 is unbounded.
+  // unbounded"; 0 is unbounded. A batch call holds ONE admission slot for
+  // the whole batch.
   int64_t max_inflight = -1;
   // Default per-request latency budget applied when a RankRequest carries
   // an infinite deadline. < 0 means "O2SR_SERVE_DEADLINE_MS or none";
@@ -93,6 +104,11 @@ struct ServingOptions {
   // latency, 0.99 good fraction).
   double slo_ms = -1.0;
   double slo_target = -1.0;
+  // Registry prefix for every metric this engine owns ("serve" →
+  // serve.requests, serve.cache.hits, serve.slo.burn_rate, ...). Tenant
+  // engines get distinct prefixes ("serve.tenant.<name>") so one city's
+  // gauges never alias another's.
+  std::string metrics_prefix = "serve";
   // Invoked on every SERVING / DEGRADED / LAME_DUCK transition, outside
   // the health lock (calling back into the engine is safe). May be called
   // concurrently from racing requests; transitions are reported in the
@@ -150,6 +166,21 @@ struct SwapReport {
   std::string quarantine_path;
 };
 
+// Counter snapshot of one front-end shard (or, via TotalShardStats, their
+// sum). The engine also keeps independent engine-global relaxed atomics
+// for requests/shed/pairs_scored/degraded; tests assert the per-shard sum
+// equals those globals under full concurrency.
+struct EngineShardStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t shed = 0;
+  uint64_t pairs_scored = 0;
+  uint64_t degraded_responses = 0;
+  uint64_t stale_pairs = 0;
+  uint64_t prior_pairs = 0;
+  ScoreCache::Stats cache;
+};
+
 // Online ranking over a ready SiteRecommender (trained, or restored from a
 // snapshot). Construction finalizes the model for serving (FinalizeServing
 // precomputes its inference tables — O2-SiteRec materializes the per-period
@@ -167,34 +198,51 @@ struct SwapReport {
 // on every response, hot snapshot swap with canary validation + rollback +
 // quarantine, and a SERVING / DEGRADED / LAME_DUCK health state machine.
 //
-// Thread-safety: Rank/RankSites/Score are safe to call concurrently, and
-// concurrently with one SwapSnapshot (swaps serialize among themselves).
-// In-flight requests pin the model they started on; a promotion never
-// yanks a model out from under a running query.
+// Concurrency model (DESIGN.md §14): the front end is sharded. A request
+// hashes its caller's thread id to a shard; the shard owns a private
+// ScoreCache and a cache-line-aligned counter block, so two threads on
+// different shards share no mutable cache or stats state on the hot path.
+// The remaining cross-shard state per request is one shared_ptr pin of the
+// active model (amortized to once per batch) and the SLO window append.
 //
-// Observability (prefix "serve"):
-//   serve.requests            counter   Rank/RankSites calls
-//   serve.pairs_scored        counter   cache misses scored through the model
-//   serve.rank_latency_ms     histogram per-call latency
-//   serve.shed                counter   requests shed (admission, deadline
-//                                       pre-expiry, lame duck)
-//   serve.degraded_responses  counter   responses served below fresh tier
-//   serve.fallback.stale_pairs / serve.fallback.prior_pairs
-//                             counter   pairs answered by each ladder rung
-//   serve.swaps / serve.swap_rejects
-//                             counter   promoted / rejected snapshot swaps
-//   serve.health_state        gauge     0 SERVING / 1 DEGRADED / 2 LAME_DUCK
-//   serve.epoch               gauge     active model epoch
-//   serve.slo.burn_rate / serve.slo.bad_fraction / serve.slo.breached
-//                             gauge     rolling-window SLO health
-//                                       (obs::SloMonitor; see slo())
-// plus the serve.cache.* counters of ScoreCache.
+// Thread-safety: Rank/RankSites/RankSitesBatch/Score are safe to call
+// concurrently, and concurrently with one SwapSnapshot (swaps serialize
+// among themselves). In-flight requests pin the model they started on; a
+// promotion never yanks a model out from under a running query.
+//
+// Observability (prefix = ServingOptions::metrics_prefix, default "serve"):
+//   <p>.requests            counter   ranked requests (batched included)
+//   <p>.batches             counter   RankSitesBatch calls
+//   <p>.pairs_scored        counter   cache misses scored through the model
+//   <p>.rank_latency_ms     histogram per-request latency
+//   <p>.shed                counter   requests shed (admission, deadline
+//                                     pre-expiry, lame duck)
+//   <p>.degraded_responses  counter   responses served below fresh tier
+//   <p>.fallback.stale_pairs / <p>.fallback.prior_pairs
+//                           counter   pairs answered by each ladder rung
+//   <p>.swaps / <p>.swap_rejects
+//                           counter   promoted / rejected snapshot swaps
+//   <p>.health_state        gauge     0 SERVING / 1 DEGRADED / 2 LAME_DUCK
+//   <p>.epoch               gauge     active model epoch
+//   <p>.slo.burn_rate / <p>.slo.bad_fraction / <p>.slo.breached
+//                           gauge     rolling-window SLO health
+//                                     (obs::SloMonitor; see slo())
+// plus the <p>.cache.* counters of the per-shard ScoreCaches (all shards
+// of one engine mirror into the same registry counters).
 class ServingEngine {
  public:
   // `model` is borrowed and must outlive the engine; it must already hold
   // final learned state. Fails when FinalizeServing does.
   static common::StatusOr<std::unique_ptr<ServingEngine>> Create(
       core::SiteRecommender* model, const ServingOptions& options = {});
+
+  // O2SR_SERVE_SHARDS override for ServingOptions::num_shards; returns
+  // `fallback` when unset/unparsable. Values clamp to [1, 64].
+  static int ShardsFromEnv(int fallback);
+  // O2SR_SERVE_BATCH: preferred client batch size for RankSitesBatch
+  // drivers (bench/demo); returns `fallback` when unset/unparsable.
+  // Values clamp to [1, 4096].
+  static int BatchSizeFromEnv(int fallback);
 
   // Full-contract ranking: admission control, deadline budget, fallback
   // ladder, tier-tagged response. Top-k candidate regions for a store
@@ -208,6 +256,18 @@ class ServingEngine {
   // for contract violations (negative k, a store type the model rejects);
   // scorer failures only surface when every ladder rung below also fails.
   common::StatusOr<RankResponse> Rank(const RankRequest& request) const;
+
+  // Batched ranking: one response per request, in request order, each
+  // succeeding or failing independently with exactly the Rank contract.
+  // Golden equivalence (tests/serve_batch_test.cc): RankSitesBatch({r1..rn})
+  // returns bit-identical responses — ranks, scores, tiers, epochs, and
+  // the cache state it leaves behind — to calling Rank(r1)..Rank(rn) in
+  // order on the same thread. The batch amortizes what the serial loop
+  // repeats per call: one active-model pin, one admission slot, one pool
+  // scope, and reused scoring scratch (pair/score/top-K buffers) across
+  // the whole span.
+  std::vector<common::StatusOr<RankResponse>> RankSitesBatch(
+      std::span<const RankRequest> requests) const;
 
   // Compatibility ranking without the resilience surface: infinite-budget
   // request, sites only. Bit-identical to the pre-resilience engine.
@@ -247,15 +307,31 @@ class ServingEngine {
   ServeHealth health() const;
   uint64_t epoch() const;
   int64_t inflight() const { return admission_.inflight(); }
-  // Requests shed by this engine for any reason (admission, pre-expired
-  // deadline, lame duck).
+  // Engine-global relaxed atomics, maintained independently of the
+  // per-shard blocks (concurrency tests assert the two agree).
+  uint64_t requests_count() const {
+    return requests_total_.load(std::memory_order_relaxed);
+  }
   uint64_t shed_count() const {
     return shed_total_.load(std::memory_order_relaxed);
   }
+  uint64_t pairs_scored_count() const {
+    return pairs_scored_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_count() const {
+    return degraded_total_.load(std::memory_order_relaxed);
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Snapshot of one shard's counter block + its cache stats.
+  EngineShardStats ShardStats(int shard) const;
+  // Sum over every shard.
+  EngineShardStats TotalShardStats() const;
+  // Aggregate cache stats across the per-shard caches.
+  ScoreCache::Stats CacheStats() const;
 
   // The currently active model (may change across SwapSnapshot).
   const core::SiteRecommender& model() const;
-  ScoreCache& cache() const { return *cache_; }
   // Rolling-window SLO state over every Rank/RankSites call (shed requests
   // included). Snapshot() for the burn rate and latency quantiles.
   const obs::SloMonitor& slo() const { return slo_; }
@@ -270,36 +346,78 @@ class ServingEngine {
     uint64_t epoch = 1;
   };
 
+  // One front-end shard: private cache + cache-line-aligned counters. A
+  // shard is only ever mutated by the threads that hash to it, so its
+  // counters can be relaxed and its cache mutexes stay uncontended under
+  // a thread-per-core driver.
+  struct alignas(64) ShardCounters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> pairs_scored{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> stale_pairs{0};
+    std::atomic<uint64_t> prior_pairs{0};
+  };
+  struct EngineShard {
+    std::unique_ptr<ScoreCache> cache;
+    ShardCounters counters;
+  };
+
+  // Reused per-request scoring buffers; a batch threads one Scratch
+  // through every request so pair/score/miss vectors allocate once.
+  struct Scratch {
+    std::unordered_set<int> seen;
+    core::InteractionList pairs;
+    std::vector<double> scores;
+    core::InteractionList misses;
+    std::vector<size_t> miss_slots;
+  };
+
   ServingEngine(core::SiteRecommender* model, const ServingOptions& options);
+
+  EngineShard& ShardForThisThread() const;
 
   std::shared_ptr<const Active> CurrentActive() const;
 
-  // Fresh-tier scoring of `pairs` through the cache (strict; errors
+  // Fresh-tier scoring of `pairs` through the shard cache (strict; errors
   // propagate). Fault sites "score" (delay + error) fire around the model
   // call.
   common::StatusOr<std::vector<double>> ScoreFresh(
-      const Active& active, const core::InteractionList& pairs) const;
+      EngineShard& shard, const Active& active,
+      const core::InteractionList& pairs) const;
 
   // Ladder scoring: fresh where possible, stale cache then prior for pairs
   // the scorer could not answer in budget. Fails only when a pair exhausts
   // the ladder or the scorer reports a contract violation.
-  common::Status ScoreLadder(const Active& active,
+  common::Status ScoreLadder(EngineShard& shard, const Active& active,
                              const core::InteractionList& pairs,
-                             const Deadline& deadline,
-                             std::vector<double>* scores,
+                             const Deadline& deadline, Scratch* scratch,
                              ServeTier* tier) const;
+
+  // The post-admission tail of Rank, shared by the serial and batched
+  // paths: deadline resolution, pair collection, ladder scoring, top-K,
+  // health + SLO accounting. `start` anchors the latency measurement.
+  common::StatusOr<RankResponse> RankAdmitted(
+      EngineShard& shard, const Active& active, const RankRequest& request,
+      Scratch* scratch,
+      std::chrono::steady_clock::time_point start) const;
 
   void RecordOutcome(ServeTier tier) const;
   void NotifyHealthChange(ServeHealth from, ServeHealth to) const;
-  common::StatusOr<RankResponse> ShedRequest(const char* reason,
+  common::StatusOr<RankResponse> ShedRequest(EngineShard& shard,
+                                             const char* reason,
                                              double latency_ms,
                                              bool deadline_miss) const;
 
   ServingOptions options_;
-  std::unique_ptr<ScoreCache> cache_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
   mutable AdmissionController admission_;
   double default_deadline_ms_ = 0.0;
+  mutable std::atomic<uint64_t> requests_total_{0};
   mutable std::atomic<uint64_t> shed_total_{0};
+  mutable std::atomic<uint64_t> pairs_scored_total_{0};
+  mutable std::atomic<uint64_t> degraded_total_{0};
 
   mutable std::mutex active_mutex_;
   std::shared_ptr<const Active> active_;
@@ -307,11 +425,15 @@ class ServingEngine {
 
   mutable std::mutex health_mutex_;
   mutable ServeHealth health_ = ServeHealth::kServing;
+  // Lock-free mirror of health_ so the hot path (lame-duck gate, the
+  // fresh-response fast path of RecordOutcome) never touches health_mutex_.
+  mutable std::atomic<int> health_relaxed_{0};
   mutable int fresh_streak_ = 0;
 
   mutable obs::SloMonitor slo_;
 
   obs::Counter* requests_;
+  obs::Counter* batches_;
   obs::Counter* pairs_scored_;
   obs::Counter* shed_;
   obs::Counter* degraded_responses_;

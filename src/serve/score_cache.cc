@@ -8,15 +8,17 @@
 
 namespace o2sr::serve {
 
-ScoreCache::ScoreCache(int64_t capacity, int shards)
+ScoreCache::ScoreCache(int64_t capacity, int shards,
+                       const std::string& metrics_prefix)
     : capacity_(std::max<int64_t>(capacity, 0)),
-      hits_(obs::MetricsRegistry::Global().GetCounter("serve.cache.hits")),
-      misses_(
-          obs::MetricsRegistry::Global().GetCounter("serve.cache.misses")),
-      stale_hits_(obs::MetricsRegistry::Global().GetCounter(
-          "serve.cache.stale_hits")),
-      evictions_(obs::MetricsRegistry::Global().GetCounter(
-          "serve.cache.evictions")) {
+      hits_(obs::MetricsRegistry::Global().GetCounter(metrics_prefix +
+                                                      ".hits")),
+      misses_(obs::MetricsRegistry::Global().GetCounter(metrics_prefix +
+                                                        ".misses")),
+      stale_hits_(obs::MetricsRegistry::Global().GetCounter(metrics_prefix +
+                                                            ".stale_hits")),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(metrics_prefix +
+                                                           ".evictions")) {
   if (capacity_ == 0) return;
   const int64_t n = std::clamp<int64_t>(shards, 1, capacity_);
   per_shard_capacity_ = (capacity_ + n - 1) / n;
@@ -52,7 +54,9 @@ bool ScoreCache::Lookup(uint64_t key, uint64_t epoch, double* score) {
   const bool dropped =
       !common::FaultInjector::Global().InjectError("cache.lookup").ok();
   if (capacity_ == 0 || dropped) {
-    misses_n_.fetch_add(1, std::memory_order_relaxed);
+    StatBlock& block =
+        capacity_ == 0 ? disabled_stats_ : ShardOf(key).stats;
+    block.misses.fetch_add(1, std::memory_order_relaxed);
     misses_->Increment();
     return false;
   }
@@ -60,13 +64,13 @@ bool ScoreCache::Lookup(uint64_t key, uint64_t epoch, double* score) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second->epoch != epoch) {
-    misses_n_.fetch_add(1, std::memory_order_relaxed);
+    shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
     misses_->Increment();
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *score = it->second->score;
-  hits_n_.fetch_add(1, std::memory_order_relaxed);
+  shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
   hits_->Increment();
   return true;
 }
@@ -80,7 +84,7 @@ bool ScoreCache::LookupStale(uint64_t key, double* score,
   if (it == shard.map.end()) return false;
   *score = it->second->score;
   if (entry_epoch != nullptr) *entry_epoch = it->second->epoch;
-  stale_hits_n_.fetch_add(1, std::memory_order_relaxed);
+  shard.stats.stale_hits.fetch_add(1, std::memory_order_relaxed);
   stale_hits_->Increment();
   return true;
 }
@@ -89,7 +93,7 @@ void ScoreCache::Insert(uint64_t key, uint64_t epoch, double score) {
   if (capacity_ == 0) return;
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  insertions_n_.fetch_add(1, std::memory_order_relaxed);
+  shard.stats.insertions.fetch_add(1, std::memory_order_relaxed);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->score = score;
@@ -100,7 +104,7 @@ void ScoreCache::Insert(uint64_t key, uint64_t epoch, double score) {
   if (static_cast<int64_t>(shard.lru.size()) >= per_shard_capacity_) {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    evictions_n_.fetch_add(1, std::memory_order_relaxed);
+    shard.stats.evictions.fetch_add(1, std::memory_order_relaxed);
     evictions_->Increment();
   }
   shard.lru.push_front(Entry{key, score, epoch});
@@ -115,13 +119,26 @@ void ScoreCache::Invalidate() {
   }
 }
 
+void ScoreCache::AddBlock(const StatBlock& block, Stats* out) {
+  out->hits += block.hits.load(std::memory_order_relaxed);
+  out->misses += block.misses.load(std::memory_order_relaxed);
+  out->stale_hits += block.stale_hits.load(std::memory_order_relaxed);
+  out->evictions += block.evictions.load(std::memory_order_relaxed);
+  out->insertions += block.insertions.load(std::memory_order_relaxed);
+}
+
 ScoreCache::Stats ScoreCache::stats() const {
   Stats s;
-  s.hits = hits_n_.load(std::memory_order_relaxed);
-  s.misses = misses_n_.load(std::memory_order_relaxed);
-  s.stale_hits = stale_hits_n_.load(std::memory_order_relaxed);
-  s.evictions = evictions_n_.load(std::memory_order_relaxed);
-  s.insertions = insertions_n_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) AddBlock(shard->stats, &s);
+  AddBlock(disabled_stats_, &s);
+  return s;
+}
+
+ScoreCache::Stats ScoreCache::ShardStats(int shard) const {
+  Stats s;
+  if (shard >= 0 && shard < num_shards()) {
+    AddBlock(shards_[static_cast<size_t>(shard)]->stats, &s);
+  }
   return s;
 }
 

@@ -35,14 +35,19 @@ namespace o2sr::serve {
 // recomputation would — the engine's results are bit-identical with the
 // cache on, off, cold or warm. Tests assert this (metrics_test.cc).
 //
-// Statistics: per-instance lock-free counters (`stats()` snapshot) — safe
-// against concurrent Lookup/Insert/Invalidate from any number of threads
-// (TSAN-covered by tests/score_cache_stress_test.cc) — mirrored into the
-// process-wide registry (prefix "serve.cache"):
-//   serve.cache.hits        fresh lookups answered from the cache
-//   serve.cache.misses      lookups that fell through
-//   serve.cache.stale_hits  stale lookups answered by an older epoch
-//   serve.cache.evictions   entries displaced by capacity pressure
+// Statistics live in per-shard cache-line-aligned relaxed-atomic blocks:
+// a counter bump touches only the shard the key already hashed to, so the
+// hot path never bounces a shared stats line between cores (the pre-§14
+// design kept five instance-global atomics that every shard hammered).
+// `stats()` aggregates the shard blocks on read; `ShardStats(i)` exposes
+// one block so tests can assert the per-shard sum equals the aggregate
+// (TSAN-covered by tests/score_cache_stress_test.cc). Counters are
+// mirrored into the process-wide registry under `metrics_prefix` (default
+// "serve.cache"):
+//   <prefix>.hits        fresh lookups answered from the cache
+//   <prefix>.misses      lookups that fell through
+//   <prefix>.stale_hits  stale lookups answered by an older epoch
+//   <prefix>.evictions   entries displaced by capacity pressure
 class ScoreCache {
  public:
   struct Stats {
@@ -55,8 +60,11 @@ class ScoreCache {
 
   // `capacity` <= 0 disables the cache (every Lookup misses, Insert is a
   // no-op). `shards` is clamped to [1, capacity] so every shard holds at
-  // least one entry.
-  ScoreCache(int64_t capacity, int shards);
+  // least one entry. `metrics_prefix` names the registry mirror counters;
+  // per-tenant engines pass distinct prefixes so one tenant's traffic
+  // never pollutes another's gauges.
+  ScoreCache(int64_t capacity, int shards,
+             const std::string& metrics_prefix = "serve.cache");
 
   // Total-capacity override from O2SR_SERVE_CACHE ("0" disables); returns
   // `fallback` when the variable is unset or unparsable.
@@ -86,7 +94,11 @@ class ScoreCache {
   // survive — e.g. quarantining a world whose scores are known bad.
   void Invalidate();
 
+  // Aggregate across every shard block (plus the disabled-path block).
   Stats stats() const;
+  // One shard's block. `shard` in [0, num_shards()); a disabled cache has
+  // zero shards and keeps its counts in the block stats() adds last.
+  Stats ShardStats(int shard) const;
 
   int64_t size() const;
   int64_t capacity() const { return capacity_; }
@@ -98,25 +110,32 @@ class ScoreCache {
     double score = 0.0;
     uint64_t epoch = 0;
   };
+  // One cache line per block: a shard's counter bumps never invalidate a
+  // neighbour shard's line.
+  struct alignas(64) StatBlock {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> stale_hits{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> insertions{0};
+  };
   struct Shard {
     std::mutex mutex;
     // Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    StatBlock stats;
   };
 
   Shard& ShardOf(uint64_t key);
+  static void AddBlock(const StatBlock& block, Stats* out);
 
   int64_t capacity_ = 0;
   int64_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Per-instance statistics; relaxed atomics, so concurrent mutation from
-  // any thread is race-free and costs one uncontended RMW each.
-  std::atomic<uint64_t> hits_n_{0};
-  std::atomic<uint64_t> misses_n_{0};
-  std::atomic<uint64_t> stale_hits_n_{0};
-  std::atomic<uint64_t> evictions_n_{0};
-  std::atomic<uint64_t> insertions_n_{0};
+  // Misses recorded when the cache is disabled (no shards exist to own
+  // them) or a fault rule drops the lookup before shard selection.
+  StatBlock disabled_stats_;
   obs::Counter* hits_;
   obs::Counter* misses_;
   obs::Counter* stale_hits_;

@@ -83,10 +83,19 @@ TEST(ClassifyFieldTest, DirectionsAndTimingFlags) {
             FieldDirection::kHigherBetter);
   EXPECT_EQ(ClassifyField("cells.HGT.rmse").direction,
             FieldDirection::kLowerBetter);
+  EXPECT_FALSE(ClassifyField("cache_hit_rate").timing);
+
+  // Load-dependent outcomes: still lower-better, but skipped under
+  // --ignore-timings because machine speed moves them.
   EXPECT_EQ(ClassifyField("deadline_shed_rate").direction,
             FieldDirection::kLowerBetter);
+  EXPECT_TRUE(ClassifyField("deadline_shed_rate").timing);
   EXPECT_EQ(ClassifyField("slo_bad_fraction").direction,
             FieldDirection::kLowerBetter);
+  EXPECT_TRUE(ClassifyField("slo_bad_fraction").timing);
+  EXPECT_TRUE(ClassifyField("slo_burn_rate").timing);
+  EXPECT_TRUE(ClassifyField("slo_breached").timing);
+  EXPECT_TRUE(ClassifyField("deadline_degraded_rate").timing);
 
   // Workload-shape fields: exact match required.
   const FieldPolicy queries = ClassifyField("queries");
@@ -94,6 +103,21 @@ TEST(ClassifyFieldTest, DirectionsAndTimingFlags) {
   EXPECT_DOUBLE_EQ(queries.rel_tol, 0.0);
   EXPECT_EQ(ClassifyField("cells.HGT.types_evaluated").direction,
             FieldDirection::kTwoSided);
+
+  // Saturation-curve fields: thread-count suffixes must not dodge the
+  // timing rules, and tenant/batch/query counts are workload shape.
+  EXPECT_TRUE(ClassifyField("mt_qps_t4").timing);
+  EXPECT_EQ(ClassifyField("mt_speedup_t4").direction,
+            FieldDirection::kHigherBetter);
+  EXPECT_TRUE(ClassifyField("mt_speedup_t4").timing);
+  EXPECT_EQ(ClassifyField("mt_p99_ms_t2").direction,
+            FieldDirection::kLowerBetter);
+  EXPECT_TRUE(ClassifyField("mt_p99_ms_t2").timing);
+  EXPECT_EQ(ClassifyField("mt_total_queries").direction,
+            FieldDirection::kTwoSided);
+  EXPECT_DOUBLE_EQ(ClassifyField("mt_queries_t2").rel_tol, 0.0);
+  EXPECT_EQ(ClassifyField("mt_tenants").direction, FieldDirection::kTwoSided);
+  EXPECT_EQ(ClassifyField("mt_batch").direction, FieldDirection::kTwoSided);
 }
 
 // ---------------------------------------------------------------------------

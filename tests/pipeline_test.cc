@@ -13,6 +13,7 @@
 #include "obs/telemetry.h"
 #include "pipeline/journal.h"
 #include "serve/engine.h"
+#include "serve/tenant.h"
 
 namespace o2sr::pipeline {
 namespace {
@@ -327,6 +328,65 @@ TEST_F(PipelineTest, RidesOutTransientJournalAndCheckpointFaults) {
   EXPECT_EQ(report->cycles_completed, 2);
   EXPECT_FALSE(report->stopped_early);
   EXPECT_GT(report->retries, 0) << "the recipe should have fired something";
+}
+
+// --- Multi-tenant publishing (DESIGN.md §14) ----------------------------
+
+TEST_F(PipelineTest, PublishesIntoATenantRegistryAndResumesByAdoption) {
+  serve::TenantRegistry registry;
+  PipelineOptions options = TinyPipeline(FreshDir("pipe_tenant"));
+  options.tenants = &registry;
+  options.tenant_name = "pilot-city";
+
+  ContinualPipeline pipeline(options);
+  const auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->cycles_completed, 2);
+
+  // The pipeline's engine IS the registry tenant's engine: first promotion
+  // registered the city, the second cycle hot-swapped it in place.
+  ASSERT_EQ(registry.size(), 1u);
+  const auto tenant = registry.Get("pilot-city");
+  ASSERT_TRUE(tenant.ok()) << tenant.status();
+  EXPECT_EQ(pipeline.engine(), (*tenant)->engine.get());
+  EXPECT_EQ((*tenant)->engine->epoch(), 2u);  // cycle 0 register + cycle 1 swap
+  EXPECT_EQ((*tenant)->engine->health(), serve::ServeHealth::kServing);
+
+  // A second pipeline resuming the DONE journal against the same registry
+  // adopts the hosted tenant instead of re-registering the name.
+  ContinualPipeline again(options);
+  const auto rerun = again.Run();
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_TRUE(rerun->resumed);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(again.engine(), (*tenant)->engine.get());
+}
+
+TEST_F(PipelineTest, TwoCityPipelinesShareOneRegistryInIsolation) {
+  serve::TenantRegistry registry;
+  PipelineOptions north = TinyPipeline(FreshDir("pipe_tenant_north"));
+  north.tenants = &registry;
+  north.tenant_name = "north";
+  north.cycles = 1;
+  PipelineOptions south = TinyPipeline(FreshDir("pipe_tenant_south"));
+  south.tenants = &registry;
+  south.tenant_name = "south";
+  south.cycles = 1;
+  south.world.seed = 77;  // a different city, not a replica
+
+  ContinualPipeline north_pipeline(north);
+  ContinualPipeline south_pipeline(south);
+  ASSERT_TRUE(north_pipeline.Run().ok());
+  ASSERT_TRUE(south_pipeline.Run().ok());
+
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.TenantNames(),
+            (std::vector<std::string>{"north", "south"}));
+  ASSERT_NE(north_pipeline.engine(), nullptr);
+  ASSERT_NE(south_pipeline.engine(), nullptr);
+  EXPECT_NE(north_pipeline.engine(), south_pipeline.engine());
+  EXPECT_EQ(north_pipeline.engine()->health(), serve::ServeHealth::kServing);
+  EXPECT_EQ(south_pipeline.engine()->health(), serve::ServeHealth::kServing);
 }
 
 }  // namespace

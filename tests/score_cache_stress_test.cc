@@ -119,6 +119,73 @@ TEST(ScoreCacheStressTest, InvalidateRacesWithTraffic) {
   EXPECT_FALSE(cache.LookupStale(ScoreCache::Key(0, 1), &score));
 }
 
+// Regression for the per-shard stat blocks (DESIGN.md §14): under full
+// concurrency the shard blocks must add up exactly to the aggregate view,
+// and a disabled cache must still account every miss. Before the blocks
+// existed, five instance-global atomics carried these counts and TSAN had
+// nothing to say — now the proof is that sharded accounting loses nothing.
+TEST(ScoreCacheStressTest, ShardStatBlocksSumToTheAggregate) {
+  ScoreCache cache(256, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 15000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x2545f4914f6cdd1dull * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t r = Next(&state);
+        const uint64_t key = ScoreCache::Key(
+            static_cast<int>(r % 8), static_cast<int>((r >> 8) % 192));
+        double score = 0.0;
+        switch ((r >> 4) % 3) {
+          case 0:
+            cache.Lookup(key, 1, &score);
+            break;
+          case 1:
+            cache.Insert(key, 1, static_cast<double>(key));
+            break;
+          case 2:
+            cache.LookupStale(key, &score);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ScoreCache::Stats summed;
+  for (int s = 0; s < cache.num_shards(); ++s) {
+    const ScoreCache::Stats shard = cache.ShardStats(s);
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.stale_hits += shard.stale_hits;
+    summed.evictions += shard.evictions;
+    summed.insertions += shard.insertions;
+  }
+  const ScoreCache::Stats total = cache.stats();
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.stale_hits, total.stale_hits);
+  EXPECT_EQ(summed.evictions, total.evictions);
+  EXPECT_EQ(summed.insertions, total.insertions);
+  EXPECT_GT(total.insertions, 0u);
+}
+
+TEST(ScoreCacheStressTest, DisabledCacheStillAccountsEveryMiss) {
+  ScoreCache cache(0, 4);
+  EXPECT_EQ(cache.num_shards(), 0);
+  double score = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(cache.Lookup(ScoreCache::Key(1, i), 1, &score));
+    cache.Insert(ScoreCache::Key(1, i), 1, 1.0);  // dropped, not counted
+  }
+  const ScoreCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+}
+
 TEST(ScoreCacheStressTest, StatsSnapshotsAreMonotoneUnderConcurrentTraffic) {
   ScoreCache cache(64, 4);
   std::atomic<bool> done{false};

@@ -131,12 +131,14 @@ FieldPolicy ClassifyField(const std::string& label) {
   const std::string leaf =
       dot == std::string::npos ? label : label.substr(dot + 1);
 
-  if (Contains(leaf, "qps") || StartsWith(leaf, "speedup")) {
+  if (Contains(leaf, "qps") || Contains(leaf, "speedup")) {
     return {FieldDirection::kHigherBetter, 0.25, 1e-9, /*timing=*/true};
   }
-  // "wall_clock" by substring: ci.sh appends wall_clock_s_threads{1,4}
-  // cells to the table04 report.
-  if (EndsWith(leaf, "_ms") || Contains(leaf, "wall_clock") ||
+  // "wall_clock" / "_ms" by substring: ci.sh appends
+  // wall_clock_s_threads{1,4} cells to the table04 report, and the serving
+  // saturation curve suffixes its latencies per thread count
+  // (mt_p99_ms_t4).
+  if (Contains(leaf, "_ms") || Contains(leaf, "wall_clock") ||
       EndsWith(leaf, "_s") || Contains(leaf, "recovery")) {
     return {FieldDirection::kLowerBetter, 0.25, 5.0, /*timing=*/true};
   }
@@ -148,11 +150,17 @@ FieldPolicy ClassifyField(const std::string& label) {
     return {FieldDirection::kLowerBetter, 0.05, 0.005, /*timing=*/false};
   }
   if (Contains(leaf, "_rate") || Contains(leaf, "fraction") ||
-      Contains(leaf, "breached")) {
-    return {FieldDirection::kLowerBetter, 0.05, 0.02, /*timing=*/false};
+      Contains(leaf, "breached") || Contains(leaf, "burn")) {
+    // Shed/degraded/failed rates, SLO bad-fractions and burn rates are
+    // load-dependent: how far an overloaded replay pushes the engine is a
+    // function of machine speed, so ignore_timings must skip them the way
+    // it skips wall clocks (hit_rate matched above stays non-timing — a
+    // deterministic cache either hits or the comparison found a real bug).
+    return {FieldDirection::kLowerBetter, 0.05, 0.02, /*timing=*/true};
   }
-  if (leaf == "queries" || leaf == "candidates_per_query" ||
-      leaf == "types_evaluated" || Contains(leaf, "count")) {
+  if (Contains(leaf, "queries") || leaf == "candidates_per_query" ||
+      leaf == "types_evaluated" || leaf == "mt_tenants" ||
+      leaf == "mt_batch" || Contains(leaf, "count")) {
     // Workload-shape numbers: any change means the runs measured different
     // things, which is a comparison bug, not a perf delta.
     return {FieldDirection::kTwoSided, 0.0, 0.0, /*timing=*/false};
