@@ -9,6 +9,7 @@
 #include "common/table_printer.h"
 #include "core/o2siterec_recommender.h"
 #include "exec/thread_pool.h"
+#include "obs/env.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/profiler.h"
@@ -24,15 +25,27 @@
 namespace o2sr::bench {
 
 Scale CurrentScale() {
-  const char* env = std::getenv("O2SR_BENCH_SCALE");
-  if (env != nullptr && std::strcmp(env, "small") == 0) return Scale::kSmall;
-  return Scale::kStandard;
+  // EnvChoice is fatal on unknown values, listing the accepted set — an
+  // O2SR_BENCH_SCALE typo must not silently record "standard" numbers
+  // under the wrong label.
+  static const Scale scale = static_cast<Scale>(obs::EnvChoice(
+      "O2SR_BENCH_SCALE", {"small", "standard", "paper"}, /*fallback=*/1));
+  return scale;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall: return "small";
+    case Scale::kStandard: return "standard";
+    case Scale::kPaper: return "paper";
+  }
+  return "?";
 }
 
 sim::SimConfig RealDataConfig() {
   sim::SimConfig cfg;
   cfg.seed = 7;
-  if (CurrentScale() == Scale::kStandard) {
+  if (CurrentScale() != Scale::kSmall) {
     cfg.city_width_m = 12000.0;
     cfg.city_height_m = 12000.0;
     cfg.num_store_types = 18;
@@ -61,7 +74,7 @@ sim::SimConfig OpenDataConfig() {
 
 sim::SimConfig SweepConfig() {
   sim::SimConfig cfg = RealDataConfig();
-  if (CurrentScale() == Scale::kStandard) {
+  if (CurrentScale() != Scale::kSmall) {
     cfg.city_width_m = 9000.0;
     cfg.city_height_m = 9000.0;
     cfg.num_stores = 5400;
@@ -76,7 +89,7 @@ core::O2SiteRecConfig ModelConfig() {
   cfg.rec.embedding_dim = 32;
   cfg.rec.node_heads = 4;
   cfg.rec.time_heads = 2;
-  cfg.epochs = CurrentScale() == Scale::kStandard ? 30 : 25;
+  cfg.epochs = CurrentScale() != Scale::kSmall ? 30 : 25;
   cfg.learning_rate = 3e-3;
   return cfg;
 }
@@ -90,7 +103,7 @@ baselines::BaselineConfig BaselineDefaults() {
 
 eval::EvalOptions EvalDefaults() {
   eval::EvalOptions opts;
-  opts.min_candidates = CurrentScale() == Scale::kStandard ? 40 : 25;
+  opts.min_candidates = CurrentScale() != Scale::kSmall ? 40 : 25;
   return opts;
 }
 
@@ -113,7 +126,7 @@ void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("%s\n", title.c_str());
   std::printf("Regenerates: %s\n", paper_ref.c_str());
   std::printf("Scale: %s (set O2SR_BENCH_SCALE=small for a quick run)\n",
-              CurrentScale() == Scale::kStandard ? "standard" : "small");
+              ScaleName(CurrentScale()));
   std::printf("==============================================================\n");
 }
 
@@ -160,8 +173,7 @@ void BenchReport::Write() {
   out << "{\"bench\":" << obs::JsonQuote(name_)
       << ",\"title\":" << obs::JsonQuote(title_)
       << ",\"paper_ref\":" << obs::JsonQuote(paper_ref_) << ",\"scale\":"
-      << obs::JsonQuote(CurrentScale() == Scale::kStandard ? "standard"
-                                                           : "small")
+      << obs::JsonQuote(ScaleName(CurrentScale()))
       << ",\"seed_count\":" << seed_count_
       << ",\"threads\":" << exec::CurrentPool().num_threads()
       << ",\"build_type\":" << obs::JsonQuote(O2SR_BUILD_TYPE_NAME)

@@ -19,8 +19,15 @@ namespace o2sr::bench {
 // Bench scale, selected by the O2SR_BENCH_SCALE environment variable:
 //   "small"    - quick shape check (~4x faster, noisier numbers)
 //   "standard" - default; the numbers recorded in EXPERIMENTS.md
-enum class Scale { kSmall, kStandard };
+//   "paper"    - the paper's workload (39,465 stores / 23.6M orders);
+//                only bench_scale runs the full out-of-core ingest, other
+//                benches fall back to their standard budgets
+// Any other value is fatal (INVALID_ARGUMENT listing the accepted set) —
+// a typo must not silently re-run the default scale.
+enum class Scale { kSmall, kStandard, kPaper };
 Scale CurrentScale();
+// "small" / "standard" / "paper" (the BENCH json "scale" meta field).
+const char* ScaleName(Scale scale);
 
 // The synthetic-Eleme dataset behind Table III and every figure
 // (substitute for the paper's proprietary real-world data).

@@ -48,7 +48,7 @@ int main() {
       "drift", "Staleness cost under city drift",
       "continual-retraining extension (OpenSiteRec motivates the drifting "
       "multi-city setting)");
-  const bool standard = bench::CurrentScale() == bench::Scale::kStandard;
+  const bool standard = bench::CurrentScale() != bench::Scale::kSmall;
   const int drift_epochs = standard ? 4 : 2;
   const sim::SimConfig base = bench::SweepConfig();
   const sim::DriftConfig drift = DriftSpec();

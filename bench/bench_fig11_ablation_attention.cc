@@ -27,7 +27,7 @@ int main() {
     core::O2SiteRecConfig cfg = bench::ModelConfig();
     cfg.variant = variant;
     const int seeds =
-        bench::CurrentScale() == bench::Scale::kStandard ? 2 : 1;
+        bench::CurrentScale() != bench::Scale::kSmall ? 2 : 1;
     report.set_seed_count(seeds);
     const eval::EvalResult r =
         bench::RunVariantAveraged(prepared, cfg, seeds, opts);

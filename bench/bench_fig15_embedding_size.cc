@@ -19,7 +19,7 @@ int main() {
   opts.min_candidates = std::max(20, opts.min_candidates / 2);
 
   const std::vector<int> sizes =
-      bench::CurrentScale() == bench::Scale::kStandard
+      bench::CurrentScale() != bench::Scale::kSmall
           ? std::vector<int>{16, 32, 48, 64, 90}
           : std::vector<int>{16, 32, 48};
   TablePrinter table({"Embedding size d2", "NDCG@3", "RMSE"});

@@ -18,7 +18,7 @@ int main() {
   opts.min_candidates = std::max(20, opts.min_candidates / 2);
 
   const std::vector<double> betas =
-      bench::CurrentScale() == bench::Scale::kStandard
+      bench::CurrentScale() != bench::Scale::kSmall
           ? std::vector<double>{0.0, 0.1, 0.2, 0.5, 1.0}
           : std::vector<double>{0.0, 0.2, 1.0};
   TablePrinter table({"beta", "NDCG@3", "RMSE"});

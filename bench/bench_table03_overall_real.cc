@@ -37,7 +37,7 @@ int main() {
     return eval::RunOnce(model, prepared.data, prepared.split, opts).value();
   };
 
-  const int kSeeds = bench::CurrentScale() == bench::Scale::kStandard ? 3 : 2;
+  const int kSeeds = bench::CurrentScale() != bench::Scale::kSmall ? 3 : 2;
   report.set_seed_count(kSeeds);
   std::vector<double> hgt_ndcg3, ours_ndcg3;
 

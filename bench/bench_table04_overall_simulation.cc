@@ -50,7 +50,7 @@ int main() {
   // mostly reconstruction noise — filter them. (The dense Table III config
   // reaches its plateau at 30 epochs; this preset needs ~80.)
   core::O2SiteRecConfig ours_cfg = bench::ModelConfig();
-  ours_cfg.epochs = bench::CurrentScale() == bench::Scale::kStandard ? 80 : 50;
+  ours_cfg.epochs = bench::CurrentScale() != bench::Scale::kSmall ? 80 : 50;
   ours_cfg.mobility_min_transactions = 2;
   core::O2SiteRecRecommender ours(ours_cfg);
   const eval::EvalResult ours_result =

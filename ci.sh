@@ -406,6 +406,112 @@ print(f"drift bench smoke: stale {vals['stale_mean_ndcg3']:.4f} -> "
 EOF
 rm -rf "${DRIFT_DIR}"
 
+echo "=== Scale smoke: out-of-core ingest, kill-resume, chaos, corruption ==="
+# The out-of-core dataset contract (DESIGN.md §15) end to end. One clean
+# ingest/read pair establishes the reference aggregate fingerprint; every
+# abuse below — ingestion restarted at every journal boundary, shard and
+# manifest writes torn by an injected fault recipe, a raw on-disk byte
+# flip — must converge to the byte-identical fingerprint, because corrupt
+# shards are detected by checksum, quarantined, and regenerated from the
+# seeded simulator under the journal's verification.
+SCALE_DIR="$(mktemp -d)"
+./build/examples/scale_demo ingest "${SCALE_DIR}/clean" >/dev/null
+./build/examples/scale_demo read "${SCALE_DIR}/clean" \
+  | tee "${SCALE_DIR}/clean.txt"
+REF_FNV="$(grep -o 'agg_fnv=[0-9a-f]*' "${SCALE_DIR}/clean.txt")"
+grep -q "quarantined=0 " "${SCALE_DIR}/clean.txt"
+
+# Kill/restart drill: cap each ingestion run at one shard so every journal
+# boundary doubles as a crash site; each restart must resume where the
+# manifest left off and the final dataset must read back bit-identical to
+# the uninterrupted one.
+RUNS=0
+while :; do
+  ./build/examples/scale_demo ingest "${SCALE_DIR}/killed" 1 \
+    > "${SCALE_DIR}/killed_run.txt"
+  grep -q "stopped_early=1" "${SCALE_DIR}/killed_run.txt" || break
+  RUNS=$((RUNS + 1))
+  [ "${RUNS}" -le 128 ] || { echo "kill-resume did not converge" >&2; exit 1; }
+done
+./build/examples/scale_demo read "${SCALE_DIR}/killed" \
+  | tee "${SCALE_DIR}/killed.txt"
+grep -qF "${REF_FNV}" "${SCALE_DIR}/killed.txt"
+grep -q "quarantined=0 " "${SCALE_DIR}/killed.txt"
+
+# Chaos ingest: a quarter of shard writes land torn on disk and a fifth
+# of journal updates die outright, killing the run mid-dataset; the
+# driver restarts it (fresh fault seed each attempt) until it exits 0.
+# The reader must then detect every torn shard, quarantine it and
+# regenerate identical rows — same fingerprint, nothing skipped.
+ATTEMPTS=0
+until O2SR_FAULTS="seed=${ATTEMPTS},dataset.write=trunc:0.25,dataset.manifest=error:0.2" \
+        ./build/examples/scale_demo ingest "${SCALE_DIR}/chaos" \
+        > "${SCALE_DIR}/chaos_ingest.txt" 2>/dev/null; do
+  ATTEMPTS=$((ATTEMPTS + 1))
+  [ "${ATTEMPTS}" -le 64 ] || { echo "chaos ingest did not converge" >&2; exit 1; }
+done
+./build/examples/scale_demo read "${SCALE_DIR}/chaos" \
+  | tee "${SCALE_DIR}/chaos.txt"
+grep -qF "${REF_FNV}" "${SCALE_DIR}/chaos.txt"
+grep -q "skipped=0 " "${SCALE_DIR}/chaos.txt"
+
+# Raw on-disk corruption: flip one byte mid-payload in a shard of the
+# clean dataset. The three-checksum format catches it, the reader
+# quarantines the file (with a .reason record) and regenerates it; the
+# fingerprint must not move.
+python3 - "${SCALE_DIR}/clean" <<'EOF'
+import glob, os, sys
+shard = sorted(glob.glob(os.path.join(sys.argv[1], "shard-*.o2sp")))[3]
+with open(shard, "r+b") as f:
+    f.seek(os.path.getsize(shard) // 2)
+    byte = f.read(1)
+    f.seek(-1, 1)
+    f.write(bytes([byte[0] ^ 0x40]))
+print(f"corrupted one byte of {os.path.basename(shard)}")
+EOF
+./build/examples/scale_demo read "${SCALE_DIR}/clean" \
+  | tee "${SCALE_DIR}/corrupt.txt"
+grep -qF "${REF_FNV}" "${SCALE_DIR}/corrupt.txt"
+grep -q "quarantined=1 regenerated=1 skipped=0 " "${SCALE_DIR}/corrupt.txt"
+test -d "${SCALE_DIR}/clean/.quarantine"
+echo "scale smoke: ${RUNS} mid-ingest restarts + chaos recipe" \
+     "(${ATTEMPTS} crash-restarts) + byte flip all converge to ${REF_FNV}"
+
+echo "=== bench_scale gate: committed small baseline + paper-scale floor ==="
+# A fresh small-scale bench_scale run must match the committed baseline on
+# every non-timing field: exact workload shape (stores/orders/shards/
+# blocks — drift means the runs ingested different datasets) and peak RSS
+# (direction-aware; growth is a regression bench_diff flags even under
+# --ignore-timings). Env is pinned so the report meta is
+# machine-independent.
+mkdir -p "${SCALE_DIR}/bench"
+(cd "${SCALE_DIR}/bench" &&
+ O2SR_BENCH_SCALE=small O2SR_THREADS=1 O2SR_MEM_BUDGET_MB=2048 \
+ O2SR_DATA_DIR=data \
+ "${OLDPWD}/build/bench/bench_scale" >/dev/null)
+./build/tools/bench_diff --ignore-timings \
+  BENCH_scale.small.json "${SCALE_DIR}/bench/BENCH_scale.json"
+# The committed paper-scale artifact must hold the §IV-A1 acceptance
+# floor: the paper's store count, >= 23M streamed orders, and a peak RSS
+# that stayed under the memory budget it declared.
+python3 - BENCH_scale.json <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+vals = {v["label"]: v["value"] for v in bench["values"]}
+assert bench["bench"] == "scale" and bench["scale"] == "paper", (
+    bench["bench"], bench["scale"])
+assert vals["stores"] >= 39465, vals["stores"]
+assert vals["orders"] >= 23_000_000, vals["orders"]
+assert vals["peak_rss_mb"] <= vals["mem_budget_mb"], (
+    vals["peak_rss_mb"], vals["mem_budget_mb"])
+assert vals["quarantined"] == 0, vals["quarantined"]
+print(f"paper-scale gate: {vals['stores']:.0f} stores, "
+      f"{vals['orders']:.0f} orders across {vals['shards']:.0f} shards, "
+      f"peak RSS {vals['peak_rss_mb']:.0f} MiB within "
+      f"{vals['mem_budget_mb']:.0f} MiB budget")
+EOF
+rm -rf "${SCALE_DIR}"
+
 echo "=== ASan build + pipeline/fault/serving tests ==="
 # The crash-resume and fault-injection paths shuffle buffers, snapshots and
 # journals across retries; ASan keeps that churn honest.

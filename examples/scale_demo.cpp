@@ -1,0 +1,101 @@
+// Out-of-core dataset walkthrough: ingest a streamed order log into
+// checksummed shards, then read it back into region aggregates — the two
+// halves the chaos smoke in ci.sh kills, restarts and corrupts.
+//
+//   scale_demo ingest <dir> [max_shards]   run (or resume) ingestion;
+//                                          optional shard cap per run so a
+//                                          driver can emulate crashes at
+//                                          journal boundaries
+//   scale_demo read <dir>                  stream aggregates + fingerprint
+//
+// Both subcommands print stable `key=value` lines so shell drivers can
+// assert on them. The ingest/read pair honors O2SR_MEM_BUDGET_MB and the
+// dataset.* sites of O2SR_FAULTS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "features/stream_aggregate.h"
+#include "sim/stream.h"
+#include "sim/world.h"
+
+using namespace o2sr;
+
+namespace {
+
+// A small fixed city shared by every scale_demo invocation, so a driver
+// can ingest in one process and read in another.
+sim::SimConfig DemoConfig() {
+  sim::SimConfig config;
+  config.city_width_m = 3000.0;
+  config.city_height_m = 3000.0;  // 6x6 = 36 regions
+  config.num_store_types = 8;
+  config.num_stores = 240;
+  config.num_couriers = 140;
+  config.num_days = 4;
+  config.peak_orders_per_region_slot = 3.0;
+  config.seed = 2022;
+  return config;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scale_demo ingest <dir> [max_shards_per_run]\n"
+               "       scale_demo read <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string mode = argv[1];
+  const std::string dir = argv[2];
+  const sim::SimConfig config = DemoConfig();
+
+  if (mode == "ingest") {
+    sim::StreamOptions options;
+    options.data_dir = dir;
+    if (argc > 3) options.max_shards_per_run = std::atoi(argv[3]);
+    const auto result = sim::StreamGenerate(config, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("written=%d skipped=%d stopped_early=%d blocks=%d "
+                "total_rows=%llu\n",
+                result->shards_written, result->shards_skipped,
+                result->stopped_early ? 1 : 0, result->num_blocks,
+                static_cast<unsigned long long>(result->total_rows));
+    return 0;
+  }
+
+  if (mode == "read") {
+    auto reader =
+        sim::DatasetReader::Open(config, dir, sim::SpillReadOptions());
+    if (!reader.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
+    sim::SpillReadReport report;
+    const auto stats = features::AggregateSpill(*reader, &report);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "read failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("rows=%llu shards=%d quarantined=%d regenerated=%d "
+                "skipped=%d agg_fnv=%016llx\n",
+                static_cast<unsigned long long>(report.rows),
+                report.shards_read, report.quarantined, report.regenerated,
+                report.skipped,
+                static_cast<unsigned long long>(
+                    features::FingerprintOrderStats(*stats)));
+    return 0;
+  }
+
+  return Usage();
+}

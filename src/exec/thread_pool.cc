@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/env.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -34,16 +35,9 @@ int64_t NowMicros() {
 }  // namespace
 
 int NumThreadsFromEnv() {
-  const char* env = std::getenv("O2SR_THREADS");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && value > 0) {
-      return static_cast<int>(std::min<long>(value, 256));
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+  const int fallback = hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+  return static_cast<int>(obs::EnvInt("O2SR_THREADS", fallback, 1, 256));
 }
 
 ThreadPool::ThreadPool(int num_threads, const std::string& metrics_prefix)

@@ -11,7 +11,16 @@ OrderStats::OrderStats(const sim::Dataset& data)
 
 OrderStats::OrderStats(const sim::Dataset& data,
                        const std::vector<sim::Order>& orders)
-    : num_regions_(data.num_regions()), num_types_(data.num_types()) {
+    : OrderStats(data.num_regions(), data.num_types()) {
+  for (const sim::Order& o : orders) {
+    Add(static_cast<int>(o.period()), o.store_region, o.customer_region,
+        o.type, o.delivery_minutes(), o.distance_m);
+  }
+  FinalizeSupplyDemand(data.courier_alloc_slot_region, data.config.num_days);
+}
+
+OrderStats::OrderStats(int num_regions, int num_types)
+    : num_regions_(num_regions), num_types_(num_types) {
   const int P = sim::kNumPeriods;
   orders_region_type_.assign(num_regions_,
                              std::vector<double>(num_types_, 0.0));
@@ -31,52 +40,58 @@ OrderStats::OrderStats(const sim::Dataset& data,
   delivery_minutes_sum_.assign(P, std::vector<double>(num_regions_, 0.0));
   delivery_minutes_count_.assign(P, std::vector<int>(num_regions_, 0));
   city_mean_delivery_period_.assign(P, 0.0);
-  std::vector<int> city_count(P, 0);
+  city_count_.assign(P, 0);
+  supply_demand_.assign(P, std::vector<double>(num_regions_, 0.0));
+}
 
-  for (const sim::Order& o : orders) {
-    const int p = static_cast<int>(o.period());
-    const int s = o.store_region;
-    const int u = o.customer_region;
-    const int a = o.type;
-    orders_region_type_[s][a] += 1.0;
-    orders_region_type_period_[p][s][a] += 1.0;
-    customer_orders_region_type_period_[p][u][a] += 1.0;
-    store_region_orders_[s] += 1.0;
-    store_region_orders_period_[p][s] += 1.0;
+void OrderStats::Add(int period, int store_region, int customer_region,
+                     int type, double delivery_minutes, double distance_m) {
+  const int p = period;
+  const int s = store_region;
+  const int u = customer_region;
+  const int a = type;
+  orders_region_type_[s][a] += 1.0;
+  orders_region_type_period_[p][s][a] += 1.0;
+  customer_orders_region_type_period_[p][u][a] += 1.0;
+  store_region_orders_[s] += 1.0;
+  store_region_orders_period_[p][s] += 1.0;
 
-    PairStats& pair = pair_stats_[p][PairKey(s, u)];
-    pair.delivery_minutes_sum += o.delivery_minutes();
-    pair.distance_sum += o.distance_m;
-    ++pair.transactions;
+  PairStats& pair = pair_stats_[p][PairKey(s, u)];
+  pair.delivery_minutes_sum += delivery_minutes;
+  pair.distance_sum += distance_m;
+  ++pair.transactions;
 
-    farthest_distance_[p][s] = std::max(farthest_distance_[p][s],
-                                        o.distance_m);
-    distance_sum_[p][s] += o.distance_m;
-    ++distance_count_[p][s];
-    delivery_minutes_sum_[p][s] += o.delivery_minutes();
-    ++delivery_minutes_count_[p][s];
-    city_mean_delivery_period_[p] += o.delivery_minutes();
-    ++city_count[p];
-  }
+  farthest_distance_[p][s] = std::max(farthest_distance_[p][s], distance_m);
+  distance_sum_[p][s] += distance_m;
+  ++distance_count_[p][s];
+  delivery_minutes_sum_[p][s] += delivery_minutes;
+  ++delivery_minutes_count_[p][s];
+  city_mean_delivery_period_[p] += delivery_minutes;
+  ++city_count_[p];
+}
+
+void OrderStats::FinalizeSupplyDemand(
+    const std::vector<std::vector<double>>& courier_alloc_slot_region,
+    int num_days) {
+  const int P = sim::kNumPeriods;
   for (int p = 0; p < P; ++p) {
-    if (city_count[p] > 0) city_mean_delivery_period_[p] /= city_count[p];
+    if (city_count_[p] > 0) city_mean_delivery_period_[p] /= city_count_[p];
   }
 
   // Supply-demand ratio: per period, average courier allocation across the
   // period's slots divided by per-day order volume from the region.
-  supply_demand_.assign(P, std::vector<double>(num_regions_, 0.0));
   std::vector<std::vector<double>> alloc(P,
                                          std::vector<double>(num_regions_));
   std::vector<int> slots_in_period(P, 0);
   for (int slot = 0; slot < sim::kSlotsPerDay; ++slot) {
     const int p = static_cast<int>(sim::PeriodOfSlot(slot));
     ++slots_in_period[p];
-    if (data.courier_alloc_slot_region.empty()) continue;
+    if (courier_alloc_slot_region.empty()) continue;
     for (int r = 0; r < num_regions_; ++r) {
-      alloc[p][r] += data.courier_alloc_slot_region[slot][r];
+      alloc[p][r] += courier_alloc_slot_region[slot][r];
     }
   }
-  const double days = std::max(1, data.config.num_days);
+  const double days = std::max(1, num_days);
   for (int p = 0; p < P; ++p) {
     for (int r = 0; r < num_regions_; ++r) {
       const double couriers =

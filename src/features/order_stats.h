@@ -34,6 +34,29 @@ class OrderStats {
   // allocations.
   OrderStats(const sim::Dataset& data, const std::vector<sim::Order>& orders);
 
+  // Incremental path for the out-of-core dataset (sim/stream.h): start
+  // empty, Add() one row per order in any stream order, then
+  // FinalizeSupplyDemand() exactly once. The Dataset constructors above
+  // run through this same path, so streamed aggregates are bit-identical
+  // to in-RAM ones when rows arrive in the same order.
+  OrderStats(int num_regions, int num_types);
+
+  // Empty stats; the error slot of StatusOr<OrderStats>.
+  OrderStats() : OrderStats(0, 0) {}
+
+  // Accumulates one order. `period` is sim::PeriodOfSlot(slot) of the
+  // order's slot.
+  void Add(int period, int store_region, int customer_region, int type,
+           double delivery_minutes, double distance_m);
+
+  // Seals the stats: divides the per-period city delivery means and
+  // derives the supply-demand ratio from `courier_alloc_slot_region`
+  // (indexed [slot][region]; may be empty → zero allocation). Call once,
+  // after the last Add().
+  void FinalizeSupplyDemand(
+      const std::vector<std::vector<double>>& courier_alloc_slot_region,
+      int num_days);
+
   int num_regions() const { return num_regions_; }
   int num_types() const { return num_types_; }
 
@@ -111,6 +134,7 @@ class OrderStats {
   std::vector<std::vector<double>> delivery_minutes_sum_;
   std::vector<std::vector<int>> delivery_minutes_count_;
   std::vector<double> city_mean_delivery_period_;
+  std::vector<int> city_count_;  // Add()-side counts; consumed by Finalize
   std::vector<std::vector<double>> supply_demand_;
 };
 

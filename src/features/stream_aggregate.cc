@@ -1,0 +1,78 @@
+#include "features/stream_aggregate.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+
+namespace o2sr::features {
+
+common::StatusOr<OrderStats> AggregateSpill(sim::DatasetReader& reader,
+                                            sim::SpillReadReport* report) {
+  const sim::World& world = reader.world();
+  OrderStats stats(world.num_regions(), world.num_types());
+  O2SR_RETURN_IF_ERROR(reader.Stream(
+      [&stats](const sim::ShardColumns& cols, const sim::ShardInfo&) {
+        const size_t n = cols.rows();
+        for (size_t i = 0; i < n; ++i) {
+          stats.Add(static_cast<int>(sim::PeriodOfSlot(cols.slot[i])),
+                    static_cast<int>(cols.store_region[i]),
+                    static_cast<int>(cols.customer_region[i]),
+                    static_cast<int>(cols.type[i]), cols.delivery_minutes[i],
+                    cols.distance_m[i]);
+        }
+        return common::Status::Ok();
+      },
+      report));
+  stats.FinalizeSupplyDemand(world.courier_alloc, world.config.num_days);
+  return stats;
+}
+
+uint64_t FingerprintOrderStats(const OrderStats& stats) {
+  const int R = stats.num_regions();
+  const int T = stats.num_types();
+  const int P = sim::kNumPeriods;
+  std::string bytes;
+  nn::ByteWriter w(&bytes);
+  w.Scalar<int32_t>(R);
+  w.Scalar<int32_t>(T);
+  for (int s = 0; s < R; ++s) {
+    w.Scalar<double>(stats.TotalStoreRegionOrders(s));
+    for (int a = 0; a < T; ++a) {
+      w.Scalar<double>(stats.OrdersOfTypeInRegion(s, a));
+    }
+  }
+  for (int p = 0; p < P; ++p) {
+    for (int s = 0; s < R; ++s) {
+      w.Scalar<double>(stats.TotalStoreRegionOrdersPeriod(p, s));
+      w.Scalar<double>(stats.FarthestDistance(p, s));
+      w.Scalar<double>(stats.MeanDistance(p, s));
+      w.Scalar<double>(stats.MeanDeliveryMinutes(p, s));
+      w.Scalar<double>(stats.SupplyDemandRatio(p, s));
+      for (int a = 0; a < T; ++a) {
+        w.Scalar<double>(stats.OrdersOfTypeInRegionPeriod(p, s, a));
+        w.Scalar<double>(stats.CustomerOrders(p, s, a));
+      }
+    }
+    // unordered_map iteration order is nondeterministic; serialize pairs
+    // sorted by key so equal tables fingerprint equal.
+    std::vector<int64_t> keys;
+    keys.reserve(stats.PairsInPeriod(p).size());
+    for (const auto& [key, unused] : stats.PairsInPeriod(p)) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    w.Scalar<uint64_t>(keys.size());
+    for (const int64_t key : keys) {
+      const auto& pair = stats.PairsInPeriod(p).at(key);
+      w.Scalar<int64_t>(key);
+      w.Scalar<double>(pair.delivery_minutes_sum);
+      w.Scalar<double>(pair.distance_sum);
+      w.Scalar<int32_t>(pair.transactions);
+    }
+  }
+  return nn::Fnv1a(bytes);
+}
+
+}  // namespace o2sr::features

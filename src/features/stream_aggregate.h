@@ -1,0 +1,30 @@
+#ifndef O2SR_FEATURES_STREAM_AGGREGATE_H_
+#define O2SR_FEATURES_STREAM_AGGREGATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "features/order_stats.h"
+#include "sim/stream.h"
+
+namespace o2sr::features {
+
+// Streams a spilled dataset (sim::DatasetReader) into OrderStats without
+// ever materializing the raw order vector — the aggregate-consuming build
+// path of graph construction at paper scale. Rows are added in the
+// reader's fixed shard order, so the result is bit-identical across
+// resumed / killed / regenerated ingestion runs. `report` (optional)
+// receives the reader's recovery counts.
+common::StatusOr<OrderStats> AggregateSpill(sim::DatasetReader& reader,
+                                            sim::SpillReadReport* report);
+
+// Order-insensitive-map-safe fingerprint of an OrderStats: FNV-1a over a
+// deterministic serialization of every aggregate table (pair stats sorted
+// by key — unordered_map iteration order must not leak in). Two stats
+// fingerprint equal iff every table is bit-identical; the equality proof
+// behind the kill-at-any-boundary resume tests.
+uint64_t FingerprintOrderStats(const OrderStats& stats);
+
+}  // namespace o2sr::features
+
+#endif  // O2SR_FEATURES_STREAM_AGGREGATE_H_

@@ -71,6 +71,12 @@ struct HeteroGraphOptions {
 // features of §III-C.
 class HeteroMultiGraph {
  public:
+  // Consumes only the static world of `data` (city, stores, type catalog)
+  // plus the region-level aggregates in `stats` — never data.orders. The
+  // out-of-core path exploits this: at paper scale, `data` is the
+  // orders-free sim::WorldDataset and `stats` comes from
+  // features::AggregateSpill streaming the shard files, so the raw order
+  // log never materializes in memory.
   HeteroMultiGraph(const sim::Dataset& data,
                    const features::OrderStats& stats,
                    const HeteroGraphOptions& options = {});

@@ -23,7 +23,10 @@ struct MobilityEdge {
 class MobilityMultiGraph {
  public:
   // Builds the multi-graph from order-log aggregations. Edges with fewer
-  // than `min_transactions` observations are dropped as noise.
+  // than `min_transactions` observations are dropped as noise. Aggregates
+  // are the ONLY input, so streamed stats (features::AggregateSpill over
+  // the out-of-core shard files) build the identical graph without the raw
+  // order log.
   MobilityMultiGraph(const features::OrderStats& stats,
                      int min_transactions = 1);
 

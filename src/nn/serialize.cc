@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "common/check.h"
 #include "common/fault.h"
@@ -100,6 +102,37 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
                                     path + "': " + std::strerror(errno));
   }
   return Status::Ok();
+}
+
+common::StatusOr<std::string> QuarantineFile(const std::string& path,
+                                             const std::string& reason) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path source(path);
+  if (!fs::exists(source, ec)) {
+    return common::NotFoundError("cannot quarantine '" + path +
+                                 "': file does not exist");
+  }
+  const fs::path dir = source.parent_path() / ".quarantine";
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return common::UnavailableError("cannot create quarantine dir '" +
+                                    dir.string() + "': " + ec.message());
+  }
+  const fs::path target = dir / source.filename();
+  fs::rename(source, target, ec);
+  if (ec) {
+    return common::UnavailableError("cannot move '" + path + "' to '" +
+                                    target.string() + "': " + ec.message());
+  }
+  // The reason record rides along best-effort: losing it must not resurrect
+  // the artifact, so a write failure surfaces in the Status but the move
+  // stands.
+  const std::string reason_path = target.string() + ".reason";
+  O2SR_RETURN_IF_ERROR(WriteFileAtomic(reason_path, reason + "\n")
+                           .WithContext("quarantined to '" + target.string() +
+                                        "' but the reason record failed"));
+  return target.string();
 }
 
 namespace {

@@ -97,6 +97,14 @@ common::Status ReadFileToString(const std::string& path, std::string* out);
 common::Status WriteFileAtomic(const std::string& path,
                                const std::string& contents);
 
+// Moves a damaged artifact into a `.quarantine/` directory next to it and
+// drops a `<name>.reason` record alongside, returning the quarantined
+// path. The move stands even if the reason record fails to write (losing
+// the note must not resurrect the artifact); that failure surfaces in the
+// returned Status. NOT_FOUND when `path` does not exist.
+common::StatusOr<std::string> QuarantineFile(const std::string& path,
+                                             const std::string& reason);
+
 // Wraps `payload` in the container envelope and publishes it atomically.
 // `magic` must be exactly 8 bytes.
 common::Status WriteContainerFile(const std::string& path, const char* magic,

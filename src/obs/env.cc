@@ -1,0 +1,86 @@
+#include "obs/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/log.h"
+
+namespace o2sr::obs {
+namespace {
+
+[[noreturn]] void DieInvalid(const char* name, const char* value,
+                             const std::string& accepted) {
+  std::fprintf(stderr,
+               "[E env.cc] INVALID_ARGUMENT: environment variable %s='%s' "
+               "is not valid; accepted: %s\n",
+               name, value, accepted.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+int64_t EnvInt(const char* name, int64_t fallback, int64_t lo, int64_t hi,
+               EnvRangePolicy policy) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    DieInvalid(name, env, "a base-10 integer");
+  }
+  if (value < lo || value > hi) {
+    const int64_t used = policy == EnvRangePolicy::kClamp
+                             ? (value < lo ? lo : hi)
+                             : fallback;
+    O2SR_LOG(WARNING) << name << "=" << value << " outside [" << lo << ", "
+                      << hi << "], using " << used;
+    return used;
+  }
+  return static_cast<int64_t>(value);
+}
+
+double EnvDouble(const char* name, double fallback, double lo, double hi,
+                 EnvRangePolicy policy) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    DieInvalid(name, env, "a decimal number");
+  }
+  if (!(value >= lo) || !(value <= hi)) {  // also catches NaN
+    const double used =
+        policy == EnvRangePolicy::kClamp ? (value < lo ? lo : hi) : fallback;
+    O2SR_LOG(WARNING) << name << "=" << value << " outside [" << lo << ", "
+                      << hi << "], using " << used;
+    return used;
+  }
+  return value;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
+int EnvChoice(const char* name, const std::vector<std::string>& accepted,
+              int fallback_index) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback_index;
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    if (accepted[i] == env) return static_cast<int>(i);
+  }
+  std::string list;
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    if (i != 0) list += "|";
+    list += accepted[i];
+  }
+  DieInvalid(name, env, list);
+}
+
+}  // namespace o2sr::obs

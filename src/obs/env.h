@@ -1,0 +1,48 @@
+#ifndef O2SR_OBS_ENV_H_
+#define O2SR_OBS_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace o2sr::obs {
+
+// Loud environment-knob parsing, shared by every O2SR_* integer/double
+// knob (DESIGN.md §15). The contract:
+//
+//   - unset or empty value: the fallback, silently — absence is the
+//     normal case and not worth narrating.
+//   - parseable but outside [lo, hi]: clamped to the range (or reverted
+//     to the fallback, per EnvRangePolicy), with a WARNING log naming the
+//     variable, the rejected value and what was used instead.
+//   - garbage ("abc", "12x", "", overflow): fatal, INVALID_ARGUMENT-style,
+//     naming the variable and the accepted form. Env knobs are operator
+//     input; a typo that silently reverts to a default is how
+//     misconfigured fleets ship.
+//
+// The fatal path prints to stderr directly (like O2SR_CHECK) so it stays
+// visible even when O2SR_LOG_LEVEL=off.
+
+enum class EnvRangePolicy {
+  kClamp,     // out-of-range -> nearest bound
+  kFallback,  // out-of-range -> the fallback value
+};
+
+int64_t EnvInt(const char* name, int64_t fallback, int64_t lo, int64_t hi,
+               EnvRangePolicy policy = EnvRangePolicy::kClamp);
+
+double EnvDouble(const char* name, double fallback, double lo, double hi,
+                 EnvRangePolicy policy = EnvRangePolicy::kClamp);
+
+// Unset/empty -> fallback; any other value is accepted verbatim.
+std::string EnvString(const char* name, const std::string& fallback);
+
+// Exact-match enumeration knob. Returns the index of the matched entry in
+// `accepted`, or `fallback_index` when the variable is unset or empty.
+// Any other value is fatal, listing the accepted set.
+int EnvChoice(const char* name, const std::vector<std::string>& accepted,
+              int fallback_index);
+
+}  // namespace o2sr::obs
+
+#endif  // O2SR_OBS_ENV_H_

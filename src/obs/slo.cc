@@ -3,21 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/env.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace o2sr::obs {
 
 namespace {
-
-bool ParsePositiveDouble(const char* text, double* out) {
-  if (text == nullptr || *text == '\0') return false;
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (end == nullptr || *end != '\0' || !(value > 0.0)) return false;
-  *out = value;
-  return true;
-}
 
 // Nearest-rank quantile over an ascending-sorted vector.
 double QuantileSorted(const std::vector<double>& sorted, double q) {
@@ -32,14 +24,12 @@ double QuantileSorted(const std::vector<double>& sorted, double q) {
 
 SloConfig SloConfig::FromEnv() {
   SloConfig config;
-  double value = 0.0;
-  if (ParsePositiveDouble(std::getenv("O2SR_SERVE_SLO_MS"), &value)) {
-    config.slo_ms = value;
-  }
-  if (ParsePositiveDouble(std::getenv("O2SR_SERVE_SLO_TARGET"), &value) &&
-      value < 1.0) {
-    config.target = value;
-  }
+  // Out-of-range values revert to the defaults (an SLO clamped to an
+  // absurd bound would be worse than the default), with a warning.
+  config.slo_ms = EnvDouble("O2SR_SERVE_SLO_MS", config.slo_ms, 1e-6, 1e9,
+                            EnvRangePolicy::kFallback);
+  config.target = EnvDouble("O2SR_SERVE_SLO_TARGET", config.target, 1e-6,
+                            1.0 - 1e-9, EnvRangePolicy::kFallback);
   return config;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "eval/experiment.h"
+#include "obs/env.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
@@ -38,25 +39,14 @@ obs::Counter* CounterOf(const char* name) {
 
 void ApplyPipelineEnv(PipelineOptions* options) {
   O2SR_CHECK(options != nullptr);
-  if (const char* dir = std::getenv("O2SR_PIPELINE_DIR");
-      dir != nullptr && dir[0] != '\0') {
-    options->work_dir = dir;
-  }
-  if (const char* cycles = std::getenv("O2SR_PIPELINE_CYCLES");
-      cycles != nullptr && cycles[0] != '\0') {
-    const int v = std::atoi(cycles);
-    if (v > 0) options->cycles = v;
-  }
-  if (const char* retries = std::getenv("O2SR_PIPELINE_RETRIES");
-      retries != nullptr && retries[0] != '\0') {
-    const int v = std::atoi(retries);
-    if (v > 0) options->retry.max_attempts = v;
-  }
-  if (const char* backoff = std::getenv("O2SR_PIPELINE_BACKOFF_MS");
-      backoff != nullptr && backoff[0] != '\0') {
-    const double v = std::atof(backoff);
-    if (v >= 0.0) options->retry.initial_backoff_ms = v;
-  }
+  options->work_dir = obs::EnvString("O2SR_PIPELINE_DIR", options->work_dir);
+  options->cycles = static_cast<int>(
+      obs::EnvInt("O2SR_PIPELINE_CYCLES", options->cycles, 1, 1000000000));
+  options->retry.max_attempts = static_cast<int>(obs::EnvInt(
+      "O2SR_PIPELINE_RETRIES", options->retry.max_attempts, 1, 1000000));
+  options->retry.initial_backoff_ms =
+      obs::EnvDouble("O2SR_PIPELINE_BACKOFF_MS",
+                     options->retry.initial_backoff_ms, 0.0, 1e12);
 }
 
 struct ContinualPipeline::CycleWorld {

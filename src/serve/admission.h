@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "obs/env.h"
+
 namespace o2sr::serve {
 
 // Bounded admission for the serving engine: a lock-free in-flight counter
@@ -23,14 +25,10 @@ class AdmissionController {
       : max_inflight_(max_inflight) {}
 
   // High-water override from O2SR_SERVE_MAX_INFLIGHT ("0" = unbounded);
-  // `fallback` when unset or unparsable.
+  // `fallback` when unset. Garbage is fatal (obs::EnvInt).
   static int64_t MaxInflightFromEnv(int64_t fallback) {
-    const char* env = std::getenv("O2SR_SERVE_MAX_INFLIGHT");
-    if (env == nullptr || *env == '\0') return fallback;
-    char* end = nullptr;
-    const long long value = std::strtoll(env, &end, 10);
-    if (end == env || *end != '\0' || value < 0) return fallback;
-    return static_cast<int64_t>(value);
+    return obs::EnvInt("O2SR_SERVE_MAX_INFLIGHT", fallback, 0,
+                       int64_t{1} << 40);
   }
 
   // True = admitted (caller must Release); false = shed.

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/env.h"
+
 namespace o2sr::serve {
 
 // Per-request latency budget, carried through the serving path as a fixed
@@ -39,14 +41,10 @@ class Deadline {
   }
 
   // Engine-wide default budget from O2SR_SERVE_DEADLINE_MS; `fallback_ms`
-  // (<= 0 meaning "no deadline") when unset or unparsable.
+  // when unset. Non-positive values mean "no deadline" and are accepted;
+  // garbage is fatal (obs::EnvDouble).
   static double DefaultBudgetMsFromEnv(double fallback_ms) {
-    const char* env = std::getenv("O2SR_SERVE_DEADLINE_MS");
-    if (env == nullptr || *env == '\0') return fallback_ms;
-    char* end = nullptr;
-    const double value = std::strtod(env, &end);
-    if (end == env || *end != '\0') return fallback_ms;
-    return value;
+    return obs::EnvDouble("O2SR_SERVE_DEADLINE_MS", fallback_ms, -1e12, 1e12);
   }
 
   bool infinite() const { return infinite_; }

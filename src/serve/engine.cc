@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "obs/env.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
@@ -26,15 +27,6 @@ obs::SloConfig ResolveSloConfig(const ServingOptions& options) {
     config.target = options.slo_target;
   }
   return config;
-}
-
-int ClampedIntFromEnv(const char* name, int fallback, int lo, int hi) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value <= 0) return fallback;
-  return static_cast<int>(std::clamp<long>(value, lo, hi));
 }
 
 int ResolveNumShards(const ServingOptions& options) {
@@ -163,11 +155,11 @@ PopularityPrior BuildPopularityPrior(
 }
 
 int ServingEngine::ShardsFromEnv(int fallback) {
-  return ClampedIntFromEnv("O2SR_SERVE_SHARDS", fallback, 1, 64);
+  return static_cast<int>(obs::EnvInt("O2SR_SERVE_SHARDS", fallback, 1, 64));
 }
 
 int ServingEngine::BatchSizeFromEnv(int fallback) {
-  return ClampedIntFromEnv("O2SR_SERVE_BATCH", fallback, 1, 4096);
+  return static_cast<int>(obs::EnvInt("O2SR_SERVE_BATCH", fallback, 1, 4096));
 }
 
 ServingEngine::ServingEngine(core::SiteRecommender* model,

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/fault.h"
+#include "obs/env.h"
 #include "obs/metrics.h"
 
 namespace o2sr::serve {
@@ -29,12 +30,9 @@ ScoreCache::ScoreCache(int64_t capacity, int shards,
 }
 
 int64_t ScoreCache::CapacityFromEnv(int64_t fallback) {
-  const char* env = std::getenv("O2SR_SERVE_CACHE");
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long long value = std::strtoll(env, &end, 10);
-  if (end == env || *end != '\0' || value < 0) return fallback;
-  return static_cast<int64_t>(value);
+  // "0" is a valid capacity (cache disabled), so the range starts at 0.
+  return obs::EnvInt("O2SR_SERVE_CACHE", fallback, 0,
+                     int64_t{1} << 40);
 }
 
 ScoreCache::Shard& ScoreCache::ShardOf(uint64_t key) {

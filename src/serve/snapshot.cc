@@ -158,33 +158,9 @@ common::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
 
 common::StatusOr<std::string> QuarantineSnapshot(const std::string& path,
                                                  const std::string& reason) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  const fs::path source(path);
-  if (!fs::exists(source, ec)) {
-    return common::NotFoundError("cannot quarantine '" + path +
-                                 "': file does not exist");
-  }
-  const fs::path dir = source.parent_path() / ".quarantine";
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return common::UnavailableError("cannot create quarantine dir '" +
-                                    dir.string() + "': " + ec.message());
-  }
-  const fs::path target = dir / source.filename();
-  fs::rename(source, target, ec);
-  if (ec) {
-    return common::UnavailableError("cannot move '" + path + "' to '" +
-                                    target.string() + "': " + ec.message());
-  }
-  // The reason record rides along best-effort: losing it must not resurrect
-  // the snapshot, so a write failure surfaces in the Status but the move
-  // stands.
-  const std::string reason_path = target.string() + ".reason";
-  O2SR_RETURN_IF_ERROR(nn::WriteFileAtomic(reason_path, reason + "\n")
-                           .WithContext("quarantined to '" + target.string() +
-                                        "' but the reason record failed"));
-  return target.string();
+  // Shared quarantine machinery (also used by the out-of-core dataset
+  // layer): move into a sibling `.quarantine/` plus a `.reason` record.
+  return nn::QuarantineFile(path, reason);
 }
 
 common::Status RestoreModel(const Snapshot& snapshot,

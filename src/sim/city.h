@@ -24,6 +24,9 @@ struct CityModel {
   // [0,1], rows sum to 1 (all-zero rows allowed for empty regions).
   std::vector<std::vector<double>> demographics;
 
+  // Placeholder single-cell city, so holders like sim::World can be
+  // default-constructed before GenerateCity fills them in.
+  CityModel() : grid(1.0, 1.0, 1.0) {}
   explicit CityModel(const geo::Grid& g) : grid(g) {}
 };
 

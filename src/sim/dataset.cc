@@ -8,32 +8,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/world.h"
 
 namespace o2sr::sim {
-
-namespace {
-
-// Fraction of the courier fleet on shift per slot. Supply grows at rush
-// hours but sub-linearly w.r.t. demand, so the supply-demand ratio dips at
-// the two rush periods (the core observation of §II-B1).
-const std::vector<double>& SupplySlotProfile() {
-  static const std::vector<double> kProfile = {
-      0.30, 0.18, 0.15, 0.50, 0.80, 1.00, 0.95, 0.80, 1.00, 0.95, 0.70, 0.45};
-  return kProfile;
-}
-
-double SigmoidAcceptance(double expected_minutes, const SimConfig& cfg) {
-  const double z =
-      (cfg.tolerance_minutes - expected_minutes) / cfg.tolerance_softness;
-  return 1.0 / (1.0 + std::exp(-z));
-}
-
-struct CandidateStore {
-  int store_index = 0;
-  double distance_m = 0.0;
-};
-
-}  // namespace
 
 // City-wide demand activity per 2-hour slot (mean ~1): order placement
 // peaks at the noon rush (10-14) and evening rush (16-20), as in Fig. 1.
@@ -96,159 +73,22 @@ Dataset GenerateDataset(const SimConfig& config,
                         const WorldOverrides& overrides) {
   O2SR_TRACE_SCOPE("sim.generate_dataset");
   Rng rng(config.seed);
-  CityModel city = [&] {
-    O2SR_TRACE_SCOPE("sim.city");
-    return GenerateCity(config, rng);
-  }();
-  Dataset data(config, std::move(city));
-  const geo::Grid& grid = data.city.grid;
-  const int num_regions = grid.NumRegions();
-
-  {
-    O2SR_TRACE_SCOPE("sim.stores");
-    data.type_catalog = BuildTypeCatalog(config.num_store_types, rng);
-    // The generator always runs — even when its result is replaced — so the
-    // RNG stream downstream of this point is identical with and without
-    // overrides: a drifted world differs from the base world only by the
-    // overridden content, never by phantom reshuffling.
-    data.stores = GenerateStores(config, data.city, data.type_catalog, rng);
-    if (overrides.use_stores) {
-      data.stores = overrides.stores;
-      for (size_t si = 0; si < data.stores.size(); ++si) {
-        O2SR_CHECK_EQ(data.stores[si].id, static_cast<int>(si));
-      }
-    }
-  }
+  // The static world (city, stores, preference/courier tables) and the
+  // per-attempt order sampler live in sim/world.h, shared with the
+  // streaming out-of-core generator (sim/stream.h). BuildWorld and
+  // SampleOrderAttempt consume `rng` in exactly the order the monolithic
+  // generator did, so this function is bit-identical to its pre-split
+  // self.
+  const World world = BuildWorld(config, overrides, rng);
+  Dataset data = WorldDataset(world);
+  const int num_regions = data.num_regions();
   const int num_types = data.num_types();
-
-  const std::vector<double>& demand_slot_profile =
-      overrides.demand_slot_profile.empty() ? DefaultDemandSlotProfile()
-                                            : overrides.demand_slot_profile;
-  O2SR_CHECK_EQ(demand_slot_profile.size(),
-                static_cast<size_t>(kSlotsPerDay));
-  std::vector<double> popularity_scale = overrides.type_popularity_scale;
-  if (popularity_scale.empty()) {
-    popularity_scale.assign(num_types, 1.0);
-  }
-  O2SR_CHECK_EQ(popularity_scale.size(), static_cast<size_t>(num_types));
-
-  // ---- Static indexes -----------------------------------------------------
-
-  // Candidate stores per customer region, within the maximum possible scope.
-  const double max_scope_m = config.base_scope_m * config.max_scope_factor;
-  std::vector<std::vector<CandidateStore>> candidates(num_regions);
-  for (int u = 0; u < num_regions; ++u) {
-    const geo::Point uc = grid.Center(u);
-    for (size_t si = 0; si < data.stores.size(); ++si) {
-      const double d = geo::EuclideanMeters(uc, data.stores[si].location);
-      if (d <= max_scope_m) {
-        candidates[u].push_back({static_cast<int>(si), d});
-      }
-    }
-  }
-
-  // Type-choice weights per (region, slot): global per-period popularity
-  // modulated by region demographics (the customer-preference signal of
-  // §II-C).
-  // Idiosyncratic local taste per (region, type): stable over time, not
-  // derivable from POI features — observable only through order history.
-  std::vector<std::vector<double>> taste(num_regions,
-                                         std::vector<double>(num_types, 1.0));
-  if (config.taste_noise_sigma > 0.0) {
-    for (int u = 0; u < num_regions; ++u) {
-      for (int t = 0; t < num_types; ++t) {
-        taste[u][t] = std::exp(rng.Normal(0.0, config.taste_noise_sigma));
-      }
-    }
-  }
-
-  std::vector<std::vector<std::vector<double>>> type_weights(
-      num_regions, std::vector<std::vector<double>>(kSlotsPerDay));
-  for (int u = 0; u < num_regions; ++u) {
-    for (int slot = 0; slot < kSlotsPerDay; ++slot) {
-      auto& w = type_weights[u][slot];
-      w.resize(num_types);
-      for (int t = 0; t < num_types; ++t) {
-        const StoreType& type = data.type_catalog[t];
-        double demo = 0.0;
-        for (int c = 0; c < geo::kNumPoiCategories; ++c) {
-          demo += type.poi_affinity[c] * data.city.demographics[u][c];
-        }
-        w[t] = type.popularity * popularity_scale[t] *
-               type.slot_activity[slot] * taste[u][t] *
-               (1.0 + config.demographic_preference_weight * demo) +
-               1e-9;
-      }
-    }
-  }
-
-  // Expected demand per (region, slot), used for courier allocation and
-  // congestion. density*num_regions ~ 1 for an average region.
-  std::vector<std::vector<double>> expected_demand(
-      kSlotsPerDay, std::vector<double>(num_regions));
-  for (int slot = 0; slot < kSlotsPerDay; ++slot) {
-    for (int u = 0; u < num_regions; ++u) {
-      expected_demand[slot][u] = config.peak_orders_per_region_slot *
-                                 data.city.density[u] * num_regions *
-                                 demand_slot_profile[slot];
-    }
-  }
-
-  // Courier allocation per (slot, region): the fleet fraction on shift is
-  // distributed across regions proportionally to expected_demand^0.85
-  // (imperfect rebalancing), with per-slot noise drawn once.
-  std::vector<std::vector<double>> courier_alloc(
-      kSlotsPerDay, std::vector<double>(num_regions));
-  for (int slot = 0; slot < kSlotsPerDay; ++slot) {
-    const double active = config.num_couriers * SupplySlotProfile()[slot];
-    std::vector<double> w(num_regions);
-    double sum = 0.0;
-    for (int u = 0; u < num_regions; ++u) {
-      w[u] = std::pow(expected_demand[slot][u] + 0.05, 0.85) *
-             rng.Uniform(0.6, 1.4);
-      sum += w[u];
-    }
-    for (int u = 0; u < num_regions; ++u) {
-      courier_alloc[slot][u] = active * w[u] / sum;
-    }
-  }
-
-  data.courier_alloc_slot_region = courier_alloc;
-
-  // Courier ids homed per region: courier k belongs to the region where it
-  // mostly works; ids are dealt out proportionally to allocation at noon.
-  std::vector<std::vector<int>> courier_pool(num_regions);
-  {
-    std::vector<double> w = courier_alloc[5];  // noon slot
-    for (int k = 0; k < config.num_couriers; ++k) {
-      courier_pool[rng.Categorical(w)].push_back(k);
-    }
-  }
-
-  // Congestion (load per courier) of a region at a slot: expected orders
-  // divided by capacity. ~8 deliveries per courier per 2-hour slot.
-  constexpr double kOrdersPerCourierSlot = 5.0;
-  auto congestion = [&](int slot, int region) {
-    const double couriers = std::max(courier_alloc[slot][region], 0.05);
-    return expected_demand[slot][region] / (kOrdersPerCourierSlot * couriers);
-  };
-
-  // Delivery-scope pressure control (§II-B2): the platform shrinks a store
-  // region's scope when its couriers are overloaded.
-  auto scope_factor = [&](int slot, int region) {
-    const double load = std::max(congestion(slot, region), 0.3);
-    return Clamp(1.0 / std::sqrt(load), config.min_scope_factor,
-                 config.max_scope_factor);
-  };
+  const CandidateIndex candidates = BuildCandidates(world, 0, num_regions);
 
   // ---- Order generation ---------------------------------------------------
 
   // Covers the day/slot demand loop and the courier dispatch inside it.
   O2SR_TRACE_SCOPE("sim.orders");
-  const bool open_data = config.preset == SimulationPreset::kOpenData;
-  const double keep_prob = open_data ? 0.45 : 1.0;
-  const double dt_noise_sigma = open_data ? 0.30 : 0.15;
-
   data.scope_factor_per_period.assign(kNumPeriods, 0.0);
   std::vector<int> scope_samples(kNumPeriods, 0);
 
@@ -264,137 +104,37 @@ Dataset GenerateDataset(const SimConfig& config,
       double delivery_minutes_sum = 0.0;
 
       for (int u = 0; u < num_regions; ++u) {
-        const int attempts =
-            rng.Poisson(expected_demand[slot][u] * rng.Uniform(0.85, 1.15));
+        const int attempts = rng.Poisson(world.expected_demand[slot][u] *
+                                         rng.Uniform(0.85, 1.15));
         if (attempts == 0) continue;
-        const geo::Point region_center = grid.Center(u);
         for (int k = 0; k < attempts; ++k) {
-          // 1. Customer picks a cuisine type by regional preference.
-          const int type = rng.Categorical(type_weights[u][slot]);
-
-          // 2. Candidate stores of the type within the store's current
-          //    delivery scope; preference decays with distance and expected
-          //    delivery time.
-          double best_weight_sum = 0.0;
-          std::vector<double> weights;
-          std::vector<int> cand_idx;
-          weights.reserve(8);
-          cand_idx.reserve(8);
-          for (size_t ci = 0; ci < candidates[u].size(); ++ci) {
-            const CandidateStore& cand = candidates[u][ci];
-            const Store& store = data.stores[cand.store_index];
-            if (store.type != type) continue;
-            const double scope =
-                config.base_scope_m * scope_factor(slot, store.region);
-            if (cand.distance_m > scope) continue;
-            const double w =
-                store.quality * std::exp(-cand.distance_m / 2400.0);
-            weights.push_back(w);
-            cand_idx.push_back(static_cast<int>(ci));
-            best_weight_sum += w;
-          }
-          if (weights.empty() || best_weight_sum <= 0.0) continue;
-          const int chosen = cand_idx[rng.Categorical(weights)];
-          const CandidateStore& cand = candidates[u][chosen];
-          const Store& store = data.stores[cand.store_index];
-
-          // 3. Expected delivery time under current courier capacity at the
-          //    store's region.
-          const double load = congestion(slot, store.region);
-          const double prep = config.food_prep_minutes *
-                              data.type_catalog[type].prep_factor;
-          const double pickup_leg_m = rng.Exponential(1.0 / 600.0);
-          const double travel_min =
-              (cand.distance_m + pickup_leg_m) / config.courier_speed_m_per_min;
-          const double queue_min = std::min(
-              config.queue_minutes_per_load * std::max(0.0, load - 0.8),
-              35.0);
-          const double expected_dt = prep + travel_min + queue_min;
-
-          // 4. Customer tolerance: long expected waits lose the order
-          //    (§II-B3) — this is how capacity causally shapes demand.
-          if (!rng.Bernoulli(SigmoidAcceptance(expected_dt, config))) {
+          Order order;
+          if (!SampleOrderAttempt(world, candidates, day, slot, u, rng,
+                                  &order)) {
             continue;
           }
-          if (!rng.Bernoulli(keep_prob)) continue;
-
-          Order order;
           order.order_id = next_order_id++;
-          order.store_id = store.id;
-          order.type = type;
-          order.store_region = store.region;
-          order.store_location = store.location;
-          // Customer location: uniform within the region. The open-data
-          // preset reconstructs customer locations from distances and
-          // "historical transaction patterns" (paper §IV-A1); we model that
-          // reconstruction error as a Gaussian jitter of ~0.75 cells, which
-          // misassigns a sizable share of customers to neighboring regions
-          // without severing the locality the reconstruction preserves.
-          geo::Point cust = {
-              Clamp(region_center.x + rng.Uniform(-0.5, 0.5) * config.cell_m,
-                    0.0, config.city_width_m - 1.0),
-              Clamp(region_center.y + rng.Uniform(-0.5, 0.5) * config.cell_m,
-                    0.0, config.city_height_m - 1.0)};
-          if (open_data) {
-            cust = {Clamp(cust.x + rng.Normal(0.0, 0.75 * config.cell_m),
-                          0.0, config.city_width_m - 1.0),
-                    Clamp(cust.y + rng.Normal(0.0, 0.75 * config.cell_m),
-                          0.0, config.city_height_m - 1.0)};
-          }
-          order.customer_location = cust;
-          order.customer_region = grid.RegionOf(cust);
-          order.distance_m =
-              geo::EuclideanMeters(store.location, order.customer_location);
-          order.day = day;
-          order.slot = slot;
-
-          // 5. Timestamps. The realized delivery time is the expected time
-          //    with lognormal noise; queueing happens while waiting for a
-          //    courier (between acceptance and pickup).
-          const double noise = std::exp(rng.Normal(0.0, dt_noise_sigma));
-          const double actual_dt = expected_dt * noise;
-          order.creation_min = (day * 24.0 * 60.0) + slot * kSlotMinutes +
-                               rng.Uniform(0.0, kSlotMinutes);
-          order.acceptance_min = order.creation_min + rng.Uniform(0.3, 2.0);
-          const double travel_share = travel_min / std::max(expected_dt, 1.0);
-          order.delivery_min = order.creation_min + actual_dt;
-          order.pickup_min =
-              order.delivery_min - actual_dt * travel_share * 0.85;
-          if (order.pickup_min < order.acceptance_min) {
-            order.pickup_min = order.acceptance_min + 0.5;
-          }
-          if (order.delivery_min <= order.pickup_min) {
-            order.delivery_min = order.pickup_min + 1.0;
-          }
-
-          // 6. Courier assignment from the store region's pool (fallback:
-          //    any courier).
-          const auto& pool = courier_pool[store.region];
-          order.courier_id =
-              pool.empty()
-                  ? rng.UniformInt(0, config.num_couriers - 1)
-                  : pool[rng.UniformInt(0, static_cast<int>(pool.size()) - 1)];
-
           delivery_minutes_sum += order.delivery_minutes();
           ++stats.orders;
           data.orders.push_back(order);
 
           if (config.generate_trajectories) {
+            const Order& o = data.orders.back();
             Trajectory traj;
-            traj.courier_id = order.courier_id;
-            traj.order_id = order.order_id;
-            const double leg_min = order.delivery_min - order.pickup_min;
+            traj.courier_id = o.courier_id;
+            traj.order_id = o.order_id;
+            const double leg_min = o.delivery_min - o.pickup_min;
             const int samples =
                 std::max(2, static_cast<int>(leg_min * 60.0 / 20.0));
             for (int sidx = 0; sidx < samples; ++sidx) {
               const double f = sidx / static_cast<double>(samples - 1);
               TrajectoryPoint tp;
-              tp.time_min = order.pickup_min + f * leg_min;
+              tp.time_min = o.pickup_min + f * leg_min;
               tp.location = {
-                  store.location.x +
-                      f * (order.customer_location.x - store.location.x),
-                  store.location.y +
-                      f * (order.customer_location.y - store.location.y)};
+                  o.store_location.x +
+                      f * (o.customer_location.x - o.store_location.x),
+                  o.store_location.y +
+                      f * (o.customer_location.y - o.store_location.y)};
               traj.points.push_back(tp);
             }
             data.trajectories.push_back(std::move(traj));
@@ -403,7 +143,7 @@ Dataset GenerateDataset(const SimConfig& config,
         // Record the applied scope factor for this region/period (averaged
         // later).
         data.scope_factor_per_period[static_cast<int>(period)] +=
-            scope_factor(slot, u);
+            world.scope_factor(slot, u);
         ++scope_samples[static_cast<int>(period)];
       }
       stats.mean_delivery_minutes =

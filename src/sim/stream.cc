@@ -1,0 +1,660 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <system_error>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/math_util.h"
+#include "nn/serialize.h"
+#include "obs/env.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace o2sr::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kDefaultMemBudgetMb = 2048;
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string ResolveDataDir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  return obs::EnvString("O2SR_DATA_DIR", "o2sr_data");
+}
+
+int ResolveMemBudgetMb(int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(
+      obs::EnvInt("O2SR_MEM_BUDGET_MB", kDefaultMemBudgetMb, 64, 1048576));
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return (fs::path(dir) / kManifestFileName).string();
+}
+
+// Serialized size floor of one manifest entry: filename length prefix +
+// the ShardInfo scalars. Guards the entry-count reserve against a
+// corrupted count.
+constexpr uint64_t kMinEntryBytes =
+    sizeof(uint64_t) + 5 * sizeof(uint32_t) + 2 * sizeof(uint64_t);
+
+std::string SerializeManifestPayload(const Manifest& m) {
+  std::string payload;
+  nn::ByteWriter w(&payload);
+  w.Scalar<uint64_t>(m.config_hash);
+  w.Scalar<uint32_t>(m.block_regions);
+  w.Scalar<uint32_t>(m.num_blocks);
+  w.Scalar<uint32_t>(m.epochs);
+  w.Scalar<uint32_t>(m.num_regions);
+  w.Scalar<uint64_t>(m.entries.size());
+  for (const ManifestEntry& e : m.entries) {
+    w.Str(e.filename);
+    w.Scalar<uint32_t>(e.info.block);
+    w.Scalar<uint32_t>(e.info.epoch);
+    w.Scalar<uint32_t>(e.info.region_begin);
+    w.Scalar<uint32_t>(e.info.region_end);
+    w.Scalar<uint32_t>(e.info.num_regions);
+    w.Scalar<uint64_t>(e.info.rows);
+    w.Scalar<uint64_t>(e.info.payload_fnv);
+  }
+  return payload;
+}
+
+common::Status ParseManifestPayload(const std::string& payload,
+                                    const std::string& origin, Manifest* m) {
+  nn::ByteReader r(payload);
+  O2SR_RETURN_IF_ERROR(r.Scalar(&m->config_hash));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&m->block_regions));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&m->num_blocks));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&m->epochs));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&m->num_regions));
+  uint64_t count = 0;
+  O2SR_RETURN_IF_ERROR(r.Scalar(&count));
+  if (count > r.remaining() / kMinEntryBytes) {
+    return common::DataLossError("manifest '" + origin + "' claims " +
+                                 std::to_string(count) +
+                                 " entries, more than its bytes can hold");
+  }
+  m->entries.clear();
+  m->entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    O2SR_RETURN_IF_ERROR(r.Str(&e.filename));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.block));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.epoch));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.region_begin));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.region_end));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.num_regions));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.rows));
+    O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.payload_fnv));
+    m->entries.push_back(std::move(e));
+  }
+  if (r.remaining() != 0) {
+    return common::DataLossError("manifest '" + origin +
+                                 "' has trailing bytes after its entries");
+  }
+  return common::Status::Ok();
+}
+
+// Quarantines `path` and logs; a failed move (e.g. the file vanished) only
+// warns — the caller's recovery proceeds either way.
+void QuarantineLoudly(const std::string& path, const std::string& reason) {
+  O2SR_LOG(WARNING) << "quarantining '" << path << "': " << reason;
+  const common::StatusOr<std::string> moved =
+      nn::QuarantineFile(path, reason);
+  if (!moved.ok()) {
+    O2SR_LOG(WARNING) << "quarantine of '" << path
+                      << "' failed: " << moved.status().ToString();
+  }
+}
+
+int NumBlocks(int num_regions, int block_regions) {
+  return (num_regions + block_regions - 1) / block_regions;
+}
+
+// Does `info` name a cell of the (block_regions, epochs) grid of this
+// world, under the canonical file name? Used to adopt stray shards while
+// rebuilding a lost manifest.
+bool ShardFitsGrid(const ShardInfo& info, const std::string& filename,
+                   int num_regions, int block_regions, int epochs) {
+  const int blocks = NumBlocks(num_regions, block_regions);
+  if (static_cast<int>(info.block) >= blocks) return false;
+  if (static_cast<int>(info.epoch) >= epochs) return false;
+  if (static_cast<int>(info.num_regions) != num_regions) return false;
+  const uint32_t begin = info.block * block_regions;
+  const uint32_t end = std::min<uint32_t>(begin + block_regions, num_regions);
+  if (info.region_begin != begin || info.region_end != end) return false;
+  return filename == ShardFileName(info.block, info.epoch);
+}
+
+// Scans `dir` for shard files; validated shards that fit the grid are
+// adopted into a fresh manifest, everything else shard-shaped is
+// quarantined. The recovery path of a lost/corrupt manifest.
+Manifest RecoverManifestFromShards(const std::string& dir,
+                                   uint64_t config_hash, int num_regions,
+                                   int block_regions, int epochs,
+                                   int* quarantined) {
+  Manifest m;
+  m.config_hash = config_hash;
+  m.block_regions = block_regions;
+  m.num_blocks = NumBlocks(num_regions, block_regions);
+  m.epochs = epochs;
+  m.num_regions = num_regions;
+
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.size() > 5 && name.rfind("shard-", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".o2sp") == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string path = (fs::path(dir) / name).string();
+    const common::StatusOr<ShardInfo> info = ReadShard(path, nullptr);
+    if (!info.ok()) {
+      QuarantineLoudly(path, info.status().ToString());
+      ++*quarantined;
+      continue;
+    }
+    if (!ShardFitsGrid(*info, name, num_regions, block_regions, epochs)) {
+      QuarantineLoudly(path,
+                       "valid shard does not fit the dataset grid (foreign "
+                       "blocking or epoch range)");
+      ++*quarantined;
+      continue;
+    }
+    m.entries.push_back(ManifestEntry{*info, name});
+  }
+  return m;
+}
+
+// Widest region range among validated shards in `dir`; 0 when none. Lets
+// the reader re-infer the blocking after losing the manifest.
+int InferBlockRegions(const std::string& dir) {
+  int widest = 0;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("shard-", 0) != 0) continue;
+    const common::StatusOr<ShardInfo> info =
+        ReadShard(ent.path().string(), nullptr);
+    if (!info.ok()) continue;
+    widest = std::max(widest,
+                      static_cast<int>(info->region_end - info->region_begin));
+  }
+  return widest;
+}
+
+}  // namespace
+
+uint64_t SimConfigHash(const SimConfig& c) {
+  std::string bytes;
+  nn::ByteWriter w(&bytes);
+  w.Scalar<double>(c.city_width_m);
+  w.Scalar<double>(c.city_height_m);
+  w.Scalar<double>(c.cell_m);
+  w.Scalar<int32_t>(c.num_store_types);
+  w.Scalar<int32_t>(c.num_stores);
+  w.Scalar<int32_t>(c.num_couriers);
+  w.Scalar<int32_t>(c.num_days);
+  w.Scalar<double>(c.peak_orders_per_region_slot);
+  w.Scalar<double>(c.courier_speed_m_per_min);
+  w.Scalar<double>(c.food_prep_minutes);
+  w.Scalar<double>(c.queue_minutes_per_load);
+  w.Scalar<double>(c.base_scope_m);
+  w.Scalar<double>(c.min_scope_factor);
+  w.Scalar<double>(c.max_scope_factor);
+  w.Scalar<double>(c.tolerance_minutes);
+  w.Scalar<double>(c.tolerance_softness);
+  w.Scalar<double>(c.demographic_preference_weight);
+  w.Scalar<double>(c.taste_noise_sigma);
+  w.Scalar<int32_t>(static_cast<int32_t>(c.preset));
+  w.Scalar<uint8_t>(c.generate_trajectories ? 1 : 0);
+  w.Scalar<uint64_t>(c.seed);
+  return nn::Fnv1a(bytes);
+}
+
+uint64_t ShardSeed(uint64_t seed, int epoch, int region) {
+  const uint64_t z = SplitMix64(seed ^ static_cast<uint64_t>(epoch));
+  return SplitMix64(z ^ static_cast<uint64_t>(region));
+}
+
+int AutoBlockRegions(const World& world, int mem_budget_mb) {
+  const SimConfig& c = world.config;
+  const int num_regions = world.num_regions();
+  // Candidate-index footprint estimate: each store lands in the candidate
+  // list of every region within delivery scope, so a region holds roughly
+  // stores x (scope disc area / city area) entries.
+  const double area = c.city_width_m * c.city_height_m;
+  const double scope = c.base_scope_m * c.max_scope_factor;
+  const double coverage = std::min(1.0, 3.14159265358979 * scope * scope /
+                                            area);
+  const double est_candidates =
+      static_cast<double>(world.stores.size()) * coverage;
+  // 16 bytes per TypedCandidate, plus generous slack for the per-type list
+  // headers and the shard's row buffer.
+  const double per_region_bytes = est_candidates * 16.0 + 65536.0;
+  const double budget_bytes = static_cast<double>(mem_budget_mb) * 1048576.0;
+  // Half the budget goes to the block (the rest covers the world tables);
+  // cap at ceil(R/4) so every dataset gets at least 4 blocks of real
+  // sharding.
+  const int cap = (num_regions + 3) / 4;
+  const int by_budget =
+      static_cast<int>(budget_bytes * 0.5 / per_region_bytes);
+  return Clamp(std::min(by_budget, cap), 1, num_regions);
+}
+
+void GenerateBlockRows(const World& world, const CandidateIndex& candidates,
+                       int epoch, ShardColumns* out) {
+  for (int u = candidates.region_begin; u < candidates.region_end; ++u) {
+    Rng rng(ShardSeed(world.config.seed, epoch, u));
+    for (int slot = 0; slot < kSlotsPerDay; ++slot) {
+      const double jitter = rng.Uniform(0.85, 1.15);
+      const int attempts =
+          rng.Poisson(world.expected_demand[slot][u] * jitter);
+      for (int k = 0; k < attempts; ++k) {
+        Order order;
+        if (!SampleOrderAttempt(world, candidates, epoch, slot, u, rng,
+                                &order)) {
+          continue;
+        }
+        SpillRow row;
+        row.store_region = static_cast<uint32_t>(order.store_region);
+        row.customer_region = static_cast<uint32_t>(order.customer_region);
+        row.type = static_cast<uint16_t>(order.type);
+        row.slot = static_cast<uint8_t>(slot);
+        row.delivery_minutes = order.delivery_minutes();
+        row.distance_m = order.distance_m;
+        out->Append(row);
+      }
+    }
+  }
+}
+
+common::Status WriteManifest(const std::string& path, const Manifest& m) {
+  common::FaultInjector& faults = common::FaultInjector::Global();
+  faults.InjectDelay("dataset.manifest");
+  O2SR_RETURN_IF_ERROR(
+      faults.InjectError("dataset.manifest").WithContext("writing " + path));
+  std::string payload = SerializeManifestPayload(m);
+  // Corrupting the payload BEFORE the envelope is sealed publishes a
+  // manifest whose container checksum passes but whose payload is garbage:
+  // the reader's payload parser must hold the line on its own.
+  faults.InjectCorruption("dataset.manifest", &payload);
+  return nn::WriteContainerFile(path, kManifestMagic, kManifestVersion,
+                                payload);
+}
+
+common::StatusOr<Manifest> ReadManifest(const std::string& path) {
+  common::FaultInjector& faults = common::FaultInjector::Global();
+  faults.InjectDelay("dataset.manifest");
+  O2SR_ASSIGN_OR_RETURN(std::string payload,
+                        nn::ReadContainerFile(path, kManifestMagic,
+                                              kManifestVersion));
+  faults.InjectCorruption("dataset.manifest", &payload);
+  Manifest m;
+  O2SR_RETURN_IF_ERROR(ParseManifestPayload(payload, path, &m));
+  return m;
+}
+
+common::StatusOr<StreamResult> StreamGenerate(const SimConfig& config,
+                                              const StreamOptions& options) {
+  O2SR_TRACE_SCOPE("sim.stream_generate");
+  StreamResult result;
+  result.data_dir = ResolveDataDir(options.data_dir);
+  result.resolved_mem_budget_mb = ResolveMemBudgetMb(options.mem_budget_mb);
+  result.epochs = config.num_days;
+
+  std::error_code ec;
+  fs::create_directories(result.data_dir, ec);
+  if (ec) {
+    return common::UnavailableError("cannot create data dir '" +
+                                    result.data_dir + "': " + ec.message());
+  }
+
+  Rng rng(config.seed);
+  const World world = BuildWorld(config, WorldOverrides(), rng);
+  const int num_regions = world.num_regions();
+  const uint64_t config_hash = SimConfigHash(config);
+
+  // The blocking a FRESH run would choose; a surviving manifest overrides
+  // it (layout is part of the journal, resume must not re-tile).
+  int block_regions =
+      options.block_regions > 0
+          ? Clamp(options.block_regions, 1, num_regions)
+          : AutoBlockRegions(world, result.resolved_mem_budget_mb);
+
+  const std::string manifest_path = ManifestPath(result.data_dir);
+  Manifest manifest;
+  common::StatusOr<Manifest> loaded = ReadManifest(manifest_path);
+  if (loaded.ok()) {
+    if (loaded->config_hash != config_hash) {
+      return common::FailedPreconditionError(
+          "dataset dir '" + result.data_dir +
+          "' was ingested for a different SimConfig (manifest fingerprint " +
+          std::to_string(loaded->config_hash) + ", this config " +
+          std::to_string(config_hash) + "); refusing to mix shards");
+    }
+    if (static_cast<int>(loaded->block_regions) != block_regions) {
+      O2SR_LOG(WARNING) << "resuming with the manifest's blocking ("
+                        << loaded->block_regions << " regions/block), not "
+                        << block_regions;
+    }
+    manifest = std::move(*loaded);
+    block_regions = static_cast<int>(manifest.block_regions);
+  } else if (loaded.status().code() == common::StatusCode::kNotFound) {
+    manifest.config_hash = config_hash;
+    manifest.block_regions = block_regions;
+    manifest.num_blocks = NumBlocks(num_regions, block_regions);
+    manifest.epochs = config.num_days;
+    manifest.num_regions = num_regions;
+  } else {
+    // Torn or corrupt journal: quarantine it and rebuild from the shards
+    // themselves — each shard is self-describing and self-checking.
+    QuarantineLoudly(manifest_path, loaded.status().ToString());
+    ++result.quarantined;
+    manifest =
+        RecoverManifestFromShards(result.data_dir, config_hash, num_regions,
+                                  block_regions, config.num_days,
+                                  &result.quarantined);
+    O2SR_RETURN_IF_ERROR(WriteManifest(manifest_path, manifest));
+  }
+
+  result.block_regions = block_regions;
+  result.num_blocks = NumBlocks(num_regions, block_regions);
+
+  std::map<std::pair<uint32_t, uint32_t>, size_t> done;
+  for (size_t i = 0; i < manifest.entries.size(); ++i) {
+    const ShardInfo& info = manifest.entries[i].info;
+    done[{info.block, info.epoch}] = i;
+  }
+
+  for (int block = 0; block < result.num_blocks && !result.stopped_early;
+       ++block) {
+    const int begin = block * block_regions;
+    const int end = std::min(begin + block_regions, num_regions);
+    // Skip fully journaled blocks without paying for their candidate
+    // index — the common case when resuming near the end.
+    bool all_done = true;
+    for (int epoch = 0; epoch < config.num_days; ++epoch) {
+      if (done.find({static_cast<uint32_t>(block),
+                     static_cast<uint32_t>(epoch)}) == done.end()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      result.shards_skipped += config.num_days;
+      continue;
+    }
+
+    const CandidateIndex candidates = BuildCandidates(world, begin, end);
+    ShardColumns columns;
+    for (int epoch = 0; epoch < config.num_days; ++epoch) {
+      if (done.count({static_cast<uint32_t>(block),
+                      static_cast<uint32_t>(epoch)}) != 0) {
+        ++result.shards_skipped;
+        continue;
+      }
+      columns.Clear();
+      GenerateBlockRows(world, candidates, epoch, &columns);
+
+      ShardInfo identity;
+      identity.block = block;
+      identity.epoch = epoch;
+      identity.region_begin = begin;
+      identity.region_end = end;
+      identity.num_regions = num_regions;
+      const std::string filename = ShardFileName(block, epoch);
+      const std::string path =
+          (fs::path(result.data_dir) / filename).string();
+      O2SR_ASSIGN_OR_RETURN(const ShardInfo info,
+                            WriteShard(path, columns, identity));
+
+      // Journal the publish before moving on: kill-anywhere resume only
+      // ever re-does the one shard whose journal write did not land (and
+      // regenerating it writes the same bytes).
+      manifest.entries.push_back(ManifestEntry{info, filename});
+      O2SR_RETURN_IF_ERROR(WriteManifest(manifest_path, manifest));
+      result.rows += info.rows;
+      ++result.shards_written;
+      if (options.max_shards_per_run > 0 &&
+          result.shards_written >= options.max_shards_per_run) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  for (const ManifestEntry& e : manifest.entries) {
+    result.total_rows += e.info.rows;
+  }
+  O2SR_LOG(DEBUG) << "stream ingest: " << result.shards_written
+                  << " shards written, " << result.shards_skipped
+                  << " resumed, " << result.total_rows << " total rows in '"
+                  << result.data_dir << "'";
+  return result;
+}
+
+common::StatusOr<DatasetReader> DatasetReader::Open(
+    const SimConfig& config, const std::string& dir,
+    const SpillReadOptions& options) {
+  DatasetReader reader;
+  reader.dir_ = ResolveDataDir(dir);
+  reader.options_ = options;
+
+  Rng rng(config.seed);
+  reader.world_ = BuildWorld(config, WorldOverrides(), rng);
+  const int num_regions = reader.world_.num_regions();
+  const uint64_t config_hash = SimConfigHash(config);
+
+  const std::string manifest_path = ManifestPath(reader.dir_);
+  common::StatusOr<Manifest> loaded = ReadManifest(manifest_path);
+  if (!loaded.ok()) {
+    if (loaded.status().code() == common::StatusCode::kNotFound ||
+        options.policy == SpillReadPolicy::kStrict) {
+      return loaded.status().WithContext("opening dataset '" + reader.dir_ +
+                                         "'");
+    }
+    // Corrupt journal, quarantine policy: re-infer the blocking from the
+    // surviving shards, rebuild the manifest, and heal it on disk.
+    QuarantineLoudly(manifest_path, loaded.status().ToString());
+    const int block_regions = InferBlockRegions(reader.dir_);
+    if (block_regions <= 0) {
+      return common::DataLossError(
+          "dataset '" + reader.dir_ +
+          "': manifest is corrupt and no readable shard survives to "
+          "recover the layout from");
+    }
+    int quarantined = 0;
+    reader.manifest_ = RecoverManifestFromShards(
+        reader.dir_, config_hash, num_regions, block_regions,
+        config.num_days, &quarantined);
+    O2SR_RETURN_IF_ERROR(WriteManifest(manifest_path, reader.manifest_));
+  } else {
+    reader.manifest_ = std::move(*loaded);
+  }
+  if (reader.manifest_.config_hash != config_hash) {
+    return common::FailedPreconditionError(
+        "dataset '" + reader.dir_ +
+        "' was ingested for a different SimConfig (manifest fingerprint " +
+        std::to_string(reader.manifest_.config_hash) + ", this config " +
+        std::to_string(config_hash) + ")");
+  }
+  if (static_cast<int>(reader.manifest_.num_regions) != num_regions) {
+    return common::FailedPreconditionError(
+        "dataset '" + reader.dir_ + "' covers " +
+        std::to_string(reader.manifest_.num_regions) +
+        " regions, this config builds " + std::to_string(num_regions));
+  }
+  return reader;
+}
+
+common::Status DatasetReader::Stream(const ShardSink& sink,
+                                     SpillReadReport* report) {
+  O2SR_TRACE_SCOPE("sim.stream_read");
+  SpillReadReport local;
+  SpillReadReport& rep = report != nullptr ? *report : local;
+  rep = SpillReadReport();
+
+  const int num_regions = manifest_.num_regions;
+  const int block_regions = manifest_.block_regions;
+  const int num_blocks = NumBlocks(num_regions, block_regions);
+  const int epochs = manifest_.epochs;
+
+  std::map<std::pair<uint32_t, uint32_t>, const ManifestEntry*> by_cell;
+  for (const ManifestEntry& e : manifest_.entries) {
+    by_cell[{e.info.block, e.info.epoch}] = &e;
+  }
+
+  // Lazily built per block, only when a shard in it needs regeneration.
+  CandidateIndex candidates;
+  bool have_candidates = false;
+  int candidates_block = -1;
+
+  // Epoch-major: within an epoch, blocks ascending visit regions 0..R-1 in
+  // order, so the ROW order seen by the sink is (epoch, region, slot,
+  // attempt) — independent of the blocking. Floating-point accumulation
+  // downstream is therefore bit-identical across memory budgets.
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int block = 0; block < num_blocks; ++block) {
+      const int begin = block * block_regions;
+      const int end = std::min(begin + block_regions, num_regions);
+      const auto it = by_cell.find(
+          {static_cast<uint32_t>(block), static_cast<uint32_t>(epoch)});
+      const ManifestEntry* entry = it == by_cell.end() ? nullptr : it->second;
+      const std::string filename =
+          entry != nullptr ? entry->filename : ShardFileName(block, epoch);
+      const std::string path = (fs::path(dir_) / filename).string();
+
+      ShardColumns columns;
+      bool have_rows = false;
+      ShardInfo info;
+
+      if (entry != nullptr) {
+        common::StatusOr<ShardInfo> read = ReadShard(path, &columns);
+        if (read.ok() &&
+            (read->block != entry->info.block ||
+             read->epoch != entry->info.epoch ||
+             read->region_begin != entry->info.region_begin ||
+             read->region_end != entry->info.region_end ||
+             read->num_regions != entry->info.num_regions ||
+             read->rows != entry->info.rows ||
+             read->payload_fnv != entry->info.payload_fnv)) {
+          read = common::DataLossError(
+              "shard '" + path +
+              "': intact file disagrees with its manifest record (swapped "
+              "or stale shard)");
+        }
+        if (read.ok()) {
+          info = *read;
+          have_rows = true;
+          ++rep.shards_read;
+        } else {
+          if (options_.policy == SpillReadPolicy::kStrict) {
+            return read.status().WithContext("reading dataset '" + dir_ +
+                                             "'");
+          }
+          if (read.status().code() != common::StatusCode::kNotFound) {
+            QuarantineLoudly(path, read.status().ToString());
+          } else {
+            O2SR_LOG(WARNING) << "shard '" << path
+                              << "' is journaled but missing on disk";
+          }
+          ++rep.quarantined;
+        }
+      } else {
+        if (options_.policy == SpillReadPolicy::kStrict) {
+          return common::DataLossError(
+              "dataset '" + dir_ + "': shard (block " +
+              std::to_string(block) + ", epoch " + std::to_string(epoch) +
+              ") was never journaled — ingestion is incomplete");
+        }
+        O2SR_LOG(WARNING) << "dataset '" << dir_ << "': cell (block "
+                          << block << ", epoch " << epoch
+                          << ") missing from the journal";
+        ++rep.quarantined;
+      }
+
+      if (!have_rows) {
+        if (!options_.regenerate) {
+          ++rep.skipped;
+          O2SR_LOG(WARNING)
+              << "skipping lost shard (block " << block << ", epoch "
+              << epoch << "); " << rep.skipped << "/"
+              << options_.max_quarantined << " of the error budget used";
+          if (rep.skipped > options_.max_quarantined) {
+            return common::DataLossError(
+                "dataset '" + dir_ + "': " + std::to_string(rep.skipped) +
+                " shards lost, more than the max_quarantined budget of " +
+                std::to_string(options_.max_quarantined));
+          }
+          continue;
+        }
+        // Regenerate the lost rows from the seeded simulator; the result
+        // is bit-identical to the original publish.
+        if (!have_candidates || candidates_block != block) {
+          candidates = BuildCandidates(world_, begin, end);
+          have_candidates = true;
+          candidates_block = block;
+        }
+        columns.Clear();
+        GenerateBlockRows(world_, candidates, epoch, &columns);
+        ShardInfo identity;
+        identity.block = block;
+        identity.epoch = epoch;
+        identity.region_begin = begin;
+        identity.region_end = end;
+        identity.num_regions = num_regions;
+        info = identity;
+        const std::string regen = SerializeShard(columns, &info);
+        if (entry != nullptr && info.payload_fnv != entry->info.payload_fnv) {
+          return common::DataLossError(
+              "dataset '" + dir_ + "': regenerated shard (block " +
+              std::to_string(block) + ", epoch " + std::to_string(epoch) +
+              ") disagrees with its manifest record — the journal itself "
+              "is untrustworthy");
+        }
+        // Heal the on-disk copy best-effort; the in-memory rows feed the
+        // sink either way, so a read pass stays usable on a full disk.
+        const common::Status healed = nn::WriteFileAtomic(path, regen);
+        if (!healed.ok()) {
+          O2SR_LOG(WARNING) << "could not re-publish regenerated shard '"
+                            << path << "': " << healed.ToString();
+        } else if (entry == nullptr) {
+          manifest_.entries.push_back(ManifestEntry{info, filename});
+          const common::Status journaled =
+              WriteManifest(ManifestPath(dir_), manifest_);
+          if (!journaled.ok()) {
+            O2SR_LOG(WARNING) << "could not journal regenerated shard: "
+                              << journaled.ToString();
+          }
+        }
+        ++rep.regenerated;
+        have_rows = true;
+      }
+
+      rep.rows += columns.rows();
+      O2SR_RETURN_IF_ERROR(sink(columns, info));
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace o2sr::sim

@@ -118,6 +118,27 @@ TEST(ClassifyFieldTest, DirectionsAndTimingFlags) {
   EXPECT_DOUBLE_EQ(ClassifyField("mt_queries_t2").rel_tol, 0.0);
   EXPECT_EQ(ClassifyField("mt_tenants").direction, FieldDirection::kTwoSided);
   EXPECT_EQ(ClassifyField("mt_batch").direction, FieldDirection::kTwoSided);
+
+  // Out-of-core scale bench (bench_scale): peak RSS is direction-aware
+  // (growth regresses) but NOT a timing field — --ignore-timings still
+  // checks it — and the dataset/layout shape fields are exact.
+  EXPECT_EQ(ClassifyField("peak_rss_mb").direction,
+            FieldDirection::kLowerBetter);
+  EXPECT_FALSE(ClassifyField("peak_rss_mb").timing);
+  for (const char* label :
+       {"stores", "orders", "shards", "blocks", "regions", "epochs",
+        "block_regions", "types", "mem_budget_mb", "rows"}) {
+    EXPECT_EQ(ClassifyField(label).direction, FieldDirection::kTwoSided)
+        << label;
+    EXPECT_DOUBLE_EQ(ClassifyField(label).rel_tol, 0.0) << label;
+    EXPECT_FALSE(ClassifyField(label).timing) << label;
+  }
+  // The serving deadline budget is a configured constant, not a measured
+  // latency: the "budget" rule wins over the "_ms" timing rule, so it is
+  // exact-matched even under --ignore-timings.
+  EXPECT_EQ(ClassifyField("deadline_budget_ms").direction,
+            FieldDirection::kTwoSided);
+  EXPECT_FALSE(ClassifyField("deadline_budget_ms").timing);
 }
 
 // ---------------------------------------------------------------------------

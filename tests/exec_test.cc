@@ -29,12 +29,17 @@ TEST(NumChunksTest, CoversRangeExactly) {
 TEST(NumThreadsFromEnvTest, ParsesOverride) {
   ::setenv("O2SR_THREADS", "3", 1);
   EXPECT_EQ(NumThreadsFromEnv(), 3);
-  ::setenv("O2SR_THREADS", "0", 1);  // non-positive -> hardware default
-  EXPECT_GE(NumThreadsFromEnv(), 1);
-  ::setenv("O2SR_THREADS", "garbage", 1);
-  EXPECT_GE(NumThreadsFromEnv(), 1);
+  ::setenv("O2SR_THREADS", "0", 1);  // out of range -> clamped (with warning)
+  EXPECT_EQ(NumThreadsFromEnv(), 1);
   ::setenv("O2SR_THREADS", "100000", 1);
-  EXPECT_LE(NumThreadsFromEnv(), 256);
+  EXPECT_EQ(NumThreadsFromEnv(), 256);
+  ::unsetenv("O2SR_THREADS");
+  EXPECT_GE(NumThreadsFromEnv(), 1);
+}
+
+TEST(NumThreadsFromEnvDeathTest, GarbageIsFatal) {
+  ::setenv("O2SR_THREADS", "garbage", 1);
+  EXPECT_DEATH(NumThreadsFromEnv(), "O2SR_THREADS='garbage'");
   ::unsetenv("O2SR_THREADS");
 }
 

@@ -258,10 +258,16 @@ TEST(ScoreCacheTest, CapacityFromEnv) {
   EXPECT_EQ(ScoreCache::CapacityFromEnv(7), 123);
   ::setenv("O2SR_SERVE_CACHE", "0", 1);
   EXPECT_EQ(ScoreCache::CapacityFromEnv(7), 0);
-  ::setenv("O2SR_SERVE_CACHE", "nonsense", 1);
-  EXPECT_EQ(ScoreCache::CapacityFromEnv(7), 7);
+  ::setenv("O2SR_SERVE_CACHE", "-4", 1);  // out of range -> clamped, warned
+  EXPECT_EQ(ScoreCache::CapacityFromEnv(7), 0);
   ::unsetenv("O2SR_SERVE_CACHE");
   EXPECT_EQ(ScoreCache::CapacityFromEnv(7), 7);
+}
+
+TEST(ScoreCacheDeathTest, GarbageCapacityIsFatal) {
+  ::setenv("O2SR_SERVE_CACHE", "nonsense", 1);
+  EXPECT_DEATH(ScoreCache::CapacityFromEnv(7), "O2SR_SERVE_CACHE='nonsense'");
+  ::unsetenv("O2SR_SERVE_CACHE");
 }
 
 // --- Snapshot container -----------------------------------------------

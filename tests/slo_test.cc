@@ -28,14 +28,15 @@ TEST(SloConfigTest, FromEnvParsesAndRejectsGarbage) {
   EXPECT_DOUBLE_EQ(cfg.slo_ms, 12.5);
   EXPECT_DOUBLE_EQ(cfg.target, 0.95);
 
-  // Out-of-range and malformed values fall back to the defaults.
+  // Out-of-range values fall back to the defaults (with a warning).
   ::setenv("O2SR_SERVE_SLO_MS", "-3", 1);
   ::setenv("O2SR_SERVE_SLO_TARGET", "1.5", 1);
   cfg = SloConfig::FromEnv();
   EXPECT_DOUBLE_EQ(cfg.slo_ms, 50.0);
   EXPECT_DOUBLE_EQ(cfg.target, 0.99);
 
-  ::setenv("O2SR_SERVE_SLO_MS", "fast", 1);
+  // Empty counts as unset; malformed values are fatal (see death test).
+  ::setenv("O2SR_SERVE_SLO_MS", "", 1);
   ::setenv("O2SR_SERVE_SLO_TARGET", "", 1);
   cfg = SloConfig::FromEnv();
   EXPECT_DOUBLE_EQ(cfg.slo_ms, 50.0);
@@ -46,6 +47,12 @@ TEST(SloConfigTest, FromEnvParsesAndRejectsGarbage) {
   cfg = SloConfig::FromEnv();
   EXPECT_DOUBLE_EQ(cfg.slo_ms, 50.0);
   EXPECT_DOUBLE_EQ(cfg.target, 0.99);
+}
+
+TEST(SloConfigDeathTest, GarbageSloMsIsFatal) {
+  ::setenv("O2SR_SERVE_SLO_MS", "fast", 1);
+  EXPECT_DEATH(SloConfig::FromEnv(), "O2SR_SERVE_SLO_MS='fast'");
+  ::unsetenv("O2SR_SERVE_SLO_MS");
 }
 
 TEST(SloMonitorTest, ClassifiesBadRequests) {

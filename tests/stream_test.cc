@@ -1,0 +1,417 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "features/order_stats.h"
+#include "features/stream_aggregate.h"
+#include "graphs/hetero_graph.h"
+#include "graphs/mobility_graph.h"
+#include "sim/world.h"
+
+namespace o2sr::sim {
+namespace {
+
+using common::StatusCode;
+
+std::string FreshDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+// Small enough that full ingestion plus the kill-at-every-boundary replay
+// stays test-sized, but with several blocks and epochs so resume, blocking
+// and recovery all have real structure to chew on.
+SimConfig TinyConfig() {
+  SimConfig config;
+  config.city_width_m = 2000.0;
+  config.city_height_m = 2000.0;  // 4x4 = 16 regions
+  config.num_store_types = 5;
+  config.num_stores = 80;
+  config.num_couriers = 60;
+  config.num_days = 3;
+  config.peak_orders_per_region_slot = 2.0;
+  config.seed = 77;
+  return config;
+}
+
+StreamOptions Opts(const std::string& dir, int block_regions = 4) {
+  StreamOptions options;
+  options.data_dir = dir;
+  options.block_regions = block_regions;
+  options.mem_budget_mb = 256;
+  return options;
+}
+
+uint64_t AggregateFingerprint(const SimConfig& config,
+                              const std::string& dir,
+                              SpillReadReport* report = nullptr) {
+  auto reader = DatasetReader::Open(config, dir, SpillReadOptions());
+  EXPECT_TRUE(reader.ok()) << reader.status();
+  auto stats = features::AggregateSpill(*reader, report);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return features::FingerprintOrderStats(*stats);
+}
+
+TEST(StreamGenerateTest, FullRunWritesEveryShardAndJournalsThem) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_full");
+  const auto result = StreamGenerate(config, Opts(dir));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_blocks, 4);
+  EXPECT_EQ(result->epochs, 3);
+  EXPECT_EQ(result->shards_written, 12);
+  EXPECT_EQ(result->shards_skipped, 0);
+  EXPECT_GT(result->rows, 0u);
+  EXPECT_EQ(result->rows, result->total_rows);
+
+  const auto manifest = ReadManifest(dir + "/" + kManifestFileName);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  EXPECT_EQ(manifest->entries.size(), 12u);
+  EXPECT_EQ(manifest->config_hash, SimConfigHash(config));
+  for (const ManifestEntry& e : manifest->entries) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + e.filename));
+  }
+}
+
+TEST(StreamGenerateTest, RerunIsANoOp) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_noop");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const auto again = StreamGenerate(config, Opts(dir));
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->shards_written, 0);
+  EXPECT_EQ(again->shards_skipped, 12);
+}
+
+TEST(StreamGenerateTest, DifferentConfigInSameDirIsRejected) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_mixed");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  SimConfig other = config;
+  other.seed = 78;
+  EXPECT_EQ(StreamGenerate(other, Opts(dir)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DatasetReader::Open(other, dir, SpillReadOptions())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// The tentpole proof, in the style of pipeline_test: kill ingestion at
+// EVERY shard boundary (max_shards_per_run=1 publishes exactly one shard
+// per "process lifetime"), restart until done, and require the final
+// shards and manifest to be byte-identical to an uninterrupted run — and
+// the streamed aggregates to fingerprint identically.
+TEST(StreamResumeTest, KillAtEveryShardBoundaryIsBitIdentical) {
+  const SimConfig config = TinyConfig();
+  const std::string ref_dir = FreshDir("stream_ref");
+  const auto ref = StreamGenerate(config, Opts(ref_dir));
+  ASSERT_TRUE(ref.ok()) << ref.status();
+
+  const std::string dir = FreshDir("stream_killed");
+  StreamOptions one = Opts(dir);
+  one.max_shards_per_run = 1;
+  int runs = 0;
+  while (true) {
+    const auto step = StreamGenerate(config, one);
+    ASSERT_TRUE(step.ok()) << step.status();
+    ++runs;
+    ASSERT_LE(runs, 64) << "resume is not converging";
+    if (!step->stopped_early && step->shards_written == 0) break;
+  }
+  EXPECT_EQ(runs, 13);  // 12 one-shard lifetimes + the final no-op pass
+
+  for (int block = 0; block < ref->num_blocks; ++block) {
+    for (int epoch = 0; epoch < config.num_days; ++epoch) {
+      const std::string name = ShardFileName(block, epoch);
+      EXPECT_EQ(ReadFileBytes(dir + "/" + name),
+                ReadFileBytes(ref_dir + "/" + name))
+          << name;
+    }
+  }
+  EXPECT_EQ(ReadFileBytes(dir + "/" + kManifestFileName),
+            ReadFileBytes(ref_dir + "/" + kManifestFileName));
+  EXPECT_EQ(AggregateFingerprint(config, dir),
+            AggregateFingerprint(config, ref_dir));
+}
+
+// A shard published without its journal entry (the crash window between
+// WriteShard and WriteManifest) is regenerated to the same bytes.
+TEST(StreamResumeTest, UnjournaledShardIsRewrittenIdentically) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_unjournaled");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const std::string victim = dir + "/" + ShardFileName(1, 2);
+  const std::string original = ReadFileBytes(victim);
+
+  // Forge the crash window: shard on disk, manifest missing its entry.
+  auto manifest = ReadManifest(dir + "/" + kManifestFileName);
+  ASSERT_TRUE(manifest.ok());
+  auto& entries = manifest->entries;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const ManifestEntry& e) {
+                                 return e.info.block == 1 &&
+                                        e.info.epoch == 2;
+                               }),
+                entries.end());
+  ASSERT_TRUE(WriteManifest(dir + "/" + kManifestFileName, *manifest).ok());
+
+  const auto resumed = StreamGenerate(config, Opts(dir));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->shards_written, 1);
+  EXPECT_EQ(ReadFileBytes(victim), original);
+}
+
+// Blocking is pure I/O batching: different block sizes (and hence memory
+// budgets) produce different shard files but IDENTICAL aggregates.
+TEST(StreamResumeTest, AggregatesAreInvariantToBlocking) {
+  const SimConfig config = TinyConfig();
+  const std::string a = FreshDir("stream_blocks_a");
+  const std::string b = FreshDir("stream_blocks_b");
+  ASSERT_TRUE(StreamGenerate(config, Opts(a, 4)).ok());
+  ASSERT_TRUE(StreamGenerate(config, Opts(b, 7)).ok());
+  EXPECT_EQ(AggregateFingerprint(config, a), AggregateFingerprint(config, b));
+}
+
+TEST(StreamReaderTest, CorruptShardIsQuarantinedAndRegenerated) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_corrupt_regen");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const uint64_t clean = AggregateFingerprint(config, dir);
+
+  const std::string victim = dir + "/" + ShardFileName(2, 1);
+  const std::string original = ReadFileBytes(victim);
+  std::string mutated = original;
+  mutated[mutated.size() / 2] ^= 0x20;  // one bit, mid-payload
+  WriteFileBytes(victim, mutated);
+
+  SpillReadReport report;
+  const uint64_t recovered = AggregateFingerprint(config, dir, &report);
+  EXPECT_EQ(report.quarantined, 1);
+  EXPECT_EQ(report.regenerated, 1);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_EQ(recovered, clean);
+  // The torn copy is preserved for forensics, the live file healed.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/.quarantine/" +
+                                      ShardFileName(2, 1)));
+  EXPECT_EQ(ReadFileBytes(victim), original);
+}
+
+TEST(StreamReaderTest, StrictPolicyFailsFastOnCorruption) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_corrupt_strict");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const std::string victim = dir + "/" + ShardFileName(0, 0);
+  std::string bytes = ReadFileBytes(victim);
+  bytes[bytes.size() - 3] ^= 0x01;  // footer checksum region
+  WriteFileBytes(victim, bytes);
+
+  SpillReadOptions strict;
+  strict.policy = SpillReadPolicy::kStrict;
+  auto reader = DatasetReader::Open(config, dir, strict);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const common::Status s = reader->Stream(
+      [](const ShardColumns&, const ShardInfo&) {
+        return common::Status::Ok();
+      },
+      nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  // Strict mode touches nothing: the corrupt file stays in place.
+  EXPECT_TRUE(std::filesystem::exists(victim));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/.quarantine"));
+}
+
+TEST(StreamReaderTest, SkipPolicyHonorsAndEnforcesTheErrorBudget) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_skip_budget");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  for (const int epoch : {0, 1}) {
+    const std::string victim = dir + "/" + ShardFileName(1, epoch);
+    std::string bytes = ReadFileBytes(victim);
+    bytes.resize(bytes.size() / 3);
+    WriteFileBytes(victim, bytes);
+  }
+
+  SpillReadOptions skip;
+  skip.regenerate = false;
+  skip.max_quarantined = 2;
+  auto reader = DatasetReader::Open(config, dir, skip);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  SpillReadReport report;
+  ASSERT_TRUE(reader
+                  ->Stream(
+                      [](const ShardColumns&, const ShardInfo&) {
+                        return common::Status::Ok();
+                      },
+                      &report)
+                  .ok());
+  EXPECT_EQ(report.skipped, 2);
+  EXPECT_EQ(report.shards_read, 10);
+
+  // One more loss than the budget allows: loud DATA_LOSS, not silence.
+  SpillReadOptions tight = skip;
+  tight.max_quarantined = 0;
+  auto reader2 = DatasetReader::Open(config, dir, tight);
+  ASSERT_TRUE(reader2.ok()) << reader2.status();
+  EXPECT_EQ(reader2
+                ->Stream(
+                    [](const ShardColumns&, const ShardInfo&) {
+                      return common::Status::Ok();
+                    },
+                    nullptr)
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(StreamReaderTest, CorruptManifestIsQuarantinedAndRebuiltFromShards) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_manifest_recovery");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const uint64_t clean = AggregateFingerprint(config, dir);
+
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  std::string bytes = ReadFileBytes(manifest_path);
+  bytes[bytes.size() / 2] ^= 0x04;
+  WriteFileBytes(manifest_path, bytes);
+
+  EXPECT_EQ(AggregateFingerprint(config, dir), clean);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/.quarantine/" +
+                                      std::string(kManifestFileName)));
+  // The heal-write left a valid journal behind.
+  EXPECT_TRUE(ReadManifest(manifest_path).ok());
+}
+
+TEST(StreamReaderTest, GeneratorResumesThroughACorruptManifestToo) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_generate_recovery");
+  StreamOptions partial = Opts(dir);
+  partial.max_shards_per_run = 5;
+  ASSERT_TRUE(StreamGenerate(config, partial).ok());
+
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  std::string bytes = ReadFileBytes(manifest_path);
+  bytes.resize(bytes.size() - 7);
+  WriteFileBytes(manifest_path, bytes);
+
+  const auto resumed = StreamGenerate(config, Opts(dir));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_GE(resumed->quarantined, 1);
+  // Nothing already on disk was regenerated: the 5 surviving shards were
+  // re-adopted from their own self-describing headers.
+  EXPECT_EQ(resumed->shards_written, 7);
+
+  const std::string ref_dir = FreshDir("stream_generate_recovery_ref");
+  ASSERT_TRUE(StreamGenerate(config, Opts(ref_dir)).ok());
+  EXPECT_EQ(AggregateFingerprint(config, dir),
+            AggregateFingerprint(config, ref_dir));
+}
+
+// dataset.* fault recipes drive the whole loop end to end: torn writes land
+// on disk, the reader detects, quarantines and regenerates, and the final
+// aggregates still fingerprint identically to a fault-free world.
+TEST(StreamFaultTest, ChaosRecipeConvergesToCleanAggregates) {
+  const SimConfig config = TinyConfig();
+  const std::string ref_dir = FreshDir("stream_chaos_ref");
+  ASSERT_TRUE(StreamGenerate(config, Opts(ref_dir)).ok());
+  const uint64_t clean = AggregateFingerprint(config, ref_dir);
+
+  const std::string dir = FreshDir("stream_chaos");
+  common::FaultInjector::ResetGlobalForTest(
+      "seed=11,dataset.write=trunc:0.3");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  common::FaultInjector::ResetGlobalForTest("");
+
+  SpillReadReport report;
+  EXPECT_EQ(AggregateFingerprint(config, dir, &report), clean);
+  EXPECT_GT(report.quarantined, 0);
+  EXPECT_EQ(report.regenerated, report.quarantined);
+}
+
+// Streamed aggregates drive graph construction to the same result as
+// collecting the rows in RAM first — the aggregate-consuming build path.
+TEST(StreamGraphTest, GraphsFromStreamedAggregatesMatchCollectedRows) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_graphs");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+
+  auto reader = DatasetReader::Open(config, dir, SpillReadOptions());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto streamed = features::AggregateSpill(*reader, nullptr);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  // Reference: collect every row in RAM, then aggregate in one pass.
+  features::OrderStats collected(reader->world().num_regions(),
+                                 reader->world().num_types());
+  auto reader2 = DatasetReader::Open(config, dir, SpillReadOptions());
+  ASSERT_TRUE(reader2.ok());
+  ASSERT_TRUE(reader2
+                  ->Stream(
+                      [&collected](const ShardColumns& cols,
+                                   const ShardInfo&) {
+                        for (size_t i = 0; i < cols.rows(); ++i) {
+                          collected.Add(
+                              static_cast<int>(PeriodOfSlot(cols.slot[i])),
+                              cols.store_region[i], cols.customer_region[i],
+                              cols.type[i], cols.delivery_minutes[i],
+                              cols.distance_m[i]);
+                        }
+                        return common::Status::Ok();
+                      },
+                      nullptr)
+                  .ok());
+  collected.FinalizeSupplyDemand(reader->world().courier_alloc,
+                                 config.num_days);
+  EXPECT_EQ(features::FingerprintOrderStats(*streamed),
+            features::FingerprintOrderStats(collected));
+
+  // The orders-free WorldDataset plus streamed stats builds real graphs.
+  const sim::Dataset world_data = WorldDataset(reader->world());
+  const graphs::HeteroMultiGraph hetero(world_data, *streamed);
+  const graphs::MobilityMultiGraph mobility(*streamed);
+  EXPECT_GT(hetero.num_store_nodes(), 0);
+  EXPECT_GT(mobility.TotalEdges(), 0u);
+  EXPECT_EQ(hetero.num_types(), world_data.num_types());
+}
+
+TEST(StreamSeedTest, ShardSeedsAreDistinctAcrossEpochAndRegion) {
+  const uint64_t base = 42;
+  std::vector<uint64_t> seen;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (int region = 0; region < 64; ++region) {
+      seen.push_back(ShardSeed(base, epoch, region));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace o2sr::sim

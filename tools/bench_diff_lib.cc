@@ -134,6 +134,21 @@ FieldPolicy ClassifyField(const std::string& label) {
   if (Contains(leaf, "qps") || Contains(leaf, "speedup")) {
     return {FieldDirection::kHigherBetter, 0.25, 1e-9, /*timing=*/true};
   }
+  // Peak memory of the out-of-core scale bench: direction-aware (growth is
+  // a regression) but not machine-speed-dependent, so ignore_timings keeps
+  // checking it. Generous tolerance — allocator noise moves RSS a little.
+  if (Contains(leaf, "rss")) {
+    return {FieldDirection::kLowerBetter, 0.25, 8.0, /*timing=*/false};
+  }
+  // Workload/layout shape of the dataset benches (bench_scale): store and
+  // order counts, shard/block layout, memory budget. Any drift means the
+  // two runs ingested different datasets — a comparison bug, never noise.
+  if (Contains(leaf, "budget") || Contains(leaf, "rows") ||
+      leaf == "stores" || leaf == "orders" || leaf == "shards" ||
+      leaf == "blocks" || leaf == "regions" || leaf == "epochs" ||
+      leaf == "block_regions" || leaf == "types") {
+    return {FieldDirection::kTwoSided, 0.0, 0.0, /*timing=*/false};
+  }
   // "wall_clock" / "_ms" by substring: ci.sh appends
   // wall_clock_s_threads{1,4} cells to the table04 report, and the serving
   // saturation curve suffixes its latencies per thread count
