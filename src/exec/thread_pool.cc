@@ -37,7 +37,10 @@ int64_t NowMicros() {
 int NumThreadsFromEnv() {
   const unsigned hw = std::thread::hardware_concurrency();
   const int fallback = hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
-  return static_cast<int>(obs::EnvInt("O2SR_THREADS", fallback, 1, 256));
+  // 0 means "auto" (hardware concurrency), so the range opens at 0 and the
+  // sentinel maps to the fallback instead of being clamped to one thread.
+  const int64_t value = obs::EnvInt("O2SR_THREADS", fallback, 0, 256);
+  return value == 0 ? fallback : static_cast<int>(value);
 }
 
 ThreadPool::ThreadPool(int num_threads, const std::string& metrics_prefix)

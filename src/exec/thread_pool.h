@@ -62,7 +62,8 @@ namespace o2sr::exec {
 
 // Worker count for the process-wide pool: O2SR_THREADS when set to a
 // positive integer, otherwise std::thread::hardware_concurrency(), floored
-// at 1 and capped at 256.
+// at 1 and capped at 256. O2SR_THREADS=0 explicitly means "auto"
+// (hardware concurrency), not a one-thread clamp.
 int NumThreadsFromEnv();
 
 class ThreadPool {

@@ -50,6 +50,13 @@ void OrderStats::Add(int period, int store_region, int customer_region,
   const int s = store_region;
   const int u = customer_region;
   const int a = type;
+  // Rows reaching Add from disk are bounds-validated by the spill layer
+  // (ParseShard / ValidateShardTypes); an out-of-range index here is a
+  // programmer error upstream and must abort, not corrupt the heap.
+  O2SR_CHECK(p >= 0 && p < sim::kNumPeriods);
+  O2SR_CHECK(s >= 0 && s < num_regions_);
+  O2SR_CHECK(u >= 0 && u < num_regions_);
+  O2SR_CHECK(a >= 0 && a < num_types_);
   orders_region_type_[s][a] += 1.0;
   orders_region_type_period_[p][s][a] += 1.0;
   customer_orders_region_type_period_[p][u][a] += 1.0;

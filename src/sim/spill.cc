@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "nn/serialize.h"
+#include "sim/period.h"
 
 namespace o2sr::sim {
 
@@ -93,6 +94,7 @@ std::string SerializeShard(const ShardColumns& columns, ShardInfo* info) {
   w.Scalar<uint32_t>(info->region_begin);
   w.Scalar<uint32_t>(info->region_end);
   w.Scalar<uint32_t>(info->num_regions);
+  w.Scalar<uint64_t>(info->config_hash);
   w.Scalar<uint64_t>(info->rows);
   w.Scalar<uint64_t>(payload_bytes);
   w.Scalar<uint64_t>(nn::Fnv1a(out));  // header checksum (bytes so far)
@@ -131,6 +133,7 @@ common::Status ParseShard(const std::string& bytes, const std::string& origin,
   O2SR_RETURN_IF_ERROR(r.Scalar(&info->region_begin));
   O2SR_RETURN_IF_ERROR(r.Scalar(&info->region_end));
   O2SR_RETURN_IF_ERROR(r.Scalar(&info->num_regions));
+  O2SR_RETURN_IF_ERROR(r.Scalar(&info->config_hash));
   O2SR_RETURN_IF_ERROR(r.Scalar(&info->rows));
   O2SR_RETURN_IF_ERROR(r.Scalar(&payload_bytes));
   O2SR_RETURN_IF_ERROR(r.Scalar(&header_fnv));
@@ -141,6 +144,10 @@ common::Status ParseShard(const std::string& bytes, const std::string& origin,
     return common::FailedPreconditionError(
         "shard '" + origin + "': format version " + std::to_string(version) +
         ", expected " + std::to_string(kShardVersion));
+  }
+  if (info->region_begin >= info->region_end ||
+      info->region_end > info->num_regions) {
+    return Corrupt(origin, "header region range is not a grid cell");
   }
   if (payload_bytes != info->rows * kRowBytes) {
     return Corrupt(origin, "payload size inconsistent with row count");
@@ -168,6 +175,39 @@ common::Status ParseShard(const std::string& bytes, const std::string& origin,
     return Corrupt(origin, "payload checksum mismatch");
   }
 
+  // Checksums prove the bytes are the ones written; the bounds below prove
+  // they are safe to index aggregation tables with. Validated straight off
+  // the payload so a validate-only call (columns == nullptr) — the manifest
+  // recovery path — rejects out-of-range rows too.
+  {
+    const char* base = bytes.data() + kShardHeaderBytes;
+    const size_t rows = info->rows;
+    const char* store_col = base;
+    const char* customer_col = base + rows * sizeof(uint32_t);
+    const char* slot_col = base + rows * (2 * sizeof(uint32_t) +
+                                          sizeof(uint16_t));
+    for (size_t i = 0; i < rows; ++i) {
+      uint32_t store = 0, customer = 0;
+      std::memcpy(&store, store_col + i * sizeof(uint32_t), sizeof(store));
+      std::memcpy(&customer, customer_col + i * sizeof(uint32_t),
+                  sizeof(customer));
+      const uint8_t slot = static_cast<uint8_t>(slot_col[i]);
+      if (store >= info->num_regions) {
+        return Corrupt(origin, "row " + std::to_string(i) +
+                                   " store_region out of range");
+      }
+      if (customer < info->region_begin || customer >= info->region_end) {
+        return Corrupt(origin, "row " + std::to_string(i) +
+                                   " customer_region outside the shard's "
+                                   "region block");
+      }
+      if (slot >= kSlotsPerDay) {
+        return Corrupt(origin,
+                       "row " + std::to_string(i) + " slot out of range");
+      }
+    }
+  }
+
   if (columns != nullptr) {
     const size_t rows = info->rows;
     size_t pos = kShardHeaderBytes;
@@ -177,6 +217,19 @@ common::Status ParseShard(const std::string& bytes, const std::string& origin,
     ReadColumn(bytes, &pos, rows, &columns->slot);
     ReadColumn(bytes, &pos, rows, &columns->delivery_minutes);
     ReadColumn(bytes, &pos, rows, &columns->distance_m);
+  }
+  return common::Status::Ok();
+}
+
+common::Status ValidateShardTypes(const ShardColumns& columns, int num_types,
+                                  const std::string& origin) {
+  for (size_t i = 0; i < columns.type.size(); ++i) {
+    if (static_cast<int>(columns.type[i]) >= num_types) {
+      return Corrupt(origin, "row " + std::to_string(i) + " type " +
+                                 std::to_string(columns.type[i]) +
+                                 " out of range for " +
+                                 std::to_string(num_types) + " store types");
+    }
   }
   return common::Status::Ok();
 }

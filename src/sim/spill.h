@@ -16,7 +16,8 @@ namespace o2sr::sim {
 //
 //   header:  [8B magic "O2SRSHRD"][u32 version][u32 block][u32 epoch]
 //            [u32 region_begin][u32 region_end][u32 num_regions]
-//            [u64 rows][u64 payload_bytes][u64 FNV of the header bytes]
+//            [u64 config_hash][u64 rows][u64 payload_bytes]
+//            [u64 FNV of the header bytes]
 //   payload: store_region u32[rows] | customer_region u32[rows]
 //            | type u16[rows] | slot u8[rows]
 //            | delivery_minutes f64[rows] | distance_m f64[rows]
@@ -24,17 +25,23 @@ namespace o2sr::sim {
 //
 // Every region of the file is covered by one of the three checksums, so a
 // single flipped bit or truncated tail anywhere is detected (DATA_LOSS)
-// before a row is consumed. Shards publish atomically (temp + rename) and
-// carry the `dataset.write` / `dataset.read` fault sites of the
-// O2SR_FAULTS grammar.
+// before a row is consumed. The header carries the SimConfigHash of the
+// ingesting config so a shard with valid checksums but a foreign origin
+// (e.g. a dataset dir generated under different store-type counts) is
+// rejected at adoption time rather than fed to aggregation. ParseShard
+// additionally bounds-checks every row (store/customer region, slot)
+// against the header's own grid — checksums prove the bytes are the ones
+// written, the bounds prove they are safe to index with. Shards publish
+// atomically (temp + rename) and carry the `dataset.write` /
+// `dataset.read` fault sites of the O2SR_FAULTS grammar.
 //
 // Rows hold exactly what region-level aggregation (features::OrderStats)
 // consumes — delivery times are stored as f64 so streamed aggregates are
 // bit-identical to in-RAM ones.
 
 inline constexpr char kShardMagic[] = "O2SRSHRD";  // 8 chars + NUL
-inline constexpr uint32_t kShardVersion = 1;
-inline constexpr size_t kShardHeaderBytes = 8 + 6 * 4 + 3 * 8;
+inline constexpr uint32_t kShardVersion = 2;  // v2: +config_hash in header
+inline constexpr size_t kShardHeaderBytes = 8 + 6 * 4 + 4 * 8;
 inline constexpr size_t kShardFooterBytes = 3 * 8;
 
 // One order row of the spill format.
@@ -69,6 +76,9 @@ struct ShardInfo {
   uint32_t region_begin = 0;
   uint32_t region_end = 0;
   uint32_t num_regions = 0;
+  // SimConfigHash of the config that generated the rows; a shard whose
+  // hash disagrees with the reading config is foreign and never adopted.
+  uint64_t config_hash = 0;
   uint64_t rows = 0;
   uint64_t payload_fnv = 0;
 };
@@ -82,9 +92,16 @@ std::string SerializeShard(const ShardColumns& columns, ShardInfo* info);
 
 // Parses + validates serialized shard bytes (any mismatch is DATA_LOSS
 // with the failing check named). `columns` may be nullptr to validate
-// only.
+// only — row bounds are checked either way, straight off the payload
+// bytes: store_region/customer_region < num_regions, customer_region
+// within [region_begin, region_end), slot < kSlotsPerDay.
 common::Status ParseShard(const std::string& bytes, const std::string& origin,
                           ShardInfo* info, ShardColumns* columns);
+
+// World-aware bound the header alone cannot prove: every row's type must
+// index the reading config's store-type tables. DATA_LOSS on violation.
+common::Status ValidateShardTypes(const ShardColumns& columns, int num_types,
+                                  const std::string& origin);
 
 // Full write path: serialize, apply `dataset.write` faults (delay, error,
 // bitflip/trunc of the serialized bytes — corruption is *published* so the

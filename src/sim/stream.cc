@@ -100,6 +100,9 @@ common::Status ParseManifestPayload(const std::string& payload,
     O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.num_regions));
     O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.rows));
     O2SR_RETURN_IF_ERROR(r.Scalar(&e.info.payload_fnv));
+    // Every journaled shard was written under the manifest's config; the
+    // hash is manifest-level state, not serialized per entry.
+    e.info.config_hash = m->config_hash;
     m->entries.push_back(std::move(e));
   }
   if (r.remaining() != 0) {
@@ -172,6 +175,14 @@ Manifest RecoverManifestFromShards(const std::string& dir,
       ++*quarantined;
       continue;
     }
+    if (info->config_hash != config_hash) {
+      QuarantineLoudly(path,
+                       "valid shard was written under a different SimConfig "
+                       "(fingerprint " + std::to_string(info->config_hash) +
+                       ", this config " + std::to_string(config_hash) + ")");
+      ++*quarantined;
+      continue;
+    }
     if (!ShardFitsGrid(*info, name, num_regions, block_regions, epochs)) {
       QuarantineLoudly(path,
                        "valid shard does not fit the dataset grid (foreign "
@@ -184,9 +195,10 @@ Manifest RecoverManifestFromShards(const std::string& dir,
   return m;
 }
 
-// Widest region range among validated shards in `dir`; 0 when none. Lets
-// the reader re-infer the blocking after losing the manifest.
-int InferBlockRegions(const std::string& dir) {
+// Widest region range among validated same-config shards in `dir`; 0 when
+// none. Lets a reader or a resuming generator re-infer the blocking after
+// losing the manifest — a foreign shard must not dictate the tiling.
+int InferBlockRegions(const std::string& dir, uint64_t config_hash) {
   int widest = 0;
   std::error_code ec;
   for (const auto& ent : fs::directory_iterator(dir, ec)) {
@@ -194,7 +206,7 @@ int InferBlockRegions(const std::string& dir) {
     if (name.rfind("shard-", 0) != 0) continue;
     const common::StatusOr<ShardInfo> info =
         ReadShard(ent.path().string(), nullptr);
-    if (!info.ok()) continue;
+    if (!info.ok() || info->config_hash != config_hash) continue;
     widest = std::max(widest,
                       static_cast<int>(info->region_end - info->region_begin));
   }
@@ -366,9 +378,19 @@ common::StatusOr<StreamResult> StreamGenerate(const SimConfig& config,
     manifest.num_regions = num_regions;
   } else {
     // Torn or corrupt journal: quarantine it and rebuild from the shards
-    // themselves — each shard is self-describing and self-checking.
+    // themselves — each shard is self-describing and self-checking. The
+    // surviving shards, not this run's options/auto-sizing, decide the
+    // blocking: a changed memory budget must not get every valid shard
+    // quarantined as foreign and regenerated from scratch.
     QuarantineLoudly(manifest_path, loaded.status().ToString());
     ++result.quarantined;
+    const int inferred = InferBlockRegions(result.data_dir, config_hash);
+    if (inferred > 0 && inferred != block_regions) {
+      O2SR_LOG(WARNING) << "recovering with the blocking inferred from "
+                        << "surviving shards (" << inferred
+                        << " regions/block), not " << block_regions;
+    }
+    if (inferred > 0) block_regions = inferred;
     manifest =
         RecoverManifestFromShards(result.data_dir, config_hash, num_regions,
                                   block_regions, config.num_days,
@@ -421,6 +443,7 @@ common::StatusOr<StreamResult> StreamGenerate(const SimConfig& config,
       identity.region_begin = begin;
       identity.region_end = end;
       identity.num_regions = num_regions;
+      identity.config_hash = config_hash;
       const std::string filename = ShardFileName(block, epoch);
       const std::string path =
           (fs::path(result.data_dir) / filename).string();
@@ -475,7 +498,7 @@ common::StatusOr<DatasetReader> DatasetReader::Open(
     // Corrupt journal, quarantine policy: re-infer the blocking from the
     // surviving shards, rebuild the manifest, and heal it on disk.
     QuarantineLoudly(manifest_path, loaded.status().ToString());
-    const int block_regions = InferBlockRegions(reader.dir_);
+    const int block_regions = InferBlockRegions(reader.dir_, config_hash);
     if (block_regions <= 0) {
       return common::DataLossError(
           "dataset '" + reader.dir_ +
@@ -518,9 +541,14 @@ common::Status DatasetReader::Stream(const ShardSink& sink,
   const int num_blocks = NumBlocks(num_regions, block_regions);
   const int epochs = manifest_.epochs;
 
-  std::map<std::pair<uint32_t, uint32_t>, const ManifestEntry*> by_cell;
-  for (const ManifestEntry& e : manifest_.entries) {
-    by_cell[{e.info.block, e.info.epoch}] = &e;
+  // Indices, not pointers: the regeneration path below push_backs into
+  // manifest_.entries mid-loop, which may reallocate the vector and would
+  // dangle any pointer held here. An index stays valid across growth; the
+  // entry pointer is re-derived per cell.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> by_cell;
+  for (size_t i = 0; i < manifest_.entries.size(); ++i) {
+    const ManifestEntry& e = manifest_.entries[i];
+    by_cell[{e.info.block, e.info.epoch}] = i;
   }
 
   // Lazily built per block, only when a shard in it needs regeneration.
@@ -538,7 +566,8 @@ common::Status DatasetReader::Stream(const ShardSink& sink,
       const int end = std::min(begin + block_regions, num_regions);
       const auto it = by_cell.find(
           {static_cast<uint32_t>(block), static_cast<uint32_t>(epoch)});
-      const ManifestEntry* entry = it == by_cell.end() ? nullptr : it->second;
+      const ManifestEntry* entry =
+          it == by_cell.end() ? nullptr : &manifest_.entries[it->second];
       const std::string filename =
           entry != nullptr ? entry->filename : ShardFileName(block, epoch);
       const std::string path = (fs::path(dir_) / filename).string();
@@ -555,12 +584,20 @@ common::Status DatasetReader::Stream(const ShardSink& sink,
              read->region_begin != entry->info.region_begin ||
              read->region_end != entry->info.region_end ||
              read->num_regions != entry->info.num_regions ||
+             read->config_hash != entry->info.config_hash ||
              read->rows != entry->info.rows ||
              read->payload_fnv != entry->info.payload_fnv)) {
           read = common::DataLossError(
               "shard '" + path +
               "': intact file disagrees with its manifest record (swapped "
               "or stale shard)");
+        }
+        if (read.ok()) {
+          // ParseShard bounded regions and slots against the shard's own
+          // header; the store-type bound needs this world's config.
+          const common::Status types =
+              ValidateShardTypes(columns, world_.num_types(), path);
+          if (!types.ok()) read = types;
         }
         if (read.ok()) {
           info = *read;
@@ -622,6 +659,7 @@ common::Status DatasetReader::Stream(const ShardSink& sink,
         identity.region_begin = begin;
         identity.region_end = end;
         identity.num_regions = num_regions;
+        identity.config_hash = manifest_.config_hash;
         info = identity;
         const std::string regen = SerializeShard(columns, &info);
         if (entry != nullptr && info.payload_fnv != entry->info.payload_fnv) {

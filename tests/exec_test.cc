@@ -29,12 +29,16 @@ TEST(NumChunksTest, CoversRangeExactly) {
 TEST(NumThreadsFromEnvTest, ParsesOverride) {
   ::setenv("O2SR_THREADS", "3", 1);
   EXPECT_EQ(NumThreadsFromEnv(), 3);
-  ::setenv("O2SR_THREADS", "0", 1);  // out of range -> clamped (with warning)
-  EXPECT_EQ(NumThreadsFromEnv(), 1);
   ::setenv("O2SR_THREADS", "100000", 1);
   EXPECT_EQ(NumThreadsFromEnv(), 256);
   ::unsetenv("O2SR_THREADS");
-  EXPECT_GE(NumThreadsFromEnv(), 1);
+  const int auto_threads = NumThreadsFromEnv();
+  EXPECT_GE(auto_threads, 1);
+  // 0 is the long-standing "auto" convention: hardware concurrency, never
+  // a silent one-thread clamp.
+  ::setenv("O2SR_THREADS", "0", 1);
+  EXPECT_EQ(NumThreadsFromEnv(), auto_threads);
+  ::unsetenv("O2SR_THREADS");
 }
 
 TEST(NumThreadsFromEnvDeathTest, GarbageIsFatal) {

@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "nn/serialize.h"
+#include "sim/period.h"
 
 namespace o2sr::sim {
 namespace {
@@ -30,12 +31,15 @@ void WriteFileBytes(const std::string& path, const std::string& bytes) {
   std::fclose(f);
 }
 
+// Rows must satisfy the identity's bounds (customer_region inside
+// [region_begin, region_end), store_region < num_regions, slot <
+// kSlotsPerDay) — ParseShard now enforces them.
 ShardColumns SampleColumns() {
   ShardColumns c;
   for (int i = 0; i < 5; ++i) {
     SpillRow row;
     row.store_region = 10 + i;
-    row.customer_region = 20 + 2 * i;
+    row.customer_region = 8 + i;
     row.type = static_cast<uint16_t>(3 + i);
     row.slot = static_cast<uint8_t>(i);
     row.delivery_minutes = 25.5 + 0.25 * i;
@@ -52,6 +56,7 @@ ShardInfo SampleIdentity() {
   id.region_begin = 8;
   id.region_end = 16;
   id.num_regions = 64;
+  id.config_hash = 0xfeedfacecafebeefULL;
   return id;
 }
 
@@ -70,6 +75,7 @@ TEST(SpillFormatTest, RoundTripPreservesEveryColumn) {
   EXPECT_EQ(parsed.region_begin, info.region_begin);
   EXPECT_EQ(parsed.region_end, info.region_end);
   EXPECT_EQ(parsed.num_regions, info.num_regions);
+  EXPECT_EQ(parsed.config_hash, info.config_hash);
   EXPECT_EQ(parsed.rows, columns.rows());
   EXPECT_EQ(parsed.payload_fnv, info.payload_fnv);
   EXPECT_EQ(out.store_region, columns.store_region);
@@ -137,6 +143,50 @@ TEST(SpillFormatTest, WrongVersionIsFailedPrecondition) {
   ShardInfo parsed;
   EXPECT_EQ(ParseShard(bytes, "ver", &parsed, nullptr).code(),
             StatusCode::kFailedPrecondition);
+}
+
+// A shard whose checksums all pass but whose rows index outside the grid
+// the header itself declares (the foreign-config / hand-forged case) must
+// be DATA_LOSS, never handed to aggregation to index with.
+TEST(SpillFormatTest, OutOfRangeRowsAreDataLossDespiteValidChecksums) {
+  struct Case {
+    const char* name;
+    SpillRow row;
+  };
+  SpillRow bad_store;
+  bad_store.store_region = 64;  // == num_regions
+  bad_store.customer_region = 8;
+  SpillRow bad_customer;
+  bad_customer.store_region = 0;
+  bad_customer.customer_region = 16;  // == region_end
+  SpillRow bad_slot;
+  bad_slot.store_region = 0;
+  bad_slot.customer_region = 8;
+  bad_slot.slot = kSlotsPerDay;
+  for (const Case& c : {Case{"store_region", bad_store},
+                        Case{"customer_region", bad_customer},
+                        Case{"slot", bad_slot}}) {
+    ShardColumns columns = SampleColumns();
+    columns.Append(c.row);
+    ShardInfo info = SampleIdentity();
+    const std::string bytes = SerializeShard(columns, &info);
+    ShardInfo parsed;
+    ShardColumns out;
+    const common::Status s = ParseShard(bytes, c.name, &parsed, &out);
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << c.name << ": "
+                                               << s.ToString();
+    // Validate-only parses (manifest recovery) must reject them too.
+    EXPECT_EQ(ParseShard(bytes, c.name, &parsed, nullptr).code(),
+              StatusCode::kDataLoss)
+        << c.name;
+  }
+}
+
+TEST(SpillFormatTest, ValidateShardTypesBoundsTheTypeColumn) {
+  const ShardColumns columns = SampleColumns();  // types 3..7
+  EXPECT_TRUE(ValidateShardTypes(columns, 8, "ok").ok());
+  EXPECT_EQ(ValidateShardTypes(columns, 7, "narrow").code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(SpillFormatTest, WriteReadRoundTripOnDisk) {

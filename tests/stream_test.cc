@@ -225,6 +225,42 @@ TEST(StreamReaderTest, CorruptShardIsQuarantinedAndRegenerated) {
   EXPECT_EQ(ReadFileBytes(victim), original);
 }
 
+// A shard with flawless checksums from a world with MORE store types: its
+// type column would index out of range in this world's aggregation tables.
+// The embedded config hash must keep it out — both when the journal is
+// intact (manifest-record mismatch) and when the journal is lost and the
+// manifest is rebuilt by scanning shards.
+TEST(StreamReaderTest, ForeignConfigShardIsNeverConsumed) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_foreign_shard");
+  ASSERT_TRUE(StreamGenerate(config, Opts(dir)).ok());
+  const uint64_t clean = AggregateFingerprint(config, dir);
+
+  SimConfig foreign = TinyConfig();
+  foreign.num_store_types = 9;
+  foreign.seed = 123;
+  const std::string foreign_dir = FreshDir("stream_foreign_src");
+  ASSERT_TRUE(StreamGenerate(foreign, Opts(foreign_dir)).ok());
+  const std::string victim = ShardFileName(2, 1);
+  const std::string planted = ReadFileBytes(foreign_dir + "/" + victim);
+  WriteFileBytes(dir + "/" + victim, planted);
+
+  SpillReadReport swapped;
+  EXPECT_EQ(AggregateFingerprint(config, dir, &swapped), clean);
+  EXPECT_EQ(swapped.quarantined, 1);
+  EXPECT_EQ(swapped.regenerated, 1);
+
+  // Journal lost: recovery scans the shards and must refuse to adopt the
+  // foreign one even though every one of its checksums passes.
+  WriteFileBytes(dir + "/" + victim, planted);
+  std::string manifest = ReadFileBytes(dir + "/" + kManifestFileName);
+  manifest[manifest.size() / 2] ^= 0x08;
+  WriteFileBytes(dir + "/" + kManifestFileName, manifest);
+  SpillReadReport recovery;
+  EXPECT_EQ(AggregateFingerprint(config, dir, &recovery), clean);
+  EXPECT_GE(recovery.regenerated, 1);
+}
+
 TEST(StreamReaderTest, StrictPolicyFailsFastOnCorruption) {
   const SimConfig config = TinyConfig();
   const std::string dir = FreshDir("stream_corrupt_strict");
@@ -330,6 +366,34 @@ TEST(StreamReaderTest, GeneratorResumesThroughACorruptManifestToo) {
 
   const std::string ref_dir = FreshDir("stream_generate_recovery_ref");
   ASSERT_TRUE(StreamGenerate(config, Opts(ref_dir)).ok());
+  EXPECT_EQ(AggregateFingerprint(config, dir),
+            AggregateFingerprint(config, ref_dir));
+}
+
+// Losing the manifest AND changing the requested blocking (as a changed
+// memory budget would) must not quarantine the survivors: recovery infers
+// the blocking from the shards themselves and keeps them.
+TEST(StreamGenerateTest, CorruptManifestRecoveryKeepsSurvivorsUnderNewBlocking) {
+  const SimConfig config = TinyConfig();
+  const std::string dir = FreshDir("stream_recovery_rebudget");
+  StreamOptions partial = Opts(dir, 4);
+  partial.max_shards_per_run = 5;
+  ASSERT_TRUE(StreamGenerate(config, partial).ok());
+
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  std::string bytes = ReadFileBytes(manifest_path);
+  bytes.resize(bytes.size() - 7);
+  WriteFileBytes(manifest_path, bytes);
+
+  const auto resumed = StreamGenerate(config, Opts(dir, 8));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->block_regions, 4);   // inferred, not the requested 8
+  EXPECT_EQ(resumed->shards_written, 7);  // the 5 survivors were adopted
+  EXPECT_FALSE(std::filesystem::exists(dir + "/.quarantine/" +
+                                       ShardFileName(0, 0)));
+
+  const std::string ref_dir = FreshDir("stream_recovery_rebudget_ref");
+  ASSERT_TRUE(StreamGenerate(config, Opts(ref_dir, 4)).ok());
   EXPECT_EQ(AggregateFingerprint(config, dir),
             AggregateFingerprint(config, ref_dir));
 }
